@@ -1,0 +1,458 @@
+//! The ExAlg baseline (Arasu & Garcia-Molina, SIGMOD 2003).
+//!
+//! ExAlg infers a page template from occurrence-vector equivalence
+//! classes, with token roles differentiated by HTML context and by
+//! positions relative to the classes — *no semantics*. It then
+//! extracts every data field of the inferred template.
+//!
+//! Differences from ObjectRunner (all three matter in the paper's
+//! comparison):
+//!
+//! 1. No annotated-word guard: data that is "too regular" (the paper's
+//!    repeated "New York") joins the template and is lost.
+//! 2. No annotation-driven role splits: tokens structure alone cannot
+//!    distinguish stay merged, so adjacent attributes end up in one
+//!    field (partially correct extractions).
+//! 3. No SOD: the record region is chosen by a structural heuristic
+//!    (the most data-rich repeating class), and *all* fields are
+//!    extracted.
+
+use crate::FlatRecord;
+use objectrunner_core::annotate::AnnotatedPage;
+use objectrunner_core::extract::{hosting_gap, instance_gap_text, match_node_instances, page_stream};
+use objectrunner_core::roles::{differentiate, DiffConfig};
+use objectrunner_core::template::{build_template, GapKind, NodeMultiplicity, TemplateTree};
+use objectrunner_core::tokens::SourceTokens;
+use objectrunner_html::Document;
+use std::collections::HashMap;
+
+/// ExAlg configuration.
+#[derive(Debug, Clone)]
+pub struct ExalgConfig {
+    /// LFEQ support: minimum pages a token must occur in.
+    pub min_support: usize,
+}
+
+impl Default for ExalgConfig {
+    fn default() -> Self {
+        ExalgConfig { min_support: 3 }
+    }
+}
+
+/// Why induction failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExalgError {
+    /// Fewer than two input pages.
+    TooFewPages,
+    /// No template class with data fields was found.
+    NoTemplate,
+}
+
+impl std::fmt::Display for ExalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExalgError::TooFewPages => write!(f, "need at least two pages"),
+            ExalgError::NoTemplate => write!(f, "no data-bearing template class found"),
+        }
+    }
+}
+
+impl std::error::Error for ExalgError {}
+
+/// A field of the inferred relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldRef {
+    /// Template node owning the gap.
+    pub node: usize,
+    /// Gap index within the node.
+    pub gap: usize,
+    /// True when the field collects values of a repeating sub-region
+    /// (multi-valued per record).
+    pub repeated: bool,
+}
+
+/// The induced ExAlg wrapper.
+#[derive(Debug, Clone)]
+pub struct ExalgWrapper {
+    template: TemplateTree,
+    /// The record-region template node.
+    record_node: usize,
+    /// Field schema in template order.
+    pub fields: Vec<FieldRef>,
+}
+
+/// Induce an ExAlg wrapper from sample pages.
+pub fn induce(docs: &[Document], cfg: &ExalgConfig) -> Result<ExalgWrapper, ExalgError> {
+    if docs.len() < 2 {
+        return Err(ExalgError::TooFewPages);
+    }
+    // Annotation-free pages: the same machinery, zero semantics.
+    let pages: Vec<AnnotatedPage> = docs
+        .iter()
+        .map(|doc| AnnotatedPage {
+            doc: doc.clone(),
+            annotations: HashMap::new(),
+        })
+        .collect();
+    let mut src = SourceTokens::from_pages(&pages);
+    let diff_cfg = DiffConfig {
+        eq: objectrunner_core::eqclass::EqConfig {
+            min_support: cfg.min_support,
+            annotations_guard: false,
+            ..objectrunner_core::eqclass::EqConfig::default()
+        },
+        // ExAlg differentiates by HTML context and class positions
+        // only — the paper: "the three <div> occurrences would have
+        // the same role" (§III-C).
+        ordinal_split: false,
+        ..DiffConfig::default()
+    };
+    let outcome = differentiate(&mut src, &diff_cfg, |_, _| false);
+    let template = build_template(&src, &outcome.analysis);
+
+    let record_node =
+        choose_record_node(&template, &outcome.analysis).ok_or(ExalgError::NoTemplate)?;
+    let fields = collect_fields(&template, record_node);
+    if fields.is_empty() {
+        return Err(ExalgError::NoTemplate);
+    }
+    Ok(ExalgWrapper {
+        template,
+        record_node,
+        fields,
+    })
+}
+
+/// Record-region heuristic: the template node with the most data gaps
+/// in its tuple reach, preferring repeating nodes (list regions), then
+/// more instances.
+fn choose_record_node(
+    tree: &TemplateTree,
+    analysis: &objectrunner_core::eqclass::EqAnalysis,
+) -> Option<usize> {
+    let mut best: Option<(i64, usize)> = None;
+    for n in 1..tree.nodes.len() {
+        let reach = tree.tuple_reach(n);
+        let data_gaps = reach
+            .iter()
+            .map(|&m| {
+                tree.nodes[m]
+                    .gaps
+                    .iter()
+                    .filter(|g| g.kind() == GapKind::Data)
+                    .count()
+            })
+            .sum::<usize>() as i64;
+        // Data living in repeating children (author-list style) also
+        // counts towards the region's richness.
+        let repeating_children: Vec<usize> = reach
+            .iter()
+            .flat_map(|&m| tree.nodes[m].children.iter().copied())
+            .filter(|&c| tree.nodes[c].multiplicity == NodeMultiplicity::Repeating && c != n)
+            .collect();
+        let child_data_gaps = repeating_children
+            .iter()
+            .map(|&c| {
+                tree.nodes[c]
+                    .gaps
+                    .iter()
+                    .filter(|g| g.kind() == GapKind::Data)
+                    .count()
+            })
+            .sum::<usize>() as i64;
+        if data_gaps + child_data_gaps == 0 {
+            continue;
+        }
+        let mut score = data_gaps * 10 + child_data_gaps * 5;
+        if tree.nodes[n].multiplicity == NodeMultiplicity::Repeating {
+            score += 100;
+        }
+        // Records often *contain* finer repeating regions (author
+        // lists, uniform cells); prefer the coarser granularity — but
+        // a node occurring a small constant number of times per page
+        // whose repeating child holds MORE data than itself is page
+        // furniture (nav/content/footer shells) wrapped around the
+        // real record region.
+        if child_data_gaps > 0 {
+            let shellish = tree.nodes[n]
+                .class
+                .map(|c| {
+                    let v = &analysis.classes[c].vector;
+                    let first = v.first().copied().unwrap_or(0);
+                    first > 0 && first <= 5 && v.iter().all(|&x| x == first)
+                })
+                .unwrap_or(false);
+            if child_data_gaps > data_gaps && shellish {
+                score -= 120;
+            } else if child_data_gaps > data_gaps {
+                score += 30;
+            } else {
+                score += 50;
+            }
+        }
+        // Among otherwise-equal candidates, shallower regions are the
+        // records, deeper ones their sub-lists.
+        let mut depth = 0i64;
+        let mut cur = tree.nodes[n].parent;
+        while let Some(p) = cur {
+            depth += 1;
+            cur = tree.nodes[p].parent;
+        }
+        score -= depth;
+        if best.map(|(s, _)| score > s).unwrap_or(true) {
+            best = Some((score, n));
+        }
+    }
+    best.map(|(_, n)| n)
+}
+
+/// All data fields reachable from the record node: its own data gaps,
+/// data gaps of One/Optional descendants, and (as repeated fields) the
+/// data gaps of repeating children.
+fn collect_fields(tree: &TemplateTree, record: usize) -> Vec<FieldRef> {
+    let mut fields = Vec::new();
+    for &n in &tree.tuple_reach(record) {
+        for (j, gap) in tree.nodes[n].gaps.iter().enumerate() {
+            if gap.kind() == GapKind::Data {
+                fields.push(FieldRef {
+                    node: n,
+                    gap: j,
+                    repeated: false,
+                });
+            }
+            // Repeating children hosted in this gap contribute
+            // multi-valued fields.
+            for &c in &gap.children {
+                if tree.nodes[c].multiplicity == NodeMultiplicity::Repeating {
+                    for (cj, cgap) in tree.nodes[c].gaps.iter().enumerate() {
+                        if cgap.kind() == GapKind::Data {
+                            fields.push(FieldRef {
+                                node: c,
+                                gap: cj,
+                                repeated: true,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    fields
+}
+
+impl ExalgWrapper {
+    /// Number of fields in the inferred relation.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Extract the records of one page.
+    pub fn extract(&self, doc: &Document) -> Vec<FlatRecord> {
+        let stream = page_stream(doc);
+        let instances =
+            match_node_instances(&self.template, self.record_node, &stream, 0, stream.len());
+        instances
+            .iter()
+            .map(|positions| {
+                let region = (
+                    positions.first().copied().unwrap_or(0),
+                    positions.last().copied().unwrap_or(0) + 1,
+                );
+                let mut record = FlatRecord {
+                    fields: vec![Vec::new(); self.fields.len()],
+                };
+                // Pre-match descendant nodes used by fields, bounded
+                // to the gap that hosts them (ambiguous matchers).
+                let mut node_instances: HashMap<usize, Vec<Vec<usize>>> = HashMap::new();
+                for f in &self.fields {
+                    if f.node != self.record_node {
+                        let (lo, hi) = match hosting_gap(&self.template, self.record_node, f.node)
+                        {
+                            Some(g) if g + 1 < positions.len() => {
+                                (positions[g] + 1, positions[g + 1])
+                            }
+                            _ => region,
+                        };
+                        node_instances.entry(f.node).or_insert_with(|| {
+                            match_node_instances(&self.template, f.node, &stream, lo, hi)
+                        });
+                    }
+                }
+                for (fi, f) in self.fields.iter().enumerate() {
+                    if f.node == self.record_node {
+                        let v = instance_gap_text(&stream, positions, f.gap);
+                        if !v.is_empty() {
+                            record.fields[fi].push(v);
+                        }
+                    } else {
+                        let insts = node_instances.get(&f.node).map(Vec::as_slice).unwrap_or(&[]);
+                        let take = if f.repeated { insts.len() } else { insts.len().min(1) };
+                        for inst in insts.iter().take(take) {
+                            let v = instance_gap_text(&stream, inst, f.gap);
+                            if !v.is_empty() {
+                                record.fields[fi].push(v);
+                            }
+                        }
+                    }
+                }
+                record
+            })
+            .filter(|r| !r.is_empty())
+            .collect()
+    }
+
+    /// Extract from every page.
+    pub fn extract_source(&self, docs: &[Document]) -> Vec<FlatRecord> {
+        docs.iter().flat_map(|d| self.extract(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use objectrunner_html::parse;
+
+    /// Distinct per-attribute markup: ExAlg separates the columns by
+    /// DOM path.
+    fn list_page(records: &[(&str, &str)]) -> Document {
+        let recs: String = records
+            .iter()
+            .map(|(a, d)| format!("<li><b>{a}</b><i>{d}</i></li>"))
+            .collect();
+        parse(&format!("<body><ul>{recs}</ul></body>"))
+    }
+
+    /// Uniform cells: same tag, same path — ExAlg cannot tell the
+    /// attributes apart (the paper's three-<div> argument).
+    fn uniform_page(records: &[(&str, &str)]) -> Document {
+        let recs: String = records
+            .iter()
+            .map(|(a, d)| format!("<li><div>{a}</div><div>{d}</div></li>"))
+            .collect();
+        parse(&format!("<body><ul>{recs}</ul></body>"))
+    }
+
+    fn sample() -> Vec<Document> {
+        // Dates vary in month and year: no date word is frequent
+        // enough to be mistaken for template text.
+        vec![
+            list_page(&[("Alpha", "Jan 1, 2008"), ("Beta", "Feb 2, 2009")]),
+            list_page(&[("Gamma", "Mar 3, 2010")]),
+            list_page(&[("Delta", "Apr 4, 2011"), ("Eps", "May 5, 2012"), ("Zeta", "Jul 6, 2013")]),
+            list_page(&[("Eta", "Aug 7, 2014"), ("Theta", "Sep 8, 2015")]),
+        ]
+    }
+
+    #[test]
+    fn induces_record_region_and_extracts_fields() {
+        let wrapper = induce(&sample(), &ExalgConfig::default()).expect("wrapper");
+        assert!(wrapper.arity() >= 2);
+        let unseen = list_page(&[("Muse", "June 19, 2010"), ("Korn", "June 20, 2010")]);
+        let records = wrapper.extract(&unseen);
+        assert_eq!(records.len(), 2);
+        let all: Vec<&str> = records[0].entries().map(|(_, v)| v).collect();
+        assert!(all.contains(&"Muse"));
+        assert!(all.contains(&"June 19, 2010"));
+    }
+
+    #[test]
+    fn too_regular_data_joins_the_template_and_is_lost() {
+        // Every record ends with "New York" — with no semantics the
+        // constant word becomes template text and is never extracted.
+        let page = |n: usize| {
+            let recs: String = (0..n)
+                .map(|i| format!("<li><div>Band{i}</div><div>New York</div></li>"))
+                .collect();
+            parse(&format!("<body><ul>{recs}</ul></body>"))
+        };
+        let docs = vec![page(2), page(1), page(3), page(2)];
+        let wrapper = induce(&docs, &ExalgConfig::default()).expect("wrapper");
+        let records = wrapper.extract_source(&docs);
+        let values: Vec<&str> = records.iter().flat_map(|r| r.entries()).map(|(_, v)| v).collect();
+        assert!(
+            !values.iter().any(|v| v.contains("New York")),
+            "constant city must be treated as template: {values:?}"
+        );
+    }
+
+    #[test]
+    fn repeated_subregions_become_multivalued_fields() {
+        let page = |authors: &[&[&str]]| {
+            let recs: String = authors
+                .iter()
+                .map(|auths| {
+                    let spans: String =
+                        auths.iter().map(|a| format!("<span>{a}</span>")).collect();
+                    format!("<li><div>Title</div><p>{spans}</p></li>")
+                })
+                .collect();
+            parse(&format!("<body><ul>{recs}</ul></body>"))
+        };
+        let docs = vec![
+            page(&[&["A1"], &["A2", "A3"]]),
+            page(&[&["B1", "B2"]]),
+            page(&[&["C1"], &["C2"], &["C3", "C4", "C5"]]),
+        ];
+        let wrapper = induce(&docs, &ExalgConfig::default()).expect("wrapper");
+        assert!(wrapper.fields.iter().any(|f| f.repeated));
+        let unseen = page(&[&["X1", "X2", "X3"]]);
+        let records = wrapper.extract(&unseen);
+        assert_eq!(records.len(), 1);
+        let repeated_field = wrapper
+            .fields
+            .iter()
+            .position(|f| f.repeated)
+            .expect("repeated field");
+        assert_eq!(records[0].fields[repeated_field].len(), 3);
+    }
+
+    #[test]
+    fn uniform_cells_stay_merged() {
+        // "The three <div> occurrences would have the same role"
+        // (§III-C): without annotations, same-path cells collapse into
+        // one repeating field and attributes are extracted together.
+        let docs = vec![
+            uniform_page(&[("Alpha", "Jan 1, 2008"), ("Beta", "Feb 2, 2009")]),
+            uniform_page(&[("Gamma", "Mar 3, 2010")]),
+            uniform_page(&[("Delta", "Apr 4, 2011"), ("Eps", "May 5, 2012"), ("Zeta", "Jul 6, 2013")]),
+            uniform_page(&[("Eta", "Aug 7, 2014"), ("Theta", "Sep 8, 2015")]),
+        ];
+        let wrapper = induce(&docs, &ExalgConfig::default()).expect("wrapper");
+        // One repeated field holding both attributes' values.
+        assert!(wrapper.fields.iter().any(|f| f.repeated));
+        let unseen = uniform_page(&[("Muse", "June 19, 2016")]);
+        let records = wrapper.extract(&unseen);
+        assert_eq!(records.len(), 1);
+        let values: Vec<&str> = records[0].entries().map(|(_, v)| v).collect();
+        assert!(values.contains(&"Muse"));
+        assert!(values.contains(&"June 19, 2016"));
+    }
+
+    #[test]
+    fn too_few_pages_is_an_error() {
+        let docs = vec![list_page(&[("A", "B")])];
+        assert_eq!(
+            induce(&docs, &ExalgConfig::default()).expect_err("too few"),
+            ExalgError::TooFewPages
+        );
+    }
+
+    #[test]
+    fn pages_without_structure_fail() {
+        let docs: Vec<Document> = (0..4)
+            .map(|i| parse(&format!("<body><p>totally unique prose number {i}</p></body>")))
+            .collect();
+        // Either no template at all, or a template with no repeating
+        // data-rich region that extracts nothing meaningful.
+        match induce(&docs, &ExalgConfig::default()) {
+            Err(ExalgError::NoTemplate) => {}
+            Ok(w) => {
+                let records = w.extract_source(&docs);
+                // The degenerate wrapper may grab the one varying word,
+                // but must not invent more records than pages.
+                assert!(records.len() <= docs.len());
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+}

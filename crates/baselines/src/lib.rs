@@ -1,0 +1,46 @@
+//! # objectrunner-baselines
+//!
+//! Clean-room reimplementations of the two systems the paper compares
+//! against (§IV-B2):
+//!
+//! * [`exalg`] — **ExAlg** (Arasu & Garcia-Molina, SIGMOD 2003):
+//!   equivalence classes over occurrence vectors with structural role
+//!   differentiation. The paper notes ObjectRunner "adopts an
+//!   approach that is similar in style to the ExAlg algorithm"; our
+//!   baseline accordingly drives the same class machinery with every
+//!   annotation-driven mechanism disabled — no annotated-word guard,
+//!   no conflict splits, no SOD matching or abort — and extracts *all*
+//!   data fields of the inferred template.
+//! * [`roadrunner`] — **RoadRunner** (Crescenzi, Mecca & Merialdo,
+//!   VLDB 2001): ACME-style match/mismatch wrapper refinement
+//!   producing a union-free regular expression with `#PCDATA` fields,
+//!   optionals and iterators.
+//!
+//! Both produce [`FlatRecord`]s — untyped field tuples — which the
+//! evaluation crate aligns against the golden standard exactly as the
+//! paper's authors did manually.
+
+pub mod exalg;
+pub mod roadrunner;
+
+/// One extracted record: values per (positional, untyped) field.
+/// A field may hold several values (repeated sub-regions).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlatRecord {
+    pub fields: Vec<Vec<String>>,
+}
+
+impl FlatRecord {
+    /// Non-empty field values flattened to `(field_index, value)`.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.fields
+            .iter()
+            .enumerate()
+            .flat_map(|(i, vs)| vs.iter().map(move |v| (i, v.as_str())))
+    }
+
+    /// True when every field is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fields.iter().all(Vec::is_empty)
+    }
+}

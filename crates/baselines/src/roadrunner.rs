@@ -1,0 +1,913 @@
+//! The RoadRunner baseline (Crescenzi, Mecca & Merialdo, VLDB 2001).
+//!
+//! RoadRunner infers a *union-free regular expression* wrapper by
+//! pairwise alignment ("ACME matching"): the wrapper starts as the
+//! first page and is generalized against each further page.
+//!
+//! * **String mismatches** become `#PCDATA` fields.
+//! * **Tag mismatches** trigger *optional* discovery (one side has an
+//!   extra region) or *iterator* discovery (one side repeats a
+//!   "square" — a record template delimited by matching tags).
+//!
+//! The documented weakness the paper leans on (§IV-B2): when every
+//! sample page shows the **same number of records**, no mismatch ever
+//! occurs at the list boundary, no iterator is discovered, and each
+//! record's values surface as separate fields — "RoadRunner fails to
+//! handle list pages that are 'too regular'".
+
+use crate::FlatRecord;
+use objectrunner_html::{Document, NodeKind};
+
+/// RoadRunner's token alphabet: tags by name, whole text nodes as
+/// single string tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RrToken {
+    Open(String),
+    Close(String),
+    Text(String),
+}
+
+/// Flatten a page into RoadRunner tokens.
+pub fn rr_tokens(doc: &Document) -> Vec<RrToken> {
+    let mut out = Vec::new();
+    flatten(doc, doc.root(), &mut out);
+    out
+}
+
+fn flatten(doc: &Document, id: objectrunner_html::NodeId, out: &mut Vec<RrToken>) {
+    match &doc.node(id).kind {
+        NodeKind::Document => {
+            for &c in doc.children(id) {
+                flatten(doc, c, out);
+            }
+        }
+        NodeKind::Element { name, .. } => {
+            out.push(RrToken::Open(name.clone()));
+            for &c in doc.children(id) {
+                flatten(doc, c, out);
+            }
+            out.push(RrToken::Close(name.clone()));
+        }
+        NodeKind::Text(t) => {
+            let t = objectrunner_html::dom::normalize_ws(t);
+            if !t.is_empty() {
+                out.push(RrToken::Text(t));
+            }
+        }
+        NodeKind::Comment(_) => {}
+    }
+}
+
+/// One item of the union-free regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RrItem {
+    /// A constant tag.
+    Open(String),
+    /// A constant closing tag.
+    Close(String),
+    /// A constant string.
+    Text(String),
+    /// `#PCDATA` — a variant string field.
+    Field,
+    /// `( … )?`
+    Optional(Vec<RrItem>),
+    /// `( … )+`
+    Iterator(Vec<RrItem>),
+}
+
+/// The induced RoadRunner wrapper.
+#[derive(Debug, Clone)]
+pub struct RrWrapper {
+    pub items: Vec<RrItem>,
+    /// Number of `Field`s (pre-order).
+    pub arity: usize,
+}
+
+/// Induction failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RrError {
+    /// Fewer than two pages.
+    TooFewPages,
+    /// Alignment failed on every page pair.
+    CannotAlign,
+}
+
+impl std::fmt::Display for RrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RrError::TooFewPages => write!(f, "need at least two pages"),
+            RrError::CannotAlign => write!(f, "pages cannot be aligned"),
+        }
+    }
+}
+
+impl std::error::Error for RrError {}
+
+/// Induce a wrapper from sample pages.
+///
+/// ACME-style pairwise generalization: the wrapper starts as the first
+/// page's token sequence and is aligned against each further page.
+/// Alignment walks the two sequences in parallel; at a mismatch it
+/// compares *balanced segment runs* (consecutive same-tag subtrees):
+/// a single extra segment becomes an optional, two or more become an
+/// iterator, and `fold_squares` then merges the literal copies the
+/// pairwise phase emitted into the iterator. Iterators therefore only
+/// appear when record counts **differ** between pages — which is
+/// exactly why constant-count ("too regular") lists defeat RoadRunner.
+pub fn induce(docs: &[Document]) -> Result<RrWrapper, RrError> {
+    if docs.len() < 2 {
+        return Err(RrError::TooFewPages);
+    }
+    let mut wrapper: Vec<RrItem> = rr_tokens(&docs[0]).iter().map(token_item).collect();
+    let mut aligned_any = false;
+    for doc in &docs[1..] {
+        let page: Vec<RrItem> = rr_tokens(doc).iter().map(token_item).collect();
+        let mut steps = 0usize;
+        if let Some(generalized) = align_items(&wrapper, &page, &mut steps, 0) {
+            wrapper = fold_squares(generalized);
+            aligned_any = true;
+        }
+        // An unalignable page is skipped (RoadRunner keeps the
+        // current wrapper).
+    }
+    if !aligned_any {
+        return Err(RrError::CannotAlign);
+    }
+    let arity = count_fields(&wrapper);
+    Ok(RrWrapper {
+        items: wrapper,
+        arity,
+    })
+}
+
+fn token_item(tok: &RrToken) -> RrItem {
+    match tok {
+        RrToken::Open(n) => RrItem::Open(n.clone()),
+        RrToken::Close(n) => RrItem::Close(n.clone()),
+        RrToken::Text(s) => RrItem::Text(s.clone()),
+    }
+}
+
+fn count_fields(items: &[RrItem]) -> usize {
+    items
+        .iter()
+        .map(|i| match i {
+            RrItem::Field => 1,
+            RrItem::Optional(inner) | RrItem::Iterator(inner) => count_fields(inner),
+            _ => 0,
+        })
+        .sum()
+}
+
+// ---------------------------------------------------------------------
+// Alignment (item sequence x item sequence -> generalized sequence)
+// ---------------------------------------------------------------------
+
+/// Backtracking budget.
+const MAX_STEPS: usize = 1_500_000;
+/// Recursion depth bound.
+const MAX_DEPTH: usize = 600;
+
+/// End index (exclusive) of the balanced segment opening at `i`, when
+/// `items[i]` is an `Open` tag. Iterators/optionals/fields are opaque
+/// (depth 0).
+fn balanced_end(items: &[RrItem], i: usize) -> Option<usize> {
+    let RrItem::Open(tag) = &items[i] else {
+        return None;
+    };
+    let mut depth = 0i32;
+    for (j, item) in items.iter().enumerate().skip(i) {
+        match item {
+            RrItem::Open(_) => depth += 1,
+            RrItem::Close(t) => {
+                depth -= 1;
+                if depth == 0 {
+                    return if t == tag { Some(j + 1) } else { None };
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `(count, end)` of the run of consecutive balanced `tag` segments
+/// starting at `i`.
+fn segment_run(items: &[RrItem], i: usize, tag: &str) -> (usize, usize) {
+    let mut count = 0;
+    let mut cur = i;
+    while cur < items.len() {
+        match &items[cur] {
+            RrItem::Open(t) if t == tag => match balanced_end(items, cur) {
+                Some(end) => {
+                    count += 1;
+                    cur = end;
+                }
+                None => break,
+            },
+            _ => break,
+        }
+    }
+    (count, cur)
+}
+
+/// Fold-align all balanced `tag` segments in `items[i..end]` into one
+/// generalized unit.
+fn fold_run(
+    items: &[RrItem],
+    i: usize,
+    tag: &str,
+    count: usize,
+    steps: &mut usize,
+    depth: usize,
+) -> Option<Vec<RrItem>> {
+    let mut cur = i;
+    let mut unit: Option<Vec<RrItem>> = None;
+    for _ in 0..count {
+        let end = balanced_end(items, cur)?;
+        let seg = &items[cur..end];
+        unit = Some(match unit {
+            None => seg.to_vec(),
+            Some(u) => align_items(&u, seg, steps, depth + 1)?,
+        });
+        cur = end;
+        let _ = tag;
+    }
+    unit
+}
+
+/// Align two item sequences into a generalized union-free expression.
+fn align_items(
+    a: &[RrItem],
+    b: &[RrItem],
+    steps: &mut usize,
+    depth: usize,
+) -> Option<Vec<RrItem>> {
+    *steps += 1;
+    if *steps > MAX_STEPS || depth > MAX_DEPTH {
+        return None;
+    }
+    match (a.first(), b.first()) {
+        (None, None) => return Some(Vec::new()),
+        (None, Some(_)) => return Some(vec![RrItem::Optional(b.to_vec())]),
+        (Some(_), None) => return Some(vec![RrItem::Optional(a.to_vec())]),
+        _ => {}
+    }
+    let x = &a[0];
+    let y = &b[0];
+
+    // 1. Head merges.
+    match (x, y) {
+        (RrItem::Open(p), RrItem::Open(q)) if p == q => {
+            if let Some(rest) = align_items(&a[1..], &b[1..], steps, depth + 1) {
+                return Some(cons(RrItem::Open(p.clone()), rest));
+            }
+        }
+        (RrItem::Close(p), RrItem::Close(q)) if p == q => {
+            let rest = align_items(&a[1..], &b[1..], steps, depth + 1)?;
+            return Some(cons(RrItem::Close(p.clone()), rest));
+        }
+        (RrItem::Text(s), RrItem::Text(t)) => {
+            let head = if s == t {
+                RrItem::Text(s.clone())
+            } else {
+                RrItem::Field
+            };
+            let rest = align_items(&a[1..], &b[1..], steps, depth + 1)?;
+            return Some(cons(head, rest));
+        }
+        (RrItem::Field, RrItem::Text(_) | RrItem::Field)
+        | (RrItem::Text(_), RrItem::Field) => {
+            let rest = align_items(&a[1..], &b[1..], steps, depth + 1)?;
+            return Some(cons(RrItem::Field, rest));
+        }
+        (RrItem::Iterator(u), RrItem::Iterator(v)) => {
+            if let Some(unit) = align_items(u, v, steps, depth + 1) {
+                if let Some(rest) = align_items(&a[1..], &b[1..], steps, depth + 1) {
+                    return Some(cons(RrItem::Iterator(unit), rest));
+                }
+            }
+        }
+        (RrItem::Optional(u), RrItem::Optional(v)) => {
+            if let Some(unit) = align_items(u, v, steps, depth + 1) {
+                if let Some(rest) = align_items(&a[1..], &b[1..], steps, depth + 1) {
+                    return Some(cons(RrItem::Optional(unit), rest));
+                }
+            }
+        }
+        // An existing iterator absorbs the other side's segment run.
+        (RrItem::Iterator(u), _) => {
+            if let Some(result) = absorb_into_iterator(u, &a[1..], b, steps, depth) {
+                return Some(result);
+            }
+        }
+        (_, RrItem::Iterator(v)) => {
+            if let Some(result) = absorb_into_iterator(v, &b[1..], a, steps, depth) {
+                return Some(result);
+            }
+        }
+        // An optional takes (or skips) the other side's segment.
+        (RrItem::Optional(u), _) => {
+            if let Some(result) = optional_vs_seq(u, &a[1..], b, steps, depth) {
+                return Some(result);
+            }
+        }
+        (_, RrItem::Optional(v)) => {
+            if let Some(result) = optional_vs_seq(v, &b[1..], a, steps, depth) {
+                return Some(result);
+            }
+        }
+        _ => {}
+    }
+
+    // 2. Extra-segment discovery at mismatches: one side holds a run
+    //    of balanced segments the other lacks.
+    for (this, other, this_first) in [(a, b, true), (b, a, false)] {
+        let _ = this_first;
+        if let RrItem::Open(tag) = &this[0] {
+            let (count, end) = segment_run(this, 0, tag);
+            if count >= 1 {
+                // Would the other side's head follow the run?
+                let head = match count {
+                    1 => {
+                        let seg = this[..end].to_vec();
+                        Some(RrItem::Optional(seg))
+                    }
+                    _ => fold_run(this, 0, tag, count, steps, depth)
+                        .map(RrItem::Iterator),
+                };
+                if let Some(head) = head {
+                    let rest = if std::ptr::eq(this.as_ptr(), a.as_ptr()) {
+                        align_items(&this[end..], other, steps, depth + 1)
+                    } else {
+                        align_items(other, &this[end..], steps, depth + 1)
+                    };
+                    if let Some(rest) = rest {
+                        return Some(cons(head, rest));
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Single-item skips (stray text, labels).
+    for (this, other) in [(a, b), (b, a)] {
+        if matches!(this[0], RrItem::Text(_)) {
+            let head = RrItem::Optional(vec![this[0].clone()]);
+            let rest = if std::ptr::eq(this.as_ptr(), a.as_ptr()) {
+                align_items(&this[1..], other, steps, depth + 1)
+            } else {
+                align_items(other, &this[1..], steps, depth + 1)
+            };
+            if let Some(rest) = rest {
+                return Some(cons(head, rest));
+            }
+        }
+    }
+    None
+}
+
+fn cons(head: RrItem, rest: Vec<RrItem>) -> Vec<RrItem> {
+    let mut out = Vec::with_capacity(rest.len() + 1);
+    out.push(head);
+    out.extend(rest);
+    out
+}
+
+/// `Iterator(unit)` on one side meets raw content on the other: the
+/// iterator absorbs the other side's run of matching segments (>= 1).
+fn absorb_into_iterator(
+    unit: &[RrItem],
+    this_rest: &[RrItem],
+    other: &[RrItem],
+    steps: &mut usize,
+    depth: usize,
+) -> Option<Vec<RrItem>> {
+    let RrItem::Open(tag) = unit.first()? else {
+        return None;
+    };
+    let (count, end) = match other.first() {
+        Some(RrItem::Open(t)) if t == tag => segment_run(other, 0, tag),
+        _ => (0, 0),
+    };
+    if count == 0 {
+        return None;
+    }
+    let mut gen = unit.to_vec();
+    let mut cur = 0usize;
+    for _ in 0..count {
+        let seg_end = balanced_end(other, cur)?;
+        gen = align_items(&gen, &other[cur..seg_end], steps, depth + 1)?;
+        cur = seg_end;
+    }
+    debug_assert_eq!(cur, end);
+    let rest = align_items(this_rest, &other[end..], steps, depth + 1)?;
+    Some(cons(RrItem::Iterator(gen), rest))
+}
+
+/// `Optional(unit)` on one side meets raw content on the other: take
+/// the optional (align it against a matching balanced segment) or skip
+/// it.
+fn optional_vs_seq(
+    unit: &[RrItem],
+    this_rest: &[RrItem],
+    other: &[RrItem],
+    steps: &mut usize,
+    depth: usize,
+) -> Option<Vec<RrItem>> {
+    if let Some(RrItem::Open(tag)) = unit.first() {
+        if let Some(RrItem::Open(t)) = other.first() {
+            if t == tag {
+                if let Some(seg_end) = balanced_end(other, 0) {
+                    if let Some(gen) = align_items(unit, &other[..seg_end], steps, depth + 1) {
+                        if let Some(rest) =
+                            align_items(this_rest, &other[seg_end..], steps, depth + 1)
+                        {
+                            return Some(cons(RrItem::Optional(gen), rest));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Skip branch: the optional stays, the other side continues.
+    let rest = align_items(this_rest, other, steps, depth + 1)?;
+    Some(cons(RrItem::Optional(unit.to_vec()), rest))
+}
+
+/// Fold literal square copies that directly precede an equivalent
+/// `Iterator(square)` into the iterator: `sq sq (sq)+ ≡ (sq)+`.
+fn fold_squares(items: Vec<RrItem>) -> Vec<RrItem> {
+    let mut out: Vec<RrItem> = Vec::with_capacity(items.len());
+    for item in items {
+        let item = match item {
+            RrItem::Optional(inner) => RrItem::Optional(fold_squares(inner)),
+            RrItem::Iterator(inner) => RrItem::Iterator(fold_squares(inner)),
+            other => other,
+        };
+        if let RrItem::Iterator(square) = &item {
+            let n = square.len();
+            // Remove any number of compatible copies just before the
+            // iterator, generalizing the square as we go.
+            let mut merged = square.clone();
+            let mut removed = false;
+            while n > 0 && out.len() >= n && compatible_run(&out[out.len() - n..], &merged) {
+                let start = out.len() - n;
+                for (i, prev) in out[start..].iter().enumerate() {
+                    merged[i] = generalize_pair(prev, &merged[i]);
+                }
+                out.truncate(start);
+                removed = true;
+            }
+            if removed {
+                out.push(RrItem::Iterator(merged));
+                continue;
+            }
+        }
+        out.push(item);
+    }
+    out
+}
+
+fn compatible_run(prev: &[RrItem], square: &[RrItem]) -> bool {
+    prev.len() == square.len()
+        && prev
+            .iter()
+            .zip(square.iter())
+            .all(|(a, b)| items_compatible(a, b))
+}
+
+fn items_compatible(a: &RrItem, b: &RrItem) -> bool {
+    match (a, b) {
+        (RrItem::Open(x), RrItem::Open(y)) | (RrItem::Close(x), RrItem::Close(y)) => x == y,
+        (RrItem::Text(x), RrItem::Text(y)) => x == y,
+        (RrItem::Text(_), RrItem::Field)
+        | (RrItem::Field, RrItem::Text(_))
+        | (RrItem::Field, RrItem::Field) => true,
+        (RrItem::Optional(x), RrItem::Optional(y)) | (RrItem::Iterator(x), RrItem::Iterator(y)) => {
+            compatible_run(x, y)
+        }
+        _ => false,
+    }
+}
+
+fn generalize_pair(a: &RrItem, b: &RrItem) -> RrItem {
+    match (a, b) {
+        (RrItem::Text(x), RrItem::Text(y)) if x == y => a.clone(),
+        (RrItem::Text(_), RrItem::Text(_))
+        | (RrItem::Field, RrItem::Text(_))
+        | (RrItem::Text(_), RrItem::Field)
+        | (RrItem::Field, RrItem::Field) => RrItem::Field,
+        (RrItem::Optional(x), RrItem::Optional(y)) => RrItem::Optional(
+            x.iter()
+                .zip(y.iter())
+                .map(|(i, j)| generalize_pair(i, j))
+                .collect(),
+        ),
+        (RrItem::Iterator(x), RrItem::Iterator(y)) => RrItem::Iterator(
+            x.iter()
+                .zip(y.iter())
+                .map(|(i, j)| generalize_pair(i, j))
+                .collect(),
+        ),
+        _ => a.clone(),
+    }
+}
+
+/// Does one wrapper item strictly match one page token?
+fn item_strict_match(item: &RrItem, tok: &RrToken) -> bool {
+    match (item, tok) {
+        (RrItem::Open(a), RrToken::Open(b)) | (RrItem::Close(a), RrToken::Close(b)) => a == b,
+        (RrItem::Text(a), RrToken::Text(b)) => a == b,
+        (RrItem::Field, RrToken::Text(_)) => true,
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extraction
+// ---------------------------------------------------------------------
+
+/// A captured field value with its iteration context.
+#[derive(Debug, Clone)]
+struct Capture {
+    field: usize,
+    value: String,
+    /// Iteration index of the *dominant* iterator, if inside one.
+    iteration: Option<usize>,
+}
+
+impl RrWrapper {
+    /// Extract the records of one page.
+    ///
+    /// When the wrapper contains a dominant iterator (the one with the
+    /// most fields), each of its iterations yields one record;
+    /// otherwise the whole page is one record (the "too regular"
+    /// failure shape: every record's values in separate fields).
+    pub fn extract(&self, doc: &Document) -> Vec<FlatRecord> {
+        let tokens = rr_tokens(doc);
+        let dominant = dominant_iterator(&self.items);
+        let mut captures = Vec::new();
+        let mut steps = 0usize;
+        if capture_items(
+            &self.items,
+            &tokens,
+            0,
+            0,
+            dominant,
+            None,
+            &mut captures,
+            &mut steps,
+        )
+        .is_none()
+        {
+            return Vec::new();
+        }
+        assemble_records(&captures, self.arity)
+    }
+
+    /// Extract from every page.
+    pub fn extract_source(&self, docs: &[Document]) -> Vec<FlatRecord> {
+        docs.iter().flat_map(|d| self.extract(d)).collect()
+    }
+}
+
+/// Path (by item address) of the iterator containing the most fields.
+fn dominant_iterator(items: &[RrItem]) -> Option<*const Vec<RrItem>> {
+    fn walk(items: &[RrItem], best: &mut Option<(usize, *const Vec<RrItem>)>) {
+        for item in items {
+            match item {
+                RrItem::Iterator(inner) => {
+                    let f = count_fields(inner);
+                    if best.map(|(bf, _)| f > bf).unwrap_or(true) && f > 0 {
+                        *best = Some((f, inner as *const Vec<RrItem>));
+                    }
+                    walk(inner, best);
+                }
+                RrItem::Optional(inner) => walk(inner, best),
+                _ => {}
+            }
+        }
+    }
+    let mut best = None;
+    walk(items, &mut best);
+    best.map(|(_, p)| p)
+}
+
+/// Recursive capture-matching with backtracking. Returns the end
+/// position on success. `field_base` is the id of the first field in
+/// `items`; iterations of one iterator share field ids (multi-valued
+/// fields).
+#[allow(clippy::too_many_arguments)]
+fn capture_items(
+    items: &[RrItem],
+    page: &[RrToken],
+    pi: usize,
+    field_base: usize,
+    dominant: Option<*const Vec<RrItem>>,
+    iteration: Option<usize>,
+    captures: &mut Vec<Capture>,
+    steps: &mut usize,
+) -> Option<usize> {
+    *steps += 1;
+    if *steps > MAX_STEPS {
+        return None;
+    }
+    let Some((first, rest)) = items.split_first() else {
+        return Some(pi);
+    };
+    let first_fields = count_fields(std::slice::from_ref(first));
+    match first {
+        RrItem::Open(_) | RrItem::Close(_) | RrItem::Text(_) => {
+            if pi < page.len() && item_strict_match(first, &page[pi]) {
+                capture_items(
+                    rest,
+                    page,
+                    pi + 1,
+                    field_base,
+                    dominant,
+                    iteration,
+                    captures,
+                    steps,
+                )
+            } else {
+                None
+            }
+        }
+        RrItem::Field => {
+            if pi < page.len() {
+                if let RrToken::Text(s) = &page[pi] {
+                    captures.push(Capture {
+                        field: field_base,
+                        value: s.clone(),
+                        iteration,
+                    });
+                    let save = captures.len();
+                    match capture_items(
+                        rest,
+                        page,
+                        pi + 1,
+                        field_base + 1,
+                        dominant,
+                        iteration,
+                        captures,
+                        steps,
+                    ) {
+                        Some(end) => return Some(end),
+                        None => captures.truncate(save - 1),
+                    }
+                }
+            }
+            None
+        }
+        RrItem::Optional(inner) => {
+            // Take branch.
+            let save = captures.len();
+            if let Some(mid) = capture_items(
+                inner, page, pi, field_base, dominant, iteration, captures, steps,
+            ) {
+                if let Some(end) = capture_items(
+                    rest,
+                    page,
+                    mid,
+                    field_base + first_fields,
+                    dominant,
+                    iteration,
+                    captures,
+                    steps,
+                ) {
+                    return Some(end);
+                }
+            }
+            captures.truncate(save);
+            // Skip branch: fields inside still use up their ids.
+            capture_items(
+                rest,
+                page,
+                pi,
+                field_base + first_fields,
+                dominant,
+                iteration,
+                captures,
+                steps,
+            )
+        }
+        RrItem::Iterator(inner) => {
+            let is_dominant = dominant
+                .map(|d| std::ptr::eq(d, inner as *const Vec<RrItem>))
+                .unwrap_or(false);
+            // Greedy repetition with capture checkpoints.
+            let mut ends: Vec<(usize, usize)> = Vec::new(); // (page end, captures len)
+            let mut cur = pi;
+            loop {
+                let reps = ends.len();
+                let iter_ctx = if is_dominant { Some(reps) } else { iteration };
+                let save = captures.len();
+                match capture_items(
+                    inner, page, cur, field_base, dominant, iter_ctx, captures, steps,
+                ) {
+                    Some(end) if end > cur => {
+                        cur = end;
+                        ends.push((end, captures.len()));
+                    }
+                    _ => {
+                        captures.truncate(save);
+                        break;
+                    }
+                }
+            }
+            // Backtrack over repetition counts, minimum one.
+            while let Some(&(end, caps_len)) = ends.last() {
+                captures.truncate(caps_len);
+                if let Some(fin) = capture_items(
+                    rest,
+                    page,
+                    end,
+                    field_base + first_fields,
+                    dominant,
+                    iteration,
+                    captures,
+                    steps,
+                ) {
+                    return Some(fin);
+                }
+                ends.pop();
+                if let Some(&(_, prev_len)) = ends.last() {
+                    captures.truncate(prev_len);
+                } else {
+                    // Zero repetitions is not allowed.
+                    break;
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Group captures into records by the dominant iterator's iteration.
+fn assemble_records(captures: &[Capture], arity: usize) -> Vec<FlatRecord> {
+    let has_iterations = captures.iter().any(|c| c.iteration.is_some());
+    if !has_iterations {
+        if captures.is_empty() {
+            return Vec::new();
+        }
+        let mut rec = FlatRecord {
+            fields: vec![Vec::new(); arity],
+        };
+        for c in captures {
+            rec.fields[c.field].push(c.value.clone());
+        }
+        return vec![rec];
+    }
+    let max_iter = captures
+        .iter()
+        .filter_map(|c| c.iteration)
+        .max()
+        .unwrap_or(0);
+    let mut records = vec![
+        FlatRecord {
+            fields: vec![Vec::new(); arity],
+        };
+        max_iter + 1
+    ];
+    let mut shared: Vec<&Capture> = Vec::new();
+    for c in captures {
+        match c.iteration {
+            Some(it) => records[it].fields[c.field].push(c.value.clone()),
+            None => shared.push(c),
+        }
+    }
+    // Page-level fields are replicated onto every record.
+    for c in shared {
+        for rec in records.iter_mut() {
+            rec.fields[c.field].push(c.value.clone());
+        }
+    }
+    records.retain(|r| !r.is_empty());
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use objectrunner_html::parse;
+
+    fn list_page(records: &[(&str, &str)]) -> Document {
+        let recs: String = records
+            .iter()
+            .map(|(a, d)| format!("<li><b>{a}</b><i>{d}</i></li>"))
+            .collect();
+        parse(&format!("<html><body><ul>{recs}</ul></body></html>"))
+    }
+
+    #[test]
+    fn detail_pages_generalize_to_fields() {
+        let docs = vec![
+            parse("<html><body><h1>Emma</h1><p>Jane Austen</p></body></html>"),
+            parse("<html><body><h1>Dune</h1><p>Frank Herbert</p></body></html>"),
+        ];
+        let wrapper = induce(&docs).expect("wrapper");
+        assert_eq!(wrapper.arity, 2);
+        let unseen = parse("<html><body><h1>Ulysses</h1><p>James Joyce</p></body></html>");
+        let records = wrapper.extract(&unseen);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].fields[0], vec!["Ulysses"]);
+        assert_eq!(records[0].fields[1], vec!["James Joyce"]);
+    }
+
+    #[test]
+    fn varying_record_counts_discover_an_iterator() {
+        // Counts must differ by at least two: a single extra segment
+        // is indistinguishable from an optional region.
+        let docs = vec![
+            list_page(&[("A", "d1"), ("B", "d2")]),
+            list_page(&[("C", "d3"), ("D", "d4"), ("E", "d5"), ("F", "d6")]),
+        ];
+        let wrapper = induce(&docs).expect("wrapper");
+        assert!(
+            wrapper
+                .items
+                .iter()
+                .any(|i| matches!(i, RrItem::Iterator(_))),
+            "iterator expected: {:?}",
+            wrapper.items
+        );
+        let unseen = list_page(&[("X", "d8"), ("Y", "d9"), ("Z", "d10"), ("W", "d11")]);
+        let records = wrapper.extract(&unseen);
+        assert_eq!(records.len(), 4, "{records:?}");
+        assert_eq!(records[0].fields.iter().flatten().count(), 2);
+    }
+
+    #[test]
+    fn too_regular_lists_yield_one_record_with_many_fields() {
+        // Constant record count on every sample page: no mismatch at
+        // the list boundary, no iterator — the documented failure.
+        let docs = vec![
+            list_page(&[("A", "d1"), ("B", "d2")]),
+            list_page(&[("C", "d3"), ("D", "d4")]),
+            list_page(&[("E", "d5"), ("F", "d6")]),
+        ];
+        let wrapper = induce(&docs).expect("wrapper");
+        assert!(
+            !wrapper.items.iter().any(|i| matches!(i, RrItem::Iterator(_))),
+            "no iterator should be discovered on constant-count lists"
+        );
+        assert_eq!(wrapper.arity, 4, "each record's values become fields");
+        let unseen = list_page(&[("X", "d8"), ("Y", "d9")]);
+        let records = wrapper.extract(&unseen);
+        assert_eq!(records.len(), 1, "one page-record, fields separate");
+    }
+
+    #[test]
+    fn optional_regions_are_discovered() {
+        let docs = vec![
+            parse("<html><body><h1>T1</h1><em>sale</em><p>A1</p></body></html>"),
+            parse("<html><body><h1>T2</h1><p>A2</p></body></html>"),
+        ];
+        let wrapper = induce(&docs).expect("wrapper");
+        assert!(
+            wrapper
+                .items
+                .iter()
+                .any(|i| matches!(i, RrItem::Optional(_))),
+            "{:?}",
+            wrapper.items
+        );
+        // Both shapes extract.
+        let with = parse("<html><body><h1>T3</h1><em>sale</em><p>A3</p></body></html>");
+        let without = parse("<html><body><h1>T4</h1><p>A4</p></body></html>");
+        assert_eq!(wrapper.extract(&with).len(), 1);
+        assert_eq!(wrapper.extract(&without).len(), 1);
+    }
+
+    #[test]
+    fn too_few_pages_is_an_error() {
+        let docs = vec![list_page(&[("A", "d")])];
+        assert_eq!(induce(&docs).expect_err("too few"), RrError::TooFewPages);
+    }
+
+    #[test]
+    fn extraction_on_mismatched_page_is_empty() {
+        let docs = vec![
+            list_page(&[("A", "d1")]),
+            list_page(&[("B", "d2"), ("C", "d3")]),
+        ];
+        let wrapper = induce(&docs).expect("wrapper");
+        let alien = parse("<html><body><table><tr><td>x</td></tr></table></body></html>");
+        assert!(wrapper.extract(&alien).is_empty());
+    }
+
+    #[test]
+    fn rr_tokens_treat_text_nodes_whole() {
+        let doc = parse("<p>two words</p>");
+        let toks = rr_tokens(&doc);
+        assert_eq!(
+            toks,
+            vec![
+                RrToken::Open("p".into()),
+                RrToken::Text("two words".into()),
+                RrToken::Close("p".into()),
+            ]
+        );
+    }
+}

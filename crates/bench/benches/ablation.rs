@@ -1,0 +1,52 @@
+//! E9 — ablations of the design choices DESIGN.md calls out:
+//! the annotated-word guard, main-block simplification, ordinal
+//! differentiation, and the support parameter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use objectrunner_bench::{bench_config, bench_pipeline, bench_source};
+use objectrunner_core::pipeline::PipelineConfig;
+use objectrunner_webgen::Domain;
+use std::hint::black_box;
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let source = bench_source(Domain::Albums, 30);
+
+    let configs: Vec<(&str, PipelineConfig)> = vec![
+        ("baseline", bench_config()),
+        (
+            "no_annotations_guard",
+            PipelineConfig {
+                annotations_guard: false,
+                ..bench_config()
+            },
+        ),
+        (
+            "no_main_block",
+            PipelineConfig {
+                use_main_block: false,
+                ..bench_config()
+            },
+        ),
+        (
+            "support_5_only",
+            PipelineConfig {
+                support_range: (5, 5),
+                ..bench_config()
+            },
+        ),
+    ];
+    for (label, config) in configs {
+        group.bench_function(BenchmarkId::new("pipeline", label), |b| {
+            b.iter(|| {
+                let pipeline = bench_pipeline(Domain::Albums, config.clone());
+                black_box(pipeline.run_on_html(&source.pages).ok())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

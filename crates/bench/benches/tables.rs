@@ -1,0 +1,28 @@
+//! Per-source end-to-end timing for each compared system — the
+//! workload behind Tables I and III (one clean source per system).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use objectrunner_bench::bench_source;
+use objectrunner_core::sample::SampleStrategy;
+use objectrunner_eval::runners::{run_exalg, run_objectrunner, run_roadrunner};
+use objectrunner_webgen::Domain;
+use std::hint::black_box;
+
+fn systems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_source_system");
+    group.sample_size(10);
+    let source = bench_source(Domain::Cars, 30);
+    group.bench_function(BenchmarkId::new("system", "objectrunner"), |b| {
+        b.iter(|| black_box(run_objectrunner(&source, SampleStrategy::SodBased)))
+    });
+    group.bench_function(BenchmarkId::new("system", "exalg"), |b| {
+        b.iter(|| black_box(run_exalg(&source)))
+    });
+    group.bench_function(BenchmarkId::new("system", "roadrunner"), |b| {
+        b.iter(|| black_box(run_roadrunner(&source)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, systems);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! # objectrunner-bench
+//!
+//! Criterion benchmarks for the ObjectRunner reproduction:
+//!
+//! * `wrapping_time` — wrapper-generation wall-clock per domain (the
+//!   paper reports 4–9 s per source on 2012 hardware; §IV) and the
+//!   "negligible" extraction time.
+//! * `annotation` — recognizer/annotation throughput (Algorithm 1's
+//!   dominant cost).
+//! * `html_parsing` — the substrate: tokenizer, DOM builder, cleaner,
+//!   layout/segmentation.
+//! * `tables` — end-to-end per-source timing for each system (the
+//!   comparison workload behind Tables I/III).
+//! * `ablation` — design-choice ablations called out in DESIGN.md:
+//!   annotations guard on/off, main-block simplification on/off,
+//!   ordinal differentiation on/off, support parameter 3/4/5.
+//!
+//! Shared fixtures live here so benches stay small.
+
+use objectrunner_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
+use objectrunner_core::sample::SampleConfig;
+use objectrunner_webgen::{generate_site, knowledge, Domain, PageKind, SiteSpec, Source};
+
+/// A deterministic benchmark source per domain.
+pub fn bench_source(domain: Domain, pages: usize) -> Source {
+    let spec = SiteSpec::clean(
+        &format!("bench-{}", domain.name()),
+        domain,
+        PageKind::List,
+        pages,
+        0xbe9c + pages as u64,
+    );
+    generate_site(&spec)
+}
+
+/// The standard pipeline for a benchmark source.
+pub fn bench_pipeline(domain: Domain, config: PipelineConfig) -> Pipeline {
+    Pipeline::new(domain.sod(), knowledge::recognizers_for(domain, 0.2)).with_config(config)
+}
+
+/// Default benchmark pipeline configuration (sample of 20 pages).
+pub fn bench_config() -> PipelineConfig {
+    PipelineConfig {
+        sample: SampleConfig {
+            sample_size: 20,
+            ..SampleConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+/// Run the full pipeline on a source; panics on failure (benchmark
+/// sources are clean by construction).
+pub fn run_pipeline(domain: Domain, source: &Source, config: PipelineConfig) -> PipelineOutcome {
+    bench_pipeline(domain, config)
+        .run_on_html(&source.pages)
+        .expect("benchmark source wraps")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_and_run() {
+        let source = bench_source(Domain::Cars, 10);
+        assert_eq!(source.pages.len(), 10);
+        let outcome = run_pipeline(
+            Domain::Cars,
+            &source,
+            PipelineConfig {
+                sample: SampleConfig {
+                    sample_size: 8,
+                    ..SampleConfig::default()
+                },
+                ..PipelineConfig::default()
+            },
+        );
+        assert!(!outcome.objects.is_empty());
+    }
+}

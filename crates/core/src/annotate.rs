@@ -1,0 +1,292 @@
+//! Automatic annotation of pages (paper §III-B).
+//!
+//! "The annotation is done by assigning an attribute to the DOM node
+//! containing the text that matched the given type. Multiple
+//! annotations may be assigned to a given node. … Annotations will
+//! also be propagated upwards in the DOM tree to ancestors as long as
+//! these nodes have only one child (i.e., on a linear path) or all
+//! children have the same annotation."
+
+use objectrunner_html::{Document, NodeId, NodeKind};
+use objectrunner_knowledge::recognizer::RecognizerSet;
+use std::collections::HashMap;
+
+/// One type annotation on a DOM node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    /// The entity type name from the SOD.
+    pub type_name: String,
+    /// Recognizer confidence.
+    pub confidence: f64,
+}
+
+/// A page together with its node annotations.
+#[derive(Debug, Clone)]
+pub struct AnnotatedPage {
+    pub doc: Document,
+    /// Annotations per node; absent key = unannotated.
+    pub annotations: HashMap<NodeId, Vec<Annotation>>,
+}
+
+impl AnnotatedPage {
+    /// Annotations on a node (empty slice when none).
+    pub fn annotations_of(&self, id: NodeId) -> &[Annotation] {
+        self.annotations.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The single *best* annotation of a node, if any: highest
+    /// confidence wins; ties broken by type name for determinism.
+    pub fn best_annotation(&self, id: NodeId) -> Option<&Annotation> {
+        self.annotations_of(id).iter().max_by(|a, b| {
+            a.confidence
+                .partial_cmp(&b.confidence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.type_name.cmp(&a.type_name))
+        })
+    }
+
+    /// Number of annotation assignments of a given type on the page.
+    pub fn count_of_type(&self, type_name: &str) -> usize {
+        self.annotations
+            .values()
+            .flatten()
+            .filter(|a| a.type_name == type_name)
+            .count()
+    }
+
+    /// Total number of annotated nodes.
+    pub fn annotated_node_count(&self) -> usize {
+        self.annotations.len()
+    }
+}
+
+/// Annotate a page against every type of `recognizers` (or a chosen
+/// subset via [`annotate_page_types`]).
+pub fn annotate_page(doc: Document, recognizers: &RecognizerSet) -> AnnotatedPage {
+    let types: Vec<&str> = recognizers.annotation_order();
+    annotate_page_types(doc, recognizers, &types)
+}
+
+/// Annotate a page against the listed types only (Algorithm 1
+/// processes types in selectivity order and may stop early; the caller
+/// controls which types run).
+pub fn annotate_page_types(
+    doc: Document,
+    recognizers: &RecognizerSet,
+    types: &[&str],
+) -> AnnotatedPage {
+    let mut page = AnnotatedPage {
+        doc,
+        annotations: HashMap::new(),
+    };
+    for &type_name in types {
+        annotate_type(&mut page, recognizers, type_name);
+    }
+    propagate_upwards(&mut page);
+    page
+}
+
+/// Add annotations of one more type to an already-annotated page
+/// (one "annotation round" of Algorithm 1).
+pub fn annotate_type(page: &mut AnnotatedPage, recognizers: &RecognizerSet, type_name: &str) {
+    let Some(recognizer) = recognizers.get(type_name) else {
+        return;
+    };
+    let text_nodes: Vec<(NodeId, String)> = page
+        .doc
+        .descendants(page.doc.root())
+        .filter_map(|id| match &page.doc.node(id).kind {
+            NodeKind::Text(t) => Some((id, t.clone())),
+            _ => None,
+        })
+        .collect();
+    for (id, text) in text_nodes {
+        if let Some(m) = recognizer.recognize(&text) {
+            let anns = page.annotations.entry(id).or_default();
+            if !anns.iter().any(|a| a.type_name == type_name) {
+                anns.push(Annotation {
+                    type_name: type_name.to_owned(),
+                    confidence: m.confidence * m.coverage.max(0.5),
+                });
+            }
+        }
+    }
+}
+
+/// Upward propagation: an element inherits an annotation when it has a
+/// single annotated child, or when all children carry the same
+/// annotation type.
+pub fn propagate_upwards(page: &mut AnnotatedPage) {
+    // Bottom-up order: process nodes by decreasing depth.
+    let mut nodes: Vec<(usize, NodeId)> = page
+        .doc
+        .descendants(page.doc.root())
+        .map(|id| (objectrunner_html::path::depth(&page.doc, id), id))
+        .collect();
+    nodes.sort_by(|a, b| b.0.cmp(&a.0));
+
+    for (_, id) in nodes {
+        if !matches!(page.doc.node(id).kind, NodeKind::Element { .. }) {
+            continue;
+        }
+        let children = page.doc.children(id).to_vec();
+        if children.is_empty() {
+            continue;
+        }
+        let inherited: Option<Annotation> = if children.len() == 1 {
+            page.best_annotation(children[0]).cloned()
+        } else {
+            // All children share one annotation type?
+            let first = page.best_annotation(children[0]).cloned();
+            match first {
+                Some(ann)
+                    if children.iter().all(|&c| {
+                        page.best_annotation(c)
+                            .map(|a| a.type_name == ann.type_name)
+                            .unwrap_or(false)
+                    }) =>
+                {
+                    Some(ann)
+                }
+                _ => None,
+            }
+        };
+        if let Some(ann) = inherited {
+            let anns = page.annotations.entry(id).or_default();
+            if !anns.iter().any(|a| a.type_name == ann.type_name) {
+                anns.push(ann);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use objectrunner_html::parse;
+    use objectrunner_knowledge::gazetteer::Gazetteer;
+    use objectrunner_knowledge::recognizer::Recognizer;
+
+    fn concert_recognizers() -> RecognizerSet {
+        let mut artists = Gazetteer::new();
+        artists.insert("Metallica", 0.95, 5.0);
+        artists.insert("Madonna", 0.92, 8.0);
+        let mut set = RecognizerSet::new();
+        set.insert("artist", Recognizer::dictionary(artists));
+        set.insert("date", Recognizer::predefined_date());
+        set
+    }
+
+    #[test]
+    fn annotates_matching_text_nodes() {
+        let doc = parse("<li><div>Metallica</div><div>Monday May 11, 8:00pm</div></li>");
+        let page = annotate_page(doc, &concert_recognizers());
+        let texts: Vec<NodeId> = page
+            .doc
+            .descendants(page.doc.root())
+            .filter(|&id| matches!(page.doc.node(id).kind, NodeKind::Text(_)))
+            .collect();
+        assert_eq!(
+            page.best_annotation(texts[0]).expect("artist ann").type_name,
+            "artist"
+        );
+        assert_eq!(
+            page.best_annotation(texts[1]).expect("date ann").type_name,
+            "date"
+        );
+    }
+
+    #[test]
+    fn propagates_to_single_child_ancestors() {
+        // <div><span><a>Metallica</a></span></div>: the paper's linear
+        // path — all three elements get the artist annotation.
+        let doc = parse("<div><span><a>Metallica</a></span></div>");
+        let page = annotate_page(doc, &concert_recognizers());
+        for tag in ["a", "span", "div"] {
+            let el = page.doc.elements_by_tag(page.doc.root(), tag)[0];
+            assert_eq!(
+                page.best_annotation(el).map(|a| a.type_name.as_str()),
+                Some("artist"),
+                "tag {tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn propagates_when_all_children_agree() {
+        let mut g = Gazetteer::new();
+        g.insert("Jane Austen", 0.9, 3.0);
+        g.insert("Fiona Stafford", 0.9, 3.0);
+        let mut set = RecognizerSet::new();
+        set.insert("author", Recognizer::dictionary(g));
+        let doc = parse("<span><b>Jane Austen</b><b>Fiona Stafford</b></span>");
+        let page = annotate_page(doc, &set);
+        let span = page.doc.elements_by_tag(page.doc.root(), "span")[0];
+        assert_eq!(
+            page.best_annotation(span).map(|a| a.type_name.as_str()),
+            Some("author")
+        );
+    }
+
+    #[test]
+    fn does_not_propagate_across_mixed_children() {
+        let doc = parse("<li><div>Metallica</div><div>Monday May 11, 8:00pm</div></li>");
+        let page = annotate_page(doc, &concert_recognizers());
+        let li = page.doc.elements_by_tag(page.doc.root(), "li")[0];
+        assert!(page.best_annotation(li).is_none());
+    }
+
+    #[test]
+    fn unmatched_text_is_unannotated() {
+        let doc = parse("<div>some random words</div>");
+        let page = annotate_page(doc, &concert_recognizers());
+        assert_eq!(page.annotated_node_count(), 0);
+    }
+
+    #[test]
+    fn multiple_annotations_on_one_node() {
+        // "10019" is both a plausible zip (address) and matched by a
+        // dictionary — multiple annotations must coexist.
+        let mut g = Gazetteer::new();
+        g.insert("10019", 0.6, 2.0);
+        let mut set = RecognizerSet::new();
+        set.insert("zipcode_dict", Recognizer::dictionary(g));
+        set.insert("address", Recognizer::predefined_address());
+        let doc = parse("<span>10019</span>");
+        let page = annotate_page(doc, &set);
+        let text = page
+            .doc
+            .descendants(page.doc.root())
+            .find(|&id| matches!(page.doc.node(id).kind, NodeKind::Text(_)))
+            .expect("text node");
+        assert_eq!(page.annotations_of(text).len(), 2);
+    }
+
+    #[test]
+    fn count_of_type_counts_assignments() {
+        let doc = parse("<ul><li>Metallica</li><li>Madonna</li></ul>");
+        let page = annotate_page(doc, &concert_recognizers());
+        // 2 text nodes + 2 propagated to <li> (single child each); the
+        // <ul> also inherits since both children agree.
+        assert!(page.count_of_type("artist") >= 4);
+    }
+
+    #[test]
+    fn incremental_round_api() {
+        let doc = parse("<div>Metallica</div>");
+        let recs = concert_recognizers();
+        let mut page = AnnotatedPage {
+            doc,
+            annotations: HashMap::new(),
+        };
+        annotate_type(&mut page, &recs, "artist");
+        assert_eq!(page.annotated_node_count(), 1);
+        annotate_type(&mut page, &recs, "artist"); // idempotent
+        let text = page
+            .doc
+            .descendants(page.doc.root())
+            .find(|&id| matches!(page.doc.node(id).kind, NodeKind::Text(_)))
+            .expect("text");
+        assert_eq!(page.annotations_of(text).len(), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! De-duplication and cross-source object integration (the
+//! "De-duplication" stage of the ObjectRunner architecture, Fig. 1).
+//!
+//! "As Web data tends to be very redundant, the concerts one can find
+//! in the yellowpages.com site are precisely the ones from zvents.com"
+//! (§IV-B2) — the system-level bet is that objects lost on one source
+//! reappear on another, so integrating extractions across sources both
+//! removes duplicates and fills gaps.
+
+use objectrunner_sod::Instance;
+use std::collections::HashMap;
+
+/// Normalization used to compare attribute values across sources.
+pub fn normalize_value(v: &str) -> String {
+    v.split_whitespace()
+        .map(|w| w.trim_matches(|c: char| !c.is_alphanumeric()))
+        .filter(|w| !w.is_empty())
+        .collect::<Vec<_>>()
+        .join(" ")
+        .to_lowercase()
+}
+
+/// The identity key of an object: its normalized `(type, value)` pairs
+/// restricted to the given key attributes (or all attributes when the
+/// list is empty), order-insensitive.
+pub fn object_key(instance: &Instance, key_attrs: &[&str]) -> String {
+    let mut pairs: Vec<String> = instance
+        .flatten()
+        .into_iter()
+        .filter(|(t, _)| key_attrs.is_empty() || key_attrs.contains(t))
+        .map(|(t, v)| format!("{t}={}", normalize_value(v)))
+        .collect();
+    pairs.sort();
+    pairs.join("|")
+}
+
+/// Statistics of one integration run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DedupReport {
+    /// Objects seen across all inputs.
+    pub input_objects: usize,
+    /// Distinct objects after de-duplication.
+    pub distinct_objects: usize,
+    /// Duplicates removed.
+    pub duplicates: usize,
+    /// Objects whose surviving representative gained attributes from a
+    /// duplicate (gap filling).
+    pub fused: usize,
+}
+
+/// De-duplicate objects across sources.
+///
+/// Objects sharing the same [`object_key`] over `key_attrs` are
+/// merged: the representative keeps the union of attribute fields
+/// (preferring the more complete instance), so a source that misses an
+/// optional attribute is completed by one that has it.
+pub fn deduplicate(objects: Vec<Instance>, key_attrs: &[&str]) -> (Vec<Instance>, DedupReport) {
+    let mut report = DedupReport {
+        input_objects: objects.len(),
+        ..DedupReport::default()
+    };
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut out: Vec<Instance> = Vec::new();
+    for object in objects {
+        let key = object_key(&object, key_attrs);
+        match index.get(&key) {
+            None => {
+                index.insert(key, out.len());
+                out.push(object);
+            }
+            Some(&i) => {
+                report.duplicates += 1;
+                if let Some(fused) = fuse(&out[i], &object) {
+                    out[i] = fused;
+                    report.fused += 1;
+                }
+            }
+        }
+    }
+    report.distinct_objects = out.len();
+    (out, report)
+}
+
+/// Merge `b` into `a` when `b` carries attribute fields `a` lacks.
+/// Returns the fused instance, or `None` when `a` already subsumes `b`.
+fn fuse(a: &Instance, b: &Instance) -> Option<Instance> {
+    let (Instance::Tuple { name, fields: fa }, Instance::Tuple { fields: fb, .. }) = (a, b)
+    else {
+        return None;
+    };
+    let have: Vec<&str> = fa.iter().filter_map(field_type).collect();
+    let extra: Vec<Instance> = fb
+        .iter()
+        .filter(|f| field_type(f).map(|t| !have.contains(&t)).unwrap_or(false))
+        .cloned()
+        .collect();
+    if extra.is_empty() {
+        return None;
+    }
+    let mut fields = fa.clone();
+    fields.extend(extra);
+    Some(Instance::Tuple {
+        name: name.clone(),
+        fields,
+    })
+}
+
+/// The entity type a tuple field carries (first atomic type found).
+fn field_type(field: &Instance) -> Option<&str> {
+    match field {
+        Instance::Atomic { type_name, .. } => Some(type_name),
+        Instance::Set(items) => items.first().and_then(field_type),
+        Instance::Tuple { fields, .. } => fields.first().and_then(field_type),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn concert(artist: &str, date: &str, venue: Option<&str>) -> Instance {
+        let mut fields = vec![
+            Instance::atomic("artist", artist),
+            Instance::atomic("date", date),
+        ];
+        if let Some(v) = venue {
+            fields.push(Instance::atomic("venue", v));
+        }
+        Instance::Tuple {
+            name: "concert".to_owned(),
+            fields,
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_collapse() {
+        let objects = vec![
+            concert("Metallica", "May 11, 2010", Some("MSG")),
+            concert("Metallica", "May 11, 2010", Some("MSG")),
+            concert("Muse", "May 12, 2010", Some("MSG")),
+        ];
+        let (distinct, report) = deduplicate(objects, &[]);
+        assert_eq!(distinct.len(), 2);
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(report.fused, 0);
+    }
+
+    #[test]
+    fn normalization_bridges_formatting_differences() {
+        let objects = vec![
+            concert("Metallica", "May 11, 2010", None),
+            concert("METALLICA", "may 11 2010", None),
+        ];
+        let (distinct, report) = deduplicate(objects, &[]);
+        assert_eq!(distinct.len(), 1);
+        assert_eq!(report.duplicates, 1);
+    }
+
+    #[test]
+    fn key_attributes_restrict_identity() {
+        // Same artist+date from two sources, one with venue, one
+        // without: keyed on (artist, date) they are the same concert.
+        let objects = vec![
+            concert("Metallica", "May 11, 2010", None),
+            concert("Metallica", "May 11, 2010", Some("Madison Square Garden")),
+        ];
+        let (distinct, report) = deduplicate(objects, &["artist", "date"]);
+        assert_eq!(distinct.len(), 1);
+        assert_eq!(report.fused, 1, "venue must be fused in");
+        let mut venues = Vec::new();
+        distinct[0].values_of_type("venue", &mut venues);
+        assert_eq!(venues, vec!["Madison Square Garden"]);
+    }
+
+    #[test]
+    fn different_objects_are_kept() {
+        let objects = vec![
+            concert("Metallica", "May 11, 2010", None),
+            concert("Metallica", "May 12, 2010", None),
+        ];
+        let (distinct, _) = deduplicate(objects, &["artist", "date"]);
+        assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let objects = vec![
+            concert("A", "d1", None),
+            concert("A", "d1", None),
+            concert("A", "d1", Some("v")),
+            concert("B", "d2", None),
+        ];
+        let (distinct, report) = deduplicate(objects, &["artist", "date"]);
+        assert_eq!(report.input_objects, 4);
+        assert_eq!(report.distinct_objects, distinct.len());
+        assert_eq!(
+            report.input_objects,
+            report.distinct_objects + report.duplicates
+        );
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (distinct, report) = deduplicate(Vec::new(), &[]);
+        assert!(distinct.is_empty());
+        assert_eq!(report, DedupReport::default());
+    }
+}

@@ -1,0 +1,688 @@
+//! Equivalence classes over dtokens (paper §III-C).
+//!
+//! "An equivalence class denotes a set of tokens having the same
+//! frequency of occurrences in each input page and a role that is
+//! deemed unique among tokens. … Consecutive iterations refine the
+//! equivalence classes until a fix-point is reached, while at each
+//! step the invalid classes are discarded (following the guideline
+//! that information, i.e. classes, should be properly ordered or
+//! nested)."
+//!
+//! A class is **ordered** when, on every page, the occurrences of its
+//! roles factor into `c` consecutive instances of one fixed role
+//! permutation; two classes are **consistent** when their instance
+//! spans are pairwise nested or disjoint.
+
+use crate::tokens::{RoleId, SourceTokens};
+use std::collections::HashMap;
+
+/// Parameters of the class analysis.
+#[derive(Debug, Clone)]
+pub struct EqConfig {
+    /// Minimum number of pages a role must occur in to join a class
+    /// (the paper varies this "support" between 3 and 5).
+    pub min_support: usize,
+    /// Minimum class size in roles.
+    pub min_roles: usize,
+    /// ObjectRunner mode: word occurrences carrying SOD annotations
+    /// never join template classes ("relevant data … may be considered
+    /// 'too regular', hence part of the page's template, by techniques
+    /// that are oblivious to semantics").
+    pub annotations_guard: bool,
+}
+
+impl Default for EqConfig {
+    fn default() -> Self {
+        EqConfig {
+            min_support: 3,
+            min_roles: 2,
+            annotations_guard: true,
+        }
+    }
+}
+
+/// One instance span: inclusive occurrence-index range on a page.
+pub type Span = (usize, usize);
+
+/// A valid equivalence class.
+#[derive(Debug, Clone)]
+pub struct EqClass {
+    /// Index into [`EqAnalysis::classes`].
+    pub id: usize,
+    /// Member roles (unordered).
+    pub roles: Vec<RoleId>,
+    /// Occurrences per page (shared by all member roles).
+    pub vector: Vec<u32>,
+    /// Per-instance role order.
+    pub permutation: Vec<RoleId>,
+    /// `spans[page]` = instance spans on that page, in order.
+    pub spans: Vec<Vec<Span>>,
+}
+
+impl EqClass {
+    /// Total instance count across pages.
+    pub fn instance_count(&self) -> usize {
+        self.spans.iter().map(Vec::len).sum()
+    }
+
+    /// Number of pages on which the class occurs.
+    pub fn support(&self) -> usize {
+        self.vector.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Is this the page-skeleton class (exactly once per page)?
+    pub fn is_skeleton(&self) -> bool {
+        self.vector.iter().all(|&c| c == 1)
+    }
+}
+
+/// The outcome of one class-finding round.
+#[derive(Debug, Clone, Default)]
+pub struct EqAnalysis {
+    /// Valid classes (invalid ones were repaired or discarded).
+    pub classes: Vec<EqClass>,
+    /// `parent[class]` = tightest enclosing class, if any.
+    pub parent: Vec<Option<usize>>,
+    /// Role → owning class.
+    pub role_class: HashMap<RoleId, usize>,
+    /// Roles evicted while repairing invalid classes.
+    pub evicted: Vec<RoleId>,
+    /// Classes discarded for nesting violations (diagnostic count).
+    pub discarded_classes: usize,
+}
+
+impl EqAnalysis {
+    /// The tightest class instance span containing occurrence `pos` on
+    /// `page`, as `(class, instance_index)`.
+    pub fn enclosing_instance(&self, page: usize, pos: usize) -> Option<(usize, usize)> {
+        self.enclosing_instance_excluding(page, pos, None)
+    }
+
+    /// Like [`Self::enclosing_instance`], ignoring one class (used
+    /// when asking for the context *around* a class's own tokens).
+    pub fn enclosing_instance_excluding(
+        &self,
+        page: usize,
+        pos: usize,
+        exclude: Option<usize>,
+    ) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize, usize)> = None; // (class, inst, width)
+        for class in &self.classes {
+            if Some(class.id) == exclude {
+                continue;
+            }
+            for (i, &(s, e)) in class.spans[page].iter().enumerate() {
+                if s <= pos && pos <= e {
+                    let width = e - s;
+                    if best.map(|(_, _, w)| width < w).unwrap_or(true) {
+                        best = Some((class.id, i, width));
+                    }
+                }
+            }
+        }
+        best.map(|(c, i, _)| (c, i))
+    }
+
+    /// Direct children of a class in the nesting hierarchy.
+    pub fn children_of(&self, class: Option<usize>) -> Vec<usize> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|&(_, p)| *p == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Find equivalence classes over the current roles of `src`.
+pub fn find_classes(src: &SourceTokens, cfg: &EqConfig) -> EqAnalysis {
+    let vectors = src.occurrence_vectors();
+    let page_count = src.pages.len();
+
+    // Candidate roles: frequent enough, and in OR mode not
+    // annotation-bearing data words.
+    let mut annotated_word_roles: HashMap<RoleId, bool> = HashMap::new();
+    let mut tag_roles: HashMap<RoleId, bool> = HashMap::new();
+    for page in &src.pages {
+        for occ in &page.occs {
+            let is_tag = occ.is_tag();
+            *tag_roles.entry(occ.role).or_insert(is_tag) &= is_tag;
+            if !is_tag && occ.annotation.is_some() {
+                annotated_word_roles.insert(occ.role, true);
+            }
+        }
+    }
+
+    let mut groups: HashMap<Vec<u32>, Vec<RoleId>> = HashMap::new();
+    for (r, vector) in vectors.iter().enumerate() {
+        let role = RoleId(r as u32);
+        let support = vector.iter().filter(|&&c| c > 0).count();
+        if support < cfg.min_support.min(page_count) {
+            continue;
+        }
+        if cfg.annotations_guard
+            && !tag_roles.get(&role).copied().unwrap_or(false)
+            && annotated_word_roles.get(&role).copied().unwrap_or(false)
+        {
+            continue;
+        }
+        groups.entry(vector.clone()).or_default().push(role);
+    }
+
+    // Deterministic order: by vector (desc total, then lexicographic).
+    let mut grouped: Vec<(Vec<u32>, Vec<RoleId>)> = groups.into_iter().collect();
+    grouped.sort_by(|a, b| {
+        let ta: u32 = a.0.iter().sum();
+        let tb: u32 = b.0.iter().sum();
+        ta.cmp(&tb).then_with(|| a.0.cmp(&b.0))
+    });
+
+    let mut analysis = EqAnalysis::default();
+    for (vector, mut roles) in grouped {
+        roles.sort_unstable();
+        if roles.len() < cfg.min_roles {
+            continue;
+        }
+        // Template structure is tag-delimited: a class made solely of
+        // words is a co-occurring data phrase ("A Study of …"), not
+        // template. Label words still join classes alongside tags.
+        if !roles
+            .iter()
+            .any(|&r| tag_roles.get(&r).copied().unwrap_or(false))
+        {
+            continue;
+        }
+        match validate_ordered(src, &vector, roles, &mut analysis.evicted, cfg.min_roles) {
+            Some((roles, permutation, spans)) => {
+                let id = analysis.classes.len();
+                analysis.classes.push(EqClass {
+                    id,
+                    roles,
+                    vector: vector.clone(),
+                    permutation,
+                    spans,
+                });
+            }
+            None => {}
+        }
+    }
+
+    enforce_nesting(&mut analysis);
+    build_hierarchy(&mut analysis);
+    for class in &analysis.classes {
+        for &r in &class.roles {
+            analysis.role_class.insert(r, class.id);
+        }
+    }
+    analysis
+}
+
+/// Ordered-class validation with violating-role eviction.
+///
+/// Returns `(roles, permutation, spans)` when a consistent repetition
+/// structure exists (possibly after evicting roles), `None` otherwise.
+fn validate_ordered(
+    src: &SourceTokens,
+    vector: &[u32],
+    mut roles: Vec<RoleId>,
+    evicted: &mut Vec<RoleId>,
+    min_roles: usize,
+) -> Option<(Vec<RoleId>, Vec<RoleId>, Vec<Vec<Span>>)> {
+    loop {
+        if roles.len() < min_roles {
+            return None;
+        }
+        match try_factor(src, vector, &roles) {
+            Ok((permutation, spans)) => return Some((roles, permutation, spans)),
+            Err(worst) => {
+                evicted.push(worst);
+                roles.retain(|&r| r != worst);
+            }
+        }
+    }
+}
+
+/// Try to factor the roles' merged occurrence sequence into repeated
+/// permutations. On failure, report the role with the most order
+/// violations.
+fn try_factor(
+    src: &SourceTokens,
+    vector: &[u32],
+    roles: &[RoleId],
+) -> Result<(Vec<RoleId>, Vec<Vec<Span>>), RoleId> {
+    let role_set: std::collections::HashSet<RoleId> = roles.iter().copied().collect();
+    let k = roles.len();
+    let mut permutation: Option<Vec<RoleId>> = None;
+    let mut spans: Vec<Vec<Span>> = Vec::with_capacity(src.pages.len());
+    let mut violations: HashMap<RoleId, usize> = HashMap::new();
+    let mut ok = true;
+
+    for (p, page) in src.pages.iter().enumerate() {
+        let c = vector[p] as usize;
+        let mut page_spans = Vec::with_capacity(c);
+        if c == 0 {
+            spans.push(page_spans);
+            continue;
+        }
+        let seq: Vec<(usize, RoleId)> = page
+            .occs
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| role_set.contains(&o.role))
+            .map(|(i, o)| (i, o.role))
+            .collect();
+        debug_assert_eq!(seq.len(), c * k, "vector equality guarantees counts");
+        for inst in 0..c {
+            let window = &seq[inst * k..(inst + 1) * k];
+            let inst_roles: Vec<RoleId> = window.iter().map(|&(_, r)| r).collect();
+            // Each instance must contain each role exactly once.
+            let mut sorted = inst_roles.clone();
+            sorted.sort_unstable();
+            let mut expect = roles.to_vec();
+            expect.sort_unstable();
+            if sorted != expect {
+                // Blame roles that repeat within the window.
+                let mut seen = std::collections::HashSet::new();
+                for &r in &inst_roles {
+                    if !seen.insert(r) {
+                        *violations.entry(r).or_insert(0) += 1;
+                    }
+                }
+                ok = false;
+                continue;
+            }
+            match &permutation {
+                None => permutation = Some(inst_roles),
+                Some(perm) => {
+                    if *perm != inst_roles {
+                        for (expected, &got) in perm.iter().zip(inst_roles.iter()) {
+                            if *expected != got {
+                                *violations.entry(got).or_insert(0) += 1;
+                            }
+                        }
+                        ok = false;
+                    }
+                }
+            }
+            page_spans.push((window[0].0, window[k - 1].0));
+        }
+        spans.push(page_spans);
+    }
+
+    if ok {
+        Ok((permutation.expect("c>0 somewhere"), spans))
+    } else {
+        let worst = violations
+            .into_iter()
+            .max_by_key(|&(r, v)| (v, r))
+            .map(|(r, _)| r)
+            .unwrap_or(roles[0]);
+        Err(worst)
+    }
+}
+
+/// Discard classes whose instance spans overlap other classes'
+/// spans without containment (paper: classes must be "properly ordered
+/// or nested").
+fn enforce_nesting(analysis: &mut EqAnalysis) {
+    loop {
+        let mut to_discard: Option<usize> = None;
+        'outer: for a in 0..analysis.classes.len() {
+            for b in (a + 1)..analysis.classes.len() {
+                if classes_conflict(&analysis.classes[a], &analysis.classes[b]) {
+                    // Discard the less-established class: lower
+                    // support, then fewer instances, then later id.
+                    let ca = &analysis.classes[a];
+                    let cb = &analysis.classes[b];
+                    let key_a = (ca.support(), ca.instance_count());
+                    let key_b = (cb.support(), cb.instance_count());
+                    to_discard = Some(if key_a < key_b { a } else { b });
+                    break 'outer;
+                }
+            }
+        }
+        match to_discard {
+            Some(idx) => {
+                analysis.classes.remove(idx);
+                analysis.discarded_classes += 1;
+                for (i, class) in analysis.classes.iter_mut().enumerate() {
+                    class.id = i;
+                }
+            }
+            None => break,
+        }
+    }
+}
+
+fn classes_conflict(a: &EqClass, b: &EqClass) -> bool {
+    for (sa, sb) in a.spans.iter().zip(b.spans.iter()) {
+        for &(s1, e1) in sa {
+            for &(s2, e2) in sb {
+                let disjoint = e1 < s2 || e2 < s1;
+                let a_in_b = s2 <= s1 && e1 <= e2;
+                let b_in_a = s1 <= s2 && e2 <= e1;
+                if !(disjoint || a_in_b || b_in_a) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Parent = tightest class whose instances contain every instance of
+/// the child.
+fn build_hierarchy(analysis: &mut EqAnalysis) {
+    let n = analysis.classes.len();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    for child in 0..n {
+        let mut best: Option<(usize, usize)> = None; // (class, total width)
+        for cand in 0..n {
+            if cand == child {
+                continue;
+            }
+            if contains_all(&analysis.classes[cand], &analysis.classes[child]) {
+                let width: usize = analysis.classes[cand]
+                    .spans
+                    .iter()
+                    .flatten()
+                    .map(|&(s, e)| e - s)
+                    .sum();
+                if best.map(|(_, w)| width < w).unwrap_or(true) {
+                    best = Some((cand, width));
+                }
+            }
+        }
+        parent[child] = best.map(|(c, _)| c);
+    }
+    analysis.parent = parent;
+}
+
+/// Does every instance of `inner` lie within some instance of `outer`?
+fn contains_all(outer: &EqClass, inner: &EqClass) -> bool {
+    for (so, si) in outer.spans.iter().zip(inner.spans.iter()) {
+        for &(s, e) in si {
+            let contained = so.iter().any(|&(os, oe)| os <= s && e <= oe);
+            if !contained {
+                return false;
+            }
+        }
+    }
+    // Identical span sets would contain each other; break the tie by
+    // id so the hierarchy stays acyclic.
+    !(outer.spans == inner.spans && outer.id > inner.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::AnnotatedPage;
+    use crate::tokens::SourceTokens;
+    use objectrunner_html::parse;
+    use std::collections::HashMap as Map;
+
+    fn plain(html: &str) -> AnnotatedPage {
+        AnnotatedPage {
+            doc: parse(html),
+            annotations: Map::new(),
+        }
+    }
+
+    /// Three list pages in the style of the paper's running example.
+    fn list_pages(counts: &[usize]) -> Vec<AnnotatedPage> {
+        counts
+            .iter()
+            .map(|&n| {
+                let recs: String = (0..n)
+                    .map(|i| {
+                        format!(
+                            "<li><div>artist{i}</div><div>date{i} words</div>\
+                             <div><span>venue{i}</span><span>addr{i}</span></div></li>"
+                        )
+                    })
+                    .collect();
+                plain(&format!("<html><body><ul>{recs}</ul></body></html>"))
+            })
+            .collect()
+    }
+
+    fn cfg() -> EqConfig {
+        EqConfig {
+            min_support: 3,
+            min_roles: 2,
+            annotations_guard: true,
+        }
+    }
+
+    #[test]
+    fn finds_skeleton_and_record_classes() {
+        let pages = list_pages(&[1, 1, 2, 3]);
+        let src = SourceTokens::from_pages(&pages);
+        let analysis = find_classes(&src, &cfg());
+        let skeleton = analysis
+            .classes
+            .iter()
+            .find(|c| c.is_skeleton())
+            .expect("skeleton class");
+        // html/body/ul open+close = 6 roles.
+        assert!(skeleton.roles.len() >= 6);
+        let record = analysis
+            .classes
+            .iter()
+            .find(|c| c.vector == vec![1, 1, 2, 3])
+            .expect("record class");
+        // Before role differentiation the three <div>s share ONE role
+        // (same value, same path) with vector 3n — the paper's point.
+        // The record class holds only the once-per-record roles.
+        assert!(record.roles.len() >= 2, "got {}", record.roles.len());
+        let divs = analysis
+            .classes
+            .iter()
+            .find(|c| c.vector == vec![3, 3, 6, 9])
+            .expect("undifferentiated div class");
+        assert!(divs
+            .roles
+            .iter()
+            .any(|&r| src.roles.info(r).token.render() == "<div>"));
+    }
+
+    #[test]
+    fn record_class_nests_in_skeleton() {
+        let pages = list_pages(&[1, 2, 2, 4]);
+        let src = SourceTokens::from_pages(&pages);
+        let analysis = find_classes(&src, &cfg());
+        let skeleton = analysis
+            .classes
+            .iter()
+            .position(|c| c.is_skeleton())
+            .expect("skeleton");
+        let record = analysis
+            .classes
+            .iter()
+            .position(|c| c.vector == vec![1, 2, 2, 4])
+            .expect("record");
+        assert_eq!(analysis.parent[record], Some(skeleton));
+        assert_eq!(analysis.parent[skeleton], None);
+    }
+
+    #[test]
+    fn permutation_reflects_template_order() {
+        let pages = list_pages(&[2, 2, 3]);
+        let src = SourceTokens::from_pages(&pages);
+        let analysis = find_classes(&src, &cfg());
+        let record = analysis
+            .classes
+            .iter()
+            .find(|c| c.vector == vec![2, 2, 3])
+            .expect("record");
+        // First role of the record permutation is the <li> open tag.
+        let first = src.roles.info(record.permutation[0]);
+        assert_eq!(first.token.render(), "<li>");
+        let last = src.roles.info(*record.permutation.last().expect("non-empty"));
+        assert_eq!(last.token.render(), "</li>");
+    }
+
+    #[test]
+    fn spans_cover_each_record() {
+        let pages = list_pages(&[2, 2, 2]);
+        let src = SourceTokens::from_pages(&pages);
+        let analysis = find_classes(&src, &cfg());
+        let record = analysis
+            .classes
+            .iter()
+            .find(|c| c.vector == vec![2, 2, 2])
+            .expect("record");
+        for page_spans in &record.spans {
+            assert_eq!(page_spans.len(), 2);
+            assert!(page_spans[0].1 < page_spans[1].0, "records don't overlap");
+        }
+    }
+
+    #[test]
+    fn low_support_roles_are_excluded() {
+        // A tag appearing on a single page must not join any class.
+        let mut pages = list_pages(&[1, 1, 1, 1]);
+        pages.push(plain(
+            "<html><body><ul><li><div>a</div><div>b c</div>\
+             <div><span>v</span><span>w</span></div></li><em>rare</em></ul></body></html>",
+        ));
+        let src = SourceTokens::from_pages(&pages);
+        let analysis = find_classes(&src, &cfg());
+        for class in &analysis.classes {
+            for &r in &class.roles {
+                assert_ne!(src.roles.info(r).token.render(), "<em>");
+            }
+        }
+    }
+
+    #[test]
+    fn annotated_words_never_join_template_classes() {
+        // "New York" decoy: a word at the same position on every page
+        // with an address annotation must stay out of classes.
+        let mut pages = list_pages(&[1, 1, 1]);
+        for page in pages.iter_mut() {
+            // Annotate every word occurrence "artist0" as artist.
+            let ids: Vec<_> = page
+                .doc
+                .descendants(page.doc.root())
+                .filter(|&id| {
+                    matches!(&page.doc.node(id).kind,
+                             objectrunner_html::NodeKind::Text(t) if t.starts_with("artist"))
+                })
+                .collect();
+            for id in ids {
+                page.annotations.entry(id).or_default().push(crate::annotate::Annotation {
+                    type_name: "artist".to_owned(),
+                    confidence: 0.9,
+                });
+            }
+        }
+        let src = SourceTokens::from_pages(&pages);
+        let with_guard = find_classes(&src, &cfg());
+        for class in &with_guard.classes {
+            for &r in &class.roles {
+                assert!(
+                    !src.roles.info(r).token.render().starts_with("artist"),
+                    "annotated word joined a class"
+                );
+            }
+        }
+        // Without the guard (ExAlg-style), the constant word may join.
+        let no_guard = find_classes(
+            &src,
+            &EqConfig {
+                annotations_guard: false,
+                ..cfg()
+            },
+        );
+        let joined = no_guard.classes.iter().any(|c| {
+            c.roles
+                .iter()
+                .any(|&r| src.roles.info(r).token.render() == "artist0")
+        });
+        assert!(joined, "constant word should look like template without the guard");
+    }
+
+    #[test]
+    fn unordered_roles_are_evicted() {
+        // Two tags alternate order across pages: <b> then <i> on one,
+        // <i> then <b> on the other two — cannot share a class.
+        let htmls = [
+            "<div><b>x</b><i>y</i></div>",
+            "<div><i>y</i><b>x</b></div>",
+            "<div><i>y</i><b>x</b></div>",
+        ];
+        let pages: Vec<AnnotatedPage> = htmls.iter().map(|h| plain(h)).collect();
+        let src = SourceTokens::from_pages(&pages);
+        let analysis = find_classes(&src, &cfg());
+        // No surviving class contains both <b> and <i>.
+        for class in &analysis.classes {
+            let tags: Vec<String> = class
+                .roles
+                .iter()
+                .map(|&r| src.roles.info(r).token.render())
+                .collect();
+            assert!(
+                !(tags.contains(&"<b>".to_owned()) && tags.contains(&"<i>".to_owned())),
+                "inconsistent order must split the class: {tags:?}"
+            );
+        }
+        assert!(!analysis.evicted.is_empty());
+    }
+
+    #[test]
+    fn optional_region_forms_its_own_class() {
+        // The <em>date</em> is present in only some records.
+        let htmls = [
+            "<ul><li><b>a</b><em>d</em></li><li><b>a</b></li></ul>",
+            "<ul><li><b>a</b><em>d</em></li><li><b>a</b><em>d</em></li></ul>",
+            "<ul><li><b>a</b></li><li><b>a</b><em>d</em></li></ul>",
+        ];
+        let pages: Vec<AnnotatedPage> = htmls.iter().map(|h| plain(h)).collect();
+        let src = SourceTokens::from_pages(&pages);
+        let analysis = find_classes(&src, &cfg());
+        let em_class = analysis
+            .classes
+            .iter()
+            .find(|c| {
+                c.roles
+                    .iter()
+                    .any(|&r| src.roles.info(r).token.render() == "<em>")
+            })
+            .expect("em class exists");
+        assert_eq!(em_class.vector, vec![1, 2, 1]);
+        let li_class = analysis
+            .classes
+            .iter()
+            .find(|c| {
+                c.roles
+                    .iter()
+                    .any(|&r| src.roles.info(r).token.render() == "<li>")
+            })
+            .expect("li class");
+        assert_eq!(li_class.vector, vec![2, 2, 2]);
+        // The optional class nests inside the record class.
+        assert_eq!(analysis.parent[em_class.id], Some(li_class.id));
+    }
+
+    #[test]
+    fn enclosing_instance_finds_tightest_span() {
+        let pages = list_pages(&[2, 2, 2]);
+        let src = SourceTokens::from_pages(&pages);
+        let analysis = find_classes(&src, &cfg());
+        let record = analysis
+            .classes
+            .iter()
+            .find(|c| c.vector == vec![2, 2, 2])
+            .expect("record");
+        // The <li> open position itself belongs to the record span but
+        // to no narrower class span.
+        let (s0, _) = record.spans[0][0];
+        let (class, inst) = analysis.enclosing_instance(0, s0).expect("enclosed");
+        assert_eq!(class, record.id);
+        assert_eq!(inst, 0);
+        // Positions inside the first <div> resolve to a tighter class.
+        let (inner_class, _) = analysis.enclosing_instance(0, s0 + 1).expect("enclosed");
+        assert_ne!(inner_class, record.id);
+    }
+}

@@ -1,0 +1,495 @@
+//! Applying an inferred wrapper to pages (paper step 2-d: "use τi to
+//! extract all the instances of s from Si").
+//!
+//! Extraction is purely structural: the wrapper's separator matchers
+//! (token value + DOM path, in per-instance order) are located on each
+//! page by a greedy left-to-right scan; the text between consecutive
+//! separators yields the mapped attribute values. "Once the wrapper is
+//! constructed, the time required to extract the data was negligible."
+
+use crate::matching::{GapRef, SetMapping, SodMapping, TupleMapping};
+use crate::template::{NodeMultiplicity, TemplateTree};
+use objectrunner_html::{node_path, token_stream, Document, PageToken};
+use objectrunner_sod::Instance;
+
+/// One token of an extraction-side page stream.
+#[derive(Debug, Clone)]
+pub struct StreamTok {
+    pub token: PageToken,
+    pub path: String,
+}
+
+/// Flatten a page for extraction.
+pub fn page_stream(doc: &Document) -> Vec<StreamTok> {
+    token_stream(doc, doc.root())
+        .into_iter()
+        .map(|(token, node)| StreamTok {
+            path: node_path(doc, node),
+            token,
+        })
+        .collect()
+}
+
+/// Extract all objects from one page.
+pub fn extract_page(
+    tree: &TemplateTree,
+    mapping: &SodMapping,
+    object_name: &str,
+    doc: &Document,
+) -> Vec<Instance> {
+    let stream = page_stream(doc);
+    let anchor = mapping.record.anchor;
+    let instances = match_node_instances(tree, anchor, &stream, 0, stream.len());
+    instances
+        .iter()
+        .map(|positions| {
+            extract_tuple(
+                tree,
+                &mapping.record,
+                object_name,
+                &stream,
+                positions,
+            )
+        })
+        .collect()
+}
+
+/// Find the instances of template node `node` within `[lo, hi)` of the
+/// stream: each instance is the ordered positions of the node's
+/// matchers. Instances are found by a greedy left-to-right scan and
+/// never overlap.
+pub fn match_node_instances(
+    tree: &TemplateTree,
+    node: usize,
+    stream: &[StreamTok],
+    lo: usize,
+    hi: usize,
+) -> Vec<Vec<usize>> {
+    let matchers = &tree.nodes[node].matchers;
+    if matchers.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut pos = lo;
+    while pos < hi {
+        // Find the next start (first matcher).
+        let Some(start) = find_matcher(stream, &matchers[0], pos, hi) else {
+            break;
+        };
+        // Chain the remaining matchers, bounded by the next start
+        // token so a malformed record cannot swallow its successor.
+        let bound = find_matcher(stream, &matchers[0], start + 1, hi).unwrap_or(hi);
+        let mut positions = vec![start];
+        let mut cur = start + 1;
+        let mut complete = true;
+        for m in &matchers[1..] {
+            match find_matcher(stream, m, cur, bound.max(cur)) {
+                Some(p) => {
+                    positions.push(p);
+                    cur = p + 1;
+                }
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if complete {
+            pos = positions.last().copied().expect("non-empty") + 1;
+            out.push(positions);
+        } else {
+            pos = start + 1;
+        }
+    }
+    out
+}
+
+fn find_matcher(
+    stream: &[StreamTok],
+    matcher: &crate::template::Matcher,
+    lo: usize,
+    hi: usize,
+) -> Option<usize> {
+    (lo..hi.min(stream.len()))
+        .find(|&i| stream[i].token == matcher.token && stream[i].path == matcher.path)
+}
+
+/// Extract one tuple instance given its anchor matcher positions.
+fn extract_tuple(
+    tree: &TemplateTree,
+    mapping: &TupleMapping,
+    name: &str,
+    stream: &[StreamTok],
+    anchor_positions: &[usize],
+) -> Instance {
+    let region = (
+        anchor_positions.first().copied().unwrap_or(0),
+        anchor_positions.last().copied().unwrap_or(0) + 1,
+    );
+
+    // Pre-match descendant node instances used by this mapping, so
+    // their token spans can be excluded from surrounding gap values.
+    // Descendant matchers can be ambiguous (ordinal-differentiated
+    // roles share token and path), so each node is searched only
+    // inside the anchor gap that hosts it.
+    let mut descendant_spans: Vec<(usize, usize)> = Vec::new();
+    let mut node_instances: Vec<(usize, Vec<Vec<usize>>)> = Vec::new();
+    let mut wanted_nodes: Vec<usize> = mapping
+        .atomics
+        .iter()
+        .map(|&(_, g)| g.node)
+        .filter(|&n| n != mapping.anchor)
+        .collect();
+    for set in &mapping.sets {
+        if let SetMapping::Repeated { set_node, .. } = set {
+            wanted_nodes.push(*set_node);
+        }
+    }
+    wanted_nodes.sort_unstable();
+    wanted_nodes.dedup();
+    for node in wanted_nodes {
+        let (lo, hi) = match hosting_gap(tree, mapping.anchor, node) {
+            Some(gap_idx) if gap_idx + 1 < anchor_positions.len() => (
+                anchor_positions[gap_idx] + 1,
+                anchor_positions[gap_idx + 1],
+            ),
+            _ => region,
+        };
+        let insts = match_node_instances(tree, node, stream, lo, hi);
+        for inst in &insts {
+            if let (Some(&s), Some(&e)) = (inst.first(), inst.last()) {
+                descendant_spans.push((s, e));
+            }
+        }
+        node_instances.push((node, insts));
+    }
+
+    let mut fields: Vec<Instance> = Vec::new();
+
+    for (type_name, gap) in &mapping.atomics {
+        let value = if gap.node == mapping.anchor {
+            gap_value(stream, anchor_positions, gap.gap, &descendant_spans)
+        } else {
+            // Value lives in a descendant node's gap: use its first
+            // (only) instance within the region.
+            node_instances
+                .iter()
+                .find(|(n, _)| *n == gap.node)
+                .and_then(|(_, insts)| insts.first())
+                .map(|positions| gap_value(stream, positions, gap.gap, &[]))
+                .unwrap_or_default()
+        };
+        if !value.is_empty() {
+            fields.push(Instance::atomic(type_name, &value));
+        }
+    }
+
+    for set in &mapping.sets {
+        match set {
+            SetMapping::Repeated { set_node, element } => {
+                let empty = Vec::new();
+                let insts = node_instances
+                    .iter()
+                    .find(|(n, _)| *n == *set_node)
+                    .map(|(_, i)| i)
+                    .unwrap_or(&empty);
+                let mut items = Vec::new();
+                for positions in insts {
+                    let item = extract_tuple(tree, element, "element", stream, positions);
+                    // Unwrap single-field element tuples to their value.
+                    match item {
+                        Instance::Tuple { fields, .. } if fields.len() == 1 => {
+                            items.push(fields.into_iter().next().expect("len checked"));
+                        }
+                        other => items.push(other),
+                    }
+                }
+                fields.push(Instance::Set(items));
+            }
+            SetMapping::Collapsed { type_name, gap } => {
+                let value = if gap.node == mapping.anchor {
+                    gap_value(stream, anchor_positions, gap.gap, &descendant_spans)
+                } else {
+                    node_instances
+                        .iter()
+                        .find(|(n, _)| *n == gap.node)
+                        .and_then(|(_, insts)| insts.first())
+                        .map(|positions| gap_value(stream, positions, gap.gap, &[]))
+                        .unwrap_or_default()
+                };
+                let items = if value.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![Instance::atomic(type_name, &value)]
+                };
+                fields.push(Instance::Set(items));
+            }
+        }
+    }
+
+    Instance::Tuple {
+        name: name.to_owned(),
+        fields,
+    }
+}
+
+/// The gap of `anchor` whose hosted subtree contains `node` — used to
+/// bound descendant matching, since descendant matchers can be
+/// ambiguous (ordinal-differentiated roles share token and path).
+pub fn hosting_gap(tree: &TemplateTree, anchor: usize, node: usize) -> Option<usize> {
+    fn subtree_contains(tree: &TemplateTree, root: usize, node: usize) -> bool {
+        if root == node {
+            return true;
+        }
+        tree.nodes[root]
+            .children
+            .iter()
+            .any(|&c| subtree_contains(tree, c, node))
+    }
+    for (j, gap) in tree.nodes[anchor].gaps.iter().enumerate() {
+        if gap
+            .children
+            .iter()
+            .any(|&c| subtree_contains(tree, c, node))
+        {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// The words between matcher positions `gap` and `gap+1` of a matched
+/// instance (no exclusions) — used by SOD-free consumers (e.g. the
+/// ExAlg baseline) that extract every field of a template node.
+pub fn instance_gap_text(stream: &[StreamTok], positions: &[usize], gap: usize) -> String {
+    gap_value(stream, positions, gap, &[])
+}
+
+/// The words between matcher positions `gap` and `gap+1`, excluding
+/// tokens inside `excluded` spans.
+fn gap_value(
+    stream: &[StreamTok],
+    positions: &[usize],
+    gap: usize,
+    excluded: &[(usize, usize)],
+) -> String {
+    if gap + 1 >= positions.len() {
+        return String::new();
+    }
+    let (s, e) = (positions[gap], positions[gap + 1]);
+    let mut words: Vec<&str> = Vec::new();
+    for (i, tok) in stream.iter().enumerate().take(e).skip(s + 1) {
+        if excluded.iter().any(|&(xs, xe)| xs <= i && i <= xe) {
+            continue;
+        }
+        if let PageToken::Word(w) = &tok.token {
+            words.push(w);
+        }
+    }
+    words.join(" ")
+}
+
+/// Helper used by tests and the pipeline: a [`GapRef`] rendered as a
+/// human-readable position.
+pub fn describe_gap(tree: &TemplateTree, gap: GapRef) -> String {
+    let node = &tree.nodes[gap.node];
+    let left = node
+        .matchers
+        .get(gap.gap)
+        .map(|m| m.token.render())
+        .unwrap_or_default();
+    let right = node
+        .matchers
+        .get(gap.gap + 1)
+        .map(|m| m.token.render())
+        .unwrap_or_default();
+    let mult = match node.multiplicity {
+        NodeMultiplicity::One => "1",
+        NodeMultiplicity::Optional => "?",
+        NodeMultiplicity::Repeating => "*",
+    };
+    format!("node{}[{mult}] {left}·{right}", gap.node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::{Annotation, AnnotatedPage};
+    use crate::matching::match_sod;
+    use crate::roles::{differentiate, DiffConfig};
+    use crate::template::build_template;
+    use crate::tokens::SourceTokens;
+    use objectrunner_html::{parse, NodeKind};
+    use objectrunner_sod::{Multiplicity, SodBuilder};
+    use std::collections::HashMap as Map;
+
+    /// Build concert-style pages and annotate alternating columns.
+    fn concert_page(artists: &[&str]) -> AnnotatedPage {
+        let recs: String = artists
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                format!("<li><div>{a}</div><div>May {}, 2010</div></li>", i + 1)
+            })
+            .collect();
+        let mut page = AnnotatedPage {
+            doc: parse(&format!("<body><ul>{recs}</ul></body>")),
+            annotations: Map::new(),
+        };
+        let texts: Vec<_> = page
+            .doc
+            .descendants(page.doc.root())
+            .filter(|&id| matches!(page.doc.node(id).kind, NodeKind::Text(_)))
+            .collect();
+        for (idx, t) in texts.iter().enumerate() {
+            let type_name = if idx % 2 == 0 { "artist" } else { "date" };
+            page.annotations.insert(
+                *t,
+                vec![Annotation {
+                    type_name: type_name.to_owned(),
+                    confidence: 0.9,
+                }],
+            );
+        }
+        page
+    }
+
+    fn wrapper_parts(
+        pages: &[AnnotatedPage],
+    ) -> (TemplateTree, SodMapping) {
+        let mut src = SourceTokens::from_pages(pages);
+        let outcome = differentiate(&mut src, &DiffConfig::default(), |_, _| false);
+        let tree = build_template(&src, &outcome.analysis);
+        let sod = SodBuilder::tuple("concert")
+            .entity("artist", Multiplicity::One)
+            .entity("date", Multiplicity::One)
+            .build();
+        let mapping = match_sod(&tree, &sod).expect("SOD matches");
+        (tree, mapping)
+    }
+
+    #[test]
+    fn extracts_all_records_from_unseen_page() {
+        let sample = vec![
+            concert_page(&["A", "B"]),
+            concert_page(&["C", "D", "E"]),
+            concert_page(&["F"]),
+            concert_page(&["G", "H"]),
+        ];
+        let (tree, mapping) = wrapper_parts(&sample);
+        // A page never seen during induction:
+        let unseen = parse(
+            "<body><ul><li><div>Metallica</div><div>May 9, 2011</div></li>\
+             <li><div>Muse</div><div>May 10, 2011</div></li></ul></body>",
+        );
+        let objects = extract_page(&tree, &mapping, "concert", &unseen);
+        assert_eq!(objects.len(), 2);
+        let mut artists = Vec::new();
+        objects[0].values_of_type("artist", &mut artists);
+        objects[1].values_of_type("artist", &mut artists);
+        assert_eq!(artists, vec!["Metallica", "Muse"]);
+        let mut dates = Vec::new();
+        objects[0].values_of_type("date", &mut dates);
+        assert_eq!(dates, vec!["May 9, 2011"]);
+    }
+
+    #[test]
+    fn multiword_values_are_preserved() {
+        let sample = vec![
+            concert_page(&["The Rolling Stones", "B"]),
+            concert_page(&["C C C", "D"]),
+            concert_page(&["E", "F"]),
+        ];
+        let (tree, mapping) = wrapper_parts(&sample);
+        let unseen = parse(
+            "<body><ul><li><div>B.B King Blues and Grill</div>\
+             <div>June 19, 2010</div></li></ul></body>",
+        );
+        let objects = extract_page(&tree, &mapping, "concert", &unseen);
+        assert_eq!(objects.len(), 1);
+        let mut artists = Vec::new();
+        objects[0].values_of_type("artist", &mut artists);
+        assert_eq!(artists, vec!["B.B King Blues and Grill"]);
+    }
+
+    #[test]
+    fn empty_page_extracts_nothing() {
+        let sample = vec![
+            concert_page(&["A", "B"]),
+            concert_page(&["C"]),
+            concert_page(&["D", "E"]),
+        ];
+        let (tree, mapping) = wrapper_parts(&sample);
+        let unseen = parse("<body><p>maintenance notice</p></body>");
+        assert!(extract_page(&tree, &mapping, "concert", &unseen).is_empty());
+    }
+
+    #[test]
+    fn matcher_scan_does_not_overlap_records() {
+        let sample = vec![
+            concert_page(&["A", "B", "C"]),
+            concert_page(&["D"]),
+            concert_page(&["E", "F"]),
+        ];
+        let (tree, mapping) = wrapper_parts(&sample);
+        let unseen = parse(
+            "<body><ul>\
+             <li><div>One</div><div>May 1, 2012</div></li>\
+             <li><div>Two</div><div>May 2, 2012</div></li>\
+             <li><div>Three</div><div>May 3, 2012</div></li>\
+             </ul></body>",
+        );
+        let objects = extract_page(&tree, &mapping, "concert", &unseen);
+        assert_eq!(objects.len(), 3);
+    }
+
+    #[test]
+    fn malformed_record_is_skipped_not_merged() {
+        let sample = vec![
+            concert_page(&["A", "B"]),
+            concert_page(&["C"]),
+            concert_page(&["D", "E"]),
+        ];
+        let (tree, mapping) = wrapper_parts(&sample);
+        // Middle record lacks its date <div>; its values must not leak
+        // into the next record.
+        let unseen = parse(
+            "<body><ul>\
+             <li><div>One</div><div>May 1, 2012</div></li>\
+             <li><div>Broken</div></li>\
+             <li><div>Three</div><div>May 3, 2012</div></li>\
+             </ul></body>",
+        );
+        let objects = extract_page(&tree, &mapping, "concert", &unseen);
+        let mut artists = Vec::new();
+        for o in &objects {
+            o.values_of_type("artist", &mut artists);
+        }
+        assert!(artists.contains(&"One"));
+        assert!(artists.contains(&"Three"));
+        assert!(!artists.contains(&"Broken May 3, 2012"));
+    }
+
+    #[test]
+    fn gap_value_excludes_marked_spans() {
+        let doc = parse("<div>a b c</div>");
+        let stream = page_stream(&doc);
+        // positions: 0=<div> 1=a 2=b 3=c 4=</div>
+        let v = gap_value(&stream, &[0, 4], 0, &[]);
+        assert_eq!(v, "a b c");
+        let v2 = gap_value(&stream, &[0, 4], 0, &[(2, 2)]);
+        assert_eq!(v2, "a c");
+    }
+
+    #[test]
+    fn page_stream_paths_match_sample_side() {
+        let doc = parse("<body><ul><li>x</li></ul></body>");
+        let stream = page_stream(&doc);
+        let li = stream
+            .iter()
+            .find(|t| t.token == PageToken::Open("li".into()))
+            .expect("li");
+        // The tolerant parser does not synthesize an <html> element.
+        assert_eq!(li.path, "body/ul/li");
+    }
+}

@@ -1,0 +1,661 @@
+//! Matching the canonical SOD into the annotated template tree
+//! (paper §III-D) and the partial-matching existence test used by the
+//! §III-E abort condition.
+//!
+//! "We then do the matching of the canonical SOD with the template
+//! tree bottom-up, by a dynamic programming approach which starting
+//! from the leaf classes bearing type annotations, tries to identify a
+//! sub-hierarchy that matches the entire SOD. … These atomic types of
+//! the SOD should match separators that (i) belong to the same
+//! equivalence class, and (ii) have annotations for these types."
+
+use crate::template::{GapKind, NodeMultiplicity, TemplateTree};
+use crate::tokens::SourceTokens;
+use objectrunner_sod::{canonicalize, Sod, SodNode};
+use std::collections::HashMap;
+
+/// A gap address inside the template tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapRef {
+    pub node: usize,
+    pub gap: usize,
+}
+
+/// How one SOD set component maps into the template.
+#[derive(Debug, Clone)]
+pub enum SetMapping {
+    /// The set's elements correspond to instances of a repeating
+    /// template node; each element's values come from `element`.
+    Repeated {
+        set_node: usize,
+        element: TupleMapping,
+    },
+    /// No repeating structure found — the whole set is displayed as a
+    /// single field (e.g. comma-separated authors). Values will be
+    /// extracted together (a *partially correct* outcome by the
+    /// paper's classification).
+    Collapsed { type_name: String, gap: GapRef },
+}
+
+/// How a (canonical) tuple maps into the template.
+#[derive(Debug, Clone)]
+pub struct TupleMapping {
+    /// The template node anchoring the tuple.
+    pub anchor: usize,
+    /// Atomic type → gap. Two types may share a gap when the page
+    /// displays them as one text unit (merged fields).
+    pub atomics: Vec<(String, GapRef)>,
+    /// Set components.
+    pub sets: Vec<SetMapping>,
+    /// Optional atomic types with no witness in this source.
+    pub missing_optional: Vec<String>,
+}
+
+impl TupleMapping {
+    /// Are two different atomic types mapped to the same gap?
+    pub fn has_merged_fields(&self) -> bool {
+        for (i, (_, g1)) in self.atomics.iter().enumerate() {
+            for (_, g2) in self.atomics.iter().skip(i + 1) {
+                if g1 == g2 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The full SOD → template mapping.
+#[derive(Debug, Clone)]
+pub struct SodMapping {
+    pub record: TupleMapping,
+    /// True when the anchor repeats (list page) rather than occurring
+    /// once per page (detail page).
+    pub record_repeats: bool,
+}
+
+/// Why matching failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchError {
+    /// A required atomic type had no annotated gap under any anchor.
+    MissingRequired(Vec<String>),
+    /// The template tree has no candidate anchors at all.
+    NoAnchors,
+}
+
+impl std::fmt::Display for MatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchError::MissingRequired(types) => {
+                write!(f, "no gap matches required types: {}", types.join(", "))
+            }
+            MatchError::NoAnchors => write!(f, "template tree has no anchors"),
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+/// Minimum share of a gap's annotations the majority type must hold.
+const MAJORITY_SHARE: f64 = 0.5;
+
+/// A type may claim a gap when it holds at least this share of the
+/// gap's annotations — two types legitimately share a gap when the
+/// page displays both in one text unit (merged fields).
+const SIGNIFICANT_SHARE: f64 = 1.0 / 3.0;
+
+/// Match `sod` (canonicalized internally) against `tree`.
+pub fn match_sod(tree: &TemplateTree, sod: &Sod) -> Result<SodMapping, MatchError> {
+    let canon = canonicalize(sod);
+    let SodNode::Tuple { children, .. } = canon.root() else {
+        // A bare entity or set root: wrap implicitly.
+        return Err(MatchError::NoAnchors);
+    };
+
+    if tree.nodes.len() <= 1 {
+        return Err(MatchError::NoAnchors);
+    }
+
+    // Try every node as the record anchor; keep the best-scoring one.
+    let mut best: Option<(i64, SodMapping)> = None;
+    let mut worst_missing: Vec<String> = Vec::new();
+    for anchor in 0..tree.nodes.len() {
+        match match_tuple(tree, anchor, children) {
+            Ok(mapping) => {
+                let score = score_mapping(tree, &mapping);
+                if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                    let record_repeats =
+                        tree.nodes[anchor].multiplicity == NodeMultiplicity::Repeating;
+                    best = Some((
+                        score,
+                        SodMapping {
+                            record: mapping,
+                            record_repeats,
+                        },
+                    ));
+                }
+            }
+            Err(MatchError::MissingRequired(m)) => {
+                if worst_missing.is_empty() || m.len() < worst_missing.len() {
+                    worst_missing = m;
+                }
+            }
+            Err(_) => {}
+        }
+    }
+    match best {
+        Some((_, mapping)) => Ok(mapping),
+        None if !worst_missing.is_empty() => Err(MatchError::MissingRequired(worst_missing)),
+        None => Err(MatchError::NoAnchors),
+    }
+}
+
+/// Match one canonical tuple's components against the gaps reachable
+/// from `anchor` through non-repeating edges.
+fn match_tuple(
+    tree: &TemplateTree,
+    anchor: usize,
+    components: &[SodNode],
+) -> Result<TupleMapping, MatchError> {
+    let reach = tree.tuple_reach(anchor);
+    // Candidate (gap, type) pairs. A type may claim a gap when it
+    // holds a significant share of the gap's annotations, or when the
+    // gap holds a significant share of the *type's own* evidence
+    // (robust to vote-count skew between verbose and terse types
+    // sharing one merged gap).
+    let mut type_totals: HashMap<&str, usize> = HashMap::new();
+    for &n in &reach {
+        for gap in &tree.nodes[n].gaps {
+            for (t, &votes) in &gap.annotations {
+                *type_totals.entry(t.as_str()).or_insert(0) += votes;
+            }
+        }
+    }
+    let mut gap_majorities: Vec<(GapRef, String, usize)> = Vec::new(); // (gap, type, votes)
+    for &n in &reach {
+        for (j, gap) in tree.nodes[n].gaps.iter().enumerate() {
+            let total: usize = gap.annotations.values().sum();
+            if total == 0 {
+                continue;
+            }
+            for (t, &votes) in &gap.annotations {
+                let gap_share = votes as f64 / total as f64;
+                let type_share =
+                    votes as f64 / *type_totals.get(t.as_str()).unwrap_or(&1) as f64;
+                if gap_share >= SIGNIFICANT_SHARE || type_share >= SIGNIFICANT_SHARE {
+                    gap_majorities.push((GapRef { node: n, gap: j }, t.clone(), votes));
+                }
+            }
+        }
+    }
+
+    let mut atomics: Vec<(String, GapRef)> = Vec::new();
+    let mut sets: Vec<SetMapping> = Vec::new();
+    let mut missing_optional: Vec<String> = Vec::new();
+    let mut missing_required: Vec<String> = Vec::new();
+    let mut used_gaps: Vec<GapRef> = Vec::new();
+
+    for comp in components {
+        match comp {
+            SodNode::Entity {
+                type_name,
+                multiplicity,
+            } => {
+                // Best gap whose majority annotation is this type.
+                let candidate = gap_majorities
+                    .iter()
+                    .filter(|(_, t, _)| t == type_name)
+                    .max_by_key(|(g, _, votes)| (*votes, std::cmp::Reverse(g.node), g.gap));
+                match candidate {
+                    Some(&(gap, _, _)) => {
+                        used_gaps.push(gap);
+                        atomics.push((type_name.clone(), gap));
+                    }
+                    None if multiplicity.is_optional() => {
+                        missing_optional.push(type_name.clone());
+                    }
+                    None => missing_required.push(type_name.clone()),
+                }
+            }
+            SodNode::Set {
+                child,
+                multiplicity,
+            } => match match_set(tree, anchor, child) {
+                Some(mapping) => sets.push(mapping),
+                None if multiplicity.is_optional() => {
+                    for t in collect_entity_types(child) {
+                        missing_optional.push(t);
+                    }
+                }
+                None => missing_required.extend(collect_entity_types(child)),
+            },
+            SodNode::Disjunction(a, b) => {
+                // Try either branch as a component list of one.
+                let branch_a = match_tuple(tree, anchor, std::slice::from_ref(a));
+                let branch_b = match_tuple(tree, anchor, std::slice::from_ref(b));
+                match (branch_a, branch_b) {
+                    (Ok(m), _) | (_, Ok(m)) => {
+                        atomics.extend(m.atomics);
+                        sets.extend(m.sets);
+                        missing_optional.extend(m.missing_optional);
+                    }
+                    _ => missing_required.extend(collect_entity_types(comp)),
+                }
+            }
+            SodNode::Tuple { .. } => {
+                // Canonical form guarantees no tuple directly here,
+                // but stay safe: match it in place.
+                let inner = match_tuple(tree, anchor, std::slice::from_ref(comp))?;
+                atomics.extend(inner.atomics);
+                sets.extend(inner.sets);
+            }
+        }
+    }
+
+    // Elimination: a single unmatched required atomic and a single
+    // unclaimed data gap pair up (structure completes the annotations).
+    if missing_required.len() == 1 {
+        let unclaimed: Vec<GapRef> = reach
+            .iter()
+            .flat_map(|&n| {
+                tree.nodes[n]
+                    .gaps
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.kind() == GapKind::Data)
+                    .map(move |(j, _)| GapRef { node: n, gap: j })
+            })
+            .filter(|g| !used_gaps.contains(g))
+            .collect();
+        if unclaimed.len() == 1 {
+            let t = missing_required.pop().expect("len checked");
+            atomics.push((t, unclaimed[0]));
+        }
+    }
+
+    if !missing_required.is_empty() {
+        return Err(MatchError::MissingRequired(missing_required));
+    }
+    Ok(TupleMapping {
+        anchor,
+        atomics,
+        sets,
+        missing_optional,
+    })
+}
+
+/// Match a set component: prefer a repeating descendant node whose
+/// gaps bear the element's annotations; otherwise collapse into a gap.
+fn match_set(tree: &TemplateTree, anchor: usize, child: &SodNode) -> Option<SetMapping> {
+    let types = collect_entity_types(child);
+    let primary = types.first()?.clone();
+
+    // Repeating descendants reachable from the anchor's tuple zone.
+    let reach = tree.tuple_reach(anchor);
+    let mut candidates: Vec<usize> = Vec::new();
+    for &n in &reach {
+        for &c in &tree.nodes[n].children {
+            if tree.nodes[c].multiplicity == NodeMultiplicity::Repeating && c != anchor {
+                candidates.push(c);
+            }
+        }
+    }
+    for cand in candidates {
+        // The element tuple must match inside this repeating node.
+        let components = set_element_components(child);
+        if let Ok(element) = match_tuple(tree, cand, &components) {
+            if !element.atomics.is_empty() {
+                return Some(SetMapping::Repeated {
+                    set_node: cand,
+                    element,
+                });
+            }
+        }
+    }
+
+    // Collapsed: any reachable gap with the element annotation.
+    for &n in &reach {
+        for (j, gap) in tree.nodes[n].gaps.iter().enumerate() {
+            if let Some((t, share)) = gap.majority_annotation() {
+                if t == primary && share >= MAJORITY_SHARE {
+                    return Some(SetMapping::Collapsed {
+                        type_name: primary,
+                        gap: GapRef { node: n, gap: j },
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The component list of a set element (a tuple's children, or the
+/// node itself for entity elements).
+fn set_element_components(child: &SodNode) -> Vec<SodNode> {
+    match child {
+        SodNode::Tuple { children, .. } => children.clone(),
+        other => vec![other.clone()],
+    }
+}
+
+fn collect_entity_types(node: &SodNode) -> Vec<String> {
+    let mut out = Vec::new();
+    node.entity_types(&mut out);
+    out.into_iter().map(str::to_owned).collect()
+}
+
+/// Mapping preference: distinct gaps, sets resolved as repeated,
+/// anchors deeper in the tree (records, not page shells).
+fn score_mapping(tree: &TemplateTree, mapping: &TupleMapping) -> i64 {
+    let mut distinct: Vec<GapRef> = mapping.atomics.iter().map(|&(_, g)| g).collect();
+    distinct.sort_by_key(|g| (g.node, g.gap));
+    distinct.dedup();
+    let mut score = distinct.len() as i64 * 100;
+    score -= (mapping.atomics.len() as i64 - distinct.len() as i64) * 40; // merged penalty
+    for set in &mapping.sets {
+        score += match set {
+            SetMapping::Repeated { .. } => 80,
+            SetMapping::Collapsed { .. } => 20,
+        };
+    }
+    score -= mapping.missing_optional.len() as i64 * 5;
+    // Prefer repeating anchors (records) and deeper nodes.
+    if tree.nodes[mapping.anchor].multiplicity == NodeMultiplicity::Repeating {
+        score += 30;
+    }
+    let mut depth = 0;
+    let mut cur = tree.nodes[mapping.anchor].parent;
+    while let Some(p) = cur {
+        depth += 1;
+        cur = tree.nodes[p].parent;
+    }
+    score += depth;
+    score
+}
+
+/// §III-E abort test: a partial matching can still exist only if the
+/// required atomic types have annotated witnesses in the sample. "For
+/// each of the missing parts … there is still some untreated token
+/// annotated by that type." One uncovered type is tolerated because
+/// the matching step can complete a single missing required type by
+/// gap elimination (structure finishing what annotations started).
+pub fn partial_match_possible(src: &SourceTokens, sod: &Sod) -> bool {
+    let canon = canonicalize(sod);
+    let required: Vec<&str> = required_types(canon.root());
+    if required.is_empty() {
+        return true;
+    }
+    let mut seen: HashMap<&str, bool> = required.iter().map(|&t| (t, false)).collect();
+    for page in &src.pages {
+        for occ in &page.occs {
+            if let Some(ann) = &occ.annotation {
+                if let Some(flag) = seen.get_mut(ann.as_str()) {
+                    *flag = true;
+                }
+            }
+        }
+    }
+    seen.values().filter(|&&v| !v).count() <= 1
+}
+
+fn required_types(node: &SodNode) -> Vec<&str> {
+    let mut out = Vec::new();
+    fn walk<'a>(node: &'a SodNode, out: &mut Vec<&'a str>) {
+        match node {
+            SodNode::Entity {
+                type_name,
+                multiplicity,
+            } => {
+                if !multiplicity.is_optional() {
+                    out.push(type_name);
+                }
+            }
+            SodNode::Tuple { children, .. } => children.iter().for_each(|c| walk(c, out)),
+            SodNode::Set {
+                child,
+                multiplicity,
+            } => {
+                if !multiplicity.is_optional() {
+                    walk(child, out);
+                }
+            }
+            SodNode::Disjunction(..) => {} // either side may satisfy it
+        }
+    }
+    walk(node, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::{Annotation, AnnotatedPage};
+    use crate::roles::{differentiate, DiffConfig};
+    use crate::template::build_template;
+    use crate::tokens::SourceTokens;
+    use objectrunner_html::{parse, NodeKind};
+    use objectrunner_sod::{Multiplicity, SodBuilder};
+    use std::collections::HashMap as Map;
+
+    /// Annotate text nodes round-robin with the given type names
+    /// (one per record column).
+    fn page_with_columns(records: usize, columns: &[&str], annotate_every: usize) -> AnnotatedPage {
+        let recs: String = (0..records)
+            .map(|i| {
+                let cells: String = columns
+                    .iter()
+                    .enumerate()
+                    .map(|(c, col)| format!("<div>{col} value {i} {c}</div>"))
+                    .collect();
+                format!("<li>{cells}</li>")
+            })
+            .collect();
+        let mut page = AnnotatedPage {
+            doc: parse(&format!("<body><ul>{recs}</ul></body>")),
+            annotations: Map::new(),
+        };
+        let texts: Vec<_> = page
+            .doc
+            .descendants(page.doc.root())
+            .filter(|&id| matches!(page.doc.node(id).kind, NodeKind::Text(_)))
+            .collect();
+        for (idx, t) in texts.iter().enumerate() {
+            let col = idx % columns.len();
+            let rec = idx / columns.len();
+            if rec % annotate_every == 0 {
+                page.annotations.insert(
+                    *t,
+                    vec![Annotation {
+                        type_name: columns[col].to_owned(),
+                        confidence: 0.9,
+                    }],
+                );
+            }
+        }
+        page
+    }
+
+    fn tree_for(pages: &[AnnotatedPage]) -> (SourceTokens, crate::template::TemplateTree) {
+        let mut src = SourceTokens::from_pages(pages);
+        let outcome = differentiate(&mut src, &DiffConfig::default(), |_, _| false);
+        let tree = build_template(&src, &outcome.analysis);
+        (src, tree)
+    }
+
+    #[test]
+    fn flat_sod_matches_record_node() {
+        let pages: Vec<AnnotatedPage> = [2usize, 3, 2, 4]
+            .iter()
+            .map(|&n| page_with_columns(n, &["artist", "date"], 1))
+            .collect();
+        let (_, tree) = tree_for(&pages);
+        let sod = SodBuilder::tuple("concert")
+            .entity("artist", Multiplicity::One)
+            .entity("date", Multiplicity::One)
+            .build();
+        let mapping = match_sod(&tree, &sod).expect("full match");
+        assert!(mapping.record_repeats);
+        assert_eq!(mapping.record.atomics.len(), 2);
+        assert!(!mapping.record.has_merged_fields());
+    }
+
+    #[test]
+    fn incomplete_annotations_still_match() {
+        // Only every 3rd record annotated — majority votes still map
+        // the gaps.
+        let pages: Vec<AnnotatedPage> = [3usize, 3, 6, 3]
+            .iter()
+            .map(|&n| page_with_columns(n, &["artist", "date"], 3))
+            .collect();
+        let (_, tree) = tree_for(&pages);
+        let sod = SodBuilder::tuple("concert")
+            .entity("artist", Multiplicity::One)
+            .entity("date", Multiplicity::One)
+            .build();
+        let mapping = match_sod(&tree, &sod).expect("full match");
+        assert_eq!(mapping.record.atomics.len(), 2);
+    }
+
+    #[test]
+    fn missing_required_type_is_an_error() {
+        let pages: Vec<AnnotatedPage> = [2usize, 3, 2]
+            .iter()
+            .map(|&n| page_with_columns(n, &["artist"], 1))
+            .collect();
+        let (_, tree) = tree_for(&pages);
+        let sod = SodBuilder::tuple("concert")
+            .entity("artist", Multiplicity::One)
+            .entity("price", Multiplicity::One)
+            .entity("venue", Multiplicity::One)
+            .build();
+        let err = match_sod(&tree, &sod).expect_err("cannot match");
+        match err {
+            MatchError::MissingRequired(types) => {
+                assert!(types.contains(&"price".to_owned()) || types.contains(&"venue".to_owned()));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_optional_type_is_tolerated() {
+        let pages: Vec<AnnotatedPage> = [2usize, 3, 2]
+            .iter()
+            .map(|&n| page_with_columns(n, &["artist", "date"], 1))
+            .collect();
+        let (_, tree) = tree_for(&pages);
+        let sod = SodBuilder::tuple("concert")
+            .entity("artist", Multiplicity::One)
+            .entity("date", Multiplicity::One)
+            .entity("price", Multiplicity::Optional)
+            .build();
+        let mapping = match_sod(&tree, &sod).expect("match without optional");
+        assert_eq!(mapping.record.missing_optional, vec!["price".to_owned()]);
+    }
+
+    #[test]
+    fn elimination_completes_single_unannotated_required_gap() {
+        // Three columns, but only two types are ever annotated; the
+        // third (price) must be assigned to the remaining data gap.
+        let pages: Vec<AnnotatedPage> = [2usize, 3, 2, 3]
+            .iter()
+            .map(|&n| page_with_columns(n, &["artist", "date", "price"], 1))
+            .map(|mut p| {
+                // Strip the "price" annotations to simulate a type with
+                // no recognizer coverage.
+                for anns in p.annotations.values_mut() {
+                    anns.retain(|a| a.type_name != "price");
+                }
+                p.annotations.retain(|_, v| !v.is_empty());
+                p
+            })
+            .collect();
+        let (_, tree) = tree_for(&pages);
+        let sod = SodBuilder::tuple("album")
+            .entity("artist", Multiplicity::One)
+            .entity("date", Multiplicity::One)
+            .entity("price", Multiplicity::One)
+            .build();
+        let mapping = match_sod(&tree, &sod).expect("elimination completes");
+        assert_eq!(mapping.record.atomics.len(), 3);
+        assert!(!mapping.record.has_merged_fields());
+    }
+
+    #[test]
+    fn shared_text_node_produces_merged_fields() {
+        // Artist and date share one <div>: both types annotate the
+        // same gap, so the mapping merges them.
+        let mk = |n: usize| {
+            let recs: String = (0..n)
+                .map(|i| format!("<li><div>Artist{i} on May {}, 2010</div><div>${i}.99</div></li>", i + 1))
+                .collect();
+            let mut page = AnnotatedPage {
+                doc: parse(&format!("<body><ul>{recs}</ul></body>")),
+                annotations: Map::new(),
+            };
+            let texts: Vec<_> = page
+                .doc
+                .descendants(page.doc.root())
+                .filter(|&id| matches!(page.doc.node(id).kind, NodeKind::Text(_)))
+                .collect();
+            for (idx, t) in texts.iter().enumerate() {
+                if idx % 2 == 0 {
+                    // Both artist and date in the combined cell.
+                    page.annotations.insert(
+                        *t,
+                        vec![
+                            Annotation { type_name: "artist".into(), confidence: 0.9 },
+                            Annotation { type_name: "date".into(), confidence: 0.8 },
+                        ],
+                    );
+                } else {
+                    page.annotations.insert(
+                        *t,
+                        vec![Annotation { type_name: "price".into(), confidence: 0.9 }],
+                    );
+                }
+            }
+            page
+        };
+        let pages: Vec<AnnotatedPage> = vec![mk(2), mk(3), mk(2), mk(4)];
+        let (_, tree) = tree_for(&pages);
+        let sod = SodBuilder::tuple("concert")
+            .entity("artist", Multiplicity::One)
+            .entity("date", Multiplicity::One)
+            .entity("price", Multiplicity::One)
+            .build();
+        let mapping = match_sod(&tree, &sod).expect("match with merged fields");
+        assert!(mapping.record.has_merged_fields());
+    }
+
+    #[test]
+    fn partial_match_test_checks_annotation_presence() {
+        let pages: Vec<AnnotatedPage> = [2usize, 3, 2]
+            .iter()
+            .map(|&n| page_with_columns(n, &["artist"], 1))
+            .collect();
+        let src = SourceTokens::from_pages(&pages);
+        let ok_sod = SodBuilder::tuple("a")
+            .entity("artist", Multiplicity::One)
+            .build();
+        assert!(partial_match_possible(&src, &ok_sod));
+        // One uncovered required type is tolerated (gap elimination
+        // can complete it); two are not.
+        let one_missing = SodBuilder::tuple("a")
+            .entity("artist", Multiplicity::One)
+            .entity("price", Multiplicity::One)
+            .build();
+        assert!(partial_match_possible(&src, &one_missing));
+        let bad_sod = SodBuilder::tuple("a")
+            .entity("artist", Multiplicity::One)
+            .entity("price", Multiplicity::One)
+            .entity("venue", Multiplicity::One)
+            .build();
+        assert!(!partial_match_possible(&src, &bad_sod));
+        let optional_sod = SodBuilder::tuple("a")
+            .entity("artist", Multiplicity::One)
+            .entity("price", Multiplicity::Optional)
+            .build();
+        assert!(partial_match_possible(&src, &optional_sod));
+    }
+}

@@ -1,0 +1,350 @@
+//! The end-to-end ObjectRunner pipeline.
+//!
+//! Page cleaning → visual simplification to the main block →
+//! annotation + sample selection (Algorithm 1) → wrapper generation
+//! (Algorithm 2) with the §IV self-validation loop ("when necessary,
+//! we variate the parameters of the wrapping algorithm and re-execute
+//! it … by variating the support between 3 and 5 pages") → extraction
+//! from all pages.
+
+use crate::annotate::AnnotatedPage;
+use crate::eqclass::EqConfig;
+use crate::roles::DiffConfig;
+use crate::sample::{select_sample, SampleConfig, SampleError, SampleStrategy};
+use crate::wrapper::{generate_wrapper, Wrapper, WrapperError};
+use objectrunner_html::{clean_document, CleanOptions, Document};
+use objectrunner_knowledge::recognizer::RecognizerSet;
+use objectrunner_segment::{select_main_block, simplify_to_main_block, LayoutOptions};
+use objectrunner_sod::{Instance, Sod};
+use std::time::Instant;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Sampling parameters (size k, α threshold).
+    pub sample: SampleConfig,
+    /// How the sample is chosen (Table II's comparison knob).
+    pub strategy: SampleStrategy,
+    /// Support values tried by the self-validation loop (inclusive).
+    pub support_range: (usize, usize),
+    /// Stop the loop early once a wrapper reaches this quality.
+    pub quality_threshold: f64,
+    /// Apply the VIPS-style main-block simplification.
+    pub use_main_block: bool,
+    /// HTML cleaning options.
+    pub clean: CleanOptions,
+    /// Exclude annotated data words from template classes (the
+    /// ObjectRunner guard; baselines turn this off).
+    pub annotations_guard: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            sample: SampleConfig::default(),
+            strategy: SampleStrategy::SodBased,
+            support_range: (3, 5),
+            quality_threshold: 0.9,
+            use_main_block: true,
+            clean: CleanOptions::default(),
+            annotations_guard: true,
+        }
+    }
+}
+
+/// Pipeline failures.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The source was discarded during sampling (§III-E).
+    Sample(SampleError),
+    /// No support value produced a wrapper.
+    Wrapper(WrapperError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Sample(e) => write!(f, "sampling: {e}"),
+            PipelineError::Wrapper(e) => write!(f, "wrapper generation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Run statistics.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    pub pages: usize,
+    pub sample_pages: usize,
+    pub support_used: usize,
+    pub conflict_splits: usize,
+    pub rounds: usize,
+    pub reruns: usize,
+    pub wrapping_micros: u128,
+    pub extraction_micros: u128,
+}
+
+/// Pipeline output.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// The extracted objects, all pages concatenated.
+    pub objects: Vec<Instance>,
+    /// The wrapper that produced them.
+    pub wrapper: Wrapper,
+    pub stats: PipelineStats,
+}
+
+/// The ObjectRunner engine for one source.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    sod: Sod,
+    recognizers: RecognizerSet,
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// A pipeline with default configuration.
+    pub fn new(sod: Sod, recognizers: RecognizerSet) -> Pipeline {
+        Pipeline {
+            sod,
+            recognizers,
+            config: PipelineConfig::default(),
+        }
+    }
+
+    /// Override the configuration.
+    pub fn with_config(mut self, config: PipelineConfig) -> Pipeline {
+        self.config = config;
+        self
+    }
+
+    /// The SOD this pipeline targets.
+    pub fn sod(&self) -> &Sod {
+        &self.sod
+    }
+
+    /// Run on raw HTML pages.
+    pub fn run_on_html<S: AsRef<str>>(&self, pages: &[S]) -> Result<PipelineOutcome, PipelineError> {
+        let docs: Vec<Document> = pages
+            .iter()
+            .map(|h| objectrunner_html::parse(h.as_ref()))
+            .collect();
+        self.run_on_documents(docs)
+    }
+
+    /// Run on already-parsed documents.
+    pub fn run_on_documents(
+        &self,
+        mut docs: Vec<Document>,
+    ) -> Result<PipelineOutcome, PipelineError> {
+        // 1. Cleaning.
+        for doc in docs.iter_mut() {
+            clean_document(doc, &self.config.clean);
+        }
+        // 2. Main-block simplification.
+        if self.config.use_main_block {
+            let opts = LayoutOptions::default();
+            if let Some(choice) = select_main_block(&docs, &opts) {
+                for doc in docs.iter_mut() {
+                    let _ = simplify_to_main_block(doc, &choice);
+                }
+            }
+        }
+
+        let wrap_start = Instant::now();
+        // 3. Annotation + sampling.
+        let sample = select_sample(
+            docs.clone(),
+            &self.recognizers,
+            &self.sod,
+            &self.config.sample,
+            self.config.strategy,
+        )
+        .map_err(PipelineError::Sample)?;
+
+        // 4. Wrapper generation with the self-validation loop.
+        let (wrapper, reruns) = self.best_wrapper(&sample)?;
+        let wrapping_micros = wrap_start.elapsed().as_micros();
+
+        // 5. Extraction from all pages.
+        let extract_start = Instant::now();
+        let objects = wrapper.extract_source(&docs);
+        let extraction_micros = extract_start.elapsed().as_micros();
+
+        let stats = PipelineStats {
+            pages: docs.len(),
+            sample_pages: sample.len(),
+            support_used: wrapper.support,
+            conflict_splits: wrapper.conflict_splits,
+            rounds: wrapper.rounds,
+            reruns,
+            wrapping_micros,
+            extraction_micros,
+        };
+        Ok(PipelineOutcome {
+            objects,
+            wrapper,
+            stats,
+        })
+    }
+
+    /// §IV "automatic variation of parameters": run wrapper generation
+    /// for each support value; keep the best-quality wrapper; stop
+    /// early when the quality threshold is reached.
+    fn best_wrapper(
+        &self,
+        sample: &[AnnotatedPage],
+    ) -> Result<(Wrapper, usize), PipelineError> {
+        let (lo, hi) = self.config.support_range;
+        let mut best: Option<Wrapper> = None;
+        let mut last_err: Option<WrapperError> = None;
+        let mut reruns = 0usize;
+        for support in lo..=hi.max(lo) {
+            let diff_cfg = DiffConfig {
+                eq: EqConfig {
+                    min_support: support,
+                    annotations_guard: self.config.annotations_guard,
+                    ..EqConfig::default()
+                },
+                ..DiffConfig::default()
+            };
+            match generate_wrapper(sample, &self.sod, &diff_cfg) {
+                Ok(w) => {
+                    let good_enough = w.quality >= self.config.quality_threshold;
+                    if best.as_ref().map(|b| w.quality > b.quality).unwrap_or(true) {
+                        best = Some(w);
+                    }
+                    if good_enough {
+                        break;
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+            reruns += 1;
+        }
+        match best {
+            Some(w) => Ok((w, reruns.saturating_sub(1))),
+            None => Err(PipelineError::Wrapper(
+                last_err.unwrap_or(WrapperError::EmptySample),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use objectrunner_knowledge::gazetteer::Gazetteer;
+    use objectrunner_knowledge::recognizer::Recognizer;
+    use objectrunner_sod::{Multiplicity, SodBuilder};
+
+    fn concert_sod() -> Sod {
+        SodBuilder::tuple("concert")
+            .entity("artist", Multiplicity::One)
+            .entity("date", Multiplicity::One)
+            .build()
+    }
+
+    fn recognizers(artists: &[&str]) -> RecognizerSet {
+        let mut g = Gazetteer::new();
+        for a in artists {
+            g.insert(a, 0.9, 5.0);
+        }
+        let mut set = RecognizerSet::new();
+        set.insert("artist", Recognizer::dictionary(g));
+        set.insert("date", Recognizer::predefined_date());
+        set
+    }
+
+    fn source_pages(n_pages: usize) -> Vec<String> {
+        (0..n_pages)
+            .map(|p| {
+                let recs: String = (0..(p % 3 + 1))
+                    .map(|i| {
+                        format!(
+                            "<li><div>Band{p}x{i}</div><div>May {}, 2010</div></li>",
+                            i + 1
+                        )
+                    })
+                    .collect();
+                format!(
+                    "<html><head><title>t</title></head><body>\
+                     <div class=\"nav\">home about contact pages</div>\
+                     <div class=\"content\"><ul>{recs}</ul></div>\
+                     <div class=\"footer\">copyright legal privacy terms</div>\
+                     </body></html>"
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_pipeline_extracts_from_synthetic_source() {
+        let pages = source_pages(12);
+        // Dictionary knows a fifth of the artists (paper: ≥20%).
+        let known: Vec<String> = (0..12)
+            .step_by(3)
+            .map(|p| format!("Band{p}x0"))
+            .collect();
+        let refs: Vec<&str> = known.iter().map(String::as_str).collect();
+        let pipeline = Pipeline::new(concert_sod(), recognizers(&refs)).with_config(PipelineConfig {
+            sample: SampleConfig {
+                sample_size: 8,
+                ..SampleConfig::default()
+            },
+            ..PipelineConfig::default()
+        });
+        let outcome = pipeline.run_on_html(&pages).expect("pipeline succeeds");
+        // Every record extracted: pages have 1..3 records.
+        let expected: usize = (0..12).map(|p| p % 3 + 1).sum();
+        assert_eq!(outcome.objects.len(), expected);
+        // No nav/footer noise in values.
+        for o in &outcome.objects {
+            let mut vals = Vec::new();
+            o.values_of_type("artist", &mut vals);
+            for v in vals {
+                assert!(v.starts_with("Band"), "noise extracted: {v}");
+            }
+        }
+        assert_eq!(outcome.stats.pages, 12);
+        assert!(outcome.stats.sample_pages <= 8);
+    }
+
+    #[test]
+    fn discards_irrelevant_source() {
+        let pages: Vec<String> = (0..8)
+            .map(|i| format!("<html><body><p>weather report number {i} nothing else</p></body></html>"))
+            .collect();
+        let pipeline = Pipeline::new(concert_sod(), recognizers(&["Metallica"]));
+        let err = pipeline.run_on_html(&pages).expect_err("discarded");
+        assert!(matches!(err, PipelineError::Sample(_)));
+    }
+
+    #[test]
+    fn random_strategy_also_runs() {
+        let pages = source_pages(12);
+        let known: Vec<String> = (0..12).map(|p| format!("Band{p}x0")).collect();
+        let refs: Vec<&str> = known.iter().map(String::as_str).collect();
+        let pipeline = Pipeline::new(concert_sod(), recognizers(&refs)).with_config(PipelineConfig {
+            strategy: SampleStrategy::Random(17),
+            sample: SampleConfig {
+                sample_size: 8,
+                ..SampleConfig::default()
+            },
+            ..PipelineConfig::default()
+        });
+        let outcome = pipeline.run_on_html(&pages).expect("runs");
+        assert!(!outcome.objects.is_empty());
+    }
+
+    #[test]
+    fn wrapping_time_is_recorded() {
+        let pages = source_pages(10);
+        let known: Vec<String> = (0..10).map(|p| format!("Band{p}x0")).collect();
+        let refs: Vec<&str> = known.iter().map(String::as_str).collect();
+        let pipeline = Pipeline::new(concert_sod(), recognizers(&refs));
+        let outcome = pipeline.run_on_html(&pages).expect("runs");
+        assert!(outcome.stats.wrapping_micros > 0);
+    }
+}

@@ -1,0 +1,744 @@
+//! Role differentiation (paper Algorithm 2).
+//!
+//! "First, roles of tokens are determined using the HTML format of the
+//! page (line 1) … Then, more refined roles of tokens are assigned in
+//! the loop, based on appearance positions in equivalence classes
+//! (line 3-10). … tokens without conflicting annotations are treated
+//! in the loop along with the other criteria (line 9). Once all
+//! equivalence classes are computed in this way, we perform one
+//! additional iteration … using conflicting annotations (line 11)."
+//!
+//! Two refinement mechanisms:
+//!
+//! * **Positional** — when a class's instances repeat a *constant*
+//!   number of times inside their parent's instances (the paper's
+//!   three `<div>`s per record), the class roles are split by instance
+//!   ordinal. "When the number of consecutive occurrences varies from
+//!   one page to another, we settle on the minimal number of
+//!   consecutive occurrences" — varying counts mean a genuine
+//!   repeating (set) region and are left alone.
+//! * **By annotation** — tag roles whose occurrences carry
+//!   *conflicting* annotations are split by annotation type, with
+//!   incomplete annotations generalized to the majority when it holds
+//!   ≥ the 0.7 threshold.
+
+use crate::eqclass::{find_classes, EqAnalysis, EqConfig};
+use crate::tokens::{RoleId, SourceTokens};
+use std::collections::HashMap;
+
+/// Differentiation parameters.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Equivalence-class parameters (support etc.).
+    pub eq: EqConfig,
+    /// Majority threshold for generalizing incomplete annotations
+    /// (0.7 in the paper).
+    pub conflict_threshold: f64,
+    /// Safety bound on outer rounds.
+    pub max_rounds: usize,
+    /// SOD entity types that live under a set constructor: regions
+    /// whose annotations are predominantly of these types repeat
+    /// *within* one object and must not be ordinal-split.
+    pub set_types: Vec<String>,
+    /// Enable the ordinal ("minimal number of consecutive
+    /// occurrences") differentiation of §III-C. This is ObjectRunner's
+    /// own mechanism: ExAlg differentiates by HTML context and
+    /// equivalence-class position only ("the three `<div>` occurrences
+    /// would have the same role"), so the ExAlg baseline disables it.
+    pub ordinal_split: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            eq: EqConfig::default(),
+            conflict_threshold: 0.7,
+            max_rounds: 8,
+            set_types: Vec::new(),
+            ordinal_split: true,
+        }
+    }
+}
+
+/// Result of running Algorithm 2 to fixpoint.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    /// The final class analysis.
+    pub analysis: EqAnalysis,
+    /// Inner + outer rounds executed.
+    pub rounds: usize,
+    /// Number of role splits driven by conflicting annotations (a
+    /// quality signal: many conflicts ⇒ lower wrapper confidence).
+    pub conflict_splits: usize,
+    /// True when the caller's abort check fired (§III-E).
+    pub aborted: bool,
+}
+
+/// Run Algorithm 2: alternate class construction and role
+/// differentiation until a fixpoint.
+///
+/// `abort_check` implements the §III-E wrapper-phase condition: given
+/// the current analysis it returns `true` when no partial SOD matching
+/// can exist anymore and the process must stop.
+pub fn differentiate(
+    src: &mut SourceTokens,
+    cfg: &DiffConfig,
+    mut abort_check: impl FnMut(&EqAnalysis, &SourceTokens) -> bool,
+) -> DiffOutcome {
+    let mut rounds = 0usize;
+    let mut conflict_splits = 0usize;
+    let mut analysis = find_classes(src, &cfg.eq);
+    // How many distinct entity types are witnessed in this sample —
+    // calibrates the object-region test.
+    let present_types = count_present_types(src);
+
+    for _outer in 0..cfg.max_rounds {
+        // Inner loop: classes + positional refinement to fixpoint.
+        loop {
+            rounds += 1;
+            if abort_check(&analysis, src) {
+                return DiffOutcome {
+                    analysis,
+                    rounds,
+                    conflict_splits,
+                    aborted: true,
+                };
+            }
+            let changed = cfg.ordinal_split
+                && positional_split(src, &analysis, rounds, present_types, &cfg.set_types);
+            if !changed || rounds > cfg.max_rounds * 4 {
+                break;
+            }
+            analysis = find_classes(src, &cfg.eq);
+        }
+        mark_consistent_annotations(src);
+
+        // Outer step: conflicting annotations.
+        let splits =
+            conflicting_annotation_split(src, &analysis, cfg.conflict_threshold, rounds);
+        conflict_splits += splits;
+        if splits == 0 {
+            break;
+        }
+        analysis = find_classes(src, &cfg.eq);
+    }
+
+    DiffOutcome {
+        analysis,
+        rounds,
+        conflict_splits,
+        aborted: false,
+    }
+}
+
+/// Split the roles of classes by instance ordinal within their parent
+/// instances. Returns whether anything changed.
+///
+/// When counts vary, the paper's rule applies: "settle on the minimal
+/// number of consecutive occurrences across pages, and differentiate
+/// roles within this scope" — the first `m_min` instances get distinct
+/// roles and the surplus shares one overflow role (the shape optional
+/// trailing cells take). Regions whose content is predominantly
+/// set-typed (author lists) repeat *within* one object and are left
+/// whole.
+fn positional_split(
+    src: &mut SourceTokens,
+    analysis: &EqAnalysis,
+    round: usize,
+    present_types: usize,
+    set_types: &[String],
+) -> bool {
+    // Plan: occurrence (page, pos) -> ordinal, for roles being split.
+    let mut plan: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut split_roles: Vec<RoleId> = Vec::new();
+
+    for class in &analysis.classes {
+        let parent = analysis.parent[class.id];
+        // The SOD's double role (§III-C): a class whose instances span
+        // (nearly) all witnessed entity types *and* sit directly at
+        // page level is a candidate object region (a record list).
+        // Splitting it by ordinal would bake a constant record count
+        // into the template — the "too regular" trap the paper calls
+        // out for RoadRunner. Cells nested inside another class (the
+        // three <div>s around one value each) are safe to split.
+        // Ordinals of each class instance within its parent instance.
+        let Some((ordinals, spread)) = instance_ordinals(class, parent, analysis) else {
+            continue;
+        };
+        // A wide count spread is repetition evidence (records per
+        // page); a spread of one is either an optional trailer (the
+        // paper's minimal-occurrences rule) or a narrow set region —
+        // set regions repeat within one object and stay whole. Classes
+        // with constant counts are never sets.
+        if spread > 1 {
+            continue;
+        }
+        if spread == 1 && is_set_region(src, class, set_types) {
+            continue;
+        }
+        // Record-list protection: a class sitting in fixed page
+        // structure whose instances cover (nearly) all entity types is
+        // the record list — splitting it would bake a constant record
+        // count into the template (the "too regular" trap). Without
+        // annotations, a large constant count is itself list evidence
+        // (detail pages carry a handful of rows, result lists carry
+        // many records) — ExAlg treats such classes as iterated.
+        if parent_is_page_like(parent, analysis) {
+            if is_object_region(src, class, present_types) {
+                continue;
+            }
+            let per_parent = ordinals
+                .iter()
+                .flatten()
+                .copied()
+                .max()
+                .map(|m| m + 1)
+                .unwrap_or(0);
+            if spread == 0 && per_parent > MAX_PAGE_FURNITURE {
+                continue;
+            }
+        }
+        let m = ordinals
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .map(|mx| mx + 1)
+            .unwrap_or(1);
+        if m <= 1 {
+            continue;
+        }
+        // Mark every occurrence of every member role with its
+        // instance's ordinal.
+        for &role in &class.roles {
+            split_roles.push(role);
+        }
+        for (page_idx, page_spans) in class.spans.iter().enumerate() {
+            for (inst_idx, &(s, e)) in page_spans.iter().enumerate() {
+                let ord = ordinals[page_idx][inst_idx];
+                for pos in s..=e {
+                    let occ = &src.pages[page_idx].occs[pos];
+                    if class.roles.contains(&occ.role) {
+                        plan.insert((page_idx, pos), ord);
+                    }
+                }
+            }
+        }
+    }
+
+    if plan.is_empty() {
+        return false;
+    }
+
+    // Apply: intern refined roles and rewrite occurrences.
+    let mut changed = false;
+    for page_idx in 0..src.pages.len() {
+        for pos in 0..src.pages[page_idx].occs.len() {
+            let Some(&ord) = plan.get(&(page_idx, pos)) else {
+                continue;
+            };
+            let (old_role, token, path) = {
+                let occ = &src.pages[page_idx].occs[pos];
+                (occ.role, occ.token.clone(), occ.path.clone())
+            };
+            if !split_roles.contains(&old_role) {
+                continue;
+            }
+            let old_label = src.roles.info(old_role).label.clone();
+            let new_label = format!("{old_label}#r{round}o{ord}");
+            let new_role = src.roles.intern(&new_label, &token, &path);
+            if new_role != old_role {
+                src.pages[page_idx].occs[pos].role = new_role;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Constant per-page repetitions up to this count are treated as fixed
+/// page furniture (detail rows, column shells); larger constant counts
+/// are content lists.
+const MAX_PAGE_FURNITURE: usize = 5;
+
+/// Is the parent context fixed page structure: no parent class, or a
+/// parent occurring a constant number of times on every page (the
+/// skeleton, or constant shells like nav/content/footer)?
+fn parent_is_page_like(parent: Option<usize>, analysis: &EqAnalysis) -> bool {
+    match parent {
+        None => true,
+        Some(p) => {
+            let v = &analysis.classes[p].vector;
+            let first = v.first().copied().unwrap_or(0);
+            first > 0 && v.iter().all(|&c| c == first)
+        }
+    }
+}
+
+/// Distinct entity types annotated anywhere in the sample.
+fn count_present_types(src: &SourceTokens) -> usize {
+    let mut types: Vec<&str> = Vec::new();
+    for page in &src.pages {
+        for occ in &page.occs {
+            for ann in &occ.all_annotations {
+                if !types.contains(&ann.as_str()) {
+                    types.push(ann);
+                }
+            }
+        }
+    }
+    types.len()
+}
+
+/// Does some instance of `class` cover (nearly) every witnessed entity
+/// type? Such a class delimits whole objects. A cell that merely pairs
+/// two of four types (a concert's theater + address) is not a record.
+fn is_object_region(
+    src: &SourceTokens,
+    class: &crate::eqclass::EqClass,
+    present_types: usize,
+) -> bool {
+    let needed = 2.max(present_types.saturating_sub(1));
+    for (page_idx, page_spans) in class.spans.iter().enumerate() {
+        for &(s, e) in page_spans {
+            let mut seen: Vec<&str> = Vec::new();
+            for pos in s..=e {
+                for ann in &src.pages[page_idx].occs[pos].all_annotations {
+                    if !seen.contains(&ann.as_str()) {
+                        seen.push(ann);
+                        if seen.len() >= needed {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Is the class's content predominantly set-typed? Count annotated
+/// instances: those holding only set-type annotations vs the rest.
+fn is_set_region(
+    src: &SourceTokens,
+    class: &crate::eqclass::EqClass,
+    set_types: &[String],
+) -> bool {
+    if set_types.is_empty() {
+        return false;
+    }
+    let mut pure_set = 0usize;
+    let mut other = 0usize;
+    for (page_idx, page_spans) in class.spans.iter().enumerate() {
+        for &(s, e) in page_spans {
+            let mut saw_set = false;
+            let mut saw_other = false;
+            for pos in s..=e {
+                for ann in &src.pages[page_idx].occs[pos].all_annotations {
+                    if set_types.iter().any(|t| t == ann) {
+                        saw_set = true;
+                    } else {
+                        saw_other = true;
+                    }
+                }
+            }
+            match (saw_set, saw_other) {
+                (true, false) => pure_set += 1,
+                (false, false) => {}
+                _ => other += 1,
+            }
+        }
+    }
+    pure_set > other
+}
+
+/// `ordinals[page][instance]` = index of the class instance within its
+/// parent instance, clamped at the minimal per-parent count (the
+/// paper's "minimal number of consecutive occurrences" rule: surplus
+/// instances share the overflow ordinal `m_min`). Also reports the
+/// count spread `m_max − m_min`. Returns `None` when parent instances
+/// cannot be resolved.
+fn instance_ordinals(
+    class: &crate::eqclass::EqClass,
+    parent: Option<usize>,
+    analysis: &EqAnalysis,
+) -> Option<(Vec<Vec<usize>>, usize)> {
+    let mut raw: Vec<Vec<usize>> = Vec::with_capacity(class.spans.len());
+    let mut min_count: Option<usize> = None;
+    let mut max_count: usize = 0;
+
+    for (page_idx, page_spans) in class.spans.iter().enumerate() {
+        let mut page_ords = Vec::with_capacity(page_spans.len());
+        // Group instances by their parent instance index.
+        let mut counts_per_parent: HashMap<usize, usize> = HashMap::new();
+        for &(s, _e) in page_spans {
+            let parent_inst = match parent {
+                None => 0, // the page itself
+                Some(p) => {
+                    let spans = &analysis.classes[p].spans[page_idx];
+                    spans.iter().position(|&(ps, pe)| ps <= s && s <= pe)?
+                }
+            };
+            let ord = counts_per_parent.entry(parent_inst).or_insert(0);
+            page_ords.push(*ord);
+            *ord += 1;
+        }
+        for &count in counts_per_parent.values() {
+            min_count = Some(min_count.map(|m: usize| m.min(count)).unwrap_or(count));
+            max_count = max_count.max(count);
+        }
+        raw.push(page_ords);
+    }
+    let m_min = min_count?;
+    if m_min == 0 {
+        return None;
+    }
+    // With a single guaranteed occurrence, "repeats" and "cells plus
+    // optional trailer" are indistinguishable without annotations —
+    // treat the region as repeating (no split).
+    if m_min == 1 && max_count > 1 {
+        return None;
+    }
+    // Clamp ordinals at m_min: surplus occurrences share one role.
+    for page_ords in raw.iter_mut() {
+        for ord in page_ords.iter_mut() {
+            *ord = (*ord).min(m_min);
+        }
+    }
+    Some((raw, max_count - m_min))
+}
+
+/// Pass C: record the consistent annotation of roles whose occurrences
+/// all agree (or are unannotated).
+pub fn mark_consistent_annotations(src: &mut SourceTokens) {
+    let mut role_anns: HashMap<RoleId, (Option<String>, bool)> = HashMap::new(); // (ann, conflicted)
+    for page in &src.pages {
+        for occ in &page.occs {
+            let entry = role_anns.entry(occ.role).or_insert((None, false));
+            if entry.1 {
+                continue;
+            }
+            match (&entry.0, &occ.annotation) {
+                (_, None) => {}
+                (None, Some(a)) => entry.0 = Some(a.clone()),
+                (Some(prev), Some(a)) if prev == a => {}
+                (Some(_), Some(_)) => entry.1 = true,
+            }
+        }
+    }
+    for (role, (ann, conflicted)) in role_anns {
+        src.roles.info_mut(role).annotation = if conflicted { None } else { ann };
+    }
+}
+
+/// Pass D: split *tag* roles whose occurrences carry conflicting
+/// annotations. Returns the number of roles split.
+///
+/// Applied "cautiously" (§III-C): a role is split only when its
+/// annotations are *position-deterministic* — within each enclosing
+/// instance, the occurrence at ordinal `i` always carries the same
+/// annotation bucket. Mixed annotations at one position mean mixed
+/// cell content (merged fields), not distinct template roles, and
+/// splitting there would tear cells out of the template.
+fn conflicting_annotation_split(
+    src: &mut SourceTokens,
+    analysis: &EqAnalysis,
+    threshold: f64,
+    round: usize,
+) -> usize {
+    // Gather annotation histograms per role.
+    let mut histograms: HashMap<RoleId, HashMap<Option<String>, usize>> = HashMap::new();
+    for page in &src.pages {
+        for occ in &page.occs {
+            if !occ.is_tag() {
+                continue;
+            }
+            *histograms
+                .entry(occ.role)
+                .or_default()
+                .entry(occ.annotation.clone())
+                .or_insert(0) += 1;
+        }
+    }
+
+    let mut splits = 0usize;
+    for (role, hist) in histograms {
+        let distinct: Vec<&Option<String>> = hist.keys().filter(|a| a.is_some()).collect();
+        if distinct.len() < 2 {
+            continue; // not conflicting
+        }
+        // Majority annotation among annotated occurrences.
+        let annotated_total: usize = hist
+            .iter()
+            .filter(|(a, _)| a.is_some())
+            .map(|(_, &c)| c)
+            .sum();
+        let (majority, majority_count) = hist
+            .iter()
+            .filter(|(a, _)| a.is_some())
+            .max_by_key(|(a, &c)| (c, (*a).clone()))
+            .map(|(a, &c)| (a.clone(), c))
+            .expect("≥2 distinct annotations");
+        // "Generalizing the most frequent one if beyond a given
+        // threshold": a dominant majority types the whole position —
+        // minority conflicters are annotation noise, and splitting on
+        // them would tear a few records' cells out of the template.
+        if majority_count as f64 / annotated_total.max(1) as f64 >= threshold {
+            src.roles.info_mut(role).annotation = majority;
+            continue;
+        }
+        if !annotations_position_deterministic(src, analysis, role) {
+            continue; // mixed content at one position — not a split
+        }
+
+        // Genuine conflict: split occurrences by annotation.
+        let mut changed_any = false;
+        for page_idx in 0..src.pages.len() {
+            for pos in 0..src.pages[page_idx].occs.len() {
+                if src.pages[page_idx].occs[pos].role != role {
+                    continue;
+                }
+                let (token, path, ann) = {
+                    let occ = &src.pages[page_idx].occs[pos];
+                    (occ.token.clone(), occ.path.clone(), occ.annotation.clone())
+                };
+                let bucket: String = match &ann {
+                    Some(a) => a.clone(),
+                    None => "none".to_owned(),
+                };
+                let old_label = src.roles.info(role).label.clone();
+                let new_label = format!("{old_label}~r{round}a:{bucket}");
+                let new_role = src.roles.intern(&new_label, &token, &path);
+                if new_role != role {
+                    src.pages[page_idx].occs[pos].role = new_role;
+                    changed_any = true;
+                }
+            }
+        }
+        if changed_any {
+            splits += 1;
+        }
+    }
+    splits
+}
+
+/// Is the annotation bucket of `role`'s occurrences fully determined
+/// by their ordinal within the tightest enclosing class instance?
+fn annotations_position_deterministic(
+    src: &SourceTokens,
+    analysis: &EqAnalysis,
+    role: RoleId,
+) -> bool {
+    // ordinal within instance → the single bucket seen there. The
+    // role's own class is excluded: we want the *surrounding* context.
+    let own_class = analysis.role_class.get(&role).copied();
+    let mut per_ordinal: HashMap<usize, Option<String>> = HashMap::new();
+    for (page_idx, page) in src.pages.iter().enumerate() {
+        // Count role occurrences per enclosing instance as we scan.
+        let mut counters: HashMap<(usize, usize), usize> = HashMap::new();
+        for (pos, occ) in page.occs.iter().enumerate() {
+            if occ.role != role {
+                continue;
+            }
+            let key = analysis
+                .enclosing_instance_excluding(page_idx, pos, own_class)
+                .unwrap_or((usize::MAX, 0));
+            let counter = counters.entry(key).or_insert(0);
+            let ordinal = *counter;
+            *counter += 1;
+            match per_ordinal.entry(ordinal) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(occ.annotation.clone());
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != occ.annotation {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::{Annotation, AnnotatedPage};
+    use objectrunner_html::{parse, NodeKind};
+    use std::collections::HashMap as Map;
+
+    fn plain(html: &str) -> AnnotatedPage {
+        AnnotatedPage {
+            doc: parse(html),
+            annotations: Map::new(),
+        }
+    }
+
+    /// Pages shaped like the paper's running example: every record has
+    /// three <div>s at the same path.
+    fn running_example(counts: &[usize]) -> Vec<AnnotatedPage> {
+        counts
+            .iter()
+            .map(|&n| {
+                let recs: String = (0..n)
+                    .map(|i| {
+                        format!(
+                            "<li><div>artist{i}</div><div>date{i} x</div><div>addr{i} y</div></li>"
+                        )
+                    })
+                    .collect();
+                plain(&format!("<body><ul>{recs}</ul></body>"))
+            })
+            .collect()
+    }
+
+    fn cfg() -> DiffConfig {
+        DiffConfig::default()
+    }
+
+    #[test]
+    fn positional_split_separates_the_three_divs() {
+        let pages = running_example(&[1, 2, 2, 3]);
+        let mut src = SourceTokens::from_pages(&pages);
+        let outcome = differentiate(&mut src, &cfg(), |_, _| false);
+        assert!(!outcome.aborted);
+        // After differentiation the record class contains three
+        // distinct <div> open roles.
+        let record = outcome
+            .analysis
+            .classes
+            .iter()
+            .find(|c| c.vector == vec![1, 2, 2, 3])
+            .expect("record class");
+        let div_opens = record
+            .roles
+            .iter()
+            .filter(|&&r| src.roles.info(r).token.render() == "<div>")
+            .count();
+        assert_eq!(div_opens, 3, "three differentiated <div> roles");
+    }
+
+    #[test]
+    fn varying_counts_are_not_split() {
+        // Author-like repeated region: varying <b> counts per record.
+        let htmls = [
+            "<ul><li><b>a</b></li><li><b>a</b><b>b</b></li></ul>",
+            "<ul><li><b>a</b><b>b</b><b>c</b></li></ul>",
+            "<ul><li><b>a</b></li><li><b>a</b></li></ul>",
+        ];
+        let pages: Vec<AnnotatedPage> = htmls.iter().map(|h| plain(h)).collect();
+        let mut src = SourceTokens::from_pages(&pages);
+        let outcome = differentiate(&mut src, &cfg(), |_, _| false);
+        // The <b> roles must remain a single (repeating) role pair.
+        let b_class = outcome
+            .analysis
+            .classes
+            .iter()
+            .find(|c| {
+                c.roles
+                    .iter()
+                    .any(|&r| src.roles.info(r).token.render() == "<b>")
+            })
+            .expect("b class");
+        assert_eq!(b_class.vector, vec![3, 3, 2]);
+    }
+
+    #[test]
+    fn conflicting_annotations_split_roles_when_structure_cannot() {
+        // Two records per page where each record has a *varying*
+        // number of <div>s — positional splitting cannot apply — but
+        // annotations distinguish artist-divs from date-divs.
+        let mk = |extra: usize| {
+            let extras: String = (0..extra).map(|i| format!("<div>pad{i} z</div>")).collect();
+            let html = format!(
+                "<body><ul><li><div>Metallica</div><div>May 11, 2010</div>{extras}</li></ul></body>"
+            );
+            let mut page = plain(&html);
+            // Annotate first div text as artist, second as date.
+            let texts: Vec<_> = page
+                .doc
+                .descendants(page.doc.root())
+                .filter(|&id| matches!(page.doc.node(id).kind, NodeKind::Text(_)))
+                .collect();
+            page.annotations.insert(
+                texts[0],
+                vec![Annotation {
+                    type_name: "artist".into(),
+                    confidence: 0.9,
+                }],
+            );
+            page.annotations.insert(
+                texts[1],
+                vec![Annotation {
+                    type_name: "date".into(),
+                    confidence: 0.9,
+                }],
+            );
+            crate::annotate::propagate_upwards(&mut page);
+            page
+        };
+        let pages: Vec<AnnotatedPage> = vec![mk(0), mk(1), mk(2), mk(0)];
+        let mut src = SourceTokens::from_pages(&pages);
+        let outcome = differentiate(&mut src, &cfg(), |_, _| false);
+        assert!(outcome.conflict_splits > 0, "conflict splits expected");
+        // There are now distinct div roles labelled by annotation.
+        let labels: Vec<&str> = (0..src.roles.len())
+            .map(|i| src.roles.info(RoleId(i as u32)).label.as_str())
+            .collect();
+        assert!(labels.iter().any(|l| l.contains("a:artist")), "{labels:?}");
+        assert!(labels.iter().any(|l| l.contains("a:date")), "{labels:?}");
+    }
+
+    #[test]
+    fn consistent_annotations_are_marked_on_roles() {
+        let mut page = plain("<ul><li><i>Metallica</i></li><li><i>Muse</i></li></ul>");
+        let texts: Vec<_> = page
+            .doc
+            .descendants(page.doc.root())
+            .filter(|&id| matches!(page.doc.node(id).kind, NodeKind::Text(_)))
+            .collect();
+        for t in texts {
+            page.annotations.insert(
+                t,
+                vec![Annotation {
+                    type_name: "artist".into(),
+                    confidence: 0.9,
+                }],
+            );
+        }
+        crate::annotate::propagate_upwards(&mut page);
+        let mut src = SourceTokens::from_pages(std::slice::from_ref(&page));
+        mark_consistent_annotations(&mut src);
+        let i_role = src.pages[0]
+            .occs
+            .iter()
+            .find(|o| o.token.render() == "<i>")
+            .expect("i open")
+            .role;
+        assert_eq!(src.roles.info(i_role).annotation.as_deref(), Some("artist"));
+    }
+
+    #[test]
+    fn abort_check_stops_the_process() {
+        let pages = running_example(&[1, 2, 2]);
+        let mut src = SourceTokens::from_pages(&pages);
+        let outcome = differentiate(&mut src, &cfg(), |_, _| true);
+        assert!(outcome.aborted);
+        assert_eq!(outcome.rounds, 1);
+    }
+
+    #[test]
+    fn differentiation_terminates_and_is_deterministic() {
+        let run = || {
+            let pages = running_example(&[2, 3, 2, 4]);
+            let mut src = SourceTokens::from_pages(&pages);
+            let outcome = differentiate(&mut src, &cfg(), |_, _| false);
+            (outcome.rounds, src.roles.len(), outcome.analysis.classes.len())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.0 <= 40);
+    }
+}

@@ -1,0 +1,566 @@
+//! The annotated template tree (paper §III-D).
+//!
+//! "The input of the template construction step is a hierarchy of
+//! valid equivalence classes … the corresponding template τ can be
+//! represented as a similar tree structure, which can be obtained from
+//! the hierarchy of classes by replacing each class by its separators
+//! and the type annotations on them. We call this the annotated
+//! template tree."
+//!
+//! Each template node corresponds to one equivalence class. Its
+//! per-instance role permutation yields `k−1` **gaps** between
+//! consecutive separator tokens; a gap either stays empty, holds data
+//! words (annotated or not), or hosts the instances of child classes.
+
+use crate::eqclass::EqAnalysis;
+use crate::tokens::{RoleId, SourceTokens};
+use objectrunner_html::PageToken;
+use std::collections::HashMap;
+
+/// Multiplicity of a template node relative to its parent instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeMultiplicity {
+    /// Exactly once per parent instance.
+    One,
+    /// Zero or one times per parent instance.
+    Optional,
+    /// Varying count — a set region.
+    Repeating,
+}
+
+/// What a gap holds across the sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapKind {
+    /// No tokens ever observed.
+    Empty,
+    /// Free text (the candidate data fields).
+    Data,
+    /// Hosts child template nodes (may also hold data around them).
+    Children,
+}
+
+/// A separator matcher: how one permutation role is located on an
+/// unseen page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matcher {
+    pub token: PageToken,
+    pub path: String,
+}
+
+/// Statistics of one gap.
+#[derive(Debug, Clone, Default)]
+pub struct GapInfo {
+    /// Annotation histogram over word occurrences in the gap.
+    pub annotations: HashMap<String, usize>,
+    /// Number of instances in which the gap held at least one word.
+    pub data_instances: usize,
+    /// Total instances observed.
+    pub total_instances: usize,
+    /// Child template nodes hosted in this gap.
+    pub children: Vec<usize>,
+    /// Sample values (bounded) for diagnostics and tests.
+    pub samples: Vec<String>,
+}
+
+impl GapInfo {
+    /// Gap classification.
+    pub fn kind(&self) -> GapKind {
+        if !self.children.is_empty() {
+            GapKind::Children
+        } else if self.data_instances > 0 {
+            GapKind::Data
+        } else {
+            GapKind::Empty
+        }
+    }
+
+    /// The majority annotation type of the gap, with its share of all
+    /// annotated words.
+    pub fn majority_annotation(&self) -> Option<(&str, f64)> {
+        let total: usize = self.annotations.values().sum();
+        if total == 0 {
+            return None;
+        }
+        self.annotations
+            .iter()
+            .max_by_key(|(t, &c)| (c, std::cmp::Reverse(t.as_str())))
+            .map(|(t, &c)| (t.as_str(), c as f64 / total as f64))
+    }
+
+    /// All annotation types present in the gap.
+    pub fn annotation_types(&self) -> Vec<&str> {
+        let mut types: Vec<&str> = self.annotations.keys().map(String::as_str).collect();
+        types.sort_unstable();
+        types
+    }
+}
+
+/// One template node (≙ one equivalence class; node 0 is the synthetic
+/// page root).
+#[derive(Debug, Clone)]
+pub struct TemplateNode {
+    /// Backing class in the analysis (`None` for the synthetic root).
+    pub class: Option<usize>,
+    /// Multiplicity relative to the parent instance.
+    pub multiplicity: NodeMultiplicity,
+    /// Separator matchers, in per-instance order.
+    pub matchers: Vec<Matcher>,
+    /// The permutation roles (sample-side identities of `matchers`).
+    pub permutation: Vec<RoleId>,
+    /// Gap statistics; `gaps[j]` sits between `matchers[j]` and
+    /// `matchers[j+1]`.
+    pub gaps: Vec<GapInfo>,
+    /// Child template nodes.
+    pub children: Vec<usize>,
+    /// Parent template node.
+    pub parent: Option<usize>,
+}
+
+/// The annotated template tree.
+#[derive(Debug, Clone)]
+pub struct TemplateTree {
+    pub nodes: Vec<TemplateNode>,
+}
+
+impl TemplateTree {
+    /// The synthetic root.
+    pub fn root(&self) -> &TemplateNode {
+        &self.nodes[0]
+    }
+
+    /// Iterate node indices in depth-first order from the root.
+    pub fn dfs(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![0usize];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.nodes[n].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Nodes reachable from `start` through `One`/`Optional` edges
+    /// only (the tuple-level neighbourhood used by SOD matching —
+    /// crossing a `Repeating` edge would change cardinality).
+    pub fn tuple_reach(&self, start: usize) -> Vec<usize> {
+        let mut out = vec![start];
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            for &c in &self.nodes[n].children {
+                if self.nodes[c].multiplicity != NodeMultiplicity::Repeating {
+                    out.push(c);
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Cap on stored sample values per gap.
+const MAX_GAP_SAMPLES: usize = 12;
+
+/// Build the annotated template tree from a class analysis.
+pub fn build_template(src: &SourceTokens, analysis: &EqAnalysis) -> TemplateTree {
+    let n_classes = analysis.classes.len();
+    // Template node index = class id + 1; 0 is the synthetic root.
+    let mut nodes: Vec<TemplateNode> = Vec::with_capacity(n_classes + 1);
+    nodes.push(TemplateNode {
+        class: None,
+        multiplicity: NodeMultiplicity::One,
+        matchers: Vec::new(),
+        permutation: Vec::new(),
+        gaps: vec![GapInfo::default()],
+        children: Vec::new(),
+        parent: None,
+    });
+    for class in &analysis.classes {
+        let matchers = class
+            .permutation
+            .iter()
+            .map(|&r| {
+                let info = src.roles.info(r);
+                Matcher {
+                    token: info.token.clone(),
+                    path: info.path.clone(),
+                }
+            })
+            .collect();
+        let gap_count = class.permutation.len().saturating_sub(1);
+        nodes.push(TemplateNode {
+            class: Some(class.id),
+            multiplicity: node_multiplicity(class, analysis),
+            matchers,
+            permutation: class.permutation.clone(),
+            gaps: vec![GapInfo::default(); gap_count],
+            children: Vec::new(),
+            parent: None,
+        });
+    }
+
+    // Wire the hierarchy (class parent or synthetic root).
+    for class_id in 0..n_classes {
+        let node_idx = class_id + 1;
+        let parent_idx = analysis.parent[class_id].map(|p| p + 1).unwrap_or(0);
+        nodes[node_idx].parent = Some(parent_idx);
+        nodes[parent_idx].children.push(node_idx);
+    }
+
+    let mut tree = TemplateTree { nodes };
+    fill_gap_info(src, analysis, &mut tree);
+    tree
+}
+
+/// Multiplicity of a class within its parent instances: counts per
+/// parent instance over every page.
+fn node_multiplicity(class: &crate::eqclass::EqClass, analysis: &EqAnalysis) -> NodeMultiplicity {
+    let parent = analysis.parent[class.id];
+    let mut counts: Vec<usize> = Vec::new();
+    for (page_idx, page_spans) in class.spans.iter().enumerate() {
+        match parent {
+            None => counts.push(page_spans.len()),
+            Some(p) => {
+                let parent_spans = &analysis.classes[p].spans[page_idx];
+                for &(ps, pe) in parent_spans {
+                    let c = page_spans
+                        .iter()
+                        .filter(|&&(s, _)| ps <= s && s <= pe)
+                        .count();
+                    counts.push(c);
+                }
+            }
+        }
+    }
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let min = counts.iter().copied().min().unwrap_or(0);
+    match (min, max) {
+        (1, 1) => NodeMultiplicity::One,
+        (0, 0 | 1) => NodeMultiplicity::Optional,
+        (_, m) if m <= 1 => NodeMultiplicity::Optional,
+        _ => NodeMultiplicity::Repeating,
+    }
+}
+
+/// Populate gap statistics: which gap each word/child falls into.
+fn fill_gap_info(src: &SourceTokens, analysis: &EqAnalysis, tree: &mut TemplateTree) {
+    // Child-gap assignment: for each non-root node, find which gap of
+    // its parent hosts its instances.
+    let child_nodes: Vec<usize> = (1..tree.nodes.len()).collect();
+    for &node_idx in &child_nodes {
+        let parent_idx = tree.nodes[node_idx].parent.expect("non-root");
+        if parent_idx == 0 {
+            if !tree.nodes[0].gaps[0].children.contains(&node_idx) {
+                tree.nodes[0].gaps[0].children.push(node_idx);
+            }
+            continue;
+        }
+        let child_class = tree.nodes[node_idx].class.expect("non-root has class");
+        let parent_class = tree.nodes[parent_idx].class.expect("checked above");
+        if let Some(gap_j) = host_gap(src, analysis, parent_class, child_class) {
+            if !tree.nodes[parent_idx].gaps[gap_j].children.contains(&node_idx) {
+                tree.nodes[parent_idx].gaps[gap_j].children.push(node_idx);
+            }
+        }
+    }
+
+    // Word statistics per gap.
+    for node_idx in 1..tree.nodes.len() {
+        let class_id = tree.nodes[node_idx].class.expect("non-root");
+        let class = analysis.classes[class_id].clone();
+        let k = class.permutation.len();
+        if k < 2 {
+            continue;
+        }
+        for (page_idx, page_spans) in class.spans.iter().enumerate() {
+            for &(s, e) in page_spans {
+                // Locate the ordered positions of the permutation roles
+                // within this instance.
+                let mut sep_positions = Vec::with_capacity(k);
+                let mut next_role = 0usize;
+                for pos in s..=e {
+                    if next_role < k
+                        && src.pages[page_idx].occs[pos].role == class.permutation[next_role]
+                    {
+                        sep_positions.push(pos);
+                        next_role += 1;
+                    }
+                }
+                if sep_positions.len() != k {
+                    continue; // defensive: malformed instance
+                }
+                for j in 0..k - 1 {
+                    let gap = &mut tree.nodes[node_idx].gaps[j];
+                    gap.total_instances += 1;
+                    let mut words = Vec::new();
+                    for pos in sep_positions[j] + 1..sep_positions[j + 1] {
+                        let occ = &src.pages[page_idx].occs[pos];
+                        // Words not owned by a nested class count as
+                        // this gap's data.
+                        if occ.is_tag() {
+                            continue;
+                        }
+                        if analysis.role_class.contains_key(&occ.role) {
+                            continue;
+                        }
+                        if inside_other_class(analysis, class_id, page_idx, pos) {
+                            continue;
+                        }
+                        if let PageToken::Word(w) = &occ.token {
+                            words.push(w.clone());
+                        }
+                        for ann in &occ.all_annotations {
+                            *gap.annotations.entry(ann.clone()).or_insert(0) += 1;
+                        }
+                    }
+                    if !words.is_empty() {
+                        gap.data_instances += 1;
+                        if gap.samples.len() < MAX_GAP_SAMPLES {
+                            gap.samples.push(words.join(" "));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Which gap of `parent_class` hosts the instances of `child_class`?
+/// Majority vote across instances (they should all agree).
+fn host_gap(
+    src: &SourceTokens,
+    analysis: &EqAnalysis,
+    parent_class: usize,
+    child_class: usize,
+) -> Option<usize> {
+    let parent = &analysis.classes[parent_class];
+    let child = &analysis.classes[child_class];
+    let k = parent.permutation.len();
+    if k < 2 {
+        return None;
+    }
+    let mut votes: HashMap<usize, usize> = HashMap::new();
+    for (page_idx, child_spans) in child.spans.iter().enumerate() {
+        for &(cs, _ce) in child_spans {
+            // Find the parent instance containing this child instance.
+            let Some(&(ps, pe)) = parent.spans[page_idx]
+                .iter()
+                .find(|&&(ps, pe)| ps <= cs && cs <= pe)
+            else {
+                continue;
+            };
+            // Locate parent separator positions in that instance.
+            let mut sep_positions = Vec::with_capacity(k);
+            let mut next_role = 0usize;
+            for pos in ps..=pe {
+                if next_role < k
+                    && src.pages[page_idx].occs[pos].role == parent.permutation[next_role]
+                {
+                    sep_positions.push(pos);
+                    next_role += 1;
+                }
+            }
+            if sep_positions.len() != k {
+                continue;
+            }
+            for j in 0..k - 1 {
+                if sep_positions[j] < cs && cs < sep_positions[j + 1] {
+                    *votes.entry(j).or_insert(0) += 1;
+                    break;
+                }
+            }
+        }
+    }
+    votes.into_iter().max_by_key(|&(j, v)| (v, j)).map(|(j, _)| j)
+}
+
+/// Is `pos` inside an instance span of some class other than
+/// `class_id` that is itself nested within `class_id`'s span?
+fn inside_other_class(
+    analysis: &EqAnalysis,
+    class_id: usize,
+    page_idx: usize,
+    pos: usize,
+) -> bool {
+    for other in &analysis.classes {
+        if other.id == class_id {
+            continue;
+        }
+        // Only consider classes nested below `class_id`.
+        let mut anc = analysis.parent[other.id];
+        let mut is_descendant = false;
+        while let Some(a) = anc {
+            if a == class_id {
+                is_descendant = true;
+                break;
+            }
+            anc = analysis.parent[a];
+        }
+        if !is_descendant {
+            continue;
+        }
+        if other.spans[page_idx]
+            .iter()
+            .any(|&(s, e)| s <= pos && pos <= e)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::{Annotation, AnnotatedPage};
+    use crate::eqclass::EqConfig;
+    use crate::roles::{differentiate, DiffConfig};
+    use crate::tokens::SourceTokens;
+    use objectrunner_html::{parse, NodeKind};
+    use std::collections::HashMap as Map;
+
+    fn annotated_concert_pages(counts: &[usize]) -> Vec<AnnotatedPage> {
+        counts
+            .iter()
+            .map(|&n| {
+                let recs: String = (0..n)
+                    .map(|i| {
+                        format!(
+                            "<li><div>Artist{i}</div><div>May {d}, 2010</div></li>",
+                            d = i + 1
+                        )
+                    })
+                    .collect();
+                let mut page = AnnotatedPage {
+                    doc: parse(&format!("<body><ul>{recs}</ul></body>")),
+                    annotations: Map::new(),
+                };
+                // Annotate artist and date words.
+                let texts: Vec<_> = page
+                    .doc
+                    .descendants(page.doc.root())
+                    .filter(|&id| matches!(page.doc.node(id).kind, NodeKind::Text(_)))
+                    .collect();
+                for (idx, t) in texts.iter().enumerate() {
+                    let type_name = if idx % 2 == 0 { "artist" } else { "date" };
+                    page.annotations.insert(
+                        *t,
+                        vec![Annotation {
+                            type_name: type_name.to_owned(),
+                            confidence: 0.9,
+                        }],
+                    );
+                }
+                page
+            })
+            .collect()
+    }
+
+    fn build(counts: &[usize]) -> (SourceTokens, TemplateTree) {
+        let pages = annotated_concert_pages(counts);
+        let mut src = SourceTokens::from_pages(&pages);
+        let outcome = differentiate(
+            &mut src,
+            &DiffConfig {
+                eq: EqConfig {
+                    min_support: 3,
+                    ..EqConfig::default()
+                },
+                ..DiffConfig::default()
+            },
+            |_, _| false,
+        );
+        let tree = build_template(&src, &outcome.analysis);
+        (src, tree)
+    }
+
+    #[test]
+    fn record_node_is_repeating() {
+        let (_, tree) = build(&[1, 2, 3, 2]);
+        let repeating: Vec<&TemplateNode> = tree
+            .nodes
+            .iter()
+            .filter(|n| n.multiplicity == NodeMultiplicity::Repeating)
+            .collect();
+        assert!(!repeating.is_empty(), "record node should repeat");
+        // The record node has li + div separators.
+        let record = repeating
+            .iter()
+            .find(|n| n.matchers.iter().any(|m| m.token.render() == "<li>"))
+            .expect("li record node");
+        assert!(record.matchers.len() >= 6);
+    }
+
+    #[test]
+    fn gaps_carry_annotation_histograms() {
+        let (_, tree) = build(&[1, 2, 3, 2]);
+        let mut artist_gap = None;
+        let mut date_gap = None;
+        for node in &tree.nodes {
+            for gap in &node.gaps {
+                match gap.majority_annotation() {
+                    Some(("artist", _)) => artist_gap = Some(gap.clone()),
+                    Some(("date", _)) => date_gap = Some(gap.clone()),
+                    _ => {}
+                }
+            }
+        }
+        let artist_gap = artist_gap.expect("artist gap");
+        let date_gap = date_gap.expect("date gap");
+        assert_eq!(artist_gap.kind(), GapKind::Data);
+        assert!(artist_gap.samples.iter().any(|s| s.starts_with("Artist")));
+        assert!(date_gap.samples.iter().any(|s| s.contains("May")));
+    }
+
+    #[test]
+    fn distinct_types_map_to_distinct_gaps() {
+        let (_, tree) = build(&[2, 2, 3, 1]);
+        // No single gap should mix artist and date annotations in this
+        // clean source.
+        for node in &tree.nodes {
+            for gap in &node.gaps {
+                let types = gap.annotation_types();
+                assert!(
+                    types.len() <= 1,
+                    "gap mixes annotations: {types:?} ({:?})",
+                    gap.samples
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_hosts_top_level_classes() {
+        let (_, tree) = build(&[1, 2, 2, 2]);
+        assert!(!tree.root().gaps[0].children.is_empty());
+        for &c in &tree.root().gaps[0].children {
+            assert_eq!(tree.nodes[c].parent, Some(0));
+        }
+    }
+
+    #[test]
+    fn tuple_reach_stops_at_repeating_edges() {
+        let (_, tree) = build(&[1, 2, 2, 2]);
+        let reach = tree.tuple_reach(0);
+        for &n in &reach {
+            if n != 0 {
+                assert_ne!(
+                    tree.nodes[n].multiplicity,
+                    NodeMultiplicity::Repeating,
+                    "repeating node inside tuple reach"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_visits_every_node_once() {
+        let (_, tree) = build(&[1, 2, 3, 2]);
+        let order = tree.dfs();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), tree.nodes.len());
+    }
+}

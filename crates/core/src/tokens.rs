@@ -1,0 +1,282 @@
+//! Page tokens, roles and dtoken streams (paper §III-C).
+//!
+//! "A template is inferred from a sample of source pages based on
+//! occurrence vectors for page tokens (words or HTML tags) … Hence
+//! determining the roles and distinguishing between different roles
+//! for tokens becomes crucial in the inference of the implicit
+//! schema."
+//!
+//! A **dtoken** is a (token, role) pair. Roles start out as
+//! `(token value, DOM path)` — Algorithm 2 line 1, "tokens having the
+//! same value and the same path in the DOM will have the same role" —
+//! and are refined by [`crate::roles`].
+
+use crate::annotate::AnnotatedPage;
+use objectrunner_html::{node_path, token_stream, NodeId, PageToken};
+use std::collections::HashMap;
+
+/// Interned role identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RoleId(pub u32);
+
+/// Metadata of one role.
+#[derive(Debug, Clone)]
+pub struct RoleInfo {
+    /// Human-readable label (token + context), for diagnostics.
+    pub label: String,
+    /// The token value shared by every occurrence of this role.
+    pub token: PageToken,
+    /// The DOM path shared by every occurrence of this role.
+    pub path: String,
+    /// Consistent annotation of the role, when pass C established one.
+    pub annotation: Option<String>,
+}
+
+/// Role table: interned roles with stable ids.
+#[derive(Debug, Clone, Default)]
+pub struct RoleTable {
+    infos: Vec<RoleInfo>,
+    by_label: HashMap<String, RoleId>,
+}
+
+impl RoleTable {
+    /// Intern a role by label, creating it on first use.
+    pub fn intern(&mut self, label: &str, token: &PageToken, path: &str) -> RoleId {
+        if let Some(&id) = self.by_label.get(label) {
+            return id;
+        }
+        let id = RoleId(self.infos.len() as u32);
+        self.infos.push(RoleInfo {
+            label: label.to_owned(),
+            token: token.clone(),
+            path: path.to_owned(),
+            annotation: None,
+        });
+        self.by_label.insert(label.to_owned(), id);
+        id
+    }
+
+    /// Role metadata.
+    pub fn info(&self, id: RoleId) -> &RoleInfo {
+        &self.infos[id.0 as usize]
+    }
+
+    /// Mutable role metadata.
+    pub fn info_mut(&mut self, id: RoleId) -> &mut RoleInfo {
+        &mut self.infos[id.0 as usize]
+    }
+
+    /// Number of roles.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// True when no roles have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+}
+
+/// One token occurrence on one page.
+#[derive(Debug, Clone)]
+pub struct Occurrence {
+    /// Current role (refined across differentiation rounds).
+    pub role: RoleId,
+    /// The raw token.
+    pub token: PageToken,
+    /// DOM node the token came from.
+    pub node: NodeId,
+    /// DOM path of that node.
+    pub path: String,
+    /// Best annotation of the node, if any (drives role logic).
+    pub annotation: Option<String>,
+    /// All annotation types on the node ("multiple annotations may be
+    /// assigned to a given node") — drives gap histograms.
+    pub all_annotations: Vec<String>,
+}
+
+impl Occurrence {
+    /// Is this a tag token (vs a text word)?
+    pub fn is_tag(&self) -> bool {
+        self.token.is_tag()
+    }
+}
+
+/// The dtoken stream of one page.
+#[derive(Debug, Clone, Default)]
+pub struct PageTokens {
+    pub occs: Vec<Occurrence>,
+}
+
+/// The dtoken streams of a source sample, sharing one role table.
+#[derive(Debug, Clone, Default)]
+pub struct SourceTokens {
+    pub pages: Vec<PageTokens>,
+    pub roles: RoleTable,
+}
+
+impl SourceTokens {
+    /// Build dtoken streams from annotated sample pages, assigning
+    /// initial roles by `(token value, DOM path)`.
+    pub fn from_pages(pages: &[AnnotatedPage]) -> SourceTokens {
+        let mut source = SourceTokens::default();
+        for page in pages {
+            let mut pt = PageTokens::default();
+            for (token, node) in token_stream(&page.doc, page.doc.root()) {
+                let path = node_path(&page.doc, node);
+                let annotation = page.best_annotation(node).map(|a| a.type_name.clone());
+                let all_annotations = page
+                    .annotations_of(node)
+                    .iter()
+                    .map(|a| a.type_name.clone())
+                    .collect();
+                let label = initial_label(&token, &path);
+                let role = source.roles.intern(&label, &token, &path);
+                pt.occs.push(Occurrence {
+                    role,
+                    token,
+                    node,
+                    path,
+                    annotation,
+                    all_annotations,
+                });
+            }
+            source.pages.push(pt);
+        }
+        source
+    }
+
+    /// Occurrence count of each role on each page:
+    /// `vectors[role][page]`.
+    pub fn occurrence_vectors(&self) -> Vec<Vec<u32>> {
+        let mut vectors = vec![vec![0u32; self.pages.len()]; self.roles.len()];
+        for (p, page) in self.pages.iter().enumerate() {
+            for occ in &page.occs {
+                vectors[occ.role.0 as usize][p] += 1;
+            }
+        }
+        vectors
+    }
+
+    /// Positions of each role's occurrences per page.
+    pub fn positions_of(&self, role: RoleId) -> Vec<Vec<usize>> {
+        self.pages
+            .iter()
+            .map(|page| {
+                page.occs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| o.role == role)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Total occurrences of a role across all pages.
+    pub fn total_count(&self, role: RoleId) -> usize {
+        self.pages
+            .iter()
+            .map(|p| p.occs.iter().filter(|o| o.role == role).count())
+            .sum()
+    }
+}
+
+/// Initial role label: token value + DOM path.
+pub fn initial_label(token: &PageToken, path: &str) -> String {
+    format!("{}@{}", token.render(), path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate_page;
+    use objectrunner_html::parse;
+    use objectrunner_knowledge::gazetteer::Gazetteer;
+    use objectrunner_knowledge::recognizer::{Recognizer, RecognizerSet};
+
+    fn annotated(html: &str) -> AnnotatedPage {
+        let mut g = Gazetteer::new();
+        g.insert("Metallica", 0.9, 5.0);
+        let mut set = RecognizerSet::new();
+        set.insert("artist", Recognizer::dictionary(g));
+        annotate_page(parse(html), &set)
+    }
+
+    #[test]
+    fn same_token_same_path_shares_role() {
+        let p = annotated("<ul><li>a</li><li>b</li></ul>");
+        let src = SourceTokens::from_pages(std::slice::from_ref(&p));
+        let occs = &src.pages[0].occs;
+        let li_opens: Vec<&Occurrence> = occs
+            .iter()
+            .filter(|o| o.token == PageToken::Open("li".into()))
+            .collect();
+        assert_eq!(li_opens.len(), 2);
+        assert_eq!(li_opens[0].role, li_opens[1].role);
+    }
+
+    #[test]
+    fn same_token_different_path_differs() {
+        let p = annotated("<div><span>x</span></div><p><span>y</span></p>");
+        let src = SourceTokens::from_pages(std::slice::from_ref(&p));
+        let spans: Vec<&Occurrence> = src.pages[0]
+            .occs
+            .iter()
+            .filter(|o| o.token == PageToken::Open("span".into()))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_ne!(spans[0].role, spans[1].role);
+    }
+
+    #[test]
+    fn occurrence_vectors_count_per_page() {
+        let p1 = annotated("<li>x</li>");
+        let p2 = annotated("<li>x</li><li>y</li>");
+        let src = SourceTokens::from_pages(&[p1, p2]);
+        let vectors = src.occurrence_vectors();
+        let li_role = src.pages[0].occs[0].role;
+        assert_eq!(vectors[li_role.0 as usize], vec![1, 2]);
+    }
+
+    #[test]
+    fn word_occurrences_carry_annotations() {
+        let p = annotated("<div>Metallica</div>");
+        let src = SourceTokens::from_pages(std::slice::from_ref(&p));
+        let word = src.pages[0]
+            .occs
+            .iter()
+            .find(|o| !o.is_tag())
+            .expect("word occurrence");
+        assert_eq!(word.annotation.as_deref(), Some("artist"));
+    }
+
+    #[test]
+    fn tag_occurrences_inherit_propagated_annotations() {
+        let p = annotated("<div><span>Metallica</span></div>");
+        let src = SourceTokens::from_pages(std::slice::from_ref(&p));
+        let span_open = src.pages[0]
+            .occs
+            .iter()
+            .find(|o| o.token == PageToken::Open("span".into()))
+            .expect("span open");
+        assert_eq!(span_open.annotation.as_deref(), Some("artist"));
+    }
+
+    #[test]
+    fn positions_are_stream_indices() {
+        let p = annotated("<li>a</li><li>b</li>");
+        let src = SourceTokens::from_pages(std::slice::from_ref(&p));
+        let li_role = src.pages[0].occs[0].role;
+        let pos = src.positions_of(li_role);
+        assert_eq!(pos[0], vec![0, 3]);
+    }
+
+    #[test]
+    fn roles_are_shared_across_pages() {
+        let p1 = annotated("<li>a</li>");
+        let p2 = annotated("<li>b</li>");
+        let src = SourceTokens::from_pages(&[p1, p2]);
+        assert_eq!(src.pages[0].occs[0].role, src.pages[1].occs[0].role);
+    }
+}

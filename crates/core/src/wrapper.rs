@@ -1,0 +1,228 @@
+//! Wrapper generation (paper §III-C, Algorithm 2 end-to-end).
+//!
+//! Ties together role differentiation, template construction and SOD
+//! matching, and carries the wrapper's quality estimate: "a good
+//! wrapper (in short, one built with no or very few conflicting
+//! annotations)".
+
+use crate::annotate::AnnotatedPage;
+use crate::extract::extract_page;
+use crate::matching::{match_sod, partial_match_possible, MatchError, SodMapping};
+use crate::roles::{differentiate, DiffConfig};
+use crate::template::{build_template, TemplateTree};
+use crate::tokens::SourceTokens;
+use objectrunner_html::Document;
+use objectrunner_sod::{Instance, Sod, SodNode};
+
+/// Wrapper-generation failures.
+#[derive(Debug, Clone)]
+pub enum WrapperError {
+    /// §III-E: the abort condition fired — no partial matching of the
+    /// SOD into the (current) template tree can exist.
+    Aborted,
+    /// The final template tree does not match the SOD.
+    NoMatch(MatchError),
+    /// The sample was empty.
+    EmptySample,
+}
+
+impl std::fmt::Display for WrapperError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WrapperError::Aborted => write!(f, "wrapper generation aborted (no partial matching)"),
+            WrapperError::NoMatch(e) => write!(f, "SOD does not match the template: {e}"),
+            WrapperError::EmptySample => write!(f, "empty page sample"),
+        }
+    }
+}
+
+impl std::error::Error for WrapperError {}
+
+/// An extraction wrapper: template tree + SOD mapping.
+#[derive(Debug, Clone)]
+pub struct Wrapper {
+    pub template: TemplateTree,
+    pub mapping: SodMapping,
+    /// Tuple name of the SOD root (names extracted objects).
+    pub object_name: String,
+    /// Quality estimate in `(0, 1]` — degraded by conflicting
+    /// annotations and merged fields.
+    pub quality: f64,
+    /// Conflict-driven role splits during generation.
+    pub conflict_splits: usize,
+    /// Differentiation rounds run.
+    pub rounds: usize,
+    /// The support parameter the wrapper was built with.
+    pub support: usize,
+}
+
+impl Wrapper {
+    /// Extract all objects from one page.
+    pub fn extract_document(&self, doc: &Document) -> Vec<Instance> {
+        extract_page(&self.template, &self.mapping, &self.object_name, doc)
+    }
+
+    /// Extract from every page of a source.
+    pub fn extract_source(&self, docs: &[Document]) -> Vec<Instance> {
+        docs.iter()
+            .flat_map(|d| self.extract_document(d))
+            .collect()
+    }
+}
+
+/// Generate a wrapper from an annotated sample (Algorithm 2 + §III-D
+/// matching). `diff_cfg.eq.min_support` is the support parameter the
+/// self-validation loop varies (3–5 in the paper).
+pub fn generate_wrapper(
+    sample: &[AnnotatedPage],
+    sod: &Sod,
+    diff_cfg: &DiffConfig,
+) -> Result<Wrapper, WrapperError> {
+    if sample.is_empty() {
+        return Err(WrapperError::EmptySample);
+    }
+    let mut src = SourceTokens::from_pages(sample);
+    // The SOD's set-valued types guide role differentiation (§III-C).
+    let mut cfg = diff_cfg.clone();
+    if cfg.set_types.is_empty() {
+        cfg.set_types = sod
+            .set_entity_types()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+    }
+    let outcome = differentiate(&mut src, &cfg, |_, s| !partial_match_possible(s, sod));
+    if outcome.aborted {
+        return Err(WrapperError::Aborted);
+    }
+    let template = build_template(&src, &outcome.analysis);
+    let mapping = match_sod(&template, sod).map_err(WrapperError::NoMatch)?;
+
+    let merged = mapping.record.has_merged_fields();
+    let mut quality = 1.0 / (1.0 + outcome.conflict_splits as f64);
+    if merged {
+        quality *= 0.8;
+    }
+    Ok(Wrapper {
+        object_name: object_name(sod),
+        template,
+        mapping,
+        quality,
+        conflict_splits: outcome.conflict_splits,
+        rounds: outcome.rounds,
+        support: diff_cfg.eq.min_support,
+    })
+}
+
+fn object_name(sod: &Sod) -> String {
+    match sod.root() {
+        SodNode::Tuple { name, .. } => name.clone(),
+        _ => "object".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::{Annotation, AnnotatedPage};
+    use objectrunner_html::{parse, NodeKind};
+    use objectrunner_sod::{Multiplicity, SodBuilder};
+    use std::collections::HashMap as Map;
+
+    fn annotated_pages(counts: &[usize]) -> Vec<AnnotatedPage> {
+        counts
+            .iter()
+            .map(|&n| {
+                let recs: String = (0..n)
+                    .map(|i| format!("<li><div>Artist{i}</div><div>May {}, 2010</div></li>", i + 1))
+                    .collect();
+                let mut page = AnnotatedPage {
+                    doc: parse(&format!("<body><ul>{recs}</ul></body>")),
+                    annotations: Map::new(),
+                };
+                let texts: Vec<_> = page
+                    .doc
+                    .descendants(page.doc.root())
+                    .filter(|&id| matches!(page.doc.node(id).kind, NodeKind::Text(_)))
+                    .collect();
+                for (idx, t) in texts.iter().enumerate() {
+                    let type_name = if idx % 2 == 0 { "artist" } else { "date" };
+                    page.annotations.insert(
+                        *t,
+                        vec![Annotation {
+                            type_name: type_name.to_owned(),
+                            confidence: 0.9,
+                        }],
+                    );
+                }
+                page
+            })
+            .collect()
+    }
+
+    fn concert_sod() -> Sod {
+        SodBuilder::tuple("concert")
+            .entity("artist", Multiplicity::One)
+            .entity("date", Multiplicity::One)
+            .build()
+    }
+
+    #[test]
+    fn end_to_end_wrapper_extracts_objects() {
+        let sample = annotated_pages(&[2, 3, 1, 2]);
+        let wrapper =
+            generate_wrapper(&sample, &concert_sod(), &DiffConfig::default()).expect("wrapper");
+        assert!(wrapper.quality > 0.5);
+        assert_eq!(wrapper.object_name, "concert");
+        let unseen = parse(
+            "<body><ul><li><div>Metallica</div><div>May 11, 2010</div></li></ul></body>",
+        );
+        let objects = wrapper.extract_document(&unseen);
+        assert_eq!(objects.len(), 1);
+        assert_eq!(
+            objects[0].to_string(),
+            "concert{artist=\"Metallica\", date=\"May 11, 2010\"}"
+        );
+    }
+
+    #[test]
+    fn aborts_when_two_required_types_are_never_annotated() {
+        // One missing type is completable by elimination; two fire the
+        // §III-E abort.
+        let sample = annotated_pages(&[2, 2, 2]);
+        let sod = SodBuilder::tuple("concert")
+            .entity("artist", Multiplicity::One)
+            .entity("price", Multiplicity::One)
+            .entity("venue", Multiplicity::One)
+            .build();
+        let err = generate_wrapper(&sample, &sod, &DiffConfig::default()).expect_err("abort");
+        assert!(matches!(err, WrapperError::Aborted));
+    }
+
+    #[test]
+    fn empty_sample_errors() {
+        let err = generate_wrapper(&[], &concert_sod(), &DiffConfig::default())
+            .expect_err("empty sample");
+        assert!(matches!(err, WrapperError::EmptySample));
+    }
+
+    #[test]
+    fn extract_source_concatenates_pages() {
+        let sample = annotated_pages(&[2, 3, 1, 2]);
+        let wrapper =
+            generate_wrapper(&sample, &concert_sod(), &DiffConfig::default()).expect("wrapper");
+        let docs: Vec<Document> = sample.iter().map(|p| p.doc.clone()).collect();
+        let objects = wrapper.extract_source(&docs);
+        assert_eq!(objects.len(), 2 + 3 + 1 + 2);
+    }
+
+    #[test]
+    fn quality_reflects_conflicts() {
+        let sample = annotated_pages(&[2, 3, 1, 2]);
+        let wrapper =
+            generate_wrapper(&sample, &concert_sod(), &DiffConfig::default()).expect("wrapper");
+        // Clean source: no conflict splits.
+        assert_eq!(wrapper.conflict_splits, 0);
+        assert!((wrapper.quality - 1.0).abs() < 0.25);
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests for the equivalence-class analysis: the
+//! structural invariants of §III-C hold on randomly generated
+//! template pages.
+
+use objectrunner_core::annotate::AnnotatedPage;
+use objectrunner_core::eqclass::{find_classes, EqConfig};
+use objectrunner_core::roles::{differentiate, DiffConfig};
+use objectrunner_core::template::build_template;
+use objectrunner_core::tokens::SourceTokens;
+use objectrunner_html::parse;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A random template-generated source: per page, a random number of
+/// records rendered with a fixed per-source cell structure.
+#[derive(Debug, Clone)]
+struct RandomSource {
+    cell_tags: Vec<&'static str>,
+    records_per_page: Vec<usize>,
+    with_optional: bool,
+}
+
+fn arb_source() -> impl Strategy<Value = RandomSource> {
+    (
+        prop::collection::vec(
+            prop::sample::select(vec!["b", "i", "em", "u", "div", "span"]),
+            1..4,
+        ),
+        prop::collection::vec(1usize..7, 4..8),
+        any::<bool>(),
+    )
+        .prop_map(|(cell_tags, records_per_page, with_optional)| RandomSource {
+            cell_tags,
+            records_per_page,
+            with_optional,
+        })
+}
+
+fn render(source: &RandomSource) -> Vec<AnnotatedPage> {
+    source
+        .records_per_page
+        .iter()
+        .enumerate()
+        .map(|(p, &n)| {
+            let records: String = (0..n)
+                .map(|i| {
+                    let cells: String = source
+                        .cell_tags
+                        .iter()
+                        .enumerate()
+                        .map(|(c, tag)| format!("<{tag}>value{p}x{i}x{c}</{tag}>"))
+                        .collect();
+                    let optional = if source.with_optional && (p + i) % 2 == 0 {
+                        "<cite>extra</cite>".to_owned()
+                    } else {
+                        String::new()
+                    };
+                    format!("<li>{cells}{optional}</li>")
+                })
+                .collect();
+            AnnotatedPage {
+                doc: parse(&format!("<body><ul>{records}</ul></body>")),
+                annotations: HashMap::new(),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every class found is internally consistent: member roles share
+    /// the occurrence vector, spans are ordered and within page
+    /// bounds, and the permutation covers all member roles.
+    #[test]
+    fn classes_are_internally_consistent(source in arb_source()) {
+        let pages = render(&source);
+        let src = SourceTokens::from_pages(&pages);
+        let analysis = find_classes(&src, &EqConfig::default());
+        let vectors = src.occurrence_vectors();
+        for class in &analysis.classes {
+            // Vector equality across members.
+            for &r in &class.roles {
+                prop_assert_eq!(&vectors[r.0 as usize], &class.vector);
+            }
+            // Permutation covers members exactly.
+            let mut perm = class.permutation.clone();
+            perm.sort_unstable();
+            let mut members = class.roles.clone();
+            members.sort_unstable();
+            prop_assert_eq!(perm, members);
+            // Spans ordered within each page and in bounds.
+            for (p, spans) in class.spans.iter().enumerate() {
+                prop_assert_eq!(spans.len(), class.vector[p] as usize);
+                for w in spans.windows(2) {
+                    prop_assert!(w[0].1 < w[1].0, "overlapping instances");
+                }
+                for &(s, e) in spans {
+                    prop_assert!(s <= e);
+                    prop_assert!(e < src.pages[p].occs.len());
+                }
+            }
+        }
+    }
+
+    /// Classes are pairwise nested or disjoint (§III-C validity).
+    #[test]
+    fn classes_are_nested_or_disjoint(source in arb_source()) {
+        let pages = render(&source);
+        let src = SourceTokens::from_pages(&pages);
+        let analysis = find_classes(&src, &EqConfig::default());
+        for a in &analysis.classes {
+            for b in &analysis.classes {
+                if a.id >= b.id {
+                    continue;
+                }
+                for (sa, sb) in a.spans.iter().zip(b.spans.iter()) {
+                    for &(s1, e1) in sa {
+                        for &(s2, e2) in sb {
+                            let disjoint = e1 < s2 || e2 < s1;
+                            let nested = (s1 <= s2 && e2 <= e1) || (s2 <= s1 && e1 <= e2);
+                            prop_assert!(disjoint || nested);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The hierarchy is acyclic and parents contain their children.
+    #[test]
+    fn hierarchy_is_well_formed(source in arb_source()) {
+        let pages = render(&source);
+        let src = SourceTokens::from_pages(&pages);
+        let analysis = find_classes(&src, &EqConfig::default());
+        for class in &analysis.classes {
+            let mut seen = vec![false; analysis.classes.len()];
+            let mut cur = analysis.parent[class.id];
+            while let Some(p) = cur {
+                prop_assert!(!seen[p], "cycle through class {p}");
+                seen[p] = true;
+                cur = analysis.parent[p];
+            }
+        }
+    }
+
+    /// Differentiation terminates and only ever refines roles: the
+    /// number of roles never decreases and occurrences keep their
+    /// token and path.
+    #[test]
+    fn differentiation_refines_monotonically(source in arb_source()) {
+        let pages = render(&source);
+        let mut src = SourceTokens::from_pages(&pages);
+        let before: Vec<Vec<(String, String)>> = src
+            .pages
+            .iter()
+            .map(|p| {
+                p.occs
+                    .iter()
+                    .map(|o| (o.token.render(), o.path.clone()))
+                    .collect()
+            })
+            .collect();
+        let roles_before = src.roles.len();
+        let outcome = differentiate(&mut src, &DiffConfig::default(), |_, _| false);
+        prop_assert!(!outcome.aborted);
+        prop_assert!(src.roles.len() >= roles_before);
+        let after: Vec<Vec<(String, String)>> = src
+            .pages
+            .iter()
+            .map(|p| {
+                p.occs
+                    .iter()
+                    .map(|o| (o.token.render(), o.path.clone()))
+                    .collect()
+            })
+            .collect();
+        prop_assert_eq!(before, after, "tokens/paths must be untouched");
+    }
+
+    /// The template tree is structurally sound: one root, parents and
+    /// children agree, every non-root node has matchers.
+    #[test]
+    fn template_tree_is_well_formed(source in arb_source()) {
+        let pages = render(&source);
+        let mut src = SourceTokens::from_pages(&pages);
+        let outcome = differentiate(&mut src, &DiffConfig::default(), |_, _| false);
+        let tree = build_template(&src, &outcome.analysis);
+        prop_assert!(tree.nodes[0].parent.is_none());
+        for (i, node) in tree.nodes.iter().enumerate().skip(1) {
+            let parent = node.parent.expect("non-root has parent");
+            prop_assert!(tree.nodes[parent].children.contains(&i));
+            prop_assert!(!node.matchers.is_empty());
+            prop_assert_eq!(node.gaps.len(), node.matchers.len().saturating_sub(1));
+        }
+        // DFS covers every node exactly once (no orphans, no cycles).
+        let mut order = tree.dfs();
+        order.sort_unstable();
+        order.dedup();
+        prop_assert_eq!(order.len(), tree.nodes.len());
+    }
+}

@@ -1,0 +1,11 @@
+//! Appendix A: precision at 20% vs 10% dictionary coverage.
+
+use objectrunner_eval::tables::{corpus_sources, coverage_sweep, render_coverage};
+
+fn main() {
+    eprintln!("generating corpus…");
+    let sources = corpus_sources();
+    eprintln!("sweeping dictionary coverage (20%, 10%, 5%, 2%)…");
+    let rows = coverage_sweep(&sources, &[0.2, 0.1, 0.05, 0.02]);
+    print!("{}", render_coverage(&rows));
+}

@@ -1,0 +1,15 @@
+//! Regenerate Figure 6: (a) object classification rates and
+//! (b) incompletely managed sources, per system per domain.
+
+use objectrunner_eval::figures::{figure6a, figure6b, render_figure6a, render_figure6b};
+use objectrunner_eval::tables::{corpus_sources, table3};
+
+fn main() {
+    eprintln!("generating corpus…");
+    let sources = corpus_sources();
+    eprintln!("running all three systems…");
+    let cmp = table3(&sources);
+    print!("{}", render_figure6a(&figure6a(&cmp)));
+    println!();
+    print!("{}", render_figure6b(&figure6b(&cmp)));
+}

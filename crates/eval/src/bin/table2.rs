@@ -1,0 +1,12 @@
+//! Regenerate Table II: precision under SOD-based vs random sample
+//! selection.
+
+use objectrunner_eval::tables::{corpus_sources, render_table2, table2};
+
+fn main() {
+    eprintln!("generating corpus…");
+    let sources = corpus_sources();
+    eprintln!("running both sampling strategies…");
+    let rows = table2(&sources, 20120402);
+    print!("{}", render_table2(&rows));
+}

@@ -1,0 +1,11 @@
+//! Regenerate Table III: ObjectRunner vs ExAlg vs RoadRunner.
+
+use objectrunner_eval::tables::{corpus_sources, render_table3, table3};
+
+fn main() {
+    eprintln!("generating corpus…");
+    let sources = corpus_sources();
+    eprintln!("running OR, EA and RR on every source…");
+    let cmp = table3(&sources);
+    print!("{}", render_table3(&cmp));
+}

@@ -1,0 +1,643 @@
+//! The golden-standard classification of §IV-B.
+//!
+//! * An **attribute** is *correct* when its extracted values are
+//!   correct; *partially correct* when (i) values for several
+//!   attributes are extracted together as displayed in pages, or
+//!   (ii) values of one attribute are extracted as instances of
+//!   separate fields; *incorrect* when the extracted values mix
+//!   values of distinct attributes of the implicit schema.
+//! * An **object** is correct when all its attributes are correct,
+//!   partially correct when attributes are correct or partially
+//!   correct, incorrect otherwise.
+//! * `Pc = Oc / No` and `Pp = (Oc + Op) / No`; in this setting recall
+//!   equals `Pc` (every golden object is accounted for).
+
+use objectrunner_webgen::domain::GoldObject;
+use objectrunner_webgen::Source;
+
+/// A typed extracted object (attribute → values). ObjectRunner output
+/// maps directly; baseline outputs are typed by field alignment first
+/// (see [`align_fields`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExtractedObject {
+    pub attrs: Vec<(String, Vec<String>)>,
+}
+
+impl ExtractedObject {
+    /// Values of one attribute.
+    pub fn values(&self, attr: &str) -> &[String] {
+        self.attrs
+            .iter()
+            .find(|(a, _)| a == attr)
+            .map(|(_, vs)| vs.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Add values for an attribute.
+    pub fn push_all(&mut self, attr: &str, values: &[String]) {
+        if values.is_empty() {
+            return;
+        }
+        match self.attrs.iter_mut().find(|(a, _)| a == attr) {
+            Some((_, vs)) => vs.extend(values.iter().cloned()),
+            None => self.attrs.push((attr.to_owned(), values.to_vec())),
+        }
+    }
+
+    /// All values, any attribute.
+    pub fn all_values(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().flat_map(|(_, vs)| vs.iter().map(String::as_str))
+    }
+}
+
+/// Per-attribute outcome over one (gold, extracted) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrStatus {
+    Correct,
+    Partial,
+    Incorrect,
+    /// Attribute absent from both gold and extraction.
+    NotApplicable,
+}
+
+/// Per-object outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectStatus {
+    Correct,
+    Partial,
+    Incorrect,
+}
+
+/// Aggregated report for one source.
+#[derive(Debug, Clone)]
+pub struct SourceReport {
+    pub name: String,
+    /// Whether the optional attribute is displayed by the source.
+    pub optional_present: bool,
+    /// Source discarded before extraction (paper row 19).
+    pub discarded: bool,
+    /// Per SOD attribute: source-level status.
+    pub attrs: Vec<(String, AttrStatus)>,
+    /// Golden object count (`No`).
+    pub no: usize,
+    pub oc: usize,
+    pub op: usize,
+    pub oi: usize,
+}
+
+impl SourceReport {
+    /// Precision for correctness.
+    pub fn pc(&self) -> f64 {
+        if self.no == 0 {
+            0.0
+        } else {
+            self.oc as f64 / self.no as f64
+        }
+    }
+
+    /// Precision for partial correctness.
+    pub fn pp(&self) -> f64 {
+        if self.no == 0 {
+            0.0
+        } else {
+            (self.oc + self.op) as f64 / self.no as f64
+        }
+    }
+
+    /// Counts of (correct, partial, incorrect) attributes.
+    pub fn attr_counts(&self) -> (usize, usize, usize) {
+        let mut c = 0;
+        let mut p = 0;
+        let mut i = 0;
+        for (_, s) in &self.attrs {
+            match s {
+                AttrStatus::Correct => c += 1,
+                AttrStatus::Partial => p += 1,
+                AttrStatus::Incorrect => i += 1,
+                AttrStatus::NotApplicable => {}
+            }
+        }
+        (c, p, i)
+    }
+
+    /// "Incompletely managed" (Figure 6b): any partial or incorrect
+    /// attribute — or a discarded source.
+    pub fn incompletely_managed(&self) -> bool {
+        if self.discarded {
+            return true;
+        }
+        let (_, p, i) = self.attr_counts();
+        p + i > 0
+    }
+}
+
+/// Normalize a value for comparison.
+pub fn normalize(v: &str) -> String {
+    v.split_whitespace()
+        .map(|w| w.trim_matches(|c: char| !c.is_alphanumeric()))
+        .filter(|w| !w.is_empty())
+        .collect::<Vec<_>>()
+        .join(" ")
+        .to_lowercase()
+}
+
+fn contains_norm(haystack: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    haystack.contains(needle)
+}
+
+/// Classify one attribute of one aligned (gold, extracted) pair.
+fn attr_status(gold: &[String], extracted: &[String]) -> AttrStatus {
+    let g: Vec<String> = gold.iter().map(|v| normalize(v)).collect();
+    let e: Vec<String> = extracted.iter().map(|v| normalize(v)).collect();
+    if g.is_empty() && e.is_empty() {
+        return AttrStatus::NotApplicable;
+    }
+    if g.is_empty() {
+        // Extracted something the object doesn't have.
+        return AttrStatus::Incorrect;
+    }
+    if e.is_empty() {
+        return AttrStatus::Incorrect; // value lost
+    }
+    // Exact multiset equality.
+    let mut gs = g.clone();
+    let mut es = e.clone();
+    gs.sort();
+    es.sort();
+    if gs == es {
+        return AttrStatus::Correct;
+    }
+    // Partial: every gold value is found (exactly, embedded in a
+    // larger extracted unit — displayed together — or truncated).
+    let found = |gv: &String| {
+        e.iter()
+            .any(|ev| ev == gv || contains_norm(ev, gv) || contains_norm(gv, ev))
+    };
+    if g.iter().all(found) {
+        return AttrStatus::Partial;
+    }
+    if g.iter().any(found) {
+        return AttrStatus::Partial; // subset extracted (split fields)
+    }
+    AttrStatus::Incorrect
+}
+
+/// Similarity used to pair extracted objects with golden ones.
+fn pair_similarity(gold: &GoldObject, extracted: &ExtractedObject) -> usize {
+    let mut score = 0;
+    for (attr, gvs) in &gold.attrs {
+        for gv in gvs {
+            let gn = normalize(gv);
+            for ev in extracted.values(attr) {
+                let en = normalize(ev);
+                if en == gn {
+                    score += 3;
+                } else if contains_norm(&en, &gn) || contains_norm(&gn, &en) {
+                    score += 1;
+                }
+            }
+        }
+    }
+    score
+}
+
+/// Classify a whole source given typed extraction output per page.
+pub fn classify_source(
+    source: &Source,
+    extracted_pages: &[Vec<ExtractedObject>],
+    discarded: bool,
+) -> SourceReport {
+    let sod_attrs: Vec<&str> = source.spec.domain.attributes();
+    let no = source.object_count();
+    let mut report = SourceReport {
+        name: source.spec.name.clone(),
+        optional_present: source.spec.optional_present,
+        discarded,
+        attrs: Vec::new(),
+        no,
+        oc: 0,
+        op: 0,
+        oi: 0,
+    };
+    if discarded {
+        report.attrs = sod_attrs
+            .iter()
+            .map(|a| ((*a).to_owned(), AttrStatus::NotApplicable))
+            .collect();
+        return report;
+    }
+
+    // Per-attribute status tallies across objects.
+    let mut tallies: Vec<(usize, usize, usize, usize)> = vec![(0, 0, 0, 0); sod_attrs.len()];
+
+    for (page_idx, gold_objects) in source.truth.iter().enumerate() {
+        let empty = Vec::new();
+        let extracted = extracted_pages.get(page_idx).unwrap_or(&empty);
+        let pairs = pair_objects(gold_objects, extracted);
+        for (gi, gold) in gold_objects.iter().enumerate() {
+            let mut statuses = Vec::with_capacity(sod_attrs.len());
+            match pairs[gi] {
+                Some(ei) => {
+                    let ext = &extracted[ei];
+                    for (ai, attr) in sod_attrs.iter().enumerate() {
+                        let s = attr_status(gold.values(attr), ext.values(attr));
+                        bump(&mut tallies[ai], s);
+                        statuses.push(s);
+                    }
+                }
+                None => {
+                    // Unpaired golden object: if its values appear
+                    // somewhere in this page's extraction, the data was
+                    // captured in the wrong granularity — partial (the
+                    // "separate fields" case); otherwise it is lost.
+                    let page_values: Vec<String> = extracted
+                        .iter()
+                        .flat_map(|e| e.all_values())
+                        .map(normalize)
+                        .collect();
+                    for (ai, attr) in sod_attrs.iter().enumerate() {
+                        let gvs = gold.values(attr);
+                        let s = if gvs.is_empty() {
+                            AttrStatus::NotApplicable
+                        } else {
+                            let all_found = gvs.iter().all(|gv| {
+                                let gn = normalize(gv);
+                                page_values
+                                    .iter()
+                                    .any(|pv| *pv == gn || contains_norm(pv, &gn))
+                            });
+                            if all_found {
+                                AttrStatus::Partial
+                            } else {
+                                AttrStatus::Incorrect
+                            }
+                        };
+                        bump(&mut tallies[ai], s);
+                        statuses.push(s);
+                    }
+                }
+            }
+            match object_status(&statuses) {
+                ObjectStatus::Correct => report.oc += 1,
+                ObjectStatus::Partial => report.op += 1,
+                ObjectStatus::Incorrect => report.oi += 1,
+            }
+        }
+    }
+
+    // Source-level attribute classification: near-uniform outcomes
+    // decide the label (a handful of odd records don't flip a column).
+    report.attrs = sod_attrs
+        .iter()
+        .zip(tallies.iter())
+        .map(|(attr, &(c, p, i, _na))| {
+            let total = c + p + i;
+            let status = if total == 0 {
+                AttrStatus::NotApplicable
+            } else if c as f64 / total as f64 >= 0.95 {
+                AttrStatus::Correct
+            } else if (c + p) as f64 / total as f64 >= 0.95 {
+                AttrStatus::Partial
+            } else {
+                AttrStatus::Incorrect
+            };
+            ((*attr).to_owned(), status)
+        })
+        .collect();
+    report
+}
+
+fn bump(t: &mut (usize, usize, usize, usize), s: AttrStatus) {
+    match s {
+        AttrStatus::Correct => t.0 += 1,
+        AttrStatus::Partial => t.1 += 1,
+        AttrStatus::Incorrect => t.2 += 1,
+        AttrStatus::NotApplicable => t.3 += 1,
+    }
+}
+
+fn object_status(statuses: &[AttrStatus]) -> ObjectStatus {
+    let mut any_partial = false;
+    for s in statuses {
+        match s {
+            AttrStatus::Incorrect => return ObjectStatus::Incorrect,
+            AttrStatus::Partial => any_partial = true,
+            _ => {}
+        }
+    }
+    if any_partial {
+        ObjectStatus::Partial
+    } else {
+        ObjectStatus::Correct
+    }
+}
+
+/// Greedy pairing of golden and extracted objects on one page.
+/// Returns, per golden object, the index of its extracted partner.
+fn pair_objects(gold: &[GoldObject], extracted: &[ExtractedObject]) -> Vec<Option<usize>> {
+    let mut result = vec![None; gold.len()];
+    let mut taken = vec![false; extracted.len()];
+    // All candidate pairs by similarity.
+    let mut candidates: Vec<(usize, usize, usize)> = Vec::new(); // (score, gi, ei)
+    for (gi, g) in gold.iter().enumerate() {
+        for (ei, e) in extracted.iter().enumerate() {
+            let s = pair_similarity(g, e);
+            if s > 0 {
+                candidates.push((s, gi, ei));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| (a.1, a.2).cmp(&(b.1, b.2))));
+    for (_, gi, ei) in candidates {
+        if result[gi].is_none() && !taken[ei] {
+            result[gi] = Some(ei);
+            taken[ei] = true;
+        }
+    }
+    result
+}
+
+/// Align untyped baseline fields to SOD attributes using the golden
+/// standard (the paper's authors did this judgement manually).
+///
+/// For each field, count matches against each attribute over paired
+/// records; each attribute claims its best-scoring field.
+pub fn align_fields(
+    source: &Source,
+    flat_pages: &[Vec<objectrunner_baselines::FlatRecord>],
+) -> Vec<Vec<ExtractedObject>> {
+    let attrs = source.spec.domain.attributes();
+    let arity = flat_pages
+        .iter()
+        .flatten()
+        .map(|r| r.fields.len())
+        .max()
+        .unwrap_or(0);
+    if arity == 0 {
+        return flat_pages.iter().map(|_| Vec::new()).collect();
+    }
+
+    // Score fields against attributes. Each extracted record is
+    // scored against every golden object of its page: when a system
+    // surfaces a whole list as one record (RoadRunner's "too regular"
+    // shape), the later records' fields still align with the later
+    // golden objects.
+    let mut scores = vec![vec![0usize; attrs.len()]; arity];
+    for (page_idx, records) in flat_pages.iter().enumerate() {
+        let Some(gold_page) = source.truth.get(page_idx) else {
+            continue;
+        };
+        for record in records {
+            for (fi, values) in record.fields.iter().enumerate() {
+                for (ai, attr) in attrs.iter().enumerate() {
+                    let mut best = 0usize;
+                    for gold in gold_page {
+                        for gv in gold.values(attr) {
+                            let gn = normalize(gv);
+                            for v in values {
+                                let vn = normalize(v);
+                                if vn == gn {
+                                    best = best.max(3);
+                                } else if contains_norm(&vn, &gn)
+                                    || (vn.len() >= 4 && contains_norm(&gn, &vn))
+                                {
+                                    // Merged display or truncated value.
+                                    best = best.max(1);
+                                }
+                            }
+                        }
+                    }
+                    scores[fi][ai] += best;
+                }
+            }
+        }
+    }
+
+    // attr → fields: the best-scoring field plus any other field in
+    // the same league (the partial-(ii) "separate fields" case).
+    let mut attr_fields: Vec<Vec<usize>> = vec![Vec::new(); attrs.len()];
+    for (ai, af) in attr_fields.iter_mut().enumerate() {
+        let best = (0..arity).map(|fi| scores[fi][ai]).max().unwrap_or(0);
+        if best == 0 {
+            continue;
+        }
+        for fi in 0..arity {
+            if scores[fi][ai] * 2 >= best {
+                af.push(fi);
+            }
+        }
+    }
+
+    flat_pages
+        .iter()
+        .map(|records| {
+            records
+                .iter()
+                .map(|record| {
+                    let mut obj = ExtractedObject::default();
+                    for (ai, attr) in attrs.iter().enumerate() {
+                        for &fi in &attr_fields[ai] {
+                            if let Some(values) = record.fields.get(fi) {
+                                obj.push_all(attr, values);
+                            }
+                        }
+                    }
+                    obj
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use objectrunner_webgen::{generate_site, Domain, PageKind, SiteSpec};
+
+    fn typed(attrs: &[(&str, &[&str])]) -> ExtractedObject {
+        let mut o = ExtractedObject::default();
+        for (a, vs) in attrs {
+            o.push_all(a, &vs.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>());
+        }
+        o
+    }
+
+    fn gold(attrs: &[(&str, &[&str])]) -> GoldObject {
+        let mut o = GoldObject::default();
+        for (a, vs) in attrs {
+            for v in *vs {
+                o.push(a, v);
+            }
+        }
+        o
+    }
+
+    #[test]
+    fn exact_values_are_correct() {
+        assert_eq!(
+            attr_status(&["Metallica".into()], &["Metallica".into()]),
+            AttrStatus::Correct
+        );
+        // Normalization tolerates punctuation and case.
+        assert_eq!(
+            attr_status(&["May 11, 2010".into()], &["may 11 2010".into()]),
+            AttrStatus::Correct
+        );
+    }
+
+    #[test]
+    fn merged_display_is_partial() {
+        assert_eq!(
+            attr_status(
+                &["Metallica".into()],
+                &["Metallica — May 11, 2010".into()]
+            ),
+            AttrStatus::Partial
+        );
+    }
+
+    #[test]
+    fn truncated_value_is_partial() {
+        assert_eq!(
+            attr_status(
+                &["4 Penn Plaza, New York City".into()],
+                &["4 Penn Plaza".into()]
+            ),
+            AttrStatus::Partial
+        );
+    }
+
+    #[test]
+    fn lost_value_is_incorrect() {
+        assert_eq!(
+            attr_status(&["Metallica".into()], &[]),
+            AttrStatus::Incorrect
+        );
+    }
+
+    #[test]
+    fn alien_value_is_incorrect() {
+        assert_eq!(
+            attr_status(&["Metallica".into()], &["$12.99".into()]),
+            AttrStatus::Incorrect
+        );
+    }
+
+    #[test]
+    fn author_subset_is_partial() {
+        assert_eq!(
+            attr_status(
+                &["Jane Austen".into(), "Fiona Stafford".into()],
+                &["Jane Austen".into()]
+            ),
+            AttrStatus::Partial
+        );
+    }
+
+    #[test]
+    fn absent_optional_is_not_applicable() {
+        assert_eq!(attr_status(&[], &[]), AttrStatus::NotApplicable);
+    }
+
+    #[test]
+    fn perfect_extraction_scores_full_precision() {
+        let spec = SiteSpec::clean("t", Domain::Cars, PageKind::List, 4, 9);
+        let source = generate_site(&spec);
+        // Perfect output = the golden standard itself.
+        let extracted: Vec<Vec<ExtractedObject>> = source
+            .truth
+            .iter()
+            .map(|objs| {
+                objs.iter()
+                    .map(|g| ExtractedObject {
+                        attrs: g.attrs.clone(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let report = classify_source(&source, &extracted, false);
+        assert_eq!(report.oc, report.no);
+        assert!((report.pc() - 1.0).abs() < 1e-12);
+        let (c, p, i) = report.attr_counts();
+        assert_eq!((c, p, i), (2, 0, 0));
+    }
+
+    #[test]
+    fn empty_extraction_scores_zero() {
+        let spec = SiteSpec::clean("t", Domain::Cars, PageKind::List, 3, 10);
+        let source = generate_site(&spec);
+        let extracted: Vec<Vec<ExtractedObject>> =
+            source.truth.iter().map(|_| Vec::new()).collect();
+        let report = classify_source(&source, &extracted, false);
+        assert_eq!(report.oi, report.no);
+        assert_eq!(report.pc(), 0.0);
+    }
+
+    #[test]
+    fn discarded_source_reports_as_such() {
+        let spec = SiteSpec::clean("t", Domain::Albums, PageKind::List, 3, 11);
+        let source = generate_site(&spec);
+        let report = classify_source(&source, &[], true);
+        assert!(report.discarded);
+        assert!(report.incompletely_managed());
+    }
+
+    #[test]
+    fn pairing_is_robust_to_order() {
+        let golds = vec![
+            gold(&[("brand", &["Toyota"]), ("price", &["$10.00"])]),
+            gold(&[("brand", &["Honda"]), ("price", &["$20.00"])]),
+        ];
+        let extracted = vec![
+            typed(&[("brand", &["Honda"]), ("price", &["$20.00"])]),
+            typed(&[("brand", &["Toyota"]), ("price", &["$10.00"])]),
+        ];
+        let pairs = pair_objects(&golds, &extracted);
+        assert_eq!(pairs, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn unpaired_gold_with_values_on_page_is_partial() {
+        // One extracted record holds the values of both objects
+        // (RoadRunner's too-regular shape).
+        let spec = SiteSpec::clean("t", Domain::Cars, PageKind::List, 1, 12);
+        let mut source = generate_site(&spec);
+        source.truth = vec![vec![
+            gold(&[("brand", &["Toyota"]), ("price", &["$10.00"])]),
+            gold(&[("brand", &["Honda"]), ("price", &["$20.00"])]),
+        ]];
+        let merged = typed(&[
+            ("brand", &["Toyota", "Honda"]),
+            ("price", &["$10.00", "$20.00"]),
+        ]);
+        let report = classify_source(&source, &[vec![merged]], false);
+        assert_eq!(report.no, 2);
+        assert_eq!(report.oc, 0);
+        assert_eq!(report.op, 2, "both objects partial: {report:?}");
+    }
+
+    #[test]
+    fn field_alignment_types_baseline_output() {
+        use objectrunner_baselines::FlatRecord;
+        let spec = SiteSpec::clean("t", Domain::Cars, PageKind::List, 1, 13);
+        let mut source = generate_site(&spec);
+        source.truth = vec![vec![
+            gold(&[("brand", &["Toyota"]), ("price", &["$10.00"])]),
+            gold(&[("brand", &["Honda"]), ("price", &["$20.00"])]),
+        ]];
+        let flat = vec![vec![
+            FlatRecord {
+                fields: vec![vec!["Toyota".into()], vec!["$10.00".into()]],
+            },
+            FlatRecord {
+                fields: vec![vec!["Honda".into()], vec!["$20.00".into()]],
+            },
+        ]];
+        let typed_pages = align_fields(&source, &flat);
+        let report = classify_source(&source, &typed_pages, false);
+        assert_eq!(report.oc, 2);
+    }
+}

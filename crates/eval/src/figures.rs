@@ -1,0 +1,204 @@
+//! Regeneration of Figure 6: (a) object classification rates and
+//! (b) incompletely-managed source rates, per system per domain.
+
+use crate::tables::Comparison;
+use std::fmt::Write as _;
+
+/// Figure 6(a) datum: classification rates for one (domain, system).
+#[derive(Debug, Clone)]
+pub struct ClassificationRates {
+    pub domain: &'static str,
+    pub system: &'static str,
+    pub correct: f64,
+    pub partial: f64,
+    pub incorrect: f64,
+}
+
+/// Figure 6(b) datum.
+#[derive(Debug, Clone)]
+pub struct IncompleteRate {
+    pub domain: &'static str,
+    pub system: &'static str,
+    pub rate: f64,
+}
+
+/// Compute Figure 6(a) series from the Table III comparison.
+pub fn figure6a(cmp: &Comparison) -> Vec<ClassificationRates> {
+    let mut out = Vec::new();
+    for row in &cmp.domains {
+        for (system, _, _, reports) in &row.systems {
+            let mut no = 0usize;
+            let mut oc = 0usize;
+            let mut op = 0usize;
+            let mut oi = 0usize;
+            for r in reports {
+                if r.discarded {
+                    continue;
+                }
+                no += r.no;
+                oc += r.oc;
+                op += r.op;
+                oi += r.oi;
+            }
+            let no = no.max(1) as f64;
+            out.push(ClassificationRates {
+                domain: row.domain.name(),
+                system: system.abbrev(),
+                correct: oc as f64 / no,
+                partial: op as f64 / no,
+                incorrect: oi as f64 / no,
+            });
+        }
+    }
+    out
+}
+
+/// Compute Figure 6(b) series.
+pub fn figure6b(cmp: &Comparison) -> Vec<IncompleteRate> {
+    let mut out = Vec::new();
+    for row in &cmp.domains {
+        for (system, _, _, reports) in &row.systems {
+            let total = reports.len().max(1) as f64;
+            let incomplete = reports.iter().filter(|r| r.incompletely_managed()).count();
+            out.push(IncompleteRate {
+                domain: row.domain.name(),
+                system: system.abbrev(),
+                rate: incomplete as f64 / total,
+            });
+        }
+    }
+    out
+}
+
+fn bar(fraction: f64, width: usize) -> String {
+    let filled = (fraction.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!("{}{}", "█".repeat(filled), "·".repeat(width - filled))
+}
+
+/// Render Figure 6(a) as stacked ASCII bars.
+pub fn render_figure6a(rates: &[ClassificationRates]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "FIGURE 6(a) — OBJECT CLASSIFICATION RATES");
+    let _ = writeln!(
+        out,
+        "{:<14} {:<4} {:>9} {:>9} {:>9}  correct-rate",
+        "Domain", "Sys", "correct", "partial", "incorr."
+    );
+    let mut last = "";
+    for r in rates {
+        let domain = if last != r.domain {
+            last = r.domain;
+            r.domain
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:<4} {:>8.1}% {:>8.1}% {:>8.1}%  |{}|",
+            domain,
+            r.system,
+            r.correct * 100.0,
+            r.partial * 100.0,
+            r.incorrect * 100.0,
+            bar(r.correct, 24)
+        );
+    }
+    out
+}
+
+/// Render Figure 6(b).
+pub fn render_figure6b(rates: &[IncompleteRate]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "FIGURE 6(b) — RATE OF INCOMPLETELY MANAGED SOURCES");
+    let _ = writeln!(out, "{:<14} {:<4} {:>7}  rate", "Domain", "Sys", "rate");
+    let mut last = "";
+    for r in rates {
+        let domain = if last != r.domain {
+            last = r.domain;
+            r.domain
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:<4} {:>6.1}%  |{}|",
+            domain,
+            r.system,
+            r.rate * 100.0,
+            bar(r.rate, 24)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::SourceReport;
+    use crate::runners::SystemId;
+    use crate::tables::ComparisonRow;
+    use objectrunner_webgen::Domain;
+
+    fn report(no: usize, oc: usize, op: usize, oi: usize) -> SourceReport {
+        SourceReport {
+            name: "x".into(),
+            optional_present: true,
+            discarded: false,
+            attrs: vec![(
+                "a".into(),
+                if op + oi > 0 {
+                    crate::classify::AttrStatus::Partial
+                } else {
+                    crate::classify::AttrStatus::Correct
+                },
+            )],
+            no,
+            oc,
+            op,
+            oi,
+        }
+    }
+
+    fn cmp() -> Comparison {
+        Comparison {
+            domains: vec![ComparisonRow {
+                domain: Domain::Cars,
+                systems: vec![
+                    (SystemId::ObjectRunner, 0.8, 1.0, vec![report(10, 8, 2, 0)]),
+                    (SystemId::ExAlg, 0.5, 0.7, vec![report(10, 5, 2, 3)]),
+                    (SystemId::RoadRunner, 0.1, 0.6, vec![report(10, 1, 5, 4)]),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn rates_sum_to_one() {
+        let rates = figure6a(&cmp());
+        for r in &rates {
+            let sum = r.correct + r.partial + r.incorrect;
+            assert!((sum - 1.0).abs() < 1e-9, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn incomplete_rate_counts_flagged_sources() {
+        let rates = figure6b(&cmp());
+        // OR's single source has partial objects → incompletely managed.
+        assert!((rates[0].rate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renders_are_nonempty() {
+        let c = cmp();
+        assert!(render_figure6a(&figure6a(&c)).contains("OR"));
+        assert!(render_figure6b(&figure6b(&c)).contains("RR"));
+    }
+
+    #[test]
+    fn bar_width_is_stable() {
+        assert_eq!(bar(0.0, 10).chars().count(), 10);
+        assert_eq!(bar(1.0, 10).chars().count(), 10);
+        assert_eq!(bar(0.5, 10).chars().count(), 10);
+    }
+}

@@ -1,0 +1,27 @@
+//! # objectrunner-eval
+//!
+//! The paper's evaluation methodology (§IV-B) and the harness that
+//! regenerates every table and figure:
+//!
+//! * [`classify`] — the golden-standard test: correct / partially
+//!   correct / incorrect attributes and objects, and the two precision
+//!   measures `Pc = Oc/No` and `Pp = (Oc+Op)/No`.
+//! * [`runners`] — drive ObjectRunner, ExAlg and RoadRunner over a
+//!   generated source and normalize their outputs.
+//! * [`tables`] — Table I (per-source results), Table II (sample
+//!   selection strategies) and Table III (system comparison).
+//! * [`figures`] — Figure 6(a) object classification rates and 6(b)
+//!   incompletely-managed source rates.
+//!
+//! Binaries: `table1`, `table2`, `table3`, `figure6`,
+//! `dictionary_coverage` (Appendix A), `support_sweep` (Appendix B).
+
+pub mod classify;
+pub mod figures;
+pub mod runners;
+pub mod tables;
+
+pub use classify::{
+    classify_source, AttrStatus, ExtractedObject, ObjectStatus, SourceReport,
+};
+pub use runners::{run_exalg, run_objectrunner, run_roadrunner, SourceRun, SystemId};

@@ -1,0 +1,419 @@
+//! Regeneration of the paper's tables.
+
+use crate::classify::{AttrStatus, SourceReport};
+use crate::runners::{
+    run_exalg, run_objectrunner, run_objectrunner_with, run_roadrunner, SourceRun, SystemId,
+};
+use objectrunner_core::sample::SampleStrategy;
+use objectrunner_webgen::{paper_corpus, Domain, Source};
+use std::fmt::Write as _;
+
+/// Generate the evaluation corpus once.
+pub fn corpus_sources() -> Vec<Source> {
+    paper_corpus().generate()
+}
+
+/// Aggregate Pc/Pp over a domain's reports (discarded sources are
+/// excluded, as in the paper's emusic row).
+pub fn domain_precision(reports: &[&SourceReport]) -> (f64, f64) {
+    let mut no = 0usize;
+    let mut oc = 0usize;
+    let mut op = 0usize;
+    for r in reports {
+        if r.discarded {
+            continue;
+        }
+        no += r.no;
+        oc += r.oc;
+        op += r.op;
+    }
+    if no == 0 {
+        (0.0, 0.0)
+    } else {
+        (oc as f64 / no as f64, (oc + op) as f64 / no as f64)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table I — per-source extraction results (ObjectRunner)
+// ---------------------------------------------------------------------
+
+/// One Table I row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    pub index: usize,
+    pub domain: Domain,
+    pub site: String,
+    pub optional: Option<bool>,
+    pub discarded: bool,
+    pub ac: usize,
+    pub ap: usize,
+    pub ai: usize,
+    pub total_attrs: usize,
+    pub no: usize,
+    pub oc: usize,
+    pub op: usize,
+    pub oi: usize,
+}
+
+/// Compute Table I: ObjectRunner over every source.
+pub fn table1(sources: &[Source]) -> Vec<Table1Row> {
+    sources
+        .iter()
+        .enumerate()
+        .map(|(i, source)| {
+            let run = run_objectrunner(source, SampleStrategy::SodBased);
+            table1_row(i + 1, source, &run)
+        })
+        .collect()
+}
+
+fn table1_row(index: usize, source: &Source, run: &SourceRun) -> Table1Row {
+    let (ac, ap, ai) = run.report.attr_counts();
+    let total_attrs = run
+        .report
+        .attrs
+        .iter()
+        .filter(|(_, s)| *s != AttrStatus::NotApplicable)
+        .count()
+        .max(ac + ap + ai);
+    Table1Row {
+        index,
+        domain: source.spec.domain,
+        site: source.spec.name.clone(),
+        optional: source
+            .spec
+            .domain
+            .optional_attribute()
+            .map(|_| source.spec.optional_present),
+        discarded: run.report.discarded,
+        ac,
+        ap,
+        ai,
+        total_attrs,
+        no: run.report.no,
+        oc: run.report.oc,
+        op: run.report.op,
+        oi: run.report.oi,
+    }
+}
+
+/// Render Table I as fixed-width text.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE I — EXTRACTION RESULTS (ObjectRunner)");
+    let _ = writeln!(
+        out,
+        "{:>3} {:<14} {:<22} {:>8} {:>7} {:>7} {:>7} {:>6} {:>6} {:>6} {:>6}",
+        "#", "Domain", "Site", "Optional", "Ac", "Ap", "Ai", "No", "Oc", "Op", "Oi"
+    );
+    let mut last_domain: Option<Domain> = None;
+    for r in rows {
+        let domain = if last_domain != Some(r.domain) {
+            last_domain = Some(r.domain);
+            r.domain.name()
+        } else {
+            ""
+        };
+        if r.discarded {
+            let _ = writeln!(
+                out,
+                "{:>3} {:<14} {:<22} (discarded)",
+                r.index, domain, r.site
+            );
+            continue;
+        }
+        let optional = match r.optional {
+            Some(true) => "yes",
+            Some(false) => "no",
+            None => "-",
+        };
+        let t = r.total_attrs;
+        let _ = writeln!(
+            out,
+            "{:>3} {:<14} {:<22} {:>8} {:>7} {:>7} {:>7} {:>6} {:>6} {:>6} {:>6}",
+            r.index,
+            domain,
+            r.site,
+            optional,
+            format!("{}/{t}", r.ac),
+            format!("{}/{t}", r.ap),
+            format!("{}/{t}", r.ai),
+            r.no,
+            r.oc,
+            r.op,
+            r.oi
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Table II — SOD-based vs random sample selection
+// ---------------------------------------------------------------------
+
+/// One Table II row: a domain under both strategies.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    pub domain: Domain,
+    pub sod_pc: f64,
+    pub sod_pp: f64,
+    pub random_pc: f64,
+    pub random_pp: f64,
+}
+
+/// Compute Table II.
+pub fn table2(sources: &[Source], random_seed: u64) -> Vec<Table2Row> {
+    Domain::ALL
+        .iter()
+        .map(|&domain| {
+            let domain_sources: Vec<&Source> =
+                sources.iter().filter(|s| s.spec.domain == domain).collect();
+            let sod_reports: Vec<SourceReport> = domain_sources
+                .iter()
+                .map(|s| run_objectrunner(s, SampleStrategy::SodBased).report)
+                .collect();
+            let random_reports: Vec<SourceReport> = domain_sources
+                .iter()
+                .map(|s| run_objectrunner(s, SampleStrategy::Random(random_seed)).report)
+                .collect();
+            let (sod_pc, sod_pp) = domain_precision(&sod_reports.iter().collect::<Vec<_>>());
+            let (random_pc, random_pp) =
+                domain_precision(&random_reports.iter().collect::<Vec<_>>());
+            Table2Row {
+                domain,
+                sod_pc,
+                sod_pp,
+                random_pc,
+                random_pp,
+            }
+        })
+        .collect()
+}
+
+/// Render Table II.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "TABLE II — PRECISION BY SAMPLE SELECTION: SOD-BASED vs RANDOM (%)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>8}   {:>8} {:>8}",
+        "Domain", "Pc(SOD)", "Pp(SOD)", "Pc(rand)", "Pp(rand)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8.2} {:>8.2}   {:>8.2} {:>8.2}",
+            r.domain.name(),
+            r.sod_pc * 100.0,
+            r.sod_pp * 100.0,
+            r.random_pc * 100.0,
+            r.random_pp * 100.0
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Table III — system comparison
+// ---------------------------------------------------------------------
+
+/// Per-domain, per-system precision, plus the per-source reports
+/// (reused by Figure 6).
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    pub domains: Vec<ComparisonRow>,
+}
+
+/// One Table III row.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    pub domain: Domain,
+    /// Per system: (Pc, Pp, per-source reports).
+    pub systems: Vec<(SystemId, f64, f64, Vec<SourceReport>)>,
+}
+
+/// Compute the full three-system comparison.
+pub fn table3(sources: &[Source]) -> Comparison {
+    let domains = Domain::ALL
+        .iter()
+        .map(|&domain| {
+            let domain_sources: Vec<&Source> =
+                sources.iter().filter(|s| s.spec.domain == domain).collect();
+            let systems = [
+                SystemId::ObjectRunner,
+                SystemId::ExAlg,
+                SystemId::RoadRunner,
+            ]
+            .iter()
+            .map(|&system| {
+                let reports: Vec<SourceReport> = domain_sources
+                    .iter()
+                    .map(|s| match system {
+                        SystemId::ObjectRunner => {
+                            run_objectrunner(s, SampleStrategy::SodBased).report
+                        }
+                        SystemId::ExAlg => run_exalg(s).report,
+                        SystemId::RoadRunner => run_roadrunner(s).report,
+                    })
+                    .collect();
+                let (pc, pp) = domain_precision(&reports.iter().collect::<Vec<_>>());
+                (system, pc, pp, reports)
+            })
+            .collect();
+            ComparisonRow { domain, systems }
+        })
+        .collect();
+    Comparison { domains }
+}
+
+/// Render Table III.
+pub fn render_table3(cmp: &Comparison) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE III — PERFORMANCE RESULTS (%)");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>7} {:>7}   {:>7} {:>7}   {:>7} {:>7}",
+        "Domain", "OR Pc", "OR Pp", "EA Pc", "EA Pp", "RR Pc", "RR Pp"
+    );
+    for row in &cmp.domains {
+        let mut cells = String::new();
+        for (_, pc, pp, _) in &row.systems {
+            let _ = write!(cells, " {:>7.2} {:>7.2}  ", pc * 100.0, pp * 100.0);
+        }
+        let _ = writeln!(out, "{:<14}{}", row.domain.name(), cells);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Appendix A — dictionary coverage sweep
+// ---------------------------------------------------------------------
+
+/// One coverage sweep row.
+#[derive(Debug, Clone)]
+pub struct CoverageRow {
+    pub domain: Domain,
+    pub coverage: f64,
+    pub pc: f64,
+    pub pp: f64,
+}
+
+/// Pc/Pp per domain at each dictionary coverage level.
+pub fn coverage_sweep(sources: &[Source], coverages: &[f64]) -> Vec<CoverageRow> {
+    let mut rows = Vec::new();
+    for &coverage in coverages {
+        for &domain in &Domain::ALL {
+            let reports: Vec<SourceReport> = sources
+                .iter()
+                .filter(|s| s.spec.domain == domain)
+                .map(|s| run_objectrunner_with(s, SampleStrategy::SodBased, coverage).report)
+                .collect();
+            let (pc, pp) = domain_precision(&reports.iter().collect::<Vec<_>>());
+            rows.push(CoverageRow {
+                domain,
+                coverage,
+                pc,
+                pp,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the coverage sweep.
+pub fn render_coverage(rows: &[CoverageRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "APPENDIX A — PRECISION BY DICTIONARY COVERAGE (%)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>9} {:>8} {:>8}",
+        "Domain", "Coverage", "Pc", "Pp"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8.0}% {:>8.2} {:>8.2}",
+            r.domain.name(),
+            r.coverage * 100.0,
+            r.pc * 100.0,
+            r.pp * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use objectrunner_webgen::{generate_site, PageKind, SiteSpec};
+
+    fn small_sources() -> Vec<Source> {
+        // A miniature corpus: one quick source per domain.
+        Domain::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                generate_site(&SiteSpec::clean(
+                    &format!("mini-{}", d.name()),
+                    d,
+                    PageKind::List,
+                    8,
+                    300 + i as u64,
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table1_rows_cover_every_source() {
+        let sources = small_sources();
+        let rows = table1(&sources);
+        assert_eq!(rows.len(), sources.len());
+        let text = render_table1(&rows);
+        assert!(text.contains("Concerts"));
+        assert!(text.contains("Cars"));
+    }
+
+    #[test]
+    fn domain_precision_excludes_discarded() {
+        let a = SourceReport {
+            name: "a".into(),
+            optional_present: true,
+            discarded: false,
+            attrs: vec![],
+            no: 10,
+            oc: 10,
+            op: 0,
+            oi: 0,
+        };
+        let b = SourceReport {
+            name: "b".into(),
+            discarded: true,
+            ..a.clone()
+        };
+        let (pc, pp) = domain_precision(&[&a, &b]);
+        assert!((pc - 1.0).abs() < 1e-12);
+        assert!((pp - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_table2_formats_percentages() {
+        let rows = vec![Table2Row {
+            domain: Domain::Cars,
+            sod_pc: 0.7579,
+            sod_pp: 1.0,
+            random_pc: 0.7579,
+            random_pp: 1.0,
+        }];
+        let text = render_table2(&rows);
+        assert!(text.contains("75.79"));
+        assert!(text.contains("100.00"));
+    }
+}

@@ -1,0 +1,424 @@
+//! Arena-based DOM with JTidy-style error recovery.
+//!
+//! The tree builder consumes the tokenizer's stream and always produces
+//! a well-formed tree: void elements never take children, implied end
+//! tags are inserted (`<li>`, `<p>`, `<option>`, table parts), stray
+//! end tags are dropped, and everything left open at EOF is closed.
+
+use crate::tokenizer::Token;
+use std::fmt;
+
+/// Index of a node in its [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index into the arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Node payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The synthetic document root.
+    Document,
+    /// An element with its (lower-cased) tag name and attributes.
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+    },
+    /// A text node (entity-decoded).
+    Text(String),
+    /// A comment (dropped by cleaning).
+    Comment(String),
+}
+
+/// One DOM node: payload plus tree links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub kind: NodeKind,
+    pub parent: Option<NodeId>,
+    pub children: Vec<NodeId>,
+}
+
+/// An HTML document as a node arena rooted at [`Document::root`].
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+/// Elements that never have content.
+pub const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
+];
+
+/// `(child, closes)`: opening `child` implies closing the nearest open
+/// element in `closes`.
+const IMPLIED_END: &[(&str, &[&str])] = &[
+    ("li", &["li"]),
+    ("option", &["option"]),
+    ("tr", &["tr", "td", "th"]),
+    ("td", &["td", "th"]),
+    ("th", &["td", "th"]),
+    ("p", &["p"]),
+    ("dt", &["dt", "dd"]),
+    ("dd", &["dt", "dd"]),
+];
+
+impl Document {
+    /// Create a document holding only a root node.
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![Node {
+                kind: NodeKind::Document,
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// The synthetic root.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes in the arena (including detached ones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document holds only its root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutably borrow a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Append a new node under `parent` and return its id.
+    pub fn push_node(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Element tag name, or `None` for non-elements.
+    pub fn tag_name(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Attribute lookup on an element node.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(a, _)| a == name)
+                .map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Iterate over all node ids in depth-first pre-order from `start`.
+    pub fn descendants(&self, start: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            stack: vec![start],
+        }
+    }
+
+    /// The concatenated, whitespace-normalized text beneath `id`.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut parts = Vec::new();
+        self.collect_text(id, &mut parts);
+        let joined = parts.join(" ");
+        normalize_ws(&joined)
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut Vec<String>) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => {
+                let t = normalize_ws(t);
+                if !t.is_empty() {
+                    out.push(t);
+                }
+            }
+            NodeKind::Comment(_) => {}
+            _ => {
+                for &c in &self.node(id).children {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Direct children ids (slice, no allocation).
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Parent id, `None` for the root.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Detach `id` from its parent. The node stays in the arena but is
+    /// no longer reachable from the root.
+    pub fn detach(&mut self, id: NodeId) {
+        if let Some(p) = self.node(id).parent {
+            self.nodes[p.index()].children.retain(|&c| c != id);
+            self.nodes[id.index()].parent = None;
+        }
+    }
+
+    /// All element descendants with the given tag name.
+    pub fn elements_by_tag(&self, start: NodeId, tag: &str) -> Vec<NodeId> {
+        self.descendants(start)
+            .filter(|&id| self.tag_name(id) == Some(tag))
+            .collect()
+    }
+
+    /// Count of reachable nodes (excludes detached subtrees).
+    pub fn reachable_count(&self) -> usize {
+        self.descendants(self.root()).count()
+    }
+}
+
+/// Depth-first pre-order iterator over node ids.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let children = &self.doc.node(id).children;
+        self.stack.extend(children.iter().rev().copied());
+        Some(id)
+    }
+}
+
+/// Collapse runs of whitespace into single spaces and trim.
+pub fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Build a well-formed [`Document`] from a token stream.
+pub fn build(tokens: Vec<Token>) -> Document {
+    let mut doc = Document::new();
+    // Stack of open elements; root is always at the bottom.
+    let mut open: Vec<NodeId> = vec![doc.root()];
+
+    for tok in tokens {
+        match tok {
+            Token::Doctype(_) => {}
+            Token::Comment(c) => {
+                let parent = *open.last().expect("root always open");
+                doc.push_node(parent, NodeKind::Comment(c));
+            }
+            Token::Text(t) => {
+                let parent = *open.last().expect("root always open");
+                doc.push_node(parent, NodeKind::Text(t));
+            }
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                apply_implied_end(&doc, &mut open, &name);
+                let parent = *open.last().expect("root always open");
+                let id = doc.push_node(parent, NodeKind::Element { name: name.clone(), attrs });
+                let void = VOID_ELEMENTS.contains(&name.as_str());
+                if !void && !self_closing {
+                    open.push(id);
+                }
+            }
+            Token::EndTag { name } => {
+                // Find the matching open element; drop the end tag if none.
+                if let Some(pos) = open
+                    .iter()
+                    .rposition(|&id| doc.tag_name(id) == Some(name.as_str()))
+                {
+                    open.truncate(pos);
+                }
+            }
+        }
+    }
+    doc
+}
+
+fn apply_implied_end(doc: &Document, open: &mut Vec<NodeId>, incoming: &str) {
+    let Some((_, closes)) = IMPLIED_END.iter().find(|(c, _)| *c == incoming) else {
+        return;
+    };
+    // Close the nearest open element in `closes`, but never cross a
+    // structural container boundary (ul/ol/table/tbody/select/dl/div).
+    const BOUNDARIES: &[&str] = &[
+        "ul", "ol", "table", "tbody", "thead", "tfoot", "select", "dl", "div", "body", "html",
+    ];
+    // Pop the maximal run of closeable elements at the top of the
+    // stack (e.g. an incoming <tr> closes both the open <td> and the
+    // previous <tr>), stopping at any container boundary.
+    let mut cut = open.len();
+    for i in (1..open.len()).rev() {
+        let Some(tag) = doc.tag_name(open[i]) else { break };
+        if closes.contains(&tag) {
+            cut = i;
+        } else {
+            break;
+        }
+        if BOUNDARIES.contains(&tag) {
+            break;
+        }
+    }
+    open.truncate(cut);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn tags(doc: &Document) -> Vec<String> {
+        doc.descendants(doc.root())
+            .filter_map(|id| doc.tag_name(id).map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn builds_simple_tree() {
+        let doc = parse("<html><body><p>hi</p></body></html>");
+        assert_eq!(tags(&doc), vec!["html", "body", "p"]);
+        assert_eq!(doc.text_content(doc.root()), "hi");
+    }
+
+    #[test]
+    fn auto_closes_li() {
+        let doc = parse("<ul><li>a<li>b<li>c</ul>");
+        let ul = doc.elements_by_tag(doc.root(), "ul")[0];
+        let lis = doc.elements_by_tag(ul, "li");
+        assert_eq!(lis.len(), 3);
+        // Each li is a direct child of ul, not nested.
+        for li in lis {
+            assert_eq!(doc.parent(li), Some(ul));
+        }
+    }
+
+    #[test]
+    fn auto_closes_p() {
+        let doc = parse("<div><p>one<p>two</div>");
+        let ps = doc.elements_by_tag(doc.root(), "p");
+        assert_eq!(ps.len(), 2);
+        assert_eq!(doc.text_content(ps[0]), "one");
+        assert_eq!(doc.text_content(ps[1]), "two");
+    }
+
+    #[test]
+    fn li_does_not_close_across_nested_ul() {
+        let doc = parse("<ul><li>a<ul><li>a1</ul><li>b</ul>");
+        let top_ul = doc.elements_by_tag(doc.root(), "ul")[0];
+        let direct_lis: Vec<_> = doc
+            .children(top_ul)
+            .iter()
+            .filter(|&&c| doc.tag_name(c) == Some("li"))
+            .collect();
+        assert_eq!(direct_lis.len(), 2);
+    }
+
+    #[test]
+    fn table_cells_auto_close() {
+        let doc = parse("<table><tr><td>a<td>b<tr><td>c</table>");
+        let trs = doc.elements_by_tag(doc.root(), "tr");
+        assert_eq!(trs.len(), 2);
+        assert_eq!(doc.elements_by_tag(trs[0], "td").len(), 2);
+        assert_eq!(doc.elements_by_tag(trs[1], "td").len(), 1);
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let doc = parse("<p>a<br>b</p>");
+        let p = doc.elements_by_tag(doc.root(), "p")[0];
+        assert_eq!(doc.children(p).len(), 3);
+        let br = doc.elements_by_tag(doc.root(), "br")[0];
+        assert!(doc.children(br).is_empty());
+    }
+
+    #[test]
+    fn stray_end_tags_are_dropped() {
+        let doc = parse("</div><p>x</p></span>");
+        assert_eq!(tags(&doc), vec!["p"]);
+        assert_eq!(doc.text_content(doc.root()), "x");
+    }
+
+    #[test]
+    fn unclosed_tags_close_at_eof() {
+        let doc = parse("<div><span>deep");
+        assert_eq!(doc.text_content(doc.root()), "deep");
+        assert_eq!(tags(&doc), vec!["div", "span"]);
+    }
+
+    #[test]
+    fn mismatched_close_pops_to_match() {
+        // </div> closes both span and div (span is implicitly closed).
+        let doc = parse("<div><span>a</div><p>b</p>");
+        let p = doc.elements_by_tag(doc.root(), "p")[0];
+        assert_eq!(doc.parent(p), Some(doc.root()));
+    }
+
+    #[test]
+    fn text_content_normalizes_whitespace() {
+        let doc = parse("<p>  a \n b\t</p><p>c</p>");
+        assert_eq!(doc.text_content(doc.root()), "a b c");
+    }
+
+    #[test]
+    fn detach_removes_subtree_from_reachable() {
+        let mut doc = parse("<div><p>a</p><p>b</p></div>");
+        let before = doc.reachable_count();
+        let p = doc.elements_by_tag(doc.root(), "p")[0];
+        doc.detach(p);
+        assert!(doc.reachable_count() < before);
+        assert_eq!(doc.text_content(doc.root()), "b");
+    }
+
+    #[test]
+    fn attrs_accessible() {
+        let doc = parse("<div id=\"main\" class=\"content box\">x</div>");
+        let div = doc.elements_by_tag(doc.root(), "div")[0];
+        assert_eq!(doc.attr(div, "id"), Some("main"));
+        assert_eq!(doc.attr(div, "class"), Some("content box"));
+        assert_eq!(doc.attr(div, "missing"), None);
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let doc = parse("<a><b></b><c><d></d></c></a>");
+        assert_eq!(tags(&doc), vec!["a", "b", "c", "d"]);
+    }
+}

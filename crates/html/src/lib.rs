@@ -1,0 +1,56 @@
+//! # objectrunner-html
+//!
+//! A from-scratch, error-tolerant HTML substrate for the ObjectRunner
+//! reproduction. The paper pre-processes pages with JTidy to obtain
+//! well-formed documents; this crate plays that role:
+//!
+//! * [`tokenizer`] — an HTML tokenizer producing a flat stream of
+//!   [`tokenizer::Token`]s (tags, text, comments, doctype), tolerant of
+//!   malformed markup.
+//! * [`dom`] — an arena-based DOM built from the token stream with
+//!   HTML-style error recovery (void elements, implied end tags,
+//!   mismatched close tags).
+//! * [`clean`] — the paper's cleaning pass: drop scripts, styles,
+//!   comments, hidden elements, empty nodes; normalize whitespace.
+//! * [`path`] — DOM paths and structural node signatures used to
+//!   identify the same block across pages of a source.
+//! * [`serialize`] — back to HTML text, plus the *word/tag token
+//!   stream* consumed by the wrapper-induction algorithms.
+//! * [`entities`] — HTML entity decoding.
+//!
+//! The DOM is deliberately simple: a `Vec`-backed arena addressed by
+//! [`dom::NodeId`]; no interior mutability, no reference counting.
+
+pub mod clean;
+pub mod dom;
+pub mod entities;
+pub mod path;
+pub mod serialize;
+pub mod tokenizer;
+
+pub use clean::{clean_document, CleanOptions};
+pub use dom::{Document, Node, NodeId, NodeKind};
+pub use path::{node_path, NodeSignature};
+pub use serialize::{to_html, token_stream, PageToken};
+pub use tokenizer::{tokenize, Token};
+
+/// Parse an HTML string into a well-formed [`Document`].
+///
+/// Never fails: malformed input is repaired in the style of JTidy
+/// (unclosed tags are auto-closed, stray end tags are dropped).
+///
+/// ```
+/// let doc = objectrunner_html::parse("<ul><li>a<li>b</ul>");
+/// let text = doc.text_content(doc.root());
+/// assert_eq!(text, "a b");
+/// ```
+pub fn parse(input: &str) -> Document {
+    dom::build(tokenizer::tokenize(input))
+}
+
+/// Parse and clean in one step with default [`CleanOptions`].
+pub fn parse_clean(input: &str) -> Document {
+    let mut doc = parse(input);
+    clean::clean_document(&mut doc, &CleanOptions::default());
+    doc
+}

@@ -1,0 +1,131 @@
+//! DOM paths and structural node signatures.
+//!
+//! The paper identifies "the best candidate block ... by its tag name,
+//! its path in the DOM tree and its attribute names and values" so the
+//! same block can be found across all pages of a source. This module
+//! provides those identifiers.
+
+use crate::dom::{Document, NodeId, NodeKind};
+
+/// Tag path from the root to `id`, e.g. `html/body/div/span`.
+///
+/// Text nodes contribute the pseudo-tag `#text`. Positions (sibling
+/// indices) are deliberately *not* included: tokens at the same tag
+/// path start out with the same role (paper §III-C, Algorithm 2 line 1)
+/// and are differentiated later by equivalence-class analysis.
+pub fn node_path(doc: &Document, id: NodeId) -> String {
+    let mut parts = Vec::new();
+    let mut cur = Some(id);
+    while let Some(n) = cur {
+        match &doc.node(n).kind {
+            NodeKind::Document => {}
+            NodeKind::Element { name, .. } => parts.push(name.clone()),
+            NodeKind::Text(_) => parts.push("#text".to_owned()),
+            NodeKind::Comment(_) => parts.push("#comment".to_owned()),
+        }
+        cur = doc.parent(n);
+    }
+    parts.reverse();
+    parts.join("/")
+}
+
+/// Structural identity of a node: tag, DOM path, and identifying
+/// attributes. Two nodes on different pages with equal signatures are
+/// treated as "the same block".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeSignature {
+    pub tag: String,
+    pub path: String,
+    /// `id` and `class` attribute values (the stable identifiers that
+    /// survive cleaning).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl NodeSignature {
+    /// Compute the signature of an element node; `None` for
+    /// non-elements.
+    pub fn of(doc: &Document, id: NodeId) -> Option<NodeSignature> {
+        let NodeKind::Element { name, attrs } = &doc.node(id).kind else {
+            return None;
+        };
+        let keep: Vec<(String, String)> = attrs
+            .iter()
+            .filter(|(a, _)| a == "id" || a == "class")
+            .cloned()
+            .collect();
+        Some(NodeSignature {
+            tag: name.clone(),
+            path: node_path(doc, id),
+            attrs: keep,
+        })
+    }
+
+    /// Find all nodes in `doc` matching this signature.
+    pub fn find_in(&self, doc: &Document) -> Vec<NodeId> {
+        doc.descendants(doc.root())
+            .filter(|&id| NodeSignature::of(doc, id).as_ref() == Some(self))
+            .collect()
+    }
+}
+
+/// Depth of a node (root has depth 0).
+pub fn depth(doc: &Document, id: NodeId) -> usize {
+    let mut d = 0;
+    let mut cur = doc.parent(id);
+    while let Some(n) = cur {
+        d += 1;
+        cur = doc.parent(n);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn paths_follow_tag_chain() {
+        let doc = parse("<html><body><div><span>x</span></div></body></html>");
+        let span = doc.elements_by_tag(doc.root(), "span")[0];
+        assert_eq!(node_path(&doc, span), "html/body/div/span");
+        let text = doc.children(span)[0];
+        assert_eq!(node_path(&doc, text), "html/body/div/span/#text");
+    }
+
+    #[test]
+    fn signature_matches_same_structure_across_pages() {
+        let p1 = parse("<body><div class=\"main\"><p>a</p></div></body>");
+        let p2 = parse("<body><div class=\"main\"><p>bbb</p></div></body>");
+        let d1 = p1.elements_by_tag(p1.root(), "div")[0];
+        let sig = NodeSignature::of(&p1, d1).expect("element");
+        let found = sig.find_in(&p2);
+        assert_eq!(found.len(), 1);
+        assert_eq!(p2.text_content(found[0]), "bbb");
+    }
+
+    #[test]
+    fn signature_distinguishes_classes() {
+        let p = parse("<body><div class=\"a\">1</div><div class=\"b\">2</div></body>");
+        let divs = p.elements_by_tag(p.root(), "div");
+        let sig_a = NodeSignature::of(&p, divs[0]).expect("element");
+        assert_eq!(sig_a.find_in(&p).len(), 1);
+    }
+
+    #[test]
+    fn signature_ignores_non_identifying_attrs() {
+        let p1 = parse("<div class=\"m\" href=\"1\">x</div>");
+        let p2 = parse("<div class=\"m\" href=\"2\">y</div>");
+        let d1 = p1.elements_by_tag(p1.root(), "div")[0];
+        let sig = NodeSignature::of(&p1, d1).expect("element");
+        assert_eq!(sig.find_in(&p2).len(), 1);
+    }
+
+    #[test]
+    fn depth_counts_ancestors() {
+        let doc = parse("<a><b><c>x</c></b></a>");
+        let c = doc.elements_by_tag(doc.root(), "c")[0];
+        assert_eq!(depth(&doc, c), 3);
+        assert_eq!(depth(&doc, doc.root()), 0);
+    }
+}

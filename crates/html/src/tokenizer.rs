@@ -1,0 +1,460 @@
+//! A tolerant HTML tokenizer.
+//!
+//! Produces a flat stream of [`Token`]s from raw HTML text. The
+//! tokenizer never fails; any byte sequence yields *some* token stream.
+//! Tag and attribute names are lower-cased, attribute values are
+//! entity-decoded, and the contents of raw-text elements
+//! (`<script>`, `<style>`, `<textarea>`, `<title>`) are captured as a
+//! single text token without interpreting embedded `<`.
+
+use crate::entities;
+
+/// One HTML token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="v">`; `self_closing` records a trailing `/>`.
+    StartTag {
+        name: String,
+        attrs: Vec<(String, String)>,
+        self_closing: bool,
+    },
+    /// `</name>`
+    EndTag { name: String },
+    /// Character data between tags, entity-decoded, whitespace preserved.
+    Text(String),
+    /// `<!-- ... -->`
+    Comment(String),
+    /// `<!DOCTYPE ...>`
+    Doctype(String),
+}
+
+impl Token {
+    /// Convenience constructor for tests and generators.
+    pub fn start(name: &str) -> Self {
+        Token::StartTag {
+            name: name.to_owned(),
+            attrs: Vec::new(),
+            self_closing: false,
+        }
+    }
+
+    /// Convenience constructor for tests and generators.
+    pub fn end(name: &str) -> Self {
+        Token::EndTag {
+            name: name.to_owned(),
+        }
+    }
+
+    /// Convenience constructor for tests and generators.
+    pub fn text(t: &str) -> Self {
+        Token::Text(t.to_owned())
+    }
+}
+
+/// Elements whose content is raw text (no markup interpretation).
+pub(crate) const RAW_TEXT_ELEMENTS: &[&str] = &["script", "style", "textarea", "title"];
+
+/// Tokenize `input` into a stream of [`Token`]s.
+///
+/// ```
+/// use objectrunner_html::tokenizer::{tokenize, Token};
+/// let toks = tokenize("<p class=\"x\">hi</p>");
+/// assert_eq!(toks.len(), 3);
+/// assert!(matches!(&toks[1], Token::Text(t) if t == "hi"));
+/// ```
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Tokenizer::new(input).run()
+}
+
+struct Tokenizer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            out: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'<' {
+                self.consume_markup();
+            } else {
+                self.consume_text();
+            }
+        }
+        self.out
+    }
+
+    fn consume_text(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        let raw = &self.input[start..self.pos];
+        if !raw.is_empty() {
+            self.out.push(Token::Text(entities::decode(raw)));
+        }
+    }
+
+    fn consume_markup(&mut self) {
+        debug_assert_eq!(self.bytes[self.pos], b'<');
+        let rest = &self.bytes[self.pos..];
+        if rest.len() < 2 {
+            // Lone '<' at EOF: literal text.
+            self.out.push(Token::Text("<".to_owned()));
+            self.pos += 1;
+            return;
+        }
+        match rest[1] {
+            b'!' => self.consume_declaration(),
+            b'/' => self.consume_end_tag(),
+            b'?' => self.consume_processing_instruction(),
+            c if c.is_ascii_alphabetic() => self.consume_start_tag(),
+            _ => {
+                // '<' followed by junk: literal text.
+                self.out.push(Token::Text("<".to_owned()));
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn consume_declaration(&mut self) {
+        if self.input[self.pos..].starts_with("<!--") {
+            let body_start = self.pos + 4;
+            match self.input[body_start..].find("-->") {
+                Some(off) => {
+                    let body = &self.input[body_start..body_start + off];
+                    self.out.push(Token::Comment(body.to_owned()));
+                    self.pos = body_start + off + 3;
+                }
+                None => {
+                    // Unterminated comment: swallow to EOF.
+                    let body = &self.input[body_start..];
+                    self.out.push(Token::Comment(body.to_owned()));
+                    self.pos = self.bytes.len();
+                }
+            }
+            return;
+        }
+        // <!DOCTYPE ...> or other declarations: up to next '>'.
+        let body_start = self.pos + 2;
+        let end = self.find_byte(body_start, b'>').unwrap_or(self.bytes.len());
+        let mut body = self.input[body_start..end].trim();
+        // Strip the leading DOCTYPE keyword, keeping only its subject.
+        if body.len() >= 7 && body[..7].eq_ignore_ascii_case("doctype") {
+            body = body[7..].trim_start();
+        }
+        self.out.push(Token::Doctype(body.to_owned()));
+        self.pos = (end + 1).min(self.bytes.len());
+    }
+
+    fn consume_processing_instruction(&mut self) {
+        // Treated as a comment-like construct; skipped by the DOM builder.
+        let end = self.find_byte(self.pos + 2, b'>').unwrap_or(self.bytes.len());
+        let body = self.input[self.pos + 2..end].to_owned();
+        self.out.push(Token::Comment(body));
+        self.pos = (end + 1).min(self.bytes.len());
+    }
+
+    fn consume_end_tag(&mut self) {
+        let name_start = self.pos + 2;
+        let mut i = name_start;
+        while i < self.bytes.len() && is_name_byte(self.bytes[i]) {
+            i += 1;
+        }
+        let name = self.input[name_start..i].to_ascii_lowercase();
+        let end = self.find_byte(i, b'>').unwrap_or(self.bytes.len());
+        self.pos = (end + 1).min(self.bytes.len());
+        if !name.is_empty() {
+            self.out.push(Token::EndTag { name });
+        }
+    }
+
+    fn consume_start_tag(&mut self) {
+        let name_start = self.pos + 1;
+        let mut i = name_start;
+        while i < self.bytes.len() && is_name_byte(self.bytes[i]) {
+            i += 1;
+        }
+        let name = self.input[name_start..i].to_ascii_lowercase();
+        let (attrs, self_closing, after) = self.consume_attributes(i);
+        self.pos = after;
+        let is_raw = RAW_TEXT_ELEMENTS.contains(&name.as_str());
+        self.out.push(Token::StartTag {
+            name: name.clone(),
+            attrs,
+            self_closing,
+        });
+        if is_raw && !self_closing {
+            self.consume_raw_text(&name);
+        }
+    }
+
+    /// Parse attributes starting at byte offset `i`; returns
+    /// (attrs, self_closing, position after the closing '>').
+    fn consume_attributes(&mut self, mut i: usize) -> (Vec<(String, String)>, bool, usize) {
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= self.bytes.len() {
+                return (attrs, self_closing, i);
+            }
+            match self.bytes[i] {
+                b'>' => return (attrs, self_closing, i + 1),
+                b'/' => {
+                    self_closing = true;
+                    i += 1;
+                }
+                _ => {
+                    let name_start = i;
+                    while i < self.bytes.len()
+                        && !self.bytes[i].is_ascii_whitespace()
+                        && !matches!(self.bytes[i], b'=' | b'>' | b'/')
+                    {
+                        i += 1;
+                    }
+                    let name = self.input[name_start..i].to_ascii_lowercase();
+                    while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    let value = if i < self.bytes.len() && self.bytes[i] == b'=' {
+                        i += 1;
+                        while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
+                            i += 1;
+                        }
+                        let (v, next) = self.consume_attr_value(i);
+                        i = next;
+                        v
+                    } else {
+                        String::new()
+                    };
+                    if !name.is_empty() {
+                        attrs.push((name, entities::decode(&value)));
+                    } else if i < self.bytes.len() && !matches!(self.bytes[i], b'>' | b'/') {
+                        // Junk byte that is neither name nor terminator:
+                        // skip it to guarantee progress.
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn consume_attr_value(&self, i: usize) -> (String, usize) {
+        if i >= self.bytes.len() {
+            return (String::new(), i);
+        }
+        match self.bytes[i] {
+            q @ (b'"' | b'\'') => {
+                let start = i + 1;
+                let end = self.find_byte(start, q).unwrap_or(self.bytes.len());
+                (
+                    self.input[start..end].to_owned(),
+                    (end + 1).min(self.bytes.len()),
+                )
+            }
+            _ => {
+                let start = i;
+                let mut j = i;
+                while j < self.bytes.len()
+                    && !self.bytes[j].is_ascii_whitespace()
+                    && self.bytes[j] != b'>'
+                {
+                    j += 1;
+                }
+                (self.input[start..j].to_owned(), j)
+            }
+        }
+    }
+
+    fn consume_raw_text(&mut self, name: &str) {
+        let close = format!("</{name}");
+        let hay = &self.input[self.pos..];
+        let lower = hay.to_ascii_lowercase();
+        match lower.find(&close) {
+            Some(off) => {
+                if off > 0 {
+                    self.out.push(Token::Text(hay[..off].to_owned()));
+                }
+                // Let consume_end_tag handle the close tag itself.
+                self.pos += off;
+            }
+            None => {
+                if !hay.is_empty() {
+                    self.out.push(Token::Text(hay.to_owned()));
+                }
+                self.pos = self.bytes.len();
+            }
+        }
+    }
+
+    fn find_byte(&self, from: usize, byte: u8) -> Option<usize> {
+        self.bytes[from.min(self.bytes.len())..]
+            .iter()
+            .position(|&b| b == byte)
+            .map(|off| from + off)
+    }
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b':'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start_with_attrs(toks: &[Token], idx: usize) -> (&str, &[(String, String)]) {
+        match &toks[idx] {
+            Token::StartTag { name, attrs, .. } => (name, attrs),
+            other => panic!("expected start tag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tokenizes_simple_markup() {
+        let toks = tokenize("<div><p>hello</p></div>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::start("div"),
+                Token::start("p"),
+                Token::text("hello"),
+                Token::end("p"),
+                Token::end("div"),
+            ]
+        );
+    }
+
+    #[test]
+    fn lowercases_tag_and_attr_names() {
+        let toks = tokenize("<DIV CLASS=\"Main\">x</DIV>");
+        let (name, attrs) = start_with_attrs(&toks, 0);
+        assert_eq!(name, "div");
+        assert_eq!(attrs, &[("class".to_owned(), "Main".to_owned())]);
+        assert_eq!(toks[2], Token::end("div"));
+    }
+
+    #[test]
+    fn parses_attribute_styles() {
+        let toks = tokenize("<input type=text checked value='a b' data-x=\"1&amp;2\">");
+        let (_, attrs) = start_with_attrs(&toks, 0);
+        assert_eq!(
+            attrs,
+            &[
+                ("type".to_owned(), "text".to_owned()),
+                ("checked".to_owned(), String::new()),
+                ("value".to_owned(), "a b".to_owned()),
+                ("data-x".to_owned(), "1&2".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn handles_self_closing() {
+        let toks = tokenize("<br/><img src=x />");
+        assert!(matches!(
+            &toks[0],
+            Token::StartTag { self_closing: true, name, .. } if name == "br"
+        ));
+        assert!(matches!(
+            &toks[1],
+            Token::StartTag { self_closing: true, name, .. } if name == "img"
+        ));
+    }
+
+    #[test]
+    fn captures_script_as_raw_text() {
+        let toks = tokenize("<script>if (a<b) { x(); }</script><p>t</p>");
+        assert_eq!(toks[0], Token::start("script"));
+        assert_eq!(toks[1], Token::text("if (a<b) { x(); }"));
+        assert_eq!(toks[2], Token::end("script"));
+        assert_eq!(toks[3], Token::start("p"));
+    }
+
+    #[test]
+    fn raw_text_close_tag_is_case_insensitive() {
+        let toks = tokenize("<style>.a{}</STYLE>after");
+        assert_eq!(toks[1], Token::text(".a{}"));
+        assert_eq!(toks[2], Token::end("style"));
+        assert_eq!(toks[3], Token::text("after"));
+    }
+
+    #[test]
+    fn unterminated_script_swallows_to_eof() {
+        let toks = tokenize("<script>var x = 1;");
+        assert_eq!(toks[1], Token::text("var x = 1;"));
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn parses_comments_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- note --><p>x</p>");
+        assert_eq!(toks[0], Token::Doctype("html".to_owned()));
+        assert_eq!(toks[1], Token::Comment(" note ".to_owned()));
+    }
+
+    #[test]
+    fn unterminated_comment_swallows_to_eof() {
+        let toks = tokenize("a<!-- no end");
+        assert_eq!(toks[0], Token::text("a"));
+        assert_eq!(toks[1], Token::Comment(" no end".to_owned()));
+    }
+
+    #[test]
+    fn decodes_entities_in_text() {
+        let toks = tokenize("<p>Simon &amp; Garfunkel</p>");
+        assert_eq!(toks[1], Token::text("Simon & Garfunkel"));
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let toks = tokenize("a < b");
+        assert_eq!(toks, vec![Token::text("a "), Token::text("<"), Token::text(" b")]);
+    }
+
+    #[test]
+    fn lone_lt_at_eof() {
+        assert_eq!(tokenize("x<"), vec![Token::text("x"), Token::text("<")]);
+    }
+
+    #[test]
+    fn end_tag_with_junk_attrs() {
+        let toks = tokenize("</p class=\"x\">");
+        assert_eq!(toks, vec![Token::end("p")]);
+    }
+
+    #[test]
+    fn processing_instruction_becomes_comment() {
+        let toks = tokenize("<?xml version=\"1.0\"?><p>x</p>");
+        assert!(matches!(&toks[0], Token::Comment(_)));
+        assert_eq!(toks[1], Token::start("p"));
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for garbage in ["<", "<<>><", "<a href=", "<a href='x", "</", "<!", "<!-", "<p <q>"] {
+            let _ = tokenize(garbage);
+        }
+    }
+
+    #[test]
+    fn unquoted_attr_stops_at_gt() {
+        let toks = tokenize("<a href=http://x.com/y>link</a>");
+        let (_, attrs) = start_with_attrs(&toks, 0);
+        assert_eq!(attrs[0].1, "http://x.com/y");
+        assert_eq!(toks[1], Token::text("link"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the HTML substrate.
+
+use objectrunner_html::{parse, to_html, token_stream, PageToken};
+use proptest::prelude::*;
+
+/// Arbitrary "tag soup": random interleavings of tags, text and junk.
+fn tag_soup() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        "[a-z]{1,8}".prop_map(|w| w),
+        Just("<div>".to_owned()),
+        Just("</div>".to_owned()),
+        Just("<p>".to_owned()),
+        Just("</p>".to_owned()),
+        Just("<li>".to_owned()),
+        Just("<br>".to_owned()),
+        Just("<span class=\"x\">".to_owned()),
+        Just("</span>".to_owned()),
+        Just("<".to_owned()),
+        Just(">".to_owned()),
+        Just("&amp;".to_owned()),
+        Just("&bogus;".to_owned()),
+        Just("<!-- c -->".to_owned()),
+        Just("<script>a<b</script>".to_owned()),
+    ];
+    prop::collection::vec(piece, 0..40).prop_map(|v| v.join(" "))
+}
+
+/// Well-formed random documents.
+fn well_formed(depth: u32) -> impl Strategy<Value = String> {
+    let leaf = "[a-z]{1,6}( [a-z]{1,6}){0,3}".prop_map(|w| w);
+    leaf.prop_recursive(depth, 64, 4, |inner| {
+        (
+            prop::sample::select(vec!["div", "span", "p", "ul", "table", "em"]),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, kids)| format!("<{tag}>{}</{tag}>", kids.join("")))
+    })
+}
+
+proptest! {
+    /// The parser must never panic, whatever the input.
+    #[test]
+    fn parse_never_panics(input in tag_soup()) {
+        let _ = parse(&input);
+    }
+
+    /// Parsing always yields a tree where every reachable node's parent
+    /// link is consistent with the children lists.
+    #[test]
+    fn tree_links_consistent(input in tag_soup()) {
+        let doc = parse(&input);
+        for id in doc.descendants(doc.root()) {
+            for &c in doc.children(id) {
+                prop_assert_eq!(doc.parent(c), Some(id));
+            }
+        }
+    }
+
+    /// For well-formed input, serialize(parse(x)) is a fixpoint:
+    /// parsing the output again gives the same serialization.
+    #[test]
+    fn serialize_is_fixpoint(input in well_formed(3)) {
+        let doc1 = parse(&input);
+        let out1 = to_html(&doc1, doc1.root());
+        let doc2 = parse(&out1);
+        let out2 = to_html(&doc2, doc2.root());
+        prop_assert_eq!(out1, out2);
+    }
+
+    /// Token streams are balanced: every Close matches the innermost
+    /// unclosed Open of the same tag.
+    #[test]
+    fn token_stream_balanced(input in tag_soup()) {
+        let doc = parse(&input);
+        let mut stack: Vec<String> = Vec::new();
+        for (tok, _) in token_stream(&doc, doc.root()) {
+            match tok {
+                PageToken::Open(t) => {
+                    if !objectrunner_html::dom::VOID_ELEMENTS.contains(&t.as_str()) {
+                        stack.push(t);
+                    }
+                }
+                PageToken::Close(t) => {
+                    prop_assert_eq!(stack.pop(), Some(t));
+                }
+                PageToken::Word(_) => {}
+            }
+        }
+        prop_assert!(stack.is_empty());
+    }
+
+    /// Text content survives a parse→serialize→parse round trip.
+    #[test]
+    fn text_survives_round_trip(input in well_formed(3)) {
+        let doc1 = parse(&input);
+        let text1 = doc1.text_content(doc1.root());
+        let doc2 = parse(&to_html(&doc1, doc1.root()));
+        prop_assert_eq!(text1, doc2.text_content(doc2.root()));
+    }
+
+    /// Entity decoding never grows the string in byte length by more
+    /// than the decoded replacements allow and never panics.
+    #[test]
+    fn entity_decode_never_panics(input in ".{0,200}") {
+        let _ = objectrunner_html::entities::decode(&input);
+    }
+}

@@ -1,0 +1,194 @@
+//! Instance-driven type specification (paper §VI, future work):
+//!
+//! "We are also considering the possibility of specifying atomic types
+//! by giving only some (few) instances. These will then be used by the
+//! system to interact with YAGO and to find the more appropriate
+//! concepts and instances (in the style of Google sets)."
+//!
+//! Given a handful of example instances, [`concepts_from_examples`]
+//! scores ontology classes by how well their semantic neighborhoods
+//! cover the examples and [`recognizer_from_examples`] builds a
+//! dictionary recognizer from the winning concept(s).
+
+use crate::gazetteer::{normalize, Gazetteer};
+use crate::ontology::{ClassId, Ontology};
+
+/// A concept candidate for a set of example instances.
+#[derive(Debug, Clone)]
+pub struct ConceptMatch {
+    pub class: ClassId,
+    /// Class display name.
+    pub name: String,
+    /// Fraction of the examples found in the class's neighborhood
+    /// dictionary.
+    pub coverage: f64,
+    /// Specificity: examples matched relative to the dictionary size —
+    /// a tiny focused class beats `Person`-like catch-alls.
+    pub specificity: f64,
+    /// Combined ranking score.
+    pub score: f64,
+}
+
+/// Neighborhood radius used when expanding candidate classes.
+const RADIUS: usize = 1;
+
+/// Rank ontology classes by how well they explain the examples.
+///
+/// Returns candidates with coverage > 0, best first.
+pub fn concepts_from_examples(ontology: &Ontology, examples: &[&str]) -> Vec<ConceptMatch> {
+    if examples.is_empty() {
+        return Vec::new();
+    }
+    let normalized: Vec<String> = examples.iter().map(|e| normalize(e)).collect();
+    let mut out = Vec::new();
+    for id in ontology.class_ids() {
+        let dictionary = ontology.gazetteer_for(ontology.class_name(id), RADIUS);
+        if dictionary.is_empty() {
+            continue;
+        }
+        let hits = normalized
+            .iter()
+            .filter(|e| dictionary.contains(e))
+            .count();
+        if hits == 0 {
+            continue;
+        }
+        let coverage = hits as f64 / normalized.len() as f64;
+        let specificity = hits as f64 / dictionary.len() as f64;
+        // Coverage dominates; specificity breaks catch-all ties.
+        let score = coverage + specificity.min(1.0) * 0.5;
+        out.push(ConceptMatch {
+            class: id,
+            name: ontology.class_name(id).to_owned(),
+            coverage,
+            specificity,
+            score,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    out
+}
+
+/// Build a dictionary recognizer from a few example instances: expand
+/// the best-matching concept's neighborhood and seed it with the
+/// examples themselves (which are trusted at full confidence).
+///
+/// Returns the gazetteer and the chosen concepts, best first.
+pub fn recognizer_from_examples(
+    ontology: &Ontology,
+    examples: &[&str],
+) -> (Gazetteer, Vec<ConceptMatch>) {
+    let concepts = concepts_from_examples(ontology, examples);
+    let mut dictionary = Gazetteer::new();
+    // Take the best concept plus any other concept within 10% of its
+    // score (sibling classes like Band + Musician both apply).
+    if let Some(best) = concepts.first() {
+        let floor = best.score * 0.9;
+        for concept in concepts.iter().take_while(|c| c.score >= floor) {
+            dictionary.merge(&ontology.gazetteer_for(&concept.name, RADIUS));
+        }
+    }
+    for example in examples {
+        dictionary.insert(example, 1.0, 1.0);
+    }
+    (dictionary, concepts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn music_ontology() -> Ontology {
+        let mut o = Ontology::new();
+        let artist = o.add_class("Artist");
+        let band = o.add_class("Band");
+        let writer = o.add_class("Writer");
+        let person = o.add_class("Person");
+        o.add_related(band, artist);
+        o.add_subclass(writer, person);
+        for b in ["Metallica", "Coldplay", "Muse", "Radiohead"] {
+            o.add_instance(band, b, 0.95, 5.0);
+        }
+        for w in ["Jane Austen", "Franz Kafka", "Iris Murdoch"] {
+            o.add_instance(writer, w, 0.9, 4.0);
+        }
+        for p in ["Alan Turing", "Ada Lovelace"] {
+            o.add_instance(person, p, 0.99, 3.0);
+        }
+        o
+    }
+
+    #[test]
+    fn finds_the_band_concept_from_band_examples() {
+        let o = music_ontology();
+        let concepts = concepts_from_examples(&o, &["Metallica", "Muse"]);
+        assert!(!concepts.is_empty());
+        // Band (direct) and Artist (via relatedness) both cover; the
+        // winner must cover both examples fully.
+        assert!((concepts[0].coverage - 1.0).abs() < 1e-9);
+        assert!(
+            concepts[0].name == "Band" || concepts[0].name == "Artist",
+            "got {}",
+            concepts[0].name
+        );
+    }
+
+    #[test]
+    fn writers_beat_bands_for_writer_examples() {
+        let o = music_ontology();
+        let concepts = concepts_from_examples(&o, &["Jane Austen", "Franz Kafka"]);
+        let top = &concepts[0];
+        assert!(
+            top.name == "Writer" || top.name == "Person",
+            "got {}",
+            top.name
+        );
+        assert!(!concepts.iter().any(|c| c.name == "Band" && c.coverage > 0.0));
+    }
+
+    #[test]
+    fn recognizer_expands_beyond_the_examples() {
+        let o = music_ontology();
+        let (dictionary, concepts) = recognizer_from_examples(&o, &["Metallica", "Coldplay"]);
+        assert!(!concepts.is_empty());
+        // The expansion pulls in unseen instances of the concept.
+        assert!(dictionary.contains("Radiohead"));
+        assert!(dictionary.contains("Muse"));
+        // The examples themselves are trusted fully.
+        assert!((dictionary.get("Metallica").expect("entry").confidence - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_examples_yield_only_themselves() {
+        let o = music_ontology();
+        let (dictionary, concepts) = recognizer_from_examples(&o, &["Zorblax 9000"]);
+        assert!(concepts.is_empty());
+        assert_eq!(dictionary.len(), 1);
+        assert!(dictionary.contains("Zorblax 9000"));
+    }
+
+    #[test]
+    fn empty_examples_yield_nothing() {
+        let o = music_ontology();
+        assert!(concepts_from_examples(&o, &[]).is_empty());
+    }
+
+    #[test]
+    fn specificity_prefers_focused_classes() {
+        // Person (via subclass edges) covers writers too, but Writer
+        // is smaller and must win on specificity.
+        let o = music_ontology();
+        let concepts =
+            concepts_from_examples(&o, &["Jane Austen", "Franz Kafka", "Iris Murdoch"]);
+        let writer = concepts.iter().find(|c| c.name == "Writer").expect("writer");
+        let person = concepts.iter().find(|c| c.name == "Person");
+        if let Some(person) = person {
+            assert!(writer.specificity >= person.specificity);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! A synthetic Web-text corpus (the ClueWeb substitution).
+//!
+//! The paper's second way of populating a dictionary is "to look for
+//! instances of a given type (specified by its name) directly on the
+//! Web … applying Hearst patterns on a corpus of Web pages that is
+//! pre-processed for this purpose."
+//!
+//! [`CorpusBuilder`] fabricates such a corpus deterministically: given
+//! `(instance, type)` pairs, it embeds them into Hearst-pattern
+//! sentences with controlled redundancy, interleaved with distractor
+//! sentences and *misleading* pattern sentences (so harvesting has real
+//! noise to overcome).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A corpus: a flat list of sentences (one "document" per sentence is
+/// enough for hit counting).
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    sentences: Vec<String>,
+}
+
+impl Corpus {
+    /// All sentences.
+    pub fn sentences(&self) -> &[String] {
+        &self.sentences
+    }
+
+    /// Number of sentences.
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// True when the corpus has no sentences.
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+
+    /// Add one sentence.
+    pub fn push(&mut self, sentence: String) {
+        self.sentences.push(sentence);
+    }
+
+    /// Count sentences containing `needle` (case-insensitive substring
+    /// on word boundaries). This is the `count(i)` of Eq. 1.
+    pub fn hit_count(&self, needle: &str) -> usize {
+        let needle = needle.to_lowercase();
+        self.sentences
+            .iter()
+            .filter(|s| contains_phrase(&s.to_lowercase(), &needle))
+            .count()
+    }
+}
+
+/// Word-boundary-aware substring check.
+pub(crate) fn contains_phrase(haystack: &str, phrase: &str) -> bool {
+    if phrase.is_empty() {
+        return false;
+    }
+    let mut from = 0;
+    while let Some(off) = haystack[from..].find(phrase) {
+        let start = from + off;
+        let end = start + phrase.len();
+        let left_ok = start == 0
+            || !haystack[..start]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric());
+        let right_ok = end == haystack.len()
+            || !haystack[end..].chars().next().is_some_and(|c| c.is_alphanumeric());
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Deterministic corpus fabrication.
+pub struct CorpusBuilder {
+    rng: StdRng,
+    corpus: Corpus,
+}
+
+/// Templates used to *support* a (instance, type) pair — these are the
+/// Hearst patterns the harvester knows about.
+pub const SUPPORT_TEMPLATES: &[&str] = &[
+    "{type}s such as {instance} are widely known .",
+    "{instance} is a {type} from the city .",
+    "{instance} is an {type} of note .",
+    "many {type}s , including {instance} , appeared .",
+    "{type}s like {instance} draw huge crowds .",
+    "{instance} and other {type}s were mentioned .",
+];
+
+/// Distractor sentence stock (no pattern, no instances).
+const DISTRACTORS: &[&str] = &[
+    "the weather tomorrow looks mild with light winds .",
+    "traffic on the main bridge was heavy this morning .",
+    "a new bakery opened near the old station last week .",
+    "local residents discussed the budget at the town hall .",
+    "the museum extended its opening hours for the summer .",
+    "several roads will be closed for maintenance on sunday .",
+];
+
+impl CorpusBuilder {
+    /// A builder with a fixed seed (fully deterministic output).
+    pub fn new(seed: u64) -> Self {
+        CorpusBuilder {
+            rng: StdRng::seed_from_u64(seed),
+            corpus: Corpus::default(),
+        }
+    }
+
+    /// Embed `(instance, type)` with `redundancy` supporting sentences
+    /// (more redundancy ⇒ higher Eq. 1 score).
+    pub fn support(&mut self, instance: &str, type_name: &str, redundancy: usize) -> &mut Self {
+        for _ in 0..redundancy {
+            let template = SUPPORT_TEMPLATES
+                .choose(&mut self.rng)
+                .expect("non-empty template stock");
+            let sentence = template
+                .replace("{type}", &type_name.to_lowercase())
+                .replace("{instance}", instance);
+            self.corpus.push(sentence);
+        }
+        self
+    }
+
+    /// Mention `instance` *without* any pattern (raises `count(i)`,
+    /// lowering its normalized score — background frequency).
+    pub fn mention(&mut self, instance: &str, times: usize) -> &mut Self {
+        for _ in 0..times {
+            let filler = DISTRACTORS.choose(&mut self.rng).expect("non-empty stock");
+            self.corpus
+                .push(format!("people talked about {instance} while {filler}"));
+        }
+        self
+    }
+
+    /// Add a *false* pattern sentence pairing `instance` with a wrong
+    /// type (noise the scorer must down-weight via redundancy).
+    pub fn mislead(&mut self, instance: &str, wrong_type: &str) -> &mut Self {
+        self.support(instance, wrong_type, 1)
+    }
+
+    /// Add `n` distractor sentences.
+    pub fn distractors(&mut self, n: usize) -> &mut Self {
+        for _ in 0..n {
+            let base = DISTRACTORS.choose(&mut self.rng).expect("non-empty stock");
+            // Slight perturbation so sentences are not all identical.
+            let num: u32 = self.rng.gen_range(0..1000);
+            self.corpus.push(format!("{base} ( ref {num} )"));
+        }
+        self
+    }
+
+    /// Finish and return the corpus.
+    pub fn build(&mut self) -> Corpus {
+        std::mem::take(&mut self.corpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_is_deterministic() {
+        let mk = || {
+            CorpusBuilder::new(7)
+                .support("Metallica", "Artist", 5)
+                .mention("Metallica", 3)
+                .distractors(10)
+                .build()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.sentences(), b.sentences());
+    }
+
+    #[test]
+    fn support_sentences_contain_both_parts() {
+        let c = CorpusBuilder::new(1).support("Coldplay", "Artist", 4).build();
+        assert_eq!(c.len(), 4);
+        for s in c.sentences() {
+            assert!(contains_phrase(&s.to_lowercase(), "coldplay"), "{s}");
+            assert!(s.to_lowercase().contains("artist"), "{s}");
+        }
+    }
+
+    #[test]
+    fn hit_count_counts_sentences_not_occurrences() {
+        let mut c = Corpus::default();
+        c.push("Metallica Metallica Metallica".to_owned());
+        c.push("no mention here".to_owned());
+        c.push("metallica played".to_owned());
+        assert_eq!(c.hit_count("Metallica"), 2);
+    }
+
+    #[test]
+    fn hit_count_respects_word_boundaries() {
+        let mut c = Corpus::default();
+        c.push("the cars drove by".to_owned());
+        assert_eq!(c.hit_count("car"), 0);
+        assert_eq!(c.hit_count("cars"), 1);
+    }
+
+    #[test]
+    fn phrase_check_handles_multiword() {
+        assert!(contains_phrase("saw the town hall yesterday", "town hall"));
+        assert!(!contains_phrase("townhall", "town hall"));
+        assert!(!contains_phrase("x", ""));
+    }
+
+    #[test]
+    fn mentions_do_not_use_patterns() {
+        let c = CorpusBuilder::new(3).mention("Muse", 5).build();
+        for s in c.sentences() {
+            assert!(!s.contains("such as"));
+            assert!(!s.contains("is a "));
+        }
+    }
+}

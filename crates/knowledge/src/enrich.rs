@@ -1,0 +1,206 @@
+//! Dictionary enrichment from extraction results (paper §III-C, Eq. 4).
+//!
+//! "The discovery of new instances during the extraction phase from
+//! the Web pages also enables us to enrich our dictionaries. In this
+//! regard, we associate confidence scores before adding them in the
+//! dictionaries based on confidence score from the wrapper generation
+//! step, extracted instances (I) and existing instances (D):
+//!
+//! ```text
+//! score(c) = f( wrapper_score(c), Σ_{D∩I} score(i,c) / count(I) )
+//! ```
+//!
+//! This formula gives more weight either to instances obtained by a
+//! good wrapper (one built with no or very few conflicting
+//! annotations) or to those which have a significant overlap with the
+//! set of existing values in dictionaries."
+
+use crate::gazetteer::Gazetteer;
+
+/// Inputs to one enrichment round for one entity type.
+#[derive(Debug, Clone)]
+pub struct EnrichmentInput {
+    /// Quality of the wrapper that produced the instances, in `[0, 1]`
+    /// (1 = no conflicting annotations during wrapper generation).
+    pub wrapper_score: f64,
+    /// The values extracted for this type's column (set `I`).
+    pub extracted: Vec<String>,
+}
+
+/// Result of an enrichment round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnrichmentReport {
+    /// Number of extracted values already present in the dictionary
+    /// (`|D ∩ I|`).
+    pub overlap: usize,
+    /// Number of new instances added.
+    pub added: usize,
+    /// The confidence assigned to the new instances (Eq. 4).
+    pub confidence: f64,
+}
+
+/// The combination function `f`: a weighted blend that lets either a
+/// good wrapper or a strong dictionary overlap carry the score.
+fn combine(wrapper_score: f64, overlap_score: f64) -> f64 {
+    // "more weight either to instances obtained by a good wrapper or
+    // to those which have a significant overlap": take the stronger
+    // signal, softened by the weaker one.
+    let hi = wrapper_score.max(overlap_score);
+    let lo = wrapper_score.min(overlap_score);
+    (0.75 * hi + 0.25 * lo).clamp(0.0, 1.0)
+}
+
+/// Minimum confidence for new instances to enter the dictionary.
+const MIN_ENRICH_CONFIDENCE: f64 = 0.3;
+
+/// Enrich `dictionary` with values extracted by a wrapper (Eq. 4).
+///
+/// Existing entries also get their confidence reinforced when
+/// re-observed ("we can update the scores on existing dictionary
+/// values after each source is processed").
+pub fn enrich(dictionary: &mut Gazetteer, input: &EnrichmentInput) -> EnrichmentReport {
+    let count_i = input.extracted.len();
+    if count_i == 0 {
+        return EnrichmentReport {
+            overlap: 0,
+            added: 0,
+            confidence: 0.0,
+        };
+    }
+    // Σ_{D∩I} score(i,c) / count(I)
+    let mut overlap = 0usize;
+    let mut overlap_sum = 0.0;
+    for value in &input.extracted {
+        if let Some(entry) = dictionary.get(value) {
+            overlap += 1;
+            overlap_sum += entry.confidence;
+        }
+    }
+    let overlap_score = overlap_sum / count_i as f64;
+    let confidence = combine(input.wrapper_score.clamp(0.0, 1.0), overlap_score);
+
+    let mut added = 0usize;
+    if confidence >= MIN_ENRICH_CONFIDENCE {
+        for value in &input.extracted {
+            match dictionary.get(value) {
+                Some(entry) => {
+                    // Reinforce: nudge existing confidence towards 1.
+                    let new_conf = entry.confidence + 0.1 * (1.0 - entry.confidence);
+                    let tf = entry.term_frequency;
+                    dictionary.insert(value, new_conf, tf);
+                }
+                None => {
+                    dictionary.insert(value, confidence, 1.0);
+                    added += 1;
+                }
+            }
+        }
+    }
+    EnrichmentReport {
+        overlap,
+        added,
+        confidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict(names: &[&str]) -> Gazetteer {
+        let mut g = Gazetteer::new();
+        for n in names {
+            g.insert(n, 0.8, 5.0);
+        }
+        g
+    }
+
+    fn values(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn good_wrapper_adds_new_instances() {
+        let mut d = dict(&["Metallica"]);
+        let report = enrich(
+            &mut d,
+            &EnrichmentInput {
+                wrapper_score: 0.95,
+                extracted: values(&["Metallica", "Muse", "Coldplay"]),
+            },
+        );
+        assert_eq!(report.overlap, 1);
+        assert_eq!(report.added, 2);
+        assert!(d.contains("Muse"));
+        assert!(d.contains("Coldplay"));
+    }
+
+    #[test]
+    fn bad_wrapper_with_no_overlap_adds_nothing() {
+        let mut d = dict(&["Metallica"]);
+        let report = enrich(
+            &mut d,
+            &EnrichmentInput {
+                wrapper_score: 0.1,
+                extracted: values(&["Garbage1", "Garbage2"]),
+            },
+        );
+        assert_eq!(report.added, 0);
+        assert!(!d.contains("Garbage1"));
+    }
+
+    #[test]
+    fn strong_overlap_carries_weak_wrapper() {
+        // Most extracted values are already known: overlap vouches for
+        // the rest even though the wrapper had conflicts.
+        let mut d = dict(&["A", "B", "C", "D"]);
+        let report = enrich(
+            &mut d,
+            &EnrichmentInput {
+                wrapper_score: 0.2,
+                extracted: values(&["A", "B", "C", "D", "NewOne"]),
+            },
+        );
+        assert_eq!(report.overlap, 4);
+        assert_eq!(report.added, 1);
+        assert!(d.contains("NewOne"));
+    }
+
+    #[test]
+    fn reobserved_instances_are_reinforced() {
+        let mut d = dict(&["Metallica"]);
+        let before = d.get("Metallica").expect("entry").confidence;
+        enrich(
+            &mut d,
+            &EnrichmentInput {
+                wrapper_score: 0.9,
+                extracted: values(&["Metallica"]),
+            },
+        );
+        let after = d.get("Metallica").expect("entry").confidence;
+        assert!(after > before);
+        assert!(after <= 1.0);
+    }
+
+    #[test]
+    fn empty_extraction_is_a_noop() {
+        let mut d = dict(&["X"]);
+        let report = enrich(
+            &mut d,
+            &EnrichmentInput {
+                wrapper_score: 1.0,
+                extracted: vec![],
+            },
+        );
+        assert_eq!(report, EnrichmentReport { overlap: 0, added: 0, confidence: 0.0 });
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn combine_favors_the_stronger_signal() {
+        assert!(combine(0.9, 0.0) > 0.6);
+        assert!(combine(0.0, 0.9) > 0.6);
+        assert!(combine(0.1, 0.1) < 0.2);
+        assert!(combine(1.0, 1.0) <= 1.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Confidence-scored dictionaries ("gazetteers") of entity instances.
+//!
+//! "Regardless of how they are obtained, gazetteer instances should be
+//! described by confidence values w.r.t. the type they are associated
+//! to" (paper §III-A). Each instance also carries a term frequency
+//! `tf(i)` (from the Web corpus or the ontology), used by the
+//! selectivity estimate of Eq. 2:
+//!
+//! ```text
+//! score(t) = Σ_{i ∈ t} score(i, t) / tf(i)
+//! ```
+
+use std::collections::HashMap;
+
+/// One dictionary entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GazetteerEntry {
+    /// Confidence that the instance belongs to the type, in `(0, 1]`.
+    pub confidence: f64,
+    /// Term frequency of the instance in the backing corpus/ontology;
+    /// common strings (high tf) are less selective.
+    pub term_frequency: f64,
+}
+
+/// A dictionary of instances for one entity type.
+///
+/// Lookup is case-insensitive and whitespace-normalized, matching how
+/// the annotator compares page text against the dictionary.
+#[derive(Debug, Clone, Default)]
+pub struct Gazetteer {
+    entries: HashMap<String, GazetteerEntry>,
+    /// Original (display) form of each normalized key.
+    display: HashMap<String, String>,
+}
+
+/// Normalize an instance string for dictionary lookup.
+pub fn normalize(s: &str) -> String {
+    s.split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .to_lowercase()
+}
+
+impl Gazetteer {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Gazetteer::default()
+    }
+
+    /// Insert an instance; keeps the higher-confidence entry on
+    /// duplicates.
+    pub fn insert(&mut self, instance: &str, confidence: f64, term_frequency: f64) {
+        let key = normalize(instance);
+        if key.is_empty() {
+            return;
+        }
+        let entry = GazetteerEntry {
+            confidence: confidence.clamp(0.0, 1.0),
+            term_frequency: term_frequency.max(1.0),
+        };
+        match self.entries.get(&key) {
+            Some(existing) if existing.confidence >= entry.confidence => {}
+            _ => {
+                self.entries.insert(key.clone(), entry);
+                self.display.insert(key, instance.trim().to_owned());
+            }
+        }
+    }
+
+    /// Look up an instance (case-insensitive).
+    pub fn get(&self, instance: &str) -> Option<&GazetteerEntry> {
+        self.entries.get(&normalize(instance))
+    }
+
+    /// Does the dictionary contain `instance`?
+    pub fn contains(&self, instance: &str) -> bool {
+        self.entries.contains_key(&normalize(instance))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(display_form, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &GazetteerEntry)> {
+        self.entries
+            .iter()
+            .map(move |(k, e)| (self.display[k].as_str(), e))
+    }
+
+    /// The type-selectivity estimate of Eq. 2:
+    /// `score(t) = Σ_i score(i,t) / tf(i)`.
+    ///
+    /// Note the paper uses this *descending* — high scores mean many
+    /// high-confidence low-frequency (i.e. selective) instances.
+    pub fn selectivity(&self) -> f64 {
+        self.entries
+            .values()
+            .map(|e| e.confidence / e.term_frequency)
+            .sum()
+    }
+
+    /// Restrict the dictionary to a deterministic subset covering
+    /// roughly `fraction` of the entries — the paper's dictionary
+    /// completeness experiments (20% and 10% coverage).
+    ///
+    /// Selection is by a stable hash of the key so that coverage is
+    /// reproducible and unbiased w.r.t. insertion order.
+    pub fn with_coverage(&self, fraction: f64) -> Gazetteer {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let threshold = (fraction * u64::MAX as f64) as u64;
+        let mut out = Gazetteer::new();
+        for (key, entry) in &self.entries {
+            if fnv1a(key.as_bytes()) <= threshold {
+                out.entries.insert(key.clone(), entry.clone());
+                out.display.insert(key.clone(), self.display[key].clone());
+            }
+        }
+        out
+    }
+
+    /// Merge another dictionary into this one (higher confidence wins).
+    pub fn merge(&mut self, other: &Gazetteer) {
+        for (key, entry) in &other.entries {
+            match self.entries.get(key) {
+                Some(existing) if existing.confidence >= entry.confidence => {}
+                _ => {
+                    self.entries.insert(key.clone(), entry.clone());
+                    self.display.insert(key.clone(), other.display[key].clone());
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a with a splitmix64 finalizer — a tiny stable hash whose high
+/// bits are uniform enough for threshold-based subsetting.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    // splitmix64 finalization scrambles the biased high bits.
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Gazetteer {
+        let mut g = Gazetteer::new();
+        g.insert("Metallica", 0.95, 10.0);
+        g.insert("Coldplay", 0.9, 20.0);
+        g.insert("Madonna", 0.92, 30.0);
+        g
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let g = sample();
+        assert!(g.contains("metallica"));
+        assert!(g.contains("METALLICA"));
+        assert!(g.contains("  Metallica  "));
+        assert!(!g.contains("Slayer"));
+    }
+
+    #[test]
+    fn duplicate_keeps_higher_confidence() {
+        let mut g = Gazetteer::new();
+        g.insert("X", 0.5, 1.0);
+        g.insert("x", 0.9, 2.0);
+        assert_eq!(g.len(), 1);
+        assert!((g.get("X").expect("entry").confidence - 0.9).abs() < 1e-12);
+        g.insert("X", 0.1, 1.0);
+        assert!((g.get("X").expect("entry").confidence - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_instances_are_ignored() {
+        let mut g = Gazetteer::new();
+        g.insert("   ", 0.9, 1.0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn selectivity_matches_eq2() {
+        let g = sample();
+        let expected = 0.95 / 10.0 + 0.9 / 20.0 + 0.92 / 30.0;
+        assert!((g.selectivity() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rarer_instances_are_more_selective() {
+        let mut common = Gazetteer::new();
+        common.insert("new york", 0.9, 1000.0);
+        let mut rare = Gazetteer::new();
+        rare.insert("b.b king blues and grill", 0.9, 2.0);
+        assert!(rare.selectivity() > common.selectivity());
+    }
+
+    #[test]
+    fn coverage_subsets_deterministically() {
+        let mut g = Gazetteer::new();
+        for i in 0..1000 {
+            g.insert(&format!("artist {i}"), 0.9, 5.0);
+        }
+        let sub1 = g.with_coverage(0.2);
+        let sub2 = g.with_coverage(0.2);
+        assert_eq!(sub1.len(), sub2.len());
+        // Roughly 20%, with generous slack for hash variance.
+        assert!(sub1.len() > 120 && sub1.len() < 280, "got {}", sub1.len());
+        // Subset property.
+        for (name, _) in sub1.iter() {
+            assert!(g.contains(name));
+        }
+    }
+
+    #[test]
+    fn coverage_extremes() {
+        let g = sample();
+        assert_eq!(g.with_coverage(0.0).len(), 0);
+        assert_eq!(g.with_coverage(1.0).len(), 3);
+    }
+
+    #[test]
+    fn merge_takes_higher_confidence() {
+        let mut a = Gazetteer::new();
+        a.insert("X", 0.5, 1.0);
+        let mut b = Gazetteer::new();
+        b.insert("X", 0.8, 1.0);
+        b.insert("Y", 0.7, 1.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.get("X").expect("entry").confidence - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_form_preserved() {
+        let g = sample();
+        let names: Vec<&str> = g.iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"Metallica"));
+    }
+}

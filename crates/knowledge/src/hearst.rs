@@ -1,0 +1,324 @@
+//! Hearst-pattern instance harvesting (paper §III-A).
+//!
+//! "These are simple parameterized, textual, patterns like *Artist such
+//! as X*, or *X is an Artist*, by which one wants to find the values
+//! for the X parameter in the text."
+//!
+//! Harvested `(instance, type)` pairs are scored with the
+//! Str-ICNorm-Thresh metric of McDowell & Cafarella (Eq. 1):
+//!
+//! ```text
+//! score(i,t) = Σ_p count(i,t,p) / ( max(count(i), count25) · count(t) )
+//! ```
+//!
+//! where `count(i,t,p)` is the number of corpus hits of pair `(i,t)`
+//! under pattern `p`, `count(i)` the corpus hit count of `i` alone,
+//! `count25` the 25th-percentile hit count over all candidates, and
+//! `count(t)` the hit count of the type term.
+
+use crate::corpus::Corpus;
+use crate::gazetteer::Gazetteer;
+use std::collections::HashMap;
+
+/// Which side of the pattern the instance appears on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    /// `...anchor INSTANCE...`
+    After,
+    /// `...INSTANCE anchor...`
+    Before,
+}
+
+/// One parameterized pattern: the anchor text is formed from the type
+/// name, the instance is the capitalized phrase on `side` of it.
+#[derive(Debug, Clone)]
+pub struct HearstPattern {
+    /// Anchor template; `{t}` is replaced by the lower-cased type name.
+    pub anchor: &'static str,
+    side: Side,
+    /// Short name used in reports.
+    pub name: &'static str,
+}
+
+/// The pattern inventory (mirrors Hearst 1992 plus copula forms).
+pub const PATTERNS: &[HearstPattern] = &[
+    HearstPattern { anchor: "{t}s such as ", side: Side::After, name: "such-as" },
+    HearstPattern { anchor: " is a {t}", side: Side::Before, name: "is-a" },
+    HearstPattern { anchor: " is an {t}", side: Side::Before, name: "is-an" },
+    HearstPattern { anchor: "{t}s , including ", side: Side::After, name: "including" },
+    HearstPattern { anchor: "{t}s like ", side: Side::After, name: "like" },
+    HearstPattern { anchor: " and other {t}s", side: Side::Before, name: "and-other" },
+];
+
+/// A harvested instance with its Eq. 1 confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Harvested {
+    pub instance: String,
+    pub score: f64,
+    /// Total pattern-supported hits for the pair.
+    pub pair_hits: usize,
+    /// Corpus hit count of the instance alone.
+    pub instance_hits: usize,
+}
+
+/// Harvest instances of `type_name` from `corpus` and score them.
+///
+/// Returns instances sorted by descending score. `min_score` filters
+/// the tail (the "Thresh" in Str-ICNorm-Thresh).
+pub fn harvest(corpus: &Corpus, type_name: &str, min_score: f64) -> Vec<Harvested> {
+    let t = type_name.to_lowercase();
+    // count(i, t, p)
+    let mut pair_hits: HashMap<String, HashMap<&'static str, usize>> = HashMap::new();
+    // Display casing for each normalized instance.
+    let mut display: HashMap<String, String> = HashMap::new();
+
+    for sentence in corpus.sentences() {
+        for pattern in PATTERNS {
+            let anchor = pattern.anchor.replace("{t}", &t);
+            let lower = sentence.to_lowercase();
+            let Some(pos) = lower.find(&anchor) else {
+                continue;
+            };
+            let candidate = match pattern.side {
+                Side::After => capitalized_phrase_after(sentence, pos + anchor.len()),
+                Side::Before => capitalized_phrase_before(sentence, pos),
+            };
+            let Some(candidate) = candidate else { continue };
+            let key = candidate.to_lowercase();
+            *pair_hits
+                .entry(key.clone())
+                .or_default()
+                .entry(pattern.name)
+                .or_insert(0) += 1;
+            display.entry(key).or_insert(candidate);
+        }
+    }
+
+    if pair_hits.is_empty() {
+        return Vec::new();
+    }
+
+    // count(i) for each candidate, count(t), count25.
+    let count_t = corpus.hit_count(&t).max(1);
+    let mut instance_hits: HashMap<&str, usize> = HashMap::new();
+    for key in pair_hits.keys() {
+        instance_hits.insert(key, corpus.hit_count(key));
+    }
+    let mut all_counts: Vec<usize> = instance_hits.values().copied().collect();
+    all_counts.sort_unstable();
+    let count25 = percentile(&all_counts, 0.25).max(1);
+
+    let mut out: Vec<Harvested> = pair_hits
+        .iter()
+        .map(|(key, per_pattern)| {
+            let hits: usize = per_pattern.values().sum();
+            let ci = instance_hits[key.as_str()];
+            let denom = (ci.max(count25) as f64) * (count_t as f64);
+            Harvested {
+                instance: display[key].clone(),
+                score: hits as f64 / denom,
+                pair_hits: hits,
+                instance_hits: ci,
+            }
+        })
+        .filter(|h| h.score >= min_score)
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.instance.cmp(&b.instance))
+    });
+    out
+}
+
+/// Build a [`Gazetteer`] directly from harvesting results. Scores are
+/// rescaled to `(0, 1]` confidences relative to the best instance; term
+/// frequency is the corpus hit count.
+pub fn harvest_gazetteer(corpus: &Corpus, type_name: &str, min_score: f64) -> Gazetteer {
+    let harvested = harvest(corpus, type_name, min_score);
+    let mut g = Gazetteer::new();
+    let best = harvested.first().map(|h| h.score).unwrap_or(1.0).max(1e-12);
+    for h in &harvested {
+        g.insert(&h.instance, (h.score / best).min(1.0), h.instance_hits.max(1) as f64);
+    }
+    g
+}
+
+fn percentile(sorted: &[usize], p: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The capitalized phrase (1–5 words) starting at byte `from`.
+fn capitalized_phrase_after(sentence: &str, from: usize) -> Option<String> {
+    let words: Vec<&str> = sentence[from..].split_whitespace().collect();
+    let mut taken = Vec::new();
+    for w in words.iter().take(5) {
+        if is_name_word(w) {
+            taken.push(trim_punct(w));
+        } else {
+            break;
+        }
+    }
+    phrase_from(taken)
+}
+
+/// The capitalized phrase (1–5 words) ending just before byte `to`.
+fn capitalized_phrase_before(sentence: &str, to: usize) -> Option<String> {
+    let words: Vec<&str> = sentence[..to].split_whitespace().collect();
+    let mut taken: Vec<&str> = Vec::new();
+    for w in words.iter().rev().take(5) {
+        if is_name_word(w) {
+            taken.push(trim_punct(w));
+        } else {
+            break;
+        }
+    }
+    taken.reverse();
+    phrase_from(taken)
+}
+
+fn phrase_from(words: Vec<&str>) -> Option<String> {
+    let cleaned: Vec<&str> = words.into_iter().filter(|w| !w.is_empty()).collect();
+    if cleaned.is_empty() {
+        None
+    } else {
+        Some(cleaned.join(" "))
+    }
+}
+
+/// A word that can belong to a proper-name phrase: starts with an
+/// uppercase letter or digit (e.g. "B.B", "101cd").
+fn is_name_word(w: &str) -> bool {
+    let w = trim_punct(w);
+    w.chars()
+        .next()
+        .is_some_and(|c| c.is_uppercase() || c.is_ascii_digit())
+}
+
+fn trim_punct(w: &str) -> &str {
+    w.trim_matches(|c: char| !c.is_alphanumeric() && c != '.' && c != '\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+
+    #[test]
+    fn harvests_such_as_pattern() {
+        let mut c = Corpus::default();
+        c.push("famous artists such as Metallica perform .".to_owned());
+        let got = harvest(&c, "Artist", 0.0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].instance, "Metallica");
+    }
+
+    #[test]
+    fn harvests_copula_pattern() {
+        let mut c = Corpus::default();
+        c.push("Madonna is an artist of renown .".to_owned());
+        c.push("Coldplay is a band .".to_owned());
+        let artists = harvest(&c, "Artist", 0.0);
+        assert!(artists.iter().any(|h| h.instance == "Madonna"));
+        let bands = harvest(&c, "Band", 0.0);
+        assert!(bands.iter().any(|h| h.instance == "Coldplay"));
+    }
+
+    #[test]
+    fn multiword_instances_are_captured() {
+        let mut c = Corpus::default();
+        c.push("venues like Madison Square Garden fill quickly .".to_owned());
+        let got = harvest(&c, "Venue", 0.0);
+        assert_eq!(got[0].instance, "Madison Square Garden");
+    }
+
+    #[test]
+    fn redundancy_increases_score() {
+        // Both instances have the same background frequency; Metallica
+        // has far more pattern-supported mentions, so Eq. 1 scores it
+        // higher. (Without background mentions, ICNorm's count(i)
+        // normalization would cancel pure redundancy.)
+        let c = CorpusBuilder::new(11)
+            .support("Metallica", "Artist", 8)
+            .support("Obscure Act", "Artist", 1)
+            .mention("Metallica", 5)
+            .mention("Obscure Act", 5)
+            .distractors(20)
+            .build();
+        let got = harvest(&c, "Artist", 0.0);
+        let m = got.iter().find(|h| h.instance == "Metallica").expect("found");
+        let o = got
+            .iter()
+            .find(|h| h.instance.eq_ignore_ascii_case("Obscure Act"))
+            .expect("found");
+        assert!(m.score > o.score, "m={} o={}", m.score, o.score);
+    }
+
+    #[test]
+    fn background_mentions_normalize_score_down() {
+        // Same pattern support, but one instance is everywhere in the
+        // corpus (high count(i)) — its normalized score must be lower.
+        let c = CorpusBuilder::new(13)
+            .support("Rare Band", "Artist", 4)
+            .support("Common Word", "Artist", 4)
+            .mention("Common Word", 60)
+            .distractors(10)
+            .build();
+        let got = harvest(&c, "Artist", 0.0);
+        let rare = got.iter().find(|h| h.instance == "Rare Band").expect("found");
+        let common = got
+            .iter()
+            .find(|h| h.instance == "Common Word")
+            .expect("found");
+        assert!(rare.score > common.score);
+    }
+
+    #[test]
+    fn threshold_filters_tail() {
+        let c = CorpusBuilder::new(17)
+            .support("Strong", "Artist", 10)
+            .support("Weak", "Artist", 1)
+            .mention("Weak", 50)
+            .build();
+        let all = harvest(&c, "Artist", 0.0);
+        assert_eq!(all.len(), 2);
+        let strong_only = harvest(&c, "Artist", all[0].score * 0.9);
+        assert_eq!(strong_only.len(), 1);
+        assert_eq!(strong_only[0].instance, "Strong");
+    }
+
+    #[test]
+    fn empty_corpus_harvests_nothing() {
+        let c = Corpus::default();
+        assert!(harvest(&c, "Artist", 0.0).is_empty());
+    }
+
+    #[test]
+    fn gazetteer_confidences_are_normalized() {
+        let c = CorpusBuilder::new(19)
+            .support("Alpha", "Artist", 6)
+            .support("Beta", "Artist", 2)
+            .mention("Alpha", 2)
+            .mention("Beta", 6)
+            .build();
+        let g = harvest_gazetteer(&c, "Artist", 0.0);
+        assert_eq!(g.len(), 2);
+        let a = g.get("Alpha").expect("entry").confidence;
+        let b = g.get("Beta").expect("entry").confidence;
+        assert!((a - 1.0).abs() < 1e-9);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn lowercase_following_words_stop_the_phrase() {
+        let mut c = Corpus::default();
+        c.push("artists such as Muse performed last night .".to_owned());
+        let got = harvest(&c, "Artist", 0.0);
+        assert_eq!(got[0].instance, "Muse");
+    }
+}

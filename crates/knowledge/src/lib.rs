@@ -1,0 +1,39 @@
+//! # objectrunner-knowledge
+//!
+//! Domain knowledge for targeted extraction (paper §II-A, §III-A):
+//! entity types come with *recognizers* that are "never assumed to be
+//! entirely precise nor complete".
+//!
+//! * [`regex`] — a small from-scratch regular-expression engine
+//!   (Thompson NFA) backing user-defined and predefined recognizers.
+//! * [`gazetteer`] — confidence-scored dictionaries of instances with
+//!   term frequencies; coverage control (the 20%/10% experiments);
+//!   the type-selectivity estimate of Eq. 2.
+//! * [`ontology`] — a YAGO-like knowledge base: classes, subclass
+//!   edges, `isInstanceOf` facts with confidences, and the *semantic
+//!   neighborhood* lookup the paper uses (Metallica is a Band, and
+//!   Band is close to Artist).
+//! * [`corpus`] — a synthetic Web-text corpus with controlled
+//!   redundancy (the ClueWeb substitution).
+//! * [`hearst`] — Hearst-pattern instance harvesting over the corpus
+//!   with the Str-ICNorm-Thresh confidence metric (Eq. 1).
+//! * [`recognizer`] — the three recognizer kinds of the paper
+//!   (user regex, predefined, dictionary/`isInstanceOf`) behind one
+//!   interface.
+//! * [`enrich`] — dictionary enrichment from extraction results (Eq. 4).
+//! * [`bytype`] — §VI future work implemented: specify an atomic type
+//!   by a few example instances; the ontology finds the matching
+//!   concepts Google-sets-style and expands them into a recognizer.
+
+pub mod bytype;
+pub mod corpus;
+pub mod enrich;
+pub mod gazetteer;
+pub mod hearst;
+pub mod ontology;
+pub mod recognizer;
+pub mod regex;
+
+pub use gazetteer::Gazetteer;
+pub use ontology::Ontology;
+pub use recognizer::{Recognizer, RecognizerSet, TypeMatch};

@@ -1,0 +1,269 @@
+//! A YAGO-like knowledge base (paper §III-A).
+//!
+//! "We used the YAGO ontology, a vast knowledge base built from
+//! Wikipedia and Wordnet. … Despite its richness, useful entity
+//! instances may not be found simply by exploiting YAGO's
+//! `isInstanceOf` relations. For example, Metallica is not an instance
+//! of the Artist class. This is why we look at a *semantic
+//! neighborhood* instead: e.g., Metallica is an instance of the Band
+//! class, which is semantically close to the Artist one."
+//!
+//! This module provides exactly that interface over a synthetic
+//! knowledge base: classes with subclass edges and relatedness links,
+//! `isInstanceOf` facts with confidences, and the neighborhood query
+//! that builds a [`Gazetteer`] for a requested class name.
+
+use crate::gazetteer::Gazetteer;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Identifier of a class inside the ontology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassId(usize);
+
+/// A YAGO-like ontology.
+#[derive(Debug, Clone, Default)]
+pub struct Ontology {
+    class_names: Vec<String>,
+    class_index: HashMap<String, ClassId>,
+    /// `subclass[a]` = direct superclasses of `a`.
+    superclasses: Vec<Vec<ClassId>>,
+    /// Symmetric "semantically close" links (e.g. Band ~ Artist).
+    related: Vec<Vec<ClassId>>,
+    /// `facts[class]` = (instance, confidence, term_frequency).
+    facts: Vec<Vec<(String, f64, f64)>>,
+}
+
+impl Ontology {
+    /// Empty ontology.
+    pub fn new() -> Self {
+        Ontology::default()
+    }
+
+    /// Add (or fetch) a class by name. Names are case-insensitive.
+    pub fn add_class(&mut self, name: &str) -> ClassId {
+        let key = name.to_lowercase();
+        if let Some(&id) = self.class_index.get(&key) {
+            return id;
+        }
+        let id = ClassId(self.class_names.len());
+        self.class_names.push(name.to_owned());
+        self.class_index.insert(key, id);
+        self.superclasses.push(Vec::new());
+        self.related.push(Vec::new());
+        self.facts.push(Vec::new());
+        id
+    }
+
+    /// Look up a class by name.
+    pub fn class(&self, name: &str) -> Option<ClassId> {
+        self.class_index.get(&name.to_lowercase()).copied()
+    }
+
+    /// Class display name.
+    pub fn class_name(&self, id: ClassId) -> &str {
+        &self.class_names[id.0]
+    }
+
+    /// Declare `sub` ⊆ `super`.
+    pub fn add_subclass(&mut self, sub: ClassId, sup: ClassId) {
+        if !self.superclasses[sub.0].contains(&sup) {
+            self.superclasses[sub.0].push(sup);
+        }
+    }
+
+    /// Declare a symmetric semantic-relatedness link.
+    pub fn add_related(&mut self, a: ClassId, b: ClassId) {
+        if !self.related[a.0].contains(&b) {
+            self.related[a.0].push(b);
+        }
+        if !self.related[b.0].contains(&a) {
+            self.related[b.0].push(a);
+        }
+    }
+
+    /// Assert `isInstanceOf(instance, class)` with a confidence and a
+    /// term frequency for the instance string.
+    pub fn add_instance(&mut self, class: ClassId, instance: &str, confidence: f64, tf: f64) {
+        self.facts[class.0].push((instance.to_owned(), confidence, tf.max(1.0)));
+    }
+
+    /// Number of `isInstanceOf` facts in the whole ontology.
+    pub fn fact_count(&self) -> usize {
+        self.facts.iter().map(Vec::len).sum()
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Iterate all class ids.
+    pub fn class_ids(&self) -> impl Iterator<Item = ClassId> {
+        (0..self.class_names.len()).map(ClassId)
+    }
+
+    /// Classes within `radius` hops of `start` in the semantic
+    /// neighborhood graph. Edges: relatedness links (cost 1), subclass
+    /// edges in both directions (cost 1). `start` itself is included.
+    pub fn neighborhood(&self, start: ClassId, radius: usize) -> Vec<(ClassId, usize)> {
+        let mut dist: HashMap<ClassId, usize> = HashMap::new();
+        let mut queue = VecDeque::new();
+        dist.insert(start, 0);
+        queue.push_back(start);
+        while let Some(cur) = queue.pop_front() {
+            let d = dist[&cur];
+            if d >= radius {
+                continue;
+            }
+            let mut neighbors: Vec<ClassId> = Vec::new();
+            neighbors.extend(&self.related[cur.0]);
+            neighbors.extend(&self.superclasses[cur.0]);
+            // Inverse subclass edges.
+            for (i, sups) in self.superclasses.iter().enumerate() {
+                if sups.contains(&cur) {
+                    neighbors.push(ClassId(i));
+                }
+            }
+            for n in neighbors {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n) {
+                    e.insert(d + 1);
+                    queue.push_back(n);
+                }
+            }
+        }
+        let mut out: Vec<(ClassId, usize)> = dist.into_iter().collect();
+        out.sort_by_key(|&(id, d)| (d, id.0));
+        out
+    }
+
+    /// Build a dictionary-based recognizer for a class *name*
+    /// (the `isInstanceOf` recognizer of the paper): collect instances
+    /// of the class and of its semantic neighborhood within `radius`,
+    /// discounting confidence by hop distance.
+    pub fn gazetteer_for(&self, class_name: &str, radius: usize) -> Gazetteer {
+        let mut g = Gazetteer::new();
+        let Some(start) = self.class(class_name) else {
+            return g;
+        };
+        for (class, d) in self.neighborhood(start, radius) {
+            let discount = 1.0 / (1.0 + d as f64 * 0.5);
+            for (instance, conf, tf) in &self.facts[class.0] {
+                g.insert(instance, conf * discount, *tf);
+            }
+        }
+        g
+    }
+
+    /// All distinct instance strings of a set of classes (helper for
+    /// corpus generation).
+    pub fn instances_of(&self, class_name: &str) -> Vec<&str> {
+        let Some(id) = self.class(class_name) else {
+            return Vec::new();
+        };
+        let mut seen = HashSet::new();
+        self.facts[id.0]
+            .iter()
+            .filter(|(i, _, _)| seen.insert(i.as_str()))
+            .map(|(i, _, _)| i.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example: Metallica is a Band; Band is
+    /// semantically close to Artist.
+    fn music_ontology() -> Ontology {
+        let mut o = Ontology::new();
+        let artist = o.add_class("Artist");
+        let band = o.add_class("Band");
+        let musician = o.add_class("Musician");
+        let person = o.add_class("Person");
+        o.add_related(band, artist);
+        o.add_subclass(musician, artist);
+        o.add_subclass(artist, person);
+        o.add_instance(band, "Metallica", 0.95, 8.0);
+        o.add_instance(band, "Coldplay", 0.94, 12.0);
+        o.add_instance(musician, "Madonna", 0.96, 15.0);
+        o.add_instance(person, "Alan Turing", 0.99, 6.0);
+        o
+    }
+
+    #[test]
+    fn class_lookup_is_case_insensitive() {
+        let o = music_ontology();
+        assert_eq!(o.class("artist"), o.class("Artist"));
+        assert!(o.class("Spaceship").is_none());
+    }
+
+    #[test]
+    fn add_class_is_idempotent() {
+        let mut o = Ontology::new();
+        let a = o.add_class("X");
+        let b = o.add_class("x");
+        assert_eq!(a, b);
+        assert_eq!(o.class_count(), 1);
+    }
+
+    #[test]
+    fn neighborhood_includes_related_and_subclasses() {
+        let o = music_ontology();
+        let artist = o.class("Artist").expect("class");
+        let hood: Vec<&str> = o
+            .neighborhood(artist, 1)
+            .iter()
+            .map(|&(c, _)| o.class_name(c))
+            .collect();
+        assert!(hood.contains(&"Artist"));
+        assert!(hood.contains(&"Band")); // related
+        assert!(hood.contains(&"Musician")); // inverse subclass
+        assert!(hood.contains(&"Person")); // superclass
+    }
+
+    #[test]
+    fn metallica_found_via_neighborhood() {
+        // The paper's motivating case: a direct isInstanceOf(Artist)
+        // lookup misses Metallica; the neighborhood query finds it.
+        let o = music_ontology();
+        let direct = o.instances_of("Artist");
+        assert!(!direct.iter().any(|&i| i == "Metallica"));
+        let g = o.gazetteer_for("Artist", 1);
+        assert!(g.contains("Metallica"));
+        assert!(g.contains("Madonna"));
+    }
+
+    #[test]
+    fn neighborhood_confidence_is_discounted() {
+        let o = music_ontology();
+        let g = o.gazetteer_for("Artist", 2);
+        // Alan Turing is 1 hop (Person is a direct superclass).
+        let turing = g.get("Alan Turing").expect("entry").confidence;
+        // Metallica is also 1 hop, with higher base confidence; within
+        // the same hop count, base confidence ordering is preserved.
+        let metallica = g.get("Metallica").expect("entry").confidence;
+        assert!(metallica < 0.95); // discounted
+        assert!(metallica > turing - 0.1); // same hop discount applied
+    }
+
+    #[test]
+    fn radius_zero_is_direct_instances_only() {
+        let o = music_ontology();
+        let g = o.gazetteer_for("Band", 0);
+        assert!(g.contains("Metallica"));
+        assert!(!g.contains("Madonna"));
+    }
+
+    #[test]
+    fn unknown_class_yields_empty_gazetteer() {
+        let o = music_ontology();
+        assert!(o.gazetteer_for("Starship", 2).is_empty());
+    }
+
+    #[test]
+    fn fact_count_counts_all() {
+        let o = music_ontology();
+        assert_eq!(o.fact_count(), 4);
+    }
+}

@@ -1,0 +1,500 @@
+//! Entity-type recognizers (paper §II-A, §III-A).
+//!
+//! "We distinguish three kinds of recognizers: (i) user-defined regular
+//! expressions, (ii) system predefined ones (e.g., addresses, dates,
+//! phone numbers, etc), and (iii) open, dictionary-based ones (called
+//! hereafter isInstanceOf recognizers)."
+//!
+//! Recognizers are *best effort*: "type recognizers are never assumed
+//! to be entirely precise nor complete by our algorithm." A match
+//! reports a confidence, and the downstream wrapper generation treats
+//! annotations as evidence, not ground truth.
+
+use crate::gazetteer::Gazetteer;
+use crate::regex::Regex;
+use std::collections::HashMap;
+
+/// A successful recognition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeMatch {
+    /// Confidence in `(0, 1]`.
+    pub confidence: f64,
+    /// Fraction of the examined text covered by the match.
+    pub coverage: f64,
+}
+
+/// The predefined recognizer kinds shipped with the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredefinedKind {
+    Date,
+    Price,
+    Address,
+    Phone,
+    Year,
+    Isbn,
+}
+
+/// One entity-type recognizer.
+#[derive(Debug, Clone)]
+pub enum Recognizer {
+    /// User-defined regular expression; a string is an instance iff the
+    /// whole string matches.
+    UserRegex { regex: Regex, confidence: f64 },
+    /// System predefined recognizer.
+    Predefined {
+        kind: PredefinedKind,
+        patterns: Vec<Regex>,
+        confidence: f64,
+    },
+    /// Open dictionary recognizer (`isInstanceOf`).
+    Dictionary(Gazetteer),
+}
+
+impl Recognizer {
+    /// A user regular-expression recognizer. Errors surface at
+    /// construction, not at matching time.
+    pub fn user_regex(pattern: &str, confidence: f64) -> Result<Recognizer, crate::regex::RegexError> {
+        Ok(Recognizer::UserRegex {
+            regex: Regex::new(pattern)?,
+            confidence: confidence.clamp(0.0, 1.0),
+        })
+    }
+
+    /// Dictionary recognizer over a gazetteer.
+    pub fn dictionary(gazetteer: Gazetteer) -> Recognizer {
+        Recognizer::Dictionary(gazetteer)
+    }
+
+    /// Predefined date recognizer ("Saturday May 29 7:00p",
+    /// "Monday May 11, 8:00pm", "August 8, 2010", "2010-08-12", …).
+    pub fn predefined_date() -> Recognizer {
+        const MONTH: &str = "(January|February|March|April|May|June|July|August|September|October|November|December)";
+        const DAY: &str = "(Monday|Tuesday|Wednesday|Thursday|Friday|Saturday|Sunday)";
+        let time = r"\d{1,2}:\d{2}(pm|am|p|a)?";
+        let pats = vec![
+            // "Saturday August 8, 2010 8:00pm" / "Saturday May 29 7:00p"
+            format!(r"{DAY} {MONTH} \d{{1,2}},? ?(\d{{4}})? ?({time})?"),
+            // "August 8, 2010" / "May 29"
+            format!(r"{MONTH} \d{{1,2}}(, \d{{4}})?"),
+            // ISO and slashed numeric dates
+            r"\d{4}-\d{2}-\d{2}".to_owned(),
+            r"\d{1,2}/\d{1,2}/\d{4}".to_owned(),
+            // "May 2010"
+            format!(r"{MONTH} \d{{4}}"),
+        ];
+        Recognizer::predefined(PredefinedKind::Date, &pats, 0.9)
+    }
+
+    /// Predefined price recognizer ("$12.99", "USD 45", "12.99 EUR").
+    pub fn predefined_price() -> Recognizer {
+        let pats = vec![
+            r"(\$|€|£)\d{1,6}(\.\d{2})?".to_owned(),
+            r"(USD|EUR|GBP) ?\d{1,6}(\.\d{2})?".to_owned(),
+            r"\d{1,6}\.\d{2} ?(USD|EUR|GBP|dollars)".to_owned(),
+        ];
+        Recognizer::predefined(PredefinedKind::Price, &pats, 0.85)
+    }
+
+    /// Predefined street-address recognizer ("237 West 42nd street",
+    /// "4 Penn Plaza", zip codes).
+    pub fn predefined_address() -> Recognizer {
+        const SUFFIX: &str =
+            "([Ss]treet|[Ss]t|[Aa]venue|[Aa]ve|[Pp]laza|[Bb]oulevard|[Bb]lvd|[Rr]oad|[Rr]d|[Dd]rive|[Dd]r|[Ll]ane|[Ww]ay)";
+        let word = r"[A-Z0-9][a-zA-Z0-9]*";
+        let pats = vec![
+            // "237 West 42nd street", "4 Penn Plaza"
+            format!(r"\d{{1,5}} ({word} ){{1,4}}{SUFFIX}\.?"),
+            // Bare US zip code
+            r"\d{5}(-\d{4})?".to_owned(),
+        ];
+        Recognizer::predefined(PredefinedKind::Address, &pats, 0.8)
+    }
+
+    /// Predefined phone-number recognizer.
+    pub fn predefined_phone() -> Recognizer {
+        let pats = vec![
+            r"\(\d{3}\) ?\d{3}[-. ]\d{4}".to_owned(),
+            r"\d{3}[-. ]\d{3}[-. ]\d{4}".to_owned(),
+            r"\+\d{1,3} ?\d{6,12}".to_owned(),
+        ];
+        Recognizer::predefined(PredefinedKind::Phone, &pats, 0.9)
+    }
+
+    /// Predefined year recognizer (1900–2099).
+    pub fn predefined_year() -> Recognizer {
+        Recognizer::predefined(PredefinedKind::Year, &[r"(19|20)\d{2}".to_owned()], 0.7)
+    }
+
+    /// Predefined ISBN recognizer.
+    pub fn predefined_isbn() -> Recognizer {
+        let pats = vec![
+            r"\d{3}-\d{10}".to_owned(),
+            r"\d{1,5}-\d{1,7}-\d{1,7}-[\dX]".to_owned(),
+            r"\d{13}".to_owned(),
+            r"\d{9}[\dX]".to_owned(),
+        ];
+        Recognizer::predefined(PredefinedKind::Isbn, &pats, 0.9)
+    }
+
+    fn predefined<S: AsRef<str>>(kind: PredefinedKind, pats: &[S], confidence: f64) -> Recognizer {
+        let patterns = pats
+            .iter()
+            .map(|p| Regex::new(p.as_ref()).expect("predefined patterns are well-formed"))
+            .collect();
+        Recognizer::Predefined {
+            kind,
+            patterns,
+            confidence,
+        }
+    }
+
+    /// Recognize `text` as an instance of this type.
+    ///
+    /// The paper annotates "the DOM node *containing* the text that
+    /// matched the given type": dictionary recognizers therefore also
+    /// match an instance embedded in a larger text unit ("Emma by Jane
+    /// Austen"), reporting the covered fraction. Pattern recognizers
+    /// likewise accept a match covering a substantial part of the text
+    /// (dates are routinely embedded in phrasing like "Doors open:
+    /// May 29"); `coverage` lets callers impose stricter rules.
+    pub fn recognize(&self, text: &str) -> Option<TypeMatch> {
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return None;
+        }
+        match self {
+            Recognizer::Dictionary(g) => {
+                if let Some(e) = g.get(trimmed) {
+                    return Some(TypeMatch {
+                        confidence: e.confidence,
+                        coverage: 1.0,
+                    });
+                }
+                dictionary_phrase_match(g, trimmed)
+            }
+            Recognizer::UserRegex { regex, confidence } => {
+                if regex.is_full_match(trimmed) {
+                    Some(TypeMatch {
+                        confidence: *confidence,
+                        coverage: 1.0,
+                    })
+                } else {
+                    None
+                }
+            }
+            Recognizer::Predefined {
+                patterns,
+                confidence,
+                ..
+            } => {
+                let mut best: Option<TypeMatch> = None;
+                for p in patterns {
+                    if let Some((s, e)) = p.find(trimmed) {
+                        let coverage = (e - s) as f64 / trimmed.len() as f64;
+                        let cand = TypeMatch {
+                            confidence: *confidence,
+                            coverage,
+                        };
+                        if best.as_ref().map(|b| cand.coverage > b.coverage).unwrap_or(true) {
+                            best = Some(cand);
+                        }
+                    }
+                }
+                best.filter(|m| m.coverage >= 0.4)
+            }
+        }
+    }
+
+    /// Selectivity estimate of the type (Eq. 2 for dictionaries; a
+    /// fixed low value for pattern types, which the paper processes
+    /// after the `isInstanceOf` ones).
+    pub fn selectivity(&self) -> f64 {
+        match self {
+            Recognizer::Dictionary(g) => g.selectivity(),
+            _ => 0.0,
+        }
+    }
+
+    /// Is this an `isInstanceOf` (dictionary) recognizer?
+    pub fn is_dictionary(&self) -> bool {
+        matches!(self, Recognizer::Dictionary(_))
+    }
+
+    /// Access the backing gazetteer of a dictionary recognizer.
+    pub fn gazetteer(&self) -> Option<&Gazetteer> {
+        match self {
+            Recognizer::Dictionary(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the backing gazetteer (used by enrichment).
+    pub fn gazetteer_mut(&mut self) -> Option<&mut Gazetteer> {
+        match self {
+            Recognizer::Dictionary(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// Longest dictionary phrase to look for inside a text unit.
+const MAX_PHRASE_WORDS: usize = 6;
+
+/// Minimum fraction of the text a dictionary phrase must cover to
+/// annotate the node.
+const MIN_DICT_COVERAGE: f64 = 0.2;
+
+/// Find the best dictionary instance embedded in `text` (word n-gram
+/// scan, longest match preferred).
+fn dictionary_phrase_match(g: &Gazetteer, text: &str) -> Option<TypeMatch> {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    if words.len() < 2 {
+        return None; // single words were already tried exactly
+    }
+    let mut best: Option<TypeMatch> = None;
+    for n in (1..=MAX_PHRASE_WORDS.min(words.len() - 1)).rev() {
+        for start in 0..=(words.len() - n) {
+            let phrase = words[start..start + n].join(" ");
+            // Tolerate trailing punctuation on the phrase boundary.
+            let phrase = phrase.trim_matches(|c: char| !c.is_alphanumeric());
+            if let Some(e) = g.get(phrase) {
+                let coverage = n as f64 / words.len() as f64;
+                if coverage >= MIN_DICT_COVERAGE
+                    && best
+                        .as_ref()
+                        .map(|b| coverage > b.coverage)
+                        .unwrap_or(true)
+                {
+                    best = Some(TypeMatch {
+                        confidence: e.confidence,
+                        coverage,
+                    });
+                }
+            }
+        }
+        if best.is_some() {
+            break; // longest n wins
+        }
+    }
+    best
+}
+
+/// The recognizers for all entity types of an SOD, keyed by type name.
+#[derive(Debug, Clone, Default)]
+pub struct RecognizerSet {
+    by_type: HashMap<String, Recognizer>,
+}
+
+impl RecognizerSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        RecognizerSet::default()
+    }
+
+    /// Register the recognizer for an entity type.
+    pub fn insert(&mut self, type_name: &str, recognizer: Recognizer) {
+        self.by_type.insert(type_name.to_owned(), recognizer);
+    }
+
+    /// Recognizer for a type.
+    pub fn get(&self, type_name: &str) -> Option<&Recognizer> {
+        self.by_type.get(type_name)
+    }
+
+    /// Mutable access (used by enrichment).
+    pub fn get_mut(&mut self, type_name: &str) -> Option<&mut Recognizer> {
+        self.by_type.get_mut(type_name)
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.by_type.len()
+    }
+
+    /// True when no recognizers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_type.is_empty()
+    }
+
+    /// Registered type names.
+    pub fn type_names(&self) -> impl Iterator<Item = &str> {
+        self.by_type.keys().map(String::as_str)
+    }
+
+    /// The annotation order of Algorithm 1: `isInstanceOf` types by
+    /// decreasing selectivity estimate first, then pattern-based types
+    /// (stable by name for determinism).
+    pub fn annotation_order(&self) -> Vec<&str> {
+        let mut dict: Vec<(&str, f64)> = Vec::new();
+        let mut other: Vec<&str> = Vec::new();
+        for (name, rec) in &self.by_type {
+            if rec.is_dictionary() {
+                dict.push((name, rec.selectivity()));
+            } else {
+                other.push(name);
+            }
+        }
+        dict.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(b.0))
+        });
+        other.sort_unstable();
+        dict.into_iter().map(|(n, _)| n).chain(other).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_recognizer_accepts_paper_formats() {
+        let r = Recognizer::predefined_date();
+        for s in [
+            "Saturday August 8, 2010 8:00pm",
+            "Saturday May 29 7:00p",
+            "Monday May 11, 8:00pm",
+            "Friday June 19 7:00p",
+            "August 8, 2010",
+            "2010-08-12",
+            "5/29/2010",
+            "May 2010",
+        ] {
+            assert!(r.recognize(s).is_some(), "should match: {s}");
+        }
+    }
+
+    #[test]
+    fn date_recognizer_rejects_non_dates() {
+        let r = Recognizer::predefined_date();
+        for s in ["Metallica", "Madison Square Garden", "price: low", ""] {
+            assert!(r.recognize(s).is_none(), "should not match: {s}");
+        }
+    }
+
+    #[test]
+    fn price_recognizer() {
+        let r = Recognizer::predefined_price();
+        assert!(r.recognize("$12.99").is_some());
+        assert!(r.recognize("USD 45").is_some());
+        assert!(r.recognize("12.99 EUR").is_some());
+        assert!(r.recognize("twelve dollars-ish maybe later").is_none());
+    }
+
+    #[test]
+    fn address_recognizer_accepts_paper_addresses() {
+        let r = Recognizer::predefined_address();
+        for s in [
+            "237 West 42nd street",
+            "4 Penn Plaza",
+            "131 W 55th St",
+            "10019",
+        ] {
+            assert!(r.recognize(s).is_some(), "should match: {s}");
+        }
+        assert!(r.recognize("Metallica").is_none());
+    }
+
+    #[test]
+    fn phone_recognizer() {
+        let r = Recognizer::predefined_phone();
+        assert!(r.recognize("(212) 555-0142").is_some());
+        assert!(r.recognize("212-555-0142").is_some());
+        assert!(r.recognize("+33 612345678").is_some());
+        assert!(r.recognize("555").is_none());
+    }
+
+    #[test]
+    fn isbn_recognizer() {
+        let r = Recognizer::predefined_isbn();
+        assert!(r.recognize("978-0141439518").is_some());
+        assert!(r.recognize("0-19-853453-1").is_some());
+        assert!(r.recognize("not an isbn").is_none());
+    }
+
+    #[test]
+    fn user_regex_requires_full_match() {
+        let r = Recognizer::user_regex(r"[A-Z]{2}\d{4}", 0.9).expect("compiles");
+        assert!(r.recognize("AB1234").is_some());
+        assert!(r.recognize("xxAB1234").is_none());
+    }
+
+    #[test]
+    fn user_regex_surfaces_compile_errors() {
+        assert!(Recognizer::user_regex("(unclosed", 0.9).is_err());
+    }
+
+    #[test]
+    fn dictionary_recognizer_matches_exact_and_embedded() {
+        let mut g = Gazetteer::new();
+        g.insert("Metallica", 0.95, 5.0);
+        let r = Recognizer::dictionary(g);
+        let m = r.recognize("metallica").expect("exact match");
+        assert!((m.confidence - 0.95).abs() < 1e-12);
+        assert!((m.coverage - 1.0).abs() < 1e-12);
+        // Embedded instance (the paper's "node containing the text
+        // that matched"): lower coverage is reported.
+        let e = r.recognize("Metallica concert tickets").expect("embedded");
+        assert!(e.coverage < 1.0 && e.coverage >= 0.2);
+        // Instances buried in very long text stay below the coverage
+        // floor and do not annotate the node.
+        let long = format!("Metallica {}", "word ".repeat(30));
+        assert!(r.recognize(&long).is_none());
+    }
+
+    #[test]
+    fn dictionary_phrase_match_prefers_longest() {
+        let mut g = Gazetteer::new();
+        g.insert("Iron", 0.5, 5.0);
+        g.insert("The Iron Echoes", 0.9, 5.0);
+        let r = Recognizer::dictionary(g);
+        let m = r.recognize("Emma by The Iron Echoes").expect("match");
+        assert!((m.coverage - 3.0 / 5.0).abs() < 1e-9);
+        assert!((m.confidence - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embedded_date_coverage_reported() {
+        let r = Recognizer::predefined_date();
+        let m = r.recognize("Doors: Saturday May 29 7:00p").expect("match");
+        assert!(m.coverage < 1.0);
+        assert!(m.coverage > 0.4);
+    }
+
+    #[test]
+    fn low_coverage_matches_rejected() {
+        let r = Recognizer::predefined_year();
+        // A year inside a long title should not type the whole node.
+        assert!(r
+            .recognize("the long and winding chronicle of the 1984 committee with appendices")
+            .is_none());
+    }
+
+    #[test]
+    fn annotation_order_puts_selective_dictionaries_first() {
+        let mut rare = Gazetteer::new();
+        rare.insert("very rare thing", 0.9, 1.0);
+        rare.insert("another rare one", 0.9, 1.0);
+        let mut common = Gazetteer::new();
+        common.insert("new york", 0.9, 1000.0);
+
+        let mut set = RecognizerSet::new();
+        set.insert("date", Recognizer::predefined_date());
+        set.insert("venue", Recognizer::dictionary(rare));
+        set.insert("city", Recognizer::dictionary(common));
+        let order = set.annotation_order();
+        assert_eq!(order, vec!["venue", "city", "date"]);
+    }
+
+    #[test]
+    fn empty_text_never_matches() {
+        for r in [
+            Recognizer::predefined_date(),
+            Recognizer::predefined_price(),
+            Recognizer::dictionary(Gazetteer::new()),
+        ] {
+            assert!(r.recognize("   ").is_none());
+        }
+    }
+}

@@ -1,0 +1,658 @@
+//! A small regular-expression engine (Thompson NFA construction with
+//! breadth-first simulation — linear time in `input × states`, no
+//! catastrophic backtracking).
+//!
+//! Supported syntax: literals, `.`, character classes `[a-z0-9]` /
+//! `[^…]`, escapes `\d \w \s \D \W \S` and escaped metacharacters,
+//! repetition `* + ?` and `{n}` / `{n,}` / `{n,m}`, alternation `|`,
+//! grouping `( )`, anchors `^ $`. Matching is over `char`s, so Unicode
+//! text is safe (classes are ASCII-oriented, as the paper's predefined
+//! types need).
+
+use std::fmt;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    program: Vec<Inst>,
+    pattern: String,
+    anchored_start: bool,
+    anchored_end: bool,
+}
+
+/// Errors from [`Regex::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegexError {
+    /// Unbalanced parenthesis or bracket.
+    Unbalanced(&'static str),
+    /// A quantifier with nothing to repeat.
+    DanglingQuantifier,
+    /// Malformed `{n,m}` repetition.
+    BadRepetition,
+    /// Trailing backslash.
+    TrailingEscape,
+    /// Empty character class.
+    EmptyClass,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegexError::Unbalanced(what) => write!(f, "unbalanced {what}"),
+            RegexError::DanglingQuantifier => write!(f, "quantifier with nothing to repeat"),
+            RegexError::BadRepetition => write!(f, "malformed {{n,m}} repetition"),
+            RegexError::TrailingEscape => write!(f, "trailing backslash"),
+            RegexError::EmptyClass => write!(f, "empty character class"),
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// Character matcher for one NFA step.
+#[derive(Debug, Clone, PartialEq)]
+enum CharClass {
+    Literal(char),
+    Any,
+    Digit(bool),
+    Word(bool),
+    Space(bool),
+    /// Ranges and singletons; `negated` flips membership.
+    Set {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
+}
+
+impl CharClass {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            CharClass::Literal(l) => *l == c,
+            CharClass::Any => true,
+            CharClass::Digit(pos) => c.is_ascii_digit() == *pos,
+            CharClass::Word(pos) => (c.is_ascii_alphanumeric() || c == '_') == *pos,
+            CharClass::Space(pos) => c.is_whitespace() == *pos,
+            CharClass::Set { ranges, negated } => {
+                let inside = ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+                inside != *negated
+            }
+        }
+    }
+}
+
+/// NFA instruction.
+#[derive(Debug, Clone)]
+enum Inst {
+    Char(CharClass),
+    Split(usize, usize),
+    Jmp(usize),
+    Match,
+}
+
+// ---------------------------------------------------------------------
+// Parser: pattern -> AST
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Ast {
+    Empty,
+    Char(CharClass),
+    Concat(Vec<Ast>),
+    Alt(Box<Ast>, Box<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Quest(Box<Ast>),
+    Repeat(Box<Ast>, usize, Option<usize>),
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().peekable(),
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, RegexError> {
+        let left = self.parse_concat()?;
+        if self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            let right = self.parse_alt()?;
+            Ok(Ast::Alt(Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, RegexError> {
+        let mut items = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("len checked"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, RegexError> {
+        let atom = self.parse_atom()?;
+        match self.chars.peek() {
+            Some('*') => {
+                self.chars.next();
+                Ok(Ast::Star(Box::new(atom)))
+            }
+            Some('+') => {
+                self.chars.next();
+                Ok(Ast::Plus(Box::new(atom)))
+            }
+            Some('?') => {
+                self.chars.next();
+                Ok(Ast::Quest(Box::new(atom)))
+            }
+            Some('{') => {
+                self.chars.next();
+                let (min, max) = self.parse_bounds()?;
+                Ok(Ast::Repeat(Box::new(atom), min, max))
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_bounds(&mut self) -> Result<(usize, Option<usize>), RegexError> {
+        let mut min_s = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() {
+                min_s.push(c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        let min: usize = min_s.parse().map_err(|_| RegexError::BadRepetition)?;
+        match self.chars.next() {
+            Some('}') => Ok((min, Some(min))),
+            Some(',') => {
+                let mut max_s = String::new();
+                while let Some(&c) = self.chars.peek() {
+                    if c.is_ascii_digit() {
+                        max_s.push(c);
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match self.chars.next() {
+                    Some('}') => {
+                        let max = if max_s.is_empty() {
+                            None
+                        } else {
+                            let m: usize = max_s.parse().map_err(|_| RegexError::BadRepetition)?;
+                            if m < min {
+                                return Err(RegexError::BadRepetition);
+                            }
+                            Some(m)
+                        };
+                        Ok((min, max))
+                    }
+                    _ => Err(RegexError::BadRepetition),
+                }
+            }
+            _ => Err(RegexError::BadRepetition),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, RegexError> {
+        match self.chars.next() {
+            None => Ok(Ast::Empty),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                match self.chars.next() {
+                    Some(')') => Ok(inner),
+                    _ => Err(RegexError::Unbalanced("parenthesis")),
+                }
+            }
+            Some(')') => Err(RegexError::Unbalanced("parenthesis")),
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Ast::Char(CharClass::Any)),
+            Some('\\') => self.parse_escape(),
+            Some(c @ ('*' | '+' | '?')) => {
+                let _ = c;
+                Err(RegexError::DanglingQuantifier)
+            }
+            Some(c) => Ok(Ast::Char(CharClass::Literal(c))),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, RegexError> {
+        match self.chars.next() {
+            None => Err(RegexError::TrailingEscape),
+            Some('d') => Ok(Ast::Char(CharClass::Digit(true))),
+            Some('D') => Ok(Ast::Char(CharClass::Digit(false))),
+            Some('w') => Ok(Ast::Char(CharClass::Word(true))),
+            Some('W') => Ok(Ast::Char(CharClass::Word(false))),
+            Some('s') => Ok(Ast::Char(CharClass::Space(true))),
+            Some('S') => Ok(Ast::Char(CharClass::Space(false))),
+            Some('n') => Ok(Ast::Char(CharClass::Literal('\n'))),
+            Some('t') => Ok(Ast::Char(CharClass::Literal('\t'))),
+            Some(c) => Ok(Ast::Char(CharClass::Literal(c))),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, RegexError> {
+        let mut negated = false;
+        if self.chars.peek() == Some(&'^') {
+            negated = true;
+            self.chars.next();
+        }
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            match self.chars.next() {
+                None => return Err(RegexError::Unbalanced("bracket")),
+                Some(']') => {
+                    if let Some(p) = pending.take() {
+                        ranges.push((p, p));
+                    }
+                    break;
+                }
+                Some('\\') => {
+                    let c = self.chars.next().ok_or(RegexError::TrailingEscape)?;
+                    if let Some(p) = pending.take() {
+                        ranges.push((p, p));
+                    }
+                    match c {
+                        'd' => ranges.push(('0', '9')),
+                        'w' => {
+                            ranges.push(('a', 'z'));
+                            ranges.push(('A', 'Z'));
+                            ranges.push(('0', '9'));
+                            ranges.push(('_', '_'));
+                        }
+                        's' => {
+                            ranges.push((' ', ' '));
+                            ranges.push(('\t', '\t'));
+                            ranges.push(('\n', '\n'));
+                        }
+                        other => pending = Some(other),
+                    }
+                }
+                Some('-') if pending.is_some() && self.chars.peek() != Some(&']') => {
+                    let lo = pending.take().expect("checked");
+                    let hi = match self.chars.next() {
+                        Some('\\') => self.chars.next().ok_or(RegexError::TrailingEscape)?,
+                        Some(c) => c,
+                        None => return Err(RegexError::Unbalanced("bracket")),
+                    };
+                    ranges.push((lo.min(hi), lo.max(hi)));
+                }
+                Some(c) => {
+                    if let Some(p) = pending.take() {
+                        ranges.push((p, p));
+                    }
+                    pending = Some(c);
+                }
+            }
+        }
+        if ranges.is_empty() {
+            return Err(RegexError::EmptyClass);
+        }
+        Ok(Ast::Char(CharClass::Set { ranges, negated }))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compiler: AST -> NFA program
+// ---------------------------------------------------------------------
+
+fn compile(ast: &Ast, program: &mut Vec<Inst>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Char(cc) => program.push(Inst::Char(cc.clone())),
+        Ast::Concat(items) => {
+            for item in items {
+                compile(item, program);
+            }
+        }
+        Ast::Alt(a, b) => {
+            let split_at = program.len();
+            program.push(Inst::Jmp(0)); // placeholder -> Split
+            compile(a, program);
+            let jmp_at = program.len();
+            program.push(Inst::Jmp(0)); // placeholder
+            let b_start = program.len();
+            compile(b, program);
+            let end = program.len();
+            program[split_at] = Inst::Split(split_at + 1, b_start);
+            program[jmp_at] = Inst::Jmp(end);
+        }
+        Ast::Star(inner) => {
+            let split_at = program.len();
+            program.push(Inst::Jmp(0));
+            compile(inner, program);
+            program.push(Inst::Jmp(split_at));
+            let end = program.len();
+            program[split_at] = Inst::Split(split_at + 1, end);
+        }
+        Ast::Plus(inner) => {
+            let start = program.len();
+            compile(inner, program);
+            let split_at = program.len();
+            program.push(Inst::Split(start, split_at + 1));
+        }
+        Ast::Quest(inner) => {
+            let split_at = program.len();
+            program.push(Inst::Jmp(0));
+            compile(inner, program);
+            let end = program.len();
+            program[split_at] = Inst::Split(split_at + 1, end);
+        }
+        Ast::Repeat(inner, min, max) => {
+            for _ in 0..*min {
+                compile(inner, program);
+            }
+            match max {
+                None => compile(&Ast::Star(inner.clone()), program),
+                Some(m) => {
+                    for _ in *min..*m {
+                        compile(&Ast::Quest(inner.clone()), program);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Regex {
+    /// Compile `pattern`. Leading `^` and trailing `$` act as anchors;
+    /// without them, [`Regex::find`] scans and [`Regex::is_full_match`]
+    /// still requires a whole-string match.
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        let anchored_start = pattern.starts_with('^');
+        let anchored_end = pattern.ends_with('$') && !pattern.ends_with("\\$");
+        let core = {
+            let mut p = pattern;
+            if anchored_start {
+                p = &p[1..];
+            }
+            if anchored_end && !p.is_empty() {
+                p = &p[..p.len() - 1];
+            }
+            p
+        };
+        let mut parser = Parser::new(core);
+        let ast = parser.parse_alt()?;
+        if parser.chars.next().is_some() {
+            return Err(RegexError::Unbalanced("parenthesis"));
+        }
+        let mut program = Vec::new();
+        compile(&ast, &mut program);
+        program.push(Inst::Match);
+        Ok(Regex {
+            program,
+            pattern: pattern.to_owned(),
+            anchored_start,
+            anchored_end,
+        })
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Does the *entire* input match?
+    pub fn is_full_match(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        self.match_len_at(&chars, 0, true).is_some()
+    }
+
+    /// Find the first match; returns `(byte_start, byte_end)`.
+    pub fn find(&self, input: &str) -> Option<(usize, usize)> {
+        let chars: Vec<char> = input.chars().collect();
+        // Byte offset of each char index (plus terminal offset).
+        let mut offsets = Vec::with_capacity(chars.len() + 1);
+        let mut acc = 0;
+        for c in &chars {
+            offsets.push(acc);
+            acc += c.len_utf8();
+        }
+        offsets.push(acc);
+        let starts: Box<dyn Iterator<Item = usize>> = if self.anchored_start {
+            Box::new(std::iter::once(0))
+        } else {
+            Box::new(0..=chars.len())
+        };
+        for start in starts {
+            if let Some(len) = self.match_len_at(&chars, start, self.anchored_end) {
+                return Some((offsets[start], offsets[start + len]));
+            }
+        }
+        None
+    }
+
+    /// All non-overlapping matches as `(byte_start, byte_end)`.
+    pub fn find_all(&self, input: &str) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut base = 0;
+        while base <= input.len() {
+            let Some((s, e)) = self.find(&input[base..]) else {
+                break;
+            };
+            out.push((base + s, base + e));
+            // Advance past the match (at least one char) to avoid loops.
+            let step = if e > s {
+                e
+            } else {
+                match input[base + s..].chars().next() {
+                    Some(c) => s + c.len_utf8(),
+                    None => break,
+                }
+            };
+            base += step;
+            if self.anchored_start {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Longest match starting exactly at char index `start`; if
+    /// `to_end` the match must consume the remaining input. Returns the
+    /// match length in chars.
+    fn match_len_at(&self, chars: &[char], start: usize, to_end: bool) -> Option<usize> {
+        let mut current: Vec<usize> = Vec::new();
+        let mut next: Vec<usize> = Vec::new();
+        let mut on_current = vec![false; self.program.len()];
+        let mut on_next = vec![false; self.program.len()];
+        let mut best: Option<usize> = None;
+
+        add_thread(&self.program, 0, &mut current, &mut on_current);
+        let mut pos = start;
+        loop {
+            if current.iter().any(|&pc| matches!(self.program[pc], Inst::Match)) {
+                let len = pos - start;
+                if !to_end || pos == chars.len() {
+                    best = Some(len); // longest-so-far (we keep going)
+                }
+            }
+            if pos >= chars.len() || current.is_empty() {
+                break;
+            }
+            let c = chars[pos];
+            next.clear();
+            on_next.iter_mut().for_each(|b| *b = false);
+            for &pc in &current {
+                if let Inst::Char(cc) = &self.program[pc] {
+                    if cc.matches(c) {
+                        add_thread(&self.program, pc + 1, &mut next, &mut on_next);
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+            std::mem::swap(&mut on_current, &mut on_next);
+            pos += 1;
+        }
+        best
+    }
+}
+
+/// Add a thread and follow epsilon transitions.
+fn add_thread(program: &[Inst], pc: usize, list: &mut Vec<usize>, seen: &mut [bool]) {
+    if pc >= program.len() || seen[pc] {
+        return;
+    }
+    seen[pc] = true;
+    match &program[pc] {
+        Inst::Jmp(t) => add_thread(program, *t, list, seen),
+        Inst::Split(a, b) => {
+            add_thread(program, *a, list, seen);
+            add_thread(program, *b, list, seen);
+        }
+        _ => list.push(pc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).expect("pattern should compile")
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(re("abc").is_full_match("abc"));
+        assert!(!re("abc").is_full_match("abd"));
+        assert!(!re("abc").is_full_match("abcd"));
+    }
+
+    #[test]
+    fn dot_and_classes() {
+        assert!(re("a.c").is_full_match("axc"));
+        assert!(re("[a-c]+").is_full_match("abcabc"));
+        assert!(!re("[a-c]+").is_full_match("abd"));
+        assert!(re("[^0-9]+").is_full_match("abc"));
+        assert!(!re("[^0-9]+").is_full_match("a1c"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(re(r"\d{3}").is_full_match("123"));
+        assert!(re(r"\w+").is_full_match("ab_1"));
+        assert!(re(r"\s").is_full_match(" "));
+        assert!(re(r"\$\d+").is_full_match("$42"));
+        assert!(re(r"\D+").is_full_match("abc"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(re("ab*c").is_full_match("ac"));
+        assert!(re("ab*c").is_full_match("abbbc"));
+        assert!(re("ab+c").is_full_match("abc"));
+        assert!(!re("ab+c").is_full_match("ac"));
+        assert!(re("ab?c").is_full_match("ac"));
+        assert!(re("ab?c").is_full_match("abc"));
+        assert!(!re("ab?c").is_full_match("abbc"));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        assert!(re(r"\d{2,4}").is_full_match("12"));
+        assert!(re(r"\d{2,4}").is_full_match("1234"));
+        assert!(!re(r"\d{2,4}").is_full_match("1"));
+        assert!(!re(r"\d{2,4}").is_full_match("12345"));
+        assert!(re(r"a{3}").is_full_match("aaa"));
+        assert!(re(r"a{2,}").is_full_match("aaaaa"));
+        assert!(!re(r"a{2,}").is_full_match("a"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(re("cat|dog").is_full_match("cat"));
+        assert!(re("cat|dog").is_full_match("dog"));
+        assert!(!re("cat|dog").is_full_match("cow"));
+        assert!(re("(ab)+").is_full_match("ababab"));
+        assert!(re("a(b|c)d").is_full_match("abd"));
+        assert!(re("a(b|c)d").is_full_match("acd"));
+    }
+
+    #[test]
+    fn find_scans() {
+        assert_eq!(re(r"\d+").find("abc 123 xyz"), Some((4, 7)));
+        assert_eq!(re("zzz").find("abc"), None);
+    }
+
+    #[test]
+    fn find_returns_longest_at_start() {
+        assert_eq!(re(r"\d+").find("1234"), Some((0, 4)));
+    }
+
+    #[test]
+    fn find_all_non_overlapping() {
+        let ms = re(r"\d+").find_all("a1b22c333");
+        assert_eq!(ms, vec![(1, 2), (3, 5), (6, 9)]);
+    }
+
+    #[test]
+    fn anchors() {
+        assert_eq!(re("^ab").find("xxab"), None);
+        assert_eq!(re("^ab").find("abxx"), Some((0, 2)));
+        assert_eq!(re("ab$").find("abxx"), None);
+        assert_eq!(re("ab$").find("xxab"), Some((2, 4)));
+        assert!(re("^ab$").is_full_match("ab"));
+    }
+
+    #[test]
+    fn unicode_safe() {
+        assert!(re("..").is_full_match("é€"));
+        let m = re("€").find("a€b").expect("match");
+        assert_eq!(&"a€b"[m.0..m.1], "€");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(Regex::new("(ab").is_err());
+        assert!(Regex::new("ab)").is_err());
+        assert!(Regex::new("[ab").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a{2,1}").is_err());
+        assert!(Regex::new("a\\").is_err());
+        assert!(Regex::new("a{x}").is_err());
+    }
+
+    #[test]
+    fn no_catastrophic_backtracking() {
+        // (a+)+b against aaaa...c — NFA simulation stays linear.
+        let r = re("(a+)+b");
+        let input = "a".repeat(200) + "c";
+        assert_eq!(r.find(&input), None);
+    }
+
+    #[test]
+    fn class_with_escape_and_dash() {
+        assert!(re(r"[\d-]+").is_full_match("12-34"));
+        assert!(re(r"[a\]]+").is_full_match("a]a"));
+    }
+
+    #[test]
+    fn date_like_pattern() {
+        let r = re(r"(January|February|March|April|May|June|July|August|September|October|November|December) \d{1,2}, \d{4}");
+        assert!(r.find("Concert on August 8, 2010 at 8pm").is_some());
+        assert!(r.find("Concert on Augst 8, 2010").is_none());
+    }
+
+    #[test]
+    fn price_like_pattern() {
+        let r = re(r"\$\d+\.\d{2}");
+        assert_eq!(r.find("only $12.99 today"), Some((5, 11)));
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests for the knowledge substrate: the regex engine
+//! is checked against a naive backtracking oracle on a restricted
+//! pattern class; gazetteers and the scoring functions are checked for
+//! their algebraic invariants.
+
+use objectrunner_knowledge::gazetteer::{normalize, Gazetteer};
+use objectrunner_knowledge::regex::Regex;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Regex vs oracle
+// ---------------------------------------------------------------------
+
+/// Restricted pattern AST that both the engine and the oracle support.
+#[derive(Debug, Clone)]
+enum Pat {
+    Lit(char),
+    Dot,
+    Star(Box<Pat>),
+    Plus(Box<Pat>),
+    Opt(Box<Pat>),
+    Seq(Vec<Pat>),
+    Alt(Box<Pat>, Box<Pat>),
+}
+
+fn arb_pat(depth: u32) -> impl Strategy<Value = Pat> {
+    let leaf = prop_oneof![
+        prop::sample::select(vec!['a', 'b', 'c']).prop_map(Pat::Lit),
+        Just(Pat::Dot),
+    ];
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|p| Pat::Star(Box::new(p))),
+            inner.clone().prop_map(|p| Pat::Plus(Box::new(p))),
+            inner.clone().prop_map(|p| Pat::Opt(Box::new(p))),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Pat::Seq),
+            (inner.clone(), inner).prop_map(|(a, b)| Pat::Alt(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn render(p: &Pat) -> String {
+    match p {
+        Pat::Lit(c) => c.to_string(),
+        Pat::Dot => ".".to_owned(),
+        Pat::Star(i) => format!("({})*", render(i)),
+        Pat::Plus(i) => format!("({})+", render(i)),
+        Pat::Opt(i) => format!("({})?", render(i)),
+        Pat::Seq(items) => items.iter().map(render).collect(),
+        Pat::Alt(a, b) => format!("(({})|({}))", render(a), render(b)),
+    }
+}
+
+/// Naive backtracking oracle: does `p` match `s` entirely?
+fn oracle_match(p: &Pat, s: &[char]) -> bool {
+    fn go(p: &Pat, s: &[char], k: &mut dyn FnMut(&[char]) -> bool) -> bool {
+        match p {
+            Pat::Lit(c) => !s.is_empty() && s[0] == *c && k(&s[1..]),
+            Pat::Dot => !s.is_empty() && k(&s[1..]),
+            Pat::Opt(i) => go(i, s, k) || k(s),
+            Pat::Star(i) => star(i, s, k, 0),
+            Pat::Plus(i) => go(i, s, &mut |rest| star(i, rest, k, 0)),
+            Pat::Seq(items) => seq(items, s, k),
+            Pat::Alt(a, b) => go(a, s, k) || go(b, s, k),
+        }
+    }
+    fn star(
+        i: &Pat,
+        s: &[char],
+        k: &mut dyn FnMut(&[char]) -> bool,
+        depth: usize,
+    ) -> bool {
+        if depth > 24 {
+            return k(s);
+        }
+        // Try consuming one more instance (must make progress), else stop.
+        let mut advanced = false;
+        let result = go(i, s, &mut |rest| {
+            if rest.len() < s.len() {
+                advanced = true;
+                star(i, rest, k, depth + 1)
+            } else {
+                false
+            }
+        });
+        let _ = advanced;
+        result || k(s)
+    }
+    fn seq(items: &[Pat], s: &[char], k: &mut dyn FnMut(&[char]) -> bool) -> bool {
+        match items.split_first() {
+            None => k(s),
+            Some((first, rest)) => go(first, s, &mut |mid| seq(rest, mid, k)),
+        }
+    }
+    go(p, s, &mut |rest| rest.is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The NFA engine agrees with the backtracking oracle on full
+    /// matches over the restricted pattern class.
+    #[test]
+    fn regex_agrees_with_oracle(pat in arb_pat(3), input in "[abc]{0,8}") {
+        let pattern = render(&pat);
+        let re = Regex::new(&pattern).expect("restricted patterns compile");
+        let chars: Vec<char> = input.chars().collect();
+        let expected = oracle_match(&pat, &chars);
+        prop_assert_eq!(
+            re.is_full_match(&input),
+            expected,
+            "pattern {} on {:?}",
+            pattern,
+            input
+        );
+    }
+
+    /// find() returns a range that actually matches and lies in bounds.
+    #[test]
+    fn find_returns_valid_spans(pat in arb_pat(2), input in "[abc]{0,10}") {
+        let pattern = render(&pat);
+        let re = Regex::new(&pattern).expect("compiles");
+        if let Some((s, e)) = re.find(&input) {
+            prop_assert!(s <= e && e <= input.len());
+            prop_assert!(input.is_char_boundary(s) && input.is_char_boundary(e));
+            prop_assert!(re.is_full_match(&input[s..e]), "span {:?} of {:?}", (s, e), input);
+        }
+    }
+
+    /// find_all spans are disjoint and ordered.
+    #[test]
+    fn find_all_spans_are_disjoint(input in "[abc ]{0,20}") {
+        let re = Regex::new("[ab]+").expect("compiles");
+        let spans = re.find_all(&input);
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "{spans:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gazetteer invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// normalize is idempotent.
+    #[test]
+    fn normalize_is_idempotent(s in ".{0,40}") {
+        prop_assert_eq!(normalize(&normalize(&s)), normalize(&s));
+    }
+
+    /// Coverage subsetting is monotone: a higher fraction keeps a
+    /// superset of entries.
+    #[test]
+    fn coverage_is_monotone(names in prop::collection::hash_set("[a-z]{3,10}", 5..60)) {
+        let mut g = Gazetteer::new();
+        for n in &names {
+            g.insert(n, 0.9, 4.0);
+        }
+        let small = g.with_coverage(0.2);
+        let large = g.with_coverage(0.6);
+        for (name, _) in small.iter() {
+            prop_assert!(large.contains(name), "{name} dropped at higher coverage");
+        }
+        prop_assert!(small.len() <= large.len());
+        prop_assert!(large.len() <= g.len());
+    }
+
+    /// Merging never loses entries and keeps the max confidence.
+    #[test]
+    fn merge_keeps_best_confidence(
+        names in prop::collection::vec("[a-z]{3,8}", 1..20),
+        c1 in 0.1f64..1.0,
+        c2 in 0.1f64..1.0,
+    ) {
+        let mut a = Gazetteer::new();
+        let mut b = Gazetteer::new();
+        for n in &names {
+            a.insert(n, c1, 2.0);
+            b.insert(n, c2, 2.0);
+        }
+        a.merge(&b);
+        for n in &names {
+            let got = a.get(n).expect("present").confidence;
+            prop_assert!((got - c1.max(c2)).abs() < 1e-9);
+        }
+    }
+
+    /// Selectivity is additive over disjoint inserts.
+    #[test]
+    fn selectivity_is_additive(names in prop::collection::hash_set("[a-z]{3,10}", 1..30)) {
+        let mut g = Gazetteer::new();
+        let mut expected = 0.0;
+        for (i, n) in names.iter().enumerate() {
+            let conf = 0.5 + (i % 5) as f64 * 0.1;
+            let tf = 1.0 + (i % 7) as f64;
+            g.insert(n, conf, tf);
+            expected += conf / tf;
+        }
+        prop_assert!((g.selectivity() - expected).abs() < 1e-9);
+    }
+}

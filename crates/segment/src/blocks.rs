@@ -1,0 +1,195 @@
+//! VIPS-style block tree extraction.
+//!
+//! "In VIPS, each page is represented as a 'tree structure' of blocks.
+//! These blocks are delimited based on: (i) the DOM tree of the page,
+//! and (ii) the separators between them" (paper §III).
+//!
+//! Here a *block* is a block-level element whose rectangle is visually
+//! significant (non-trivial area) and which is separated from its
+//! siblings by vertical whitespace or by being a distinct block-level
+//! child. The block tree nests blocks exactly as their rectangles nest.
+
+use crate::layout::{is_block_element, LayoutMap, LayoutOptions, Rect};
+use objectrunner_html::{Document, NodeId, NodeKind};
+
+/// One visual block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// The DOM element this block corresponds to.
+    pub node: NodeId,
+    /// Its rectangle from the layout pass.
+    pub rect: Rect,
+    /// Child blocks (indices into [`BlockTree::blocks`]).
+    pub children: Vec<usize>,
+    /// Nesting depth in the block tree (root block = 0).
+    pub depth: usize,
+}
+
+/// The page's block hierarchy.
+#[derive(Debug, Clone, Default)]
+pub struct BlockTree {
+    /// All blocks; index 0 is the root block when non-empty.
+    pub blocks: Vec<Block>,
+}
+
+impl BlockTree {
+    /// The root block, if the page produced any.
+    pub fn root(&self) -> Option<&Block> {
+        self.blocks.first()
+    }
+
+    /// Iterate over blocks at a given depth.
+    pub fn at_depth(&self, depth: usize) -> impl Iterator<Item = &Block> {
+        self.blocks.iter().filter(move |b| b.depth == depth)
+    }
+
+    /// Leaf blocks (no block children).
+    pub fn leaves(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter().filter(|b| b.children.is_empty())
+    }
+}
+
+/// Minimum area (fraction of viewport width × one line) for a block to
+/// be visually significant.
+const MIN_BLOCK_AREA: f64 = 400.0;
+
+/// Build the block tree of `doc` from its layout.
+pub fn block_tree(doc: &Document, layout: &LayoutMap, _opts: &LayoutOptions) -> BlockTree {
+    let mut tree = BlockTree::default();
+    // The root block is <body> if present, else the document root.
+    let root_node = doc
+        .elements_by_tag(doc.root(), "body")
+        .first()
+        .copied()
+        .unwrap_or_else(|| doc.root());
+    let root_rect = layout.get(&root_node).copied().unwrap_or(Rect::ZERO);
+    tree.blocks.push(Block {
+        node: root_node,
+        rect: root_rect,
+        children: Vec::new(),
+        depth: 0,
+    });
+    collect_blocks(doc, layout, root_node, 0, 1, &mut tree);
+    tree
+}
+
+/// Recursively find block-level descendants of `parent_node` and attach
+/// them under block index `parent_idx`.
+fn collect_blocks(
+    doc: &Document,
+    layout: &LayoutMap,
+    parent_node: NodeId,
+    parent_idx: usize,
+    depth: usize,
+    tree: &mut BlockTree,
+) {
+    for &child in doc.children(parent_node) {
+        let is_block = matches!(
+            &doc.node(child).kind,
+            NodeKind::Element { name, .. } if is_block_element(name)
+        );
+        if is_block {
+            let rect = layout.get(&child).copied().unwrap_or(Rect::ZERO);
+            if rect.area() >= MIN_BLOCK_AREA {
+                let idx = tree.blocks.len();
+                tree.blocks.push(Block {
+                    node: child,
+                    rect,
+                    children: Vec::new(),
+                    depth,
+                });
+                tree.blocks[parent_idx].children.push(idx);
+                collect_blocks(doc, layout, child, idx, depth + 1, tree);
+            } else {
+                // Too small to be a visual block of its own; its block
+                // descendants may still qualify.
+                collect_blocks(doc, layout, child, parent_idx, depth, tree);
+            }
+        } else {
+            // Inline subtree: does not create blocks.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::layout_document;
+    use objectrunner_html::parse;
+
+    fn tree_of(html: &str) -> (Document, BlockTree) {
+        let doc = parse(html);
+        let opts = LayoutOptions::default();
+        let layout = layout_document(&doc, &opts);
+        let tree = block_tree(&doc, &layout, &opts);
+        (doc, tree)
+    }
+
+    #[test]
+    fn root_block_is_body() {
+        let (doc, tree) = tree_of("<html><body><div>hello world content</div></body></html>");
+        let root = tree.root().expect("non-empty page");
+        assert_eq!(doc.tag_name(root.node), Some("body"));
+    }
+
+    #[test]
+    fn sibling_divs_become_sibling_blocks() {
+        let txt = "some sufficiently long content here ".repeat(3);
+        let (doc, tree) = tree_of(&format!(
+            "<body><div id=\"a\">{txt}</div><div id=\"b\">{txt}</div></body>"
+        ));
+        let root_children = &tree.root().expect("root").children;
+        assert_eq!(root_children.len(), 2);
+        for &i in root_children {
+            assert_eq!(doc.tag_name(tree.blocks[i].node), Some("div"));
+            assert_eq!(tree.blocks[i].depth, 1);
+        }
+    }
+
+    #[test]
+    fn nested_divs_nest_in_tree() {
+        let txt = "enough text to be a real visual block ".repeat(3);
+        let (_, tree) = tree_of(&format!(
+            "<body><div id=\"outer\"><div id=\"inner\">{txt}</div></div></body>"
+        ));
+        let root = tree.root().expect("root");
+        assert_eq!(root.children.len(), 1);
+        let outer = &tree.blocks[root.children[0]];
+        assert_eq!(outer.children.len(), 1);
+        let inner = &tree.blocks[outer.children[0]];
+        assert!(outer.rect.contains(&inner.rect));
+    }
+
+    #[test]
+    fn tiny_blocks_are_skipped_but_descendants_kept() {
+        // The outer div holds only a tiny inline marker; the inner list
+        // is big. The list should attach directly under the root block.
+        let items: String = (0..20)
+            .map(|i| format!("<li>item number {i} with some text</li>"))
+            .collect();
+        let (doc, tree) = tree_of(&format!("<body><div>x</div><ul>{items}</ul></body>"));
+        let root = tree.root().expect("root");
+        let child_tags: Vec<_> = root
+            .children
+            .iter()
+            .map(|&i| doc.tag_name(tree.blocks[i].node).unwrap_or(""))
+            .collect();
+        assert!(child_tags.contains(&"ul"), "tags: {child_tags:?}");
+    }
+
+    #[test]
+    fn leaves_have_no_children() {
+        let txt = "leaf content that is long enough to count as a block ".repeat(2);
+        let (_, tree) = tree_of(&format!("<body><div><p>{txt}</p><p>{txt}</p></div></body>"));
+        for leaf in tree.leaves() {
+            assert!(leaf.children.is_empty());
+        }
+        assert!(tree.leaves().count() >= 2);
+    }
+
+    #[test]
+    fn empty_page_has_just_root() {
+        let (_, tree) = tree_of("");
+        assert_eq!(tree.blocks.len(), 1);
+    }
+}

@@ -1,0 +1,376 @@
+//! A deterministic box-model layout engine.
+//!
+//! Assigns every reachable DOM node a [`Rect`] inside a nominal
+//! viewport. The model follows CSS defaults at the fidelity VIPS-style
+//! segmentation needs:
+//!
+//! * block-level elements stack vertically and take the full width of
+//!   their containing block;
+//! * inline elements and text flow horizontally and wrap at the
+//!   containing block's width;
+//! * text height is proportional to the number of wrapped lines;
+//! * a few elements carry intrinsic sizes (`img`, `input`, `hr`).
+//!
+//! The absolute pixel values are nominal — only *relative* geometry
+//! (which block is biggest / most central) matters downstream.
+
+use objectrunner_html::{Document, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// A rectangle in layout space (pixels).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub x: f64,
+    pub y: f64,
+    pub w: f64,
+    pub h: f64,
+}
+
+impl Rect {
+    /// Zero-sized rectangle at the origin.
+    pub const ZERO: Rect = Rect {
+        x: 0.0,
+        y: 0.0,
+        w: 0.0,
+        h: 0.0,
+    };
+
+    /// Area in square pixels.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Center point.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// True when `other` lies fully inside `self`.
+    pub fn contains(&self, other: &Rect) -> bool {
+        other.x >= self.x
+            && other.y >= self.y
+            && other.x + other.w <= self.x + self.w
+            && other.y + other.h <= self.y + self.h + 1e-9
+    }
+}
+
+/// Layout parameters (viewport and typography).
+#[derive(Debug, Clone)]
+pub struct LayoutOptions {
+    /// Viewport width in pixels.
+    pub viewport_width: f64,
+    /// Average glyph advance in pixels.
+    pub char_width: f64,
+    /// Line height in pixels.
+    pub line_height: f64,
+}
+
+impl Default for LayoutOptions {
+    fn default() -> Self {
+        LayoutOptions {
+            viewport_width: 1024.0,
+            char_width: 8.0,
+            line_height: 18.0,
+        }
+    }
+}
+
+/// Elements laid out as blocks (vertical stacking).
+const BLOCK_ELEMENTS: &[&str] = &[
+    "html", "body", "div", "p", "ul", "ol", "li", "table", "tbody", "thead", "tr", "h1", "h2",
+    "h3", "h4", "h5", "h6", "header", "footer", "nav", "section", "article", "aside", "main",
+    "form", "dl", "dt", "dd", "blockquote", "pre", "hr", "fieldset",
+];
+
+/// Is `tag` block-level under this engine's defaults?
+pub fn is_block_element(tag: &str) -> bool {
+    BLOCK_ELEMENTS.contains(&tag)
+}
+
+/// The result of a layout pass: a rectangle per reachable node.
+pub type LayoutMap = HashMap<NodeId, Rect>;
+
+/// Lay out `doc` and return the rectangle of every reachable node.
+pub fn layout_document(doc: &Document, opts: &LayoutOptions) -> LayoutMap {
+    let mut map = LayoutMap::new();
+    let root = doc.root();
+    let h = layout_node(doc, root, 0.0, 0.0, opts.viewport_width, opts, &mut map);
+    map.insert(
+        root,
+        Rect {
+            x: 0.0,
+            y: 0.0,
+            w: opts.viewport_width,
+            h,
+        },
+    );
+    map
+}
+
+/// Lay out node `id` with its top-left at (x, y) and `width` available.
+/// Returns the height consumed.
+fn layout_node(
+    doc: &Document,
+    id: NodeId,
+    x: f64,
+    y: f64,
+    width: f64,
+    opts: &LayoutOptions,
+    map: &mut LayoutMap,
+) -> f64 {
+    match &doc.node(id).kind {
+        NodeKind::Comment(_) => {
+            map.insert(id, Rect { x, y, w: 0.0, h: 0.0 });
+            0.0
+        }
+        NodeKind::Text(t) => {
+            let chars = t.chars().count() as f64;
+            let per_line = (width / opts.char_width).max(1.0);
+            let lines = (chars / per_line).ceil().max(1.0);
+            let w = if lines > 1.0 {
+                width
+            } else {
+                chars * opts.char_width
+            };
+            let h = lines * opts.line_height;
+            map.insert(id, Rect { x, y, w, h });
+            h
+        }
+        NodeKind::Element { name, .. } => {
+            let intrinsic = intrinsic_height(name, opts);
+            let h = flow_children(doc, id, x, y, width, opts, map).max(intrinsic);
+            map.insert(id, Rect { x, y, w: width, h });
+            h
+        }
+        NodeKind::Document => flow_children(doc, id, x, y, width, opts, map),
+    }
+}
+
+fn intrinsic_height(tag: &str, opts: &LayoutOptions) -> f64 {
+    match tag {
+        "img" => 120.0,
+        "input" | "select" | "button" => opts.line_height * 1.5,
+        "hr" | "br" => opts.line_height * 0.5,
+        _ => 0.0,
+    }
+}
+
+/// Flow the children of `id`: block children stack; runs of inline
+/// children share horizontal lines and wrap.
+fn flow_children(
+    doc: &Document,
+    id: NodeId,
+    x: f64,
+    y: f64,
+    width: f64,
+    opts: &LayoutOptions,
+    map: &mut LayoutMap,
+) -> f64 {
+    let mut cursor_y = y;
+    let mut inline_run: Vec<NodeId> = Vec::new();
+    let children: Vec<NodeId> = doc.children(id).to_vec();
+
+    for child in children {
+        let child_is_block = matches!(
+            &doc.node(child).kind,
+            NodeKind::Element { name, .. } if is_block_element(name)
+        );
+        if child_is_block {
+            cursor_y += flush_inline_run(doc, &mut inline_run, x, cursor_y, width, opts, map);
+            cursor_y += layout_node(doc, child, x, cursor_y, width, opts, map);
+        } else {
+            inline_run.push(child);
+        }
+    }
+    cursor_y += flush_inline_run(doc, &mut inline_run, x, cursor_y, width, opts, map);
+    cursor_y - y
+}
+
+/// Lay out a run of inline nodes flowing left-to-right with wrapping.
+/// Returns the height consumed.
+fn flush_inline_run(
+    doc: &Document,
+    run: &mut Vec<NodeId>,
+    x: f64,
+    y: f64,
+    width: f64,
+    opts: &LayoutOptions,
+    map: &mut LayoutMap,
+) -> f64 {
+    if run.is_empty() {
+        return 0.0;
+    }
+    let mut cx = x;
+    let mut cy = y;
+    for &node in run.iter() {
+        let text_len = inline_text_len(doc, node);
+        let node_w = (text_len as f64 * opts.char_width).max(opts.char_width);
+        if cx + node_w > x + width && cx > x {
+            cx = x;
+            cy += opts.line_height;
+        }
+        if node_w > width {
+            // A single node wider than the line wraps internally: it
+            // occupies the full width over several lines.
+            let lines = (node_w / width).ceil().max(1.0);
+            map.insert(
+                node,
+                Rect {
+                    x,
+                    y: cy,
+                    w: width,
+                    h: lines * opts.line_height,
+                },
+            );
+            let mut icx = x;
+            for &c in doc.children(node) {
+                let cw = (inline_text_len(doc, c) as f64 * opts.char_width).max(opts.char_width);
+                place_inline_subtree(doc, c, icx, cy, cw.min(width), opts, map);
+                icx = x + (icx - x + cw) % width;
+            }
+            cy += (lines - 1.0) * opts.line_height;
+            cx = x + (node_w % width).max(opts.char_width);
+        } else {
+            place_inline_subtree(doc, node, cx, cy, node_w, opts, map);
+            cx += node_w;
+        }
+    }
+    run.clear();
+    cy + opts.line_height - y
+}
+
+/// Recursively give every node in an inline subtree a rectangle.
+/// Positions are clamped to the viewport: nominal geometry is enough
+/// for segmentation, and degenerate markup (block elements nested in
+/// inline ones) must not place nodes outside the page.
+fn place_inline_subtree(
+    doc: &Document,
+    id: NodeId,
+    x: f64,
+    y: f64,
+    w: f64,
+    opts: &LayoutOptions,
+    map: &mut LayoutMap,
+) {
+    let x = x.min(opts.viewport_width - 1.0).max(0.0);
+    let w = w.min(opts.viewport_width - x);
+    map.insert(
+        id,
+        Rect {
+            x,
+            y,
+            w,
+            h: opts.line_height,
+        },
+    );
+    let mut cx = x;
+    for &c in doc.children(id) {
+        let cw = (inline_text_len(doc, c) as f64 * opts.char_width).max(opts.char_width);
+        place_inline_subtree(doc, c, cx, y, cw.min(w), opts, map);
+        cx = (cx + cw).min(opts.viewport_width - 1.0);
+    }
+}
+
+fn inline_text_len(doc: &Document, id: NodeId) -> usize {
+    match &doc.node(id).kind {
+        NodeKind::Text(t) => t.chars().count() + 1,
+        NodeKind::Comment(_) => 0,
+        _ => doc
+            .children(id)
+            .iter()
+            .map(|&c| inline_text_len(doc, c))
+            .sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use objectrunner_html::parse;
+
+    fn rect_of(doc: &Document, map: &LayoutMap, tag: &str, idx: usize) -> Rect {
+        let el = doc.elements_by_tag(doc.root(), tag)[idx];
+        map[&el]
+    }
+
+    #[test]
+    fn blocks_stack_vertically() {
+        let doc = parse("<body><div>a</div><div>b</div></body>");
+        let map = layout_document(&doc, &LayoutOptions::default());
+        let d0 = rect_of(&doc, &map, "div", 0);
+        let d1 = rect_of(&doc, &map, "div", 1);
+        assert!(d1.y >= d0.y + d0.h - 1e-9, "{d0:?} then {d1:?}");
+    }
+
+    #[test]
+    fn blocks_take_full_width() {
+        let doc = parse("<body><div>a</div></body>");
+        let opts = LayoutOptions::default();
+        let map = layout_document(&doc, &opts);
+        let d = rect_of(&doc, &map, "div", 0);
+        assert_eq!(d.w, opts.viewport_width);
+    }
+
+    #[test]
+    fn inline_elements_share_a_line() {
+        let doc = parse("<div><span>aa</span><span>bb</span></div>");
+        let map = layout_document(&doc, &LayoutOptions::default());
+        let s0 = rect_of(&doc, &map, "span", 0);
+        let s1 = rect_of(&doc, &map, "span", 1);
+        assert_eq!(s0.y, s1.y);
+        assert!(s1.x > s0.x);
+    }
+
+    #[test]
+    fn long_text_wraps_and_grows_height() {
+        let long = "word ".repeat(400);
+        let doc = parse(&format!("<div>{long}</div>"));
+        let opts = LayoutOptions::default();
+        let map = layout_document(&doc, &opts);
+        let d = rect_of(&doc, &map, "div", 0);
+        assert!(d.h > opts.line_height * 2.0);
+    }
+
+    #[test]
+    fn parent_contains_block_children() {
+        let doc = parse("<body><div><p>one</p><p>two</p></div></body>");
+        let map = layout_document(&doc, &LayoutOptions::default());
+        let div = rect_of(&doc, &map, "div", 0);
+        let p0 = rect_of(&doc, &map, "p", 0);
+        let p1 = rect_of(&doc, &map, "p", 1);
+        assert!(div.contains(&p0));
+        assert!(div.contains(&p1));
+    }
+
+    #[test]
+    fn every_reachable_node_has_a_rect() {
+        let doc = parse("<body><ul><li>a<li>b</ul><p><em>c</em></p></body>");
+        let map = layout_document(&doc, &LayoutOptions::default());
+        for id in doc.descendants(doc.root()) {
+            assert!(map.contains_key(&id), "missing rect for {id}");
+        }
+    }
+
+    #[test]
+    fn images_have_intrinsic_height() {
+        let doc = parse("<div><img src=\"x\"></div>");
+        let map = layout_document(&doc, &LayoutOptions::default());
+        let img = rect_of(&doc, &map, "img", 0);
+        // img is inline here, but the div wraps it with intrinsic size 0;
+        // the img itself gets a line box.
+        assert!(img.h > 0.0);
+    }
+
+    #[test]
+    fn bigger_content_means_bigger_area() {
+        let small = parse("<body><div id=\"a\">x</div></body>");
+        let big_text = "lorem ipsum ".repeat(100);
+        let big = parse(&format!("<body><div id=\"a\">{big_text}</div></body>"));
+        let opts = LayoutOptions::default();
+        let ms = layout_document(&small, &opts);
+        let mb = layout_document(&big, &opts);
+        let rs = ms[&small.elements_by_tag(small.root(), "div")[0]];
+        let rb = mb[&big.elements_by_tag(big.root(), "div")[0]];
+        assert!(rb.area() > rs.area());
+    }
+}

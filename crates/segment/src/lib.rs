@@ -1,0 +1,29 @@
+//! # objectrunner-segment
+//!
+//! VIPS/ViNTs-style visual page segmentation (paper §III,
+//! pre-processing): the paper renders each page, segments it into
+//! visual blocks, and keeps only the "central" segment — "the one
+//! described by the largest and most central rectangle in the page".
+//!
+//! A real browser engine is out of scope, so this crate implements a
+//! deterministic **box-model layout engine** over the cleaned DOM:
+//!
+//! * [`layout`] — assigns every element a rectangle in a nominal
+//!   viewport using CSS-like block/inline flow defaults.
+//! * [`blocks`] — extracts the VIPS block tree (visually separated
+//!   regions) from the laid-out DOM.
+//! * [`main_block`] — the paper's heuristic: pick the block whose
+//!   rectangle maximizes *area × centrality*, and re-identify it across
+//!   all pages of the source by tag name, DOM path and attributes.
+//!
+//! The substitution preserves the relevant behaviour because the
+//! downstream algorithm only consumes (a) a block tree and (b) the
+//! chosen main block's [`objectrunner_html::NodeSignature`].
+
+pub mod blocks;
+pub mod layout;
+pub mod main_block;
+
+pub use blocks::{block_tree, Block, BlockTree};
+pub use layout::{layout_document, LayoutOptions, Rect};
+pub use main_block::{select_main_block, simplify_to_main_block, MainBlockChoice};

@@ -1,0 +1,97 @@
+//! Property-based tests for the layout engine and block segmentation.
+
+use objectrunner_html::parse;
+use objectrunner_segment::{
+    block_tree, layout_document, select_main_block, LayoutOptions,
+};
+use proptest::prelude::*;
+
+/// Random block/inline document structures.
+fn arb_page() -> impl Strategy<Value = String> {
+    let text = "[a-z]{1,8}( [a-z]{1,8}){0,6}";
+    let leaf = text.prop_map(|t| t);
+    let node = leaf.prop_recursive(4, 48, 4, |inner| {
+        (
+            prop::sample::select(vec!["div", "p", "ul", "li", "span", "em", "table", "td"]),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, kids)| format!("<{tag}>{}</{tag}>", kids.join("")))
+    });
+    prop::collection::vec(node, 1..5)
+        .prop_map(|kids| format!("<html><body>{}</body></html>", kids.join("")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every reachable node receives a rectangle, with finite
+    /// non-negative dimensions inside a sane horizontal range.
+    #[test]
+    fn layout_covers_every_node(html in arb_page()) {
+        let doc = parse(&html);
+        let opts = LayoutOptions::default();
+        let layout = layout_document(&doc, &opts);
+        for id in doc.descendants(doc.root()) {
+            let rect = layout.get(&id).copied()
+                .unwrap_or_else(|| panic!("missing rect for {id}"));
+            prop_assert!(rect.w.is_finite() && rect.h.is_finite());
+            prop_assert!(rect.w >= 0.0 && rect.h >= 0.0);
+            prop_assert!(rect.x >= -1e-9);
+            prop_assert!(rect.x <= opts.viewport_width + 1e-9, "x={} beyond viewport", rect.x);
+        }
+    }
+
+    /// Block-level children lie vertically within their parent's span.
+    #[test]
+    fn block_children_are_within_parents(html in arb_page()) {
+        let doc = parse(&html);
+        let opts = LayoutOptions::default();
+        let layout = layout_document(&doc, &opts);
+        let tree = block_tree(&doc, &layout, &opts);
+        for block in &tree.blocks {
+            for &child in &block.children {
+                let c = &tree.blocks[child];
+                prop_assert!(c.rect.y >= block.rect.y - 1e-6);
+                prop_assert!(
+                    c.rect.y + c.rect.h <= block.rect.y + block.rect.h + 1e-6,
+                    "child {:?} escapes parent {:?}",
+                    c.rect,
+                    block.rect
+                );
+            }
+        }
+    }
+
+    /// The block tree is a tree: every non-root block has exactly one
+    /// parent, and depths increase by one along edges.
+    #[test]
+    fn block_tree_is_a_tree(html in arb_page()) {
+        let doc = parse(&html);
+        let opts = LayoutOptions::default();
+        let layout = layout_document(&doc, &opts);
+        let tree = block_tree(&doc, &layout, &opts);
+        let mut parent_count = vec![0usize; tree.blocks.len()];
+        for (i, block) in tree.blocks.iter().enumerate() {
+            for &c in &block.children {
+                parent_count[c] += 1;
+                prop_assert_eq!(tree.blocks[c].depth, block.depth + 1, "edge {}→{}", i, c);
+            }
+        }
+        prop_assert_eq!(parent_count[0], 0, "root has no parent");
+        for (i, &n) in parent_count.iter().enumerate().skip(1) {
+            prop_assert_eq!(n, 1, "block {} has {} parents", i, n);
+        }
+    }
+
+    /// Main-block selection never panics and, when it chooses, the
+    /// chosen signature exists on at least one page.
+    #[test]
+    fn main_block_choice_is_findable(pages in prop::collection::vec(arb_page(), 1..4)) {
+        let docs: Vec<_> = pages.iter().map(|p| parse(p)).collect();
+        if let Some(choice) = select_main_block(&docs, &LayoutOptions::default()) {
+            prop_assert!(choice.support >= 1);
+            let found = docs.iter().any(|d| !choice.signature.find_in(d).is_empty());
+            prop_assert!(found, "chosen signature on no page");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Canonical form of an SOD (paper §III-D, Fig. 4).
+//!
+//! "To put an SOD in its canonical form, any tuple node will receive
+//! as direct children all the atomic-type nodes that are reachable
+//! from it only via tuple nodes (no set nodes)."
+//!
+//! The transformation flattens chains of tuple nodes: in the concert
+//! example, `concert(artist, date, location(theater, address))`
+//! becomes `concert(artist, date, theater, address)`; set subtrees
+//! (e.g. `{author}+`) survive as nested components, themselves
+//! canonicalized.
+
+use crate::types::{Sod, SodNode};
+
+/// Canonicalize an SOD (Fig. 4).
+pub fn canonicalize(sod: &Sod) -> Sod {
+    Sod::new(canonicalize_node(sod.root()))
+}
+
+fn canonicalize_node(node: &SodNode) -> SodNode {
+    match node {
+        SodNode::Entity { .. } => node.clone(),
+        SodNode::Set {
+            child,
+            multiplicity,
+        } => SodNode::Set {
+            child: Box::new(canonicalize_node(child)),
+            multiplicity: *multiplicity,
+        },
+        SodNode::Disjunction(a, b) => SodNode::Disjunction(
+            Box::new(canonicalize_node(a)),
+            Box::new(canonicalize_node(b)),
+        ),
+        SodNode::Tuple { name, children } => {
+            let mut flat = Vec::new();
+            for child in children {
+                flatten_into(child, &mut flat);
+            }
+            SodNode::Tuple {
+                name: name.clone(),
+                children: flat,
+            }
+        }
+    }
+}
+
+/// Pull atomic types up through tuple nodes; stop at set and
+/// disjunction boundaries (their subtrees are canonicalized in place).
+fn flatten_into(node: &SodNode, out: &mut Vec<SodNode>) {
+    match node {
+        SodNode::Entity { .. } => out.push(node.clone()),
+        SodNode::Tuple { children, .. } => {
+            for c in children {
+                flatten_into(c, out);
+            }
+        }
+        SodNode::Set { .. } | SodNode::Disjunction(..) => out.push(canonicalize_node(node)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Multiplicity, SodBuilder};
+
+    #[test]
+    fn concert_example_flattens_location() {
+        // Fig. 4: {t31, t32} combines with {t1, {}, t3} into one tuple.
+        let sod = SodBuilder::tuple("concert")
+            .entity("artist", Multiplicity::One)
+            .entity("date", Multiplicity::One)
+            .nested(
+                SodBuilder::tuple("location")
+                    .entity("theater", Multiplicity::One)
+                    .entity("address", Multiplicity::Optional),
+            )
+            .build();
+        let canon = canonicalize(&sod);
+        assert_eq!(
+            canon.to_string(),
+            "concert(artist, date, theater, address?)"
+        );
+    }
+
+    #[test]
+    fn set_boundaries_are_preserved() {
+        let sod = SodBuilder::tuple("book")
+            .entity("title", Multiplicity::One)
+            .set_of_entity("author", Multiplicity::Plus)
+            .entity("price", Multiplicity::One)
+            .build();
+        let canon = canonicalize(&sod);
+        assert_eq!(canon.to_string(), "book(title, {author}+, price)");
+    }
+
+    #[test]
+    fn figure4_shape_with_set_between_tuples() {
+        // Input SOD of Fig. 4: tuple{t1, {t2}*, tuple{t31, t32}}.
+        let sod = SodBuilder::tuple("s")
+            .entity("t1", Multiplicity::One)
+            .set_of_entity("t2", Multiplicity::Star)
+            .nested(
+                SodBuilder::tuple("inner")
+                    .entity("t31", Multiplicity::One)
+                    .entity("t32", Multiplicity::One),
+            )
+            .build();
+        let canon = canonicalize(&sod);
+        // Canonical SOD: tuple{t1, t31, t32, {t2}*} — atomics in one
+        // tuple, the set kept nested.
+        assert_eq!(canon.entity_types(), vec!["t1", "t2", "t31", "t32"]);
+        match canon.root() {
+            SodNode::Tuple { children, .. } => {
+                let atomics = children
+                    .iter()
+                    .filter(|c| matches!(c, SodNode::Entity { .. }))
+                    .count();
+                let sets = children
+                    .iter()
+                    .filter(|c| matches!(c, SodNode::Set { .. }))
+                    .count();
+                assert_eq!(atomics, 3);
+                assert_eq!(sets, 1);
+            }
+            other => panic!("expected tuple root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_tuple_chains_collapse() {
+        let sod = SodBuilder::tuple("a")
+            .nested(SodBuilder::tuple("b").nested(SodBuilder::tuple("c").entity("x", Multiplicity::One)))
+            .entity("y", Multiplicity::One)
+            .build();
+        let canon = canonicalize(&sod);
+        assert_eq!(canon.to_string(), "a(x, y)");
+    }
+
+    #[test]
+    fn tuples_inside_sets_are_canonicalized_too() {
+        let sod = SodBuilder::tuple("pubs")
+            .set_of(
+                SodBuilder::tuple("rec")
+                    .entity("title", Multiplicity::One)
+                    .nested(SodBuilder::tuple("who").entity("author", Multiplicity::One)),
+                Multiplicity::Plus,
+            )
+            .build();
+        let canon = canonicalize(&sod);
+        assert_eq!(canon.to_string(), "pubs({rec(title, author)}+)");
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let sod = SodBuilder::tuple("concert")
+            .entity("artist", Multiplicity::One)
+            .nested(
+                SodBuilder::tuple("location")
+                    .entity("theater", Multiplicity::One)
+                    .entity("address", Multiplicity::Optional),
+            )
+            .set_of_entity("tag", Multiplicity::Star)
+            .build();
+        let once = canonicalize(&sod);
+        let twice = canonicalize(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn flat_sod_is_unchanged() {
+        let sod = SodBuilder::tuple("car")
+            .entity("brand", Multiplicity::One)
+            .entity("price", Multiplicity::One)
+            .build();
+        assert_eq!(canonicalize(&sod), sod);
+    }
+}

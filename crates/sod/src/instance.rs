@@ -1,0 +1,401 @@
+//! Instances of an SOD.
+//!
+//! "An instance of an entity type ti is any string that is valid w.r.t
+//! the recognizer ri. Then, an instance of an SOD is defined
+//! straightforwardly in a bottom-up manner, and can be viewed as a
+//! finite tree whose internal nodes denote the use of a complex type
+//! constructor." (paper §II-A)
+
+use crate::types::{Sod, SodNode};
+use std::fmt;
+
+/// An instance tree of an SOD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instance {
+    /// A recognized atomic value.
+    Atomic { type_name: String, value: String },
+    /// A tuple instance: one instance per (present) component.
+    Tuple {
+        name: String,
+        fields: Vec<Instance>,
+    },
+    /// A set instance: repeated instances of the set's child type.
+    Set(Vec<Instance>),
+}
+
+/// Validation failures of an instance against an SOD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The instance node kind does not match the type node kind.
+    ShapeMismatch { expected: String, got: String },
+    /// An atomic value is typed with the wrong entity type.
+    WrongEntityType { expected: String, got: String },
+    /// A set's cardinality violates its multiplicity.
+    Cardinality {
+        type_desc: String,
+        count: usize,
+    },
+    /// A required tuple component is missing.
+    MissingComponent(String),
+    /// A tuple has a field matching no component.
+    UnexpectedComponent(String),
+    /// Neither branch of a disjunction matched.
+    DisjunctionFailed,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            ValidationError::WrongEntityType { expected, got } => {
+                write!(f, "wrong entity type: expected {expected}, got {got}")
+            }
+            ValidationError::Cardinality { type_desc, count } => {
+                write!(f, "cardinality violation: {count} instances of {type_desc}")
+            }
+            ValidationError::MissingComponent(c) => write!(f, "missing component {c}"),
+            ValidationError::UnexpectedComponent(c) => write!(f, "unexpected component {c}"),
+            ValidationError::DisjunctionFailed => write!(f, "no disjunction branch matched"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Instance {
+    /// Convenience constructor for atomic instances.
+    pub fn atomic(type_name: &str, value: &str) -> Instance {
+        Instance::Atomic {
+            type_name: type_name.to_owned(),
+            value: value.to_owned(),
+        }
+    }
+
+    /// All values of entity type `t` anywhere in the instance tree.
+    pub fn values_of_type<'a>(&'a self, t: &str, out: &mut Vec<&'a str>) {
+        match self {
+            Instance::Atomic { type_name, value } => {
+                if type_name == t {
+                    out.push(value);
+                }
+            }
+            Instance::Tuple { fields, .. } => fields.iter().for_each(|i| i.values_of_type(t, out)),
+            Instance::Set(items) => items.iter().for_each(|i| i.values_of_type(t, out)),
+        }
+    }
+
+    /// Flatten to `(type_name, value)` pairs in document order.
+    pub fn flatten(&self) -> Vec<(&str, &str)> {
+        let mut out = Vec::new();
+        fn walk<'a>(i: &'a Instance, out: &mut Vec<(&'a str, &'a str)>) {
+            match i {
+                Instance::Atomic { type_name, value } => out.push((type_name, value)),
+                Instance::Tuple { fields, .. } => fields.iter().for_each(|f| walk(f, out)),
+                Instance::Set(items) => items.iter().for_each(|f| walk(f, out)),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Validate this instance against the (non-canonicalized) SOD.
+    pub fn validate(&self, sod: &Sod) -> Result<(), ValidationError> {
+        validate_node(self, sod.root())
+    }
+}
+
+fn kind_name(n: &SodNode) -> String {
+    match n {
+        SodNode::Entity { type_name, .. } => format!("entity {type_name}"),
+        SodNode::Tuple { name, .. } => format!("tuple {name}"),
+        SodNode::Set { .. } => "set".to_owned(),
+        SodNode::Disjunction(..) => "disjunction".to_owned(),
+    }
+}
+
+fn inst_kind(i: &Instance) -> String {
+    match i {
+        Instance::Atomic { type_name, .. } => format!("atomic {type_name}"),
+        Instance::Tuple { name, .. } => format!("tuple {name}"),
+        Instance::Set(_) => "set".to_owned(),
+    }
+}
+
+fn validate_node(inst: &Instance, node: &SodNode) -> Result<(), ValidationError> {
+    match node {
+        SodNode::Entity { type_name, .. } => match inst {
+            Instance::Atomic { type_name: t, .. } if t == type_name => Ok(()),
+            Instance::Atomic { type_name: t, .. } => Err(ValidationError::WrongEntityType {
+                expected: type_name.clone(),
+                got: t.clone(),
+            }),
+            other => Err(ValidationError::ShapeMismatch {
+                expected: kind_name(node),
+                got: inst_kind(other),
+            }),
+        },
+        SodNode::Set {
+            child,
+            multiplicity,
+        } => match inst {
+            Instance::Set(items) => {
+                if !multiplicity.accepts(items.len()) {
+                    return Err(ValidationError::Cardinality {
+                        type_desc: kind_name(child),
+                        count: items.len(),
+                    });
+                }
+                for item in items {
+                    validate_node(item, child)?;
+                }
+                Ok(())
+            }
+            other => Err(ValidationError::ShapeMismatch {
+                expected: kind_name(node),
+                got: inst_kind(other),
+            }),
+        },
+        SodNode::Disjunction(a, b) => {
+            if validate_node(inst, a).is_ok() || validate_node(inst, b).is_ok() {
+                Ok(())
+            } else {
+                Err(ValidationError::DisjunctionFailed)
+            }
+        }
+        SodNode::Tuple { children, .. } => match inst {
+            Instance::Tuple { fields, .. } => {
+                // Tuples are unordered: greedily match each field to a
+                // distinct component; then check every non-optional
+                // component is covered.
+                let mut used = vec![false; fields.len()];
+                for comp in children {
+                    let mut matched = false;
+                    for (fi, field) in fields.iter().enumerate() {
+                        if used[fi] {
+                            continue;
+                        }
+                        if validate_node(field, comp).is_ok() {
+                            used[fi] = true;
+                            matched = true;
+                            break;
+                        }
+                    }
+                    if !matched && !component_is_optional(comp) {
+                        return Err(ValidationError::MissingComponent(kind_name(comp)));
+                    }
+                }
+                if let Some(fi) = used.iter().position(|&u| !u) {
+                    return Err(ValidationError::UnexpectedComponent(inst_kind(&fields[fi])));
+                }
+                Ok(())
+            }
+            other => Err(ValidationError::ShapeMismatch {
+                expected: kind_name(node),
+                got: inst_kind(other),
+            }),
+        },
+    }
+}
+
+fn component_is_optional(node: &SodNode) -> bool {
+    match node {
+        SodNode::Entity { multiplicity, .. } | SodNode::Set { multiplicity, .. } => {
+            multiplicity.is_optional()
+        }
+        _ => false,
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instance::Atomic { type_name, value } => write!(f, "{type_name}={value:?}"),
+            Instance::Tuple { name, fields } => {
+                write!(f, "{name}{{")?;
+                for (i, field) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{field}")?;
+                }
+                write!(f, "}}")
+            }
+            Instance::Set(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Multiplicity, SodBuilder};
+
+    fn book_sod() -> Sod {
+        SodBuilder::tuple("book")
+            .entity("title", Multiplicity::One)
+            .set_of_entity("author", Multiplicity::Plus)
+            .entity("price", Multiplicity::One)
+            .entity("date", Multiplicity::Optional)
+            .build()
+    }
+
+    fn valid_book() -> Instance {
+        Instance::Tuple {
+            name: "book".to_owned(),
+            fields: vec![
+                Instance::atomic("title", "Emma"),
+                Instance::Set(vec![
+                    Instance::atomic("author", "Jane Austen"),
+                    Instance::atomic("author", "Fiona Stafford"),
+                ]),
+                Instance::atomic("price", "$12.99"),
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_instance_passes() {
+        assert_eq!(valid_book().validate(&book_sod()), Ok(()));
+    }
+
+    #[test]
+    fn optional_component_may_be_absent_or_present() {
+        let mut with_date = valid_book();
+        if let Instance::Tuple { fields, .. } = &mut with_date {
+            fields.push(Instance::atomic("date", "May 2010"));
+        }
+        assert_eq!(with_date.validate(&book_sod()), Ok(()));
+    }
+
+    #[test]
+    fn missing_required_component_fails() {
+        let inst = Instance::Tuple {
+            name: "book".to_owned(),
+            fields: vec![Instance::atomic("title", "Emma")],
+        };
+        assert!(matches!(
+            inst.validate(&book_sod()),
+            Err(ValidationError::MissingComponent(_))
+        ));
+    }
+
+    #[test]
+    fn empty_plus_set_fails_cardinality() {
+        let inst = Instance::Tuple {
+            name: "book".to_owned(),
+            fields: vec![
+                Instance::atomic("title", "Emma"),
+                Instance::Set(vec![]),
+                Instance::atomic("price", "$1.00"),
+            ],
+        };
+        assert!(matches!(
+            inst.validate(&book_sod()),
+            Err(ValidationError::Cardinality { .. }) | Err(ValidationError::MissingComponent(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_entity_type_fails() {
+        let sod = SodBuilder::tuple("car")
+            .entity("brand", Multiplicity::One)
+            .build();
+        let inst = Instance::Tuple {
+            name: "car".to_owned(),
+            fields: vec![Instance::atomic("price", "$5")],
+        };
+        assert!(inst.validate(&sod).is_err());
+    }
+
+    #[test]
+    fn unexpected_component_fails() {
+        let sod = SodBuilder::tuple("car")
+            .entity("brand", Multiplicity::One)
+            .build();
+        let inst = Instance::Tuple {
+            name: "car".to_owned(),
+            fields: vec![
+                Instance::atomic("brand", "Honda"),
+                Instance::atomic("color", "red"),
+            ],
+        };
+        assert!(matches!(
+            inst.validate(&sod),
+            Err(ValidationError::UnexpectedComponent(_))
+        ));
+    }
+
+    #[test]
+    fn tuples_are_unordered() {
+        let inst = Instance::Tuple {
+            name: "book".to_owned(),
+            fields: vec![
+                Instance::atomic("price", "$12.99"),
+                Instance::atomic("title", "Emma"),
+                Instance::Set(vec![Instance::atomic("author", "Jane Austen")]),
+            ],
+        };
+        assert_eq!(inst.validate(&book_sod()), Ok(()));
+    }
+
+    #[test]
+    fn disjunction_accepts_either_branch() {
+        let sod = SodBuilder::tuple("listing")
+            .either("price", "bid")
+            .build();
+        for t in ["price", "bid"] {
+            let inst = Instance::Tuple {
+                name: "listing".to_owned(),
+                fields: vec![Instance::atomic(t, "5")],
+            };
+            assert_eq!(inst.validate(&sod), Ok(()));
+        }
+        let bad = Instance::Tuple {
+            name: "listing".to_owned(),
+            fields: vec![Instance::atomic("color", "red")],
+        };
+        assert!(bad.validate(&sod).is_err());
+    }
+
+    #[test]
+    fn values_of_type_collects_across_sets() {
+        let book = valid_book();
+        let mut out = Vec::new();
+        book.values_of_type("author", &mut out);
+        assert_eq!(out, vec!["Jane Austen", "Fiona Stafford"]);
+    }
+
+    #[test]
+    fn flatten_gives_document_order() {
+        let book = valid_book();
+        let flat = book.flatten();
+        assert_eq!(
+            flat,
+            vec![
+                ("title", "Emma"),
+                ("author", "Jane Austen"),
+                ("author", "Fiona Stafford"),
+                ("price", "$12.99"),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = valid_book().to_string();
+        assert!(s.contains("book{"));
+        assert!(s.contains("title=\"Emma\""));
+        assert!(s.contains('['));
+    }
+}

@@ -1,0 +1,39 @@
+//! # objectrunner-sod
+//!
+//! The **Structured Object Description** typing formalism (paper
+//! §II-A): a user describes the targeted data as a complex type built
+//! from entity (atomic) types with *set* constructors carrying
+//! multiplicity constraints, unordered *tuple* constructors, and
+//! *disjunction* types.
+//!
+//! * [`types`] — the type algebra ([`SodNode`], [`Multiplicity`],
+//!   [`Sod`]) and the fluent [`SodBuilder`].
+//! * [`canonical`] — the canonical-form transformation of Fig. 4
+//!   (atomic types reachable through tuple nodes only are grouped into
+//!   one tuple).
+//! * [`instance`] — instance trees of an SOD and validation.
+//!
+//! ```
+//! use objectrunner_sod::{Multiplicity, SodBuilder};
+//!
+//! // The paper's concert SOD: tuple(artist, date,
+//! //                               location = tuple(theater, address?)).
+//! let sod = SodBuilder::tuple("concert")
+//!     .entity("artist", Multiplicity::One)
+//!     .entity("date", Multiplicity::One)
+//!     .nested(
+//!         SodBuilder::tuple("location")
+//!             .entity("theater", Multiplicity::One)
+//!             .entity("address", Multiplicity::Optional),
+//!     )
+//!     .build();
+//! assert_eq!(sod.entity_types(), vec!["artist", "date", "theater", "address"]);
+//! ```
+
+pub mod canonical;
+pub mod instance;
+pub mod types;
+
+pub use canonical::canonicalize;
+pub use instance::{Instance, ValidationError};
+pub use types::{Multiplicity, Sod, SodBuilder, SodNode};

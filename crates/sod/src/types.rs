@@ -1,0 +1,426 @@
+//! The SOD type algebra.
+//!
+//! "A set type is a pair `t = [{ti}, mi]` where `{ti}` denotes a set
+//! of instances of type `ti` (atomic or not) and `mi` denotes a
+//! multiplicity constraint … A tuple type denotes an unordered
+//! collection of set or tuple types. A disjunction type denotes a pair
+//! of mutually exclusive types. A Structured Object Description (SOD)
+//! denotes any complex type." (paper §II-A)
+
+use std::fmt;
+
+/// Multiplicity constraints on set types: "n−m for at least n and at
+/// most m, * for zero or more, + for one or more, ? for zero or one,
+/// 1 for exactly one".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Multiplicity {
+    /// Exactly one (`1`).
+    One,
+    /// Zero or one (`?`).
+    Optional,
+    /// Zero or more (`*`).
+    Star,
+    /// One or more (`+`).
+    Plus,
+    /// Between `min` and `max` inclusive (`n−m`).
+    Range(u32, u32),
+}
+
+impl Multiplicity {
+    /// Inclusive lower bound.
+    pub fn min(&self) -> u32 {
+        match self {
+            Multiplicity::One | Multiplicity::Plus => 1,
+            Multiplicity::Optional | Multiplicity::Star => 0,
+            Multiplicity::Range(n, _) => *n,
+        }
+    }
+
+    /// Inclusive upper bound, `None` = unbounded.
+    pub fn max(&self) -> Option<u32> {
+        match self {
+            Multiplicity::One | Multiplicity::Optional => Some(1),
+            Multiplicity::Star | Multiplicity::Plus => None,
+            Multiplicity::Range(_, m) => Some(*m),
+        }
+    }
+
+    /// Does `count` satisfy the constraint?
+    pub fn accepts(&self, count: usize) -> bool {
+        let count = count as u32;
+        count >= self.min() && self.max().map(|m| count <= m).unwrap_or(true)
+    }
+
+    /// May the component be absent?
+    pub fn is_optional(&self) -> bool {
+        self.min() == 0
+    }
+
+    /// May the component repeat?
+    pub fn is_repeating(&self) -> bool {
+        self.max().map(|m| m > 1).unwrap_or(true)
+    }
+}
+
+impl fmt::Display for Multiplicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Multiplicity::One => write!(f, "1"),
+            Multiplicity::Optional => write!(f, "?"),
+            Multiplicity::Star => write!(f, "*"),
+            Multiplicity::Plus => write!(f, "+"),
+            Multiplicity::Range(n, m) => write!(f, "{n}-{m}"),
+        }
+    }
+}
+
+/// A node of the SOD type tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SodNode {
+    /// An entity (atomic) type, identified by its type name. The
+    /// multiplicity covers the common "optional attribute" case
+    /// (`?`) and repeated atomic fields (shorthand for a set of the
+    /// entity type).
+    Entity {
+        type_name: String,
+        multiplicity: Multiplicity,
+    },
+    /// An unordered collection of component types.
+    Tuple {
+        name: String,
+        children: Vec<SodNode>,
+    },
+    /// A set of instances of the child type under a multiplicity.
+    Set {
+        child: Box<SodNode>,
+        multiplicity: Multiplicity,
+    },
+    /// Two mutually exclusive alternatives.
+    Disjunction(Box<SodNode>, Box<SodNode>),
+}
+
+impl SodNode {
+    /// Collect the entity type names in document order.
+    pub fn entity_types<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            SodNode::Entity { type_name, .. } => out.push(type_name),
+            SodNode::Tuple { children, .. } => {
+                for c in children {
+                    c.entity_types(out);
+                }
+            }
+            SodNode::Set { child, .. } => child.entity_types(out),
+            SodNode::Disjunction(a, b) => {
+                a.entity_types(out);
+                b.entity_types(out);
+            }
+        }
+    }
+
+    /// Number of nodes in the type tree.
+    pub fn size(&self) -> usize {
+        1 + match self {
+            SodNode::Entity { .. } => 0,
+            SodNode::Tuple { children, .. } => children.iter().map(SodNode::size).sum(),
+            SodNode::Set { child, .. } => child.size(),
+            SodNode::Disjunction(a, b) => a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for SodNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SodNode::Entity {
+                type_name,
+                multiplicity,
+            } => {
+                if *multiplicity == Multiplicity::One {
+                    write!(f, "{type_name}")
+                } else {
+                    write!(f, "{type_name}{multiplicity}")
+                }
+            }
+            SodNode::Tuple { name, children } => {
+                write!(f, "{name}(")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            SodNode::Set {
+                child,
+                multiplicity,
+            } => write!(f, "{{{child}}}{multiplicity}"),
+            SodNode::Disjunction(a, b) => write!(f, "({a} | {b})"),
+        }
+    }
+}
+
+/// A complete Structured Object Description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sod {
+    root: SodNode,
+}
+
+impl Sod {
+    /// Wrap a type tree as an SOD.
+    pub fn new(root: SodNode) -> Sod {
+        Sod { root }
+    }
+
+    /// The root type.
+    pub fn root(&self) -> &SodNode {
+        &self.root
+    }
+
+    /// All entity type names, in document order.
+    pub fn entity_types(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.root.entity_types(&mut out);
+        out
+    }
+
+    /// Entity type names that live under a set constructor (their
+    /// values repeat within one object).
+    pub fn set_entity_types(&self) -> Vec<&str> {
+        fn walk<'a>(node: &'a SodNode, in_set: bool, out: &mut Vec<&'a str>) {
+            match node {
+                SodNode::Entity { type_name, .. } => {
+                    if in_set {
+                        out.push(type_name);
+                    }
+                }
+                SodNode::Tuple { children, .. } => {
+                    children.iter().for_each(|c| walk(c, in_set, out))
+                }
+                SodNode::Set { child, .. } => walk(child, true, out),
+                SodNode::Disjunction(a, b) => {
+                    walk(a, in_set, out);
+                    walk(b, in_set, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, false, &mut out);
+        out
+    }
+
+    /// Entity type names whose multiplicity admits absence.
+    pub fn optional_entity_types(&self) -> Vec<&str> {
+        fn walk<'a>(node: &'a SodNode, out: &mut Vec<&'a str>) {
+            match node {
+                SodNode::Entity {
+                    type_name,
+                    multiplicity,
+                } => {
+                    if multiplicity.is_optional() {
+                        out.push(type_name);
+                    }
+                }
+                SodNode::Tuple { children, .. } => children.iter().for_each(|c| walk(c, out)),
+                SodNode::Set { child, .. } => walk(child, out),
+                SodNode::Disjunction(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Sod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.root)
+    }
+}
+
+/// Fluent construction of tuple-rooted SODs.
+///
+/// ```
+/// use objectrunner_sod::{Multiplicity, SodBuilder};
+/// let sod = SodBuilder::tuple("book")
+///     .entity("title", Multiplicity::One)
+///     .set_of_entity("author", Multiplicity::Plus)
+///     .entity("price", Multiplicity::One)
+///     .entity("date", Multiplicity::Optional)
+///     .build();
+/// assert_eq!(sod.to_string(), "book(title, {author}+, price, date?)");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SodBuilder {
+    name: String,
+    children: Vec<SodNode>,
+}
+
+impl SodBuilder {
+    /// Start a tuple type named `name`.
+    pub fn tuple(name: &str) -> SodBuilder {
+        SodBuilder {
+            name: name.to_owned(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Add an entity component.
+    pub fn entity(mut self, type_name: &str, multiplicity: Multiplicity) -> Self {
+        self.children.push(SodNode::Entity {
+            type_name: type_name.to_owned(),
+            multiplicity,
+        });
+        self
+    }
+
+    /// Add a set of an entity type (e.g. `{author}+`).
+    pub fn set_of_entity(mut self, type_name: &str, multiplicity: Multiplicity) -> Self {
+        self.children.push(SodNode::Set {
+            child: Box::new(SodNode::Entity {
+                type_name: type_name.to_owned(),
+                multiplicity: Multiplicity::One,
+            }),
+            multiplicity,
+        });
+        self
+    }
+
+    /// Add a nested tuple component.
+    pub fn nested(mut self, inner: SodBuilder) -> Self {
+        self.children.push(inner.into_node());
+        self
+    }
+
+    /// Add a set of a nested tuple (e.g. repeated records).
+    pub fn set_of(mut self, inner: SodBuilder, multiplicity: Multiplicity) -> Self {
+        self.children.push(SodNode::Set {
+            child: Box::new(inner.into_node()),
+            multiplicity,
+        });
+        self
+    }
+
+    /// Add a disjunction of two entity types.
+    pub fn either(mut self, a: &str, b: &str) -> Self {
+        self.children.push(SodNode::Disjunction(
+            Box::new(SodNode::Entity {
+                type_name: a.to_owned(),
+                multiplicity: Multiplicity::One,
+            }),
+            Box::new(SodNode::Entity {
+                type_name: b.to_owned(),
+                multiplicity: Multiplicity::One,
+            }),
+        ));
+        self
+    }
+
+    /// Finish into an [`Sod`].
+    pub fn build(self) -> Sod {
+        Sod::new(self.into_node())
+    }
+
+    fn into_node(self) -> SodNode {
+        SodNode::Tuple {
+            name: self.name,
+            children: self.children,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplicity_bounds() {
+        assert!(Multiplicity::One.accepts(1));
+        assert!(!Multiplicity::One.accepts(0));
+        assert!(!Multiplicity::One.accepts(2));
+        assert!(Multiplicity::Optional.accepts(0));
+        assert!(Multiplicity::Optional.accepts(1));
+        assert!(!Multiplicity::Optional.accepts(2));
+        assert!(Multiplicity::Star.accepts(0));
+        assert!(Multiplicity::Star.accepts(99));
+        assert!(!Multiplicity::Plus.accepts(0));
+        assert!(Multiplicity::Plus.accepts(5));
+        assert!(Multiplicity::Range(2, 4).accepts(3));
+        assert!(!Multiplicity::Range(2, 4).accepts(1));
+        assert!(!Multiplicity::Range(2, 4).accepts(5));
+    }
+
+    #[test]
+    fn multiplicity_display() {
+        assert_eq!(Multiplicity::One.to_string(), "1");
+        assert_eq!(Multiplicity::Optional.to_string(), "?");
+        assert_eq!(Multiplicity::Star.to_string(), "*");
+        assert_eq!(Multiplicity::Plus.to_string(), "+");
+        assert_eq!(Multiplicity::Range(2, 5).to_string(), "2-5");
+    }
+
+    #[test]
+    fn concert_sod_shape() {
+        let sod = SodBuilder::tuple("concert")
+            .entity("artist", Multiplicity::One)
+            .entity("date", Multiplicity::One)
+            .nested(
+                SodBuilder::tuple("location")
+                    .entity("theater", Multiplicity::One)
+                    .entity("address", Multiplicity::Optional),
+            )
+            .build();
+        assert_eq!(sod.entity_types(), vec!["artist", "date", "theater", "address"]);
+        assert_eq!(sod.optional_entity_types(), vec!["address"]);
+        assert_eq!(
+            sod.to_string(),
+            "concert(artist, date, location(theater, address?))"
+        );
+    }
+
+    #[test]
+    fn book_sod_with_author_set() {
+        let sod = SodBuilder::tuple("book")
+            .entity("title", Multiplicity::One)
+            .set_of_entity("author", Multiplicity::Plus)
+            .entity("price", Multiplicity::One)
+            .entity("date", Multiplicity::Optional)
+            .build();
+        assert_eq!(sod.entity_types(), vec!["title", "author", "price", "date"]);
+        assert_eq!(sod.to_string(), "book(title, {author}+, price, date?)");
+    }
+
+    #[test]
+    fn disjunction_lists_both_sides() {
+        let sod = SodBuilder::tuple("listing")
+            .either("price", "auction_bid")
+            .build();
+        assert_eq!(sod.entity_types(), vec!["price", "auction_bid"]);
+        assert!(sod.to_string().contains('|'));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let sod = SodBuilder::tuple("t")
+            .entity("a", Multiplicity::One)
+            .set_of_entity("b", Multiplicity::Star)
+            .build();
+        // tuple + a + set + b
+        assert_eq!(sod.root().size(), 4);
+    }
+
+    #[test]
+    fn set_of_tuple_nests() {
+        let sod = SodBuilder::tuple("publication")
+            .entity("title", Multiplicity::One)
+            .set_of(
+                SodBuilder::tuple("authorship").entity("author", Multiplicity::One),
+                Multiplicity::Plus,
+            )
+            .build();
+        assert_eq!(sod.to_string(), "publication(title, {authorship(author)}+)");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the SOD type algebra.
+
+use objectrunner_sod::{canonicalize, Multiplicity, Sod, SodNode};
+use proptest::prelude::*;
+
+fn arb_multiplicity() -> impl Strategy<Value = Multiplicity> {
+    prop_oneof![
+        Just(Multiplicity::One),
+        Just(Multiplicity::Optional),
+        Just(Multiplicity::Star),
+        Just(Multiplicity::Plus),
+        (1u32..4, 0u32..4).prop_map(|(n, extra)| Multiplicity::Range(n, n + extra)),
+    ]
+}
+
+fn arb_node(depth: u32) -> impl Strategy<Value = SodNode> {
+    let leaf = ("[a-z]{2,8}", arb_multiplicity()).prop_map(|(type_name, multiplicity)| {
+        SodNode::Entity {
+            type_name,
+            multiplicity,
+        }
+    });
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            ("[a-z]{2,6}", prop::collection::vec(inner.clone(), 1..4)).prop_map(
+                |(name, children)| SodNode::Tuple { name, children }
+            ),
+            (inner.clone(), arb_multiplicity()).prop_map(|(child, multiplicity)| {
+                SodNode::Set {
+                    child: Box::new(child),
+                    multiplicity,
+                }
+            }),
+            (inner.clone(), inner).prop_map(|(a, b)| SodNode::Disjunction(
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+fn arb_sod() -> impl Strategy<Value = Sod> {
+    ("[a-z]{2,6}", prop::collection::vec(arb_node(3), 1..4))
+        .prop_map(|(name, children)| Sod::new(SodNode::Tuple { name, children }))
+}
+
+proptest! {
+    /// Canonicalization is idempotent (Fig. 4 is a normal form).
+    #[test]
+    fn canonicalize_is_idempotent(sod in arb_sod()) {
+        let once = canonicalize(&sod);
+        let twice = canonicalize(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Canonicalization preserves the multiset of entity types.
+    #[test]
+    fn canonicalize_preserves_entity_types(sod in arb_sod()) {
+        let mut before: Vec<String> =
+            sod.entity_types().into_iter().map(str::to_owned).collect();
+        let canon = canonicalize(&sod);
+        let mut after: Vec<String> =
+            canon.entity_types().into_iter().map(str::to_owned).collect();
+        before.sort();
+        after.sort();
+        prop_assert_eq!(before, after);
+    }
+
+    /// In canonical form, no tuple has a direct tuple child.
+    #[test]
+    fn canonical_tuples_never_nest_directly(sod in arb_sod()) {
+        fn check(node: &SodNode) -> bool {
+            match node {
+                SodNode::Tuple { children, .. } => children.iter().all(|c| {
+                    !matches!(c, SodNode::Tuple { .. }) && check(c)
+                }),
+                SodNode::Set { child, .. } => check(child),
+                SodNode::Disjunction(a, b) => check(a) && check(b),
+                SodNode::Entity { .. } => true,
+            }
+        }
+        prop_assert!(check(canonicalize(&sod).root()));
+    }
+
+    /// Multiplicity bounds are consistent with acceptance.
+    #[test]
+    fn multiplicity_bounds_match_accepts(m in arb_multiplicity(), count in 0usize..12) {
+        let within = count as u32 >= m.min()
+            && m.max().map(|x| count as u32 <= x).unwrap_or(true);
+        prop_assert_eq!(m.accepts(count), within);
+    }
+
+    /// `is_optional` ⇔ zero is accepted; `is_repeating` ⇔ two is
+    /// accepted or the bound exceeds one.
+    #[test]
+    fn multiplicity_flags_are_consistent(m in arb_multiplicity()) {
+        prop_assert_eq!(m.is_optional(), m.accepts(0));
+        let can_repeat = m.max().map(|x| x > 1).unwrap_or(true);
+        prop_assert_eq!(m.is_repeating(), can_repeat);
+    }
+
+    /// Display output is parse-stable enough to be non-empty and to
+    /// contain every entity type name.
+    #[test]
+    fn display_mentions_every_entity_type(sod in arb_sod()) {
+        let text = sod.to_string();
+        for t in sod.entity_types() {
+            prop_assert!(text.contains(t), "{text} missing {t}");
+        }
+    }
+
+    /// Set-entity types are a subset of all entity types.
+    #[test]
+    fn set_types_are_a_subset(sod in arb_sod()) {
+        let all = sod.entity_types();
+        for t in sod.set_entity_types() {
+            prop_assert!(all.contains(&t));
+        }
+    }
+}

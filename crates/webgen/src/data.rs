@@ -1,0 +1,364 @@
+//! Entity pools and value generators for the five domains.
+//!
+//! Pools are word-combinatorial so each domain has hundreds of
+//! distinct, realistic-looking instances; all generation is seeded.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Band/artist name components (disjoint from the title vocabulary so
+/// artists and titles never collide).
+const ARTIST_FIRST: &[&str] = &[
+    "Obsidian", "Electric", "Midnight", "Silver", "Velvet", "Iron", "Neon", "Golden", "Savage",
+    "Lunar", "Atomic", "Royal", "Phantom", "Wild", "Static", "Cosmic", "Broken", "Hollow",
+];
+const ARTIST_SECOND: &[&str] = &[
+    "Tigers", "Horizon", "Echoes", "Monarchs", "Serpents", "Parade", "Union", "Voltage",
+    "Harvest", "Cascade", "Empire", "Comets", "Engines", "Wolves", "Lanterns", "Riders",
+];
+
+/// Venue name components.
+const VENUE_FIRST: &[&str] = &[
+    "Bowery", "Riverside", "Grand", "Apollo", "Majestic", "Orpheum", "Paramount", "Crescent",
+    "Liberty", "Sunset", "Harbor", "Summit",
+];
+const VENUE_SECOND: &[&str] = &[
+    "Ballroom", "Theater", "Hall", "Arena", "Pavilion", "Lounge", "Amphitheater", "Club",
+];
+
+/// Street name components for addresses.
+const STREET_NAMES: &[&str] = &[
+    "Delancey", "Penn", "Mercer", "Bleecker", "Spring", "Mulberry", "Orchard", "Stanton",
+    "Rivington", "Greene", "Bowery", "Houston", "Prince", "Crosby",
+];
+const STREET_SUFFIX: &[&str] = &["St", "Street", "Ave", "Avenue", "Plaza", "Blvd"];
+
+/// Cities (the decoy pool — repeated values that look like template).
+pub const CITIES: &[&str] = &[
+    "New York City", "Boston", "Chicago", "Austin", "Seattle", "Portland", "Denver",
+    "Nashville", "San Diego", "Atlanta",
+];
+
+/// Title components for albums, books and publications.
+const TITLE_ADJ: &[&str] = &[
+    "Silent", "Endless", "Fading", "Radiant", "Forgotten", "Distant", "Burning", "Frozen",
+    "Hidden", "Shattered", "Gentle", "Restless", "Crimson", "Weightless",
+];
+const TITLE_NOUN: &[&str] = &[
+    "Rivers", "Horizons", "Gardens", "Letters", "Shadows", "Machines", "Tides", "Winters",
+    "Voices", "Mirrors", "Orchards", "Signals", "Harbors", "Meadows",
+];
+
+/// Person name components (authors).
+const PERSON_FIRST: &[&str] = &[
+    "Jane", "Abraham", "Fiona", "Hamilton", "Mary", "Oliver", "Clara", "Edmund", "Nadia",
+    "Victor", "Helena", "Marcus", "Ingrid", "Tobias", "Amara", "Felix",
+];
+const PERSON_LAST: &[&str] = &[
+    "Austen", "Verghese", "Stafford", "Mabie", "Frey", "Calloway", "Brennan", "Okafor",
+    "Lindqvist", "Moreau", "Takahashi", "Whitfield", "Arroyo", "Keller", "Novak", "Osei",
+];
+
+/// Car brands + models.
+const CAR_BRANDS: &[&str] = &[
+    "Toyota", "Honda", "Ford", "Chevrolet", "Nissan", "Subaru", "Mazda", "Volkswagen",
+    "Hyundai", "Kia", "Volvo", "Audi",
+];
+const CAR_MODELS: &[&str] = &[
+    "Meridian", "Vista", "Pulse", "Traverse", "Summit", "Cadence", "Orbit", "Drift",
+    "Beacon", "Strata",
+];
+
+/// Publication venue names (for detail noise).
+const PUB_VENUES: &[&str] = &[
+    "ICDE", "VLDB", "SIGMOD", "WWW", "KDD", "EDBT", "CIKM", "WSDM",
+];
+
+const MONTHS: &[&str] = &[
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+const WEEKDAYS: &[&str] = &[
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+];
+
+/// All artist names (the full pool, used to build gazetteers). Half
+/// the names carry a "The" prefix and half don't — a uniform prefix
+/// would be indistinguishable from template text.
+pub fn all_artists() -> Vec<String> {
+    let mut out = Vec::with_capacity(ARTIST_FIRST.len() * ARTIST_SECOND.len());
+    for (i, x) in ARTIST_FIRST.iter().enumerate() {
+        for (j, y) in ARTIST_SECOND.iter().enumerate() {
+            if (i + j) % 2 == 0 {
+                out.push(format!("The {x} {y}"));
+            } else {
+                out.push(format!("{x} {y}"));
+            }
+        }
+    }
+    out
+}
+
+/// All publication titles: a closed pattern space over the title
+/// vocabulary (so dictionary recognizers can enumerate it). Several
+/// surface patterns keep any single scaffold word from looking like
+/// template text.
+pub fn all_publication_titles() -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, a) in TITLE_ADJ.iter().enumerate() {
+        for (j, n) in TITLE_NOUN.iter().enumerate() {
+            match (i + j) % 4 {
+                0 => {
+                    let n2 = TITLE_NOUN[(i + 2 * j + 1) % TITLE_NOUN.len()];
+                    out.push(format!("On {a} {n} in Large-Scale {n2}"));
+                }
+                1 => {
+                    let n2 = TITLE_NOUN[(2 * i + j + 3) % TITLE_NOUN.len()];
+                    out.push(format!("{a} {n} for Scalable {n2}"));
+                }
+                2 => out.push(format!("Towards {a} {n}")),
+                _ => out.push(format!("A Study of {a} {n}")),
+            }
+        }
+    }
+    out
+}
+
+/// All venue names.
+pub fn all_venues() -> Vec<String> {
+    cross(VENUE_FIRST, VENUE_SECOND, "", " ")
+}
+
+/// All album/book/publication titles.
+pub fn all_titles() -> Vec<String> {
+    cross(TITLE_ADJ, TITLE_NOUN, "", " ")
+}
+
+/// All person (author) names.
+pub fn all_people() -> Vec<String> {
+    cross(PERSON_FIRST, PERSON_LAST, "", " ")
+}
+
+/// All car brand names.
+pub fn all_car_brands() -> Vec<String> {
+    CAR_BRANDS.iter().map(|s| (*s).to_owned()).collect()
+}
+
+fn cross(a: &[&str], b: &[&str], prefix: &str, sep: &str) -> Vec<String> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push(format!("{prefix}{x}{sep}{y}"));
+        }
+    }
+    out
+}
+
+/// Seeded value factory for one site.
+pub struct ValueGen<'a> {
+    pub rng: &'a mut StdRng,
+}
+
+impl<'a> ValueGen<'a> {
+    pub fn new(rng: &'a mut StdRng) -> Self {
+        ValueGen { rng }
+    }
+
+    fn pick<T: Copy>(&mut self, pool: &[T]) -> T {
+        *pool.choose(self.rng).expect("non-empty pool")
+    }
+
+    fn pick_owned(&mut self, pool: &[String]) -> String {
+        pool.choose(self.rng).expect("non-empty pool").clone()
+    }
+
+    /// An artist/band name.
+    pub fn artist(&mut self) -> String {
+        self.pick_owned(&all_artists())
+    }
+
+    /// A venue name.
+    pub fn venue(&mut self) -> String {
+        self.pick_owned(&all_venues())
+    }
+
+    /// A street address, e.g. "237 Mercer Street".
+    pub fn street_address(&mut self) -> String {
+        let num: u32 = self.rng.gen_range(1..999);
+        let name = self.pick(STREET_NAMES);
+        let suffix = self.pick(STREET_SUFFIX);
+        format!("{num} {name} {suffix}")
+    }
+
+    /// A city (decoy pool).
+    pub fn city(&mut self) -> String {
+        self.pick(CITIES).to_owned()
+    }
+
+    /// A concert-style date, e.g. "Saturday May 29, 2010 7:00pm".
+    pub fn concert_date(&mut self) -> String {
+        let wd = self.pick(WEEKDAYS);
+        let m = self.pick(MONTHS);
+        let day: u32 = self.rng.gen_range(1..29);
+        let year: u32 = self.rng.gen_range(2008..2013);
+        let hour: u32 = self.rng.gen_range(1..12);
+        let half = if self.rng.gen_bool(0.8) { "pm" } else { "am" };
+        format!("{wd} {m} {day}, {year} {hour}:00{half}")
+    }
+
+    /// A short date, e.g. "May 29, 2010".
+    pub fn short_date(&mut self) -> String {
+        let m = self.pick(MONTHS);
+        let day: u32 = self.rng.gen_range(1..29);
+        let year: u32 = self.rng.gen_range(1995..2013);
+        format!("{m} {day}, {year}")
+    }
+
+    /// A price, e.g. "$12.99".
+    pub fn price(&mut self) -> String {
+        let dollars: u32 = self.rng.gen_range(5..80);
+        let cents: u32 = self.rng.gen_range(0..100);
+        format!("${dollars}.{cents:02}")
+    }
+
+    /// A car price, e.g. "$18750.00".
+    pub fn car_price(&mut self) -> String {
+        let thousands: u32 = self.rng.gen_range(4..60);
+        let rest: u32 = self.rng.gen_range(0..10) * 50;
+        format!("${}{rest:03}.00", thousands)
+    }
+
+    /// A title (albums, books, publications).
+    pub fn title(&mut self) -> String {
+        self.pick_owned(&all_titles())
+    }
+
+    /// A publication title (drawn from the closed pattern space).
+    pub fn publication_title(&mut self) -> String {
+        self.pick_owned(&all_publication_titles())
+    }
+
+    /// A person name.
+    pub fn person(&mut self) -> String {
+        self.pick_owned(&all_people())
+    }
+
+    /// A set of 1..=max distinct authors.
+    pub fn authors(&mut self, max: usize) -> Vec<String> {
+        let n = self.rng.gen_range(1..=max.max(1));
+        let mut pool = all_people();
+        pool.shuffle(self.rng);
+        pool.truncate(n);
+        pool
+    }
+
+    /// A car description, e.g. "Toyota Meridian".
+    pub fn car(&mut self) -> (String, String) {
+        let brand = self.pick(CAR_BRANDS).to_owned();
+        let model = self.pick(CAR_MODELS);
+        (brand.clone(), format!("{brand} {model}"))
+    }
+
+    /// A publication venue string.
+    pub fn pub_venue(&mut self) -> String {
+        let v = self.pick(PUB_VENUES);
+        let year: u32 = self.rng.gen_range(2001..2012);
+        format!("{v} {year}")
+    }
+
+    /// Filler prose for noise blocks and unstructured pages.
+    pub fn prose(&mut self, words: usize) -> String {
+        const FILLER: &[&str] = &[
+            "special", "offers", "browse", "catalog", "featured", "today", "popular", "staff",
+            "picks", "weekly", "newsletter", "community", "reviews", "guide", "selection",
+            "exclusive", "discover", "trending", "archive", "editorial",
+        ];
+        (0..words)
+            .map(|_| self.pick(FILLER))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_are_large_and_distinct() {
+        let artists = all_artists();
+        assert!(artists.len() >= 200);
+        let mut dedup = artists.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), artists.len());
+        assert!(all_people().len() >= 200);
+        assert!(all_titles().len() >= 150);
+        assert!(all_venues().len() >= 80);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut v = ValueGen::new(&mut rng);
+            (v.artist(), v.concert_date(), v.price(), v.authors(3))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dates_match_the_predefined_recognizer() {
+        use objectrunner_knowledge::recognizer::Recognizer;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v = ValueGen::new(&mut rng);
+        let rec = Recognizer::predefined_date();
+        for _ in 0..50 {
+            let d = v.concert_date();
+            assert!(rec.recognize(&d).is_some(), "unrecognized date: {d}");
+            let s = v.short_date();
+            assert!(rec.recognize(&s).is_some(), "unrecognized date: {s}");
+        }
+    }
+
+    #[test]
+    fn prices_match_the_predefined_recognizer() {
+        use objectrunner_knowledge::recognizer::Recognizer;
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v = ValueGen::new(&mut rng);
+        let rec = Recognizer::predefined_price();
+        for _ in 0..50 {
+            let p = v.price();
+            assert!(rec.recognize(&p).is_some(), "unrecognized price: {p}");
+            let c = v.car_price();
+            assert!(rec.recognize(&c).is_some(), "unrecognized price: {c}");
+        }
+    }
+
+    #[test]
+    fn addresses_match_the_predefined_recognizer() {
+        use objectrunner_knowledge::recognizer::Recognizer;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut v = ValueGen::new(&mut rng);
+        let rec = Recognizer::predefined_address();
+        for _ in 0..50 {
+            let a = v.street_address();
+            assert!(rec.recognize(&a).is_some(), "unrecognized address: {a}");
+        }
+    }
+
+    #[test]
+    fn authors_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut v = ValueGen::new(&mut rng);
+        for _ in 0..20 {
+            let auths = v.authors(4);
+            let mut dedup = auths.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), auths.len());
+        }
+    }
+}

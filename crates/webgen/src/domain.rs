@@ -1,0 +1,184 @@
+//! The five evaluation domains and their SODs (paper §IV-A).
+
+use objectrunner_sod::{Multiplicity, Sod, SodBuilder};
+
+/// One of the paper's five domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    Concerts,
+    Albums,
+    Books,
+    Publications,
+    Cars,
+}
+
+impl Domain {
+    /// All domains, in the paper's order.
+    pub const ALL: [Domain; 5] = [
+        Domain::Concerts,
+        Domain::Albums,
+        Domain::Books,
+        Domain::Publications,
+        Domain::Cars,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Domain::Concerts => "Concerts",
+            Domain::Albums => "Albums",
+            Domain::Books => "Books",
+            Domain::Publications => "Publications",
+            Domain::Cars => "Cars",
+        }
+    }
+
+    /// The domain's SOD, exactly as specified in §IV-A:
+    ///
+    /// 1. *Concerts* — tuple(artist, date, location(theater, address?))
+    /// 2. *Albums* — tuple(title, artist, price, date?)
+    /// 3. *Books* — tuple(title, {author}+, price, date?)
+    /// 4. *Publications* — tuple(title, {author}+, date?)
+    /// 5. *Cars* — tuple(brand, price)
+    pub fn sod(&self) -> Sod {
+        match self {
+            Domain::Concerts => SodBuilder::tuple("concert")
+                .entity("artist", Multiplicity::One)
+                .entity("date", Multiplicity::One)
+                .nested(
+                    SodBuilder::tuple("location")
+                        .entity("theater", Multiplicity::One)
+                        .entity("address", Multiplicity::Optional),
+                )
+                .build(),
+            Domain::Albums => SodBuilder::tuple("album")
+                .entity("title", Multiplicity::One)
+                .entity("artist", Multiplicity::One)
+                .entity("price", Multiplicity::One)
+                .entity("date", Multiplicity::Optional)
+                .build(),
+            Domain::Books => SodBuilder::tuple("book")
+                .entity("title", Multiplicity::One)
+                .set_of_entity("author", Multiplicity::Plus)
+                .entity("price", Multiplicity::One)
+                .entity("date", Multiplicity::Optional)
+                .build(),
+            Domain::Publications => SodBuilder::tuple("publication")
+                .entity("title", Multiplicity::One)
+                .set_of_entity("author", Multiplicity::Plus)
+                .entity("date", Multiplicity::Optional)
+                .build(),
+            Domain::Cars => SodBuilder::tuple("car")
+                .entity("brand", Multiplicity::One)
+                .entity("price", Multiplicity::One)
+                .build(),
+        }
+    }
+
+    /// The SOD's attribute names (entity types), set-valued ones
+    /// included once.
+    pub fn attributes(&self) -> Vec<&'static str> {
+        match self {
+            Domain::Concerts => vec!["artist", "date", "theater", "address"],
+            Domain::Albums => vec!["title", "artist", "price", "date"],
+            Domain::Books => vec!["title", "author", "price", "date"],
+            Domain::Publications => vec!["title", "author", "date"],
+            Domain::Cars => vec!["brand", "price"],
+        }
+    }
+
+    /// Set-valued attributes.
+    pub fn set_attributes(&self) -> Vec<&'static str> {
+        match self {
+            Domain::Books | Domain::Publications => vec!["author"],
+            _ => vec![],
+        }
+    }
+
+    /// The optional attribute of the SOD (if any).
+    pub fn optional_attribute(&self) -> Option<&'static str> {
+        match self {
+            Domain::Concerts => Some("address"),
+            Domain::Albums | Domain::Books | Domain::Publications => Some("date"),
+            Domain::Cars => None,
+        }
+    }
+}
+
+/// A golden-standard object: attribute → values (sets hold several).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GoldObject {
+    pub attrs: Vec<(String, Vec<String>)>,
+}
+
+impl GoldObject {
+    /// Add an attribute value.
+    pub fn push(&mut self, attr: &str, value: &str) {
+        match self.attrs.iter_mut().find(|(a, _)| a == attr) {
+            Some((_, vs)) => vs.push(value.to_owned()),
+            None => self.attrs.push((attr.to_owned(), vec![value.to_owned()])),
+        }
+    }
+
+    /// Values of one attribute.
+    pub fn values(&self, attr: &str) -> &[String] {
+        self.attrs
+            .iter()
+            .find(|(a, _)| a == attr)
+            .map(|(_, vs)| vs.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Does the object carry this attribute?
+    pub fn has(&self, attr: &str) -> bool {
+        !self.values(attr).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sods_match_the_paper() {
+        assert_eq!(
+            Domain::Concerts.sod().to_string(),
+            "concert(artist, date, location(theater, address?))"
+        );
+        assert_eq!(
+            Domain::Books.sod().to_string(),
+            "book(title, {author}+, price, date?)"
+        );
+        assert_eq!(Domain::Cars.sod().to_string(), "car(brand, price)");
+        assert_eq!(
+            Domain::Publications.sod().to_string(),
+            "publication(title, {author}+, date?)"
+        );
+        assert_eq!(
+            Domain::Albums.sod().to_string(),
+            "album(title, artist, price, date?)"
+        );
+    }
+
+    #[test]
+    fn attributes_align_with_sod_entity_types() {
+        for d in Domain::ALL {
+            let sod = d.sod();
+            let types = sod.entity_types();
+            for attr in d.attributes() {
+                assert!(types.contains(&attr), "{attr} missing in {} SOD", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn gold_object_accumulates_set_values() {
+        let mut o = GoldObject::default();
+        o.push("author", "A");
+        o.push("author", "B");
+        o.push("title", "T");
+        assert_eq!(o.values("author"), &["A", "B"]);
+        assert!(o.has("title"));
+        assert!(!o.has("price"));
+    }
+}

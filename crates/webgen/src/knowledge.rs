@@ -1,0 +1,217 @@
+//! Domain knowledge wiring: the synthetic YAGO-like ontology over the
+//! entity pools, and per-domain recognizer sets with a dictionary
+//! coverage knob (the paper's 20% / 10% completeness experiments).
+
+use crate::data;
+use crate::domain::Domain;
+use objectrunner_knowledge::gazetteer::Gazetteer;
+use objectrunner_knowledge::ontology::Ontology;
+use objectrunner_knowledge::recognizer::{Recognizer, RecognizerSet};
+
+/// Deterministic pseudo term-frequency in `[2, 50]` for an instance.
+fn tf_of(name: &str) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    2.0 + (h % 49) as f64
+}
+
+/// Build the synthetic ontology: classes with subclass/relatedness
+/// edges and `isInstanceOf` facts from the entity pools.
+///
+/// Mirrors the paper's motivating structure: bands are *not* direct
+/// instances of `Artist`; the semantic neighborhood finds them.
+pub fn domain_ontology() -> Ontology {
+    let mut o = Ontology::new();
+    let artist = o.add_class("Artist");
+    let band = o.add_class("Band");
+    let musician = o.add_class("Musician");
+    let author = o.add_class("Author");
+    let writer = o.add_class("Writer");
+    let person = o.add_class("Person");
+    let venue = o.add_class("Venue");
+    let theater = o.add_class("Theater");
+    let brand = o.add_class("CarBrand");
+    let manufacturer = o.add_class("Manufacturer");
+
+    o.add_related(band, artist);
+    o.add_subclass(musician, artist);
+    o.add_subclass(artist, person);
+    o.add_related(writer, author);
+    o.add_subclass(author, person);
+    o.add_related(theater, venue);
+    o.add_related(manufacturer, brand);
+
+    // Bands only under Band (the Metallica situation).
+    for a in data::all_artists() {
+        o.add_instance(band, &a, 0.93, tf_of(&a));
+    }
+    for p in data::all_people() {
+        o.add_instance(writer, &p, 0.9, tf_of(&p));
+    }
+    for v in data::all_venues() {
+        o.add_instance(theater, &v, 0.88, tf_of(&v));
+    }
+    for b in data::all_car_brands() {
+        o.add_instance(manufacturer, &b, 0.97, tf_of(&b));
+    }
+    o
+}
+
+/// Titles are open vocabulary — no ontology class; a plain gazetteer.
+fn title_gazetteer() -> Gazetteer {
+    let mut g = Gazetteer::new();
+    for t in data::all_titles() {
+        g.insert(&t, 0.8, tf_of(&t));
+    }
+    g
+}
+
+/// Publication titles (the closed pattern space of the generator).
+fn publication_title_gazetteer() -> Gazetteer {
+    let mut g = Gazetteer::new();
+    for t in data::all_publication_titles() {
+        g.insert(&t, 0.8, 3.0);
+    }
+    g
+}
+
+/// The recognizer set for a domain at a given dictionary coverage.
+///
+/// `isInstanceOf` types go through the ontology's semantic
+/// neighborhood; predefined types (date, price, address) are complete
+/// by construction. Car brands keep full coverage — a closed, tiny
+/// vocabulary any real dictionary covers.
+pub fn recognizers_for(domain: Domain, coverage: f64) -> RecognizerSet {
+    let ontology = domain_ontology();
+    let mut set = RecognizerSet::new();
+    match domain {
+        Domain::Concerts => {
+            set.insert(
+                "artist",
+                Recognizer::dictionary(ontology.gazetteer_for("Artist", 1).with_coverage(coverage)),
+            );
+            set.insert(
+                "theater",
+                Recognizer::dictionary(ontology.gazetteer_for("Venue", 1).with_coverage(coverage)),
+            );
+            set.insert("date", Recognizer::predefined_date());
+            set.insert("address", Recognizer::predefined_address());
+        }
+        Domain::Albums => {
+            set.insert(
+                "artist",
+                Recognizer::dictionary(ontology.gazetteer_for("Artist", 1).with_coverage(coverage)),
+            );
+            set.insert(
+                "title",
+                Recognizer::dictionary(title_gazetteer().with_coverage(coverage)),
+            );
+            set.insert("price", Recognizer::predefined_price());
+            set.insert("date", Recognizer::predefined_date());
+        }
+        Domain::Books => {
+            set.insert(
+                "title",
+                Recognizer::dictionary(title_gazetteer().with_coverage(coverage)),
+            );
+            set.insert(
+                "author",
+                Recognizer::dictionary(ontology.gazetteer_for("Author", 1).with_coverage(coverage)),
+            );
+            set.insert("price", Recognizer::predefined_price());
+            set.insert("date", Recognizer::predefined_date());
+        }
+        Domain::Publications => {
+            set.insert(
+                "title",
+                Recognizer::dictionary(publication_title_gazetteer().with_coverage(coverage)),
+            );
+            set.insert(
+                "author",
+                Recognizer::dictionary(ontology.gazetteer_for("Author", 1).with_coverage(coverage)),
+            );
+            set.insert("date", Recognizer::predefined_date());
+        }
+        Domain::Cars => {
+            set.insert(
+                "brand",
+                Recognizer::dictionary(ontology.gazetteer_for("CarBrand", 1)),
+            );
+            set.insert("price", Recognizer::predefined_price());
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ontology_neighborhood_finds_bands_as_artists() {
+        let o = domain_ontology();
+        // Direct lookup misses bands; the neighborhood finds them.
+        assert!(o.instances_of("Artist").is_empty());
+        let g = o.gazetteer_for("Artist", 1);
+        assert!(g.len() >= 200);
+        assert!(g.contains(&data::all_artists()[0]));
+    }
+
+    #[test]
+    fn coverage_knob_shrinks_dictionaries() {
+        let full = recognizers_for(Domain::Albums, 1.0);
+        let fifth = recognizers_for(Domain::Albums, 0.2);
+        let len = |s: &RecognizerSet, t: &str| {
+            s.get(t)
+                .and_then(|r| r.gazetteer())
+                .map(|g| g.len())
+                .unwrap_or(0)
+        };
+        assert!(len(&fifth, "artist") < len(&full, "artist") / 2);
+        assert!(len(&fifth, "artist") > 10);
+    }
+
+    #[test]
+    fn every_domain_covers_its_sod_types() {
+        for d in Domain::ALL {
+            let set = recognizers_for(d, 0.2);
+            let sod = d.sod();
+            for t in sod.entity_types() {
+                assert!(set.get(t).is_some(), "{} missing recognizer {t}", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn brands_keep_full_coverage() {
+        let set = recognizers_for(Domain::Cars, 0.2);
+        let g = set.get("brand").and_then(|r| r.gazetteer()).expect("gazetteer");
+        for b in data::all_car_brands() {
+            assert!(g.contains(&b), "brand {b} missing");
+        }
+    }
+
+    #[test]
+    fn sample_values_are_recognized() {
+        let set = recognizers_for(Domain::Concerts, 1.0);
+        let artist = &data::all_artists()[3];
+        assert!(set.get("artist").expect("artist").recognize(artist).is_some());
+        let venue = &data::all_venues()[5];
+        assert!(set.get("theater").expect("theater").recognize(venue).is_some());
+    }
+
+    #[test]
+    fn publication_titles_are_recognizable() {
+        let g = publication_title_gazetteer();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut v = crate::data::ValueGen::new(&mut rng);
+        let hits = (0..40)
+            .filter(|_| g.contains(&v.publication_title()))
+            .count();
+        assert!(hits > 10, "only {hits}/40 publication titles recognized");
+    }
+}

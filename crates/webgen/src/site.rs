@@ -1,0 +1,632 @@
+//! The site template engine: renders domain objects into HTML pages
+//! with per-site styles and quirks, recording the golden standard.
+
+use crate::data::ValueGen;
+use crate::domain::{Domain, GoldObject};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// List pages vs detail (singleton) pages (paper §II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageKind {
+    /// Several records per page, distilled view.
+    List,
+    /// One object per page, more detail.
+    Detail,
+}
+
+/// Per-site quirks (see crate docs for the paper phenomena they model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quirk {
+    /// Two attributes share one text node.
+    SharedTextNode,
+    /// Every page shows exactly this many records.
+    FixedRecordCount(usize),
+    /// Author lists rendered with inconsistent markup (`<a>`/plain).
+    VaryingAuthorMarkup,
+    /// A constant value ("New York City") embedded in the address.
+    DecoyRepeatedValue,
+    /// Heavy navigation/ads/footer noise around the data region.
+    NoiseBlocks,
+    /// Column-major layout: all values of one attribute grouped.
+    GroupedColumns,
+    /// Not template-based at all (must be discarded).
+    Unstructured,
+}
+
+/// Specification of one synthetic site.
+#[derive(Debug, Clone)]
+pub struct SiteSpec {
+    pub name: String,
+    pub domain: Domain,
+    pub kind: PageKind,
+    pub quirks: Vec<Quirk>,
+    /// Number of pages to generate.
+    pub pages: usize,
+    /// Does the site display the SOD's optional attribute?
+    pub optional_present: bool,
+    /// Template style variant (0–2).
+    pub style: usize,
+    /// Per-attribute distinct markup (`<b>title</b><i>artist</i>…`)
+    /// instead of uniform cells (`<div>…</div><div>…</div>`). Distinct
+    /// markup lets structure-only systems tell the attributes apart by
+    /// DOM path; uniform cells require ObjectRunner's semantics-guided
+    /// differentiation. Real sources are a mix of both.
+    pub distinct_markup: bool,
+    /// Fraction of pages that are *interstitials*: category-browse
+    /// pages sharing the shell and list container but holding no
+    /// records. They make page sampling matter (Table II): SOD-guided
+    /// selection scores them near zero, random selection admits them
+    /// into the wrapper-induction sample.
+    pub interstitial: f64,
+    pub seed: u64,
+}
+
+impl SiteSpec {
+    /// Convenience constructor with no quirks.
+    pub fn clean(name: &str, domain: Domain, kind: PageKind, pages: usize, seed: u64) -> SiteSpec {
+        SiteSpec {
+            name: name.to_owned(),
+            domain,
+            kind,
+            quirks: Vec::new(),
+            pages,
+            optional_present: true,
+            style: (seed % 3) as usize,
+            distinct_markup: false,
+            interstitial: 0.0,
+            seed,
+        }
+    }
+
+    /// Use per-attribute distinct markup.
+    pub fn with_distinct_markup(mut self) -> SiteSpec {
+        self.distinct_markup = true;
+        self
+    }
+
+    /// Mix in interstitial (record-free) pages at the given rate.
+    pub fn with_interstitials(mut self, fraction: f64) -> SiteSpec {
+        self.interstitial = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Add a quirk.
+    pub fn with_quirk(mut self, quirk: Quirk) -> SiteSpec {
+        self.quirks.push(quirk);
+        self
+    }
+
+    /// Is a quirk active?
+    pub fn has(&self, quirk: Quirk) -> bool {
+        self.quirks.contains(&quirk)
+    }
+
+    fn fixed_count(&self) -> Option<usize> {
+        self.quirks.iter().find_map(|q| match q {
+            Quirk::FixedRecordCount(n) => Some(*n),
+            _ => None,
+        })
+    }
+}
+
+/// A generated source: pages plus golden standard.
+#[derive(Debug, Clone)]
+pub struct Source {
+    pub spec: SiteSpec,
+    /// Raw HTML, one string per page.
+    pub pages: Vec<String>,
+    /// Golden objects per page.
+    pub truth: Vec<Vec<GoldObject>>,
+}
+
+impl Source {
+    /// Total golden objects (`No` in Table I).
+    pub fn object_count(&self) -> usize {
+        self.truth.iter().map(Vec::len).sum()
+    }
+}
+
+/// Generate a source from its specification (fully deterministic).
+pub fn generate_site(spec: &SiteSpec) -> Source {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5151_7eb1);
+    let mut pages = Vec::with_capacity(spec.pages);
+    let mut truth = Vec::with_capacity(spec.pages);
+
+    // Site-level constants.
+    let decoy_city = "New York City";
+
+    for page_idx in 0..spec.pages {
+        if spec.has(Quirk::Unstructured) {
+            let mut v = ValueGen::new(&mut rng);
+            let body = format!(
+                "<p>{}</p><p>{}</p><div>{}</div>",
+                v.prose(20 + page_idx % 7),
+                v.prose(15 + page_idx % 5),
+                v.prose(10)
+            );
+            pages.push(shell(spec, &body, &mut rng));
+            truth.push(Vec::new());
+            continue;
+        }
+
+        if spec.kind == PageKind::List && rng.gen_bool(spec.interstitial) {
+            // Category-browse interstitial: same shell, same list
+            // container paths, no records.
+            let n_cats = rng.gen_range(6..14);
+            let mut v = ValueGen::new(&mut rng);
+            let cats: String = (0..n_cats)
+                .map(|i| format!("<li><a>{} category {i}</a></li>", v.prose(1)))
+                .collect();
+            let body = match spec.style {
+                0 => format!("<ul class=\"results\">{cats}</ul>"),
+                1 => format!("<table class=\"results\"><tbody>{cats}</tbody></table>"),
+                _ => format!("<div class=\"results\">{cats}</div>"),
+            };
+            pages.push(shell(spec, &body, &mut rng));
+            truth.push(Vec::new());
+            continue;
+        }
+
+        let n_records = match (spec.kind, spec.fixed_count()) {
+            (PageKind::Detail, _) => 1,
+            (PageKind::List, Some(k)) => k,
+            (PageKind::List, None) => rng.gen_range(4..=12),
+        };
+
+        let mut objects = Vec::with_capacity(n_records);
+        let mut rendered = Vec::with_capacity(n_records);
+        for _ in 0..n_records {
+            let (gold, html) = render_record(spec, &mut rng, decoy_city);
+            objects.push(gold);
+            rendered.push(html);
+        }
+
+        let body = if spec.has(Quirk::GroupedColumns) {
+            render_grouped(spec, &objects)
+        } else {
+            match spec.kind {
+                PageKind::List => wrap_records(spec, &rendered),
+                PageKind::Detail => rendered.pop().expect("one record"),
+            }
+        };
+        pages.push(shell(spec, &body, &mut rng));
+        truth.push(objects);
+    }
+
+    Source {
+        spec: spec.clone(),
+        pages,
+        truth,
+    }
+}
+
+/// Generate one record's gold object and its attribute values.
+fn record_values(spec: &SiteSpec, rng: &mut StdRng, decoy_city: &str) -> GoldObject {
+    let mut v = ValueGen::new(rng);
+    let mut gold = GoldObject::default();
+    match spec.domain {
+        Domain::Concerts => {
+            gold.push("artist", &v.artist());
+            gold.push("date", &v.concert_date());
+            gold.push("theater", &v.venue());
+            if spec.optional_present && v.rng.gen_bool(0.8) {
+                let addr = if spec.has(Quirk::DecoyRepeatedValue) {
+                    format!("{}, {decoy_city}", v.street_address())
+                } else {
+                    v.street_address()
+                };
+                gold.push("address", &addr);
+            }
+        }
+        Domain::Albums => {
+            gold.push("title", &v.title());
+            gold.push("artist", &v.artist());
+            gold.push("price", &v.price());
+            if spec.optional_present && v.rng.gen_bool(0.8) {
+                gold.push("date", &v.short_date());
+            }
+        }
+        Domain::Books => {
+            gold.push("title", &v.title());
+            for a in v.authors(3) {
+                gold.push("author", &a);
+            }
+            gold.push("price", &v.price());
+            if spec.optional_present && v.rng.gen_bool(0.8) {
+                gold.push("date", &v.short_date());
+            }
+        }
+        Domain::Publications => {
+            gold.push("title", &v.publication_title());
+            for a in v.authors(4) {
+                gold.push("author", &a);
+            }
+            if spec.optional_present && v.rng.gen_bool(0.8) {
+                gold.push("date", &v.short_date());
+            }
+        }
+        Domain::Cars => {
+            let (brand, _full) = v.car();
+            gold.push("brand", &brand);
+            gold.push("price", &v.car_price());
+        }
+    }
+    gold
+}
+
+/// Render one record into HTML (style- and quirk-dependent).
+fn render_record(spec: &SiteSpec, rng: &mut StdRng, decoy_city: &str) -> (GoldObject, String) {
+    let gold = record_values(spec, rng, decoy_city);
+    let html = match spec.kind {
+        PageKind::List => render_list_record(spec, &gold, rng),
+        PageKind::Detail => render_detail_record(spec, &gold, rng),
+    };
+    (gold, html)
+}
+
+/// Attribute cells of a record (shared/merged handling included).
+fn record_cells(spec: &SiteSpec, gold: &GoldObject, rng: &mut StdRng) -> Vec<String> {
+    let mut cells: Vec<String> = Vec::new();
+    let attrs = spec.domain.attributes();
+    let shared = spec.has(Quirk::SharedTextNode);
+
+    match spec.domain {
+        Domain::Concerts => {
+            if shared {
+                cells.push(format!(
+                    "{} — {}",
+                    gold.values("artist")[0],
+                    gold.values("date")[0]
+                ));
+            } else {
+                cells.push(gold.values("artist")[0].clone());
+                cells.push(gold.values("date")[0].clone());
+            }
+            // Location sub-structure: theater in <a>, address in a span.
+            let addr = gold
+                .values("address")
+                .first()
+                .map(|a| format!("<span>{a}</span>"))
+                .unwrap_or_default();
+            cells.push(format!(
+                "<a>{}</a>{addr}",
+                gold.values("theater")[0]
+            ));
+        }
+        Domain::Cars => {
+            if shared {
+                // Brand and model in one text unit (the model varies,
+                // so it cannot be mistaken for template text).
+                const MODELS: &[&str] = &[
+                    "Meridian", "Vista", "Pulse", "Traverse", "Summit", "Cadence", "Orbit",
+                ];
+                let model = MODELS[rng.gen_range(0..MODELS.len())];
+                cells.push(format!("{} {model}", gold.values("brand")[0]));
+            } else {
+                cells.push(gold.values("brand")[0].clone());
+            }
+            cells.push(gold.values("price")[0].clone());
+        }
+        _ => {
+            for attr in attrs {
+                if spec.domain.set_attributes().contains(&attr) {
+                    cells.push(render_authors(spec, gold.values(attr), rng));
+                } else if let Some(value) = gold.values(attr).first() {
+                    if shared && attr == "title" {
+                        // Title and the following attribute share a cell.
+                        continue; // handled below
+                    }
+                    cells.push(value.clone());
+                }
+            }
+            if shared {
+                let second = if spec.domain == Domain::Publications {
+                    // title shares with the first author
+                    gold.values("author")[0].clone()
+                } else {
+                    gold.values("artist").first().cloned().unwrap_or_default()
+                };
+                let merged = format!("{} by {}", gold.values("title")[0], second);
+                cells.insert(0, merged);
+            }
+        }
+    }
+    cells
+}
+
+/// Author-list markup.
+fn render_authors(spec: &SiteSpec, authors: &[String], rng: &mut StdRng) -> String {
+    if spec.has(Quirk::VaryingAuthorMarkup) {
+        // The amazon.com case: markup depends on the record.
+        match rng.gen_range(0..3) {
+            0 => format!(
+                "by <a>{}</a>{}",
+                authors[0],
+                if authors.len() > 1 {
+                    format!(" and {}", authors[1..].join(" and "))
+                } else {
+                    String::new()
+                }
+            ),
+            1 => format!("by {}", authors.join(", ")),
+            _ => format!("by <a>{}</a>", authors.join("</a>, <a>")),
+        }
+    } else {
+        authors
+            .iter()
+            .map(|a| format!("<a>{a}</a>"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Distinct per-attribute wrappers, cycled by cell index.
+const DISTINCT_TAGS: &[&str] = &["b", "i", "em", "u", "cite"];
+
+/// One list record in the site's style.
+fn render_list_record(spec: &SiteSpec, gold: &GoldObject, rng: &mut StdRng) -> String {
+    let cells = record_cells(spec, gold, rng);
+    if spec.distinct_markup {
+        // Distinct per-attribute cells: each attribute lives under its
+        // own tag, so the columns are separable by DOM path alone.
+        let inner: String = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let tag = DISTINCT_TAGS[i % DISTINCT_TAGS.len()];
+                format!("<{tag}>{c}</{tag}>")
+            })
+            .collect();
+        return match spec.style {
+            0 => format!("<li>{inner}</li>"),
+            1 => format!("<tr><td>{inner}</td></tr>"),
+            _ => format!("<div class=\"rec\">{inner}</div>"),
+        };
+    }
+    match spec.style {
+        0 => {
+            let inner: String = cells
+                .iter()
+                .map(|c| format!("<div>{c}</div>"))
+                .collect();
+            format!("<li>{inner}</li>")
+        }
+        1 => {
+            let inner: String = cells.iter().map(|c| format!("<td>{c}</td>")).collect();
+            format!("<tr>{inner}</tr>")
+        }
+        _ => {
+            let inner: String = cells
+                .iter()
+                .map(|c| format!("<span class=\"cell\">{c}</span>"))
+                .collect();
+            format!("<div class=\"rec\">{inner}</div>")
+        }
+    }
+}
+
+/// Wrap list records in the style's container.
+fn wrap_records(spec: &SiteSpec, records: &[String]) -> String {
+    let joined = records.concat();
+    match spec.style {
+        0 => format!("<ul class=\"results\">{joined}</ul>"),
+        1 => format!("<table class=\"results\"><tbody>{joined}</tbody></table>"),
+        _ => format!("<div class=\"results\">{joined}</div>"),
+    }
+}
+
+/// A detail (singleton) page body.
+fn render_detail_record(spec: &SiteSpec, gold: &GoldObject, rng: &mut StdRng) -> String {
+    let cells = record_cells(spec, gold, rng);
+    let labels = detail_labels(spec.domain, cells.len());
+    let rows: String = cells
+        .iter()
+        .zip(labels.iter())
+        .map(|(c, l)| format!("<div class=\"row\"><b>{l}</b><span>{c}</span></div>"))
+        .collect();
+    let mut v = ValueGen::new(rng);
+    format!(
+        "<div class=\"item\"><h1>{}</h1>{rows}<div class=\"about\">{}</div></div>",
+        cells.first().cloned().unwrap_or_default(),
+        v.prose(14)
+    )
+}
+
+fn detail_labels(domain: Domain, n: usize) -> Vec<&'static str> {
+    let all: Vec<&'static str> = match domain {
+        Domain::Concerts => vec!["Who", "When", "Where"],
+        Domain::Albums => vec!["Album", "Artist", "Price", "Released"],
+        Domain::Books => vec!["Title", "Authors", "Price", "Published"],
+        Domain::Publications => vec!["Title", "Authors", "Year"],
+        Domain::Cars => vec!["Make", "Price"],
+    };
+    let mut out = all;
+    out.truncate(n);
+    while out.len() < n {
+        out.push("Info");
+    }
+    out
+}
+
+/// Column-major layout: every attribute's values grouped together.
+fn render_grouped(spec: &SiteSpec, objects: &[GoldObject]) -> String {
+    let mut columns = String::new();
+    for attr in spec.domain.attributes() {
+        let cells: String = objects
+            .iter()
+            .flat_map(|o| o.values(attr).iter())
+            .map(|value| format!("<span>{value}</span>"))
+            .collect();
+        columns.push_str(&format!("<div class=\"col-{attr}\">{cells}</div>"));
+    }
+    format!("<div class=\"results\">{columns}</div>")
+}
+
+/// The page shell: header/nav, the data region, sidebar/footer.
+fn shell(spec: &SiteSpec, body: &str, rng: &mut StdRng) -> String {
+    let mut v = ValueGen::new(rng);
+    let heavy = spec.has(Quirk::NoiseBlocks);
+    let nav = format!(
+        "<div class=\"nav\"><a>home</a><a>browse</a><a>deals</a><a>help</a> {}</div>",
+        if heavy { v.prose(12) } else { String::new() }
+    );
+    let sidebar = if heavy {
+        format!(
+            "<div class=\"sidebar\"><h3>sponsored</h3><p>{}</p><p>{}</p></div>",
+            v.prose(10),
+            v.prose(8)
+        )
+    } else {
+        String::new()
+    };
+    let footer = format!(
+        "<div class=\"footer\">copyright {} terms privacy {}</div>",
+        spec.name,
+        if heavy { v.prose(10) } else { String::new() }
+    );
+    format!(
+        "<html><head><title>{name}</title><script>var t=1;</script>\
+         <style>.x{{color:red}}</style></head>\
+         <body>{nav}<div class=\"content\" id=\"main\">{body}</div>{sidebar}{footer}</body></html>",
+        name = spec.name
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(domain: Domain, kind: PageKind) -> SiteSpec {
+        SiteSpec::clean("testsite", domain, kind, 6, 42)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = spec(Domain::Concerts, PageKind::List);
+        let a = generate_site(&s);
+        let b = generate_site(&s);
+        assert_eq!(a.pages, b.pages);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn truth_matches_page_content() {
+        let source = generate_site(&spec(Domain::Albums, PageKind::List));
+        for (page, objects) in source.pages.iter().zip(source.truth.iter()) {
+            for o in objects {
+                for (_, values) in &o.attrs {
+                    for value in values {
+                        assert!(page.contains(value), "gold value {value} not on page");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn list_pages_have_several_records() {
+        let source = generate_site(&spec(Domain::Books, PageKind::List));
+        assert!(source.truth.iter().all(|t| t.len() >= 4));
+        assert!(source.object_count() >= 24);
+    }
+
+    #[test]
+    fn detail_pages_have_one_record() {
+        let source = generate_site(&spec(Domain::Concerts, PageKind::Detail));
+        assert!(source.truth.iter().all(|t| t.len() == 1));
+    }
+
+    #[test]
+    fn fixed_record_count_is_respected() {
+        let s = spec(Domain::Books, PageKind::List).with_quirk(Quirk::FixedRecordCount(7));
+        let source = generate_site(&s);
+        assert!(source.truth.iter().all(|t| t.len() == 7));
+    }
+
+    #[test]
+    fn unstructured_sites_have_no_objects() {
+        let s = spec(Domain::Albums, PageKind::List).with_quirk(Quirk::Unstructured);
+        let source = generate_site(&s);
+        assert_eq!(source.object_count(), 0);
+        assert!(source.pages.iter().all(|p| !p.contains("<li>")));
+    }
+
+    #[test]
+    fn decoy_embeds_constant_city_in_addresses() {
+        let s = SiteSpec {
+            optional_present: true,
+            ..spec(Domain::Concerts, PageKind::List)
+        }
+        .with_quirk(Quirk::DecoyRepeatedValue);
+        let source = generate_site(&s);
+        let with_addr: Vec<&GoldObject> = source
+            .truth
+            .iter()
+            .flatten()
+            .filter(|o| o.has("address"))
+            .collect();
+        assert!(!with_addr.is_empty());
+        for o in with_addr {
+            assert!(
+                o.values("address")[0].ends_with("New York City"),
+                "decoy missing: {:?}",
+                o.values("address")
+            );
+        }
+    }
+
+    #[test]
+    fn shared_text_node_merges_attribute_display() {
+        let s = spec(Domain::Concerts, PageKind::List).with_quirk(Quirk::SharedTextNode);
+        let source = generate_site(&s);
+        let first = &source.truth[0][0];
+        let merged = format!(
+            "{} — {}",
+            first.values("artist")[0],
+            first.values("date")[0]
+        );
+        assert!(source.pages[0].contains(&merged));
+    }
+
+    #[test]
+    fn grouped_columns_layout_groups_values() {
+        let s = spec(Domain::Cars, PageKind::List).with_quirk(Quirk::GroupedColumns);
+        let source = generate_site(&s);
+        assert!(source.pages[0].contains("col-brand"));
+        assert!(source.pages[0].contains("col-price"));
+    }
+
+    #[test]
+    fn styles_produce_different_markup() {
+        let mk = |style: usize| {
+            let mut s = spec(Domain::Albums, PageKind::List);
+            s.style = style;
+            generate_site(&s).pages[0].clone()
+        };
+        assert!(mk(0).contains("<ul"));
+        assert!(mk(1).contains("<table"));
+        assert!(mk(2).contains("class=\"rec\""));
+    }
+
+    #[test]
+    fn optional_attribute_varies_within_site() {
+        let s = SiteSpec {
+            pages: 10,
+            optional_present: true,
+            ..spec(Domain::Albums, PageKind::List)
+        };
+        let source = generate_site(&s);
+        let objects: Vec<&GoldObject> = source.truth.iter().flatten().collect();
+        let with = objects.iter().filter(|o| o.has("date")).count();
+        assert!(with > 0 && with < objects.len(), "date should be optional");
+    }
+
+    #[test]
+    fn authors_can_collapse_into_text() {
+        let s = spec(Domain::Books, PageKind::List).with_quirk(Quirk::VaryingAuthorMarkup);
+        let source = generate_site(&s);
+        let has_plain_by = source.pages.iter().any(|p| p.contains("by "));
+        assert!(has_plain_by);
+    }
+}

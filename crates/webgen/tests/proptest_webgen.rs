@@ -1,0 +1,126 @@
+//! Property-based tests for the synthetic source generator: whatever
+//! the specification, generation is deterministic and the golden
+//! standard is faithful to the pages.
+
+use objectrunner_webgen::{generate_site, Domain, PageKind, Quirk, SiteSpec};
+use proptest::prelude::*;
+
+fn arb_domain() -> impl Strategy<Value = Domain> {
+    prop::sample::select(Domain::ALL.to_vec())
+}
+
+fn arb_quirks() -> impl Strategy<Value = Vec<Quirk>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(Quirk::SharedTextNode),
+            (4usize..10).prop_map(Quirk::FixedRecordCount),
+            Just(Quirk::VaryingAuthorMarkup),
+            Just(Quirk::DecoyRepeatedValue),
+            Just(Quirk::NoiseBlocks),
+        ],
+        0..3,
+    )
+}
+
+fn arb_spec() -> impl Strategy<Value = SiteSpec> {
+    (
+        arb_domain(),
+        prop::bool::ANY,
+        arb_quirks(),
+        2usize..10,
+        0u64..10_000,
+        0usize..3,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(
+            |(domain, list, quirks, pages, seed, style, optional, distinct)| {
+                let kind = if list { PageKind::List } else { PageKind::Detail };
+                let mut spec = SiteSpec::clean("prop-site", domain, kind, pages, seed);
+                spec.quirks = quirks;
+                spec.style = style;
+                spec.optional_present = optional;
+                spec.distinct_markup = distinct;
+                spec
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generation is a pure function of the spec.
+    #[test]
+    fn generation_is_deterministic(spec in arb_spec()) {
+        let a = generate_site(&spec);
+        let b = generate_site(&spec);
+        prop_assert_eq!(a.pages, b.pages);
+        prop_assert_eq!(a.truth, b.truth);
+    }
+
+    /// Every golden value appears verbatim on its page, for every
+    /// domain, style and quirk combination.
+    #[test]
+    fn golden_values_appear_on_their_pages(spec in arb_spec()) {
+        let source = generate_site(&spec);
+        prop_assert_eq!(source.pages.len(), spec.pages);
+        for (page, objects) in source.pages.iter().zip(source.truth.iter()) {
+            for object in objects {
+                for (_, values) in &object.attrs {
+                    for value in values {
+                        prop_assert!(
+                            page.contains(value.as_str()),
+                            "missing golden value {value:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Golden objects always carry every required attribute of the
+    /// domain's SOD.
+    #[test]
+    fn golden_objects_carry_required_attributes(spec in arb_spec()) {
+        let source = generate_site(&spec);
+        let optional = spec.domain.optional_attribute();
+        for object in source.truth.iter().flatten() {
+            for attr in spec.domain.attributes() {
+                if Some(attr) == optional {
+                    continue;
+                }
+                prop_assert!(object.has(attr), "missing required {attr}");
+            }
+        }
+    }
+
+    /// Pages parse into non-trivial DOMs with the substrate parser.
+    #[test]
+    fn pages_parse_cleanly(spec in arb_spec()) {
+        let source = generate_site(&spec);
+        for page in &source.pages {
+            let doc = objectrunner_html::parse(page);
+            prop_assert!(doc.reachable_count() > 5);
+            // The cleaner never panics on generated markup.
+            let mut doc = doc;
+            objectrunner_html::clean_document(
+                &mut doc,
+                &objectrunner_html::CleanOptions::default(),
+            );
+        }
+    }
+
+    /// Detail sources have exactly one object per page.
+    #[test]
+    fn detail_pages_have_one_object(
+        domain in arb_domain(),
+        seed in 0u64..5_000,
+        pages in 2usize..8,
+    ) {
+        let spec = SiteSpec::clean("prop-detail", domain, PageKind::Detail, pages, seed);
+        let source = generate_site(&spec);
+        for objects in &source.truth {
+            prop_assert_eq!(objects.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Run all three systems — ObjectRunner, ExAlg and RoadRunner — on the
+//! same source and print the paper's precision measures side by side
+//! (a single-source slice of Table III).
+//!
+//! Pass a corpus site name as the first argument to pick the source,
+//! e.g. `cargo run --release --example compare_baselines -- "bn"`.
+//! Try a `FixedRecordCount` source (like `bn`) to watch RoadRunner's
+//! "too regular" failure, or a clean one (like `towerrecords`).
+
+use objectrunner::core::sample::SampleStrategy;
+use objectrunner::eval::runners::{run_exalg, run_objectrunner, run_roadrunner};
+use objectrunner::webgen::{generate_site, paper_corpus};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "towerrecords".to_owned());
+    let corpus = paper_corpus();
+    let spec = corpus
+        .sites
+        .iter()
+        .find(|s| s.name.contains(&name))
+        .unwrap_or_else(|| panic!("no corpus site matching {name:?}"));
+    println!(
+        "source: {} ({}; quirks {:?})",
+        spec.name,
+        spec.domain.name(),
+        spec.quirks
+    );
+    let source = generate_site(spec);
+    println!(
+        "{} pages, {} golden objects\n",
+        source.pages.len(),
+        source.object_count()
+    );
+
+    println!(
+        "{:<12} {:>7} {:>7} {:>6} {:>6} {:>6} {:>6}",
+        "system", "Pc", "Pp", "No", "Oc", "Op", "Oi"
+    );
+    for (label, run) in [
+        ("ObjectRunner", run_objectrunner(&source, SampleStrategy::SodBased)),
+        ("ExAlg", run_exalg(&source)),
+        ("RoadRunner", run_roadrunner(&source)),
+    ] {
+        let r = &run.report;
+        if r.discarded {
+            println!("{label:<12} (source discarded)");
+            continue;
+        }
+        println!(
+            "{:<12} {:>6.1}% {:>6.1}% {:>6} {:>6} {:>6} {:>6}",
+            label,
+            r.pc() * 100.0,
+            r.pp() * 100.0,
+            r.no,
+            r.oc,
+            r.op,
+            r.oi
+        );
+    }
+}

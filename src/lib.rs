@@ -1,0 +1,74 @@
+//! # ObjectRunner
+//!
+//! A Rust reproduction of *"Automatic Extraction of Structured Web Data
+//! with Domain Knowledge"* (Derouiche, Cautis, Abdessalem — ICDE 2012).
+//!
+//! ObjectRunner performs **targeted** wrapper induction: the user
+//! supplies a [Structured Object Description](sod) of the real-world
+//! items to harvest; the system annotates template-generated HTML pages
+//! with entity-type [recognizers](knowledge), infers an extraction
+//! template by an annotation-guided equivalence-class analysis
+//! ([core]), matches the SOD against the inferred template tree, and
+//! extracts exactly the targeted objects.
+//!
+//! This facade crate re-exports every subsystem:
+//!
+//! * [`html`] — tolerant HTML tokenizer/DOM/cleaner substrate.
+//! * [`segment`] — VIPS-style visual block segmentation.
+//! * [`knowledge`] — ontology, Hearst-pattern corpus mining,
+//!   gazetteers, and type recognizers.
+//! * [`sod`] — the SOD typing formalism.
+//! * [`core`] — annotation, page-sample selection, wrapper generation,
+//!   SOD matching, extraction pipeline.
+//! * [`baselines`] — clean-room ExAlg and RoadRunner reimplementations.
+//! * [`webgen`] — deterministic synthetic structured-Web generator with
+//!   golden-standard objects.
+//! * [`eval`] — the paper's precision metrics and the table/figure
+//!   reproduction harness.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```no_run
+//! use objectrunner::prelude::*;
+//!
+//! // 1. Describe what you want (a "phase-one query").
+//! let sod = SodBuilder::tuple("concert")
+//!     .entity("artist", Multiplicity::One)
+//!     .entity("date", Multiplicity::One)
+//!     .entity("venue", Multiplicity::One)
+//!     .build();
+//!
+//! // 2. Set up recognizers (predefined + dictionary-based).
+//! let mut recognizers = RecognizerSet::new();
+//! recognizers.insert("date", Recognizer::predefined_date());
+//! recognizers.insert("artist", Recognizer::dictionary(Gazetteer::default()));
+//!
+//! // 3. Run the pipeline over the pages of one source.
+//! let pages: Vec<String> = vec![/* HTML strings */];
+//! let outcome = Pipeline::new(sod, recognizers)
+//!     .run_on_html(&pages)
+//!     .expect("source should be wrappable");
+//! for object in &outcome.objects {
+//!     println!("{object}");
+//! }
+//! ```
+
+pub use objectrunner_baselines as baselines;
+pub use objectrunner_core as core;
+pub use objectrunner_eval as eval;
+pub use objectrunner_html as html;
+pub use objectrunner_knowledge as knowledge;
+pub use objectrunner_segment as segment;
+pub use objectrunner_sod as sod;
+pub use objectrunner_webgen as webgen;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
+    pub use crate::html::{parse, parse_clean, Document};
+    pub use crate::knowledge::gazetteer::Gazetteer;
+    pub use crate::knowledge::recognizer::{Recognizer, RecognizerSet};
+    pub use crate::sod::{Multiplicity, Sod, SodBuilder, SodNode};
+}

@@ -19,7 +19,9 @@
 
 use crate::FlatRecord;
 use objectrunner_core::annotate::AnnotatedPage;
-use objectrunner_core::extract::{hosting_gap, instance_gap_text, match_node_instances, page_stream};
+use objectrunner_core::extract::{
+    hosting_gap, instance_gap_text, match_node_instances, page_stream,
+};
 use objectrunner_core::roles::{differentiate, DiffConfig};
 use objectrunner_core::template::{build_template, GapKind, NodeMultiplicity, TemplateTree};
 use objectrunner_core::tokens::SourceTokens;
@@ -266,8 +268,7 @@ impl ExalgWrapper {
                 let mut node_instances: HashMap<usize, Vec<Vec<usize>>> = HashMap::new();
                 for f in &self.fields {
                     if f.node != self.record_node {
-                        let (lo, hi) = match hosting_gap(&self.template, self.record_node, f.node)
-                        {
+                        let (lo, hi) = match hosting_gap(&self.template, self.record_node, f.node) {
                             Some(g) if g + 1 < positions.len() => {
                                 (positions[g] + 1, positions[g + 1])
                             }
@@ -285,8 +286,15 @@ impl ExalgWrapper {
                             record.fields[fi].push(v);
                         }
                     } else {
-                        let insts = node_instances.get(&f.node).map(Vec::as_slice).unwrap_or(&[]);
-                        let take = if f.repeated { insts.len() } else { insts.len().min(1) };
+                        let insts = node_instances
+                            .get(&f.node)
+                            .map(Vec::as_slice)
+                            .unwrap_or(&[]);
+                        let take = if f.repeated {
+                            insts.len()
+                        } else {
+                            insts.len().min(1)
+                        };
                         for inst in insts.iter().take(take) {
                             let v = instance_gap_text(&stream, inst, f.gap);
                             if !v.is_empty() {
@@ -338,7 +346,11 @@ mod tests {
         vec![
             list_page(&[("Alpha", "Jan 1, 2008"), ("Beta", "Feb 2, 2009")]),
             list_page(&[("Gamma", "Mar 3, 2010")]),
-            list_page(&[("Delta", "Apr 4, 2011"), ("Eps", "May 5, 2012"), ("Zeta", "Jul 6, 2013")]),
+            list_page(&[
+                ("Delta", "Apr 4, 2011"),
+                ("Eps", "May 5, 2012"),
+                ("Zeta", "Jul 6, 2013"),
+            ]),
             list_page(&[("Eta", "Aug 7, 2014"), ("Theta", "Sep 8, 2015")]),
         ]
     }
@@ -368,7 +380,11 @@ mod tests {
         let docs = vec![page(2), page(1), page(3), page(2)];
         let wrapper = induce(&docs, &ExalgConfig::default()).expect("wrapper");
         let records = wrapper.extract_source(&docs);
-        let values: Vec<&str> = records.iter().flat_map(|r| r.entries()).map(|(_, v)| v).collect();
+        let values: Vec<&str> = records
+            .iter()
+            .flat_map(|r| r.entries())
+            .map(|(_, v)| v)
+            .collect();
         assert!(
             !values.iter().any(|v| v.contains("New York")),
             "constant city must be treated as template: {values:?}"
@@ -381,8 +397,7 @@ mod tests {
             let recs: String = authors
                 .iter()
                 .map(|auths| {
-                    let spans: String =
-                        auths.iter().map(|a| format!("<span>{a}</span>")).collect();
+                    let spans: String = auths.iter().map(|a| format!("<span>{a}</span>")).collect();
                     format!("<li><div>Title</div><p>{spans}</p></li>")
                 })
                 .collect();
@@ -414,7 +429,11 @@ mod tests {
         let docs = vec![
             uniform_page(&[("Alpha", "Jan 1, 2008"), ("Beta", "Feb 2, 2009")]),
             uniform_page(&[("Gamma", "Mar 3, 2010")]),
-            uniform_page(&[("Delta", "Apr 4, 2011"), ("Eps", "May 5, 2012"), ("Zeta", "Jul 6, 2013")]),
+            uniform_page(&[
+                ("Delta", "Apr 4, 2011"),
+                ("Eps", "May 5, 2012"),
+                ("Zeta", "Jul 6, 2013"),
+            ]),
             uniform_page(&[("Eta", "Aug 7, 2014"), ("Theta", "Sep 8, 2015")]),
         ];
         let wrapper = induce(&docs, &ExalgConfig::default()).expect("wrapper");
@@ -440,7 +459,11 @@ mod tests {
     #[test]
     fn pages_without_structure_fail() {
         let docs: Vec<Document> = (0..4)
-            .map(|i| parse(&format!("<body><p>totally unique prose number {i}</p></body>")))
+            .map(|i| {
+                parse(&format!(
+                    "<body><p>totally unique prose number {i}</p></body>"
+                ))
+            })
             .collect();
         // Either no template at all, or a template with no repeating
         // data-rich region that extracts nothing meaningful.

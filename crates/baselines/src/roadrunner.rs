@@ -16,14 +16,14 @@
 //! handle list pages that are 'too regular'".
 
 use crate::FlatRecord;
-use objectrunner_html::{Document, NodeKind};
+use objectrunner_html::{Document, NodeKind, Symbol};
 
-/// RoadRunner's token alphabet: tags by name, whole text nodes as
-/// single string tokens.
+/// RoadRunner's token alphabet: tags by interned name, whole text
+/// nodes as single string tokens.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RrToken {
-    Open(String),
-    Close(String),
+    Open(Symbol),
+    Close(Symbol),
     Text(String),
 }
 
@@ -42,11 +42,11 @@ fn flatten(doc: &Document, id: objectrunner_html::NodeId, out: &mut Vec<RrToken>
             }
         }
         NodeKind::Element { name, .. } => {
-            out.push(RrToken::Open(name.clone()));
+            out.push(RrToken::Open(*name));
             for &c in doc.children(id) {
                 flatten(doc, c, out);
             }
-            out.push(RrToken::Close(name.clone()));
+            out.push(RrToken::Close(*name));
         }
         NodeKind::Text(t) => {
             let t = objectrunner_html::dom::normalize_ws(t);
@@ -62,9 +62,9 @@ fn flatten(doc: &Document, id: objectrunner_html::NodeId, out: &mut Vec<RrToken>
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RrItem {
     /// A constant tag.
-    Open(String),
+    Open(Symbol),
     /// A constant closing tag.
-    Close(String),
+    Close(Symbol),
     /// A constant string.
     Text(String),
     /// `#PCDATA` — a variant string field.
@@ -142,8 +142,8 @@ pub fn induce(docs: &[Document]) -> Result<RrWrapper, RrError> {
 
 fn token_item(tok: &RrToken) -> RrItem {
     match tok {
-        RrToken::Open(n) => RrItem::Open(n.clone()),
-        RrToken::Close(n) => RrItem::Close(n.clone()),
+        RrToken::Open(n) => RrItem::Open(*n),
+        RrToken::Close(n) => RrItem::Close(*n),
         RrToken::Text(s) => RrItem::Text(s.clone()),
     }
 }
@@ -193,12 +193,12 @@ fn balanced_end(items: &[RrItem], i: usize) -> Option<usize> {
 
 /// `(count, end)` of the run of consecutive balanced `tag` segments
 /// starting at `i`.
-fn segment_run(items: &[RrItem], i: usize, tag: &str) -> (usize, usize) {
+fn segment_run(items: &[RrItem], i: usize, tag: Symbol) -> (usize, usize) {
     let mut count = 0;
     let mut cur = i;
     while cur < items.len() {
         match &items[cur] {
-            RrItem::Open(t) if t == tag => match balanced_end(items, cur) {
+            RrItem::Open(t) if *t == tag => match balanced_end(items, cur) {
                 Some(end) => {
                     count += 1;
                     cur = end;
@@ -216,7 +216,7 @@ fn segment_run(items: &[RrItem], i: usize, tag: &str) -> (usize, usize) {
 fn fold_run(
     items: &[RrItem],
     i: usize,
-    tag: &str,
+    tag: Symbol,
     count: usize,
     steps: &mut usize,
     depth: usize,
@@ -237,12 +237,7 @@ fn fold_run(
 }
 
 /// Align two item sequences into a generalized union-free expression.
-fn align_items(
-    a: &[RrItem],
-    b: &[RrItem],
-    steps: &mut usize,
-    depth: usize,
-) -> Option<Vec<RrItem>> {
+fn align_items(a: &[RrItem], b: &[RrItem], steps: &mut usize, depth: usize) -> Option<Vec<RrItem>> {
     *steps += 1;
     if *steps > MAX_STEPS || depth > MAX_DEPTH {
         return None;
@@ -260,12 +255,12 @@ fn align_items(
     match (x, y) {
         (RrItem::Open(p), RrItem::Open(q)) if p == q => {
             if let Some(rest) = align_items(&a[1..], &b[1..], steps, depth + 1) {
-                return Some(cons(RrItem::Open(p.clone()), rest));
+                return Some(cons(RrItem::Open(*p), rest));
             }
         }
         (RrItem::Close(p), RrItem::Close(q)) if p == q => {
             let rest = align_items(&a[1..], &b[1..], steps, depth + 1)?;
-            return Some(cons(RrItem::Close(p.clone()), rest));
+            return Some(cons(RrItem::Close(*p), rest));
         }
         (RrItem::Text(s), RrItem::Text(t)) => {
             let head = if s == t {
@@ -276,8 +271,7 @@ fn align_items(
             let rest = align_items(&a[1..], &b[1..], steps, depth + 1)?;
             return Some(cons(head, rest));
         }
-        (RrItem::Field, RrItem::Text(_) | RrItem::Field)
-        | (RrItem::Text(_), RrItem::Field) => {
+        (RrItem::Field, RrItem::Text(_) | RrItem::Field) | (RrItem::Text(_), RrItem::Field) => {
             let rest = align_items(&a[1..], &b[1..], steps, depth + 1)?;
             return Some(cons(RrItem::Field, rest));
         }
@@ -325,7 +319,7 @@ fn align_items(
     for (this, other, this_first) in [(a, b, true), (b, a, false)] {
         let _ = this_first;
         if let RrItem::Open(tag) = &this[0] {
-            let (count, end) = segment_run(this, 0, tag);
+            let (count, end) = segment_run(this, 0, *tag);
             if count >= 1 {
                 // Would the other side's head follow the run?
                 let head = match count {
@@ -333,8 +327,7 @@ fn align_items(
                         let seg = this[..end].to_vec();
                         Some(RrItem::Optional(seg))
                     }
-                    _ => fold_run(this, 0, tag, count, steps, depth)
-                        .map(RrItem::Iterator),
+                    _ => fold_run(this, 0, *tag, count, steps, depth).map(RrItem::Iterator),
                 };
                 if let Some(head) = head {
                     let rest = if std::ptr::eq(this.as_ptr(), a.as_ptr()) {
@@ -387,7 +380,7 @@ fn absorb_into_iterator(
         return None;
     };
     let (count, end) = match other.first() {
-        Some(RrItem::Open(t)) if t == tag => segment_run(other, 0, tag),
+        Some(RrItem::Open(t)) if t == tag => segment_run(other, 0, *tag),
         _ => (0, 0),
     };
     if count == 0 {
@@ -849,7 +842,10 @@ mod tests {
         ];
         let wrapper = induce(&docs).expect("wrapper");
         assert!(
-            !wrapper.items.iter().any(|i| matches!(i, RrItem::Iterator(_))),
+            !wrapper
+                .items
+                .iter()
+                .any(|i| matches!(i, RrItem::Iterator(_))),
             "no iterator should be discovered on constant-count lists"
         );
         assert_eq!(wrapper.arity, 4, "each record's values become fields");

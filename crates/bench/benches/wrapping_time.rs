@@ -8,8 +8,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use objectrunner_bench::{bench_config, bench_pipeline, bench_source, run_pipeline};
+use objectrunner_core::annotate::annotate_page;
+use objectrunner_core::tokens::SourceTokens;
 use objectrunner_html::{clean_document, parse, CleanOptions};
-use objectrunner_webgen::Domain;
+use objectrunner_webgen::{knowledge, Domain};
 use std::hint::black_box;
 
 fn wrapping(c: &mut Criterion) {
@@ -57,5 +59,48 @@ fn extraction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, wrapping, extraction);
+/// Microbench for the interned identity layer: (a) tokenize = parse +
+/// clean 30 pages (tag/attribute names are interned to `Symbol`s inside
+/// the tokenizer), (b) role assignment = `SourceTokens::from_pages`,
+/// which streams every page and interns each `(token, PathId)` dtoken
+/// into the role table — the pure-integer hot path of Algorithm 2.
+fn tokenize_and_roles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tokenize_and_roles");
+    for domain in [Domain::Cars, Domain::Concerts, Domain::Books] {
+        let source = bench_source(domain, 30);
+        group.bench_with_input(
+            BenchmarkId::new("tokenize_30_pages", domain.name()),
+            &source,
+            |b, source| {
+                b.iter(|| {
+                    for html in &source.pages {
+                        let mut d = parse(html);
+                        clean_document(&mut d, &CleanOptions::default());
+                        black_box(&d);
+                    }
+                });
+            },
+        );
+        let recognizers = knowledge::recognizers_for(domain, 0.2);
+        let pages: Vec<_> = source
+            .pages
+            .iter()
+            .map(|h| {
+                let mut d = parse(h);
+                clean_document(&mut d, &CleanOptions::default());
+                annotate_page(d, &recognizers)
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("role_assignment_30_pages", domain.name()),
+            &pages,
+            |b, pages| {
+                b.iter(|| black_box(SourceTokens::from_pages(pages)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, wrapping, extraction, tokenize_and_roles);
 criterion_main!(benches);

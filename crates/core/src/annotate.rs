@@ -123,7 +123,7 @@ pub fn propagate_upwards(page: &mut AnnotatedPage) {
         .descendants(page.doc.root())
         .map(|id| (objectrunner_html::path::depth(&page.doc, id), id))
         .collect();
-    nodes.sort_by(|a, b| b.0.cmp(&a.0));
+    nodes.sort_by_key(|&(depth, _)| std::cmp::Reverse(depth));
 
     for (_, id) in nodes {
         if !matches!(page.doc.node(id).kind, NodeKind::Element { .. }) {
@@ -187,7 +187,9 @@ mod tests {
             .filter(|&id| matches!(page.doc.node(id).kind, NodeKind::Text(_)))
             .collect();
         assert_eq!(
-            page.best_annotation(texts[0]).expect("artist ann").type_name,
+            page.best_annotation(texts[0])
+                .expect("artist ann")
+                .type_name,
             "artist"
         );
         assert_eq!(

@@ -84,8 +84,7 @@ pub fn deduplicate(objects: Vec<Instance>, key_attrs: &[&str]) -> (Vec<Instance>
 /// Merge `b` into `a` when `b` carries attribute fields `a` lacks.
 /// Returns the fused instance, or `None` when `a` already subsumes `b`.
 fn fuse(a: &Instance, b: &Instance) -> Option<Instance> {
-    let (Instance::Tuple { name, fields: fa }, Instance::Tuple { fields: fb, .. }) = (a, b)
-    else {
+    let (Instance::Tuple { name, fields: fa }, Instance::Tuple { fields: fb, .. }) = (a, b) else {
         return None;
     };
     let have: Vec<&str> = fa.iter().filter_map(field_type).collect();

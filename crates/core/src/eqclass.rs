@@ -14,7 +14,7 @@
 //! spans are pairwise nested or disjoint.
 
 use crate::tokens::{RoleId, SourceTokens};
-use std::collections::HashMap;
+use objectrunner_html::{FxHashMap, FxHashSet};
 
 /// Parameters of the class analysis.
 #[derive(Debug, Clone)]
@@ -84,7 +84,7 @@ pub struct EqAnalysis {
     /// `parent[class]` = tightest enclosing class, if any.
     pub parent: Vec<Option<usize>>,
     /// Role → owning class.
-    pub role_class: HashMap<RoleId, usize>,
+    pub role_class: FxHashMap<RoleId, usize>,
     /// Roles evicted while repairing invalid classes.
     pub evicted: Vec<RoleId>,
     /// Classes discarded for nesting violations (diagnostic count).
@@ -141,8 +141,8 @@ pub fn find_classes(src: &SourceTokens, cfg: &EqConfig) -> EqAnalysis {
 
     // Candidate roles: frequent enough, and in OR mode not
     // annotation-bearing data words.
-    let mut annotated_word_roles: HashMap<RoleId, bool> = HashMap::new();
-    let mut tag_roles: HashMap<RoleId, bool> = HashMap::new();
+    let mut annotated_word_roles: FxHashMap<RoleId, bool> = FxHashMap::default();
+    let mut tag_roles: FxHashMap<RoleId, bool> = FxHashMap::default();
     for page in &src.pages {
         for occ in &page.occs {
             let is_tag = occ.is_tag();
@@ -153,7 +153,7 @@ pub fn find_classes(src: &SourceTokens, cfg: &EqConfig) -> EqAnalysis {
         }
     }
 
-    let mut groups: HashMap<Vec<u32>, Vec<RoleId>> = HashMap::new();
+    let mut groups: FxHashMap<Vec<u32>, Vec<RoleId>> = FxHashMap::default();
     for (r, vector) in vectors.iter().enumerate() {
         let role = RoleId(r as u32);
         let support = vector.iter().filter(|&&c| c > 0).count();
@@ -192,18 +192,17 @@ pub fn find_classes(src: &SourceTokens, cfg: &EqConfig) -> EqAnalysis {
         {
             continue;
         }
-        match validate_ordered(src, &vector, roles, &mut analysis.evicted, cfg.min_roles) {
-            Some((roles, permutation, spans)) => {
-                let id = analysis.classes.len();
-                analysis.classes.push(EqClass {
-                    id,
-                    roles,
-                    vector: vector.clone(),
-                    permutation,
-                    spans,
-                });
-            }
-            None => {}
+        if let Some((roles, permutation, spans)) =
+            validate_ordered(src, &vector, roles, &mut analysis.evicted, cfg.min_roles)
+        {
+            let id = analysis.classes.len();
+            analysis.classes.push(EqClass {
+                id,
+                roles,
+                vector: vector.clone(),
+                permutation,
+                spans,
+            });
         }
     }
 
@@ -217,6 +216,9 @@ pub fn find_classes(src: &SourceTokens, cfg: &EqConfig) -> EqAnalysis {
     analysis
 }
 
+/// A validated class body: `(roles, permutation, spans)`.
+type OrderedClass = (Vec<RoleId>, Vec<RoleId>, Vec<Vec<Span>>);
+
 /// Ordered-class validation with violating-role eviction.
 ///
 /// Returns `(roles, permutation, spans)` when a consistent repetition
@@ -227,7 +229,7 @@ fn validate_ordered(
     mut roles: Vec<RoleId>,
     evicted: &mut Vec<RoleId>,
     min_roles: usize,
-) -> Option<(Vec<RoleId>, Vec<RoleId>, Vec<Vec<Span>>)> {
+) -> Option<OrderedClass> {
     loop {
         if roles.len() < min_roles {
             return None;
@@ -250,11 +252,11 @@ fn try_factor(
     vector: &[u32],
     roles: &[RoleId],
 ) -> Result<(Vec<RoleId>, Vec<Vec<Span>>), RoleId> {
-    let role_set: std::collections::HashSet<RoleId> = roles.iter().copied().collect();
+    let role_set: FxHashSet<RoleId> = roles.iter().copied().collect();
     let k = roles.len();
     let mut permutation: Option<Vec<RoleId>> = None;
     let mut spans: Vec<Vec<Span>> = Vec::with_capacity(src.pages.len());
-    let mut violations: HashMap<RoleId, usize> = HashMap::new();
+    let mut violations: FxHashMap<RoleId, usize> = FxHashMap::default();
     let mut ok = true;
 
     for (p, page) in src.pages.iter().enumerate() {
@@ -282,7 +284,7 @@ fn try_factor(
             expect.sort_unstable();
             if sorted != expect {
                 // Blame roles that repeat within the window.
-                let mut seen = std::collections::HashSet::new();
+                let mut seen = FxHashSet::default();
                 for &r in &inst_roles {
                     if !seen.insert(r) {
                         *violations.entry(r).or_insert(0) += 1;
@@ -375,7 +377,7 @@ fn classes_conflict(a: &EqClass, b: &EqClass) -> bool {
 fn build_hierarchy(analysis: &mut EqAnalysis) {
     let n = analysis.classes.len();
     let mut parent: Vec<Option<usize>> = vec![None; n];
-    for child in 0..n {
+    for (child, slot) in parent.iter_mut().enumerate() {
         let mut best: Option<(usize, usize)> = None; // (class, total width)
         for cand in 0..n {
             if cand == child {
@@ -393,7 +395,7 @@ fn build_hierarchy(analysis: &mut EqAnalysis) {
                 }
             }
         }
-        parent[child] = best.map(|(c, _)| c);
+        *slot = best.map(|(c, _)| c);
     }
     analysis.parent = parent;
 }
@@ -518,7 +520,9 @@ mod tests {
         // First role of the record permutation is the <li> open tag.
         let first = src.roles.info(record.permutation[0]);
         assert_eq!(first.token.render(), "<li>");
-        let last = src.roles.info(*record.permutation.last().expect("non-empty"));
+        let last = src
+            .roles
+            .info(*record.permutation.last().expect("non-empty"));
         assert_eq!(last.token.render(), "</li>");
     }
 
@@ -571,10 +575,13 @@ mod tests {
                 })
                 .collect();
             for id in ids {
-                page.annotations.entry(id).or_default().push(crate::annotate::Annotation {
-                    type_name: "artist".to_owned(),
-                    confidence: 0.9,
-                });
+                page.annotations
+                    .entry(id)
+                    .or_default()
+                    .push(crate::annotate::Annotation {
+                        type_name: "artist".to_owned(),
+                        confidence: 0.9,
+                    });
             }
         }
         let src = SourceTokens::from_pages(&pages);
@@ -600,7 +607,10 @@ mod tests {
                 .iter()
                 .any(|&r| src.roles.info(r).token.render() == "artist0")
         });
-        assert!(joined, "constant word should look like template without the guard");
+        assert!(
+            joined,
+            "constant word should look like template without the guard"
+        );
     }
 
     #[test]

@@ -9,14 +9,16 @@
 
 use crate::matching::{GapRef, SetMapping, SodMapping, TupleMapping};
 use crate::template::{NodeMultiplicity, TemplateTree};
-use objectrunner_html::{node_path, token_stream, Document, PageToken};
+use objectrunner_html::{node_path_id, token_stream, Document, PageToken, PathId};
 use objectrunner_sod::Instance;
 
-/// One token of an extraction-side page stream.
-#[derive(Debug, Clone)]
+/// One token of an extraction-side page stream. Token and path are
+/// interned, so comparing against a template matcher is two integer
+/// compares.
+#[derive(Debug, Clone, Copy)]
 pub struct StreamTok {
     pub token: PageToken,
-    pub path: String,
+    pub path: PathId,
 }
 
 /// Flatten a page for extraction.
@@ -24,7 +26,7 @@ pub fn page_stream(doc: &Document) -> Vec<StreamTok> {
     token_stream(doc, doc.root())
         .into_iter()
         .map(|(token, node)| StreamTok {
-            path: node_path(doc, node),
+            path: node_path_id(doc, node),
             token,
         })
         .collect()
@@ -42,15 +44,7 @@ pub fn extract_page(
     let instances = match_node_instances(tree, anchor, &stream, 0, stream.len());
     instances
         .iter()
-        .map(|positions| {
-            extract_tuple(
-                tree,
-                &mapping.record,
-                object_name,
-                &stream,
-                positions,
-            )
-        })
+        .map(|positions| extract_tuple(tree, &mapping.record, object_name, &stream, positions))
         .collect()
 }
 
@@ -149,10 +143,9 @@ fn extract_tuple(
     wanted_nodes.dedup();
     for node in wanted_nodes {
         let (lo, hi) = match hosting_gap(tree, mapping.anchor, node) {
-            Some(gap_idx) if gap_idx + 1 < anchor_positions.len() => (
-                anchor_positions[gap_idx] + 1,
-                anchor_positions[gap_idx + 1],
-            ),
+            Some(gap_idx) if gap_idx + 1 < anchor_positions.len() => {
+                (anchor_positions[gap_idx] + 1, anchor_positions[gap_idx + 1])
+            }
             _ => region,
         };
         let insts = match_node_instances(tree, node, stream, lo, hi);
@@ -283,7 +276,7 @@ fn gap_value(
             continue;
         }
         if let PageToken::Word(w) = &tok.token {
-            words.push(w);
+            words.push(w.as_str());
         }
     }
     words.join(" ")
@@ -314,7 +307,7 @@ pub fn describe_gap(tree: &TemplateTree, gap: GapRef) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::annotate::{Annotation, AnnotatedPage};
+    use crate::annotate::{AnnotatedPage, Annotation};
     use crate::matching::match_sod;
     use crate::roles::{differentiate, DiffConfig};
     use crate::template::build_template;
@@ -328,9 +321,7 @@ mod tests {
         let recs: String = artists
             .iter()
             .enumerate()
-            .map(|(i, a)| {
-                format!("<li><div>{a}</div><div>May {}, 2010</div></li>", i + 1)
-            })
+            .map(|(i, a)| format!("<li><div>{a}</div><div>May {}, 2010</div></li>", i + 1))
             .collect();
         let mut page = AnnotatedPage {
             doc: parse(&format!("<body><ul>{recs}</ul></body>")),
@@ -354,9 +345,7 @@ mod tests {
         page
     }
 
-    fn wrapper_parts(
-        pages: &[AnnotatedPage],
-    ) -> (TemplateTree, SodMapping) {
+    fn wrapper_parts(pages: &[AnnotatedPage]) -> (TemplateTree, SodMapping) {
         let mut src = SourceTokens::from_pages(pages);
         let outcome = differentiate(&mut src, &DiffConfig::default(), |_, _| false);
         let tree = build_template(&src, &outcome.analysis);
@@ -490,6 +479,6 @@ mod tests {
             .find(|t| t.token == PageToken::Open("li".into()))
             .expect("li");
         // The tolerant parser does not synthesize an <html> element.
-        assert_eq!(li.path, "body/ul/li");
+        assert_eq!(li.path.render(), "body/ul/li");
     }
 }

@@ -11,8 +11,8 @@
 
 use crate::template::{GapKind, NodeMultiplicity, TemplateTree};
 use crate::tokens::SourceTokens;
+use objectrunner_html::{FxHashMap, Symbol};
 use objectrunner_sod::{canonicalize, Sod, SodNode};
-use std::collections::HashMap;
 
 /// A gap address inside the template tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,15 +163,15 @@ fn match_tuple(
     // gap holds a significant share of the *type's own* evidence
     // (robust to vote-count skew between verbose and terse types
     // sharing one merged gap).
-    let mut type_totals: HashMap<&str, usize> = HashMap::new();
+    let mut type_totals: FxHashMap<Symbol, usize> = FxHashMap::default();
     for &n in &reach {
         for gap in &tree.nodes[n].gaps {
             for (t, &votes) in &gap.annotations {
-                *type_totals.entry(t.as_str()).or_insert(0) += votes;
+                *type_totals.entry(*t).or_insert(0) += votes;
             }
         }
     }
-    let mut gap_majorities: Vec<(GapRef, String, usize)> = Vec::new(); // (gap, type, votes)
+    let mut gap_majorities: Vec<(GapRef, Symbol, usize)> = Vec::new(); // (gap, type, votes)
     for &n in &reach {
         for (j, gap) in tree.nodes[n].gaps.iter().enumerate() {
             let total: usize = gap.annotations.values().sum();
@@ -180,10 +180,9 @@ fn match_tuple(
             }
             for (t, &votes) in &gap.annotations {
                 let gap_share = votes as f64 / total as f64;
-                let type_share =
-                    votes as f64 / *type_totals.get(t.as_str()).unwrap_or(&1) as f64;
+                let type_share = votes as f64 / *type_totals.get(t).unwrap_or(&1) as f64;
                 if gap_share >= SIGNIFICANT_SHARE || type_share >= SIGNIFICANT_SHARE {
-                    gap_majorities.push((GapRef { node: n, gap: j }, t.clone(), votes));
+                    gap_majorities.push((GapRef { node: n, gap: j }, *t, votes));
                 }
             }
         }
@@ -204,7 +203,7 @@ fn match_tuple(
                 // Best gap whose majority annotation is this type.
                 let candidate = gap_majorities
                     .iter()
-                    .filter(|(_, t, _)| t == type_name)
+                    .filter(|(_, t, _)| t.as_str() == type_name.as_str())
                     .max_by_key(|(g, _, votes)| (*votes, std::cmp::Reverse(g.node), g.gap));
                 match candidate {
                     Some(&(gap, _, _)) => {
@@ -385,7 +384,7 @@ pub fn partial_match_possible(src: &SourceTokens, sod: &Sod) -> bool {
     if required.is_empty() {
         return true;
     }
-    let mut seen: HashMap<&str, bool> = required.iter().map(|&t| (t, false)).collect();
+    let mut seen: FxHashMap<&str, bool> = required.iter().map(|&t| (t, false)).collect();
     for page in &src.pages {
         for occ in &page.occs {
             if let Some(ann) = &occ.annotation {
@@ -429,7 +428,7 @@ fn required_types(node: &SodNode) -> Vec<&str> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::annotate::{Annotation, AnnotatedPage};
+    use crate::annotate::{AnnotatedPage, Annotation};
     use crate::roles::{differentiate, DiffConfig};
     use crate::template::build_template;
     use crate::tokens::SourceTokens;
@@ -462,7 +461,7 @@ mod tests {
         for (idx, t) in texts.iter().enumerate() {
             let col = idx % columns.len();
             let rec = idx / columns.len();
-            if rec % annotate_every == 0 {
+            if rec.is_multiple_of(annotate_every) {
                 page.annotations.insert(
                     *t,
                     vec![Annotation {
@@ -587,7 +586,12 @@ mod tests {
         // same gap, so the mapping merges them.
         let mk = |n: usize| {
             let recs: String = (0..n)
-                .map(|i| format!("<li><div>Artist{i} on May {}, 2010</div><div>${i}.99</div></li>", i + 1))
+                .map(|i| {
+                    format!(
+                        "<li><div>Artist{i} on May {}, 2010</div><div>${i}.99</div></li>",
+                        i + 1
+                    )
+                })
                 .collect();
             let mut page = AnnotatedPage {
                 doc: parse(&format!("<body><ul>{recs}</ul></body>")),
@@ -604,14 +608,23 @@ mod tests {
                     page.annotations.insert(
                         *t,
                         vec![
-                            Annotation { type_name: "artist".into(), confidence: 0.9 },
-                            Annotation { type_name: "date".into(), confidence: 0.8 },
+                            Annotation {
+                                type_name: "artist".into(),
+                                confidence: 0.9,
+                            },
+                            Annotation {
+                                type_name: "date".into(),
+                                confidence: 0.8,
+                            },
                         ],
                     );
                 } else {
                     page.annotations.insert(
                         *t,
-                        vec![Annotation { type_name: "price".into(), confidence: 0.9 }],
+                        vec![Annotation {
+                            type_name: "price".into(),
+                            confidence: 0.9,
+                        }],
                     );
                 }
             }

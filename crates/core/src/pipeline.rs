@@ -125,7 +125,10 @@ impl Pipeline {
     }
 
     /// Run on raw HTML pages.
-    pub fn run_on_html<S: AsRef<str>>(&self, pages: &[S]) -> Result<PipelineOutcome, PipelineError> {
+    pub fn run_on_html<S: AsRef<str>>(
+        &self,
+        pages: &[S],
+    ) -> Result<PipelineOutcome, PipelineError> {
         let docs: Vec<Document> = pages
             .iter()
             .map(|h| objectrunner_html::parse(h.as_ref()))
@@ -192,10 +195,7 @@ impl Pipeline {
     /// §IV "automatic variation of parameters": run wrapper generation
     /// for each support value; keep the best-quality wrapper; stop
     /// early when the quality threshold is reached.
-    fn best_wrapper(
-        &self,
-        sample: &[AnnotatedPage],
-    ) -> Result<(Wrapper, usize), PipelineError> {
+    fn best_wrapper(&self, sample: &[AnnotatedPage]) -> Result<(Wrapper, usize), PipelineError> {
         let (lo, hi) = self.config.support_range;
         let mut best: Option<Wrapper> = None;
         let mut last_err: Option<WrapperError> = None;
@@ -283,18 +283,16 @@ mod tests {
     fn full_pipeline_extracts_from_synthetic_source() {
         let pages = source_pages(12);
         // Dictionary knows a fifth of the artists (paper: ≥20%).
-        let known: Vec<String> = (0..12)
-            .step_by(3)
-            .map(|p| format!("Band{p}x0"))
-            .collect();
+        let known: Vec<String> = (0..12).step_by(3).map(|p| format!("Band{p}x0")).collect();
         let refs: Vec<&str> = known.iter().map(String::as_str).collect();
-        let pipeline = Pipeline::new(concert_sod(), recognizers(&refs)).with_config(PipelineConfig {
-            sample: SampleConfig {
-                sample_size: 8,
-                ..SampleConfig::default()
-            },
-            ..PipelineConfig::default()
-        });
+        let pipeline =
+            Pipeline::new(concert_sod(), recognizers(&refs)).with_config(PipelineConfig {
+                sample: SampleConfig {
+                    sample_size: 8,
+                    ..SampleConfig::default()
+                },
+                ..PipelineConfig::default()
+            });
         let outcome = pipeline.run_on_html(&pages).expect("pipeline succeeds");
         // Every record extracted: pages have 1..3 records.
         let expected: usize = (0..12).map(|p| p % 3 + 1).sum();
@@ -314,7 +312,9 @@ mod tests {
     #[test]
     fn discards_irrelevant_source() {
         let pages: Vec<String> = (0..8)
-            .map(|i| format!("<html><body><p>weather report number {i} nothing else</p></body></html>"))
+            .map(|i| {
+                format!("<html><body><p>weather report number {i} nothing else</p></body></html>")
+            })
             .collect();
         let pipeline = Pipeline::new(concert_sod(), recognizers(&["Metallica"]));
         let err = pipeline.run_on_html(&pages).expect_err("discarded");
@@ -326,14 +326,15 @@ mod tests {
         let pages = source_pages(12);
         let known: Vec<String> = (0..12).map(|p| format!("Band{p}x0")).collect();
         let refs: Vec<&str> = known.iter().map(String::as_str).collect();
-        let pipeline = Pipeline::new(concert_sod(), recognizers(&refs)).with_config(PipelineConfig {
-            strategy: SampleStrategy::Random(17),
-            sample: SampleConfig {
-                sample_size: 8,
-                ..SampleConfig::default()
-            },
-            ..PipelineConfig::default()
-        });
+        let pipeline =
+            Pipeline::new(concert_sod(), recognizers(&refs)).with_config(PipelineConfig {
+                strategy: SampleStrategy::Random(17),
+                sample: SampleConfig {
+                    sample_size: 8,
+                    ..SampleConfig::default()
+                },
+                ..PipelineConfig::default()
+            });
         let outcome = pipeline.run_on_html(&pages).expect("runs");
         assert!(!outcome.objects.is_empty());
     }

@@ -24,7 +24,7 @@
 
 use crate::eqclass::{find_classes, EqAnalysis, EqConfig};
 use crate::tokens::{RoleId, SourceTokens};
-use std::collections::HashMap;
+use objectrunner_html::{FxHashMap, Symbol};
 
 /// Differentiation parameters.
 #[derive(Debug, Clone)]
@@ -114,8 +114,7 @@ pub fn differentiate(
         mark_consistent_annotations(src);
 
         // Outer step: conflicting annotations.
-        let splits =
-            conflicting_annotation_split(src, &analysis, cfg.conflict_threshold, rounds);
+        let splits = conflicting_annotation_split(src, &analysis, cfg.conflict_threshold, rounds);
         conflict_splits += splits;
         if splits == 0 {
             break;
@@ -149,7 +148,7 @@ fn positional_split(
     set_types: &[String],
 ) -> bool {
     // Plan: occurrence (page, pos) -> ordinal, for roles being split.
-    let mut plan: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut plan: FxHashMap<(usize, usize), usize> = FxHashMap::default();
     let mut split_roles: Vec<RoleId> = Vec::new();
 
     for class in &analysis.classes {
@@ -237,16 +236,12 @@ fn positional_split(
             let Some(&ord) = plan.get(&(page_idx, pos)) else {
                 continue;
             };
-            let (old_role, token, path) = {
-                let occ = &src.pages[page_idx].occs[pos];
-                (occ.role, occ.token.clone(), occ.path.clone())
-            };
+            let old_role = src.pages[page_idx].occs[pos].role;
             if !split_roles.contains(&old_role) {
                 continue;
             }
-            let old_label = src.roles.info(old_role).label.clone();
-            let new_label = format!("{old_label}#r{round}o{ord}");
-            let new_role = src.roles.intern(&new_label, &token, &path);
+            let tag = Symbol::intern(&format!("#r{round}o{ord}"));
+            let new_role = src.roles.refine(old_role, tag);
             if new_role != old_role {
                 src.pages[page_idx].occs[pos].role = new_role;
                 changed = true;
@@ -282,7 +277,7 @@ fn count_present_types(src: &SourceTokens) -> usize {
         for occ in &page.occs {
             for ann in &occ.all_annotations {
                 if !types.contains(&ann.as_str()) {
-                    types.push(ann);
+                    types.push(ann.as_str());
                 }
             }
         }
@@ -305,7 +300,7 @@ fn is_object_region(
             for pos in s..=e {
                 for ann in &src.pages[page_idx].occs[pos].all_annotations {
                     if !seen.contains(&ann.as_str()) {
-                        seen.push(ann);
+                        seen.push(ann.as_str());
                         if seen.len() >= needed {
                             return true;
                         }
@@ -335,7 +330,7 @@ fn is_set_region(
             let mut saw_other = false;
             for pos in s..=e {
                 for ann in &src.pages[page_idx].occs[pos].all_annotations {
-                    if set_types.iter().any(|t| t == ann) {
+                    if set_types.iter().any(|t| t == ann.as_str()) {
                         saw_set = true;
                     } else {
                         saw_other = true;
@@ -370,7 +365,7 @@ fn instance_ordinals(
     for (page_idx, page_spans) in class.spans.iter().enumerate() {
         let mut page_ords = Vec::with_capacity(page_spans.len());
         // Group instances by their parent instance index.
-        let mut counts_per_parent: HashMap<usize, usize> = HashMap::new();
+        let mut counts_per_parent: FxHashMap<usize, usize> = FxHashMap::default();
         for &(s, _e) in page_spans {
             let parent_inst = match parent {
                 None => 0, // the page itself
@@ -411,7 +406,7 @@ fn instance_ordinals(
 /// Pass C: record the consistent annotation of roles whose occurrences
 /// all agree (or are unannotated).
 pub fn mark_consistent_annotations(src: &mut SourceTokens) {
-    let mut role_anns: HashMap<RoleId, (Option<String>, bool)> = HashMap::new(); // (ann, conflicted)
+    let mut role_anns: FxHashMap<RoleId, (Option<Symbol>, bool)> = FxHashMap::default(); // (ann, conflicted)
     for page in &src.pages {
         for occ in &page.occs {
             let entry = role_anns.entry(occ.role).or_insert((None, false));
@@ -420,7 +415,7 @@ pub fn mark_consistent_annotations(src: &mut SourceTokens) {
             }
             match (&entry.0, &occ.annotation) {
                 (_, None) => {}
-                (None, Some(a)) => entry.0 = Some(a.clone()),
+                (None, Some(a)) => entry.0 = Some(*a),
                 (Some(prev), Some(a)) if prev == a => {}
                 (Some(_), Some(_)) => entry.1 = true,
             }
@@ -447,7 +442,7 @@ fn conflicting_annotation_split(
     round: usize,
 ) -> usize {
     // Gather annotation histograms per role.
-    let mut histograms: HashMap<RoleId, HashMap<Option<String>, usize>> = HashMap::new();
+    let mut histograms: FxHashMap<RoleId, FxHashMap<Option<Symbol>, usize>> = FxHashMap::default();
     for page in &src.pages {
         for occ in &page.occs {
             if !occ.is_tag() {
@@ -456,18 +451,20 @@ fn conflicting_annotation_split(
             *histograms
                 .entry(occ.role)
                 .or_default()
-                .entry(occ.annotation.clone())
+                .entry(occ.annotation)
                 .or_insert(0) += 1;
         }
     }
 
     let mut splits = 0usize;
     for (role, hist) in histograms {
-        let distinct: Vec<&Option<String>> = hist.keys().filter(|a| a.is_some()).collect();
-        if distinct.len() < 2 {
+        let distinct = hist.keys().filter(|a| a.is_some()).count();
+        if distinct < 2 {
             continue; // not conflicting
         }
-        // Majority annotation among annotated occurrences.
+        // Majority annotation among annotated occurrences. Ties break
+        // on the annotation *string*: symbol ids are interning-order
+        // dependent and must never decide algorithm output.
         let annotated_total: usize = hist
             .iter()
             .filter(|(a, _)| a.is_some())
@@ -476,8 +473,8 @@ fn conflicting_annotation_split(
         let (majority, majority_count) = hist
             .iter()
             .filter(|(a, _)| a.is_some())
-            .max_by_key(|(a, &c)| (c, (*a).clone()))
-            .map(|(a, &c)| (a.clone(), c))
+            .max_by_key(|(a, &c)| (c, a.map(|s| s.as_str())))
+            .map(|(a, &c)| (*a, c))
             .expect("≥2 distinct annotations");
         // "Generalizing the most frequent one if beyond a given
         // threshold": a dominant majority types the whole position —
@@ -498,17 +495,10 @@ fn conflicting_annotation_split(
                 if src.pages[page_idx].occs[pos].role != role {
                     continue;
                 }
-                let (token, path, ann) = {
-                    let occ = &src.pages[page_idx].occs[pos];
-                    (occ.token.clone(), occ.path.clone(), occ.annotation.clone())
-                };
-                let bucket: String = match &ann {
-                    Some(a) => a.clone(),
-                    None => "none".to_owned(),
-                };
-                let old_label = src.roles.info(role).label.clone();
-                let new_label = format!("{old_label}~r{round}a:{bucket}");
-                let new_role = src.roles.intern(&new_label, &token, &path);
+                let ann = src.pages[page_idx].occs[pos].annotation;
+                let bucket = ann.map(|s| s.as_str()).unwrap_or("none");
+                let tag = Symbol::intern(&format!("~r{round}a:{bucket}"));
+                let new_role = src.roles.refine(role, tag);
                 if new_role != role {
                     src.pages[page_idx].occs[pos].role = new_role;
                     changed_any = true;
@@ -532,10 +522,10 @@ fn annotations_position_deterministic(
     // ordinal within instance → the single bucket seen there. The
     // role's own class is excluded: we want the *surrounding* context.
     let own_class = analysis.role_class.get(&role).copied();
-    let mut per_ordinal: HashMap<usize, Option<String>> = HashMap::new();
+    let mut per_ordinal: FxHashMap<usize, Option<Symbol>> = FxHashMap::default();
     for (page_idx, page) in src.pages.iter().enumerate() {
         // Count role occurrences per enclosing instance as we scan.
-        let mut counters: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut counters: FxHashMap<(usize, usize), usize> = FxHashMap::default();
         for (pos, occ) in page.occs.iter().enumerate() {
             if occ.role != role {
                 continue;
@@ -548,7 +538,7 @@ fn annotations_position_deterministic(
             *counter += 1;
             match per_ordinal.entry(ordinal) {
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(occ.annotation.clone());
+                    e.insert(occ.annotation);
                 }
                 std::collections::hash_map::Entry::Occupied(e) => {
                     if *e.get() != occ.annotation {
@@ -564,7 +554,7 @@ fn annotations_position_deterministic(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::annotate::{Annotation, AnnotatedPage};
+    use crate::annotate::{AnnotatedPage, Annotation};
     use objectrunner_html::{parse, NodeKind};
     use std::collections::HashMap as Map;
 
@@ -716,7 +706,10 @@ mod tests {
             .find(|o| o.token.render() == "<i>")
             .expect("i open")
             .role;
-        assert_eq!(src.roles.info(i_role).annotation.as_deref(), Some("artist"));
+        assert_eq!(
+            src.roles.info(i_role).annotation.map(|s| s.as_str()),
+            Some("artist")
+        );
     }
 
     #[test]
@@ -734,7 +727,11 @@ mod tests {
             let pages = running_example(&[2, 3, 2, 4]);
             let mut src = SourceTokens::from_pages(&pages);
             let outcome = differentiate(&mut src, &cfg(), |_, _| false);
-            (outcome.rounds, src.roles.len(), outcome.analysis.classes.len())
+            (
+                outcome.rounds,
+                src.roles.len(),
+                outcome.analysis.classes.len(),
+            )
         };
         let a = run();
         let b = run();

@@ -63,7 +63,9 @@ impl std::fmt::Display for SampleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SampleError::EmptySource => write!(f, "source has no pages"),
-            SampleError::AnnotationThreshold { best_block_avg_milli } => write!(
+            SampleError::AnnotationThreshold {
+                best_block_avg_milli,
+            } => write!(
                 f,
                 "no block reached the annotation threshold (best avg {:.3} per page)",
                 *best_block_avg_milli as f64 / 1000.0
@@ -278,12 +280,13 @@ fn check_block_threshold(pool: &[AnnotatedPage], config: &SampleConfig) -> Resul
     }
     let opts = LayoutOptions::default();
     // Average annotation count per block *signature* across pages.
-    let mut per_block: HashMap<String, f64> = HashMap::new();
+    let mut per_block: objectrunner_html::FxHashMap<objectrunner_html::PathId, f64> =
+        objectrunner_html::FxHashMap::default();
     for page in pool {
         let layout = layout_document(&page.doc, &opts);
         let tree = block_tree(&page.doc, &layout, &opts);
         for block in &tree.blocks {
-            let sig = objectrunner_html::node_path(&page.doc, block.node);
+            let sig = objectrunner_html::node_path_id(&page.doc, block.node);
             let count = page
                 .doc
                 .descendants(block.node)
@@ -350,9 +353,8 @@ mod tests {
             sample_size: 3,
             ..SampleConfig::default()
         };
-        let sample =
-            select_sample(docs, &recognizers(), &sod(), &cfg, SampleStrategy::SodBased)
-                .expect("sample");
+        let sample = select_sample(docs, &recognizers(), &sod(), &cfg, SampleStrategy::SodBased)
+            .expect("sample");
         assert_eq!(sample.len(), 3);
         for page in &sample {
             assert!(page.annotated_node_count() > 0, "junk page selected");
@@ -401,12 +403,25 @@ mod tests {
             sample_size: 5,
             ..SampleConfig::default()
         };
-        let s1 = select_sample(mk_docs(), &recognizers(), &sod(), &cfg, SampleStrategy::Random(42))
-            .expect("sample");
-        let s2 = select_sample(mk_docs(), &recognizers(), &sod(), &cfg, SampleStrategy::Random(42))
-            .expect("sample");
-        let texts =
-            |s: &[AnnotatedPage]| -> Vec<String> { s.iter().map(|p| p.doc.text_content(p.doc.root())).collect() };
+        let s1 = select_sample(
+            mk_docs(),
+            &recognizers(),
+            &sod(),
+            &cfg,
+            SampleStrategy::Random(42),
+        )
+        .expect("sample");
+        let s2 = select_sample(
+            mk_docs(),
+            &recognizers(),
+            &sod(),
+            &cfg,
+            SampleStrategy::Random(42),
+        )
+        .expect("sample");
+        let texts = |s: &[AnnotatedPage]| -> Vec<String> {
+            s.iter().map(|p| p.doc.text_content(p.doc.root())).collect()
+        };
         assert_eq!(texts(&s1), texts(&s2));
     }
 
@@ -428,9 +443,8 @@ mod tests {
             sample_size: 7,
             ..SampleConfig::default()
         };
-        let sample =
-            select_sample(docs, &recognizers(), &sod(), &cfg, SampleStrategy::SodBased)
-                .expect("sample");
+        let sample = select_sample(docs, &recognizers(), &sod(), &cfg, SampleStrategy::SodBased)
+            .expect("sample");
         assert_eq!(sample.len(), 7);
     }
 }

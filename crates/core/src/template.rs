@@ -14,8 +14,7 @@
 
 use crate::eqclass::EqAnalysis;
 use crate::tokens::{RoleId, SourceTokens};
-use objectrunner_html::PageToken;
-use std::collections::HashMap;
+use objectrunner_html::{FxHashMap, PageToken, PathId, Symbol};
 
 /// Multiplicity of a template node relative to its parent instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,18 +39,19 @@ pub enum GapKind {
 }
 
 /// A separator matcher: how one permutation role is located on an
-/// unseen page.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// unseen page. Both halves are interned, so matching a stream token
+/// against a matcher is two integer compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Matcher {
     pub token: PageToken,
-    pub path: String,
+    pub path: PathId,
 }
 
 /// Statistics of one gap.
 #[derive(Debug, Clone, Default)]
 pub struct GapInfo {
     /// Annotation histogram over word occurrences in the gap.
-    pub annotations: HashMap<String, usize>,
+    pub annotations: FxHashMap<Symbol, usize>,
     /// Number of instances in which the gap held at least one word.
     pub data_instances: usize,
     /// Total instances observed.
@@ -89,7 +89,7 @@ impl GapInfo {
 
     /// All annotation types present in the gap.
     pub fn annotation_types(&self) -> Vec<&str> {
-        let mut types: Vec<&str> = self.annotations.keys().map(String::as_str).collect();
+        let mut types: Vec<&str> = self.annotations.keys().map(|s| s.as_str()).collect();
         types.sort_unstable();
         types
     }
@@ -183,8 +183,8 @@ pub fn build_template(src: &SourceTokens, analysis: &EqAnalysis) -> TemplateTree
             .map(|&r| {
                 let info = src.roles.info(r);
                 Matcher {
-                    token: info.token.clone(),
-                    path: info.path.clone(),
+                    token: info.token,
+                    path: info.path,
                 }
             })
             .collect();
@@ -259,7 +259,10 @@ fn fill_gap_info(src: &SourceTokens, analysis: &EqAnalysis, tree: &mut TemplateT
         let child_class = tree.nodes[node_idx].class.expect("non-root has class");
         let parent_class = tree.nodes[parent_idx].class.expect("checked above");
         if let Some(gap_j) = host_gap(src, analysis, parent_class, child_class) {
-            if !tree.nodes[parent_idx].gaps[gap_j].children.contains(&node_idx) {
+            if !tree.nodes[parent_idx].gaps[gap_j]
+                .children
+                .contains(&node_idx)
+            {
                 tree.nodes[parent_idx].gaps[gap_j].children.push(node_idx);
             }
         }
@@ -308,10 +311,10 @@ fn fill_gap_info(src: &SourceTokens, analysis: &EqAnalysis, tree: &mut TemplateT
                             continue;
                         }
                         if let PageToken::Word(w) = &occ.token {
-                            words.push(w.clone());
+                            words.push(w.as_str());
                         }
                         for ann in &occ.all_annotations {
-                            *gap.annotations.entry(ann.clone()).or_insert(0) += 1;
+                            *gap.annotations.entry(*ann).or_insert(0) += 1;
                         }
                     }
                     if !words.is_empty() {
@@ -340,7 +343,7 @@ fn host_gap(
     if k < 2 {
         return None;
     }
-    let mut votes: HashMap<usize, usize> = HashMap::new();
+    let mut votes: FxHashMap<usize, usize> = FxHashMap::default();
     for (page_idx, child_spans) in child.spans.iter().enumerate() {
         for &(cs, _ce) in child_spans {
             // Find the parent instance containing this child instance.
@@ -372,17 +375,15 @@ fn host_gap(
             }
         }
     }
-    votes.into_iter().max_by_key(|&(j, v)| (v, j)).map(|(j, _)| j)
+    votes
+        .into_iter()
+        .max_by_key(|&(j, v)| (v, j))
+        .map(|(j, _)| j)
 }
 
 /// Is `pos` inside an instance span of some class other than
 /// `class_id` that is itself nested within `class_id`'s span?
-fn inside_other_class(
-    analysis: &EqAnalysis,
-    class_id: usize,
-    page_idx: usize,
-    pos: usize,
-) -> bool {
+fn inside_other_class(analysis: &EqAnalysis, class_id: usize, page_idx: usize, pos: usize) -> bool {
     for other in &analysis.classes {
         if other.id == class_id {
             continue;
@@ -413,7 +414,7 @@ fn inside_other_class(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::annotate::{Annotation, AnnotatedPage};
+    use crate::annotate::{AnnotatedPage, Annotation};
     use crate::eqclass::EqConfig;
     use crate::roles::{differentiate, DiffConfig};
     use crate::tokens::SourceTokens;

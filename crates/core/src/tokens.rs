@@ -9,11 +9,14 @@
 //! A **dtoken** is a (token, role) pair. Roles start out as
 //! `(token value, DOM path)` — Algorithm 2 line 1, "tokens having the
 //! same value and the same path in the DOM will have the same role" —
-//! and are refined by [`crate::roles`].
+//! and are refined by [`crate::roles`]. Both halves of that identity
+//! are interned integers ([`PageToken`] wraps [`Symbol`]s, the path is
+//! a [`PathId`]), so role interning and every downstream comparison is
+//! integer work; the human-readable label is built once per role for
+//! diagnostics only.
 
 use crate::annotate::AnnotatedPage;
-use objectrunner_html::{node_path, token_stream, NodeId, PageToken};
-use std::collections::HashMap;
+use objectrunner_html::{node_path_id, token_stream, FxHashMap, NodeId, PageToken, PathId, Symbol};
 
 /// Interned role identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,37 +25,64 @@ pub struct RoleId(pub u32);
 /// Metadata of one role.
 #[derive(Debug, Clone)]
 pub struct RoleInfo {
-    /// Human-readable label (token + context), for diagnostics.
+    /// Human-readable label (token + context + refinement suffixes),
+    /// for diagnostics only — never used as an identity.
     pub label: String,
     /// The token value shared by every occurrence of this role.
     pub token: PageToken,
     /// The DOM path shared by every occurrence of this role.
-    pub path: String,
+    pub path: PathId,
     /// Consistent annotation of the role, when pass C established one.
-    pub annotation: Option<String>,
+    pub annotation: Option<Symbol>,
 }
 
 /// Role table: interned roles with stable ids.
+///
+/// Base roles are keyed by `(token, path)`; refined roles (positional
+/// and annotation splits) by `(parent role, refinement tag)`. No
+/// string round-trips anywhere on the interning path.
 #[derive(Debug, Clone, Default)]
 pub struct RoleTable {
     infos: Vec<RoleInfo>,
-    by_label: HashMap<String, RoleId>,
+    by_key: FxHashMap<(PageToken, PathId), RoleId>,
+    by_refinement: FxHashMap<(RoleId, Symbol), RoleId>,
 }
 
 impl RoleTable {
-    /// Intern a role by label, creating it on first use.
-    pub fn intern(&mut self, label: &str, token: &PageToken, path: &str) -> RoleId {
-        if let Some(&id) = self.by_label.get(label) {
+    /// Intern the base role of `(token, path)`, creating it on first
+    /// use (Algorithm 2 line 1).
+    pub fn intern(&mut self, token: PageToken, path: PathId) -> RoleId {
+        if let Some(&id) = self.by_key.get(&(token, path)) {
             return id;
         }
         let id = RoleId(self.infos.len() as u32);
         self.infos.push(RoleInfo {
-            label: label.to_owned(),
-            token: token.clone(),
-            path: path.to_owned(),
+            label: format!("{}@{}", token.render(), path.render()),
+            token,
+            path,
             annotation: None,
         });
-        self.by_label.insert(label.to_owned(), id);
+        self.by_key.insert((token, path), id);
+        id
+    }
+
+    /// Intern the refinement of `parent` by `tag` (e.g. `#r2o1` for a
+    /// positional split, `~r3a:artist` for an annotation split). The
+    /// refined role keeps the parent's token and path; the tag joins
+    /// its label for diagnostics.
+    pub fn refine(&mut self, parent: RoleId, tag: Symbol) -> RoleId {
+        if let Some(&id) = self.by_refinement.get(&(parent, tag)) {
+            return id;
+        }
+        let id = RoleId(self.infos.len() as u32);
+        let p = &self.infos[parent.0 as usize];
+        self.infos.push(RoleInfo {
+            label: format!("{}{}", p.label, tag),
+            token: p.token,
+            path: p.path,
+            annotation: None,
+        });
+        self.by_refinement.insert((parent, tag), id);
         id
     }
 
@@ -87,12 +117,12 @@ pub struct Occurrence {
     /// DOM node the token came from.
     pub node: NodeId,
     /// DOM path of that node.
-    pub path: String,
+    pub path: PathId,
     /// Best annotation of the node, if any (drives role logic).
-    pub annotation: Option<String>,
+    pub annotation: Option<Symbol>,
     /// All annotation types on the node ("multiple annotations may be
     /// assigned to a given node") — drives gap histograms.
-    pub all_annotations: Vec<String>,
+    pub all_annotations: Vec<Symbol>,
 }
 
 impl Occurrence {
@@ -123,15 +153,16 @@ impl SourceTokens {
         for page in pages {
             let mut pt = PageTokens::default();
             for (token, node) in token_stream(&page.doc, page.doc.root()) {
-                let path = node_path(&page.doc, node);
-                let annotation = page.best_annotation(node).map(|a| a.type_name.clone());
+                let path = node_path_id(&page.doc, node);
+                let annotation = page
+                    .best_annotation(node)
+                    .map(|a| Symbol::intern(&a.type_name));
                 let all_annotations = page
                     .annotations_of(node)
                     .iter()
-                    .map(|a| a.type_name.clone())
+                    .map(|a| Symbol::intern(&a.type_name))
                     .collect();
-                let label = initial_label(&token, &path);
-                let role = source.roles.intern(&label, &token, &path);
+                let role = source.roles.intern(token, path);
                 pt.occs.push(Occurrence {
                     role,
                     token,
@@ -182,11 +213,6 @@ impl SourceTokens {
     }
 }
 
-/// Initial role label: token value + DOM path.
-pub fn initial_label(token: &PageToken, path: &str) -> String {
-    format!("{}@{}", token.render(), path)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +256,43 @@ mod tests {
     }
 
     #[test]
+    fn equal_token_and_path_always_intern_to_the_same_role() {
+        // Regression: interning must be keyed on the (token, path)
+        // identity itself, not on a formatted label.
+        let mut table = RoleTable::default();
+        let token = PageToken::Open("div".into());
+        let path = PathId::ROOT
+            .child(Symbol::intern("body"))
+            .child(Symbol::intern("div"));
+        let a = table.intern(token, path);
+        let b = table.intern(token, path);
+        assert_eq!(a, b);
+        assert_eq!(table.len(), 1);
+        // A different path or token yields a different role.
+        let other_path = PathId::ROOT.child(Symbol::intern("body"));
+        assert_ne!(table.intern(token, other_path), a);
+        assert_ne!(table.intern(PageToken::Close("div".into()), path), a);
+    }
+
+    #[test]
+    fn refinements_are_stable_and_keep_token_and_path() {
+        let mut table = RoleTable::default();
+        let token = PageToken::Open("div".into());
+        let path = PathId::ROOT.child(Symbol::intern("div"));
+        let base = table.intern(token, path);
+        let tag = Symbol::intern("#r1o0");
+        let r1 = table.refine(base, tag);
+        let r2 = table.refine(base, tag);
+        assert_eq!(r1, r2);
+        assert_ne!(r1, base);
+        assert_eq!(table.info(r1).token, token);
+        assert_eq!(table.info(r1).path, path);
+        assert!(table.info(r1).label.ends_with("#r1o0"));
+        // A different tag on the same parent is a different role.
+        assert_ne!(table.refine(base, Symbol::intern("#r1o1")), r1);
+    }
+
+    #[test]
     fn occurrence_vectors_count_per_page() {
         let p1 = annotated("<li>x</li>");
         let p2 = annotated("<li>x</li><li>y</li>");
@@ -248,7 +311,7 @@ mod tests {
             .iter()
             .find(|o| !o.is_tag())
             .expect("word occurrence");
-        assert_eq!(word.annotation.as_deref(), Some("artist"));
+        assert_eq!(word.annotation.map(|s| s.as_str()), Some("artist"));
     }
 
     #[test]
@@ -260,7 +323,7 @@ mod tests {
             .iter()
             .find(|o| o.token == PageToken::Open("span".into()))
             .expect("span open");
-        assert_eq!(span_open.annotation.as_deref(), Some("artist"));
+        assert_eq!(span_open.annotation.map(|s| s.as_str()), Some("artist"));
     }
 
     #[test]

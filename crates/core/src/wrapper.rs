@@ -64,9 +64,7 @@ impl Wrapper {
 
     /// Extract from every page of a source.
     pub fn extract_source(&self, docs: &[Document]) -> Vec<Instance> {
-        docs.iter()
-            .flat_map(|d| self.extract_document(d))
-            .collect()
+        docs.iter().flat_map(|d| self.extract_document(d)).collect()
     }
 }
 
@@ -124,7 +122,7 @@ fn object_name(sod: &Sod) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::annotate::{Annotation, AnnotatedPage};
+    use crate::annotate::{AnnotatedPage, Annotation};
     use objectrunner_html::{parse, NodeKind};
     use objectrunner_sod::{Multiplicity, SodBuilder};
     use std::collections::HashMap as Map;
@@ -134,7 +132,12 @@ mod tests {
             .iter()
             .map(|&n| {
                 let recs: String = (0..n)
-                    .map(|i| format!("<li><div>Artist{i}</div><div>May {}, 2010</div></li>", i + 1))
+                    .map(|i| {
+                        format!(
+                            "<li><div>Artist{i}</div><div>May {}, 2010</div></li>",
+                            i + 1
+                        )
+                    })
                     .collect();
                 let mut page = AnnotatedPage {
                     doc: parse(&format!("<body><ul>{recs}</ul></body>")),
@@ -174,9 +177,8 @@ mod tests {
             generate_wrapper(&sample, &concert_sod(), &DiffConfig::default()).expect("wrapper");
         assert!(wrapper.quality > 0.5);
         assert_eq!(wrapper.object_name, "concert");
-        let unseen = parse(
-            "<body><ul><li><div>Metallica</div><div>May 11, 2010</div></li></ul></body>",
-        );
+        let unseen =
+            parse("<body><ul><li><div>Metallica</div><div>May 11, 2010</div></li></ul></body>");
         let objects = wrapper.extract_document(&unseen);
         assert_eq!(objects.len(), 1);
         assert_eq!(

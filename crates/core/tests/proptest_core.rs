@@ -29,11 +29,13 @@ fn arb_source() -> impl Strategy<Value = RandomSource> {
         prop::collection::vec(1usize..7, 4..8),
         any::<bool>(),
     )
-        .prop_map(|(cell_tags, records_per_page, with_optional)| RandomSource {
-            cell_tags,
-            records_per_page,
-            with_optional,
-        })
+        .prop_map(
+            |(cell_tags, records_per_page, with_optional)| RandomSource {
+                cell_tags,
+                records_per_page,
+                with_optional,
+            },
+        )
 }
 
 fn render(source: &RandomSource) -> Vec<AnnotatedPage> {
@@ -151,13 +153,13 @@ proptest! {
     fn differentiation_refines_monotonically(source in arb_source()) {
         let pages = render(&source);
         let mut src = SourceTokens::from_pages(&pages);
-        let before: Vec<Vec<(String, String)>> = src
+        let before: Vec<Vec<(String, objectrunner_html::PathId)>> = src
             .pages
             .iter()
             .map(|p| {
                 p.occs
                     .iter()
-                    .map(|o| (o.token.render(), o.path.clone()))
+                    .map(|o| (o.token.render(), o.path))
                     .collect()
             })
             .collect();
@@ -165,13 +167,13 @@ proptest! {
         let outcome = differentiate(&mut src, &DiffConfig::default(), |_, _| false);
         prop_assert!(!outcome.aborted);
         prop_assert!(src.roles.len() >= roles_before);
-        let after: Vec<Vec<(String, String)>> = src
+        let after: Vec<Vec<(String, objectrunner_html::PathId)>> = src
             .pages
             .iter()
             .map(|p| {
                 p.occs
                     .iter()
-                    .map(|o| (o.token.render(), o.path.clone()))
+                    .map(|o| (o.token.render(), o.path))
                     .collect()
             })
             .collect();

@@ -46,7 +46,9 @@ impl ExtractedObject {
 
     /// All values, any attribute.
     pub fn all_values(&self) -> impl Iterator<Item = &str> {
-        self.attrs.iter().flat_map(|(_, vs)| vs.iter().map(String::as_str))
+        self.attrs
+            .iter()
+            .flat_map(|(_, vs)| vs.iter().map(String::as_str))
     }
 }
 
@@ -424,8 +426,8 @@ pub fn align_fields(
         if best == 0 {
             continue;
         }
-        for fi in 0..arity {
-            if scores[fi][ai] * 2 >= best {
+        for (fi, field_scores) in scores.iter().enumerate().take(arity) {
+            if field_scores[ai] * 2 >= best {
                 af.push(fi);
             }
         }
@@ -491,10 +493,7 @@ mod tests {
     #[test]
     fn merged_display_is_partial() {
         assert_eq!(
-            attr_status(
-                &["Metallica".into()],
-                &["Metallica — May 11, 2010".into()]
-            ),
+            attr_status(&["Metallica".into()], &["Metallica — May 11, 2010".into()]),
             AttrStatus::Partial
         );
     }

@@ -21,7 +21,5 @@ pub mod figures;
 pub mod runners;
 pub mod tables;
 
-pub use classify::{
-    classify_source, AttrStatus, ExtractedObject, ObjectStatus, SourceReport,
-};
+pub use classify::{classify_source, AttrStatus, ExtractedObject, ObjectStatus, SourceReport};
 pub use runners::{run_exalg, run_objectrunner, run_roadrunner, SourceRun, SystemId};

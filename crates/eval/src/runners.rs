@@ -176,11 +176,11 @@ pub fn run_roadrunner(source: &Source) -> SourceRun {
     // RoadRunner generalizes pairwise; a moderate sample keeps the
     // alignment tractable, as in the original system.
     let sample = curated_sample(source, &docs, 10);
-    let flat_pages: Vec<Vec<objectrunner_baselines::FlatRecord>> =
-        match roadrunner::induce(&sample) {
-            Ok(wrapper) => docs.iter().map(|d| wrapper.extract(d)).collect(),
-            Err(_) => docs.iter().map(|_| Vec::new()).collect(),
-        };
+    let flat_pages: Vec<Vec<objectrunner_baselines::FlatRecord>> = match roadrunner::induce(&sample)
+    {
+        Ok(wrapper) => docs.iter().map(|d| wrapper.extract(d)).collect(),
+        Err(_) => docs.iter().map(|_| Vec::new()).collect(),
+    };
     let typed = align_fields(source, &flat_pages);
     SourceRun {
         system: SystemId::RoadRunner,

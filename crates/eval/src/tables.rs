@@ -327,10 +327,7 @@ pub fn coverage_sweep(sources: &[Source], coverages: &[f64]) -> Vec<CoverageRow>
 /// Render the coverage sweep.
 pub fn render_coverage(rows: &[CoverageRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "APPENDIX A — PRECISION BY DICTIONARY COVERAGE (%)"
-    );
+    let _ = writeln!(out, "APPENDIX A — PRECISION BY DICTIONARY COVERAGE (%)");
     let _ = writeln!(
         out,
         "{:<14} {:>9} {:>8} {:>8}",

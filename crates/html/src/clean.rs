@@ -8,7 +8,7 @@
 //! elements, comments, hidden elements, presentational attributes,
 //! whitespace-only text nodes, and (repeatedly) empty elements.
 
-use crate::dom::{Document, NodeId, NodeKind, VOID_ELEMENTS};
+use crate::dom::{is_void, Document, NodeId, NodeKind};
 
 /// Configuration for [`clean_document`].
 #[derive(Debug, Clone)]
@@ -86,14 +86,16 @@ fn should_drop(doc: &Document, id: NodeId, opts: &CleanOptions) -> bool {
     match &doc.node(id).kind {
         NodeKind::Comment(_) => opts.drop_comments,
         NodeKind::Element { name, attrs } => {
+            let name = name.as_str();
             if opts.drop_elements.iter().any(|d| d == name) {
                 return true;
             }
             if opts.drop_hidden {
-                let hidden_attr = attrs.iter().any(|(a, v)| {
+                let hidden_attr = attrs.iter().any(|&(a, v)| {
+                    let a = a.as_str();
                     (a == "hidden")
-                        || (a == "type" && v == "hidden")
-                        || (a == "style" && v.replace(' ', "").contains("display:none"))
+                        || (a == "type" && v.as_str() == "hidden")
+                        || (a == "style" && v.as_str().replace(' ', "").contains("display:none"))
                 });
                 if hidden_attr {
                     return true;
@@ -109,7 +111,7 @@ fn strip_attrs(doc: &mut Document, opts: &CleanOptions) {
     let ids: Vec<NodeId> = doc.descendants(doc.root()).collect();
     for id in ids {
         if let NodeKind::Element { attrs, .. } = &mut doc.node_mut(id).kind {
-            attrs.retain(|(a, _)| opts.keep_attrs.iter().any(|k| k == a));
+            attrs.retain(|(a, _)| opts.keep_attrs.iter().any(|k| k == a.as_str()));
         }
     }
 }
@@ -134,9 +136,7 @@ fn normalize_text_nodes(doc: &mut Document) {
 
 fn is_empty_element(doc: &Document, id: NodeId) -> bool {
     match &doc.node(id).kind {
-        NodeKind::Element { name, .. } => {
-            !VOID_ELEMENTS.contains(&name.as_str()) && doc.children(id).is_empty()
-        }
+        NodeKind::Element { name, .. } => !is_void(*name) && doc.children(id).is_empty(),
         _ => false,
     }
 }

@@ -4,9 +4,15 @@
 //! a well-formed tree: void elements never take children, implied end
 //! tags are inserted (`<li>`, `<p>`, `<option>`, table parts), stray
 //! end tags are dropped, and everything left open at EOF is closed.
+//!
+//! Tag and attribute identities are interned [`Symbol`]s, and every
+//! node carries its interned tag-path ([`PathId`]) computed
+//! incrementally at insertion — reading a node's path is O(1).
 
+use crate::intern::{FxHashSet, PathId, Symbol};
 use crate::tokenizer::Token;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Index of a node in its [`Document`] arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -30,10 +36,11 @@ impl fmt::Display for NodeId {
 pub enum NodeKind {
     /// The synthetic document root.
     Document,
-    /// An element with its (lower-cased) tag name and attributes.
+    /// An element with its (lower-cased, interned) tag name and
+    /// attributes.
     Element {
-        name: String,
-        attrs: Vec<(String, String)>,
+        name: Symbol,
+        attrs: Vec<(Symbol, Symbol)>,
     },
     /// A text node (entity-decoded).
     Text(String),
@@ -41,12 +48,16 @@ pub enum NodeKind {
     Comment(String),
 }
 
-/// One DOM node: payload plus tree links.
+/// One DOM node: payload plus tree links and its interned tag-path.
 #[derive(Debug, Clone)]
 pub struct Node {
     pub kind: NodeKind,
     pub parent: Option<NodeId>,
     pub children: Vec<NodeId>,
+    /// Interned tag-path from the root (text/comment nodes contribute
+    /// the `#text`/`#comment` pseudo-segments). Computed once at
+    /// insertion; detaching a node does not rewrite it.
+    pub path: PathId,
 }
 
 /// An HTML document as a node arena rooted at [`Document::root`].
@@ -61,6 +72,14 @@ pub const VOID_ELEMENTS: &[&str] = &[
     "track", "wbr",
 ];
 
+/// Symbol-level check for [`VOID_ELEMENTS`] (hot in tree building and
+/// token-stream flattening).
+pub fn is_void(tag: Symbol) -> bool {
+    static SET: OnceLock<FxHashSet<Symbol>> = OnceLock::new();
+    SET.get_or_init(|| VOID_ELEMENTS.iter().map(|t| Symbol::intern(t)).collect())
+        .contains(&tag)
+}
+
 /// `(child, closes)`: opening `child` implies closing the nearest open
 /// element in `closes`.
 const IMPLIED_END: &[(&str, &[&str])] = &[
@@ -74,6 +93,27 @@ const IMPLIED_END: &[(&str, &[&str])] = &[
     ("dd", &["dt", "dd"]),
 ];
 
+/// Pseudo-segment for text nodes in tag paths.
+pub fn text_segment() -> Symbol {
+    static SYM: OnceLock<Symbol> = OnceLock::new();
+    *SYM.get_or_init(|| Symbol::intern("#text"))
+}
+
+/// Pseudo-segment for comment nodes in tag paths.
+pub fn comment_segment() -> Symbol {
+    static SYM: OnceLock<Symbol> = OnceLock::new();
+    *SYM.get_or_init(|| Symbol::intern("#comment"))
+}
+
+fn path_segment(kind: &NodeKind) -> Option<Symbol> {
+    match kind {
+        NodeKind::Document => None,
+        NodeKind::Element { name, .. } => Some(*name),
+        NodeKind::Text(_) => Some(text_segment()),
+        NodeKind::Comment(_) => Some(comment_segment()),
+    }
+}
+
 impl Document {
     /// Create a document holding only a root node.
     pub fn new() -> Self {
@@ -82,6 +122,7 @@ impl Document {
                 kind: NodeKind::Document,
                 parent: None,
                 children: Vec::new(),
+                path: PathId::ROOT,
             }],
         }
     }
@@ -111,32 +152,50 @@ impl Document {
         &mut self.nodes[id.index()]
     }
 
-    /// Append a new node under `parent` and return its id.
+    /// Append a new node under `parent` and return its id. The node's
+    /// tag-path is derived from the parent's in O(1).
     pub fn push_node(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
+        let parent_path = self.nodes[parent.index()].path;
+        let path = match path_segment(&kind) {
+            Some(seg) => parent_path.child(seg),
+            None => parent_path,
+        };
         self.nodes.push(Node {
             kind,
             parent: Some(parent),
             children: Vec::new(),
+            path,
         });
         self.nodes[parent.index()].children.push(id);
         id
     }
 
-    /// Element tag name, or `None` for non-elements.
-    pub fn tag_name(&self, id: NodeId) -> Option<&str> {
+    /// Element tag symbol, or `None` for non-elements.
+    pub fn tag(&self, id: NodeId) -> Option<Symbol> {
         match &self.node(id).kind {
-            NodeKind::Element { name, .. } => Some(name),
+            NodeKind::Element { name, .. } => Some(*name),
             _ => None,
         }
     }
 
+    /// Element tag name, or `None` for non-elements.
+    pub fn tag_name(&self, id: NodeId) -> Option<&'static str> {
+        self.tag(id).map(Symbol::as_str)
+    }
+
+    /// The node's interned tag-path (O(1); computed at insertion).
+    pub fn path_id(&self, id: NodeId) -> PathId {
+        self.node(id).path
+    }
+
     /// Attribute lookup on an element node.
-    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&'static str> {
+        let name = Symbol::lookup(name)?;
         match &self.node(id).kind {
             NodeKind::Element { attrs, .. } => attrs
                 .iter()
-                .find(|(a, _)| a == name)
+                .find(|(a, _)| *a == name)
                 .map(|(_, v)| v.as_str()),
             _ => None,
         }
@@ -196,8 +255,11 @@ impl Document {
 
     /// All element descendants with the given tag name.
     pub fn elements_by_tag(&self, start: NodeId, tag: &str) -> Vec<NodeId> {
+        let Some(tag) = Symbol::lookup(tag) else {
+            return Vec::new();
+        };
         self.descendants(start)
-            .filter(|&id| self.tag_name(id) == Some(tag))
+            .filter(|&id| self.tag(id) == Some(tag))
             .collect()
     }
 
@@ -251,20 +313,16 @@ pub fn build(tokens: Vec<Token>) -> Document {
                 attrs,
                 self_closing,
             } => {
-                apply_implied_end(&doc, &mut open, &name);
+                apply_implied_end(&doc, &mut open, name);
                 let parent = *open.last().expect("root always open");
-                let id = doc.push_node(parent, NodeKind::Element { name: name.clone(), attrs });
-                let void = VOID_ELEMENTS.contains(&name.as_str());
-                if !void && !self_closing {
+                let id = doc.push_node(parent, NodeKind::Element { name, attrs });
+                if !is_void(name) && !self_closing {
                     open.push(id);
                 }
             }
             Token::EndTag { name } => {
                 // Find the matching open element; drop the end tag if none.
-                if let Some(pos) = open
-                    .iter()
-                    .rposition(|&id| doc.tag_name(id) == Some(name.as_str()))
-                {
+                if let Some(pos) = open.iter().rposition(|&id| doc.tag(id) == Some(name)) {
                     open.truncate(pos);
                 }
             }
@@ -273,27 +331,53 @@ pub fn build(tokens: Vec<Token>) -> Document {
     doc
 }
 
-fn apply_implied_end(doc: &Document, open: &mut Vec<NodeId>, incoming: &str) {
-    let Some((_, closes)) = IMPLIED_END.iter().find(|(c, _)| *c == incoming) else {
+struct ImpliedEndTable {
+    /// `(incoming, closes)` with everything pre-interned.
+    rules: Vec<(Symbol, Vec<Symbol>)>,
+    boundaries: FxHashSet<Symbol>,
+}
+
+fn implied_end_table() -> &'static ImpliedEndTable {
+    static TABLE: OnceLock<ImpliedEndTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        // Structural container boundaries implied-end never crosses.
+        const BOUNDARIES: &[&str] = &[
+            "ul", "ol", "table", "tbody", "thead", "tfoot", "select", "dl", "div", "body", "html",
+        ];
+        ImpliedEndTable {
+            rules: IMPLIED_END
+                .iter()
+                .map(|(c, closes)| {
+                    (
+                        Symbol::intern(c),
+                        closes.iter().map(|t| Symbol::intern(t)).collect(),
+                    )
+                })
+                .collect(),
+            boundaries: BOUNDARIES.iter().map(|t| Symbol::intern(t)).collect(),
+        }
+    })
+}
+
+fn apply_implied_end(doc: &Document, open: &mut Vec<NodeId>, incoming: Symbol) {
+    let table = implied_end_table();
+    let Some((_, closes)) = table.rules.iter().find(|(c, _)| *c == incoming) else {
         return;
     };
     // Close the nearest open element in `closes`, but never cross a
     // structural container boundary (ul/ol/table/tbody/select/dl/div).
-    const BOUNDARIES: &[&str] = &[
-        "ul", "ol", "table", "tbody", "thead", "tfoot", "select", "dl", "div", "body", "html",
-    ];
     // Pop the maximal run of closeable elements at the top of the
     // stack (e.g. an incoming <tr> closes both the open <td> and the
     // previous <tr>), stopping at any container boundary.
     let mut cut = open.len();
     for i in (1..open.len()).rev() {
-        let Some(tag) = doc.tag_name(open[i]) else { break };
+        let Some(tag) = doc.tag(open[i]) else { break };
         if closes.contains(&tag) {
             cut = i;
         } else {
             break;
         }
-        if BOUNDARIES.contains(&tag) {
+        if table.boundaries.contains(&tag) {
             break;
         }
     }
@@ -343,10 +427,11 @@ mod tests {
     fn li_does_not_close_across_nested_ul() {
         let doc = parse("<ul><li>a<ul><li>a1</ul><li>b</ul>");
         let top_ul = doc.elements_by_tag(doc.root(), "ul")[0];
+        let li = Symbol::intern("li");
         let direct_lis: Vec<_> = doc
             .children(top_ul)
             .iter()
-            .filter(|&&c| doc.tag_name(c) == Some("li"))
+            .filter(|&&c| doc.tag(c) == Some(li))
             .collect();
         assert_eq!(direct_lis.len(), 2);
     }
@@ -367,6 +452,8 @@ mod tests {
         assert_eq!(doc.children(p).len(), 3);
         let br = doc.elements_by_tag(doc.root(), "br")[0];
         assert!(doc.children(br).is_empty());
+        assert!(is_void(Symbol::intern("br")));
+        assert!(!is_void(Symbol::intern("p")));
     }
 
     #[test]
@@ -420,5 +507,19 @@ mod tests {
     fn descendants_preorder() {
         let doc = parse("<a><b></b><c><d></d></c></a>");
         assert_eq!(tags(&doc), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn node_paths_are_incremental() {
+        let doc = parse("<html><body><div><span>x</span></div></body></html>");
+        let span = doc.elements_by_tag(doc.root(), "span")[0];
+        assert_eq!(doc.path_id(span).render(), "html/body/div/span");
+        let text = doc.children(span)[0];
+        assert_eq!(doc.path_id(text).parent(), Some(doc.path_id(span)));
+        assert_eq!(doc.path_id(doc.root()), PathId::ROOT);
+        // Same structure on another page -> identical PathId.
+        let doc2 = parse("<html><body><div><span>y</span></div></body></html>");
+        let span2 = doc2.elements_by_tag(doc2.root(), "span")[0];
+        assert_eq!(doc.path_id(span), doc2.path_id(span2));
     }
 }

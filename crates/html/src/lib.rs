@@ -17,6 +17,9 @@
 //! * [`serialize`] — back to HTML text, plus the *word/tag token
 //!   stream* consumed by the wrapper-induction algorithms.
 //! * [`entities`] — HTML entity decoding.
+//! * [`intern`] — process-wide [`intern::Symbol`] / [`intern::PathId`]
+//!   interners and the FxHash-style hasher; tags, attributes, words and
+//!   DOM paths are integer handles everywhere downstream.
 //!
 //! The DOM is deliberately simple: a `Vec`-backed arena addressed by
 //! [`dom::NodeId`]; no interior mutability, no reference counting.
@@ -24,13 +27,15 @@
 pub mod clean;
 pub mod dom;
 pub mod entities;
+pub mod intern;
 pub mod path;
 pub mod serialize;
 pub mod tokenizer;
 
 pub use clean::{clean_document, CleanOptions};
 pub use dom::{Document, Node, NodeId, NodeKind};
-pub use path::{node_path, NodeSignature};
+pub use intern::{FxHashMap, FxHashSet, FxHasher, PathId, Symbol};
+pub use path::{node_path, node_path_id, NodeSignature};
 pub use serialize::{to_html, token_stream, PageToken};
 pub use tokenizer::{tokenize, Token};
 

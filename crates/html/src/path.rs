@@ -4,8 +4,14 @@
 //! its path in the DOM tree and its attribute names and values" so the
 //! same block can be found across all pages of a source. This module
 //! provides those identifiers.
+//!
+//! Paths are interned [`PathId`]s computed incrementally at tree
+//! construction, so both [`node_path`] and [`NodeSignature::of`] are
+//! O(1) field reads — no ancestor walk, no per-call `String`.
 
 use crate::dom::{Document, NodeId, NodeKind};
+use crate::intern::{PathId, Symbol};
+use std::sync::OnceLock;
 
 /// Tag path from the root to `id`, e.g. `html/body/div/span`.
 ///
@@ -14,48 +20,49 @@ use crate::dom::{Document, NodeId, NodeKind};
 /// path start out with the same role (paper §III-C, Algorithm 2 line 1)
 /// and are differentiated later by equivalence-class analysis.
 pub fn node_path(doc: &Document, id: NodeId) -> String {
-    let mut parts = Vec::new();
-    let mut cur = Some(id);
-    while let Some(n) = cur {
-        match &doc.node(n).kind {
-            NodeKind::Document => {}
-            NodeKind::Element { name, .. } => parts.push(name.clone()),
-            NodeKind::Text(_) => parts.push("#text".to_owned()),
-            NodeKind::Comment(_) => parts.push("#comment".to_owned()),
-        }
-        cur = doc.parent(n);
-    }
-    parts.reverse();
-    parts.join("/")
+    doc.path_id(id).render()
+}
+
+/// Interned form of [`node_path`]: the node's [`PathId`], read in O(1).
+pub fn node_path_id(doc: &Document, id: NodeId) -> PathId {
+    doc.path_id(id)
 }
 
 /// Structural identity of a node: tag, DOM path, and identifying
 /// attributes. Two nodes on different pages with equal signatures are
-/// treated as "the same block".
+/// treated as "the same block". Fully interned: comparison and hashing
+/// never touch strings.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NodeSignature {
-    pub tag: String,
-    pub path: String,
+    pub tag: Symbol,
+    pub path: PathId,
     /// `id` and `class` attribute values (the stable identifiers that
     /// survive cleaning).
-    pub attrs: Vec<(String, String)>,
+    pub attrs: Vec<(Symbol, Symbol)>,
+}
+
+fn identifying_attrs() -> (Symbol, Symbol) {
+    static ATTRS: OnceLock<(Symbol, Symbol)> = OnceLock::new();
+    *ATTRS.get_or_init(|| (Symbol::intern("id"), Symbol::intern("class")))
 }
 
 impl NodeSignature {
     /// Compute the signature of an element node; `None` for
-    /// non-elements.
+    /// non-elements. O(1) in tree depth: the path is the node's
+    /// precomputed [`PathId`].
     pub fn of(doc: &Document, id: NodeId) -> Option<NodeSignature> {
         let NodeKind::Element { name, attrs } = &doc.node(id).kind else {
             return None;
         };
-        let keep: Vec<(String, String)> = attrs
+        let (id_attr, class_attr) = identifying_attrs();
+        let keep: Vec<(Symbol, Symbol)> = attrs
             .iter()
-            .filter(|(a, _)| a == "id" || a == "class")
-            .cloned()
+            .filter(|(a, _)| *a == id_attr || *a == class_attr)
+            .copied()
             .collect();
         Some(NodeSignature {
-            tag: name.clone(),
-            path: node_path(doc, id),
+            tag: *name,
+            path: doc.path_id(id),
             attrs: keep,
         })
     }
@@ -68,20 +75,16 @@ impl NodeSignature {
     }
 }
 
-/// Depth of a node (root has depth 0).
+/// Depth of a node (root has depth 0). O(1): each node contributes one
+/// segment to its interned path, so depth equals the path's length.
 pub fn depth(doc: &Document, id: NodeId) -> usize {
-    let mut d = 0;
-    let mut cur = doc.parent(id);
-    while let Some(n) = cur {
-        d += 1;
-        cur = doc.parent(n);
-    }
-    d
+    doc.path_id(id).depth()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::path_probe_count;
     use crate::parse;
 
     #[test]
@@ -91,6 +94,7 @@ mod tests {
         assert_eq!(node_path(&doc, span), "html/body/div/span");
         let text = doc.children(span)[0];
         assert_eq!(node_path(&doc, text), "html/body/div/span/#text");
+        assert_eq!(node_path_id(&doc, span).render(), node_path(&doc, span));
     }
 
     #[test]
@@ -127,5 +131,41 @@ mod tests {
         let c = doc.elements_by_tag(doc.root(), "c")[0];
         assert_eq!(depth(&doc, c), 3);
         assert_eq!(depth(&doc, doc.root()), 0);
+    }
+
+    /// Satellite guarantee: computing all N signatures of an N-node
+    /// document does O(N) total work — zero path-interner probes after
+    /// tree construction, because `of` reads the node's precomputed
+    /// `PathId` instead of walking ancestors.
+    #[test]
+    fn signatures_do_constant_path_work_per_node() {
+        // Deep + wide document so an O(depth) walk would be visible.
+        let mut html = String::new();
+        for i in 0..40 {
+            html.push_str(&format!("<div class=\"lvl{i}\">"));
+        }
+        for _ in 0..200 {
+            html.push_str("<span><em>x</em></span>");
+        }
+        for _ in 0..40 {
+            html.push_str("</div>");
+        }
+        let doc = parse(&html);
+        let n = doc.reachable_count();
+        assert!(n > 400, "want a non-trivial tree, got {n} nodes");
+
+        let before = path_probe_count();
+        let mut sigs = 0usize;
+        for id in doc.descendants(doc.root()) {
+            if NodeSignature::of(&doc, id).is_some() {
+                sigs += 1;
+            }
+        }
+        let probes = path_probe_count() - before;
+        assert!(sigs > 400, "computed {sigs} signatures");
+        assert_eq!(
+            probes, 0,
+            "signature computation must not re-derive paths (O(N) total)"
+        );
     }
 }

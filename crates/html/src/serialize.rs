@@ -6,20 +6,24 @@
 //! is an HTML tag or a text *word* (paper §III-C: "occurrence vectors
 //! for page tokens (words or HTML tags)").
 
-use crate::dom::{Document, NodeId, NodeKind, VOID_ELEMENTS};
+use crate::dom::{is_void, Document, NodeId, NodeKind};
 use crate::entities::encode_text;
+use crate::intern::Symbol;
+use std::cmp::Ordering;
 use std::fmt;
 
 /// One token of the flattened page, as used by wrapper induction.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// `Copy` — 8 bytes of interned handles, so token streams clone and
+/// compare without touching strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PageToken {
     /// An opening tag `<name>` (attributes intentionally omitted; they
     /// are part of the template's fixed structure, not of the data).
-    Open(String),
+    Open(Symbol),
     /// A closing tag `</name>`.
-    Close(String),
+    Close(Symbol),
     /// One word of text content.
-    Word(String),
+    Word(Symbol),
 }
 
 impl PageToken {
@@ -33,8 +37,31 @@ impl PageToken {
         match self {
             PageToken::Open(t) => format!("<{t}>"),
             PageToken::Close(t) => format!("</{t}>"),
-            PageToken::Word(w) => w.clone(),
+            PageToken::Word(w) => w.as_str().to_owned(),
         }
+    }
+
+    fn order_key(&self) -> (u8, &'static str) {
+        match self {
+            PageToken::Open(t) => (0, t.as_str()),
+            PageToken::Close(t) => (1, t.as_str()),
+            PageToken::Word(w) => (2, w.as_str()),
+        }
+    }
+}
+
+// Ordered by resolved string, not by symbol index: interning order
+// depends on thread interleaving, so index order would make any
+// sorted-by-token output nondeterministic across runs.
+impl PartialOrd for PageToken {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PageToken {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.order_key().cmp(&other.order_key())
     }
 }
 
@@ -61,17 +88,17 @@ fn flatten(doc: &Document, id: NodeId, out: &mut Vec<(PageToken, NodeId)>) {
             }
         }
         NodeKind::Element { name, .. } => {
-            out.push((PageToken::Open(name.clone()), id));
+            out.push((PageToken::Open(*name), id));
             for &c in doc.children(id) {
                 flatten(doc, c, out);
             }
-            if !VOID_ELEMENTS.contains(&name.as_str()) {
-                out.push((PageToken::Close(name.clone()), id));
+            if !is_void(*name) {
+                out.push((PageToken::Close(*name), id));
             }
         }
         NodeKind::Text(t) => {
             for w in t.split_whitespace() {
-                out.push((PageToken::Word(w.to_owned()), id));
+                out.push((PageToken::Word(Symbol::intern(w)), id));
             }
         }
         NodeKind::Comment(_) => {}
@@ -94,10 +121,11 @@ fn write_node(doc: &Document, id: NodeId, out: &mut String) {
         }
         NodeKind::Element { name, attrs } => {
             out.push('<');
-            out.push_str(name);
+            out.push_str(name.as_str());
             for (a, v) in attrs {
                 out.push(' ');
-                out.push_str(a);
+                out.push_str(a.as_str());
+                let v = v.as_str();
                 if !v.is_empty() {
                     out.push_str("=\"");
                     out.push_str(&v.replace('"', "&quot;"));
@@ -105,12 +133,12 @@ fn write_node(doc: &Document, id: NodeId, out: &mut String) {
                 }
             }
             out.push('>');
-            if !VOID_ELEMENTS.contains(&name.as_str()) {
+            if !is_void(*name) {
                 for &c in doc.children(id) {
                     write_node(doc, c, out);
                 }
                 out.push_str("</");
-                out.push_str(name);
+                out.push_str(name.as_str());
                 out.push('>');
             }
         }

@@ -8,18 +8,21 @@
 //! single text token without interpreting embedded `<`.
 
 use crate::entities;
+use crate::intern::Symbol;
 
-/// One HTML token.
+/// One HTML token. Tag and attribute identities are interned
+/// [`Symbol`]s, so downstream passes compare tags with a `u32`
+/// comparison instead of string equality.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Token {
     /// `<name attr="v">`; `self_closing` records a trailing `/>`.
     StartTag {
-        name: String,
-        attrs: Vec<(String, String)>,
+        name: Symbol,
+        attrs: Vec<(Symbol, Symbol)>,
         self_closing: bool,
     },
     /// `</name>`
-    EndTag { name: String },
+    EndTag { name: Symbol },
     /// Character data between tags, entity-decoded, whitespace preserved.
     Text(String),
     /// `<!-- ... -->`
@@ -32,7 +35,7 @@ impl Token {
     /// Convenience constructor for tests and generators.
     pub fn start(name: &str) -> Self {
         Token::StartTag {
-            name: name.to_owned(),
+            name: Symbol::intern(name),
             attrs: Vec::new(),
             self_closing: false,
         }
@@ -41,7 +44,7 @@ impl Token {
     /// Convenience constructor for tests and generators.
     pub fn end(name: &str) -> Self {
         Token::EndTag {
-            name: name.to_owned(),
+            name: Symbol::intern(name),
         }
     }
 
@@ -159,7 +162,9 @@ impl<'a> Tokenizer<'a> {
 
     fn consume_processing_instruction(&mut self) {
         // Treated as a comment-like construct; skipped by the DOM builder.
-        let end = self.find_byte(self.pos + 2, b'>').unwrap_or(self.bytes.len());
+        let end = self
+            .find_byte(self.pos + 2, b'>')
+            .unwrap_or(self.bytes.len());
         let body = self.input[self.pos + 2..end].to_owned();
         self.out.push(Token::Comment(body));
         self.pos = (end + 1).min(self.bytes.len());
@@ -171,11 +176,13 @@ impl<'a> Tokenizer<'a> {
         while i < self.bytes.len() && is_name_byte(self.bytes[i]) {
             i += 1;
         }
-        let name = self.input[name_start..i].to_ascii_lowercase();
+        let raw = &self.input[name_start..i];
         let end = self.find_byte(i, b'>').unwrap_or(self.bytes.len());
         self.pos = (end + 1).min(self.bytes.len());
-        if !name.is_empty() {
-            self.out.push(Token::EndTag { name });
+        if !raw.is_empty() {
+            self.out.push(Token::EndTag {
+                name: Symbol::intern_lower(raw),
+            });
         }
     }
 
@@ -185,23 +192,23 @@ impl<'a> Tokenizer<'a> {
         while i < self.bytes.len() && is_name_byte(self.bytes[i]) {
             i += 1;
         }
-        let name = self.input[name_start..i].to_ascii_lowercase();
+        let name = Symbol::intern_lower(&self.input[name_start..i]);
         let (attrs, self_closing, after) = self.consume_attributes(i);
         self.pos = after;
         let is_raw = RAW_TEXT_ELEMENTS.contains(&name.as_str());
         self.out.push(Token::StartTag {
-            name: name.clone(),
+            name,
             attrs,
             self_closing,
         });
         if is_raw && !self_closing {
-            self.consume_raw_text(&name);
+            self.consume_raw_text(name.as_str());
         }
     }
 
     /// Parse attributes starting at byte offset `i`; returns
     /// (attrs, self_closing, position after the closing '>').
-    fn consume_attributes(&mut self, mut i: usize) -> (Vec<(String, String)>, bool, usize) {
+    fn consume_attributes(&mut self, mut i: usize) -> (Vec<(Symbol, Symbol)>, bool, usize) {
         let mut attrs = Vec::new();
         let mut self_closing = false;
         loop {
@@ -225,7 +232,7 @@ impl<'a> Tokenizer<'a> {
                     {
                         i += 1;
                     }
-                    let name = self.input[name_start..i].to_ascii_lowercase();
+                    let name = &self.input[name_start..i];
                     while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
                         i += 1;
                     }
@@ -241,7 +248,10 @@ impl<'a> Tokenizer<'a> {
                         String::new()
                     };
                     if !name.is_empty() {
-                        attrs.push((name, entities::decode(&value)));
+                        attrs.push((
+                            Symbol::intern_lower(name),
+                            Symbol::intern(&entities::decode(&value)),
+                        ));
                     } else if i < self.bytes.len() && !matches!(self.bytes[i], b'>' | b'/') {
                         // Junk byte that is neither name nor terminator:
                         // skip it to guarantee progress.
@@ -316,9 +326,18 @@ fn is_name_byte(b: u8) -> bool {
 mod tests {
     use super::*;
 
-    fn start_with_attrs(toks: &[Token], idx: usize) -> (&str, &[(String, String)]) {
+    fn start_with_attrs(
+        toks: &[Token],
+        idx: usize,
+    ) -> (&'static str, Vec<(&'static str, &'static str)>) {
         match &toks[idx] {
-            Token::StartTag { name, attrs, .. } => (name, attrs),
+            Token::StartTag { name, attrs, .. } => (
+                name.as_str(),
+                attrs
+                    .iter()
+                    .map(|(a, v)| (a.as_str(), v.as_str()))
+                    .collect(),
+            ),
             other => panic!("expected start tag, got {other:?}"),
         }
     }
@@ -343,7 +362,7 @@ mod tests {
         let toks = tokenize("<DIV CLASS=\"Main\">x</DIV>");
         let (name, attrs) = start_with_attrs(&toks, 0);
         assert_eq!(name, "div");
-        assert_eq!(attrs, &[("class".to_owned(), "Main".to_owned())]);
+        assert_eq!(attrs, vec![("class", "Main")]);
         assert_eq!(toks[2], Token::end("div"));
     }
 
@@ -353,11 +372,11 @@ mod tests {
         let (_, attrs) = start_with_attrs(&toks, 0);
         assert_eq!(
             attrs,
-            &[
-                ("type".to_owned(), "text".to_owned()),
-                ("checked".to_owned(), String::new()),
-                ("value".to_owned(), "a b".to_owned()),
-                ("data-x".to_owned(), "1&2".to_owned()),
+            vec![
+                ("type", "text"),
+                ("checked", ""),
+                ("value", "a b"),
+                ("data-x", "1&2"),
             ]
         );
     }
@@ -367,11 +386,11 @@ mod tests {
         let toks = tokenize("<br/><img src=x />");
         assert!(matches!(
             &toks[0],
-            Token::StartTag { self_closing: true, name, .. } if name == "br"
+            Token::StartTag { self_closing: true, name, .. } if name.as_str() == "br"
         ));
         assert!(matches!(
             &toks[1],
-            Token::StartTag { self_closing: true, name, .. } if name == "img"
+            Token::StartTag { self_closing: true, name, .. } if name.as_str() == "img"
         ));
     }
 
@@ -422,7 +441,10 @@ mod tests {
     #[test]
     fn stray_lt_is_text() {
         let toks = tokenize("a < b");
-        assert_eq!(toks, vec![Token::text("a "), Token::text("<"), Token::text(" b")]);
+        assert_eq!(
+            toks,
+            vec![Token::text("a "), Token::text("<"), Token::text(" b")]
+        );
     }
 
     #[test]
@@ -445,7 +467,16 @@ mod tests {
 
     #[test]
     fn never_panics_on_garbage() {
-        for garbage in ["<", "<<>><", "<a href=", "<a href='x", "</", "<!", "<!-", "<p <q>"] {
+        for garbage in [
+            "<",
+            "<<>><",
+            "<a href=",
+            "<a href='x",
+            "</",
+            "<!",
+            "<!-",
+            "<p <q>",
+        ] {
             let _ = tokenize(garbage);
         }
     }

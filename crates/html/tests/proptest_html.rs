@@ -72,11 +72,11 @@ proptest! {
     #[test]
     fn token_stream_balanced(input in tag_soup()) {
         let doc = parse(&input);
-        let mut stack: Vec<String> = Vec::new();
+        let mut stack: Vec<objectrunner_html::Symbol> = Vec::new();
         for (tok, _) in token_stream(&doc, doc.root()) {
             match tok {
                 PageToken::Open(t) => {
-                    if !objectrunner_html::dom::VOID_ELEMENTS.contains(&t.as_str()) {
+                    if !objectrunner_html::dom::is_void(t) {
                         stack.push(t);
                     }
                 }

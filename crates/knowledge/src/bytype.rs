@@ -46,10 +46,7 @@ pub fn concepts_from_examples(ontology: &Ontology, examples: &[&str]) -> Vec<Con
         if dictionary.is_empty() {
             continue;
         }
-        let hits = normalized
-            .iter()
-            .filter(|e| dictionary.contains(e))
-            .count();
+        let hits = normalized.iter().filter(|e| dictionary.contains(e)).count();
         if hits == 0 {
             continue;
         }
@@ -148,7 +145,9 @@ mod tests {
             "got {}",
             top.name
         );
-        assert!(!concepts.iter().any(|c| c.name == "Band" && c.coverage > 0.0));
+        assert!(!concepts
+            .iter()
+            .any(|c| c.name == "Band" && c.coverage > 0.0));
     }
 
     #[test]
@@ -183,9 +182,11 @@ mod tests {
         // Person (via subclass edges) covers writers too, but Writer
         // is smaller and must win on specificity.
         let o = music_ontology();
-        let concepts =
-            concepts_from_examples(&o, &["Jane Austen", "Franz Kafka", "Iris Murdoch"]);
-        let writer = concepts.iter().find(|c| c.name == "Writer").expect("writer");
+        let concepts = concepts_from_examples(&o, &["Jane Austen", "Franz Kafka", "Iris Murdoch"]);
+        let writer = concepts
+            .iter()
+            .find(|c| c.name == "Writer")
+            .expect("writer");
         let person = concepts.iter().find(|c| c.name == "Person");
         if let Some(person) = person {
             assert!(writer.specificity >= person.specificity);

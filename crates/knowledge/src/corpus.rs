@@ -69,7 +69,10 @@ pub(crate) fn contains_phrase(haystack: &str, phrase: &str) -> bool {
                 .next_back()
                 .is_some_and(|c| c.is_alphanumeric());
         let right_ok = end == haystack.len()
-            || !haystack[end..].chars().next().is_some_and(|c| c.is_alphanumeric());
+            || !haystack[end..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric());
         if left_ok && right_ok {
             return true;
         }
@@ -183,7 +186,9 @@ mod tests {
 
     #[test]
     fn support_sentences_contain_both_parts() {
-        let c = CorpusBuilder::new(1).support("Coldplay", "Artist", 4).build();
+        let c = CorpusBuilder::new(1)
+            .support("Coldplay", "Artist", 4)
+            .build();
         assert_eq!(c.len(), 4);
         for s in c.sentences() {
             assert!(contains_phrase(&s.to_lowercase(), "coldplay"), "{s}");

@@ -192,7 +192,14 @@ mod tests {
                 extracted: vec![],
             },
         );
-        assert_eq!(report, EnrichmentReport { overlap: 0, added: 0, confidence: 0.0 });
+        assert_eq!(
+            report,
+            EnrichmentReport {
+                overlap: 0,
+                added: 0,
+                confidence: 0.0
+            }
+        );
         assert_eq!(d.len(), 1);
     }
 

@@ -42,12 +42,36 @@ pub struct HearstPattern {
 
 /// The pattern inventory (mirrors Hearst 1992 plus copula forms).
 pub const PATTERNS: &[HearstPattern] = &[
-    HearstPattern { anchor: "{t}s such as ", side: Side::After, name: "such-as" },
-    HearstPattern { anchor: " is a {t}", side: Side::Before, name: "is-a" },
-    HearstPattern { anchor: " is an {t}", side: Side::Before, name: "is-an" },
-    HearstPattern { anchor: "{t}s , including ", side: Side::After, name: "including" },
-    HearstPattern { anchor: "{t}s like ", side: Side::After, name: "like" },
-    HearstPattern { anchor: " and other {t}s", side: Side::Before, name: "and-other" },
+    HearstPattern {
+        anchor: "{t}s such as ",
+        side: Side::After,
+        name: "such-as",
+    },
+    HearstPattern {
+        anchor: " is a {t}",
+        side: Side::Before,
+        name: "is-a",
+    },
+    HearstPattern {
+        anchor: " is an {t}",
+        side: Side::Before,
+        name: "is-an",
+    },
+    HearstPattern {
+        anchor: "{t}s , including ",
+        side: Side::After,
+        name: "including",
+    },
+    HearstPattern {
+        anchor: "{t}s like ",
+        side: Side::After,
+        name: "like",
+    },
+    HearstPattern {
+        anchor: " and other {t}s",
+        side: Side::Before,
+        name: "and-other",
+    },
 ];
 
 /// A harvested instance with its Eq. 1 confidence.
@@ -140,7 +164,11 @@ pub fn harvest_gazetteer(corpus: &Corpus, type_name: &str, min_score: f64) -> Ga
     let mut g = Gazetteer::new();
     let best = harvested.first().map(|h| h.score).unwrap_or(1.0).max(1e-12);
     for h in &harvested {
-        g.insert(&h.instance, (h.score / best).min(1.0), h.instance_hits.max(1) as f64);
+        g.insert(
+            &h.instance,
+            (h.score / best).min(1.0),
+            h.instance_hits.max(1) as f64,
+        );
     }
     g
 }
@@ -251,7 +279,10 @@ mod tests {
             .distractors(20)
             .build();
         let got = harvest(&c, "Artist", 0.0);
-        let m = got.iter().find(|h| h.instance == "Metallica").expect("found");
+        let m = got
+            .iter()
+            .find(|h| h.instance == "Metallica")
+            .expect("found");
         let o = got
             .iter()
             .find(|h| h.instance.eq_ignore_ascii_case("Obscure Act"))
@@ -270,7 +301,10 @@ mod tests {
             .distractors(10)
             .build();
         let got = harvest(&c, "Artist", 0.0);
-        let rare = got.iter().find(|h| h.instance == "Rare Band").expect("found");
+        let rare = got
+            .iter()
+            .find(|h| h.instance == "Rare Band")
+            .expect("found");
         let common = got
             .iter()
             .find(|h| h.instance == "Common Word")

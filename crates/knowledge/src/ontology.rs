@@ -228,7 +228,7 @@ mod tests {
         // lookup misses Metallica; the neighborhood query finds it.
         let o = music_ontology();
         let direct = o.instances_of("Artist");
-        assert!(!direct.iter().any(|&i| i == "Metallica"));
+        assert!(!direct.contains(&"Metallica"));
         let g = o.gazetteer_for("Artist", 1);
         assert!(g.contains("Metallica"));
         assert!(g.contains("Madonna"));

@@ -53,7 +53,10 @@ pub enum Recognizer {
 impl Recognizer {
     /// A user regular-expression recognizer. Errors surface at
     /// construction, not at matching time.
-    pub fn user_regex(pattern: &str, confidence: f64) -> Result<Recognizer, crate::regex::RegexError> {
+    pub fn user_regex(
+        pattern: &str,
+        confidence: f64,
+    ) -> Result<Recognizer, crate::regex::RegexError> {
         Ok(Recognizer::UserRegex {
             regex: Regex::new(pattern)?,
             confidence: confidence.clamp(0.0, 1.0),
@@ -195,7 +198,11 @@ impl Recognizer {
                             confidence: *confidence,
                             coverage,
                         };
-                        if best.as_ref().map(|b| cand.coverage > b.coverage).unwrap_or(true) {
+                        if best
+                            .as_ref()
+                            .map(|b| cand.coverage > b.coverage)
+                            .unwrap_or(true)
+                        {
                             best = Some(cand);
                         }
                     }
@@ -260,10 +267,7 @@ fn dictionary_phrase_match(g: &Gazetteer, text: &str) -> Option<TypeMatch> {
             if let Some(e) = g.get(phrase) {
                 let coverage = n as f64 / words.len() as f64;
                 if coverage >= MIN_DICT_COVERAGE
-                    && best
-                        .as_ref()
-                        .map(|b| coverage > b.coverage)
-                        .unwrap_or(true)
+                    && best.as_ref().map(|b| coverage > b.coverage).unwrap_or(true)
                 {
                     best = Some(TypeMatch {
                         confidence: e.confidence,

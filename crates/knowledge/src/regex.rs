@@ -477,7 +477,10 @@ impl Regex {
         add_thread(&self.program, 0, &mut current, &mut on_current);
         let mut pos = start;
         loop {
-            if current.iter().any(|&pc| matches!(self.program[pc], Inst::Match)) {
+            if current
+                .iter()
+                .any(|&pc| matches!(self.program[pc], Inst::Match))
+            {
                 let len = pos - start;
                 if !to_end || pos == chars.len() {
                     best = Some(len); // longest-so-far (we keep going)
@@ -645,7 +648,9 @@ mod tests {
 
     #[test]
     fn date_like_pattern() {
-        let r = re(r"(January|February|March|April|May|June|July|August|September|October|November|December) \d{1,2}, \d{4}");
+        let r = re(
+            r"(January|February|March|April|May|June|July|August|September|October|November|December) \d{1,2}, \d{4}",
+        );
         assert!(r.find("Concert on August 8, 2010 at 8pm").is_some());
         assert!(r.find("Concert on Augst 8, 2010").is_none());
     }

@@ -64,12 +64,7 @@ fn oracle_match(p: &Pat, s: &[char]) -> bool {
             Pat::Alt(a, b) => go(a, s, k) || go(b, s, k),
         }
     }
-    fn star(
-        i: &Pat,
-        s: &[char],
-        k: &mut dyn FnMut(&[char]) -> bool,
-        depth: usize,
-    ) -> bool {
+    fn star(i: &Pat, s: &[char], k: &mut dyn FnMut(&[char]) -> bool, depth: usize) -> bool {
         if depth > 24 {
             return k(s);
         }

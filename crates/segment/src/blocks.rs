@@ -86,7 +86,7 @@ fn collect_blocks(
     for &child in doc.children(parent_node) {
         let is_block = matches!(
             &doc.node(child).kind,
-            NodeKind::Element { name, .. } if is_block_element(name)
+            NodeKind::Element { name, .. } if is_block_element(*name)
         );
         if is_block {
             let rect = layout.get(&child).copied().unwrap_or(Rect::ZERO);

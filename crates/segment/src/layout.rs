@@ -14,8 +14,9 @@
 //! The absolute pixel values are nominal — only *relative* geometry
 //! (which block is biggest / most central) matters downstream.
 
-use objectrunner_html::{Document, NodeId, NodeKind};
-use std::collections::HashMap;
+use objectrunner_html::intern::{FxHashMap, FxHashSet};
+use objectrunner_html::{Document, NodeId, NodeKind, Symbol};
+use std::sync::OnceLock;
 
 /// A rectangle in layout space (pixels).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,22 +78,53 @@ impl Default for LayoutOptions {
 
 /// Elements laid out as blocks (vertical stacking).
 const BLOCK_ELEMENTS: &[&str] = &[
-    "html", "body", "div", "p", "ul", "ol", "li", "table", "tbody", "thead", "tr", "h1", "h2",
-    "h3", "h4", "h5", "h6", "header", "footer", "nav", "section", "article", "aside", "main",
-    "form", "dl", "dt", "dd", "blockquote", "pre", "hr", "fieldset",
+    "html",
+    "body",
+    "div",
+    "p",
+    "ul",
+    "ol",
+    "li",
+    "table",
+    "tbody",
+    "thead",
+    "tr",
+    "h1",
+    "h2",
+    "h3",
+    "h4",
+    "h5",
+    "h6",
+    "header",
+    "footer",
+    "nav",
+    "section",
+    "article",
+    "aside",
+    "main",
+    "form",
+    "dl",
+    "dt",
+    "dd",
+    "blockquote",
+    "pre",
+    "hr",
+    "fieldset",
 ];
 
 /// Is `tag` block-level under this engine's defaults?
-pub fn is_block_element(tag: &str) -> bool {
-    BLOCK_ELEMENTS.contains(&tag)
+pub fn is_block_element(tag: Symbol) -> bool {
+    static SET: OnceLock<FxHashSet<Symbol>> = OnceLock::new();
+    SET.get_or_init(|| BLOCK_ELEMENTS.iter().map(|t| Symbol::intern(t)).collect())
+        .contains(&tag)
 }
 
 /// The result of a layout pass: a rectangle per reachable node.
-pub type LayoutMap = HashMap<NodeId, Rect>;
+pub type LayoutMap = FxHashMap<NodeId, Rect>;
 
 /// Lay out `doc` and return the rectangle of every reachable node.
 pub fn layout_document(doc: &Document, opts: &LayoutOptions) -> LayoutMap {
-    let mut map = LayoutMap::new();
+    let mut map = LayoutMap::default();
     let root = doc.root();
     let h = layout_node(doc, root, 0.0, 0.0, opts.viewport_width, opts, &mut map);
     map.insert(
@@ -120,7 +152,15 @@ fn layout_node(
 ) -> f64 {
     match &doc.node(id).kind {
         NodeKind::Comment(_) => {
-            map.insert(id, Rect { x, y, w: 0.0, h: 0.0 });
+            map.insert(
+                id,
+                Rect {
+                    x,
+                    y,
+                    w: 0.0,
+                    h: 0.0,
+                },
+            );
             0.0
         }
         NodeKind::Text(t) => {
@@ -137,7 +177,7 @@ fn layout_node(
             h
         }
         NodeKind::Element { name, .. } => {
-            let intrinsic = intrinsic_height(name, opts);
+            let intrinsic = intrinsic_height(*name, opts);
             let h = flow_children(doc, id, x, y, width, opts, map).max(intrinsic);
             map.insert(id, Rect { x, y, w: width, h });
             h
@@ -146,8 +186,8 @@ fn layout_node(
     }
 }
 
-fn intrinsic_height(tag: &str, opts: &LayoutOptions) -> f64 {
-    match tag {
+fn intrinsic_height(tag: Symbol, opts: &LayoutOptions) -> f64 {
+    match tag.as_str() {
         "img" => 120.0,
         "input" | "select" | "button" => opts.line_height * 1.5,
         "hr" | "br" => opts.line_height * 0.5,
@@ -173,7 +213,7 @@ fn flow_children(
     for child in children {
         let child_is_block = matches!(
             &doc.node(child).kind,
-            NodeKind::Element { name, .. } if is_block_element(name)
+            NodeKind::Element { name, .. } if is_block_element(*name)
         );
         if child_is_block {
             cursor_y += flush_inline_run(doc, &mut inline_run, x, cursor_y, width, opts, map);

@@ -143,8 +143,12 @@ mod tests {
         let pages: Vec<Document> = (0..3).map(|i| parse(&page(10 + i))).collect();
         let choice = select_main_block(&pages, &LayoutOptions::default()).expect("choice");
         assert!(
-            choice.signature.attrs.iter().any(|(_, v)| v == "content")
-                || choice.signature.path.contains("ul"),
+            choice
+                .signature
+                .attrs
+                .iter()
+                .any(|&(_, v)| v.as_str() == "content")
+                || choice.signature.path.render().contains("ul"),
             "chose {:?}",
             choice.signature
         );
@@ -179,13 +183,26 @@ mod tests {
 
     #[test]
     fn block_score_prefers_center() {
-        let wide = Rect { x: 0.0, y: 0.0, w: 1024.0, h: 100.0 };
-        let off_left = Rect { x: 0.0, y: 0.0, w: 200.0, h: 512.0 };
-        let centered = Rect { x: 412.0, y: 0.0, w: 200.0, h: 512.0 };
+        let wide = Rect {
+            x: 0.0,
+            y: 0.0,
+            w: 1024.0,
+            h: 100.0,
+        };
+        let off_left = Rect {
+            x: 0.0,
+            y: 0.0,
+            w: 200.0,
+            h: 512.0,
+        };
+        let centered = Rect {
+            x: 412.0,
+            y: 0.0,
+            w: 200.0,
+            h: 512.0,
+        };
         // Same area: centered beats off-center.
-        assert!(
-            block_score(&centered, 1024.0, 1000.0) > block_score(&off_left, 1024.0, 1000.0)
-        );
+        assert!(block_score(&centered, 1024.0, 1000.0) > block_score(&off_left, 1024.0, 1000.0));
         // Area dominates.
         assert!(block_score(&wide, 1024.0, 1000.0) > block_score(&off_left, 1024.0, 1000.0));
     }

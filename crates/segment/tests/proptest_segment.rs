@@ -1,9 +1,7 @@
 //! Property-based tests for the layout engine and block segmentation.
 
 use objectrunner_html::parse;
-use objectrunner_segment::{
-    block_tree, layout_document, select_main_block, LayoutOptions,
-};
+use objectrunner_segment::{block_tree, layout_document, select_main_block, LayoutOptions};
 use proptest::prelude::*;
 
 /// Random block/inline document structures.

@@ -129,7 +129,10 @@ mod tests {
     #[test]
     fn deep_tuple_chains_collapse() {
         let sod = SodBuilder::tuple("a")
-            .nested(SodBuilder::tuple("b").nested(SodBuilder::tuple("c").entity("x", Multiplicity::One)))
+            .nested(
+                SodBuilder::tuple("b")
+                    .nested(SodBuilder::tuple("c").entity("x", Multiplicity::One)),
+            )
             .entity("y", Multiplicity::One)
             .build();
         let canon = canonicalize(&sod);

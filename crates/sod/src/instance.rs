@@ -15,10 +15,7 @@ pub enum Instance {
     /// A recognized atomic value.
     Atomic { type_name: String, value: String },
     /// A tuple instance: one instance per (present) component.
-    Tuple {
-        name: String,
-        fields: Vec<Instance>,
-    },
+    Tuple { name: String, fields: Vec<Instance> },
     /// A set instance: repeated instances of the set's child type.
     Set(Vec<Instance>),
 }
@@ -31,10 +28,7 @@ pub enum ValidationError {
     /// An atomic value is typed with the wrong entity type.
     WrongEntityType { expected: String, got: String },
     /// A set's cardinality violates its multiplicity.
-    Cardinality {
-        type_desc: String,
-        count: usize,
-    },
+    Cardinality { type_desc: String, count: usize },
     /// A required tuple component is missing.
     MissingComponent(String),
     /// A tuple has a field matching no component.
@@ -351,9 +345,7 @@ mod tests {
 
     #[test]
     fn disjunction_accepts_either_branch() {
-        let sod = SodBuilder::tuple("listing")
-            .either("price", "bid")
-            .build();
+        let sod = SodBuilder::tuple("listing").either("price", "bid").build();
         for t in ["price", "bid"] {
             let inst = Instance::Tuple {
                 name: "listing".to_owned(),

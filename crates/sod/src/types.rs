@@ -373,7 +373,10 @@ mod tests {
                     .entity("address", Multiplicity::Optional),
             )
             .build();
-        assert_eq!(sod.entity_types(), vec!["artist", "date", "theater", "address"]);
+        assert_eq!(
+            sod.entity_types(),
+            vec!["artist", "date", "theater", "address"]
+        );
         assert_eq!(sod.optional_entity_types(), vec!["address"]);
         assert_eq!(
             sod.to_string(),

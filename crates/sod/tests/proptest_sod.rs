@@ -14,27 +14,23 @@ fn arb_multiplicity() -> impl Strategy<Value = Multiplicity> {
 }
 
 fn arb_node(depth: u32) -> impl Strategy<Value = SodNode> {
-    let leaf = ("[a-z]{2,8}", arb_multiplicity()).prop_map(|(type_name, multiplicity)| {
-        SodNode::Entity {
+    let leaf =
+        ("[a-z]{2,8}", arb_multiplicity()).prop_map(|(type_name, multiplicity)| SodNode::Entity {
             type_name,
             multiplicity,
-        }
-    });
+        });
     leaf.prop_recursive(depth, 24, 4, |inner| {
         prop_oneof![
-            ("[a-z]{2,6}", prop::collection::vec(inner.clone(), 1..4)).prop_map(
-                |(name, children)| SodNode::Tuple { name, children }
-            ),
+            ("[a-z]{2,6}", prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(name, children)| SodNode::Tuple { name, children }),
             (inner.clone(), arb_multiplicity()).prop_map(|(child, multiplicity)| {
                 SodNode::Set {
                     child: Box::new(child),
                     multiplicity,
                 }
             }),
-            (inner.clone(), inner).prop_map(|(a, b)| SodNode::Disjunction(
-                Box::new(a),
-                Box::new(b)
-            )),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| SodNode::Disjunction(Box::new(a), Box::new(b))),
         ]
     })
 }

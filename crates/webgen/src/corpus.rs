@@ -78,13 +78,52 @@ pub fn paper_corpus() -> CorpusSpec {
     };
 
     // --- Concerts (9 sources; rows 1–9) ---
-    sites.push(next("zvents (detail)", Concerts, Detail, true, &[NoiseBlocks]));
-    sites.push(next("zvents (list)", Concerts, List, true, &[DecoyRepeatedValue]));
+    sites.push(next(
+        "zvents (detail)",
+        Concerts,
+        Detail,
+        true,
+        &[NoiseBlocks],
+    ));
+    sites.push(next(
+        "zvents (list)",
+        Concerts,
+        List,
+        true,
+        &[DecoyRepeatedValue],
+    ));
     sites.push(next("upcoming (detail)", Concerts, Detail, true, &[]));
-    sites.push(next("upcoming (list)", Concerts, List, true, &[GroupedColumns]));
-    sites.push(next("eventful (detail)", Concerts, Detail, true, &[SharedTextNode]));
-    sites.push(next("eventful (list)", Concerts, List, false, &[DecoyRepeatedValue]).with_distinct_markup());
-    sites.push(next("eventorb (detail)", Concerts, Detail, true, &[NoiseBlocks]));
+    sites.push(next(
+        "upcoming (list)",
+        Concerts,
+        List,
+        true,
+        &[GroupedColumns],
+    ));
+    sites.push(next(
+        "eventful (detail)",
+        Concerts,
+        Detail,
+        true,
+        &[SharedTextNode],
+    ));
+    sites.push(
+        next(
+            "eventful (list)",
+            Concerts,
+            List,
+            false,
+            &[DecoyRepeatedValue],
+        )
+        .with_distinct_markup(),
+    );
+    sites.push(next(
+        "eventorb (detail)",
+        Concerts,
+        Detail,
+        true,
+        &[NoiseBlocks],
+    ));
     sites.push(next("eventorb (list)", Concerts, List, true, &[]).with_distinct_markup());
     sites.push(next("bandsintown (detail)", Concerts, Detail, true, &[]));
 
@@ -92,7 +131,13 @@ pub fn paper_corpus() -> CorpusSpec {
     sites.push(next("amazon-albums", Albums, List, true, &[NoiseBlocks]).with_distinct_markup());
     sites.push(next("101cd", Albums, List, false, &[SharedTextNode]));
     sites.push(next("towerrecords", Albums, List, true, &[]).with_distinct_markup());
-    sites.push(next("walmart-albums", Albums, List, true, &[SharedTextNode]));
+    sites.push(next(
+        "walmart-albums",
+        Albums,
+        List,
+        true,
+        &[SharedTextNode],
+    ));
     sites.push(next("cdunivers", Albums, List, true, &[]).with_distinct_markup());
     sites.push(next("hmv", Albums, List, true, &[NoiseBlocks]));
     sites.push(next("play", Albums, List, false, &[]).with_distinct_markup());
@@ -114,21 +159,70 @@ pub fn paper_corpus() -> CorpusSpec {
     sites.push(next("walmart-books", Books, List, true, &[GroupedColumns]));
     sites.push(next("abc", Books, List, true, &[FixedRecordCount(9)]).with_distinct_markup());
     sites.push(next("bookdepository", Books, List, true, &[]).with_distinct_markup());
-    sites.push(next("booksamillion", Books, List, true, &[FixedRecordCount(10)]).with_distinct_markup());
+    sites.push(
+        next("booksamillion", Books, List, true, &[FixedRecordCount(10)]).with_distinct_markup(),
+    );
     sites.push(next("bookstore", Books, List, false, &[GroupedColumns]));
     sites.push(next("powells", Books, List, false, &[FixedRecordCount(8)]));
 
     // --- Publications (10 sources; rows 30–39) ---
-    sites.push(next("acm", Publications, List, false, &[FixedRecordCount(10)]).with_distinct_markup());
+    sites.push(
+        next("acm", Publications, List, false, &[FixedRecordCount(10)]).with_distinct_markup(),
+    );
     sites.push(next("dblp", Publications, List, false, &[]).with_distinct_markup());
-    sites.push(next("cambridge", Publications, List, false, &[FixedRecordCount(8)]).with_distinct_markup());
+    sites.push(
+        next(
+            "cambridge",
+            Publications,
+            List,
+            false,
+            &[FixedRecordCount(8)],
+        )
+        .with_distinct_markup(),
+    );
     sites.push(next("citebase", Publications, List, false, &[]));
-    sites.push(next("citeseer", Publications, List, false, &[SharedTextNode]));
-    sites.push(next("DivaPortal", Publications, List, false, &[FixedRecordCount(10)]));
-    sites.push(next("GoogleScholar", Publications, List, false, &[GroupedColumns]));
-    sites.push(next("elsevier", Publications, List, false, &[FixedRecordCount(9)]));
-    sites.push(next("IngentaConnect", Publications, List, false, &[GroupedColumns]));
-    sites.push(next("IowaState", Publications, List, false, &[GroupedColumns]));
+    sites.push(next(
+        "citeseer",
+        Publications,
+        List,
+        false,
+        &[SharedTextNode],
+    ));
+    sites.push(next(
+        "DivaPortal",
+        Publications,
+        List,
+        false,
+        &[FixedRecordCount(10)],
+    ));
+    sites.push(next(
+        "GoogleScholar",
+        Publications,
+        List,
+        false,
+        &[GroupedColumns],
+    ));
+    sites.push(next(
+        "elsevier",
+        Publications,
+        List,
+        false,
+        &[FixedRecordCount(9)],
+    ));
+    sites.push(next(
+        "IngentaConnect",
+        Publications,
+        List,
+        false,
+        &[GroupedColumns],
+    ));
+    sites.push(next(
+        "IowaState",
+        Publications,
+        List,
+        false,
+        &[GroupedColumns],
+    ));
 
     // --- Cars (10 sources; rows 40–49) ---
     sites.push(next("amazoncars", Cars, List, false, &[]).with_distinct_markup());

@@ -14,36 +14,85 @@ const ARTIST_FIRST: &[&str] = &[
     "Lunar", "Atomic", "Royal", "Phantom", "Wild", "Static", "Cosmic", "Broken", "Hollow",
 ];
 const ARTIST_SECOND: &[&str] = &[
-    "Tigers", "Horizon", "Echoes", "Monarchs", "Serpents", "Parade", "Union", "Voltage",
-    "Harvest", "Cascade", "Empire", "Comets", "Engines", "Wolves", "Lanterns", "Riders",
+    "Tigers", "Horizon", "Echoes", "Monarchs", "Serpents", "Parade", "Union", "Voltage", "Harvest",
+    "Cascade", "Empire", "Comets", "Engines", "Wolves", "Lanterns", "Riders",
 ];
 
 /// Venue name components.
 const VENUE_FIRST: &[&str] = &[
-    "Bowery", "Riverside", "Grand", "Apollo", "Majestic", "Orpheum", "Paramount", "Crescent",
-    "Liberty", "Sunset", "Harbor", "Summit",
+    "Bowery",
+    "Riverside",
+    "Grand",
+    "Apollo",
+    "Majestic",
+    "Orpheum",
+    "Paramount",
+    "Crescent",
+    "Liberty",
+    "Sunset",
+    "Harbor",
+    "Summit",
 ];
 const VENUE_SECOND: &[&str] = &[
-    "Ballroom", "Theater", "Hall", "Arena", "Pavilion", "Lounge", "Amphitheater", "Club",
+    "Ballroom",
+    "Theater",
+    "Hall",
+    "Arena",
+    "Pavilion",
+    "Lounge",
+    "Amphitheater",
+    "Club",
 ];
 
 /// Street name components for addresses.
 const STREET_NAMES: &[&str] = &[
-    "Delancey", "Penn", "Mercer", "Bleecker", "Spring", "Mulberry", "Orchard", "Stanton",
-    "Rivington", "Greene", "Bowery", "Houston", "Prince", "Crosby",
+    "Delancey",
+    "Penn",
+    "Mercer",
+    "Bleecker",
+    "Spring",
+    "Mulberry",
+    "Orchard",
+    "Stanton",
+    "Rivington",
+    "Greene",
+    "Bowery",
+    "Houston",
+    "Prince",
+    "Crosby",
 ];
 const STREET_SUFFIX: &[&str] = &["St", "Street", "Ave", "Avenue", "Plaza", "Blvd"];
 
 /// Cities (the decoy pool — repeated values that look like template).
 pub const CITIES: &[&str] = &[
-    "New York City", "Boston", "Chicago", "Austin", "Seattle", "Portland", "Denver",
-    "Nashville", "San Diego", "Atlanta",
+    "New York City",
+    "Boston",
+    "Chicago",
+    "Austin",
+    "Seattle",
+    "Portland",
+    "Denver",
+    "Nashville",
+    "San Diego",
+    "Atlanta",
 ];
 
 /// Title components for albums, books and publications.
 const TITLE_ADJ: &[&str] = &[
-    "Silent", "Endless", "Fading", "Radiant", "Forgotten", "Distant", "Burning", "Frozen",
-    "Hidden", "Shattered", "Gentle", "Restless", "Crimson", "Weightless",
+    "Silent",
+    "Endless",
+    "Fading",
+    "Radiant",
+    "Forgotten",
+    "Distant",
+    "Burning",
+    "Frozen",
+    "Hidden",
+    "Shattered",
+    "Gentle",
+    "Restless",
+    "Crimson",
+    "Weightless",
 ];
 const TITLE_NOUN: &[&str] = &[
     "Rivers", "Horizons", "Gardens", "Letters", "Shadows", "Machines", "Tides", "Winters",
@@ -52,22 +101,46 @@ const TITLE_NOUN: &[&str] = &[
 
 /// Person name components (authors).
 const PERSON_FIRST: &[&str] = &[
-    "Jane", "Abraham", "Fiona", "Hamilton", "Mary", "Oliver", "Clara", "Edmund", "Nadia",
-    "Victor", "Helena", "Marcus", "Ingrid", "Tobias", "Amara", "Felix",
+    "Jane", "Abraham", "Fiona", "Hamilton", "Mary", "Oliver", "Clara", "Edmund", "Nadia", "Victor",
+    "Helena", "Marcus", "Ingrid", "Tobias", "Amara", "Felix",
 ];
 const PERSON_LAST: &[&str] = &[
-    "Austen", "Verghese", "Stafford", "Mabie", "Frey", "Calloway", "Brennan", "Okafor",
-    "Lindqvist", "Moreau", "Takahashi", "Whitfield", "Arroyo", "Keller", "Novak", "Osei",
+    "Austen",
+    "Verghese",
+    "Stafford",
+    "Mabie",
+    "Frey",
+    "Calloway",
+    "Brennan",
+    "Okafor",
+    "Lindqvist",
+    "Moreau",
+    "Takahashi",
+    "Whitfield",
+    "Arroyo",
+    "Keller",
+    "Novak",
+    "Osei",
 ];
 
 /// Car brands + models.
 const CAR_BRANDS: &[&str] = &[
-    "Toyota", "Honda", "Ford", "Chevrolet", "Nissan", "Subaru", "Mazda", "Volkswagen",
-    "Hyundai", "Kia", "Volvo", "Audi",
+    "Toyota",
+    "Honda",
+    "Ford",
+    "Chevrolet",
+    "Nissan",
+    "Subaru",
+    "Mazda",
+    "Volkswagen",
+    "Hyundai",
+    "Kia",
+    "Volvo",
+    "Audi",
 ];
 const CAR_MODELS: &[&str] = &[
-    "Meridian", "Vista", "Pulse", "Traverse", "Summit", "Cadence", "Orbit", "Drift",
-    "Beacon", "Strata",
+    "Meridian", "Vista", "Pulse", "Traverse", "Summit", "Cadence", "Orbit", "Drift", "Beacon",
+    "Strata",
 ];
 
 /// Publication venue names (for detail noise).
@@ -76,11 +149,27 @@ const PUB_VENUES: &[&str] = &[
 ];
 
 const MONTHS: &[&str] = &[
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 const WEEKDAYS: &[&str] = &[
-    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
 ];
 
 /// All artist names (the full pool, used to build gazetteers). Half
@@ -270,9 +359,26 @@ impl<'a> ValueGen<'a> {
     /// Filler prose for noise blocks and unstructured pages.
     pub fn prose(&mut self, words: usize) -> String {
         const FILLER: &[&str] = &[
-            "special", "offers", "browse", "catalog", "featured", "today", "popular", "staff",
-            "picks", "weekly", "newsletter", "community", "reviews", "guide", "selection",
-            "exclusive", "discover", "trending", "archive", "editorial",
+            "special",
+            "offers",
+            "browse",
+            "catalog",
+            "featured",
+            "today",
+            "popular",
+            "staff",
+            "picks",
+            "weekly",
+            "newsletter",
+            "community",
+            "reviews",
+            "guide",
+            "selection",
+            "exclusive",
+            "discover",
+            "trending",
+            "archive",
+            "editorial",
         ];
         (0..words)
             .map(|_| self.pick(FILLER))

@@ -188,7 +188,10 @@ mod tests {
     #[test]
     fn brands_keep_full_coverage() {
         let set = recognizers_for(Domain::Cars, 0.2);
-        let g = set.get("brand").and_then(|r| r.gazetteer()).expect("gazetteer");
+        let g = set
+            .get("brand")
+            .and_then(|r| r.gazetteer())
+            .expect("gazetteer");
         for b in data::all_car_brands() {
             assert!(g.contains(&b), "brand {b} missing");
         }
@@ -198,9 +201,17 @@ mod tests {
     fn sample_values_are_recognized() {
         let set = recognizers_for(Domain::Concerts, 1.0);
         let artist = &data::all_artists()[3];
-        assert!(set.get("artist").expect("artist").recognize(artist).is_some());
+        assert!(set
+            .get("artist")
+            .expect("artist")
+            .recognize(artist)
+            .is_some());
         let venue = &data::all_venues()[5];
-        assert!(set.get("theater").expect("theater").recognize(venue).is_some());
+        assert!(set
+            .get("theater")
+            .expect("theater")
+            .recognize(venue)
+            .is_some());
     }
 
     #[test]

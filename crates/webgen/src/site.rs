@@ -289,10 +289,7 @@ fn record_cells(spec: &SiteSpec, gold: &GoldObject, rng: &mut StdRng) -> Vec<Str
                 .first()
                 .map(|a| format!("<span>{a}</span>"))
                 .unwrap_or_default();
-            cells.push(format!(
-                "<a>{}</a>{addr}",
-                gold.values("theater")[0]
-            ));
+            cells.push(format!("<a>{}</a>{addr}", gold.values("theater")[0]));
         }
         Domain::Cars => {
             if shared {
@@ -386,10 +383,7 @@ fn render_list_record(spec: &SiteSpec, gold: &GoldObject, rng: &mut StdRng) -> S
     }
     match spec.style {
         0 => {
-            let inner: String = cells
-                .iter()
-                .map(|c| format!("<div>{c}</div>"))
-                .collect();
+            let inner: String = cells.iter().map(|c| format!("<div>{c}</div>")).collect();
             format!("<li>{inner}</li>")
         }
         1 => {

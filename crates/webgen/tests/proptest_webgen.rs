@@ -35,7 +35,11 @@ fn arb_spec() -> impl Strategy<Value = SiteSpec> {
     )
         .prop_map(
             |(domain, list, quirks, pages, seed, style, optional, distinct)| {
-                let kind = if list { PageKind::List } else { PageKind::Detail };
+                let kind = if list {
+                    PageKind::List
+                } else {
+                    PageKind::Detail
+                };
                 let mut spec = SiteSpec::clean("prop-site", domain, kind, pages, seed);
                 spec.quirks = quirks;
                 spec.style = style;

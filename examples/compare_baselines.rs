@@ -39,7 +39,10 @@ fn main() {
         "system", "Pc", "Pp", "No", "Oc", "Op", "Oi"
     );
     for (label, run) in [
-        ("ObjectRunner", run_objectrunner(&source, SampleStrategy::SodBased)),
+        (
+            "ObjectRunner",
+            run_objectrunner(&source, SampleStrategy::SodBased),
+        ),
         ("ExAlg", run_exalg(&source)),
         ("RoadRunner", run_roadrunner(&source)),
     ] {

@@ -56,7 +56,13 @@ fn main() {
     recognizers.insert("address", Recognizer::predefined_address());
 
     // ── Generate a concert site (list pages) and extract ────────────
-    let spec = SiteSpec::clean("upcoming.example", Domain::Concerts, PageKind::List, 20, 2012);
+    let spec = SiteSpec::clean(
+        "upcoming.example",
+        Domain::Concerts,
+        PageKind::List,
+        20,
+        2012,
+    );
     let source = generate_site(&spec);
     println!(
         "source: {} pages, {} golden objects",

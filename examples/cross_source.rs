@@ -20,8 +20,8 @@ use objectrunner::core::pipeline::Pipeline;
 use objectrunner::knowledge::bytype::recognizer_from_examples;
 use objectrunner::knowledge::recognizer::{Recognizer, RecognizerSet};
 use objectrunner::sod::{Multiplicity, SodBuilder};
-use objectrunner::webgen::knowledge::domain_ontology;
 use objectrunner::webgen::data;
+use objectrunner::webgen::knowledge::domain_ontology;
 
 fn main() {
     // ── A shared concert database, rendered by two different sites ──
@@ -45,9 +45,7 @@ fn main() {
         .map(|chunk| {
             let recs: String = chunk
                 .iter()
-                .map(|(a, d, v)| {
-                    format!("<li><b>{a}</b><i>{d}</i><em>{v}</em></li>")
-                })
+                .map(|(a, d, v)| format!("<li><b>{a}</b><i>{d}</i><em>{v}</em></li>"))
                 .collect();
             format!("<html><body><div class=\"m\"><ul>{recs}</ul></div></body></html>")
         })
@@ -91,12 +89,17 @@ fn main() {
         .build();
 
     let mut recognizers = RecognizerSet::new();
-    recognizers.insert("artist", Recognizer::dictionary(artist_dict.with_coverage(0.4)));
+    recognizers.insert(
+        "artist",
+        Recognizer::dictionary(artist_dict.with_coverage(0.4)),
+    );
     recognizers.insert("date", Recognizer::predefined_date());
     recognizers.insert(
         "venue",
         Recognizer::dictionary(
-            domain_ontology().gazetteer_for("Venue", 1).with_coverage(0.4),
+            domain_ontology()
+                .gazetteer_for("Venue", 1)
+                .with_coverage(0.4),
         ),
     );
 

@@ -38,12 +38,21 @@ fn main() {
 
     // ── 3. A small template-generated source ────────────────────────
     let artists_pool = [
-        "Metallica", "Muse", "The Iron Echoes", "Coldplay", "The Atomic Horizon",
-        "Madonna", "The Velvet Parade", "The Static Union",
+        "Metallica",
+        "Muse",
+        "The Iron Echoes",
+        "Coldplay",
+        "The Atomic Horizon",
+        "Madonna",
+        "The Velvet Parade",
+        "The Static Union",
     ];
     let venues_pool = [
-        "Madison Square Garden", "Bowery Ballroom", "The Town Hall",
-        "Riverside Amphitheater", "Apollo Hall",
+        "Madison Square Garden",
+        "Bowery Ballroom",
+        "The Town Hall",
+        "Riverside Amphitheater",
+        "Apollo Hall",
     ];
     let pages: Vec<String> = (0..12)
         .map(|p| {
@@ -79,7 +88,11 @@ fn main() {
         outcome.stats.conflict_splits,
         outcome.stats.extraction_micros as f64 / 1000.0,
     );
-    println!("extracted {} objects from {} pages:", outcome.objects.len(), pages.len());
+    println!(
+        "extracted {} objects from {} pages:",
+        outcome.objects.len(),
+        pages.len()
+    );
     for object in outcome.objects.iter().take(6) {
         println!("  {object}");
     }

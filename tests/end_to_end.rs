@@ -3,7 +3,7 @@
 //! API only.
 
 use objectrunner::core::pipeline::{Pipeline, PipelineConfig, PipelineError};
-use objectrunner::core::sample::{SampleConfig, SampleStrategy};
+use objectrunner::core::sample::SampleConfig;
 use objectrunner::eval::classify::{classify_source, ExtractedObject};
 use objectrunner::eval::runners::{instance_to_object, run_exalg, run_roadrunner};
 use objectrunner::sod::canonicalize;

@@ -1,0 +1,78 @@
+//! End-to-end equivalence guard for the interning refactor.
+//!
+//! The snapshots under `tests/goldens/` were recorded by running the
+//! *pre-interning* (string-keyed) pipeline over the deterministic
+//! five-domain generated corpus. The test re-runs the current pipeline
+//! on the identical corpus and requires byte-identical extraction
+//! output, so any change to token/role/path identity that alters what
+//! gets extracted fails loudly.
+//!
+//! Re-record (only when an intentional behavior change is reviewed):
+//! `BLESS_GOLDENS=1 cargo test --test golden_equivalence`.
+
+use objectrunner::core::pipeline::{Pipeline, PipelineConfig};
+use objectrunner::core::sample::SampleConfig;
+use objectrunner::webgen::{generate_site, knowledge, Domain, PageKind, SiteSpec};
+use std::path::PathBuf;
+
+fn golden_path(domain: Domain) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{}.txt", domain.name()))
+}
+
+/// Deterministic corpus: same specs as the end-to-end precision test.
+fn corpus(domain: Domain, index: usize) -> Vec<String> {
+    let spec = SiteSpec::clean(
+        &format!("golden-{}", domain.name()),
+        domain,
+        PageKind::List,
+        15,
+        17_000 + index as u64,
+    );
+    generate_site(&spec).pages
+}
+
+fn render_extraction(domain: Domain, pages: &[String]) -> String {
+    let pipeline = Pipeline::new(domain.sod(), knowledge::recognizers_for(domain, 0.2))
+        .with_config(PipelineConfig {
+            sample: SampleConfig {
+                sample_size: 12,
+                ..SampleConfig::default()
+            },
+            ..PipelineConfig::default()
+        });
+    let outcome = pipeline
+        .run_on_html(pages)
+        .unwrap_or_else(|e| panic!("{} failed to wrap: {e}", domain.name()));
+    // Sort rendered instances so the comparison pins extraction
+    // *content*, not incidental page-scan ordering.
+    let mut lines: Vec<String> = outcome.objects.iter().map(|o| o.to_string()).collect();
+    lines.sort_unstable();
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[test]
+fn interned_pipeline_matches_pre_refactor_goldens() {
+    let bless = std::env::var_os("BLESS_GOLDENS").is_some();
+    for (i, domain) in Domain::ALL.into_iter().enumerate() {
+        let pages = corpus(domain, i);
+        let rendered = render_extraction(domain, &pages);
+        let path = golden_path(domain);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &rendered).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        assert_eq!(
+            rendered,
+            golden,
+            "{}: extraction diverged from the pre-refactor snapshot",
+            domain.name()
+        );
+    }
+}

@@ -1,0 +1,776 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements exactly the strategy combinators, macros and prelude the
+//! workspace's property tests use: `Strategy`/`Just`/`prop_map`/
+//! `prop_recursive`/`boxed`, regex-literal string strategies (a small
+//! generator-only regex subset), integer ranges, tuples, unions
+//! (`prop_oneof!`), `collection::{vec, hash_set}`, `sample::select`,
+//! `bool::ANY`, `any::<bool>()`, and the `proptest!` test macro.
+//!
+//! No shrinking: a failing case panics with the standard assertion
+//! message. Case generation is deterministic per test (the RNG is
+//! seeded from the test's module path), so failures reproduce.
+
+// ---------------------------------------------------------------- rng
+
+/// Deterministic generator used for case generation (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *slot = z ^ (z >> 31);
+        }
+        TestRng { s }
+    }
+
+    /// Seed derived from the (stable) test path so each test gets an
+    /// independent, reproducible stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Uniform draw from `[low, high]` (inclusive).
+    pub fn range_i128(&mut self, low: i128, high: i128) -> i128 {
+        assert!(low <= high, "empty range");
+        let span = (high - low) as u128 + 1;
+        let draw = ((self.next_u64() as u128).wrapping_mul(span)) >> 64;
+        low + draw as i128
+    }
+}
+
+// ----------------------------------------------------------- strategy
+
+pub mod strategy {
+    use super::TestRng;
+    use std::rc::Rc;
+
+    /// Generator of arbitrary values (no shrinking).
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Rc::new(self),
+            }
+        }
+
+        /// Recursive strategies: `depth` levels of `recurse` wrapped
+        /// around the base case. `desired_size` / `expected_branch_size`
+        /// are accepted for API compatibility but depth alone bounds
+        /// generation here.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut cur = base.clone();
+            for _ in 0..depth {
+                let deeper = recurse(cur).boxed();
+                cur = Union::weighted(vec![(1, base.clone()), (2, deeper)]).boxed();
+            }
+            cur
+        }
+    }
+
+    /// Clonable type-erased strategy (`Rc`-backed; tests are
+    /// single-threaded per case loop).
+    pub struct BoxedStrategy<T> {
+        inner: Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.inner.new_value(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Weighted choice between strategies of a common value type;
+    /// backs `prop_oneof!` and `prop_recursive`.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            Union::weighted(arms.into_iter().map(|a| (1, a)).collect())
+        }
+
+        pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "empty union");
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "zero-weight union");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total as usize) as u32;
+            for (w, arm) in &self.arms {
+                if pick < *w {
+                    return arm.new_value(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    /// String literals are generator-only regexes (subset: literals,
+    /// `[...]` classes with ranges, `.`, `(...)` groups, `{m,n}`/`{n}`/
+    /// `?`/`*`/`+` quantifiers).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let pattern = super::regex_gen::parse(self);
+            let mut out = String::new();
+            super::regex_gen::generate(&pattern, rng, &mut out);
+            out
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.range_i128(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.range_i128(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+// --------------------------------------------------- regex generation
+
+mod regex_gen {
+    use super::TestRng;
+
+    #[derive(Debug)]
+    pub enum Node {
+        Lit(char),
+        Dot,
+        Class(Vec<(char, char)>),
+        Group(Vec<Item>),
+    }
+
+    #[derive(Debug)]
+    pub struct Item {
+        pub node: Node,
+        pub min: u32,
+        pub max: u32,
+    }
+
+    /// Unbounded quantifiers (`*`, `+`) are capped here.
+    const UNBOUNDED_CAP: u32 = 8;
+
+    pub fn parse(pattern: &str) -> Vec<Item> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let items = parse_seq(&chars, &mut pos);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex (stopped at {pos}): {pattern:?}"
+        );
+        items
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize) -> Vec<Item> {
+        let mut items = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ')' {
+            let node = match chars[*pos] {
+                '[' => {
+                    *pos += 1;
+                    let mut ranges = Vec::new();
+                    while chars[*pos] != ']' {
+                        let lo = read_char(chars, pos);
+                        if chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                            *pos += 1;
+                            let hi = read_char(chars, pos);
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    *pos += 1; // ']'
+                    Node::Class(ranges)
+                }
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_seq(chars, pos);
+                    assert!(
+                        *pos < chars.len() && chars[*pos] == ')',
+                        "unclosed group in regex strategy"
+                    );
+                    *pos += 1;
+                    Node::Group(inner)
+                }
+                '.' => {
+                    *pos += 1;
+                    Node::Dot
+                }
+                _ => Node::Lit(read_char(chars, pos)),
+            };
+            let (min, max) = parse_quant(chars, pos);
+            items.push(Item { node, min, max });
+        }
+        items
+    }
+
+    fn read_char(chars: &[char], pos: &mut usize) -> char {
+        let c = chars[*pos];
+        *pos += 1;
+        if c == '\\' {
+            let escaped = chars[*pos];
+            *pos += 1;
+            escaped
+        } else {
+            c
+        }
+    }
+
+    fn parse_quant(chars: &[char], pos: &mut usize) -> (u32, u32) {
+        if *pos >= chars.len() {
+            return (1, 1);
+        }
+        match chars[*pos] {
+            '?' => {
+                *pos += 1;
+                (0, 1)
+            }
+            '*' => {
+                *pos += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            '+' => {
+                *pos += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            '{' => {
+                *pos += 1;
+                let mut min = 0u32;
+                while chars[*pos].is_ascii_digit() {
+                    min = min * 10 + chars[*pos].to_digit(10).unwrap();
+                    *pos += 1;
+                }
+                let max = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut m = 0u32;
+                    while chars[*pos].is_ascii_digit() {
+                        m = m * 10 + chars[*pos].to_digit(10).unwrap();
+                        *pos += 1;
+                    }
+                    m
+                } else {
+                    min
+                };
+                assert!(chars[*pos] == '}', "malformed quantifier");
+                *pos += 1;
+                (min, max)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    pub fn generate(items: &[Item], rng: &mut TestRng, out: &mut String) {
+        for item in items {
+            let count = item.min + rng.below((item.max - item.min + 1) as usize) as u32;
+            for _ in 0..count {
+                match &item.node {
+                    Node::Lit(c) => out.push(*c),
+                    // Printable ASCII, like an unadventurous `.`.
+                    Node::Dot => out.push((0x20 + rng.below(0x5f) as u8) as char),
+                    Node::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.below(ranges.len())];
+                        let span = hi as u32 - lo as u32 + 1;
+                        out.push(
+                            char::from_u32(lo as u32 + rng.below(span as usize) as u32)
+                                .expect("class range stays in scalar values"),
+                        );
+                    }
+                    Node::Group(inner) => generate(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------- collections
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: random-length vector of elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.start + rng.below(self.size.end - self.size.start);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::hash_set`. Duplicate draws are retried a
+    /// bounded number of times; if the element space is too small the
+    /// set may come up short of `size.start`, which the in-repo tests
+    /// tolerate (their element spaces are large).
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        assert!(size.start < size.end, "empty size range");
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = self.size.start + rng.below(self.size.end - self.size.start);
+            let mut set = HashSet::with_capacity(n);
+            let mut attempts = 0usize;
+            while set.len() < n && attempts < n * 20 + 100 {
+                set.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+// ------------------------------------------------------------- sample
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice from a fixed list.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty list");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+}
+
+// --------------------------------------------------------------- bool
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// `proptest::bool::ANY`: a fair coin.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+// ---------------------------------------------------------- arbitrary
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+
+    /// Types with a canonical strategy (`any::<T>()`). Only the types
+    /// the workspace asks for are implemented.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = crate::bool::Any;
+
+        fn arbitrary() -> Self::Strategy {
+            crate::bool::ANY
+        }
+    }
+
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+}
+
+// -------------------------------------------------------- test runner
+
+pub mod test_runner {
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+// ------------------------------------------------------------- macros
+
+/// Property-test harness: expands each `fn name(arg in strategy, ...)`
+/// into a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategy = ($($strat,)+);
+            let mut __rng = $crate::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::new_value(&__strategy, &mut __rng);
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg); $($rest)* }
+    };
+}
+
+/// Without shrinking there is nothing to report beyond the assertion
+/// itself, so the `prop_assert` family maps to `assert`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Equal-weight union of strategies sharing a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+// ------------------------------------------------------------ prelude
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_strategies_match_their_own_shape() {
+        let mut rng = crate::TestRng::for_test("regex_shape");
+        for _ in 0..200 {
+            let s = Strategy::new_value(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let phrase = Strategy::new_value(&"[a-z]{1,6}( [a-z]{1,6}){0,3}", &mut rng);
+            for word in phrase.split(' ') {
+                assert!((1..=6).contains(&word.len()), "{phrase:?}");
+            }
+
+            let dots = Strategy::new_value(&".{0,40}", &mut rng);
+            assert!(dots.len() <= 40);
+            assert!(dots.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_and_unions_generate_in_bounds() {
+        let mut rng = crate::TestRng::for_test("bounds");
+        let strat = (
+            1u32..4,
+            prop::sample::select(vec!["a", "b"]),
+            prop_oneof![Just(0usize), Just(1usize)],
+        );
+        for _ in 0..200 {
+            let (n, s, z) = Strategy::new_value(&strat, &mut rng);
+            assert!((1..4).contains(&n));
+            assert!(s == "a" || s == "b");
+            assert!(z <= 1);
+        }
+    }
+
+    #[test]
+    fn collections_respect_size() {
+        let mut rng = crate::TestRng::for_test("collections");
+        let vecs = prop::collection::vec(0u32..10, 2..5);
+        let sets = prop::collection::hash_set("[a-z]{3,10}", 5..60);
+        for _ in 0..100 {
+            let v = Strategy::new_value(&vecs, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = Strategy::new_value(&sets, &mut rng);
+            assert!(s.len() < 60);
+            assert!(s.len() >= 5, "huge element space should fill the set");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let mut rng = crate::TestRng::for_test("recursive");
+        let leaf = "[a-z]{1,4}".prop_map(|w| w);
+        let tree = leaf.prop_recursive(3, 64, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(|kids| format!("({})", kids.join(" ")))
+        });
+        for _ in 0..100 {
+            let v = Strategy::new_value(&tree, &mut rng);
+            assert!(v.len() < 10_000);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, config, multiple args.
+        #[test]
+        fn macro_binds_arguments(a in 0u32..5, b in "[ab]{1,3}") {
+            prop_assert!(a < 5);
+            prop_assert!((1..=3).contains(&b.len()));
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds in an environment with no registry access, so
+//! the handful of `rand 0.8` APIs the generators use are reimplemented
+//! here from scratch: `StdRng` (a xoshiro256\*\* generator seeded via
+//! splitmix64), the `Rng`/`SeedableRng` traits, and the `SliceRandom`
+//! helpers. The streams differ from upstream `rand`, but every in-repo
+//! consumer seeds deterministically, so fixtures stay reproducible.
+
+/// Core random-source trait: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding trait; only the `seed_from_u64` entry point is used here.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256\*\* generator standing in for rand's
+    /// `StdRng`. Not cryptographic; plenty for corpus generation.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from a range.
+pub trait UniformSample: Copy + PartialOrd {
+    fn sample_inclusive(rng: &mut impl RngCore, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_inclusive(rng: &mut impl RngCore, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty sample range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                // Multiply-shift bounded sampling; the bias over a u64
+                // draw is < 2^-64 per call, irrelevant for fixtures.
+                let draw = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (low as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing generator methods.
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open (`a..b`) or inclusive (`a..=b`)
+    /// integer range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: UniformSample + RangeEnd,
+        R: IntoSampleBounds<T>,
+    {
+        let (low, high) = range.into_sample_bounds();
+        T::sample_inclusive(self, low, high)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        // 53 bits of mantissa worth of uniformity.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Integer helper: step `end` down by one for half-open ranges.
+pub trait RangeEnd: Sized {
+    fn pred(self) -> Self;
+}
+
+macro_rules! impl_range_end {
+    ($($t:ty),*) => {$(
+        impl RangeEnd for $t {
+            fn pred(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+
+impl_range_end!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Normalizes both range flavors to inclusive bounds.
+pub trait IntoSampleBounds<T> {
+    fn into_sample_bounds(self) -> (T, T);
+}
+
+impl<T: UniformSample + RangeEnd> IntoSampleBounds<T> for std::ops::Range<T> {
+    fn into_sample_bounds(self) -> (T, T) {
+        (self.start, self.end.pred())
+    }
+}
+
+impl<T: UniformSample> IntoSampleBounds<T> for std::ops::RangeInclusive<T> {
+    fn into_sample_bounds(self) -> (T, T) {
+        self.into_inner()
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice helpers mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        type Item;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u32..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(1usize..=4);
+            assert!((1..=4).contains(&w));
+        }
+        // Every value in a small range appears.
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = [1, 2, 3, 4];
+        assert!(xs.choose(&mut rng).is_some());
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle must be a permutation");
+        assert_ne!(v, orig, "50 elements should not shuffle to identity");
+    }
+}

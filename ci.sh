@@ -7,8 +7,17 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test"
-cargo test --workspace -q
+# The full suite runs twice: once pinned to a sequential executor and
+# once on an 8-worker pool. Each run is a fresh process, so the second
+# pass also proves the parallel pipeline reproduces the golden
+# snapshots with its own interner state — the cross-process half of
+# the determinism guarantee (tests/determinism.rs is the in-process
+# half).
+echo "==> cargo test (OBJECTRUNNER_THREADS=1)"
+OBJECTRUNNER_THREADS=1 cargo test --workspace -q
+
+echo "==> cargo test (OBJECTRUNNER_THREADS=8)"
+OBJECTRUNNER_THREADS=8 cargo test --workspace -q
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use objectrunner_bench::bench_source;
 use objectrunner_core::annotate::annotate_page;
+use objectrunner_core::exec::Executor;
 use objectrunner_core::sample::{select_sample, SampleConfig, SampleStrategy};
 use objectrunner_html::{clean_document, parse, CleanOptions, Document};
 use objectrunner_webgen::{knowledge, Domain};
@@ -53,11 +54,12 @@ fn sampling(c: &mut Criterion) {
             SampleStrategy::SodBased => "sod_based",
             SampleStrategy::Random(_) => "random",
         };
+        let exec = Executor::sequential();
         group.bench_function(BenchmarkId::new("algorithm1", label), |b| {
             b.iter(|| {
                 black_box(
                     select_sample(
-                        docs.clone(),
+                        &docs,
                         &recognizers,
                         &sod,
                         &SampleConfig {
@@ -65,6 +67,7 @@ fn sampling(c: &mut Criterion) {
                             ..SampleConfig::default()
                         },
                         strategy,
+                        &exec,
                     )
                     .expect("sample"),
                 )

@@ -28,6 +28,22 @@ pub struct AnnotatedPage {
     pub annotations: HashMap<NodeId, Vec<Annotation>>,
 }
 
+/// The annotation map of one page: annotations per node, absent key =
+/// unannotated. Sampling keeps these maps *next to* borrowed documents
+/// (one map per page index) so annotation rounds never clone a DOM.
+pub type AnnotationMap = HashMap<NodeId, Vec<Annotation>>;
+
+/// The single *best* annotation of a node in `annotations`, if any:
+/// highest confidence wins; ties broken by type name for determinism.
+pub fn best_annotation_in(annotations: &AnnotationMap, id: NodeId) -> Option<&Annotation> {
+    annotations.get(&id).into_iter().flatten().max_by(|a, b| {
+        a.confidence
+            .partial_cmp(&b.confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.type_name.cmp(&a.type_name))
+    })
+}
+
 impl AnnotatedPage {
     /// Annotations on a node (empty slice when none).
     pub fn annotations_of(&self, id: NodeId) -> &[Annotation] {
@@ -37,12 +53,7 @@ impl AnnotatedPage {
     /// The single *best* annotation of a node, if any: highest
     /// confidence wins; ties broken by type name for determinism.
     pub fn best_annotation(&self, id: NodeId) -> Option<&Annotation> {
-        self.annotations_of(id).iter().max_by(|a, b| {
-            a.confidence
-                .partial_cmp(&b.confidence)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| b.type_name.cmp(&a.type_name))
-        })
+        best_annotation_in(&self.annotations, id)
     }
 
     /// Number of annotation assignments of a given type on the page.
@@ -89,20 +100,27 @@ pub fn annotate_page_types(
 /// Add annotations of one more type to an already-annotated page
 /// (one "annotation round" of Algorithm 1).
 pub fn annotate_type(page: &mut AnnotatedPage, recognizers: &RecognizerSet, type_name: &str) {
+    annotate_type_into(&page.doc, &mut page.annotations, recognizers, type_name);
+}
+
+/// [`annotate_type`] over a borrowed document and a detached annotation
+/// map — the form sampling uses so a round can run over `&[Document]`
+/// without cloning any page.
+pub fn annotate_type_into(
+    doc: &Document,
+    annotations: &mut AnnotationMap,
+    recognizers: &RecognizerSet,
+    type_name: &str,
+) {
     let Some(recognizer) = recognizers.get(type_name) else {
         return;
     };
-    let text_nodes: Vec<(NodeId, String)> = page
-        .doc
-        .descendants(page.doc.root())
-        .filter_map(|id| match &page.doc.node(id).kind {
-            NodeKind::Text(t) => Some((id, t.clone())),
-            _ => None,
-        })
-        .collect();
-    for (id, text) in text_nodes {
-        if let Some(m) = recognizer.recognize(&text) {
-            let anns = page.annotations.entry(id).or_default();
+    for id in doc.descendants(doc.root()) {
+        let NodeKind::Text(text) = &doc.node(id).kind else {
+            continue;
+        };
+        if let Some(m) = recognizer.recognize(text) {
+            let anns = annotations.entry(id).or_default();
             if !anns.iter().any(|a| a.type_name == type_name) {
                 anns.push(Annotation {
                     type_name: type_name.to_owned(),
@@ -117,31 +135,36 @@ pub fn annotate_type(page: &mut AnnotatedPage, recognizers: &RecognizerSet, type
 /// single annotated child, or when all children carry the same
 /// annotation type.
 pub fn propagate_upwards(page: &mut AnnotatedPage) {
+    propagate_upwards_into(&page.doc, &mut page.annotations);
+}
+
+/// [`propagate_upwards`] over a borrowed document and a detached
+/// annotation map.
+pub fn propagate_upwards_into(doc: &Document, annotations: &mut AnnotationMap) {
     // Bottom-up order: process nodes by decreasing depth.
-    let mut nodes: Vec<(usize, NodeId)> = page
-        .doc
-        .descendants(page.doc.root())
-        .map(|id| (objectrunner_html::path::depth(&page.doc, id), id))
+    let mut nodes: Vec<(usize, NodeId)> = doc
+        .descendants(doc.root())
+        .map(|id| (objectrunner_html::path::depth(doc, id), id))
         .collect();
     nodes.sort_by_key(|&(depth, _)| std::cmp::Reverse(depth));
 
     for (_, id) in nodes {
-        if !matches!(page.doc.node(id).kind, NodeKind::Element { .. }) {
+        if !matches!(doc.node(id).kind, NodeKind::Element { .. }) {
             continue;
         }
-        let children = page.doc.children(id).to_vec();
+        let children = doc.children(id);
         if children.is_empty() {
             continue;
         }
         let inherited: Option<Annotation> = if children.len() == 1 {
-            page.best_annotation(children[0]).cloned()
+            best_annotation_in(annotations, children[0]).cloned()
         } else {
             // All children share one annotation type?
-            let first = page.best_annotation(children[0]).cloned();
+            let first = best_annotation_in(annotations, children[0]).cloned();
             match first {
                 Some(ann)
                     if children.iter().all(|&c| {
-                        page.best_annotation(c)
+                        best_annotation_in(annotations, c)
                             .map(|a| a.type_name == ann.type_name)
                             .unwrap_or(false)
                     }) =>
@@ -152,7 +175,7 @@ pub fn propagate_upwards(page: &mut AnnotatedPage) {
             }
         };
         if let Some(ann) = inherited {
-            let anns = page.annotations.entry(id).or_default();
+            let anns = annotations.entry(id).or_default();
             if !anns.iter().any(|a| a.type_name == ann.type_name) {
                 anns.push(ann);
             }

@@ -1,0 +1,247 @@
+//! Deterministic fan-out executor for the staged pipeline.
+//!
+//! Every per-page stage of the pipeline (parse, clean, segment,
+//! annotate, extract) is embarrassingly parallel, and the §IV
+//! self-validation loop is parallel across candidate support values.
+//! This module provides the one primitive they all share: run a
+//! function over a batch of items on a small scoped-thread worker pool
+//! and return the results **in item-index order**, so the parallel
+//! pipeline is byte-identical to the sequential one no matter how the
+//! scheduler interleaves workers.
+//!
+//! Design constraints:
+//!
+//! * No heavy dependencies — the pool is hand-rolled on
+//!   [`std::thread::scope`], with an atomic cursor handing out work
+//!   items (cheap dynamic load balancing; pages vary a lot in size).
+//! * Determinism by construction — workers tag each result with its
+//!   item index and the reduction sorts by index, so output order never
+//!   depends on thread timing.
+//! * Honest accounting — every map reports the summed busy time of its
+//!   workers, which the pipeline surfaces as per-stage CPU time next to
+//!   wall-clock time.
+//!
+//! Thread count resolution (see [`resolve_threads`]): an explicit
+//! `PipelineConfig::threads` wins, else the `OBJECTRUNNER_THREADS`
+//! environment variable, else [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "OBJECTRUNNER_THREADS";
+
+/// Resolve the worker-thread count: explicit request → `OBJECTRUNNER_THREADS`
+/// → available parallelism (floor 1).
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A fixed-width scoped-thread worker pool.
+///
+/// The executor owns no threads between calls: each `map`/`for_each`
+/// spins up at most `threads` scoped workers, which exit when the batch
+/// is drained. For the pipeline's batch sizes (tens of pages, a handful
+/// of support values) spawn cost is noise next to item cost.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor with exactly `threads` workers (floor 1).
+    pub fn new(threads: usize) -> Executor {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded executor (runs everything inline).
+    pub fn sequential() -> Executor {
+        Executor::new(1)
+    }
+
+    /// An executor sized by [`resolve_threads`].
+    pub fn from_env(requested: Option<usize>) -> Executor {
+        Executor::new(resolve_threads(requested))
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f` to every item, returning results in item order.
+    pub fn map<T, R>(&self, items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        self.map_timed(items, f).0
+    }
+
+    /// [`Executor::map`] plus the summed busy time of all workers (the
+    /// stage's CPU cost, as opposed to its wall-clock cost).
+    pub fn map_timed<T, R>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, &T) -> R + Sync,
+    ) -> (Vec<R>, Duration)
+    where
+        T: Sync,
+        R: Send,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            let start = Instant::now();
+            let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            return (out, start.elapsed());
+        }
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+        let busy = Mutex::new(Duration::ZERO);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let start = Instant::now();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    let elapsed = start.elapsed();
+                    collected.lock().expect("worker panicked").extend(local);
+                    *busy.lock().expect("worker panicked") += elapsed;
+                });
+            }
+        });
+        let mut tagged = collected.into_inner().expect("worker panicked");
+        // Index-ordered reduction: output order is item order, never
+        // completion order.
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert_eq!(tagged.len(), items.len());
+        let results = tagged.into_iter().map(|(_, r)| r).collect();
+        (results, busy.into_inner().expect("worker panicked"))
+    }
+
+    /// Apply `f` to every item in place (per-page stages that mutate
+    /// documents: cleaning, main-block simplification). Returns the
+    /// summed worker busy time.
+    pub fn for_each_mut<T>(&self, items: &mut [T], f: impl Fn(usize, &mut T) + Sync) -> Duration
+    where
+        T: Send,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            let start = Instant::now();
+            for (i, t) in items.iter_mut().enumerate() {
+                f(i, t);
+            }
+            return start.elapsed();
+        }
+        // Hand out `&mut T` items through a locked iterator: safe
+        // disjoint-borrow distribution without unsafe code.
+        let queue = Mutex::new(items.iter_mut().enumerate());
+        let busy = Mutex::new(Duration::ZERO);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let start = Instant::now();
+                    loop {
+                        let next = queue.lock().expect("worker panicked").next();
+                        match next {
+                            Some((i, item)) => f(i, item),
+                            None => break,
+                        }
+                    }
+                    *busy.lock().expect("worker panicked") += start.elapsed();
+                });
+            }
+        });
+        busy.into_inner().expect("worker panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order() {
+        let exec = Executor::new(8);
+        let items: Vec<usize> = (0..257).collect();
+        // Uneven per-item cost to force out-of-order completion.
+        let out = exec.map(&items, |i, &x| {
+            if i % 7 == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            x * 2
+        });
+        assert_eq!(out, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_matches_sequential_exactly() {
+        let items: Vec<String> = (0..64).map(|i| format!("item-{i}")).collect();
+        let f = |i: usize, s: &String| format!("{i}:{s}");
+        let seq = Executor::sequential().map(&items, f);
+        let par = Executor::new(8).map(&items, f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let exec = Executor::new(4);
+        let mut items = vec![0u32; 100];
+        exec.for_each_mut(&mut items, |i, x| *x += i as u32 + 1);
+        for (i, &x) in items.iter().enumerate() {
+            assert_eq!(x, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_batches_work() {
+        let exec = Executor::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(exec.map(&empty, |_, &x| x).is_empty());
+        assert_eq!(exec.map(&[41u32], |_, &x| x + 1), vec![42]);
+        let mut one = [10u32];
+        exec.for_each_mut(&mut one, |_, x| *x *= 2);
+        assert_eq!(one, [20]);
+    }
+
+    #[test]
+    fn map_timed_reports_busy_time() {
+        let exec = Executor::new(2);
+        let items: Vec<u32> = (0..8).collect();
+        let (_, busy) = exec.map_timed(&items, |_, _| {
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        assert!(busy >= Duration::from_millis(8), "busy = {busy:?}");
+    }
+
+    #[test]
+    fn resolve_threads_precedence() {
+        // Explicit wins regardless of environment.
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1, "floor at one worker");
+        // Default path yields at least one worker.
+        assert!(resolve_threads(None) >= 1);
+    }
+}

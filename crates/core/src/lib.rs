@@ -36,19 +36,30 @@
 //!   of parameters").
 //! * [`dedup`] — cross-source de-duplication and object fusion (the
 //!   architecture's de-duplication stage, Fig. 1).
+//!
+//! Orchestration:
+//!
+//! * [`stage`] — the explicit stage graph (Parse → Clean → Segment →
+//!   Annotate/Sample → Wrap → Extract) with per-stage timings.
+//! * [`exec`] — the deterministic scoped-thread executor driving the
+//!   per-page and per-support fan-out.
 
 pub mod annotate;
 pub mod dedup;
 pub mod eqclass;
+pub mod exec;
 pub mod extract;
 pub mod matching;
 pub mod pipeline;
 pub mod roles;
 pub mod sample;
+pub mod stage;
 pub mod template;
 pub mod tokens;
 pub mod wrapper;
 
 pub use annotate::{annotate_page, AnnotatedPage, Annotation};
+pub use exec::Executor;
 pub use pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineOutcome};
+pub use stage::{Stage, StageTiming};
 pub use wrapper::{generate_wrapper, Wrapper, WrapperError};

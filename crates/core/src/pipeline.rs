@@ -6,15 +6,26 @@
 //! we variate the parameters of the wrapping algorithm and re-execute
 //! it … by variating the support between 3 and 5 pages") → extraction
 //! from all pages.
+//!
+//! The pipeline is *staged*: each step above is a node of the explicit
+//! stage graph in [`crate::stage`], driven by the deterministic fan-out
+//! executor in [`crate::exec`]. Per-page stages run on a worker pool
+//! sized by [`PipelineConfig::threads`] (default: `OBJECTRUNNER_THREADS`
+//! or the machine's available parallelism), and the self-validation
+//! loop evaluates its candidate support values concurrently. All
+//! reductions are index-ordered, so output is byte-identical at any
+//! thread count.
 
 use crate::annotate::AnnotatedPage;
 use crate::eqclass::EqConfig;
+use crate::exec::Executor;
 use crate::roles::DiffConfig;
-use crate::sample::{select_sample, SampleConfig, SampleError, SampleStrategy};
+use crate::sample::{select_sample_timed, SampleConfig, SampleError, SampleStrategy};
+use crate::stage::{clean_stage, parse_stage, segment_stage, Stage, StageTiming};
 use crate::wrapper::{generate_wrapper, Wrapper, WrapperError};
-use objectrunner_html::{clean_document, CleanOptions, Document};
+use objectrunner_html::{CleanOptions, Document};
 use objectrunner_knowledge::recognizer::RecognizerSet;
-use objectrunner_segment::{select_main_block, simplify_to_main_block, LayoutOptions};
+use objectrunner_segment::LayoutOptions;
 use objectrunner_sod::{Instance, Sod};
 use std::time::Instant;
 
@@ -36,6 +47,11 @@ pub struct PipelineConfig {
     /// Exclude annotated data words from template classes (the
     /// ObjectRunner guard; baselines turn this off).
     pub annotations_guard: bool,
+    /// Worker threads for the fan-out stages. `None` (the default)
+    /// resolves `OBJECTRUNNER_THREADS`, falling back to the machine's
+    /// available parallelism; `Some(n)` pins the count explicitly.
+    /// Output is byte-identical at any setting.
+    pub threads: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -48,6 +64,7 @@ impl Default for PipelineConfig {
             use_main_block: true,
             clean: CleanOptions::default(),
             annotations_guard: true,
+            threads: None,
         }
     }
 }
@@ -83,6 +100,19 @@ pub struct PipelineStats {
     pub reruns: usize,
     pub wrapping_micros: u128,
     pub extraction_micros: u128,
+    /// Per-stage wall/CPU timings, in execution order. The Annotate
+    /// entry accounts the annotation rounds *inside* the Sample stage
+    /// (CPU only); Parse appears only for `run_on_html` entry.
+    pub stage_timings: Vec<StageTiming>,
+    /// Worker threads the run used.
+    pub threads: usize,
+}
+
+impl PipelineStats {
+    /// The timing entry of one stage, if it ran.
+    pub fn stage(&self, stage: Stage) -> Option<&StageTiming> {
+        self.stage_timings.iter().find(|t| t.stage == stage)
+    }
 }
 
 /// Pipeline output.
@@ -124,55 +154,90 @@ impl Pipeline {
         &self.sod
     }
 
-    /// Run on raw HTML pages.
+    /// Run on raw HTML pages (the batch entry point: pages parse
+    /// concurrently).
     pub fn run_on_html<S: AsRef<str>>(
         &self,
         pages: &[S],
     ) -> Result<PipelineOutcome, PipelineError> {
-        let docs: Vec<Document> = pages
-            .iter()
-            .map(|h| objectrunner_html::parse(h.as_ref()))
-            .collect();
-        self.run_on_documents(docs)
+        let exec = Executor::from_env(self.config.threads);
+        let refs: Vec<&str> = pages.iter().map(AsRef::as_ref).collect();
+        let (docs, parse_timing) = parse_stage(&exec, &refs);
+        self.run_staged(docs, &exec, vec![parse_timing])
     }
 
     /// Run on already-parsed documents.
-    pub fn run_on_documents(
+    pub fn run_on_documents(&self, docs: Vec<Document>) -> Result<PipelineOutcome, PipelineError> {
+        let exec = Executor::from_env(self.config.threads);
+        self.run_staged(docs, &exec, Vec::new())
+    }
+
+    /// Drive the stage graph over parsed documents.
+    fn run_staged(
         &self,
         mut docs: Vec<Document>,
+        exec: &Executor,
+        mut timings: Vec<StageTiming>,
     ) -> Result<PipelineOutcome, PipelineError> {
-        // 1. Cleaning.
-        for doc in docs.iter_mut() {
-            clean_document(doc, &self.config.clean);
-        }
-        // 2. Main-block simplification.
+        // 1. Cleaning (per page).
+        timings.push(clean_stage(exec, &mut docs, &self.config.clean));
+
+        // 2. Main-block simplification (per-page scoring, whole-source
+        // vote, per-page simplification).
         if self.config.use_main_block {
-            let opts = LayoutOptions::default();
-            if let Some(choice) = select_main_block(&docs, &opts) {
-                for doc in docs.iter_mut() {
-                    let _ = simplify_to_main_block(doc, &choice);
-                }
-            }
+            let (_, timing) = segment_stage(exec, &mut docs, &LayoutOptions::default());
+            timings.push(timing);
         }
 
         let wrap_start = Instant::now();
-        // 3. Annotation + sampling.
-        let sample = select_sample(
-            docs.clone(),
+        // 3. Annotation + sampling (annotation rounds fan out per page;
+        // shrinking and selection are whole-source).
+        let sample_start = Instant::now();
+        let sample_outcome = select_sample_timed(
+            &docs,
             &self.recognizers,
             &self.sod,
             &self.config.sample,
             self.config.strategy,
+            exec,
         )
         .map_err(PipelineError::Sample)?;
+        timings.push(StageTiming {
+            stage: Stage::Annotate,
+            // Annotation has no wall-clock of its own: its rounds are
+            // interleaved with Sample's shrinking, so only CPU is
+            // attributed here.
+            wall_micros: 0,
+            cpu_micros: sample_outcome.annotate_busy.as_micros(),
+        });
+        timings.push(StageTiming::record(
+            Stage::Sample,
+            sample_start,
+            sample_outcome.annotate_busy,
+        ));
+        let sample = sample_outcome.sample;
 
-        // 4. Wrapper generation with the self-validation loop.
-        let (wrapper, reruns) = self.best_wrapper(&sample)?;
+        // 4. Wrapper generation with the self-validation loop (support
+        // values evaluated concurrently).
+        let wrap_stage_start = Instant::now();
+        let (wrapper, reruns, wrap_busy) = self.best_wrapper(&sample, exec)?;
+        timings.push(StageTiming::record(
+            Stage::Wrap,
+            wrap_stage_start,
+            wrap_busy,
+        ));
         let wrapping_micros = wrap_start.elapsed().as_micros();
 
-        // 5. Extraction from all pages.
+        // 5. Extraction from all pages (per page).
         let extract_start = Instant::now();
-        let objects = wrapper.extract_source(&docs);
+        let (per_page, extract_busy) =
+            exec.map_timed(&docs, |_, doc| wrapper.extract_document(doc));
+        let objects: Vec<Instance> = per_page.into_iter().flatten().collect();
+        timings.push(StageTiming::record(
+            Stage::Extract,
+            extract_start,
+            extract_busy,
+        ));
         let extraction_micros = extract_start.elapsed().as_micros();
 
         let stats = PipelineStats {
@@ -184,6 +249,8 @@ impl Pipeline {
             reruns,
             wrapping_micros,
             extraction_micros,
+            stage_timings: timings,
+            threads: exec.threads(),
         };
         Ok(PipelineOutcome {
             objects,
@@ -193,14 +260,21 @@ impl Pipeline {
     }
 
     /// §IV "automatic variation of parameters": run wrapper generation
-    /// for each support value; keep the best-quality wrapper; stop
-    /// early when the quality threshold is reached.
-    fn best_wrapper(&self, sample: &[AnnotatedPage]) -> Result<(Wrapper, usize), PipelineError> {
+    /// for each support value — concurrently — then pick the winner by
+    /// replaying the serial loop's rule over the results in support
+    /// order: best quality wins (earliest support on ties), stopping at
+    /// the first support that reaches the quality threshold. Supports
+    /// past a serial early stop are computed speculatively and
+    /// discarded, so the outcome (wrapper *and* rerun count) is
+    /// byte-identical to the sequential loop.
+    fn best_wrapper(
+        &self,
+        sample: &[AnnotatedPage],
+        exec: &Executor,
+    ) -> Result<(Wrapper, usize, std::time::Duration), PipelineError> {
         let (lo, hi) = self.config.support_range;
-        let mut best: Option<Wrapper> = None;
-        let mut last_err: Option<WrapperError> = None;
-        let mut reruns = 0usize;
-        for support in lo..=hi.max(lo) {
+        let supports: Vec<usize> = (lo..=hi.max(lo)).collect();
+        let (results, busy) = exec.map_timed(&supports, |_, &support| {
             let diff_cfg = DiffConfig {
                 eq: EqConfig {
                     min_support: support,
@@ -209,7 +283,14 @@ impl Pipeline {
                 },
                 ..DiffConfig::default()
             };
-            match generate_wrapper(sample, &self.sod, &diff_cfg) {
+            generate_wrapper(sample, &self.sod, &diff_cfg)
+        });
+
+        let mut best: Option<Wrapper> = None;
+        let mut last_err: Option<WrapperError> = None;
+        let mut reruns = 0usize;
+        for result in results {
+            match result {
                 Ok(w) => {
                     let good_enough = w.quality >= self.config.quality_threshold;
                     if best.as_ref().map(|b| w.quality > b.quality).unwrap_or(true) {
@@ -224,7 +305,7 @@ impl Pipeline {
             reruns += 1;
         }
         match best {
-            Some(w) => Ok((w, reruns.saturating_sub(1))),
+            Some(w) => Ok((w, reruns.saturating_sub(1), busy)),
             None => Err(PipelineError::Wrapper(
                 last_err.unwrap_or(WrapperError::EmptySample),
             )),
@@ -347,5 +428,55 @@ mod tests {
         let pipeline = Pipeline::new(concert_sod(), recognizers(&refs));
         let outcome = pipeline.run_on_html(&pages).expect("runs");
         assert!(outcome.stats.wrapping_micros > 0);
+    }
+
+    #[test]
+    fn stage_timings_cover_the_graph() {
+        let pages = source_pages(10);
+        let known: Vec<String> = (0..10).map(|p| format!("Band{p}x0")).collect();
+        let refs: Vec<&str> = known.iter().map(String::as_str).collect();
+        let pipeline = Pipeline::new(concert_sod(), recognizers(&refs));
+        let outcome = pipeline.run_on_html(&pages).expect("runs");
+        for stage in [
+            Stage::Parse,
+            Stage::Clean,
+            Stage::Segment,
+            Stage::Annotate,
+            Stage::Sample,
+            Stage::Wrap,
+            Stage::Extract,
+        ] {
+            assert!(
+                outcome.stats.stage(stage).is_some(),
+                "missing timing for stage {stage}"
+            );
+        }
+        assert!(outcome.stats.threads >= 1);
+        // The Sample stage dominates the wrap clock together with Wrap.
+        let sample_wall = outcome.stats.stage(Stage::Sample).unwrap().wall_micros;
+        let wrap_wall = outcome.stats.stage(Stage::Wrap).unwrap().wall_micros;
+        assert!(sample_wall + wrap_wall <= outcome.stats.wrapping_micros + 1_000);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let pages = source_pages(12);
+        let known: Vec<String> = (0..12).map(|p| format!("Band{p}x0")).collect();
+        let refs: Vec<&str> = known.iter().map(String::as_str).collect();
+        let run = |threads: usize| {
+            let pipeline =
+                Pipeline::new(concert_sod(), recognizers(&refs)).with_config(PipelineConfig {
+                    threads: Some(threads),
+                    sample: SampleConfig {
+                        sample_size: 8,
+                        ..SampleConfig::default()
+                    },
+                    ..PipelineConfig::default()
+                });
+            let outcome = pipeline.run_on_html(&pages).expect("runs");
+            let objects: Vec<String> = outcome.objects.iter().map(|o| o.to_string()).collect();
+            (objects, outcome.stats.support_used, outcome.stats.reruns)
+        };
+        assert_eq!(run(1), run(8));
     }
 }

@@ -8,13 +8,26 @@
 //! of types and at the one of type instances, and look for entity
 //! matches in a greedy manner, starting from types with likely few
 //! witness pages and instances."
+//!
+//! Pages are **borrowed** throughout: the pool is a list of
+//! `(page index, annotation map)` pairs over `&[Document]`, and only
+//! the final k sample pages are cloned into owned [`AnnotatedPage`]s
+//! for wrapper induction. Annotation rounds and the block-threshold
+//! check fan out per page on the caller's [`Executor`]; every
+//! cross-page reduction runs in page-index order, so the result is
+//! identical at any thread count.
 
-use crate::annotate::{annotate_type, propagate_upwards, AnnotatedPage};
+use crate::annotate::{
+    annotate_type, annotate_type_into, propagate_upwards, propagate_upwards_into, AnnotatedPage,
+    AnnotationMap,
+};
+use crate::exec::Executor;
 use objectrunner_html::{Document, NodeKind};
 use objectrunner_knowledge::recognizer::RecognizerSet;
 use objectrunner_segment::{block_tree, layout_document, LayoutOptions};
 use objectrunner_sod::Sod;
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Sampling parameters.
 #[derive(Debug, Clone)]
@@ -76,24 +89,49 @@ impl std::fmt::Display for SampleError {
 
 impl std::error::Error for SampleError {}
 
+/// A selected, fully annotated sample plus the annotation-stage CPU
+/// accounting the pipeline surfaces in its per-stage timings.
+#[derive(Debug)]
+pub struct SampleOutcome {
+    /// The k sample pages, annotated (the only pages cloned out of the
+    /// borrowed source).
+    pub sample: Vec<AnnotatedPage>,
+    /// Summed worker busy time of the annotation rounds.
+    pub annotate_busy: Duration,
+}
+
 /// Select and annotate the wrapper-induction sample from a source.
 ///
 /// Both strategies return fully annotated pages; they differ only in
 /// *which* pages form the sample (the Table II comparison keeps
-/// everything else equal).
+/// everything else equal). Documents are borrowed — only the selected
+/// sample pages are cloned.
 pub fn select_sample(
-    docs: Vec<Document>,
+    docs: &[Document],
     recognizers: &RecognizerSet,
     sod: &Sod,
     config: &SampleConfig,
     strategy: SampleStrategy,
+    exec: &Executor,
 ) -> Result<Vec<AnnotatedPage>, SampleError> {
+    select_sample_timed(docs, recognizers, sod, config, strategy, exec).map(|o| o.sample)
+}
+
+/// [`select_sample`] with annotation-CPU accounting (pipeline use).
+pub fn select_sample_timed(
+    docs: &[Document],
+    recognizers: &RecognizerSet,
+    sod: &Sod,
+    config: &SampleConfig,
+    strategy: SampleStrategy,
+    exec: &Executor,
+) -> Result<SampleOutcome, SampleError> {
     if docs.is_empty() {
         return Err(SampleError::EmptySource);
     }
     match strategy {
-        SampleStrategy::SodBased => sod_based_sample(docs, recognizers, sod, config),
-        SampleStrategy::Random(seed) => random_sample(docs, recognizers, sod, config, seed),
+        SampleStrategy::SodBased => sod_based_sample(docs, recognizers, sod, config, exec),
+        SampleStrategy::Random(seed) => random_sample(docs, recognizers, sod, config, seed, exec),
     }
 }
 
@@ -112,18 +150,26 @@ fn sod_types<'a>(sod: &'a Sod, recognizers: &RecognizerSet) -> Vec<&'a str> {
         .collect()
 }
 
+/// One pool entry: a page (by index into the borrowed docs) and its
+/// annotations so far.
+struct PoolPage {
+    index: usize,
+    annotations: AnnotationMap,
+}
+
 fn sod_based_sample(
-    docs: Vec<Document>,
+    docs: &[Document],
     recognizers: &RecognizerSet,
     sod: &Sod,
     config: &SampleConfig,
-) -> Result<Vec<AnnotatedPage>, SampleError> {
+    exec: &Executor,
+) -> Result<SampleOutcome, SampleError> {
     let types = sod_types(sod, recognizers);
+    let mut annotate_busy = Duration::ZERO;
     // S := Si
-    let mut pool: Vec<AnnotatedPage> = docs
-        .into_iter()
-        .map(|doc| AnnotatedPage {
-            doc,
+    let mut pool: Vec<PoolPage> = (0..docs.len())
+        .map(|index| PoolPage {
+            index,
             annotations: HashMap::new(),
         })
         .collect();
@@ -131,13 +177,20 @@ fn sod_based_sample(
     let mut min_scores: Vec<f64> = vec![f64::INFINITY; pool.len()];
 
     for type_name in &types {
-        // Annotation round for this type over the current pool.
-        for page in pool.iter_mut() {
-            annotate_type(page, recognizers, type_name);
-        }
+        // Annotation round for this type, fanned out per page.
+        annotate_busy += exec.for_each_mut(&mut pool, |_, page| {
+            annotate_type_into(
+                &docs[page.index],
+                &mut page.annotations,
+                recognizers,
+                type_name,
+            );
+        });
         // Page score for this type (Eq. 3), fold into running minimum.
-        for (page, min_score) in pool.iter().zip(min_scores.iter_mut()) {
-            let s = page_type_score(page, recognizers, type_name);
+        let scores = exec.map(&pool, |_, page| {
+            page_type_score(&docs[page.index], &page.annotations, recognizers, type_name)
+        });
+        for (s, min_score) in scores.into_iter().zip(min_scores.iter_mut()) {
             *min_score = min_score.min(s);
         }
         // Keep the richest pages only (shrink, floor at sample_size).
@@ -157,59 +210,69 @@ fn sod_based_sample(
         min_scores = order.iter().map(|&i| min_scores[i]).collect();
     }
 
-    for page in pool.iter_mut() {
-        propagate_upwards(page);
-    }
+    annotate_busy += exec.for_each_mut(&mut pool, |_, page| {
+        propagate_upwards_into(&docs[page.index], &mut page.annotations);
+    });
 
-    check_block_threshold(&pool, config)?;
+    check_block_threshold(docs, &pool, config, exec)?;
 
     // Final sample: the k most annotated pages. Pages with no
     // annotations at all (interstitials, category browses) never
     // qualify — a short sample beats a polluted one.
     let mut order: Vec<usize> = (0..pool.len())
-        .filter(|&i| pool[i].annotated_node_count() > 0)
+        .filter(|&i| !pool[i].annotations.is_empty())
         .collect();
     if order.is_empty() {
         return Err(SampleError::AnnotationThreshold {
             best_block_avg_milli: 0,
         });
     }
-    order.sort_by_key(|&i| std::cmp::Reverse(pool[i].annotated_node_count()));
+    order.sort_by_key(|&i| std::cmp::Reverse(pool[i].annotations.len()));
     order.truncate(config.sample_size);
     order.sort_unstable();
-    Ok(extract_indices(pool, &order))
+    let sample = extract_indices(pool, &order)
+        .into_iter()
+        .map(|page| AnnotatedPage {
+            doc: docs[page.index].clone(),
+            annotations: page.annotations,
+        })
+        .collect();
+    Ok(SampleOutcome {
+        sample,
+        annotate_busy,
+    })
 }
 
 fn random_sample(
-    docs: Vec<Document>,
+    docs: &[Document],
     recognizers: &RecognizerSet,
     sod: &Sod,
     config: &SampleConfig,
     seed: u64,
-) -> Result<Vec<AnnotatedPage>, SampleError> {
+    exec: &Executor,
+) -> Result<SampleOutcome, SampleError> {
     let types = sod_types(sod, recognizers);
     let k = config.sample_size.min(docs.len());
     let picks = random_indices(docs.len(), k, seed);
-    let chosen: Vec<Document> = docs
-        .into_iter()
+    let mut pages: Vec<AnnotatedPage> = docs
+        .iter()
         .enumerate()
         .filter(|(i, _)| picks.contains(i))
-        .map(|(_, d)| d)
-        .collect();
-    let mut pages: Vec<AnnotatedPage> = chosen
-        .into_iter()
-        .map(|doc| AnnotatedPage {
-            doc,
+        .map(|(_, doc)| AnnotatedPage {
+            doc: doc.clone(),
             annotations: HashMap::new(),
         })
         .collect();
-    for page in pages.iter_mut() {
+    let annotate_busy = exec.for_each_mut(&mut pages, |_, page| {
         for t in &types {
             annotate_type(page, recognizers, t);
         }
         propagate_upwards(page);
-    }
-    Ok(pages)
+    });
+    Ok(SampleOutcome {
+        sample: pages,
+        annotate_busy,
+    })
 }
 
 /// Deterministic k-of-n sampling via an xorshift generator (keeps the
@@ -232,7 +295,7 @@ fn random_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {
     idx
 }
 
-fn extract_indices(pool: Vec<AnnotatedPage>, keep: &[usize]) -> Vec<AnnotatedPage> {
+fn extract_indices(pool: Vec<PoolPage>, keep: &[usize]) -> Vec<PoolPage> {
     pool.into_iter()
         .enumerate()
         .filter(|(i, _)| keep.contains(i))
@@ -245,14 +308,19 @@ fn extract_indices(pool: Vec<AnnotatedPage>, keep: &[usize]) -> Vec<AnnotatedPag
 /// For dictionary types the gazetteer supplies `score(i,t)` and
 /// `tf(i)`; for pattern types each match contributes its confidence
 /// (tf 1), which only matters for the running-minimum ordering.
-fn page_type_score(page: &AnnotatedPage, recognizers: &RecognizerSet, type_name: &str) -> f64 {
+fn page_type_score(
+    doc: &Document,
+    annotations: &AnnotationMap,
+    recognizers: &RecognizerSet,
+    type_name: &str,
+) -> f64 {
     let gaz = recognizers.get(type_name).and_then(|r| r.gazetteer());
     let mut total = 0.0;
-    for (&node, anns) in &page.annotations {
+    for (&node, anns) in annotations {
         if !anns.iter().any(|a| a.type_name == type_name) {
             continue;
         }
-        let NodeKind::Text(text) = &page.doc.node(node).kind else {
+        let NodeKind::Text(text) = &doc.node(node).kind else {
             continue;
         };
         match gaz.and_then(|g| g.get(text)) {
@@ -274,24 +342,43 @@ fn page_type_score(page: &AnnotatedPage, recognizers: &RecognizerSet, type_name:
 /// following condition holds: Σ_{i=1..k} (no. of annotations in
 /// block)/k > α … if we obtain at least one block that satisfies the
 /// given condition, we continue … Otherwise the process is stopped."
-fn check_block_threshold(pool: &[AnnotatedPage], config: &SampleConfig) -> Result<(), SampleError> {
+///
+/// Per-page layout and block counting fan out on the executor; the
+/// per-signature sums are reduced in page order (f64 addition is not
+/// associative, so the fold order is pinned for determinism).
+fn check_block_threshold(
+    docs: &[Document],
+    pool: &[PoolPage],
+    config: &SampleConfig,
+    exec: &Executor,
+) -> Result<(), SampleError> {
     if pool.is_empty() {
         return Err(SampleError::EmptySource);
     }
     let opts = LayoutOptions::default();
-    // Average annotation count per block *signature* across pages.
+    // Per-page block annotation counts, computed concurrently.
+    let per_page: Vec<Vec<(objectrunner_html::PathId, usize)>> = exec.map(pool, |_, page| {
+        let doc = &docs[page.index];
+        let layout = layout_document(doc, &opts);
+        let tree = block_tree(doc, &layout, &opts);
+        tree.blocks
+            .iter()
+            .map(|block| {
+                let sig = objectrunner_html::node_path_id(doc, block.node);
+                let count = doc
+                    .descendants(block.node)
+                    .filter(|id| page.annotations.contains_key(id))
+                    .count();
+                (sig, count)
+            })
+            .collect()
+    });
+    // Average annotation count per block *signature* across pages,
+    // folded in page-index order.
     let mut per_block: objectrunner_html::FxHashMap<objectrunner_html::PathId, f64> =
         objectrunner_html::FxHashMap::default();
-    for page in pool {
-        let layout = layout_document(&page.doc, &opts);
-        let tree = block_tree(&page.doc, &layout, &opts);
-        for block in &tree.blocks {
-            let sig = objectrunner_html::node_path_id(&page.doc, block.node);
-            let count = page
-                .doc
-                .descendants(block.node)
-                .filter(|id| !page.annotations_of(*id).is_empty())
-                .count();
+    for blocks in &per_page {
+        for &(sig, count) in blocks {
             *per_block.entry(sig).or_insert(0.0) += count as f64;
         }
     }
@@ -343,6 +430,10 @@ mod tests {
         parse("<body><div class=\"m\"><p>nothing relevant here at all</p></div></body>")
     }
 
+    fn seq() -> Executor {
+        Executor::sequential()
+    }
+
     #[test]
     fn selects_annotated_pages_over_junk() {
         let mut docs = vec![junk_page(), junk_page()];
@@ -353,8 +444,15 @@ mod tests {
             sample_size: 3,
             ..SampleConfig::default()
         };
-        let sample = select_sample(docs, &recognizers(), &sod(), &cfg, SampleStrategy::SodBased)
-            .expect("sample");
+        let sample = select_sample(
+            &docs,
+            &recognizers(),
+            &sod(),
+            &cfg,
+            SampleStrategy::SodBased,
+            &seq(),
+        )
+        .expect("sample");
         assert_eq!(sample.len(), 3);
         for page in &sample {
             assert!(page.annotated_node_count() > 0, "junk page selected");
@@ -368,19 +466,27 @@ mod tests {
             sample_size: 5,
             ..SampleConfig::default()
         };
-        let err = select_sample(docs, &recognizers(), &sod(), &cfg, SampleStrategy::SodBased)
-            .expect_err("must be discarded");
+        let err = select_sample(
+            &docs,
+            &recognizers(),
+            &sod(),
+            &cfg,
+            SampleStrategy::SodBased,
+            &seq(),
+        )
+        .expect_err("must be discarded");
         assert!(matches!(err, SampleError::AnnotationThreshold { .. }));
     }
 
     #[test]
     fn empty_source_is_an_error() {
         let err = select_sample(
-            vec![],
+            &[],
             &recognizers(),
             &sod(),
             &SampleConfig::default(),
             SampleStrategy::SodBased,
+            &seq(),
         )
         .expect_err("empty");
         assert_eq!(err, SampleError::EmptySource);
@@ -388,35 +494,35 @@ mod tests {
 
     #[test]
     fn random_strategy_is_deterministic_per_seed() {
-        let mk_docs = || -> Vec<Document> {
-            (0..30)
-                .map(|i| {
-                    if i % 3 == 0 {
-                        concert_page("Metallica")
-                    } else {
-                        junk_page()
-                    }
-                })
-                .collect()
-        };
+        let docs: Vec<Document> = (0..30)
+            .map(|i| {
+                if i % 3 == 0 {
+                    concert_page("Metallica")
+                } else {
+                    junk_page()
+                }
+            })
+            .collect();
         let cfg = SampleConfig {
             sample_size: 5,
             ..SampleConfig::default()
         };
         let s1 = select_sample(
-            mk_docs(),
+            &docs,
             &recognizers(),
             &sod(),
             &cfg,
             SampleStrategy::Random(42),
+            &seq(),
         )
         .expect("sample");
         let s2 = select_sample(
-            mk_docs(),
+            &docs,
             &recognizers(),
             &sod(),
             &cfg,
             SampleStrategy::Random(42),
+            &seq(),
         )
         .expect("sample");
         let texts = |s: &[AnnotatedPage]| -> Vec<String> {
@@ -443,8 +549,56 @@ mod tests {
             sample_size: 7,
             ..SampleConfig::default()
         };
-        let sample = select_sample(docs, &recognizers(), &sod(), &cfg, SampleStrategy::SodBased)
-            .expect("sample");
+        let sample = select_sample(
+            &docs,
+            &recognizers(),
+            &sod(),
+            &cfg,
+            SampleStrategy::SodBased,
+            &seq(),
+        )
+        .expect("sample");
         assert_eq!(sample.len(), 7);
+    }
+
+    #[test]
+    fn parallel_selection_matches_sequential() {
+        let docs: Vec<Document> = (0..24)
+            .map(|i| {
+                if i % 4 == 0 {
+                    junk_page()
+                } else {
+                    concert_page(["Metallica", "Madonna", "Muse"][i % 3])
+                }
+            })
+            .collect();
+        let cfg = SampleConfig {
+            sample_size: 6,
+            ..SampleConfig::default()
+        };
+        let render = |s: Vec<AnnotatedPage>| -> Vec<(String, usize)> {
+            s.into_iter()
+                .map(|p| (p.doc.text_content(p.doc.root()), p.annotated_node_count()))
+                .collect()
+        };
+        let s1 = select_sample(
+            &docs,
+            &recognizers(),
+            &sod(),
+            &cfg,
+            SampleStrategy::SodBased,
+            &Executor::sequential(),
+        )
+        .expect("sequential sample");
+        let s8 = select_sample(
+            &docs,
+            &recognizers(),
+            &sod(),
+            &cfg,
+            SampleStrategy::SodBased,
+            &Executor::new(8),
+        )
+        .expect("parallel sample");
+        assert_eq!(render(s1), render(s8));
     }
 }

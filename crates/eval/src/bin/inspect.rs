@@ -46,8 +46,9 @@ fn main() {
             let _ = objectrunner_segment::simplify_to_main_block(d, &choice);
         }
     }
+    let exec = objectrunner_core::exec::Executor::from_env(None);
     let sample = select_sample(
-        docs.clone(),
+        &docs,
         &recognizers,
         &sod,
         &SampleConfig {
@@ -55,6 +56,7 @@ fn main() {
             ..Default::default()
         },
         SampleStrategy::SodBased,
+        &exec,
     )
     .expect("sample");
     let mut src = SourceTokens::from_pages(&sample);

@@ -27,6 +27,7 @@ fn main() {
                     SampleStrategy::SodBased,
                     knowledge::recognizers_for(Domain::Publications, 0.2),
                     (support, support),
+                    None,
                 )
                 .report
             })
@@ -48,6 +49,7 @@ fn main() {
                 SampleStrategy::SodBased,
                 knowledge::recognizers_for(Domain::Publications, 0.2),
                 (3, 5),
+                None,
             )
             .report
         })

@@ -57,20 +57,24 @@ pub fn run_objectrunner_with(
     coverage: f64,
 ) -> SourceRun {
     let recognizers = knowledge::recognizers_for(source.spec.domain, coverage);
-    run_objectrunner_custom(source, strategy, recognizers, (3, 5))
+    run_objectrunner_custom(source, strategy, recognizers, (3, 5), None)
 }
 
 /// Fully parameterized ObjectRunner run (used by the support sweep).
+/// `threads` pins the worker-pool size; `None` defers to
+/// `OBJECTRUNNER_THREADS` / available parallelism.
 pub fn run_objectrunner_custom(
     source: &Source,
     strategy: SampleStrategy,
     recognizers: RecognizerSet,
     support_range: (usize, usize),
+    threads: Option<usize>,
 ) -> SourceRun {
     let sod = source.spec.domain.sod();
     let config = PipelineConfig {
         strategy,
         support_range,
+        threads,
         sample: objectrunner_core::sample::SampleConfig {
             sample_size: SAMPLE_SIZE,
             ..Default::default()

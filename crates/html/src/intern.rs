@@ -23,6 +23,7 @@
 //! with the distinct vocabulary of the corpus, which is the same
 //! asymptote the pre-interning code paid *per occurrence*.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -119,24 +120,47 @@ fn symbols() -> &'static RwLock<SymbolTable> {
     })
 }
 
+thread_local! {
+    /// Per-thread read cache in front of the `RwLock`-guarded symbol
+    /// table: hot vocabularies (tag names, common words) resolve
+    /// without ever touching the lock. Safe because the global table
+    /// is append-only — a cached `(str → Symbol)` entry can never go
+    /// stale — and bounded by the distinct vocabulary, like the table.
+    static SYMBOL_CACHE: RefCell<FxHashMap<&'static str, Symbol>> =
+        RefCell::new(FxHashMap::default());
+}
+
 impl Symbol {
     /// Intern `s`, returning its stable handle.
     pub fn intern(s: &str) -> Symbol {
+        SYMBOL_CACHE.with(|cache| {
+            if let Some(&sym) = cache.borrow().get(s) {
+                return sym;
+            }
+            let (sym, leaked) = Symbol::intern_global(s);
+            cache.borrow_mut().insert(leaked, sym);
+            sym
+        })
+    }
+
+    /// Intern against the shared table, returning the handle and the
+    /// leaked key (for thread-local caching).
+    fn intern_global(s: &str) -> (Symbol, &'static str) {
         {
             let table = symbols().read().expect("symbol table poisoned");
-            if let Some(&id) = table.map.get(s) {
-                return Symbol(id);
+            if let Some((&leaked, &id)) = table.map.get_key_value(s) {
+                return (Symbol(id), leaked);
             }
         }
         let mut table = symbols().write().expect("symbol table poisoned");
-        if let Some(&id) = table.map.get(s) {
-            return Symbol(id);
+        if let Some((&leaked, &id)) = table.map.get_key_value(s) {
+            return (Symbol(id), leaked);
         }
         let id = table.strings.len() as u32;
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
         table.strings.push(leaked);
         table.map.insert(leaked, id);
-        Symbol(id)
+        (Symbol(id), leaked)
     }
 
     /// Intern the ASCII-lowercased form of `s`, skipping the lowercase
@@ -232,6 +256,16 @@ pub fn path_probe_count() -> u64 {
     PATH_PROBES.load(Ordering::Relaxed)
 }
 
+thread_local! {
+    /// Per-thread read cache in front of the path table, mirroring
+    /// [`SYMBOL_CACHE`]: parsing N pages with the same template walks
+    /// the same `(parent, segment)` edges on every worker, and the
+    /// cache keeps those off the lock. Append-only table ⇒ entries
+    /// never go stale.
+    static PATH_CACHE: RefCell<FxHashMap<(PathId, Symbol), PathId>> =
+        RefCell::new(FxHashMap::default());
+}
+
 impl PathId {
     /// The empty path (the document root).
     pub const ROOT: PathId = PathId(0);
@@ -239,6 +273,16 @@ impl PathId {
     /// The path `self/segment`, interned.
     pub fn child(self, segment: Symbol) -> PathId {
         PATH_PROBES.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = PATH_CACHE.with(|c| c.borrow().get(&(self, segment)).copied()) {
+            return hit;
+        }
+        let id = self.child_global(segment);
+        PATH_CACHE.with(|c| c.borrow_mut().insert((self, segment), id));
+        id
+    }
+
+    /// Extend against the shared table (thread-local cache miss).
+    fn child_global(self, segment: Symbol) -> PathId {
         {
             let table = paths().read().expect("path table poisoned");
             if let Some(&id) = table.map.get(&(self, segment)) {
@@ -402,6 +446,54 @@ mod tests {
         assert_ne!(hash_of("a"), hash_of("aa"), "length must matter");
         // Byte-order sensitivity within a chunk.
         assert_ne!(hash_of("abcdefgh"), hash_of("hgfedcba"));
+    }
+
+    #[test]
+    fn symbols_agree_across_threads() {
+        // Every thread has its own read cache, but all caches front the
+        // same append-only table: the same string must resolve to the
+        // same Symbol everywhere, warm or cold.
+        let words: Vec<String> = (0..64).map(|i| format!("xthread-sym-{i}")).collect();
+        let home: Vec<Symbol> = words.iter().map(|w| Symbol::intern(w)).collect();
+        let others: Vec<Vec<Symbol>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| scope.spawn(|| words.iter().map(|w| Symbol::intern(w)).collect()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        for theirs in others {
+            assert_eq!(theirs, home);
+        }
+        // Second resolution on this thread is a cache hit — still equal.
+        let again: Vec<Symbol> = words.iter().map(|w| Symbol::intern(w)).collect();
+        assert_eq!(again, home);
+    }
+
+    #[test]
+    fn paths_agree_across_threads() {
+        let tags: Vec<Symbol> = (0..16)
+            .map(|i| Symbol::intern(&format!("xthread-tag-{i}")))
+            .collect();
+        let chain = |tags: &[Symbol]| {
+            tags.iter()
+                .fold(PathId::ROOT, |path, &segment| path.child(segment))
+        };
+        let home = chain(&tags);
+        let others: Vec<PathId> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| scope.spawn(|| chain(&tags)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        for theirs in others {
+            assert_eq!(theirs, home);
+        }
+        assert_eq!(chain(&tags), home, "warm-cache rebuild is stable");
+        assert_eq!(home.depth(), 16);
     }
 
     #[test]

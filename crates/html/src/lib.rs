@@ -59,3 +59,40 @@ pub fn parse_clean(input: &str) -> Document {
     clean::clean_document(&mut doc, &CleanOptions::default());
     doc
 }
+
+/// Parse a batch of HTML pages into documents, preserving order.
+///
+/// The batch entry point pipelines use: callers may hand the slice to
+/// concurrent workers — [`Document`] is `Send + Sync` (a `Vec`-backed
+/// arena with no interior mutability), and the interners behind
+/// [`Symbol`]/[`PathId`] are process-wide and thread-safe, so documents
+/// parsed on different threads remain structurally comparable.
+pub fn parse_batch<S: AsRef<str>>(pages: &[S]) -> Vec<Document> {
+    pages.iter().map(|p| parse(p.as_ref())).collect()
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    /// Compile-time guarantee that pages can cross thread boundaries —
+    /// the contract the pipeline executor relies on.
+    #[test]
+    fn document_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Document>();
+        assert_send_sync::<Symbol>();
+        assert_send_sync::<PathId>();
+    }
+
+    #[test]
+    fn parse_batch_matches_parse() {
+        let pages = ["<p>one</p>", "<ul><li>a<li>b</ul>"];
+        let batch = parse_batch(&pages);
+        assert_eq!(batch.len(), 2);
+        for (doc, page) in batch.iter().zip(pages) {
+            let solo = parse(page);
+            assert_eq!(to_html(doc, doc.root()), to_html(&solo, solo.root()));
+        }
+    }
+}

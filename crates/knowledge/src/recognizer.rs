@@ -284,6 +284,11 @@ fn dictionary_phrase_match(g: &Gazetteer, text: &str) -> Option<TypeMatch> {
 }
 
 /// The recognizers for all entity types of an SOD, keyed by type name.
+///
+/// `RecognizerSet` is `Send + Sync`: recognition is a pure read
+/// (gazetteer lookups and regex matching hold no interior mutability),
+/// so one set can be shared by reference across the pipeline's
+/// annotation workers without cloning or locking.
 #[derive(Debug, Clone, Default)]
 pub struct RecognizerSet {
     by_type: HashMap<String, Recognizer>,
@@ -351,6 +356,15 @@ impl RecognizerSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Compile-time guarantee backing the pipeline's shared-reference
+    /// annotation fan-out.
+    #[test]
+    fn recognizer_set_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RecognizerSet>();
+        assert_send_sync::<Recognizer>();
+    }
 
     #[test]
     fn date_recognizer_accepts_paper_formats() {

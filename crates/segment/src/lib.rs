@@ -26,4 +26,6 @@ pub mod main_block;
 
 pub use blocks::{block_tree, Block, BlockTree};
 pub use layout::{layout_document, LayoutOptions, Rect};
-pub use main_block::{select_main_block, simplify_to_main_block, MainBlockChoice};
+pub use main_block::{
+    score_page, select_main_block, simplify_to_main_block, vote_main_block, MainBlockChoice,
+};

@@ -42,7 +42,11 @@ fn block_score(rect: &Rect, viewport_width: f64, page_height: f64) -> f64 {
     rect.area() * centrality * vert_penalty
 }
 
-fn best_block_on_page(doc: &Document, opts: &LayoutOptions) -> Option<(NodeSignature, f64)> {
+/// Per-page half of main-block selection: lay the page out and score
+/// its candidate blocks, returning the best block's cross-page
+/// signature and score. Pages are independent, so callers may run this
+/// concurrently; [`vote_main_block`] folds the per-page results.
+pub fn score_page(doc: &Document, opts: &LayoutOptions) -> Option<(NodeSignature, f64)> {
     let layout = layout_document(doc, opts);
     let tree: BlockTree = block_tree(doc, &layout, opts);
     let page_height = tree.root().map(|b| b.rect.h).unwrap_or(0.0);
@@ -68,9 +72,21 @@ fn best_block_on_page(doc: &Document, opts: &LayoutOptions) -> Option<(NodeSigna
 /// a template): run the per-page heuristic, then vote across pages so
 /// the block is identified by a signature that exists on (most) pages.
 pub fn select_main_block(pages: &[Document], opts: &LayoutOptions) -> Option<MainBlockChoice> {
+    vote_main_block(pages.iter().map(|doc| score_page(doc, opts)))
+}
+
+/// Cross-page half of main-block selection: fold per-page
+/// [`score_page`] results into the winning block. The vote is a
+/// sequential reduction, so feeding it per-page results **in page
+/// order** yields the same choice whether the scoring ran sequentially
+/// or fanned out across threads.
+pub fn vote_main_block<I>(choices: I) -> Option<MainBlockChoice>
+where
+    I: IntoIterator<Item = Option<(NodeSignature, f64)>>,
+{
     let mut votes: Vec<(NodeSignature, usize, f64)> = Vec::new();
-    for doc in pages {
-        let Some((sig, score)) = best_block_on_page(doc, opts) else {
+    for choice in choices {
+        let Some((sig, score)) = choice else {
             continue;
         };
         match votes.iter_mut().find(|(s, _, _)| *s == sig) {

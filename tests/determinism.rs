@@ -1,0 +1,126 @@
+//! Determinism guard for the staged, parallel pipeline.
+//!
+//! The stage graph fans per-page work out across a worker pool, but
+//! every reduction is index-ordered and every whole-source fold is
+//! sequential, so `threads = 8` must produce a `PipelineOutcome` that
+//! is byte-identical to `threads = 1` — same objects *in the same
+//! extraction order*, same wrapper, same support/rerun accounting.
+//!
+//! The comparison here deliberately does NOT sort the extracted
+//! instances (unlike the golden snapshots): page-scan order is part of
+//! what fan-out could scramble, so it is part of what we pin.
+//!
+//! Note: both runs share this process's interners, so Symbol/PathId
+//! ids are identical by construction here; the cross-process variant
+//! of this guard is `ci.sh` running the whole suite (including the
+//! golden snapshots) under `OBJECTRUNNER_THREADS=8` in a fresh process.
+
+use objectrunner::core::pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineOutcome};
+use objectrunner::core::sample::SampleConfig;
+use objectrunner::webgen::{generate_site, knowledge, Domain, PageKind, SiteSpec};
+use proptest::prelude::*;
+
+/// Everything observable about an outcome, as one comparable string.
+fn fingerprint(outcome: &PipelineOutcome) -> String {
+    let objects: Vec<String> = outcome.objects.iter().map(|o| o.to_string()).collect();
+    format!(
+        "objects:\n{}\nwrapper: {:?}\nsupport: {} splits: {} rounds: {} reruns: {} pages: {} sample: {}",
+        objects.join("\n"),
+        outcome.wrapper,
+        outcome.stats.support_used,
+        outcome.stats.conflict_splits,
+        outcome.stats.rounds,
+        outcome.stats.reruns,
+        outcome.stats.pages,
+        outcome.stats.sample_pages,
+    )
+}
+
+fn run_with_threads(
+    domain: Domain,
+    pages: &[String],
+    threads: usize,
+    sample_size: usize,
+) -> Result<String, String> {
+    let pipeline = Pipeline::new(domain.sod(), knowledge::recognizers_for(domain, 0.2))
+        .with_config(PipelineConfig {
+            threads: Some(threads),
+            sample: SampleConfig {
+                sample_size,
+                ..SampleConfig::default()
+            },
+            ..PipelineConfig::default()
+        });
+    match pipeline.run_on_html(pages) {
+        Ok(outcome) => Ok(fingerprint(&outcome)),
+        // Errors must be deterministic too: compare their rendering.
+        Err(e @ PipelineError::Sample(_)) => Err(format!("{e}")),
+        Err(e @ PipelineError::Wrapper(_)) => Err(format!("{e}")),
+    }
+}
+
+/// The PR 1 golden corpus: same specs as `golden_equivalence.rs`.
+fn golden_corpus(domain: Domain, index: usize) -> Vec<String> {
+    let spec = SiteSpec::clean(
+        &format!("golden-{}", domain.name()),
+        domain,
+        PageKind::List,
+        15,
+        17_000 + index as u64,
+    );
+    generate_site(&spec).pages
+}
+
+#[test]
+fn parallel_run_is_byte_identical_on_golden_corpus() {
+    for (i, domain) in Domain::ALL.into_iter().enumerate() {
+        let pages = golden_corpus(domain, i);
+        let sequential = run_with_threads(domain, &pages, 1, 12);
+        let parallel = run_with_threads(domain, &pages, 8, 12);
+        assert_eq!(
+            sequential,
+            parallel,
+            "{}: threads=8 diverged from threads=1",
+            domain.name()
+        );
+        assert!(
+            sequential.is_ok(),
+            "{}: golden corpus must wrap",
+            domain.name()
+        );
+    }
+}
+
+#[test]
+fn oversubscribed_pool_is_also_identical() {
+    // More workers than pages: every worker gets at most one item and
+    // the reduction still reassembles page order.
+    let pages = golden_corpus(Domain::Concerts, 0);
+    assert_eq!(
+        run_with_threads(Domain::Concerts, &pages, 1, 12),
+        run_with_threads(Domain::Concerts, &pages, 64, 12),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized sources (domain × size × seed × sample size): the
+    /// parallel run must match the sequential run on every generated
+    /// source — including sources the pipeline *rejects*, where both
+    /// must fail with the same error.
+    #[test]
+    fn parallel_matches_sequential_on_generated_sources(
+        domain_idx in 0usize..Domain::ALL.len(),
+        pages in 6usize..14,
+        seed in 0u64..1_000,
+        sample_size in 5usize..12,
+    ) {
+        let domain = Domain::ALL[domain_idx];
+        let spec = SiteSpec::clean("determinism-prop", domain, PageKind::List, pages, seed);
+        let source = generate_site(&spec).pages;
+        let sequential = run_with_threads(domain, &source, 1, sample_size);
+        let parallel = run_with_threads(domain, &source, 8, sample_size);
+        prop_assert_eq!(sequential, parallel);
+    }
+}

@@ -25,4 +25,36 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Serving-layer smoke: drive the objectrunner-serve daemon through the
+# full wrapper lifecycle over its line-delimited JSON protocol —
+# induce a golden source, extract twice from the cache (the second
+# must be a cache hit with no Wrap stage in its timings), feed a
+# drifted batch, and require the stale -> re-induced transition to
+# show up in the response and in `status`.
+echo "==> serve smoke (cache hit + drift -> re-induce)"
+SERVE=target/release/objectrunner-serve
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+"$SERVE" seed-corpus --domain concerts --name smoke --seed 17000 --pages 15 \
+         --out "$SMOKE/clean" 2>/dev/null
+"$SERVE" seed-corpus --domain concerts --name smoke --seed 17000 --pages 15 \
+         --drift 0.8 --out "$SMOKE/drifted" 2>/dev/null
+{
+  echo "{\"cmd\":\"induce\",\"source\":\"smoke\",\"domain\":\"concerts\",\"dir\":\"$SMOKE/clean\"}"
+  echo "{\"cmd\":\"extract\",\"source\":\"smoke\",\"dir\":\"$SMOKE/clean\"}"
+  echo "{\"cmd\":\"extract\",\"source\":\"smoke\",\"dir\":\"$SMOKE/clean\"}"
+  echo "{\"cmd\":\"extract\",\"source\":\"smoke\",\"dir\":\"$SMOKE/drifted\"}"
+  echo "{\"cmd\":\"status\"}"
+} | "$SERVE" --store "$SMOKE/wrappers" > "$SMOKE/session.jsonl"
+test "$(wc -l < "$SMOKE/session.jsonl")" -eq 5
+grep -q '"ok":true' "$SMOKE/session.jsonl"
+! grep -q '"ok":false' "$SMOKE/session.jsonl"
+sed -n 1p "$SMOKE/session.jsonl" | grep -q '"stage":"wrap"'       # induce ran Wrap
+sed -n 3p "$SMOKE/session.jsonl" | grep -q '"cache":"hit"'        # cached path
+! sed -n 3p "$SMOKE/session.jsonl" | grep -q '"stage":"wrap"'     # ... skipped Wrap
+sed -n 4p "$SMOKE/session.jsonl" | grep -q '"reinduced":true'     # drift repaired
+sed -n 5p "$SMOKE/session.jsonl" | grep -q '"state":"reinduced"'  # status agrees
+sed -n 5p "$SMOKE/session.jsonl" | grep -q '"revision":2'
+echo "    serve smoke OK"
+
 echo "CI OK"

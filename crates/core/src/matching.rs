@@ -9,9 +9,10 @@
 //! the SOD should match separators that (i) belong to the same
 //! equivalence class, and (ii) have annotations for these types."
 
-use crate::template::{GapKind, NodeMultiplicity, TemplateTree};
+use crate::extract::page_stream;
+use crate::template::{GapKind, Matcher, NodeMultiplicity, TemplateTree};
 use crate::tokens::SourceTokens;
-use objectrunner_html::{FxHashMap, Symbol};
+use objectrunner_html::{Document, FxHashMap, FxHashSet, PageToken, PathId, Symbol};
 use objectrunner_sod::{canonicalize, Sod, SodNode};
 
 /// A gap address inside the template tree.
@@ -372,6 +373,91 @@ fn score_mapping(tree: &TemplateTree, mapping: &TupleMapping) -> i64 {
     score
 }
 
+/// The wrapper slots drift detection watches: the deduplicated
+/// separator matchers of every template node the SOD mapping touches —
+/// the record anchor, the nodes holding its atomics' gaps, and set
+/// nodes with their element tuples, recursively. Slots outside the
+/// mapping are template noise: a redesign of page regions the wrapper
+/// never reads should not flag it stale.
+pub fn wrapper_slots(tree: &TemplateTree, mapping: &SodMapping) -> Vec<Matcher> {
+    let mut nodes: Vec<usize> = Vec::new();
+    collect_mapping_nodes(&mapping.record, &mut nodes);
+    nodes.sort_unstable();
+    nodes.dedup();
+    let mut slots: Vec<Matcher> = Vec::new();
+    for n in nodes {
+        for &m in &tree.nodes[n].matchers {
+            if !slots.contains(&m) {
+                slots.push(m);
+            }
+        }
+    }
+    slots
+}
+
+fn collect_mapping_nodes(mapping: &TupleMapping, out: &mut Vec<usize>) {
+    out.push(mapping.anchor);
+    for (_, gap) in &mapping.atomics {
+        out.push(gap.node);
+    }
+    for set in &mapping.sets {
+        match set {
+            SetMapping::Repeated { set_node, element } => {
+                out.push(*set_node);
+                collect_mapping_nodes(element, out);
+            }
+            SetMapping::Collapsed { gap, .. } => out.push(gap.node),
+        }
+    }
+}
+
+/// Per-page template-drift measurement (serving layer): of the
+/// wrapper's slots, how many failed to align anywhere on the page.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriftReport {
+    /// Total wrapper slots checked.
+    pub slots: usize,
+    /// Slots with no `(token, path)` occurrence on the page.
+    pub misaligned: usize,
+}
+
+impl DriftReport {
+    /// Drift score in `[0, 1]`: the fraction of slots that fail to
+    /// align. 0 = the template still fits perfectly (attribute
+    /// reordering and class renames are invisible — matchers carry tag
+    /// names and tag paths only); 1 = no slot aligns at all.
+    pub fn score(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.misaligned as f64 / self.slots as f64
+        }
+    }
+}
+
+/// Score one (cleaned, simplified) page against a wrapper's slots.
+/// A slot aligns when its exact `(token, path)` pair occurs anywhere in
+/// the page stream — the same test the extraction scan performs, so a
+/// page scoring 0 is one every matcher can in principle be located on.
+pub fn drift_score(tree: &TemplateTree, mapping: &SodMapping, doc: &Document) -> DriftReport {
+    let slots = wrapper_slots(tree, mapping);
+    if slots.is_empty() {
+        return DriftReport::default();
+    }
+    let present: FxHashSet<(PageToken, PathId)> = page_stream(doc)
+        .into_iter()
+        .map(|t| (t.token, t.path))
+        .collect();
+    let misaligned = slots
+        .iter()
+        .filter(|m| !present.contains(&(m.token, m.path)))
+        .count();
+    DriftReport {
+        slots: slots.len(),
+        misaligned,
+    }
+}
+
 /// §III-E abort test: a partial matching can still exist only if the
 /// required atomic types have annotated witnesses in the sample. "For
 /// each of the missing parts … there is still some untreated token
@@ -639,6 +725,50 @@ mod tests {
             .build();
         let mapping = match_sod(&tree, &sod).expect("match with merged fields");
         assert!(mapping.record.has_merged_fields());
+    }
+
+    #[test]
+    fn drift_score_is_zero_on_template_pages_and_one_on_redesigns() {
+        let pages: Vec<AnnotatedPage> = [2usize, 3, 2, 4]
+            .iter()
+            .map(|&n| page_with_columns(n, &["artist", "date"], 1))
+            .collect();
+        let (_, tree) = tree_for(&pages);
+        let sod = SodBuilder::tuple("concert")
+            .entity("artist", Multiplicity::One)
+            .entity("date", Multiplicity::One)
+            .build();
+        let mapping = match_sod(&tree, &sod).expect("full match");
+        assert!(
+            !wrapper_slots(&tree, &mapping).is_empty(),
+            "mapping yields slots"
+        );
+
+        // Unseen page, same template: every slot aligns.
+        let same = parse(
+            "<body><ul><li><div>artist value 9 0</div><div>date value 9 1</div></li></ul></body>",
+        );
+        let report = drift_score(&tree, &mapping, &same);
+        assert_eq!(report.misaligned, 0);
+        assert_eq!(report.score(), 0.0);
+
+        // Redesigned container (<ol>): every tag path shifts, nothing
+        // aligns.
+        let redesigned = parse(
+            "<body><ol><li><div>artist value 9 0</div><div>date value 9 1</div></li></ol></body>",
+        );
+        let report = drift_score(&tree, &mapping, &redesigned);
+        assert_eq!(report.misaligned, report.slots);
+        assert_eq!(report.score(), 1.0);
+
+        // Partial drift (cells renamed <div> → <p>): record separators
+        // still align, cell separators do not.
+        let partial =
+            parse("<body><ul><li><p>artist value 9 0</p><p>date value 9 1</p></li></ul></body>");
+        let report = drift_score(&tree, &mapping, &partial);
+        assert!(report.misaligned > 0 && report.misaligned < report.slots);
+        let s = report.score();
+        assert!(s > 0.0 && s < 1.0, "partial drift score {s}");
     }
 
     #[test]

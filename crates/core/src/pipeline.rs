@@ -21,11 +21,13 @@ use crate::eqclass::EqConfig;
 use crate::exec::Executor;
 use crate::roles::DiffConfig;
 use crate::sample::{select_sample_timed, SampleConfig, SampleError, SampleStrategy};
-use crate::stage::{clean_stage, parse_stage, segment_stage, Stage, StageTiming};
+use crate::stage::{
+    apply_block_stage, clean_stage, extract_stage, parse_stage, segment_stage, Stage, StageTiming,
+};
 use crate::wrapper::{generate_wrapper, Wrapper, WrapperError};
 use objectrunner_html::{CleanOptions, Document};
 use objectrunner_knowledge::recognizer::RecognizerSet;
-use objectrunner_segment::LayoutOptions;
+use objectrunner_segment::{LayoutOptions, MainBlockChoice};
 use objectrunner_sod::{Instance, Sod};
 use std::time::Instant;
 
@@ -113,6 +115,42 @@ impl PipelineStats {
     pub fn stage(&self, stage: Stage) -> Option<&StageTiming> {
         self.stage_timings.iter().find(|t| t.stage == stage)
     }
+
+    /// Machine-readable JSON form (one object, no trailing newline).
+    /// Key order is fixed, so equal stats render byte-identically;
+    /// consumed by the eval runners' `--stats-json` mode and the serve
+    /// protocol.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"pages\":{},\"sample_pages\":{},\"support_used\":{},\
+             \"conflict_splits\":{},\"rounds\":{},\"reruns\":{},\
+             \"wrapping_micros\":{},\"extraction_micros\":{},\"threads\":{},\
+             \"stage_timings\":[",
+            self.pages,
+            self.sample_pages,
+            self.support_used,
+            self.conflict_splits,
+            self.rounds,
+            self.reruns,
+            self.wrapping_micros,
+            self.extraction_micros,
+            self.threads
+        ));
+        for (i, t) in self.stage_timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stage\":\"{}\",\"wall_micros\":{},\"cpu_micros\":{}}}",
+                t.stage.name(),
+                t.wall_micros,
+                t.cpu_micros
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 /// Pipeline output.
@@ -122,7 +160,74 @@ pub struct PipelineOutcome {
     pub objects: Vec<Instance>,
     /// The wrapper that produced them.
     pub wrapper: Wrapper,
+    /// The main-block choice the segment stage voted (None when
+    /// simplification is off or no candidate block was found). A
+    /// persisted wrapper carries this so the extract-only path can
+    /// replay the identical simplification on unseen pages.
+    pub main_block: Option<MainBlockChoice>,
     pub stats: PipelineStats,
+}
+
+/// Output of the extract-only fast path ([`extract_only`]).
+#[derive(Debug)]
+pub struct ExtractOutcome {
+    /// Extracted instances, page boundaries preserved.
+    pub per_page: Vec<Vec<Instance>>,
+    /// The prepared (cleaned + simplified) documents, for callers that
+    /// need to score them afterwards (drift detection).
+    pub docs: Vec<Document>,
+    /// Stage timings of the fast path: Parse/Clean/Segment/Extract
+    /// only — no Annotate, Sample or Wrap entries, proving induction
+    /// was skipped.
+    pub stats: PipelineStats,
+}
+
+impl ExtractOutcome {
+    /// All instances, pages concatenated.
+    pub fn objects(&self) -> Vec<&Instance> {
+        self.per_page.iter().flatten().collect()
+    }
+}
+
+/// Apply an already-induced wrapper to raw pages, skipping induction
+/// entirely: Parse → Clean → Segment (replaying `main_block`) →
+/// Extract. The preparation steps mirror [`Pipeline::run_on_html`]
+/// byte-for-byte — same cleaning options, same block simplification —
+/// so on pages of the unchanged template the output is identical to a
+/// fresh pipeline run with this wrapper.
+pub fn extract_only<S: AsRef<str>>(
+    wrapper: &Wrapper,
+    main_block: Option<&MainBlockChoice>,
+    clean: &CleanOptions,
+    pages: &[S],
+    threads: Option<usize>,
+) -> ExtractOutcome {
+    let exec = Executor::from_env(threads);
+    let refs: Vec<&str> = pages.iter().map(AsRef::as_ref).collect();
+    let (mut docs, parse_timing) = parse_stage(&exec, &refs);
+    let mut timings = vec![parse_timing];
+    timings.push(clean_stage(&exec, &mut docs, clean));
+    if let Some(choice) = main_block {
+        timings.push(apply_block_stage(&exec, &mut docs, choice));
+    }
+    let extract_start = Instant::now();
+    let (per_page, extract_timing) = extract_stage(&exec, wrapper, &docs);
+    timings.push(extract_timing);
+    let stats = PipelineStats {
+        pages: docs.len(),
+        support_used: wrapper.support,
+        conflict_splits: wrapper.conflict_splits,
+        rounds: wrapper.rounds,
+        extraction_micros: extract_start.elapsed().as_micros(),
+        stage_timings: timings,
+        threads: exec.threads(),
+        ..PipelineStats::default()
+    };
+    ExtractOutcome {
+        per_page,
+        docs,
+        stats,
+    }
 }
 
 /// The ObjectRunner engine for one source.
@@ -184,8 +289,10 @@ impl Pipeline {
 
         // 2. Main-block simplification (per-page scoring, whole-source
         // vote, per-page simplification).
+        let mut main_block: Option<MainBlockChoice> = None;
         if self.config.use_main_block {
-            let (_, timing) = segment_stage(exec, &mut docs, &LayoutOptions::default());
+            let (choice, timing) = segment_stage(exec, &mut docs, &LayoutOptions::default());
+            main_block = choice;
             timings.push(timing);
         }
 
@@ -230,14 +337,9 @@ impl Pipeline {
 
         // 5. Extraction from all pages (per page).
         let extract_start = Instant::now();
-        let (per_page, extract_busy) =
-            exec.map_timed(&docs, |_, doc| wrapper.extract_document(doc));
+        let (per_page, extract_timing) = extract_stage(exec, &wrapper, &docs);
         let objects: Vec<Instance> = per_page.into_iter().flatten().collect();
-        timings.push(StageTiming::record(
-            Stage::Extract,
-            extract_start,
-            extract_busy,
-        ));
+        timings.push(extract_timing);
         let extraction_micros = extract_start.elapsed().as_micros();
 
         let stats = PipelineStats {
@@ -255,6 +357,7 @@ impl Pipeline {
         Ok(PipelineOutcome {
             objects,
             wrapper,
+            main_block,
             stats,
         })
     }
@@ -456,6 +559,68 @@ mod tests {
         let sample_wall = outcome.stats.stage(Stage::Sample).unwrap().wall_micros;
         let wrap_wall = outcome.stats.stage(Stage::Wrap).unwrap().wall_micros;
         assert!(sample_wall + wrap_wall <= outcome.stats.wrapping_micros + 1_000);
+    }
+
+    #[test]
+    fn extract_only_matches_full_pipeline() {
+        let pages = source_pages(12);
+        let known: Vec<String> = (0..12).step_by(3).map(|p| format!("Band{p}x0")).collect();
+        let refs: Vec<&str> = known.iter().map(String::as_str).collect();
+        let config = PipelineConfig {
+            sample: SampleConfig {
+                sample_size: 8,
+                ..SampleConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let pipeline = Pipeline::new(concert_sod(), recognizers(&refs)).with_config(config.clone());
+        let outcome = pipeline.run_on_html(&pages).expect("pipeline succeeds");
+        assert!(outcome.main_block.is_some(), "segment vote captured");
+
+        let fast = extract_only(
+            &outcome.wrapper,
+            outcome.main_block.as_ref(),
+            &config.clean,
+            &pages,
+            None,
+        );
+        let fast_objects: Vec<String> = fast.objects().iter().map(|o| o.to_string()).collect();
+        let full_objects: Vec<String> = outcome.objects.iter().map(|o| o.to_string()).collect();
+        assert_eq!(fast_objects, full_objects, "fast path diverged");
+
+        // Induction stages never ran on the fast path.
+        for stage in [Stage::Annotate, Stage::Sample, Stage::Wrap] {
+            assert!(
+                fast.stats.stage(stage).is_none(),
+                "{stage} ran on fast path"
+            );
+        }
+        for stage in [Stage::Parse, Stage::Clean, Stage::Segment, Stage::Extract] {
+            assert!(fast.stats.stage(stage).is_some(), "{stage} missing");
+        }
+    }
+
+    #[test]
+    fn stats_json_is_machine_readable() {
+        let stats = PipelineStats {
+            pages: 3,
+            sample_pages: 2,
+            support_used: 4,
+            stage_timings: vec![StageTiming {
+                stage: Stage::Parse,
+                wall_micros: 10,
+                cpu_micros: 9,
+            }],
+            threads: 1,
+            ..PipelineStats::default()
+        };
+        let json = stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"pages\":3"));
+        assert!(json.contains("\"stage\":\"parse\""));
+        assert!(json.contains("\"wall_micros\":10"));
+        // Fixed key order: equal stats render byte-identically.
+        assert_eq!(json, stats.clone().to_json());
     }
 
     #[test]

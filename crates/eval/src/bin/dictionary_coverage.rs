@@ -3,6 +3,7 @@
 use objectrunner_eval::tables::{corpus_sources, coverage_sweep, render_coverage};
 
 fn main() {
+    objectrunner_eval::parse_stats_json_flag(std::env::args().skip(1).collect());
     eprintln!("generating corpus…");
     let sources = corpus_sources();
     eprintln!("sweeping dictionary coverage (20%, 10%, 5%, 2%)…");

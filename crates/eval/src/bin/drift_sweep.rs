@@ -1,0 +1,125 @@
+//! E10 — template-drift sweep: how much redesign can a stored wrapper
+//! absorb, when does the drift detector fire, and does re-induction
+//! recover full precision?
+//!
+//! For three domains, a wrapper is induced on the clean template, then
+//! the *same objects* are re-rendered through drift strengths 0–1
+//! (`webgen::generate_drifted`). At each strength we report the mean
+//! per-page drift score, whether the serving layer would flag the
+//! wrapper stale (threshold 0.5), the cached wrapper's precision on
+//! the drifted pages, and the precision after re-inducing from them.
+//!
+//! Usage: `cargo run --release -p objectrunner-eval --bin drift_sweep [--stats-json]`
+
+use objectrunner_core::matching::drift_score;
+use objectrunner_core::pipeline::{extract_only, Pipeline, PipelineConfig};
+use objectrunner_core::sample::SampleConfig;
+use objectrunner_eval::classify::{classify_source, ExtractedObject};
+use objectrunner_eval::runners::instance_to_object;
+use objectrunner_sod::Instance;
+use objectrunner_webgen::{generate_drifted, generate_site, knowledge, Domain, PageKind, SiteSpec};
+
+const STRENGTHS: [f64; 6] = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
+const THRESHOLD: f64 = 0.5;
+
+fn pipeline_for(domain: Domain) -> Pipeline {
+    let config = PipelineConfig {
+        sample: SampleConfig {
+            sample_size: 12,
+            ..SampleConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    Pipeline::new(domain.sod(), knowledge::recognizers_for(domain, 0.2)).with_config(config)
+}
+
+fn to_objects(per_page: &[Vec<Instance>], domain: Domain) -> Vec<Vec<ExtractedObject>> {
+    let sod = domain.sod();
+    per_page
+        .iter()
+        .map(|page| page.iter().map(|i| instance_to_object(i, &sod)).collect())
+        .collect()
+}
+
+fn main() {
+    objectrunner_eval::parse_stats_json_flag(std::env::args().skip(1).collect());
+    println!("E10 — TEMPLATE-DRIFT SWEEP (threshold {THRESHOLD})");
+    println!(
+        "{:<14} {:>9} {:>7} {:>7} {:>10} {:>12}",
+        "Domain", "strength", "drift", "stale", "Pc cached", "Pc reinduced"
+    );
+
+    for (i, domain) in [Domain::Concerts, Domain::Books, Domain::Cars]
+        .into_iter()
+        .enumerate()
+    {
+        let mut spec = SiteSpec::clean(
+            &format!("drift-{}", domain.name().to_lowercase()),
+            domain,
+            PageKind::List,
+            15,
+            17_100 + i as u64,
+        );
+        spec.style = 0;
+        let clean_source = generate_site(&spec);
+        let pipeline = pipeline_for(domain);
+        let outcome = pipeline
+            .run_on_html(&clean_source.pages)
+            .expect("clean source must induce");
+        let wrapper = outcome.wrapper;
+        let main_block = outcome.main_block;
+        let clean_opts = PipelineConfig::default().clean;
+
+        for strength in STRENGTHS {
+            let drifted = generate_drifted(&spec, strength);
+            let cached = extract_only(
+                &wrapper,
+                main_block.as_ref(),
+                &clean_opts,
+                &drifted.pages,
+                None,
+            );
+            let mean_drift = cached
+                .docs
+                .iter()
+                .map(|d| drift_score(&wrapper.template, &wrapper.mapping, d).score())
+                .sum::<f64>()
+                / cached.docs.len() as f64;
+            let stale = mean_drift >= THRESHOLD;
+
+            let cached_pc =
+                classify_source(&drifted, &to_objects(&cached.per_page, domain), false).pc();
+
+            // The serving layer's repair: re-induce from the drifted
+            // pages themselves (only meaningful once flagged stale).
+            let reinduced_pc = if stale {
+                let repaired = pipeline_for(domain)
+                    .run_on_html(&drifted.pages)
+                    .expect("drifted source must re-induce");
+                let per_page = extract_only(
+                    &repaired.wrapper,
+                    repaired.main_block.as_ref(),
+                    &clean_opts,
+                    &drifted.pages,
+                    None,
+                )
+                .per_page;
+                format!(
+                    "{:>12.2}",
+                    classify_source(&drifted, &to_objects(&per_page, domain), false).pc() * 100.0
+                )
+            } else {
+                format!("{:>12}", "—")
+            };
+
+            println!(
+                "{:<14} {:>9.2} {:>7.2} {:>7} {:>10.2} {reinduced_pc}",
+                domain.name(),
+                strength,
+                mean_drift,
+                if stale { "yes" } else { "no" },
+                cached_pc * 100.0,
+            );
+        }
+    }
+}

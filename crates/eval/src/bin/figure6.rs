@@ -5,6 +5,7 @@ use objectrunner_eval::figures::{figure6a, figure6b, render_figure6a, render_fig
 use objectrunner_eval::tables::{corpus_sources, table3};
 
 fn main() {
+    objectrunner_eval::parse_stats_json_flag(std::env::args().skip(1).collect());
     eprintln!("generating corpus…");
     let sources = corpus_sources();
     eprintln!("running all three systems…");

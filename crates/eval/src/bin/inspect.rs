@@ -2,7 +2,10 @@
 //! for one corpus source (classes, template tree, gap annotations, SOD
 //! mapping, and sample extractions).
 //!
-//! Usage: `cargo run --release -p objectrunner-eval --bin inspect -- <site-name>`
+//! Usage: `cargo run --release -p objectrunner-eval --bin inspect -- <site-name> [--stats-json]`
+//!
+//! `--stats-json` appends one machine-readable line with the full
+//! pipeline stats (per-stage wall/CPU timings included).
 
 use objectrunner_core::matching::match_sod;
 use objectrunner_core::pipeline::{Pipeline, PipelineConfig};
@@ -14,8 +17,10 @@ use objectrunner_html::{clean_document, parse, CleanOptions};
 use objectrunner_webgen::{generate_site, knowledge, paper_corpus};
 
 fn main() {
-    let name = std::env::args()
-        .nth(1)
+    let args = objectrunner_eval::parse_stats_json_flag(std::env::args().skip(1).collect());
+    let name = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "towerrecords".into());
     let corpus = paper_corpus();
     let spec = corpus
@@ -130,6 +135,13 @@ fn main() {
                 println!("  {obj}");
             }
             println!("truth[0][0]: {:?}", source.truth[0][0].attrs);
+            if objectrunner_eval::stats_json_enabled() {
+                println!(
+                    "{{\"source\":\"{}\",\"system\":\"OR\",\"stats\":{}}}",
+                    spec.name,
+                    o.stats.to_json()
+                );
+            }
         }
         Err(e) => println!("pipeline error: {e}"),
     }

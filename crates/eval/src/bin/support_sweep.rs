@@ -7,6 +7,7 @@ use objectrunner_eval::tables::domain_precision;
 use objectrunner_webgen::{knowledge, paper_corpus, Domain};
 
 fn main() {
+    objectrunner_eval::parse_stats_json_flag(std::env::args().skip(1).collect());
     eprintln!("generating publication sources…");
     let corpus = paper_corpus();
     let sources: Vec<_> = corpus

@@ -4,6 +4,7 @@
 use objectrunner_eval::tables::{corpus_sources, render_table1, table1};
 
 fn main() {
+    objectrunner_eval::parse_stats_json_flag(std::env::args().skip(1).collect());
     eprintln!("generating 49-source corpus…");
     let sources = corpus_sources();
     eprintln!("running ObjectRunner on every source…");

@@ -3,6 +3,7 @@
 use objectrunner_eval::tables::{corpus_sources, render_table3, table3};
 
 fn main() {
+    objectrunner_eval::parse_stats_json_flag(std::env::args().skip(1).collect());
     eprintln!("generating corpus…");
     let sources = corpus_sources();
     eprintln!("running OR, EA and RR on every source…");

@@ -14,7 +14,13 @@
 //!   incompletely-managed source rates.
 //!
 //! Binaries: `table1`, `table2`, `table3`, `figure6`,
-//! `dictionary_coverage` (Appendix A), `support_sweep` (Appendix B).
+//! `dictionary_coverage` (Appendix A), `support_sweep` (Appendix B),
+//! `drift_sweep` (E7: template-drift strength vs detection/repair).
+//!
+//! Every binary that drives the ObjectRunner pipeline accepts
+//! `--stats-json`, which makes the runners print one machine-readable
+//! line per source (`{"source":..,"system":..,"stats":{..}}`) with
+//! per-stage wall/CPU timings alongside the human-readable output.
 
 pub mod classify;
 pub mod figures;
@@ -22,4 +28,18 @@ pub mod runners;
 pub mod tables;
 
 pub use classify::{classify_source, AttrStatus, ExtractedObject, ObjectStatus, SourceReport};
-pub use runners::{run_exalg, run_objectrunner, run_roadrunner, SourceRun, SystemId};
+pub use runners::{
+    run_exalg, run_objectrunner, run_roadrunner, set_stats_json, stats_json_enabled, SourceRun,
+    SystemId,
+};
+
+/// Consume `--stats-json` from a binary's argument list: enables the
+/// runners' per-source stats emission and returns the remaining args.
+pub fn parse_stats_json_flag(args: Vec<String>) -> Vec<String> {
+    let (flags, rest): (Vec<String>, Vec<String>) =
+        args.into_iter().partition(|a| a == "--stats-json");
+    if !flags.is_empty() {
+        set_stats_json(true);
+    }
+    rest
+}

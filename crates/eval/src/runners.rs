@@ -4,12 +4,13 @@
 use crate::classify::{align_fields, classify_source, ExtractedObject, SourceReport};
 use objectrunner_baselines::exalg::{self, ExalgConfig};
 use objectrunner_baselines::roadrunner;
-use objectrunner_core::pipeline::{Pipeline, PipelineConfig, PipelineError};
+use objectrunner_core::pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineStats};
 use objectrunner_core::sample::SampleStrategy;
 use objectrunner_html::{clean_document, parse, CleanOptions, Document};
 use objectrunner_knowledge::recognizer::RecognizerSet;
 use objectrunner_sod::Instance;
 use objectrunner_webgen::{knowledge, Source};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The compared systems.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,35 @@ pub struct SourceRun {
     pub report: SourceReport,
     /// Wrapping wall-clock in microseconds (ObjectRunner only).
     pub wrapping_micros: Option<u128>,
+    /// Full pipeline stats — stage timings included (ObjectRunner
+    /// only; `None` when the source was discarded or a baseline ran).
+    pub stats: Option<PipelineStats>,
+}
+
+/// When set, every ObjectRunner run prints one machine-readable line
+/// per source to stdout: `{"source":..,"system":"OR","stats":{..}}`.
+/// Toggled by the eval binaries' `--stats-json` flag.
+static STATS_JSON: AtomicBool = AtomicBool::new(false);
+
+/// Enable/disable per-source stats-JSON emission process-wide.
+pub fn set_stats_json(on: bool) {
+    STATS_JSON.store(on, Ordering::Relaxed);
+}
+
+/// Is `--stats-json` emission on?
+pub fn stats_json_enabled() -> bool {
+    STATS_JSON.load(Ordering::Relaxed)
+}
+
+fn emit_stats_json(source: &Source, system: SystemId, stats: &PipelineStats) {
+    if stats_json_enabled() {
+        println!(
+            "{{\"source\":\"{}\",\"system\":\"{}\",\"stats\":{}}}",
+            source.spec.name,
+            system.abbrev(),
+            stats.to_json()
+        );
+    }
 }
 
 /// Default dictionary coverage (the paper's ≥20% condition).
@@ -99,21 +129,25 @@ pub fn run_objectrunner_custom(
                         .collect()
                 })
                 .collect();
+            emit_stats_json(source, SystemId::ObjectRunner, &outcome.stats);
             SourceRun {
                 system: SystemId::ObjectRunner,
                 report: classify_source(source, &per_page, false),
                 wrapping_micros: Some(outcome.stats.wrapping_micros),
+                stats: Some(outcome.stats),
             }
         }
         Err(PipelineError::Sample(_)) => SourceRun {
             system: SystemId::ObjectRunner,
             report: classify_source(source, &[], true),
             wrapping_micros: None,
+            stats: None,
         },
         Err(PipelineError::Wrapper(_)) => SourceRun {
             system: SystemId::ObjectRunner,
             report: classify_source(source, &[], false),
             wrapping_micros: None,
+            stats: None,
         },
     }
 }
@@ -171,6 +205,7 @@ pub fn run_exalg(source: &Source) -> SourceRun {
         system: SystemId::ExAlg,
         report: classify_source(source, &typed, false),
         wrapping_micros: None,
+        stats: None,
     }
 }
 
@@ -190,6 +225,7 @@ pub fn run_roadrunner(source: &Source) -> SourceRun {
         system: SystemId::RoadRunner,
         report: classify_source(source, &typed, false),
         wrapping_micros: None,
+        stats: None,
     }
 }
 

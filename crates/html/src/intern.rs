@@ -304,6 +304,21 @@ impl PathId {
         PathId(id)
     }
 
+    /// Re-intern a path from externalized segment strings — the inverse
+    /// of [`PathId::segments`] + [`Symbol::as_str`]. `PathId`s are
+    /// process-local handles, so persisted wrappers store paths as
+    /// segment lists; loading rebuilds the same identity in the current
+    /// process's table.
+    pub fn from_segments<I, S>(segments: I) -> PathId
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        segments.into_iter().fold(PathId::ROOT, |path, seg| {
+            path.child(Symbol::intern(seg.as_ref()))
+        })
+    }
+
     /// Parent path; `None` at the root.
     pub fn parent(self) -> Option<PathId> {
         if self == PathId::ROOT {
@@ -423,6 +438,17 @@ mod tests {
         assert_eq!(PathId::ROOT.render(), "");
         assert!(PathId::ROOT.parent().is_none());
         assert!(PathId::ROOT.last().is_none());
+    }
+
+    #[test]
+    fn from_segments_round_trips() {
+        let p = PathId::ROOT
+            .child(Symbol::intern("html"))
+            .child(Symbol::intern("body"))
+            .child(Symbol::intern("ul"));
+        let strings: Vec<&str> = p.segments().iter().map(|s| s.as_str()).collect();
+        assert_eq!(PathId::from_segments(strings), p);
+        assert_eq!(PathId::from_segments(Vec::<&str>::new()), PathId::ROOT);
     }
 
     #[test]

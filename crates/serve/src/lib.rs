@@ -1,0 +1,15 @@
+//! # objectrunner-serve
+//!
+//! The serving layer over the wrapper store: a long-running daemon
+//! that answers extraction requests from the wrapper cache, skipping
+//! Parse→Wrap induction entirely on the cached path, while watching
+//! each source for **template drift** — the site shipping a redesign
+//! that silently breaks the stored wrapper.
+//!
+//! See [`service`] for the protocol and drift lifecycle, and
+//! `src/main.rs` for the `objectrunner-serve` binary (stdin/TCP
+//! loop, `seed-corpus`, `extract-file`).
+
+pub mod service;
+
+pub use service::{instance_json, ServeConfig, Service, WrapperState};

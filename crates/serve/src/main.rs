@@ -1,0 +1,270 @@
+//! `objectrunner-serve` — the wrapper-serving daemon.
+//!
+//! Default mode is a long-running service speaking line-delimited JSON
+//! on stdin/stdout (and optionally TCP via `--listen`):
+//!
+//! ```text
+//! objectrunner-serve --store wrappers
+//!   {"cmd":"induce","source":"shop","domain":"books","dir":"pages/"}
+//!   {"cmd":"extract","source":"shop","dir":"pages/"}
+//!   {"cmd":"status"}
+//! ```
+//!
+//! Two auxiliary subcommands support scripting and testing:
+//!
+//! * `seed-corpus` — write a synthetic source's pages to a directory
+//!   (`--drift` renders the same objects through a mutated template);
+//! * `extract-file` — load a stored wrapper in *this* (cold) process
+//!   and extract a page directory, printing one canonical JSON line
+//!   per object. Exercises the store's cold-process fidelity: the
+//!   loading process has empty interner tables.
+
+use objectrunner_core::pipeline::extract_only;
+use objectrunner_serve::service::instance_json;
+use objectrunner_serve::{ServeConfig, Service};
+use objectrunner_store::load_file;
+use objectrunner_webgen::{generate_drifted, Domain, PageKind, SiteSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("seed-corpus") => seed_corpus(&args[1..]),
+        Some("extract-file") => extract_file(&args[1..]),
+        Some("--help" | "-h") => {
+            print!("{HELP}");
+            0
+        }
+        _ => serve(&args),
+    };
+    std::process::exit(code);
+}
+
+const HELP: &str = "\
+objectrunner-serve — wrapper-serving daemon (line-delimited JSON)
+
+USAGE:
+  objectrunner-serve [--store DIR] [--threshold F] [--threads N] [--listen ADDR]
+  objectrunner-serve seed-corpus --domain D --name NAME --out DIR \\
+                     [--seed N] [--pages N] [--style K] [--drift S]
+  objectrunner-serve extract-file --wrapper FILE --pages DIR
+
+PROTOCOL (one JSON object per line on stdin; one response per line):
+  {\"cmd\":\"induce\",\"source\":S,\"domain\":D,\"pages\":[..]|\"dir\":PATH}
+  {\"cmd\":\"extract\",\"source\":S,\"pages\":[..]|\"dir\":PATH}
+  {\"cmd\":\"status\"}
+";
+
+/// Pull `--flag value` out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn serve(args: &[String]) -> i32 {
+    let mut config = ServeConfig::default();
+    if let Some(dir) = flag(args, "--store") {
+        config.store_dir = PathBuf::from(dir);
+    }
+    if let Some(t) = flag(args, "--threshold") {
+        match t.parse() {
+            Ok(v) => config.drift_threshold = v,
+            Err(_) => {
+                eprintln!("bad --threshold '{t}'");
+                return 2;
+            }
+        }
+    }
+    if let Some(n) = flag(args, "--threads") {
+        match n.parse() {
+            Ok(v) => config.threads = Some(v),
+            Err(_) => {
+                eprintln!("bad --threads '{n}'");
+                return 2;
+            }
+        }
+    }
+    let service = Arc::new(Mutex::new(Service::new(config)));
+
+    let listening = flag(args, "--listen").is_some();
+    if let Some(addr) = flag(args, "--listen") {
+        let listener = match TcpListener::bind(&addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("listen {addr}: {e}");
+                return 2;
+            }
+        };
+        eprintln!("listening on {addr}");
+        let tcp_service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                let service = Arc::clone(&tcp_service);
+                std::thread::spawn(move || {
+                    let reader = BufReader::new(match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    });
+                    let mut writer = stream;
+                    for line in reader.lines().map_while(Result::ok) {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        let response = service.lock().expect("service lock").handle_line(&line);
+                        if writeln!(writer, "{response}").is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    // Stdin loop: EOF shuts the daemon down — unless a TCP listener is
+    // up, in which case the daemon keeps serving connections (running
+    // under an init system typically means stdin is closed from the
+    // start).
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    for line in stdin.lock().lines().map_while(Result::ok) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.lock().expect("service lock").handle_line(&line);
+        let mut out = stdout.lock();
+        if writeln!(out, "{response}")
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+    if listening {
+        eprintln!("stdin closed; serving TCP only");
+        loop {
+            std::thread::park();
+        }
+    }
+    0
+}
+
+fn seed_corpus(args: &[String]) -> i32 {
+    let domain = match flag(args, "--domain").as_deref().and_then(Domain::by_name) {
+        Some(d) => d,
+        None => {
+            eprintln!("seed-corpus: missing or unknown --domain");
+            return 2;
+        }
+    };
+    let name = match flag(args, "--name") {
+        Some(n) => n,
+        None => {
+            eprintln!("seed-corpus: missing --name");
+            return 2;
+        }
+    };
+    let out = match flag(args, "--out") {
+        Some(o) => PathBuf::from(o),
+        None => {
+            eprintln!("seed-corpus: missing --out");
+            return 2;
+        }
+    };
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17_000);
+    let pages: usize = flag(args, "--pages")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    let drift: f64 = flag(args, "--drift")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0);
+
+    let mut spec = SiteSpec::clean(&name, domain, PageKind::List, pages, seed);
+    if let Some(style) = flag(args, "--style").and_then(|s| s.parse().ok()) {
+        spec.style = style;
+    }
+    let source = generate_drifted(&spec, drift);
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("seed-corpus: {}: {e}", out.display());
+        return 1;
+    }
+    for (i, page) in source.pages.iter().enumerate() {
+        let path = out.join(format!("page-{i:03}.html"));
+        if let Err(e) = std::fs::write(&path, page) {
+            eprintln!("seed-corpus: {}: {e}", path.display());
+            return 1;
+        }
+    }
+    eprintln!(
+        "seed-corpus: wrote {} pages ({} objects) to {}",
+        source.pages.len(),
+        source.object_count(),
+        out.display()
+    );
+    0
+}
+
+fn extract_file(args: &[String]) -> i32 {
+    let wrapper_path = match flag(args, "--wrapper") {
+        Some(w) => PathBuf::from(w),
+        None => {
+            eprintln!("extract-file: missing --wrapper");
+            return 2;
+        }
+    };
+    let pages_dir = match flag(args, "--pages") {
+        Some(p) => PathBuf::from(p),
+        None => {
+            eprintln!("extract-file: missing --pages");
+            return 2;
+        }
+    };
+    let stored = match load_file(&wrapper_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("extract-file: {}: {e}", wrapper_path.display());
+            return 1;
+        }
+    };
+    let pages = match read_pages(&pages_dir) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("extract-file: {e}");
+            return 1;
+        }
+    };
+    let outcome = extract_only(
+        &stored.wrapper,
+        stored.main_block.as_ref(),
+        &stored.clean,
+        &pages,
+        None,
+    );
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for object in outcome.objects() {
+        if writeln!(out, "{}", instance_json(object).render()).is_err() {
+            return 1;
+        }
+    }
+    0
+}
+
+fn read_pages(dir: &Path) -> Result<Vec<String>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "html"))
+        .collect();
+    files.sort();
+    files
+        .iter()
+        .map(|p| std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display())))
+        .collect()
+}

@@ -1,0 +1,511 @@
+//! The serving core: wrapper cache, drift detection, re-induction.
+//!
+//! A [`Service`] owns a set of sources, each with a persisted wrapper
+//! (see `objectrunner-store`). The protocol is line-delimited JSON —
+//! one request object in, one response object out:
+//!
+//! * `{"cmd":"induce","source":S,"domain":D,"pages":[..]}` — run the
+//!   full Parse→Wrap pipeline, persist the wrapper, respond with the
+//!   extracted objects and stage timings (Wrap included);
+//! * `{"cmd":"extract","source":S,"pages":[..]}` — the cached fast
+//!   path: load the stored wrapper, skip induction entirely
+//!   (Parse/Clean/Segment/Extract only), score template drift per
+//!   page, and — past the threshold — flag the wrapper stale and
+//!   re-induce from the buffered drifted pages;
+//! * `{"cmd":"status"}` — per-source counters, lifecycle state and
+//!   the transition log.
+//!
+//! Page input is either inline (`"pages": [html, ..]`) or a directory
+//! of `*.html` files (`"dir": "path"`, lexicographic order).
+//!
+//! ## The drift lifecycle
+//!
+//! Every cached extraction computes the fraction of wrapper slots
+//! (the separator matchers the SOD mapping reads) that fail to align
+//! on each page (`core::matching::drift_score`). Pages at or above
+//! [`ServeConfig::drift_threshold`] enter a bounded buffer. When a
+//! batch's mean drift crosses the threshold the wrapper is flagged
+//! **stale**; once the buffer holds [`ServeConfig::min_reinduce_pages`]
+//! drifted pages, the service re-induces *from those pages only* —
+//! mixing clean and drifted pages would hand the sampler two templates
+//! at once — bumps the stored revision, persists, and replays the
+//! current batch through the repaired wrapper.
+
+use objectrunner_core::matching::drift_score;
+use objectrunner_core::pipeline::{extract_only, Pipeline, PipelineConfig};
+use objectrunner_core::sample::SampleConfig;
+use objectrunner_sod::Instance;
+use objectrunner_store::{load_file, save_file, Json, StoredWrapper};
+use objectrunner_webgen::knowledge::recognizers_for;
+use objectrunner_webgen::Domain;
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Directory holding the persisted `<source>.orw` wrapper files.
+    pub store_dir: PathBuf,
+    /// Mean per-page drift at or above which a wrapper is stale.
+    pub drift_threshold: f64,
+    /// Capacity of the per-source drifted-page buffer.
+    pub buffer_pages: usize,
+    /// Drifted pages required before re-induction fires.
+    pub min_reinduce_pages: usize,
+    /// Recognizer coverage for (re-)induction.
+    pub coverage: f64,
+    /// Sample size k for (re-)induction.
+    pub sample_size: usize,
+    /// Worker threads (None = `OBJECTRUNNER_THREADS` / machine).
+    pub threads: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            store_dir: PathBuf::from("wrappers"),
+            drift_threshold: 0.5,
+            buffer_pages: 32,
+            min_reinduce_pages: 6,
+            coverage: 0.2,
+            sample_size: 12,
+            threads: None,
+        }
+    }
+}
+
+/// Lifecycle state of a served wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WrapperState {
+    /// Extracting within drift tolerance.
+    Fresh,
+    /// Drift crossed the threshold; awaiting enough buffered pages.
+    Stale,
+    /// Re-induced from drifted pages since it was last stale.
+    Reinduced,
+}
+
+impl WrapperState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WrapperState::Fresh => "fresh",
+            WrapperState::Stale => "stale",
+            WrapperState::Reinduced => "reinduced",
+        }
+    }
+}
+
+/// Per-source serving state.
+struct SourceEntry {
+    stored: StoredWrapper,
+    state: WrapperState,
+    extracts: u64,
+    cache_hits: u64,
+    drift_events: u64,
+    /// Recent drifted pages: (html, drift score), bounded.
+    buffer: VecDeque<(String, f64)>,
+    /// Human-readable lifecycle transitions, oldest first.
+    log: Vec<String>,
+}
+
+impl SourceEntry {
+    fn new(stored: StoredWrapper) -> SourceEntry {
+        SourceEntry {
+            stored,
+            state: WrapperState::Fresh,
+            extracts: 0,
+            cache_hits: 0,
+            drift_events: 0,
+            buffer: VecDeque::new(),
+            log: Vec::new(),
+        }
+    }
+}
+
+/// The serving core. Owns the wrapper cache; one instance per daemon.
+pub struct Service {
+    config: ServeConfig,
+    sources: BTreeMap<String, SourceEntry>,
+}
+
+fn err(msg: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::str(msg)),
+    ])
+}
+
+/// Canonical JSON form of an extracted instance; fixed key order, so
+/// equal instances render byte-identically (the round-trip tests and
+/// the `extract-file` cold-process check compare these strings).
+pub fn instance_json(instance: &Instance) -> Json {
+    match instance {
+        Instance::Atomic { type_name, value } => Json::Obj(vec![
+            ("t".into(), Json::str(type_name)),
+            ("v".into(), Json::str(value)),
+        ]),
+        Instance::Tuple { name, fields } => Json::Obj(vec![
+            ("tuple".into(), Json::str(name)),
+            (
+                "fields".into(),
+                Json::Arr(fields.iter().map(instance_json).collect()),
+            ),
+        ]),
+        Instance::Set(items) => Json::Obj(vec![(
+            "set".into(),
+            Json::Arr(items.iter().map(instance_json).collect()),
+        )]),
+    }
+}
+
+impl Service {
+    pub fn new(config: ServeConfig) -> Service {
+        Service {
+            config,
+            sources: BTreeMap::new(),
+        }
+    }
+
+    /// Handle one protocol line, producing one response line (no
+    /// trailing newline). Never panics on malformed input.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        let response = match Json::parse(line) {
+            Ok(req) => self.handle(&req),
+            Err(e) => err(&format!("bad request: {e}")),
+        };
+        response.render()
+    }
+
+    fn handle(&mut self, req: &Json) -> Json {
+        match req.get("cmd").and_then(Json::as_str) {
+            Some("induce") => self.induce(req),
+            Some("extract") => self.extract(req),
+            Some("status") => self.status(),
+            Some(other) => err(&format!("unknown cmd '{other}'")),
+            None => err("missing 'cmd'"),
+        }
+    }
+
+    /// The wrapper file for a source.
+    fn wrapper_path(&self, source: &str) -> PathBuf {
+        self.config.store_dir.join(format!("{source}.orw"))
+    }
+
+    fn pipeline_config(&self) -> PipelineConfig {
+        PipelineConfig {
+            sample: SampleConfig {
+                sample_size: self.config.sample_size,
+                ..SampleConfig::default()
+            },
+            threads: self.config.threads,
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// Induce (or re-induce) a wrapper from scratch on the given pages.
+    fn induce_wrapper(
+        &self,
+        source: &str,
+        domain: Domain,
+        revision: u64,
+        pages: &[String],
+    ) -> Result<(StoredWrapper, Vec<Instance>, String), String> {
+        let sod = domain.sod();
+        let recognizers = recognizers_for(domain, self.config.coverage);
+        let config = self.pipeline_config();
+        let clean = config.clean.clone();
+        let pipeline = Pipeline::new(sod.clone(), recognizers).with_config(config);
+        let outcome = pipeline
+            .run_on_html(pages)
+            .map_err(|e| format!("induction failed: {e}"))?;
+        let stored = StoredWrapper {
+            source: source.to_owned(),
+            domain: domain.name().to_lowercase(),
+            revision,
+            sod,
+            wrapper: outcome.wrapper,
+            main_block: outcome.main_block,
+            clean,
+        };
+        Ok((stored, outcome.objects, outcome.stats.to_json()))
+    }
+
+    fn induce(&mut self, req: &Json) -> Json {
+        let source = match req.get("source").and_then(Json::as_str) {
+            Some(s) => s.to_owned(),
+            None => return err("missing 'source'"),
+        };
+        let domain = match req.get("domain").and_then(Json::as_str) {
+            Some(name) => match Domain::by_name(name) {
+                Some(d) => d,
+                None => return err(&format!("unknown domain '{name}'")),
+            },
+            None => return err("missing 'domain'"),
+        };
+        let pages = match request_pages(req) {
+            Ok(p) => p,
+            Err(e) => return err(&e),
+        };
+        let revision = self
+            .sources
+            .get(&source)
+            .map(|e| e.stored.revision + 1)
+            .unwrap_or(1);
+        let (stored, objects, stats) = match self.induce_wrapper(&source, domain, revision, &pages)
+        {
+            Ok(r) => r,
+            Err(e) => return err(&e),
+        };
+        if let Err(e) = self.persist(&stored) {
+            return err(&e);
+        }
+        let mut entry = SourceEntry::new(stored);
+        entry.log.push(format!(
+            "induced: revision {revision}, {} pages",
+            pages.len()
+        ));
+        let response = Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("cmd".into(), Json::str("induce")),
+            ("source".into(), Json::str(&source)),
+            ("revision".into(), Json::int(revision as i64)),
+            ("quality".into(), Json::Float(entry.stored.wrapper.quality)),
+            ("count".into(), Json::int(objects.len())),
+            (
+                "objects".into(),
+                Json::Arr(objects.iter().map(instance_json).collect()),
+            ),
+            ("stats".into(), Json::Raw(stats)),
+        ]);
+        self.sources.insert(source, entry);
+        response
+    }
+
+    fn persist(&self, stored: &StoredWrapper) -> Result<(), String> {
+        std::fs::create_dir_all(&self.config.store_dir).map_err(|e| format!("store dir: {e}"))?;
+        save_file(&self.wrapper_path(&stored.source), stored).map_err(|e| format!("persist: {e}"))
+    }
+
+    /// Ensure a source is in the in-memory cache, loading from the
+    /// store directory on first use (daemon restart survival).
+    fn warm(&mut self, source: &str) -> Result<(), String> {
+        if self.sources.contains_key(source) {
+            return Ok(());
+        }
+        let path = self.wrapper_path(source);
+        if !path.exists() {
+            return Err(format!("unknown source '{source}' (no wrapper stored)"));
+        }
+        let stored = load_file(&path).map_err(|e| format!("load: {e}"))?;
+        let mut entry = SourceEntry::new(stored);
+        entry.log.push(format!(
+            "loaded: revision {} from {}",
+            entry.stored.revision,
+            path.display()
+        ));
+        self.sources.insert(source.to_owned(), entry);
+        Ok(())
+    }
+
+    fn extract(&mut self, req: &Json) -> Json {
+        let source = match req.get("source").and_then(Json::as_str) {
+            Some(s) => s.to_owned(),
+            None => return err("missing 'source'"),
+        };
+        let pages = match request_pages(req) {
+            Ok(p) => p,
+            Err(e) => return err(&e),
+        };
+        if pages.is_empty() {
+            return err("no pages");
+        }
+        if let Err(e) = self.warm(&source) {
+            return err(&e);
+        }
+
+        let threads = self.config.threads;
+        let threshold = self.config.drift_threshold;
+        let entry = self.sources.get_mut(&source).expect("warmed");
+        entry.extracts += 1;
+        entry.cache_hits += 1;
+
+        // Cached fast path: no induction stages run.
+        let outcome = extract_only(
+            &entry.stored.wrapper,
+            entry.stored.main_block.as_ref(),
+            &entry.stored.clean,
+            &pages,
+            threads,
+        );
+
+        // Score template drift on the prepared documents.
+        let scores: Vec<f64> = outcome
+            .docs
+            .iter()
+            .map(|doc| {
+                drift_score(
+                    &entry.stored.wrapper.template,
+                    &entry.stored.wrapper.mapping,
+                    doc,
+                )
+                .score()
+            })
+            .collect();
+        let mean_drift = scores.iter().sum::<f64>() / scores.len() as f64;
+
+        // Buffer the drifted pages (bounded, oldest evicted).
+        for (page, &score) in pages.iter().zip(scores.iter()) {
+            if score >= threshold {
+                if entry.buffer.len() == self.config.buffer_pages {
+                    entry.buffer.pop_front();
+                }
+                entry.buffer.push_back((page.clone(), score));
+            }
+        }
+
+        if mean_drift >= threshold && entry.state != WrapperState::Stale {
+            entry.drift_events += 1;
+            entry.state = WrapperState::Stale;
+            entry.log.push(format!(
+                "stale: mean drift {mean_drift:.2} >= {threshold:.2} on revision {}",
+                entry.stored.revision
+            ));
+        }
+
+        let mut reinduced = false;
+        let mut response_outcome = outcome;
+        let mut response_drift = mean_drift;
+        if entry.state == WrapperState::Stale
+            && entry.buffer.len() >= self.config.min_reinduce_pages
+        {
+            let buffered: Vec<String> = entry.buffer.iter().map(|(p, _)| p.clone()).collect();
+            let domain = match Domain::by_name(&entry.stored.domain) {
+                Some(d) => d,
+                None => return err(&format!("stored domain '{}' unknown", entry.stored.domain)),
+            };
+            let revision = entry.stored.revision + 1;
+            match self.induce_wrapper(&source, domain, revision, &buffered) {
+                Ok((stored, _, _)) => {
+                    if let Err(e) = self.persist(&stored) {
+                        return err(&e);
+                    }
+                    let entry = self.sources.get_mut(&source).expect("warmed");
+                    entry.stored = stored;
+                    entry.state = WrapperState::Reinduced;
+                    entry.buffer.clear();
+                    entry.log.push(format!(
+                        "reinduced: revision {revision} from {} buffered pages",
+                        buffered.len()
+                    ));
+                    reinduced = true;
+                    // Replay the batch through the repaired wrapper.
+                    response_outcome = extract_only(
+                        &entry.stored.wrapper,
+                        entry.stored.main_block.as_ref(),
+                        &entry.stored.clean,
+                        &pages,
+                        threads,
+                    );
+                    let repaired: Vec<f64> = response_outcome
+                        .docs
+                        .iter()
+                        .map(|doc| {
+                            drift_score(
+                                &entry.stored.wrapper.template,
+                                &entry.stored.wrapper.mapping,
+                                doc,
+                            )
+                            .score()
+                        })
+                        .collect();
+                    response_drift = repaired.iter().sum::<f64>() / repaired.len() as f64;
+                }
+                Err(e) => {
+                    let entry = self.sources.get_mut(&source).expect("warmed");
+                    entry
+                        .log
+                        .push(format!("re-induction failed (still stale): {e}"));
+                }
+            }
+        }
+
+        let entry = self.sources.get(&source).expect("warmed");
+        let objects = response_outcome.objects();
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("cmd".into(), Json::str("extract")),
+            ("source".into(), Json::str(&source)),
+            ("cache".into(), Json::str("hit")),
+            ("revision".into(), Json::int(entry.stored.revision as i64)),
+            ("state".into(), Json::str(entry.state.as_str())),
+            ("drift".into(), Json::Float(response_drift)),
+            ("reinduced".into(), Json::Bool(reinduced)),
+            ("count".into(), Json::int(objects.len())),
+            (
+                "objects".into(),
+                Json::Arr(objects.iter().map(|i| instance_json(i)).collect()),
+            ),
+            ("stats".into(), Json::Raw(response_outcome.stats.to_json())),
+        ])
+    }
+
+    fn status(&self) -> Json {
+        let sources = self
+            .sources
+            .iter()
+            .map(|(name, e)| {
+                Json::Obj(vec![
+                    ("source".into(), Json::str(name)),
+                    ("domain".into(), Json::str(&e.stored.domain)),
+                    ("revision".into(), Json::int(e.stored.revision as i64)),
+                    ("state".into(), Json::str(e.state.as_str())),
+                    ("quality".into(), Json::Float(e.stored.wrapper.quality)),
+                    ("extracts".into(), Json::int(e.extracts as i64)),
+                    ("cache_hits".into(), Json::int(e.cache_hits as i64)),
+                    ("drift_events".into(), Json::int(e.drift_events as i64)),
+                    ("buffered".into(), Json::int(e.buffer.len())),
+                    (
+                        "log".into(),
+                        Json::Arr(e.log.iter().map(Json::str).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("cmd".into(), Json::str("status")),
+            ("sources".into(), Json::Arr(sources)),
+        ])
+    }
+}
+
+/// Resolve a request's page input: inline `"pages"` array or a
+/// `"dir"` of `*.html` files in lexicographic order.
+fn request_pages(req: &Json) -> Result<Vec<String>, String> {
+    if let Some(arr) = req.get("pages").and_then(Json::as_arr) {
+        return arr
+            .iter()
+            .map(|p| {
+                p.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| "'pages' holds a non-string".to_owned())
+            })
+            .collect();
+    }
+    if let Some(dir) = req.get("dir").and_then(Json::as_str) {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("dir '{dir}': {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "html"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("dir '{dir}' holds no *.html files"));
+        }
+        return files
+            .iter()
+            .map(|p| std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display())))
+            .collect();
+    }
+    Err("missing 'pages' (inline array) or 'dir' (of *.html files)".to_owned())
+}

@@ -22,6 +22,15 @@ impl Domain {
         Domain::Cars,
     ];
 
+    /// Resolve a case-insensitive name (`"concerts"`, `"Books"`, …)
+    /// back to the domain; the inverse of [`Domain::name`]. Used by
+    /// the serving layer, which receives domains as protocol strings.
+    pub fn by_name(name: &str) -> Option<Domain> {
+        Domain::ALL
+            .into_iter()
+            .find(|d| d.name().eq_ignore_ascii_case(name))
+    }
+
     /// Display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -169,6 +178,15 @@ mod tests {
                 assert!(types.contains(&attr), "{attr} missing in {} SOD", d.name());
             }
         }
+    }
+
+    #[test]
+    fn by_name_inverts_name() {
+        for d in Domain::ALL {
+            assert_eq!(Domain::by_name(d.name()), Some(d));
+            assert_eq!(Domain::by_name(&d.name().to_lowercase()), Some(d));
+        }
+        assert_eq!(Domain::by_name("nonsense"), None);
     }
 
     #[test]

@@ -32,4 +32,6 @@ pub mod site;
 
 pub use corpus::{paper_corpus, CorpusSpec};
 pub use domain::{Domain, GoldObject};
-pub use site::{generate_site, PageKind, Quirk, SiteSpec, Source};
+pub use site::{
+    generate_drifted, generate_site, generate_site_with, Drift, PageKind, Quirk, SiteSpec, Source,
+};

@@ -110,6 +110,72 @@ impl SiteSpec {
     }
 }
 
+/// A template redesign applied on top of a [`SiteSpec`]: the *same*
+/// objects rendered through a mutated template, modeling the real-web
+/// event a serving layer must survive — the site ships a redesign while
+/// the stored wrapper still expects the old markup.
+///
+/// `strength` selects nested tiers of mutation; each tier keeps all
+/// weaker ones active:
+///
+/// | strength | tier        | mutation                                        |
+/// |----------|-------------|-------------------------------------------------|
+/// | > 0      | cosmetic    | attribute reorder, container class rename       |
+/// | ≥ 0.25   | separators  | cell tags change (`div`→`p`, `td`→`th`, …)      |
+/// | ≥ 0.5    | record wrap | an extra wrapper `div` appears inside records   |
+/// | ≥ 0.75   | container   | the list container itself changes (`ul`→`ol`)   |
+///
+/// Cosmetic drift is invisible to a path-based wrapper (attributes are
+/// not part of token paths), separator drift misaligns the cell
+/// matchers, and the stronger tiers shift every path below the
+/// mutation point. Crucially, rendering through a `Drift` consumes
+/// exactly the same RNG draws as rendering without one, so
+/// [`generate_drifted`] produces a source whose golden truth is
+/// byte-identical to the clean run of the same spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Drift {
+    /// Mutation strength in `[0, 1]`; see the tier table above.
+    pub strength: f64,
+}
+
+impl Drift {
+    /// No mutation: `generate_site_with(spec, &Drift::NONE)` is
+    /// byte-identical to `generate_site(spec)`.
+    pub const NONE: Drift = Drift { strength: 0.0 };
+
+    /// A drift of the given strength (clamped to `[0, 1]`).
+    pub fn new(strength: f64) -> Drift {
+        Drift {
+            strength: strength.clamp(0.0, 1.0),
+        }
+    }
+
+    fn cosmetic(&self) -> bool {
+        self.strength > 0.0
+    }
+
+    fn separators(&self) -> bool {
+        self.strength >= 0.25
+    }
+
+    fn record_wrap(&self) -> bool {
+        self.strength >= 0.5
+    }
+
+    fn container(&self) -> bool {
+        self.strength >= 0.75
+    }
+
+    /// The results-container class name (cosmetic tier renames it).
+    fn results_class(&self) -> &'static str {
+        if self.cosmetic() {
+            "results-v2"
+        } else {
+            "results"
+        }
+    }
+}
+
 /// A generated source: pages plus golden standard.
 #[derive(Debug, Clone)]
 pub struct Source {
@@ -129,6 +195,18 @@ impl Source {
 
 /// Generate a source from its specification (fully deterministic).
 pub fn generate_site(spec: &SiteSpec) -> Source {
+    generate_site_with(spec, &Drift::NONE)
+}
+
+/// Generate the spec's objects through a drifted template: the golden
+/// truth is byte-identical to `generate_site(spec)`, only the markup
+/// around the values changes.
+pub fn generate_drifted(spec: &SiteSpec, strength: f64) -> Source {
+    generate_site_with(spec, &Drift::new(strength))
+}
+
+/// Generate a source, rendering through the given template drift.
+pub fn generate_site_with(spec: &SiteSpec, drift: &Drift) -> Source {
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5151_7eb1);
     let mut pages = Vec::with_capacity(spec.pages);
     let mut truth = Vec::with_capacity(spec.pages);
@@ -145,7 +223,7 @@ pub fn generate_site(spec: &SiteSpec) -> Source {
                 v.prose(15 + page_idx % 5),
                 v.prose(10)
             );
-            pages.push(shell(spec, &body, &mut rng));
+            pages.push(shell(spec, drift, &body, &mut rng));
             truth.push(Vec::new());
             continue;
         }
@@ -158,12 +236,10 @@ pub fn generate_site(spec: &SiteSpec) -> Source {
             let cats: String = (0..n_cats)
                 .map(|i| format!("<li><a>{} category {i}</a></li>", v.prose(1)))
                 .collect();
-            let body = match spec.style {
-                0 => format!("<ul class=\"results\">{cats}</ul>"),
-                1 => format!("<table class=\"results\"><tbody>{cats}</tbody></table>"),
-                _ => format!("<div class=\"results\">{cats}</div>"),
-            };
-            pages.push(shell(spec, &body, &mut rng));
+            // The drifted container applies here too: an interstitial
+            // is the same template with no records in it.
+            let body = wrap_records(spec, drift, std::slice::from_ref(&cats));
+            pages.push(shell(spec, drift, &body, &mut rng));
             truth.push(Vec::new());
             continue;
         }
@@ -177,20 +253,20 @@ pub fn generate_site(spec: &SiteSpec) -> Source {
         let mut objects = Vec::with_capacity(n_records);
         let mut rendered = Vec::with_capacity(n_records);
         for _ in 0..n_records {
-            let (gold, html) = render_record(spec, &mut rng, decoy_city);
+            let (gold, html) = render_record(spec, drift, &mut rng, decoy_city);
             objects.push(gold);
             rendered.push(html);
         }
 
         let body = if spec.has(Quirk::GroupedColumns) {
-            render_grouped(spec, &objects)
+            render_grouped(spec, drift, &objects)
         } else {
             match spec.kind {
-                PageKind::List => wrap_records(spec, &rendered),
+                PageKind::List => wrap_records(spec, drift, &rendered),
                 PageKind::Detail => rendered.pop().expect("one record"),
             }
         };
-        pages.push(shell(spec, &body, &mut rng));
+        pages.push(shell(spec, drift, &body, &mut rng));
         truth.push(objects);
     }
 
@@ -256,11 +332,16 @@ fn record_values(spec: &SiteSpec, rng: &mut StdRng, decoy_city: &str) -> GoldObj
 }
 
 /// Render one record into HTML (style- and quirk-dependent).
-fn render_record(spec: &SiteSpec, rng: &mut StdRng, decoy_city: &str) -> (GoldObject, String) {
+fn render_record(
+    spec: &SiteSpec,
+    drift: &Drift,
+    rng: &mut StdRng,
+    decoy_city: &str,
+) -> (GoldObject, String) {
     let gold = record_values(spec, rng, decoy_city);
     let html = match spec.kind {
-        PageKind::List => render_list_record(spec, &gold, rng),
-        PageKind::Detail => render_detail_record(spec, &gold, rng),
+        PageKind::List => render_list_record(spec, drift, &gold, rng),
+        PageKind::Detail => render_detail_record(spec, drift, &gold, rng),
     };
     (gold, html)
 }
@@ -362,19 +443,36 @@ fn render_authors(spec: &SiteSpec, authors: &[String], rng: &mut StdRng) -> Stri
 const DISTINCT_TAGS: &[&str] = &["b", "i", "em", "u", "cite"];
 
 /// One list record in the site's style.
-fn render_list_record(spec: &SiteSpec, gold: &GoldObject, rng: &mut StdRng) -> String {
+fn render_list_record(
+    spec: &SiteSpec,
+    drift: &Drift,
+    gold: &GoldObject,
+    rng: &mut StdRng,
+) -> String {
     let cells = record_cells(spec, gold, rng);
+    // Record-wrap drift: an extra grouping div appears between the
+    // record element and its cells, shifting every cell path down.
+    let group = |inner: String| {
+        if drift.record_wrap() {
+            format!("<div class=\"group\">{inner}</div>")
+        } else {
+            inner
+        }
+    };
     if spec.distinct_markup {
         // Distinct per-attribute cells: each attribute lives under its
         // own tag, so the columns are separable by DOM path alone.
+        // Separator drift rotates the tag cycle by one.
+        let rot = usize::from(drift.separators());
         let inner: String = cells
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                let tag = DISTINCT_TAGS[i % DISTINCT_TAGS.len()];
+                let tag = DISTINCT_TAGS[(i + rot) % DISTINCT_TAGS.len()];
                 format!("<{tag}>{c}</{tag}>")
             })
             .collect();
+        let inner = group(inner);
         return match spec.style {
             0 => format!("<li>{inner}</li>"),
             1 => format!("<tr><td>{inner}</td></tr>"),
@@ -383,45 +481,89 @@ fn render_list_record(spec: &SiteSpec, gold: &GoldObject, rng: &mut StdRng) -> S
     }
     match spec.style {
         0 => {
-            let inner: String = cells.iter().map(|c| format!("<div>{c}</div>")).collect();
-            format!("<li>{inner}</li>")
+            let tag = if drift.separators() { "p" } else { "div" };
+            let inner: String = cells
+                .iter()
+                .map(|c| format!("<{tag}>{c}</{tag}>"))
+                .collect();
+            format!("<li>{}</li>", group(inner))
         }
         1 => {
-            let inner: String = cells.iter().map(|c| format!("<td>{c}</td>")).collect();
+            let tag = if drift.separators() { "th" } else { "td" };
+            let inner: String = cells
+                .iter()
+                .map(|c| {
+                    if drift.record_wrap() {
+                        format!("<{tag}><div>{c}</div></{tag}>")
+                    } else {
+                        format!("<{tag}>{c}</{tag}>")
+                    }
+                })
+                .collect();
             format!("<tr>{inner}</tr>")
         }
         _ => {
+            let tag = if drift.separators() { "em" } else { "span" };
             let inner: String = cells
                 .iter()
-                .map(|c| format!("<span class=\"cell\">{c}</span>"))
+                .map(|c| format!("<{tag} class=\"cell\">{c}</{tag}>"))
                 .collect();
-            format!("<div class=\"rec\">{inner}</div>")
+            format!("<div class=\"rec\">{}</div>", group(inner))
         }
     }
 }
 
 /// Wrap list records in the style's container.
-fn wrap_records(spec: &SiteSpec, records: &[String]) -> String {
+fn wrap_records(spec: &SiteSpec, drift: &Drift, records: &[String]) -> String {
     let joined = records.concat();
+    let class = drift.results_class();
     match spec.style {
-        0 => format!("<ul class=\"results\">{joined}</ul>"),
-        1 => format!("<table class=\"results\"><tbody>{joined}</tbody></table>"),
-        _ => format!("<div class=\"results\">{joined}</div>"),
+        0 => {
+            // Container drift swaps the list element itself.
+            let tag = if drift.container() { "ol" } else { "ul" };
+            format!("<{tag} class=\"{class}\">{joined}</{tag}>")
+        }
+        1 => {
+            let table = format!("<table class=\"{class}\"><tbody>{joined}</tbody></table>");
+            if drift.container() {
+                format!("<div class=\"tablewrap\">{table}</div>")
+            } else {
+                table
+            }
+        }
+        _ => {
+            let tag = if drift.container() { "section" } else { "div" };
+            format!("<{tag} class=\"{class}\">{joined}</{tag}>")
+        }
     }
 }
 
 /// A detail (singleton) page body.
-fn render_detail_record(spec: &SiteSpec, gold: &GoldObject, rng: &mut StdRng) -> String {
+fn render_detail_record(
+    spec: &SiteSpec,
+    drift: &Drift,
+    gold: &GoldObject,
+    rng: &mut StdRng,
+) -> String {
     let cells = record_cells(spec, gold, rng);
     let labels = detail_labels(spec.domain, cells.len());
+    let label_tag = if drift.separators() { "strong" } else { "b" };
     let rows: String = cells
         .iter()
         .zip(labels.iter())
-        .map(|(c, l)| format!("<div class=\"row\"><b>{l}</b><span>{c}</span></div>"))
+        .map(|(c, l)| {
+            format!("<div class=\"row\"><{label_tag}>{l}</{label_tag}><span>{c}</span></div>")
+        })
         .collect();
+    let rows = if drift.record_wrap() {
+        format!("<div class=\"group\">{rows}</div>")
+    } else {
+        rows
+    };
+    let item_tag = if drift.container() { "article" } else { "div" };
     let mut v = ValueGen::new(rng);
     format!(
-        "<div class=\"item\"><h1>{}</h1>{rows}<div class=\"about\">{}</div></div>",
+        "<{item_tag} class=\"item\"><h1>{}</h1>{rows}<div class=\"about\">{}</div></{item_tag}>",
         cells.first().cloned().unwrap_or_default(),
         v.prose(14)
     )
@@ -444,21 +586,26 @@ fn detail_labels(domain: Domain, n: usize) -> Vec<&'static str> {
 }
 
 /// Column-major layout: every attribute's values grouped together.
-fn render_grouped(spec: &SiteSpec, objects: &[GoldObject]) -> String {
+fn render_grouped(spec: &SiteSpec, drift: &Drift, objects: &[GoldObject]) -> String {
+    let cell_tag = if drift.separators() { "em" } else { "span" };
     let mut columns = String::new();
     for attr in spec.domain.attributes() {
         let cells: String = objects
             .iter()
             .flat_map(|o| o.values(attr).iter())
-            .map(|value| format!("<span>{value}</span>"))
+            .map(|value| format!("<{cell_tag}>{value}</{cell_tag}>"))
             .collect();
         columns.push_str(&format!("<div class=\"col-{attr}\">{cells}</div>"));
     }
-    format!("<div class=\"results\">{columns}</div>")
+    let tag = if drift.container() { "section" } else { "div" };
+    format!(
+        "<{tag} class=\"{}\">{columns}</{tag}>",
+        drift.results_class()
+    )
 }
 
 /// The page shell: header/nav, the data region, sidebar/footer.
-fn shell(spec: &SiteSpec, body: &str, rng: &mut StdRng) -> String {
+fn shell(spec: &SiteSpec, drift: &Drift, body: &str, rng: &mut StdRng) -> String {
     let mut v = ValueGen::new(rng);
     let heavy = spec.has(Quirk::NoiseBlocks);
     let nav = format!(
@@ -479,10 +626,17 @@ fn shell(spec: &SiteSpec, body: &str, rng: &mut StdRng) -> String {
         spec.name,
         if heavy { v.prose(10) } else { String::new() }
     );
+    // Cosmetic drift reorders the content div's attributes — invisible
+    // to a path-based wrapper, which never keys on attribute order.
+    let content_attrs = if drift.cosmetic() {
+        "id=\"main\" class=\"content\""
+    } else {
+        "class=\"content\" id=\"main\""
+    };
     format!(
         "<html><head><title>{name}</title><script>var t=1;</script>\
          <style>.x{{color:red}}</style></head>\
-         <body>{nav}<div class=\"content\" id=\"main\">{body}</div>{sidebar}{footer}</body></html>",
+         <body>{nav}<div {content_attrs}>{body}</div>{sidebar}{footer}</body></html>",
         name = spec.name
     )
 }
@@ -614,6 +768,78 @@ mod tests {
         let objects: Vec<&GoldObject> = source.truth.iter().flatten().collect();
         let with = objects.iter().filter(|o| o.has("date")).count();
         assert!(with > 0 && with < objects.len(), "date should be optional");
+    }
+
+    #[test]
+    fn drifted_truth_is_identical_to_base() {
+        for style in 0..3 {
+            let mut s = spec(Domain::Books, PageKind::List);
+            s.style = style;
+            let base = generate_site(&s);
+            for strength in [0.1, 0.25, 0.5, 0.75, 1.0] {
+                let drifted = generate_drifted(&s, strength);
+                assert_eq!(
+                    base.truth, drifted.truth,
+                    "truth changed at style {style} strength {strength}"
+                );
+                assert_ne!(
+                    base.pages, drifted.pages,
+                    "markup unchanged at style {style} strength {strength}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_drift_is_the_identity() {
+        let s = spec(Domain::Albums, PageKind::List);
+        let base = generate_site(&s);
+        let none = generate_site_with(&s, &Drift::NONE);
+        assert_eq!(base.pages, none.pages);
+        assert_eq!(base.truth, none.truth);
+    }
+
+    #[test]
+    fn cosmetic_drift_only_touches_attributes() {
+        let mut s = spec(Domain::Albums, PageKind::List);
+        s.style = 0;
+        let base = generate_site(&s);
+        let drifted = generate_drifted(&s, 0.1);
+        // Tag structure is untouched: stripping attributes equalizes.
+        let strip = |html: &str| {
+            html.replace("class=\"results\"", "")
+                .replace("class=\"results-v2\"", "")
+                .replace("class=\"content\" id=\"main\"", "")
+                .replace("id=\"main\" class=\"content\"", "")
+        };
+        for (a, b) in base.pages.iter().zip(drifted.pages.iter()) {
+            assert_eq!(strip(a), strip(b));
+        }
+    }
+
+    #[test]
+    fn drift_tiers_mutate_progressively() {
+        let mut s = spec(Domain::Albums, PageKind::List);
+        s.style = 0;
+        let sep = generate_drifted(&s, 0.25).pages[0].clone();
+        assert!(
+            sep.contains("<p>") && !sep.contains("<div><"),
+            "cells become <p>"
+        );
+        let wrapped = generate_drifted(&s, 0.5).pages[0].clone();
+        assert!(wrapped.contains("<li><div class=\"group\">"));
+        let container = generate_drifted(&s, 0.8).pages[0].clone();
+        assert!(container.contains("<ol class=\"results-v2\">"));
+        assert!(!container.contains("<ul"));
+    }
+
+    #[test]
+    fn detail_pages_drift_too() {
+        let s = spec(Domain::Concerts, PageKind::Detail);
+        let strong = generate_drifted(&s, 1.0).pages[0].clone();
+        assert!(strong.contains("<article class=\"item\">"));
+        assert!(strong.contains("<strong>"));
+        assert!(strong.contains("<div class=\"group\">"));
     }
 
     #[test]

@@ -22,9 +22,15 @@
 //!   SOD matching, extraction pipeline.
 //! * [`baselines`] — clean-room ExAlg and RoadRunner reimplementations.
 //! * [`webgen`] — deterministic synthetic structured-Web generator with
-//!   golden-standard objects.
+//!   golden-standard objects (including template-drift rendering).
 //! * [`eval`] — the paper's precision metrics and the table/figure
 //!   reproduction harness.
+//! * [`store`] — versioned, checksummed on-disk wrapper persistence;
+//!   externalizes interned identities so wrappers outlive the process
+//!   that induced them.
+//! * [`serve`] — the serving layer: cached (induction-free)
+//!   extraction, template-drift detection, on-demand re-induction
+//!   (the `objectrunner-serve` daemon).
 //!
 //! ## Quickstart
 //!
@@ -61,7 +67,9 @@ pub use objectrunner_eval as eval;
 pub use objectrunner_html as html;
 pub use objectrunner_knowledge as knowledge;
 pub use objectrunner_segment as segment;
+pub use objectrunner_serve as serve;
 pub use objectrunner_sod as sod;
+pub use objectrunner_store as store;
 pub use objectrunner_webgen as webgen;
 
 /// Convenience re-exports of the most commonly used items.

@@ -1,0 +1,93 @@
+//! Acceptance guard for the serving fast path: on the golden corpus,
+//! a *cached* extraction — stored wrapper, `extract_only`, no
+//! induction stages — must be byte-identical to the fresh single-shot
+//! pipeline run that induced the wrapper, and its stage timings must
+//! prove induction was skipped.
+
+use objectrunner::core::pipeline::{extract_only, Pipeline, PipelineConfig};
+use objectrunner::core::sample::SampleConfig;
+use objectrunner::core::stage::Stage;
+use objectrunner::store::{load, save, StoredWrapper};
+use objectrunner::webgen::{generate_site, knowledge, Domain, PageKind, SiteSpec};
+
+/// Same corpus as `golden_equivalence.rs`.
+fn corpus(domain: Domain, index: usize) -> Vec<String> {
+    let spec = SiteSpec::clean(
+        &format!("golden-{}", domain.name()),
+        domain,
+        PageKind::List,
+        15,
+        17_000 + index as u64,
+    );
+    generate_site(&spec).pages
+}
+
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        sample: SampleConfig {
+            sample_size: 12,
+            ..SampleConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn cached_extraction_is_byte_identical_to_the_pipeline_and_skips_induction() {
+    for (i, domain) in Domain::ALL.into_iter().enumerate() {
+        let pages = corpus(domain, i);
+        let cfg = config();
+        let clean = cfg.clean.clone();
+        let pipeline =
+            Pipeline::new(domain.sod(), knowledge::recognizers_for(domain, 0.2)).with_config(cfg);
+        let outcome = pipeline
+            .run_on_html(&pages)
+            .unwrap_or_else(|e| panic!("{} failed to wrap: {e}", domain.name()));
+        let fresh: Vec<String> = outcome.objects.iter().map(|o| o.to_string()).collect();
+
+        // Round-trip through the store, as the serving layer does.
+        let stored = StoredWrapper {
+            source: format!("golden-{}", domain.name()),
+            domain: domain.name().to_lowercase(),
+            revision: 1,
+            sod: domain.sod(),
+            wrapper: outcome.wrapper,
+            main_block: outcome.main_block,
+            clean,
+        };
+        let reloaded = load(&save(&stored)).expect("stored wrapper must load");
+
+        let cached = extract_only(
+            &reloaded.wrapper,
+            reloaded.main_block.as_ref(),
+            &reloaded.clean,
+            &pages,
+            None,
+        );
+        let served: Vec<String> = cached.objects().iter().map(|o| o.to_string()).collect();
+        assert_eq!(
+            fresh,
+            served,
+            "{}: cached extraction diverged from the pipeline",
+            domain.name()
+        );
+
+        // The fast path must not have run any induction stage.
+        for stage in [Stage::Annotate, Stage::Sample, Stage::Wrap] {
+            assert!(
+                cached.stats.stage(stage).is_none(),
+                "{}: {} ran on the cached path",
+                domain.name(),
+                stage.name()
+            );
+        }
+        for stage in [Stage::Parse, Stage::Clean, Stage::Extract] {
+            assert!(
+                cached.stats.stage(stage).is_some(),
+                "{}: {} missing from the cached path",
+                domain.name(),
+                stage.name()
+            );
+        }
+    }
+}

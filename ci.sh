@@ -57,4 +57,17 @@ sed -n 5p "$SMOKE/session.jsonl" | grep -q '"state":"reinduced"'  # status agree
 sed -n 5p "$SMOKE/session.jsonl" | grep -q '"revision":2'
 echo "    serve smoke OK"
 
+# Bench smoke: regenerate the annotation trajectory point and sanity-
+# check its shape. The committed BENCH_annotation.json is a recorded
+# run of the same binary; this stage only asserts the bench still
+# produces a well-formed document (timings vary by machine and load,
+# so no thresholds are enforced here).
+echo "==> bench smoke (BENCH_annotation.json)"
+target/release/bench_annotation > "$SMOKE/bench_annotation.json"
+grep -q '"bench": "annotation"' "$SMOKE/bench_annotation.json"
+grep -q '"aggregate_speedup_vs_seed"' "$SMOKE/bench_annotation.json"
+grep -q '"domain":"Cars"' "$SMOKE/bench_annotation.json"
+grep -q '"cache_hit_rate"' "$SMOKE/bench_annotation.json"
+echo "    bench smoke OK"
+
 echo "CI OK"

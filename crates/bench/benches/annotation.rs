@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use objectrunner_bench::bench_source;
-use objectrunner_core::annotate::annotate_page;
+use objectrunner_core::annotate::{
+    annotate_page, propagate_upwards_into, AnnotationMap, Annotator,
+};
 use objectrunner_core::exec::Executor;
 use objectrunner_core::sample::{select_sample, SampleConfig, SampleStrategy};
 use objectrunner_html::{clean_document, parse, CleanOptions, Document};
@@ -37,6 +39,44 @@ fn annotate(c: &mut Criterion) {
                         black_box(annotate_page(doc.clone(), &recognizers));
                     }
                 });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Compiled engine vs the naive path above (`annotate_20_pages`), and
+/// cold vs warm memo cache: `compiled_cold` rebuilds the `Annotator`
+/// (and so re-matches every unique text) each iteration, while
+/// `compiled_warm` reuses one annotator so every text is a memo hit.
+fn compiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("annotation_compiled");
+    for domain in [Domain::Concerts, Domain::Books] {
+        let docs = docs_for(domain);
+        let recognizers = knowledge::recognizers_for(domain, 0.2);
+        let annotate_all = |annotator: &Annotator, docs: &[Document]| {
+            let types = recognizers.annotation_order();
+            for doc in docs {
+                let mut map = AnnotationMap::new();
+                annotator.annotate_types_into(doc, &mut map, &types);
+                propagate_upwards_into(doc, &mut map);
+                black_box(&map);
+            }
+        };
+        group.bench_with_input(
+            BenchmarkId::new("compiled_cold", domain.name()),
+            &docs,
+            |b, docs| {
+                b.iter(|| annotate_all(&Annotator::new(&recognizers), docs));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled_warm", domain.name()),
+            &docs,
+            |b, docs| {
+                let annotator = Annotator::new(&recognizers);
+                annotate_all(&annotator, docs); // prime the memo
+                b.iter(|| annotate_all(&annotator, docs));
             },
         );
     }
@@ -77,5 +117,5 @@ fn sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, annotate, sampling);
+criterion_group!(benches, annotate, compiled, sampling);
 criterion_main!(benches);

@@ -7,9 +7,12 @@
 //! these nodes have only one child (i.e., on a linear path) or all
 //! children have the same annotation."
 
-use objectrunner_html::{Document, NodeId, NodeKind};
-use objectrunner_knowledge::recognizer::RecognizerSet;
+use objectrunner_html::{Document, FxHashMap, NodeId, NodeKind, Symbol};
+use objectrunner_knowledge::compiled::{CompiledRecognizerSet, MatchScratch};
+use objectrunner_knowledge::recognizer::{RecognizerSet, TypeMatch};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// One type annotation on a DOM node.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,14 +144,12 @@ pub fn propagate_upwards(page: &mut AnnotatedPage) {
 /// [`propagate_upwards`] over a borrowed document and a detached
 /// annotation map.
 pub fn propagate_upwards_into(doc: &Document, annotations: &mut AnnotationMap) {
-    // Bottom-up order: process nodes by decreasing depth.
-    let mut nodes: Vec<(usize, NodeId)> = doc
-        .descendants(doc.root())
-        .map(|id| (objectrunner_html::path::depth(doc, id), id))
-        .collect();
-    nodes.sort_by_key(|&(depth, _)| std::cmp::Reverse(depth));
-
-    for (_, id) in nodes {
+    // Reversed preorder is a post-order: every node comes after all of
+    // its descendants, which is the only ordering propagation needs
+    // (each node reads its direct children only). No depth
+    // recomputation, no sort.
+    let order: Vec<NodeId> = doc.descendants(doc.root()).collect();
+    for &id in order.iter().rev() {
         if !matches!(doc.node(id).kind, NodeKind::Element { .. }) {
             continue;
         }
@@ -180,6 +181,210 @@ pub fn propagate_upwards_into(doc: &Document, annotations: &mut AnnotationMap) {
                 anns.push(ann);
             }
         }
+    }
+}
+
+/// Number of memo-cache shards (power of two; shard choice is a mask
+/// over the interned symbol index).
+const SHARD_COUNT: usize = 64;
+
+thread_local! {
+    /// Per-thread compiled-matcher scratch — workers never contend on
+    /// match state, only on the (sharded) memo cache.
+    static SCRATCH: std::cell::RefCell<MatchScratch> =
+        std::cell::RefCell::new(MatchScratch::new());
+}
+
+/// The matching text nodes of one page with their all-type matches,
+/// in document order ([`Annotator::page_matches`]).
+pub type PageMatches = Vec<(NodeId, Arc<Vec<(u32, TypeMatch)>>)>;
+
+/// One memo shard: interned text → its (shared) all-type matches.
+type MemoShard = RwLock<FxHashMap<Symbol, Arc<Vec<(u32, TypeMatch)>>>>;
+
+/// The compiled, memoizing annotation engine.
+///
+/// Wraps a [`CompiledRecognizerSet`] (one-pass multi-type matching)
+/// with a sharded `Symbol → matches` cache, so a text that repeats —
+/// across nodes, pages, annotation rounds, or support re-runs — is
+/// matched once and then served from the memo. The cached value is the
+/// *all-type* result; per-round calls project the types they need from
+/// it.
+///
+/// Determinism: the cached value is a pure function of the text (the
+/// compiled engine reproduces the naive recognizers exactly), so cache
+/// hits can never change an annotation — only the hit/miss counters
+/// are scheduling-dependent, and those feed stats, never results.
+/// `Annotator` is `Send + Sync` and is shared by reference across the
+/// executor's workers.
+#[derive(Debug)]
+pub struct Annotator {
+    compiled: CompiledRecognizerSet,
+    shards: Vec<MemoShard>,
+    /// The shared no-match value (most texts match nothing; one
+    /// allocation serves them all).
+    empty: Arc<Vec<(u32, TypeMatch)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Annotator {
+    /// Compile `recognizers` and wrap them with an empty memo cache.
+    pub fn new(recognizers: &RecognizerSet) -> Annotator {
+        Annotator::from_compiled(CompiledRecognizerSet::compile(recognizers))
+    }
+
+    /// Wrap an already-compiled set.
+    pub fn from_compiled(compiled: CompiledRecognizerSet) -> Annotator {
+        Annotator {
+            compiled,
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
+            empty: Arc::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The compiled recognizer set behind this annotator.
+    pub fn compiled(&self) -> &CompiledRecognizerSet {
+        &self.compiled
+    }
+
+    /// Memo-cache hits so far (monotone; stats only).
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Memo-cache misses (= unique texts matched) so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// All type matches of `text`, memoized. Pairs are
+    /// `(type_index, match)` in the compiled set's annotation order
+    /// ([`CompiledRecognizerSet::type_name`] resolves indices).
+    pub fn matches_for(&self, text: &str) -> Arc<Vec<(u32, TypeMatch)>> {
+        let sym = Symbol::intern(text);
+        let shard = &self.shards[sym.index() & (SHARD_COUNT - 1)];
+        if let Some(hit) = shard.read().expect("annotator shard poisoned").get(&sym) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        let computed = SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            let mut out = Vec::new();
+            self.compiled.match_all(text, &mut scratch, &mut out);
+            if out.is_empty() {
+                Arc::clone(&self.empty)
+            } else {
+                Arc::new(out)
+            }
+        });
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut shard = shard.write().expect("annotator shard poisoned");
+        // A racing worker may have inserted meanwhile; both computed
+        // the same pure value, keep the first.
+        Arc::clone(shard.entry(sym).or_insert(computed))
+    }
+
+    /// The matches of every *matching* text node of a page, in document
+    /// order. One DOM traversal + one memo lookup per text node; nodes
+    /// with no match of any type are omitted (they can never produce an
+    /// annotation). Sampling computes this once per page and feeds it
+    /// to [`Annotator::annotate_from_matches`] on every later round.
+    pub fn page_matches(&self, doc: &Document) -> PageMatches {
+        let mut out = Vec::new();
+        for id in doc.descendants(doc.root()) {
+            let NodeKind::Text(text) = &doc.node(id).kind else {
+                continue;
+            };
+            let matches = self.matches_for(text);
+            if !matches.is_empty() {
+                out.push((id, matches));
+            }
+        }
+        out
+    }
+
+    /// One annotation round of `type_name` over precomputed
+    /// [`Annotator::page_matches`] — equivalent to
+    /// [`Annotator::annotate_type_into`] without re-walking the DOM.
+    pub fn annotate_from_matches(
+        &self,
+        matches: &PageMatches,
+        annotations: &mut AnnotationMap,
+        type_name: &str,
+    ) {
+        let Some(type_idx) = self.compiled.type_index(type_name) else {
+            return;
+        };
+        for (id, ms) in matches {
+            if let Some((_, m)) = ms.iter().find(|(t, _)| *t == type_idx) {
+                push_annotation(annotations, *id, type_name, m);
+            }
+        }
+    }
+
+    /// Cached equivalent of [`annotate_type_into`]: one annotation
+    /// round of `type_name` over the page's text nodes.
+    pub fn annotate_type_into(
+        &self,
+        doc: &Document,
+        annotations: &mut AnnotationMap,
+        type_name: &str,
+    ) {
+        let Some(type_idx) = self.compiled.type_index(type_name) else {
+            return;
+        };
+        for id in doc.descendants(doc.root()) {
+            let NodeKind::Text(text) = &doc.node(id).kind else {
+                continue;
+            };
+            let matches = self.matches_for(text);
+            if let Some((_, m)) = matches.iter().find(|(t, _)| *t == type_idx) {
+                push_annotation(annotations, id, type_name, m);
+            }
+        }
+    }
+
+    /// Annotate every listed type in **one** DOM traversal: each text
+    /// node costs one memo lookup, and the types are projected from the
+    /// all-type cached result in the order given (matching the naive
+    /// per-type rounds' per-node annotation order).
+    pub fn annotate_types_into(
+        &self,
+        doc: &Document,
+        annotations: &mut AnnotationMap,
+        types: &[&str],
+    ) {
+        let indices: Vec<Option<u32>> = types.iter().map(|t| self.compiled.type_index(t)).collect();
+        for id in doc.descendants(doc.root()) {
+            let NodeKind::Text(text) = &doc.node(id).kind else {
+                continue;
+            };
+            let matches = self.matches_for(text);
+            if matches.is_empty() {
+                continue;
+            }
+            for (type_name, idx) in types.iter().zip(&indices) {
+                let Some(idx) = idx else { continue };
+                if let Some((_, m)) = matches.iter().find(|(t, _)| t == idx) {
+                    push_annotation(annotations, id, type_name, m);
+                }
+            }
+        }
+    }
+}
+
+fn push_annotation(annotations: &mut AnnotationMap, id: NodeId, type_name: &str, m: &TypeMatch) {
+    let anns = annotations.entry(id).or_default();
+    if !anns.iter().any(|a| a.type_name == type_name) {
+        anns.push(Annotation {
+            type_name: type_name.to_owned(),
+            confidence: m.confidence * m.coverage.max(0.5),
+        });
     }
 }
 
@@ -294,6 +499,47 @@ mod tests {
         // 2 text nodes + 2 propagated to <li> (single child each); the
         // <ul> also inherits since both children agree.
         assert!(page.count_of_type("artist") >= 4);
+    }
+
+    #[test]
+    fn annotator_matches_naive_annotation() {
+        let recs = concert_recognizers();
+        let annotator = Annotator::new(&recs);
+        let html = "<ul><li><b>Metallica</b> live</li>\
+                    <li>Monday May 11, 8:00pm</li>\
+                    <li>Madonna</li><li>random words</li></ul>";
+        let types: Vec<&str> = recs.annotation_order();
+
+        let naive = annotate_page(parse(html), &recs);
+
+        let doc = parse(html);
+        let mut cached: AnnotationMap = HashMap::new();
+        for t in &types {
+            annotator.annotate_type_into(&doc, &mut cached, t);
+        }
+        propagate_upwards_into(&doc, &mut cached);
+        assert_eq!(naive.annotations, cached);
+
+        // The one-traversal multi-type round agrees too.
+        let mut multi: AnnotationMap = HashMap::new();
+        annotator.annotate_types_into(&doc, &mut multi, &types);
+        propagate_upwards_into(&doc, &mut multi);
+        assert_eq!(naive.annotations, multi);
+    }
+
+    #[test]
+    fn annotator_memoizes_repeated_texts() {
+        let recs = concert_recognizers();
+        let annotator = Annotator::new(&recs);
+        let doc = parse("<ul><li>Metallica</li><li>Metallica</li><li>Metallica</li></ul>");
+        let mut map: AnnotationMap = HashMap::new();
+        annotator.annotate_type_into(&doc, &mut map, "artist");
+        assert_eq!(annotator.cache_misses(), 1, "one unique text");
+        assert_eq!(annotator.cache_hits(), 2);
+        // A second round over the same page is all hits.
+        annotator.annotate_type_into(&doc, &mut map, "date");
+        assert_eq!(annotator.cache_misses(), 1);
+        assert_eq!(annotator.cache_hits(), 5);
     }
 
     #[test]

@@ -16,11 +16,11 @@
 //! reductions are index-ordered, so output is byte-identical at any
 //! thread count.
 
-use crate::annotate::AnnotatedPage;
+use crate::annotate::{AnnotatedPage, Annotator};
 use crate::eqclass::EqConfig;
 use crate::exec::Executor;
 use crate::roles::DiffConfig;
-use crate::sample::{select_sample_timed, SampleConfig, SampleError, SampleStrategy};
+use crate::sample::{select_sample_timed_with, SampleConfig, SampleError, SampleStrategy};
 use crate::stage::{
     apply_block_stage, clean_stage, extract_stage, parse_stage, segment_stage, Stage, StageTiming,
 };
@@ -29,6 +29,7 @@ use objectrunner_html::{CleanOptions, Document};
 use objectrunner_knowledge::recognizer::RecognizerSet;
 use objectrunner_segment::{LayoutOptions, MainBlockChoice};
 use objectrunner_sod::{Instance, Sod};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Pipeline configuration.
@@ -108,6 +109,14 @@ pub struct PipelineStats {
     pub stage_timings: Vec<StageTiming>,
     /// Worker threads the run used.
     pub threads: usize,
+    /// Annotation memo-cache hits during this run (stats only — the
+    /// cached values are pure functions of the text, so hit counts
+    /// never influence results; the split is scheduling-dependent,
+    /// hits + misses is not).
+    pub annotation_cache_hits: u64,
+    /// Annotation memo-cache misses (= unique texts matched) during
+    /// this run.
+    pub annotation_cache_misses: u64,
 }
 
 impl PipelineStats {
@@ -126,6 +135,7 @@ impl PipelineStats {
             "{{\"pages\":{},\"sample_pages\":{},\"support_used\":{},\
              \"conflict_splits\":{},\"rounds\":{},\"reruns\":{},\
              \"wrapping_micros\":{},\"extraction_micros\":{},\"threads\":{},\
+             \"annotation_cache_hits\":{},\"annotation_cache_misses\":{},\
              \"stage_timings\":[",
             self.pages,
             self.sample_pages,
@@ -135,7 +145,9 @@ impl PipelineStats {
             self.reruns,
             self.wrapping_micros,
             self.extraction_micros,
-            self.threads
+            self.threads,
+            self.annotation_cache_hits,
+            self.annotation_cache_misses
         ));
         for (i, t) in self.stage_timings.iter().enumerate() {
             if i > 0 {
@@ -235,15 +247,38 @@ pub fn extract_only<S: AsRef<str>>(
 pub struct Pipeline {
     sod: Sod,
     recognizers: RecognizerSet,
+    /// Compiled, memoizing annotation engine over `recognizers`.
+    /// Behind an `Arc` so cloned pipelines (and callers holding one via
+    /// [`Pipeline::with_annotator`]) share the compiled automatons and
+    /// the warm memo cache instead of recompiling.
+    annotator: Arc<Annotator>,
     config: PipelineConfig,
 }
 
 impl Pipeline {
     /// A pipeline with default configuration.
     pub fn new(sod: Sod, recognizers: RecognizerSet) -> Pipeline {
+        let annotator = Arc::new(Annotator::new(&recognizers));
         Pipeline {
             sod,
             recognizers,
+            annotator,
+            config: PipelineConfig::default(),
+        }
+    }
+
+    /// A pipeline reusing an existing annotation engine (must be
+    /// compiled from `recognizers`); the serving layer uses this to
+    /// share the compiled automatons and memo cache across requests.
+    pub fn with_annotator(
+        sod: Sod,
+        recognizers: RecognizerSet,
+        annotator: Arc<Annotator>,
+    ) -> Pipeline {
+        Pipeline {
+            sod,
+            recognizers,
+            annotator,
             config: PipelineConfig::default(),
         }
     }
@@ -257,6 +292,11 @@ impl Pipeline {
     /// The SOD this pipeline targets.
     pub fn sod(&self) -> &Sod {
         &self.sod
+    }
+
+    /// The shared annotation engine.
+    pub fn annotator(&self) -> &Arc<Annotator> {
+        &self.annotator
     }
 
     /// Run on raw HTML pages (the batch entry point: pages parse
@@ -300,9 +340,12 @@ impl Pipeline {
         // 3. Annotation + sampling (annotation rounds fan out per page;
         // shrinking and selection are whole-source).
         let sample_start = Instant::now();
-        let sample_outcome = select_sample_timed(
+        let cache_hits_before = self.annotator.cache_hits();
+        let cache_misses_before = self.annotator.cache_misses();
+        let sample_outcome = select_sample_timed_with(
             &docs,
             &self.recognizers,
+            &self.annotator,
             &self.sod,
             &self.config.sample,
             self.config.strategy,
@@ -353,6 +396,8 @@ impl Pipeline {
             extraction_micros,
             stage_timings: timings,
             threads: exec.threads(),
+            annotation_cache_hits: self.annotator.cache_hits() - cache_hits_before,
+            annotation_cache_misses: self.annotator.cache_misses() - cache_misses_before,
         };
         Ok(PipelineOutcome {
             objects,

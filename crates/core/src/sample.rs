@@ -18,8 +18,7 @@
 //! identical at any thread count.
 
 use crate::annotate::{
-    annotate_type, annotate_type_into, propagate_upwards, propagate_upwards_into, AnnotatedPage,
-    AnnotationMap,
+    propagate_upwards_into, AnnotatedPage, AnnotationMap, Annotator, PageMatches,
 };
 use crate::exec::Executor;
 use objectrunner_html::{Document, NodeKind};
@@ -126,12 +125,49 @@ pub fn select_sample_timed(
     strategy: SampleStrategy,
     exec: &Executor,
 ) -> Result<SampleOutcome, SampleError> {
+    // Transient compiled engine; callers that sample repeatedly should
+    // use [`select_sample_timed_with`] to keep the memo cache warm.
+    let annotator = Annotator::new(recognizers);
+    select_sample_timed_with(docs, recognizers, &annotator, sod, config, strategy, exec)
+}
+
+/// [`select_sample`] over a caller-owned [`Annotator`], so the compiled
+/// recognizers and the text memo cache survive across calls (pipeline
+/// re-runs, serving re-inductions).
+pub fn select_sample_with(
+    docs: &[Document],
+    recognizers: &RecognizerSet,
+    annotator: &Annotator,
+    sod: &Sod,
+    config: &SampleConfig,
+    strategy: SampleStrategy,
+    exec: &Executor,
+) -> Result<Vec<AnnotatedPage>, SampleError> {
+    select_sample_timed_with(docs, recognizers, annotator, sod, config, strategy, exec)
+        .map(|o| o.sample)
+}
+
+/// [`select_sample_timed`] over a caller-owned [`Annotator`].
+#[allow(clippy::too_many_arguments)]
+pub fn select_sample_timed_with(
+    docs: &[Document],
+    recognizers: &RecognizerSet,
+    annotator: &Annotator,
+    sod: &Sod,
+    config: &SampleConfig,
+    strategy: SampleStrategy,
+    exec: &Executor,
+) -> Result<SampleOutcome, SampleError> {
     if docs.is_empty() {
         return Err(SampleError::EmptySource);
     }
     match strategy {
-        SampleStrategy::SodBased => sod_based_sample(docs, recognizers, sod, config, exec),
-        SampleStrategy::Random(seed) => random_sample(docs, recognizers, sod, config, seed, exec),
+        SampleStrategy::SodBased => {
+            sod_based_sample(docs, recognizers, annotator, sod, config, exec)
+        }
+        SampleStrategy::Random(seed) => {
+            random_sample(docs, recognizers, annotator, sod, config, seed, exec)
+        }
     }
 }
 
@@ -155,11 +191,16 @@ fn sod_types<'a>(sod: &'a Sod, recognizers: &RecognizerSet) -> Vec<&'a str> {
 struct PoolPage {
     index: usize,
     annotations: AnnotationMap,
+    /// All-type matches of the page's text nodes, computed by the
+    /// first annotation round; later rounds project from this instead
+    /// of re-walking the DOM and re-querying the memo cache.
+    matches: Option<PageMatches>,
 }
 
 fn sod_based_sample(
     docs: &[Document],
     recognizers: &RecognizerSet,
+    annotator: &Annotator,
     sod: &Sod,
     config: &SampleConfig,
     exec: &Executor,
@@ -171,6 +212,7 @@ fn sod_based_sample(
         .map(|index| PoolPage {
             index,
             annotations: HashMap::new(),
+            matches: None,
         })
         .collect();
     // Scores per page per processed type.
@@ -179,12 +221,10 @@ fn sod_based_sample(
     for type_name in &types {
         // Annotation round for this type, fanned out per page.
         annotate_busy += exec.for_each_mut(&mut pool, |_, page| {
-            annotate_type_into(
-                &docs[page.index],
-                &mut page.annotations,
-                recognizers,
-                type_name,
-            );
+            let matches = page
+                .matches
+                .get_or_insert_with(|| annotator.page_matches(&docs[page.index]));
+            annotator.annotate_from_matches(matches, &mut page.annotations, type_name);
         });
         // Page score for this type (Eq. 3), fold into running minimum.
         let scores = exec.map(&pool, |_, page| {
@@ -246,6 +286,7 @@ fn sod_based_sample(
 fn random_sample(
     docs: &[Document],
     recognizers: &RecognizerSet,
+    annotator: &Annotator,
     sod: &Sod,
     config: &SampleConfig,
     seed: u64,
@@ -264,10 +305,9 @@ fn random_sample(
         })
         .collect();
     let annotate_busy = exec.for_each_mut(&mut pages, |_, page| {
-        for t in &types {
-            annotate_type(page, recognizers, t);
-        }
-        propagate_upwards(page);
+        // One DOM traversal annotates every type at once.
+        annotator.annotate_types_into(&page.doc, &mut page.annotations, &types);
+        propagate_upwards_into(&page.doc, &mut page.annotations);
     });
     Ok(SampleOutcome {
         sample: pages,

@@ -1,0 +1,259 @@
+//! From-scratch Aho–Corasick automaton over `char`s.
+//!
+//! One automaton holds the normalized entries of *every* dictionary
+//! type, so a single left-to-right scan of a text node reports every
+//! dictionary hit for every type at once — this is the engine behind
+//! [`crate::compiled::CompiledRecognizerSet`], replacing the per-type,
+//! per-window n-gram probing of the naive annotator.
+//!
+//! Classic construction: a trie of goto transitions, breadth-first
+//! failure links, and output lists merged along the failure chain so
+//! every pattern ending at a position is reported (overlaps included).
+//! States are `u32`s; transitions are flattened into one sorted edge
+//! array per state (binary search on lookup, no per-state hashing).
+
+use std::collections::VecDeque;
+
+/// Incremental trie builder; call [`AhoCorasickBuilder::build`] once
+/// all patterns are inserted.
+#[derive(Debug, Default)]
+pub struct AhoCorasickBuilder {
+    /// Per state: sorted `(char, target)` edges.
+    nodes: Vec<Vec<(char, u32)>>,
+    /// Per state: pattern ids terminating exactly here.
+    out: Vec<Vec<u32>>,
+    /// Per pattern: length in chars.
+    pat_lens: Vec<u32>,
+}
+
+impl AhoCorasickBuilder {
+    pub fn new() -> AhoCorasickBuilder {
+        AhoCorasickBuilder {
+            nodes: vec![Vec::new()],
+            out: vec![Vec::new()],
+            pat_lens: Vec::new(),
+        }
+    }
+
+    /// Insert a pattern; returns its id (dense, insertion-ordered).
+    /// Duplicate patterns get distinct ids sharing one terminal state.
+    pub fn insert(&mut self, pattern: &str) -> u32 {
+        let id = self.pat_lens.len() as u32;
+        let mut state = 0u32;
+        let mut len = 0u32;
+        for c in pattern.chars() {
+            len += 1;
+            state = match self.nodes[state as usize].binary_search_by_key(&c, |e| e.0) {
+                Ok(i) => self.nodes[state as usize][i].1,
+                Err(i) => {
+                    let next = self.nodes.len() as u32;
+                    self.nodes[state as usize].insert(i, (c, next));
+                    self.nodes.push(Vec::new());
+                    self.out.push(Vec::new());
+                    next
+                }
+            };
+        }
+        self.out[state as usize].push(id);
+        self.pat_lens.push(len);
+        id
+    }
+
+    /// Compute failure links and flatten into the scan-time form.
+    pub fn build(self) -> AhoCorasick {
+        let AhoCorasickBuilder {
+            nodes,
+            mut out,
+            pat_lens,
+        } = self;
+        let n = nodes.len();
+        let mut fail = vec![0u32; n];
+        let mut queue = VecDeque::new();
+        for &(_, s) in &nodes[0] {
+            queue.push_back(s);
+        }
+        // BFS: a state's failure target is strictly shallower, so its
+        // merged output list is final by the time children reach it.
+        while let Some(s) = queue.pop_front() {
+            for &(c, t) in &nodes[s as usize] {
+                let mut f = fail[s as usize];
+                fail[t as usize] = loop {
+                    if let Ok(i) = nodes[f as usize].binary_search_by_key(&c, |e| e.0) {
+                        break nodes[f as usize][i].1;
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = fail[f as usize];
+                };
+                let inherited = out[fail[t as usize] as usize].clone();
+                out[t as usize].extend(inherited);
+                queue.push_back(t);
+            }
+        }
+        // Flatten edges and outputs into slice-per-state arrays.
+        let mut edge_start = Vec::with_capacity(n + 1);
+        let mut edges = Vec::new();
+        let mut out_start = Vec::with_capacity(n + 1);
+        let mut flat_out = Vec::new();
+        for i in 0..n {
+            edge_start.push(edges.len() as u32);
+            edges.extend_from_slice(&nodes[i]);
+            out_start.push(flat_out.len() as u32);
+            flat_out.extend_from_slice(&out[i]);
+        }
+        edge_start.push(edges.len() as u32);
+        out_start.push(flat_out.len() as u32);
+        // Dense root transitions for ASCII — the state most scan steps
+        // sit in (missing chars map to 0, i.e. stay at the root).
+        let mut root_dense = vec![0u32; 128];
+        for &(c, t) in &nodes[0] {
+            if (c as u32) < 128 {
+                root_dense[c as usize] = t;
+            }
+        }
+        AhoCorasick {
+            edge_start,
+            edges,
+            fail,
+            out_start,
+            out: flat_out,
+            pat_lens,
+            root_dense,
+        }
+    }
+}
+
+/// The frozen automaton ([`AhoCorasickBuilder::build`]).
+#[derive(Debug, Clone, Default)]
+pub struct AhoCorasick {
+    edge_start: Vec<u32>,
+    edges: Vec<(char, u32)>,
+    fail: Vec<u32>,
+    out_start: Vec<u32>,
+    out: Vec<u32>,
+    pat_lens: Vec<u32>,
+    /// Root-state transition per ASCII char (0 = stay at root).
+    root_dense: Vec<u32>,
+}
+
+impl AhoCorasick {
+    /// Number of patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.pat_lens.len()
+    }
+
+    /// Length in chars of pattern `id`.
+    pub fn pattern_len(&self, id: u32) -> u32 {
+        self.pat_lens[id as usize]
+    }
+
+    #[inline]
+    fn step(&self, mut s: u32, c: char) -> u32 {
+        loop {
+            if s == 0 && (c as u32) < 128 {
+                // `get` keeps a `Default`-built (table-less) automaton safe.
+                return self.root_dense.get(c as usize).copied().unwrap_or(0);
+            }
+            let lo = self.edge_start[s as usize] as usize;
+            let hi = self.edge_start[s as usize + 1] as usize;
+            if let Ok(i) = self.edges[lo..hi].binary_search_by_key(&c, |e| e.0) {
+                return self.edges[lo + i].1;
+            }
+            if s == 0 {
+                return 0;
+            }
+            s = self.fail[s as usize];
+        }
+    }
+
+    /// Scan `chars`, invoking `on_hit(pattern_id, end_char_exclusive)`
+    /// for every occurrence of every pattern, overlaps included. The
+    /// start position is `end - pattern_len(pattern_id)`.
+    pub fn scan<I>(&self, chars: I, mut on_hit: impl FnMut(u32, u32))
+    where
+        I: Iterator<Item = char>,
+    {
+        let mut state = 0u32;
+        for (i, c) in chars.enumerate() {
+            state = self.step(state, c);
+            let lo = self.out_start[state as usize] as usize;
+            let hi = self.out_start[state as usize + 1] as usize;
+            for &p in &self.out[lo..hi] {
+                on_hit(p, i as u32 + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits(ac: &AhoCorasick, text: &str) -> Vec<(u32, u32, u32)> {
+        let mut v = Vec::new();
+        ac.scan(text.chars(), |p, end| {
+            v.push((p, end - ac.pattern_len(p), end));
+        });
+        v
+    }
+
+    #[test]
+    fn classic_overlapping_patterns() {
+        let mut b = AhoCorasickBuilder::new();
+        for p in ["he", "she", "his", "hers"] {
+            b.insert(p);
+        }
+        let ac = b.build();
+        // "ushers": she@1..4, he@2..4, hers@2..6
+        let got = hits(&ac, "ushers");
+        assert_eq!(got, vec![(1, 1, 4), (0, 2, 4), (3, 2, 6)]);
+    }
+
+    #[test]
+    fn duplicate_patterns_both_reported() {
+        let mut b = AhoCorasickBuilder::new();
+        let a = b.insert("abc");
+        let c = b.insert("abc");
+        let ac = b.build();
+        let got = hits(&ac, "xabcx");
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&(a, 1, 4)) && got.contains(&(c, 1, 4)));
+    }
+
+    #[test]
+    fn suffix_pattern_found_inside_longer_match_path() {
+        let mut b = AhoCorasickBuilder::new();
+        let long = b.insert("new york");
+        let short = b.insert("york");
+        let ac = b.build();
+        let got = hits(&ac, "in new york today");
+        assert!(got.contains(&(long, 3, 11)));
+        assert!(got.contains(&(short, 7, 11)));
+    }
+
+    #[test]
+    fn positions_are_char_based() {
+        let mut b = AhoCorasickBuilder::new();
+        let p = b.insert("caf\u{e9}");
+        let ac = b.build();
+        let got = hits(&ac, "le caf\u{e9} noir");
+        assert_eq!(got, vec![(p, 3, 7)]);
+    }
+
+    #[test]
+    fn empty_automaton_matches_nothing() {
+        let ac = AhoCorasickBuilder::new().build();
+        assert_eq!(ac.pattern_count(), 0);
+        assert!(hits(&ac, "anything at all").is_empty());
+    }
+
+    #[test]
+    fn repeated_and_adjacent_occurrences() {
+        let mut b = AhoCorasickBuilder::new();
+        let p = b.insert("aa");
+        let ac = b.build();
+        // Overlapping occurrences all reported: ends at 2, 3, 4.
+        assert_eq!(hits(&ac, "aaaa"), vec![(p, 0, 2), (p, 1, 3), (p, 2, 4)]);
+    }
+}

@@ -39,7 +39,7 @@ pub fn concepts_from_examples(ontology: &Ontology, examples: &[&str]) -> Vec<Con
     if examples.is_empty() {
         return Vec::new();
     }
-    let normalized: Vec<String> = examples.iter().map(|e| normalize(e)).collect();
+    let normalized: Vec<String> = examples.iter().map(|e| normalize(e).into_owned()).collect();
     let mut out = Vec::new();
     for id in ontology.class_ids() {
         let dictionary = ontology.gazetteer_for(ontology.class_name(id), RADIUS);

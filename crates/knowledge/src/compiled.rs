@@ -1,0 +1,548 @@
+//! Compiled annotation engine: one pass per text node, all types at
+//! once.
+//!
+//! The naive path ([`crate::recognizer::Recognizer::recognize`]) is
+//! re-run per type per node: each dictionary type re-normalizes the
+//! text and probes every word n-gram against its hash map, and each
+//! pattern type restarts its regex scan. [`CompiledRecognizerSet`]
+//! folds a whole [`RecognizerSet`] into three engines built once per
+//! domain:
+//!
+//! * one [`AhoCorasick`] automaton over the normalized entries of
+//!   *every* dictionary type — a single left-to-right scan reports
+//!   every dictionary hit for every type;
+//! * one [`MultiRegex`] Pike-VM program folding every predefined
+//!   pattern (scan semantics) and user regex (whole-string semantics)
+//!   — one sweep scores all of them;
+//! * per-call scratch ([`MatchScratch`]) so the steady state allocates
+//!   nothing.
+//!
+//! **Equivalence contract**: for every type in the set,
+//! [`CompiledRecognizerSet::match_all`] reports exactly the
+//! `TypeMatch` that `Recognizer::recognize` reports on the same text —
+//! including every tie-breaking rule (longest phrase first, first
+//! window wins, first pattern wins coverage ties, the 20% dictionary
+//! and 40% pattern coverage floors). The differential tests in this
+//! module and in `tests/annotation_equivalence.rs` enforce it.
+
+use crate::aho::{AhoCorasick, AhoCorasickBuilder};
+use crate::gazetteer::normalize_into;
+use crate::recognizer::{
+    Recognizer, RecognizerSet, TypeMatch, MAX_PHRASE_WORDS, MIN_DICT_COVERAGE,
+};
+use crate::regex::{MultiRegex, RegexScratch};
+
+/// How one entity type is evaluated by the compiled engine.
+#[derive(Debug, Clone)]
+enum CompiledKind {
+    /// Hits come from the shared dictionary automaton.
+    Dictionary,
+    /// Whole-string pattern at `slot` in the multi-regex program.
+    UserRegex { slot: usize, confidence: f64 },
+    /// Scan patterns at `slots` (in declaration order) in the
+    /// multi-regex program.
+    Predefined {
+        slots: std::ops::Range<usize>,
+        confidence: f64,
+    },
+}
+
+/// One dictionary pattern in the shared automaton (index = pattern id).
+#[derive(Debug, Clone)]
+struct DictPat {
+    /// Index into `types` of the owning dictionary type.
+    type_idx: u32,
+    /// Entry confidence.
+    confidence: f64,
+    /// Starts and ends with an alphanumeric char: eligible for the
+    /// embedded-phrase path (a junk-trimmed phrase always does; keys
+    /// with edge junk can only match the whole trimmed text exactly).
+    phrase_ok: bool,
+}
+
+/// A word of the normalized text (char positions).
+#[derive(Debug, Clone, Copy)]
+struct WordInfo {
+    /// One past the word's last char (words sort by `end`, which is
+    /// all the hit→window mapping needs).
+    end: u32,
+    /// First and last alphanumeric char position, if any (`None` for
+    /// all-junk words, which phrase trimming can consume entirely).
+    alnum: Option<(u32, u32)>,
+}
+
+/// Per-dictionary-type accumulator for one `match_all` call.
+#[derive(Debug, Clone, Copy, Default)]
+struct DictState {
+    /// Confidence of an exact whole-text match, if seen.
+    exact: Option<f64>,
+    /// Best embedded phrase: word count (0 = none), start word,
+    /// confidence. Larger `n` wins; at equal `n` the smaller `s` wins
+    /// — exactly the naive scan order.
+    n: u32,
+    s: u32,
+    conf: f64,
+}
+
+/// Reusable per-thread scratch for [`CompiledRecognizerSet::match_all`].
+/// All buffers grow to the high-water mark and are reused; the steady
+/// state performs no allocations.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    /// Normalized text (lowercased, single-space-joined words).
+    norm: String,
+    words: Vec<WordInfo>,
+    dict_state: Vec<DictState>,
+    regex: RegexScratch,
+    pat_results: Vec<Option<(usize, usize)>>,
+}
+
+impl MatchScratch {
+    pub fn new() -> MatchScratch {
+        MatchScratch::default()
+    }
+}
+
+/// A [`RecognizerSet`] compiled for one-pass multi-type matching. Build
+/// once per domain ([`CompiledRecognizerSet::compile`]), share freely:
+/// matching is a pure read (`Send + Sync`), all mutable state lives in
+/// the caller's [`MatchScratch`].
+#[derive(Debug, Clone, Default)]
+pub struct CompiledRecognizerSet {
+    /// Type names in annotation order (Algorithm 1).
+    types: Vec<String>,
+    kinds: Vec<CompiledKind>,
+    ac: AhoCorasick,
+    /// Indexed by automaton pattern id.
+    dict_pats: Vec<DictPat>,
+    multi: MultiRegex,
+    has_dict: bool,
+}
+
+impl CompiledRecognizerSet {
+    /// Compile `set`. Deterministic: dictionary entries feed the
+    /// automaton in sorted key order, types in annotation order.
+    pub fn compile(set: &RecognizerSet) -> CompiledRecognizerSet {
+        let types: Vec<String> = set
+            .annotation_order()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        let mut kinds = Vec::with_capacity(types.len());
+        let mut builder = AhoCorasickBuilder::new();
+        let mut dict_pats = Vec::new();
+        let mut multi = MultiRegex::new();
+        let mut has_dict = false;
+        for (t, name) in types.iter().enumerate() {
+            let rec = set.get(name).expect("annotation_order lists set members");
+            match rec {
+                Recognizer::Dictionary(g) => {
+                    has_dict = true;
+                    let mut entries: Vec<(&str, f64)> = g
+                        .iter_normalized()
+                        .map(|(k, e)| (k, e.confidence))
+                        .collect();
+                    entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+                    for (key, confidence) in entries {
+                        let first_alnum = key.chars().next().is_some_and(char::is_alphanumeric);
+                        let last_alnum = key.chars().next_back().is_some_and(char::is_alphanumeric);
+                        let id = builder.insert(key);
+                        debug_assert_eq!(id as usize, dict_pats.len());
+                        dict_pats.push(DictPat {
+                            type_idx: t as u32,
+                            confidence,
+                            phrase_ok: first_alnum && last_alnum,
+                        });
+                    }
+                    kinds.push(CompiledKind::Dictionary);
+                }
+                Recognizer::UserRegex { regex, confidence } => {
+                    let slot = multi.push_full(regex);
+                    kinds.push(CompiledKind::UserRegex {
+                        slot,
+                        confidence: *confidence,
+                    });
+                }
+                Recognizer::Predefined {
+                    patterns,
+                    confidence,
+                    ..
+                } => {
+                    let start = multi.len();
+                    for p in patterns {
+                        multi.push_find(p);
+                    }
+                    kinds.push(CompiledKind::Predefined {
+                        slots: start..multi.len(),
+                        confidence: *confidence,
+                    });
+                }
+            }
+        }
+        CompiledRecognizerSet {
+            types,
+            kinds,
+            ac: builder.build(),
+            dict_pats,
+            multi,
+            has_dict,
+        }
+    }
+
+    /// Type names in annotation order.
+    pub fn type_names(&self) -> impl Iterator<Item = &str> {
+        self.types.iter().map(String::as_str)
+    }
+
+    /// Number of types.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Name of type `idx` (the indices reported by
+    /// [`CompiledRecognizerSet::match_all`]).
+    pub fn type_name(&self, idx: u32) -> &str {
+        &self.types[idx as usize]
+    }
+
+    /// Index of `name`, if registered.
+    pub fn type_index(&self, name: &str) -> Option<u32> {
+        self.types.iter().position(|t| t == name).map(|i| i as u32)
+    }
+
+    /// Match `text` against every type in one pass. `out` receives
+    /// `(type_index, TypeMatch)` pairs in annotation order — exactly
+    /// the types for which the naive `Recognizer::recognize` returns
+    /// `Some`, with identical confidence and coverage.
+    pub fn match_all(
+        &self,
+        text: &str,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<(u32, TypeMatch)>,
+    ) {
+        out.clear();
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return;
+        }
+        if self.has_dict {
+            self.scan_dictionaries(trimmed, scratch);
+        }
+        if !self.multi.is_empty() {
+            if self.multi.could_match_in(trimmed) {
+                self.multi
+                    .run_into(trimmed, &mut scratch.regex, &mut scratch.pat_results);
+            } else {
+                scratch.pat_results.clear();
+                scratch.pat_results.resize(self.multi.len(), None);
+            }
+        }
+        for (t, kind) in self.kinds.iter().enumerate() {
+            let m = match kind {
+                CompiledKind::Dictionary => {
+                    let st = &scratch.dict_state[t];
+                    if let Some(confidence) = st.exact {
+                        Some(TypeMatch {
+                            confidence,
+                            coverage: 1.0,
+                        })
+                    } else if st.n > 0 {
+                        Some(TypeMatch {
+                            confidence: st.conf,
+                            coverage: st.n as f64 / scratch.words.len() as f64,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                CompiledKind::UserRegex { slot, confidence } => {
+                    scratch.pat_results[*slot].map(|_| TypeMatch {
+                        confidence: *confidence,
+                        coverage: 1.0,
+                    })
+                }
+                CompiledKind::Predefined { slots, confidence } => {
+                    // First pattern wins coverage ties (strictly-greater
+                    // fold, same as the naive loop).
+                    let mut best: Option<f64> = None;
+                    for slot in slots.clone() {
+                        if let Some((s, e)) = scratch.pat_results[slot] {
+                            let coverage = (e - s) as f64 / trimmed.len() as f64;
+                            if best.map(|b| coverage > b).unwrap_or(true) {
+                                best = Some(coverage);
+                            }
+                        }
+                    }
+                    best.filter(|c| *c >= 0.4).map(|coverage| TypeMatch {
+                        confidence: *confidence,
+                        coverage,
+                    })
+                }
+            };
+            if let Some(m) = m {
+                out.push((t as u32, m));
+            }
+        }
+    }
+
+    /// One automaton scan over the normalized text, accumulating the
+    /// best exact/embedded dictionary match per type.
+    fn scan_dictionaries(&self, trimmed: &str, scratch: &mut MatchScratch) {
+        normalize_into(trimmed, &mut scratch.norm);
+        // Word boundaries and their alphanumeric extents, in char
+        // positions of the normalized text (words are single-space
+        // separated by construction).
+        scratch.words.clear();
+        let mut in_word = false;
+        let mut alnum: Option<(u32, u32)> = None;
+        let mut pos = 0u32;
+        for c in scratch.norm.chars() {
+            if c == ' ' {
+                if in_word {
+                    in_word = false;
+                    scratch.words.push(WordInfo {
+                        end: pos,
+                        alnum: alnum.take(),
+                    });
+                }
+            } else {
+                in_word = true;
+                if c.is_alphanumeric() {
+                    alnum = Some((alnum.map_or(pos, |(f, _)| f), pos));
+                }
+            }
+            pos += 1;
+        }
+        if in_word {
+            scratch.words.push(WordInfo { end: pos, alnum });
+        }
+        let norm_chars = pos;
+        let w_count = scratch.words.len();
+
+        scratch.dict_state.clear();
+        scratch
+            .dict_state
+            .resize(self.kinds.len(), DictState::default());
+
+        // The naive scan caps phrases at min(MAX_PHRASE_WORDS, W-1)
+        // words and requires at least two words in the text.
+        let n_cap = if w_count >= 2 {
+            MAX_PHRASE_WORDS.min(w_count - 1) as u32
+        } else {
+            0
+        };
+        let words = &scratch.words;
+        let dict_state = &mut scratch.dict_state;
+        self.ac.scan(scratch.norm.chars(), |pat, end| {
+            let p = &self.dict_pats[pat as usize];
+            let hs = end - self.ac.pattern_len(pat);
+            // Exact whole-text match (`g.get(trimmed)`): coverage 1.0.
+            if hs == 0 && end == norm_chars {
+                dict_state[p.type_idx as usize].exact = Some(p.confidence);
+            }
+            if n_cap == 0 || !p.phrase_ok {
+                return;
+            }
+            // Embedded phrase: the hit must be exactly the junk-trimmed
+            // content of some word window. The hit start must be the
+            // first alphanumeric char of its word, the hit end the last
+            // alphanumeric char of its word; all-junk neighbor words can
+            // be absorbed by the trim, widening the window.
+            let he = end - 1; // last char of the hit
+            let wi = words.partition_point(|w| w.end <= hs);
+            let wj = words.partition_point(|w| w.end <= he);
+            if words[wi].alnum.map(|(f, _)| f) != Some(hs)
+                || words[wj].alnum.map(|(_, l)| l) != Some(he)
+            {
+                return;
+            }
+            let mut s_min = wi;
+            while s_min > 0 && words[s_min - 1].alnum.is_none() {
+                s_min -= 1;
+            }
+            let mut e_max = wj;
+            while e_max + 1 < w_count && words[e_max + 1].alnum.is_none() {
+                e_max += 1;
+            }
+            let st = &mut dict_state[p.type_idx as usize];
+            for s in s_min..=wi {
+                for e in wj..=e_max {
+                    let n = (e - s + 1) as u32;
+                    if n > n_cap {
+                        continue;
+                    }
+                    // Same float computation as the naive path.
+                    let coverage = n as f64 / w_count as f64;
+                    if coverage < MIN_DICT_COVERAGE {
+                        continue;
+                    }
+                    // Longest phrase wins; at equal length the earliest
+                    // window wins (the naive scan order).
+                    if n > st.n || (n == st.n && (s as u32) < st.s) {
+                        st.n = n;
+                        st.s = s as u32;
+                        st.conf = p.confidence;
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gazetteer::Gazetteer;
+
+    fn assert_equivalent(set: &RecognizerSet, texts: &[&str]) {
+        let compiled = CompiledRecognizerSet::compile(set);
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        for text in texts {
+            compiled.match_all(text, &mut scratch, &mut out);
+            for name in compiled.type_names() {
+                let naive = set.get(name).expect("type").recognize(text);
+                let idx = compiled.type_index(name).expect("indexed");
+                let got = out.iter().find(|(t, _)| *t == idx).map(|(_, m)| m);
+                match (naive, got) {
+                    (None, None) => {}
+                    (Some(n), Some(g)) => {
+                        assert_eq!(n.confidence, g.confidence, "{name} conf on {text:?}");
+                        assert_eq!(n.coverage, g.coverage, "{name} cov on {text:?}");
+                    }
+                    (n, g) => panic!("{name} diverged on {text:?}: naive={n:?} compiled={g:?}"),
+                }
+            }
+        }
+    }
+
+    fn band_set() -> RecognizerSet {
+        let mut bands = Gazetteer::new();
+        bands.insert("Metallica", 0.95, 5.0);
+        bands.insert("Iron Maiden", 0.9, 4.0);
+        bands.insert("The Iron Echoes", 0.9, 2.0);
+        bands.insert("Iron", 0.5, 9.0);
+        let mut venues = Gazetteer::new();
+        venues.insert("Madison Square Garden", 0.9, 3.0);
+        venues.insert("Iron Maiden", 0.4, 8.0); // overlaps the band dict
+        let mut set = RecognizerSet::new();
+        set.insert("band", Recognizer::dictionary(bands));
+        set.insert("venue", Recognizer::dictionary(venues));
+        set.insert("date", Recognizer::predefined_date());
+        set.insert("price", Recognizer::predefined_price());
+        set.insert(
+            "code",
+            Recognizer::user_regex(r"[A-Z]{2}\d{4}", 0.9).expect("compiles"),
+        );
+        set
+    }
+
+    #[test]
+    fn compiled_matches_naive_on_representative_texts() {
+        assert_equivalent(
+            &band_set(),
+            &[
+                "Metallica",
+                "metallica",
+                "Metallica!",
+                "Metallica concert tickets",
+                "Iron Maiden at Madison Square Garden",
+                "The Iron Echoes",
+                "Emma by The Iron Echoes",
+                "Saturday August 8, 2010 8:00pm",
+                "only $12.99 today",
+                "$12.99",
+                "AB1234",
+                "xxAB1234",
+                "",
+                "   ",
+                "!!! ---",
+                "Iron",
+                "iron iron iron iron iron iron iron iron",
+            ],
+        );
+    }
+
+    #[test]
+    fn overlapping_types_both_reported() {
+        let set = band_set();
+        let compiled = CompiledRecognizerSet::compile(&set);
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        compiled.match_all("Iron Maiden", &mut scratch, &mut out);
+        let band = compiled.type_index("band").expect("band");
+        let venue = compiled.type_index("venue").expect("venue");
+        let band_m = out.iter().find(|(t, _)| *t == band).expect("band match");
+        let venue_m = out.iter().find(|(t, _)| *t == venue).expect("venue match");
+        assert_eq!(band_m.1.confidence, 0.9);
+        assert_eq!(venue_m.1.confidence, 0.4);
+    }
+
+    #[test]
+    fn single_word_with_punctuation_does_not_match() {
+        // "Metallica!" fails the naive exact lookup and has only one
+        // word, so the phrase path never runs — the compiled engine
+        // must agree (the classic off-by-one trap for automatons).
+        let set = band_set();
+        let compiled = CompiledRecognizerSet::compile(&set);
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        compiled.match_all("Metallica!", &mut scratch, &mut out);
+        let band = compiled.type_index("band").expect("band");
+        assert!(out.iter().all(|(t, _)| *t != band));
+        // With a second word, junk trimming kicks in and it matches.
+        compiled.match_all("Metallica !", &mut scratch, &mut out);
+        assert!(out.iter().any(|(t, _)| *t == band));
+    }
+
+    #[test]
+    fn longest_phrase_beats_shorter_one() {
+        let set = band_set();
+        let compiled = CompiledRecognizerSet::compile(&set);
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        compiled.match_all("Emma by The Iron Echoes", &mut scratch, &mut out);
+        let band = compiled.type_index("band").expect("band");
+        let m = out.iter().find(|(t, _)| *t == band).expect("match");
+        // "The Iron Echoes" (3 words / 5) at confidence 0.9, not the
+        // embedded "Iron" (1 word) at 0.5.
+        assert_eq!(m.1.confidence, 0.9);
+        assert!((m.1.coverage - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phrase_at_max_words_matches_and_beyond_does_not() {
+        let mut g = Gazetteer::new();
+        g.insert("a b c d e f", 0.9, 1.0);
+        g.insert("a b c d e f g", 0.9, 1.0);
+        let mut set = RecognizerSet::new();
+        set.insert("t", Recognizer::dictionary(g));
+        assert_equivalent(
+            &set,
+            &[
+                "a b c d e f tail",
+                "a b c d e f g tail",
+                "head a b c d e f",
+                "a b c d e f",
+            ],
+        );
+    }
+
+    #[test]
+    fn empty_set_matches_nothing() {
+        let set = RecognizerSet::new();
+        let compiled = CompiledRecognizerSet::compile(&set);
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        compiled.match_all("anything", &mut scratch, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(compiled.type_count(), 0);
+    }
+
+    /// Compile-time guarantee backing shared use across workers.
+    #[test]
+    fn compiled_set_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledRecognizerSet>();
+    }
+}

@@ -10,6 +10,7 @@
 //! score(t) = Σ_{i ∈ t} score(i, t) / tf(i)
 //! ```
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// One dictionary entry.
@@ -33,12 +34,77 @@ pub struct Gazetteer {
     display: HashMap<String, String>,
 }
 
-/// Normalize an instance string for dictionary lookup.
-pub fn normalize(s: &str) -> String {
-    s.split_whitespace()
-        .collect::<Vec<_>>()
-        .join(" ")
-        .to_lowercase()
+/// Normalize an instance string for dictionary lookup: whitespace runs
+/// collapse to single spaces, edges are trimmed, letters lowercase.
+/// Already-normalized ASCII input is borrowed — no allocation.
+pub fn normalize(s: &str) -> Cow<'_, str> {
+    if is_normalized_ascii(s) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len());
+    normalize_into(s, &mut out);
+    Cow::Owned(out)
+}
+
+/// [`normalize`] into a caller-provided buffer (cleared first) — the
+/// scratch-buffer path the compiled annotation engine reuses per text
+/// node.
+pub fn normalize_into(s: &str, out: &mut String) {
+    out.clear();
+    if s.is_ascii() {
+        let mut pending_space = false;
+        for &b in s.as_bytes() {
+            if is_ascii_ws(b) {
+                pending_space = !out.is_empty();
+            } else {
+                if pending_space {
+                    out.push(' ');
+                    pending_space = false;
+                }
+                out.push(b.to_ascii_lowercase() as char);
+            }
+        }
+    } else {
+        // Rare non-ASCII path: join words first, then defer to
+        // `str::to_lowercase` for its context-sensitive Unicode rules
+        // (e.g. Greek final sigma), preserving historical keys.
+        let mut joined = String::with_capacity(s.len());
+        for w in s.split_whitespace() {
+            if !joined.is_empty() {
+                joined.push(' ');
+            }
+            joined.push_str(w);
+        }
+        out.push_str(&joined.to_lowercase());
+    }
+}
+
+/// ASCII characters `char::is_whitespace` treats as whitespace
+/// (`u8::is_ascii_whitespace` misses vertical tab).
+#[inline]
+fn is_ascii_ws(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\n' | b'\r' | 0x0b | 0x0c)
+}
+
+/// True iff `normalize(s)` would be the identity on `s`.
+fn is_normalized_ascii(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    if bytes.first() == Some(&b' ') || bytes.last() == Some(&b' ') {
+        return false;
+    }
+    let mut prev_space = false;
+    for &b in bytes {
+        let space = b == b' ';
+        if !b.is_ascii()
+            || b.is_ascii_uppercase()
+            || (space && prev_space)
+            || (!space && is_ascii_ws(b))
+        {
+            return false;
+        }
+        prev_space = space;
+    }
+    true
 }
 
 impl Gazetteer {
@@ -54,6 +120,7 @@ impl Gazetteer {
         if key.is_empty() {
             return;
         }
+        let key = key.into_owned();
         let entry = GazetteerEntry {
             confidence: confidence.clamp(0.0, 1.0),
             term_frequency: term_frequency.max(1.0),
@@ -69,12 +136,12 @@ impl Gazetteer {
 
     /// Look up an instance (case-insensitive).
     pub fn get(&self, instance: &str) -> Option<&GazetteerEntry> {
-        self.entries.get(&normalize(instance))
+        self.entries.get(normalize(instance).as_ref())
     }
 
     /// Does the dictionary contain `instance`?
     pub fn contains(&self, instance: &str) -> bool {
-        self.entries.contains_key(&normalize(instance))
+        self.entries.contains_key(normalize(instance).as_ref())
     }
 
     /// Number of entries.
@@ -92,6 +159,13 @@ impl Gazetteer {
         self.entries
             .iter()
             .map(move |(k, e)| (self.display[k].as_str(), e))
+    }
+
+    /// Iterate `(normalized_key, entry)` pairs in unspecified order —
+    /// the compiled annotation engine builds its dictionary automaton
+    /// directly over these keys, skipping re-normalization.
+    pub fn iter_normalized(&self) -> impl Iterator<Item = (&str, &GazetteerEntry)> {
+        self.entries.iter().map(|(k, e)| (k.as_str(), e))
     }
 
     /// The type-selectivity estimate of Eq. 2:
@@ -242,6 +316,43 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert!((a.get("X").expect("entry").confidence - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_is_one_pass_and_borrowing() {
+        // Already-normalized ASCII borrows.
+        assert!(matches!(normalize("metallica"), Cow::Borrowed(_)));
+        assert!(matches!(normalize("new york city"), Cow::Borrowed(_)));
+        assert!(matches!(normalize(""), Cow::Borrowed(_)));
+        // Anything needing work allocates exactly once.
+        for (input, want) in [
+            ("  Metallica  ", "metallica"),
+            ("NEW\t\tYork", "new york"),
+            ("a  b", "a b"),
+            ("a\u{b}b", "a b"), // vertical tab is whitespace
+            ("Caf\u{e9} de Flore", "caf\u{e9} de flore"),
+        ] {
+            let got = normalize(input);
+            assert!(matches!(got, Cow::Owned(_)), "{input:?}");
+            assert_eq!(got, want, "{input:?}");
+        }
+    }
+
+    #[test]
+    fn normalize_into_matches_normalize() {
+        let mut buf = String::new();
+        for s in ["", "  A  B ", "Ärger\u{b}im Büro", "plain", "x  Y\tz"] {
+            normalize_into(s, &mut buf);
+            assert_eq!(buf, normalize(s).as_ref(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn iter_normalized_yields_keys() {
+        let g = sample();
+        let mut keys: Vec<&str> = g.iter_normalized().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec!["coldplay", "madonna", "metallica"]);
     }
 
     #[test]

@@ -25,7 +25,9 @@
 //!   by a few example instances; the ontology finds the matching
 //!   concepts Google-sets-style and expands them into a recognizer.
 
+pub mod aho;
 pub mod bytype;
+pub mod compiled;
 pub mod corpus;
 pub mod enrich;
 pub mod gazetteer;
@@ -34,6 +36,7 @@ pub mod ontology;
 pub mod recognizer;
 pub mod regex;
 
+pub use compiled::{CompiledRecognizerSet, MatchScratch};
 pub use gazetteer::Gazetteer;
 pub use ontology::Ontology;
 pub use recognizer::{Recognizer, RecognizerSet, TypeMatch};

@@ -244,12 +244,13 @@ impl Recognizer {
     }
 }
 
-/// Longest dictionary phrase to look for inside a text unit.
-const MAX_PHRASE_WORDS: usize = 6;
+/// Longest dictionary phrase to look for inside a text unit (shared
+/// with the compiled engine, which must reproduce it exactly).
+pub const MAX_PHRASE_WORDS: usize = 6;
 
 /// Minimum fraction of the text a dictionary phrase must cover to
-/// annotate the node.
-const MIN_DICT_COVERAGE: f64 = 0.2;
+/// annotate the node (shared with the compiled engine).
+pub const MIN_DICT_COVERAGE: f64 = 0.2;
 
 /// Find the best dictionary instance embedded in `text` (word n-gram
 /// scan, longest match preferred).

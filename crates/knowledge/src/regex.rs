@@ -1,6 +1,6 @@
-//! A small regular-expression engine (Thompson NFA construction with
-//! breadth-first simulation — linear time in `input × states`, no
-//! catastrophic backtracking).
+//! A small regular-expression engine (Thompson NFA construction with a
+//! single-sweep Pike-VM simulation — linear time in `input × states`,
+//! no catastrophic backtracking, no per-position restarts).
 //!
 //! Supported syntax: literals, `.`, character classes `[a-z0-9]` /
 //! `[^…]`, escapes `\d \w \s \D \W \S` and escaped metacharacters,
@@ -8,6 +8,14 @@
 //! grouping `( )`, anchors `^ $`. Matching is over `char`s, so Unicode
 //! text is safe (classes are ASCII-oriented, as the paper's predefined
 //! types need).
+//!
+//! Unanchored scanning injects a fresh thread at every input position
+//! during **one** pass, tracking the leftmost-longest match per
+//! pattern — the same result the old restart-per-start loop computed
+//! in O(len² × states). [`MultiRegex`] folds many patterns into one
+//! program with per-pattern `Match` instructions, so one sweep scores
+//! every predefined recognizer pattern at once. Scratch state lives in
+//! a caller-provided [`RegexScratch`] (zero steady-state allocations).
 
 use std::fmt;
 
@@ -18,6 +26,12 @@ pub struct Regex {
     pattern: String,
     anchored_start: bool,
     anchored_end: bool,
+    /// ASCII chars a match can start with (spawn prefilter).
+    first_ascii: u128,
+    /// Whether a match could start with a non-ASCII char.
+    first_non_ascii: bool,
+    /// Whether the pattern can match the empty string.
+    empty_ok: bool,
 }
 
 /// Errors from [`Regex::new`].
@@ -78,15 +92,68 @@ impl CharClass {
             }
         }
     }
+
+    /// Could this class match *some* non-ASCII char? Conservative
+    /// (true on doubt) — used only to build the spawn prefilter, so
+    /// over-approximation costs speed, never correctness.
+    fn may_match_non_ascii(&self) -> bool {
+        match self {
+            CharClass::Literal(l) => !l.is_ascii(),
+            CharClass::Any => true,
+            CharClass::Digit(pos) => !*pos,
+            CharClass::Word(pos) => !*pos,
+            CharClass::Space(_) => true,
+            CharClass::Set { ranges, negated } => {
+                *negated || ranges.iter().any(|&(_, hi)| !hi.is_ascii())
+            }
+        }
+    }
 }
 
-/// NFA instruction.
+/// The chars that can begin a match of the fragment starting at
+/// `start`: an ASCII bitmap, a conservative non-ASCII flag, and
+/// whether the fragment can match the empty string (in which case the
+/// prefilter must never suppress a spawn).
+fn first_chars(program: &[Inst], start: usize) -> (u128, bool, bool) {
+    let mut stack = vec![start];
+    let mut seen = vec![false; program.len()];
+    let mut ascii = 0u128;
+    let mut non_ascii = false;
+    let mut empty_ok = false;
+    while let Some(pc) = stack.pop() {
+        if seen[pc] {
+            continue;
+        }
+        seen[pc] = true;
+        match &program[pc] {
+            Inst::Jmp(t) => stack.push(*t),
+            Inst::Split(a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            Inst::Match(_) => empty_ok = true,
+            Inst::Char(cc) => {
+                for b in 0..128u32 {
+                    if cc.matches(char::from_u32(b).expect("ascii")) {
+                        ascii |= 1 << b;
+                    }
+                }
+                non_ascii |= cc.may_match_non_ascii();
+            }
+        }
+    }
+    (ascii, non_ascii, empty_ok)
+}
+
+/// NFA instruction. `Match` carries the index of the pattern whose
+/// fragment it terminates (always 0 in a single-pattern [`Regex`];
+/// [`MultiRegex`] renumbers on concatenation).
 #[derive(Debug, Clone)]
 enum Inst {
     Char(CharClass),
     Split(usize, usize),
     Jmp(usize),
-    Match,
+    Match(u16),
 }
 
 // ---------------------------------------------------------------------
@@ -394,12 +461,16 @@ impl Regex {
         }
         let mut program = Vec::new();
         compile(&ast, &mut program);
-        program.push(Inst::Match);
+        program.push(Inst::Match(0));
+        let (first_ascii, first_non_ascii, empty_ok) = first_chars(&program, 0);
         Ok(Regex {
             program,
             pattern: pattern.to_owned(),
             anchored_start,
             anchored_end,
+            first_ascii,
+            first_non_ascii,
+            empty_ok,
         })
     }
 
@@ -410,32 +481,36 @@ impl Regex {
 
     /// Does the *entire* input match?
     pub fn is_full_match(&self, input: &str) -> bool {
-        let chars: Vec<char> = input.chars().collect();
-        self.match_len_at(&chars, 0, true).is_some()
+        DEFAULT_SCRATCH.with(|s| self.is_full_match_with(input, &mut s.borrow_mut()))
+    }
+
+    /// [`Regex::is_full_match`] with caller-provided scratch (no
+    /// thread-local lookup, zero allocations once warm).
+    pub fn is_full_match_with(&self, input: &str, scratch: &mut RegexScratch) -> bool {
+        pike_run(&self.program, &[self.meta()], input, true, scratch);
+        scratch.best[0].is_some()
     }
 
     /// Find the first match; returns `(byte_start, byte_end)`.
     pub fn find(&self, input: &str) -> Option<(usize, usize)> {
-        let chars: Vec<char> = input.chars().collect();
-        // Byte offset of each char index (plus terminal offset).
-        let mut offsets = Vec::with_capacity(chars.len() + 1);
-        let mut acc = 0;
-        for c in &chars {
-            offsets.push(acc);
-            acc += c.len_utf8();
+        DEFAULT_SCRATCH.with(|s| self.find_with(input, &mut s.borrow_mut()))
+    }
+
+    /// [`Regex::find`] with caller-provided scratch.
+    pub fn find_with(&self, input: &str, scratch: &mut RegexScratch) -> Option<(usize, usize)> {
+        pike_run(&self.program, &[self.meta()], input, false, scratch);
+        scratch.best[0].map(|(s, e)| (s as usize, e as usize))
+    }
+
+    fn meta(&self) -> PatMeta {
+        PatMeta {
+            start: 0,
+            anchored_start: self.anchored_start,
+            anchored_end: self.anchored_end,
+            first_ascii: self.first_ascii,
+            first_non_ascii: self.first_non_ascii,
+            empty_ok: self.empty_ok,
         }
-        offsets.push(acc);
-        let starts: Box<dyn Iterator<Item = usize>> = if self.anchored_start {
-            Box::new(std::iter::once(0))
-        } else {
-            Box::new(0..=chars.len())
-        };
-        for start in starts {
-            if let Some(len) = self.match_len_at(&chars, start, self.anchored_end) {
-                return Some((offsets[start], offsets[start + len]));
-            }
-        }
-        None
     }
 
     /// All non-overlapping matches as `(byte_start, byte_end)`.
@@ -463,63 +538,356 @@ impl Regex {
         }
         out
     }
+}
 
-    /// Longest match starting exactly at char index `start`; if
-    /// `to_end` the match must consume the remaining input. Returns the
-    /// match length in chars.
-    fn match_len_at(&self, chars: &[char], start: usize, to_end: bool) -> Option<usize> {
-        let mut current: Vec<usize> = Vec::new();
-        let mut next: Vec<usize> = Vec::new();
-        let mut on_current = vec![false; self.program.len()];
-        let mut on_next = vec![false; self.program.len()];
-        let mut best: Option<usize> = None;
+thread_local! {
+    /// Backing scratch for the allocation-free `find`/`is_full_match`
+    /// convenience API; hot paths pass their own [`RegexScratch`].
+    static DEFAULT_SCRATCH: std::cell::RefCell<RegexScratch> =
+        std::cell::RefCell::new(RegexScratch::default());
+}
 
-        add_thread(&self.program, 0, &mut current, &mut on_current);
-        let mut pos = start;
-        loop {
-            if current
-                .iter()
-                .any(|&pc| matches!(self.program[pc], Inst::Match))
-            {
-                let len = pos - start;
-                if !to_end || pos == chars.len() {
-                    best = Some(len); // longest-so-far (we keep going)
-                }
-            }
-            if pos >= chars.len() || current.is_empty() {
-                break;
-            }
-            let c = chars[pos];
-            next.clear();
-            on_next.iter_mut().for_each(|b| *b = false);
-            for &pc in &current {
-                if let Inst::Char(cc) = &self.program[pc] {
-                    if cc.matches(c) {
-                        add_thread(&self.program, pc + 1, &mut next, &mut on_next);
-                    }
-                }
-            }
-            std::mem::swap(&mut current, &mut next);
-            std::mem::swap(&mut on_current, &mut on_next);
-            pos += 1;
+/// A pattern's role inside a combined program.
+#[derive(Debug, Clone)]
+struct PatMeta {
+    /// First instruction of the pattern's fragment.
+    start: usize,
+    /// Threads spawn only at position 0.
+    anchored_start: bool,
+    /// Matches are recorded only at end of input.
+    anchored_end: bool,
+    /// ASCII chars a match can start with (spawn prefilter).
+    first_ascii: u128,
+    /// Whether a match could start with a non-ASCII char.
+    first_non_ascii: bool,
+    /// Whether the pattern can match the empty string.
+    empty_ok: bool,
+}
+
+impl PatMeta {
+    /// Can a match of this pattern begin with `c`? The prefilter for
+    /// spawning fresh threads: a spawn whose first consumable char
+    /// can't be `c` dies in the very next step, so skipping it changes
+    /// nothing. Empty-matching patterns always spawn (their `Match`
+    /// records during the spawn itself, before any char is consumed).
+    #[inline]
+    fn may_start_with(&self, c: char) -> bool {
+        if self.empty_ok {
+            return true;
         }
-        best
+        if (c as u32) < 128 {
+            self.first_ascii >> (c as u32) & 1 == 1
+        } else {
+            self.first_non_ascii
+        }
     }
 }
 
-/// Add a thread and follow epsilon transitions.
-fn add_thread(program: &[Inst], pc: usize, list: &mut Vec<usize>, seen: &mut [bool]) {
-    if pc >= program.len() || seen[pc] {
+/// Reusable Pike-VM state: thread lists, generation-stamped visited
+/// marks, and per-pattern best matches. One scratch serves any number
+/// of programs; buffers grow to the high-water mark and are reused.
+#[derive(Debug, Default)]
+pub struct RegexScratch {
+    /// Live threads `(pc, start_byte)` for the current position.
+    clist: Vec<(u32, u32)>,
+    /// Threads for the next position.
+    nlist: Vec<(u32, u32)>,
+    /// Generation stamp per instruction (current list).
+    cseen: Vec<u64>,
+    /// Generation stamp per instruction (next list).
+    nseen: Vec<u64>,
+    cgen: u64,
+    ngen: u64,
+    /// Monotone generation counter (never reset, so stale stamps from
+    /// earlier runs can never collide).
+    counter: u64,
+    /// Best `(start_byte, end_byte)` per pattern so far.
+    best: Vec<Option<(u32, u32)>>,
+}
+
+/// One sweep of the Pike VM over `input`, filling `scratch.best` with
+/// the leftmost-longest match per pattern (`None` if it never matched).
+/// `force_full` overrides every pattern to whole-string semantics.
+///
+/// Thread-list invariant: lists stay sorted by increasing `start`
+/// (stepped threads precede freshly spawned ones), so the first thread
+/// reaching a `Match` instruction in a generation carries the smallest
+/// start — pc-level dedup can never hide a better match.
+fn pike_run(
+    insts: &[Inst],
+    pats: &[PatMeta],
+    input: &str,
+    force_full: bool,
+    scratch: &mut RegexScratch,
+) {
+    let RegexScratch {
+        clist,
+        nlist,
+        cseen,
+        nseen,
+        cgen,
+        ngen,
+        counter,
+        best,
+    } = scratch;
+    if cseen.len() < insts.len() {
+        cseen.resize(insts.len(), 0);
+        nseen.resize(insts.len(), 0);
+    }
+    best.clear();
+    best.resize(pats.len(), None);
+    let len = input.len() as u32;
+
+    *counter += 1;
+    *cgen = *counter;
+    clist.clear();
+    if input.is_empty() {
+        // No chars to prefilter against: spawn every pattern at 0 so
+        // empty matches (anchored or not) record during the spawn.
+        for meta in pats {
+            add_thread(
+                insts, pats, meta.start, 0, 0, len, force_full, clist, cseen, *cgen, best,
+            );
+        }
         return;
     }
-    seen[pc] = true;
-    match &program[pc] {
-        Inst::Jmp(t) => add_thread(program, *t, list, seen),
-        Inst::Split(a, b) => {
-            add_thread(program, *a, list, seen);
-            add_thread(program, *b, list, seen);
+    // Union prefilter: one bit-test per char decides whether the
+    // per-pattern spawn loop runs at all.
+    let mut union_ascii = 0u128;
+    let mut union_non_ascii = false;
+    let mut any_empty = false;
+    for meta in pats {
+        union_ascii |= meta.first_ascii;
+        union_non_ascii |= meta.first_non_ascii;
+        any_empty |= meta.empty_ok;
+    }
+    for (byte_i, c) in input.char_indices() {
+        let bpos = byte_i as u32;
+        let may_spawn_here = any_empty
+            || if (c as u32) < 128 {
+                union_ascii >> (c as u32) & 1 == 1
+            } else {
+                union_non_ascii
+            };
+        // Spawn fresh threads starting at this position — after the
+        // threads stepped from earlier positions, so earlier starts
+        // keep pc priority. With the char in hand, `may_start_with`
+        // skips spawns whose first step is guaranteed to fail.
+        if may_spawn_here {
+            for (pid, meta) in pats.iter().enumerate() {
+                let eligible = if byte_i == 0 {
+                    true
+                } else {
+                    !(meta.anchored_start || force_full) && best[pid].is_none()
+                };
+                if eligible && meta.may_start_with(c) {
+                    add_thread(
+                        insts, pats, meta.start, bpos, bpos, len, force_full, clist, cseen, *cgen,
+                        best,
+                    );
+                }
+            }
         }
-        _ => list.push(pc),
+        let pos = bpos + c.len_utf8() as u32;
+        *counter += 1;
+        *ngen = *counter;
+        nlist.clear();
+        for &(pc, start) in clist.iter() {
+            if let Inst::Char(cc) = &insts[pc as usize] {
+                if cc.matches(c) {
+                    add_thread(
+                        insts,
+                        pats,
+                        pc as usize + 1,
+                        start,
+                        pos,
+                        len,
+                        force_full,
+                        nlist,
+                        nseen,
+                        *ngen,
+                        best,
+                    );
+                }
+            }
+        }
+        std::mem::swap(clist, nlist);
+        std::mem::swap(cseen, nseen);
+        std::mem::swap(cgen, ngen);
+        if clist.is_empty() {
+            // Dead only if no pattern may ever spawn again.
+            let can_spawn = pats
+                .iter()
+                .enumerate()
+                .any(|(pid, m)| !(m.anchored_start || force_full) && best[pid].is_none());
+            if !can_spawn {
+                break;
+            }
+        }
+    }
+    // Spawn once more at end of input: consumes nothing, but lets an
+    // empty-matching `$`-anchored pattern record a match at (len, len).
+    // (After an early break this is provably a no-op — the break
+    // condition is exactly "no pattern is eligible to spawn".)
+    for (pid, meta) in pats.iter().enumerate() {
+        if !(meta.anchored_start || force_full) && best[pid].is_none() && meta.empty_ok {
+            add_thread(
+                insts, pats, meta.start, len, len, len, force_full, clist, cseen, *cgen, best,
+            );
+        }
+    }
+}
+
+/// Add a thread, following epsilon transitions; `Match` instructions
+/// record into `best` under the leftmost-longest rule.
+#[allow(clippy::too_many_arguments)]
+fn add_thread(
+    insts: &[Inst],
+    pats: &[PatMeta],
+    pc: usize,
+    start: u32,
+    pos: u32,
+    len: u32,
+    force_full: bool,
+    list: &mut Vec<(u32, u32)>,
+    seen: &mut [u64],
+    gen: u64,
+    best: &mut [Option<(u32, u32)>],
+) {
+    if seen[pc] == gen {
+        return;
+    }
+    seen[pc] = gen;
+    match &insts[pc] {
+        Inst::Jmp(t) => add_thread(
+            insts, pats, *t, start, pos, len, force_full, list, seen, gen, best,
+        ),
+        Inst::Split(a, b) => {
+            add_thread(
+                insts, pats, *a, start, pos, len, force_full, list, seen, gen, best,
+            );
+            add_thread(
+                insts, pats, *b, start, pos, len, force_full, list, seen, gen, best,
+            );
+        }
+        Inst::Char(_) => list.push((pc as u32, start)),
+        Inst::Match(p) => {
+            let pid = *p as usize;
+            if !(pats[pid].anchored_end || force_full) || pos == len {
+                match &mut best[pid] {
+                    slot @ None => *slot = Some((start, pos)),
+                    Some((bs, be)) => {
+                        if start < *bs {
+                            *bs = start;
+                            *be = pos;
+                        } else if start == *bs && pos > *be {
+                            *be = pos;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Several [`Regex`] programs folded into one instruction stream so a
+/// single [`pike_run`] sweep scores every pattern at once — the engine
+/// behind the compiled Predefined/UserRegex recognizers.
+#[derive(Debug, Clone, Default)]
+pub struct MultiRegex {
+    insts: Vec<Inst>,
+    pats: Vec<PatMeta>,
+    /// Union of the patterns' spawn prefilters, for a whole-input
+    /// pre-scan ([`MultiRegex::could_match_in`]).
+    union_ascii: u128,
+    union_non_ascii: bool,
+    any_empty: bool,
+}
+
+impl MultiRegex {
+    pub fn new() -> MultiRegex {
+        MultiRegex::default()
+    }
+
+    /// Number of patterns added.
+    pub fn len(&self) -> usize {
+        self.pats.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pats.is_empty()
+    }
+
+    /// Add `re` with scan semantics ([`Regex::find`], honoring the
+    /// pattern's own `^`/`$` anchors); returns the pattern's slot.
+    pub fn push_find(&mut self, re: &Regex) -> usize {
+        self.push(re, false)
+    }
+
+    /// Add `re` with whole-string semantics: its slot is `Some` iff
+    /// the entire input matches ([`Regex::is_full_match`]).
+    pub fn push_full(&mut self, re: &Regex) -> usize {
+        self.push(re, true)
+    }
+
+    fn push(&mut self, re: &Regex, full: bool) -> usize {
+        let pid = self.pats.len();
+        assert!(pid < u16::MAX as usize, "too many patterns in MultiRegex");
+        let base = self.insts.len();
+        for inst in &re.program {
+            self.insts.push(match inst {
+                Inst::Char(cc) => Inst::Char(cc.clone()),
+                Inst::Split(a, b) => Inst::Split(a + base, b + base),
+                Inst::Jmp(t) => Inst::Jmp(t + base),
+                Inst::Match(_) => Inst::Match(pid as u16),
+            });
+        }
+        self.pats.push(PatMeta {
+            start: base,
+            anchored_start: re.anchored_start || full,
+            anchored_end: re.anchored_end || full,
+            first_ascii: re.first_ascii,
+            first_non_ascii: re.first_non_ascii,
+            empty_ok: re.empty_ok,
+        });
+        self.union_ascii |= re.first_ascii;
+        self.union_non_ascii |= re.first_non_ascii;
+        self.any_empty |= re.empty_ok;
+        pid
+    }
+
+    /// Could *any* pattern match somewhere in `input`? A cheap single
+    /// scan over the union of the patterns' first-char sets; when it
+    /// returns `false`, [`MultiRegex::run_into`] is guaranteed to
+    /// produce all-`None`, so callers can skip the sweep entirely.
+    pub fn could_match_in(&self, input: &str) -> bool {
+        self.any_empty
+            || input.chars().any(|c| {
+                if (c as u32) < 128 {
+                    self.union_ascii >> (c as u32) & 1 == 1
+                } else {
+                    self.union_non_ascii
+                }
+            })
+    }
+
+    /// One sweep over `input`; `out[slot]` receives that pattern's
+    /// leftmost-longest match as byte offsets (for whole-string slots:
+    /// `Some` iff the full input matched).
+    pub fn run_into(
+        &self,
+        input: &str,
+        scratch: &mut RegexScratch,
+        out: &mut Vec<Option<(usize, usize)>>,
+    ) {
+        pike_run(&self.insts, &self.pats, input, false, scratch);
+        out.clear();
+        out.extend(
+            scratch
+                .best
+                .iter()
+                .map(|b| b.map(|(s, e)| (s as usize, e as usize))),
+        );
     }
 }
 

@@ -31,6 +31,7 @@
 //! at once — bumps the stored revision, persists, and replays the
 //! current batch through the repaired wrapper.
 
+use objectrunner_core::annotate::Annotator;
 use objectrunner_core::matching::drift_score;
 use objectrunner_core::pipeline::{extract_only, Pipeline, PipelineConfig};
 use objectrunner_core::sample::SampleConfig;
@@ -40,6 +41,7 @@ use objectrunner_webgen::knowledge::recognizers_for;
 use objectrunner_webgen::Domain;
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone)]
@@ -126,6 +128,13 @@ impl SourceEntry {
 pub struct Service {
     config: ServeConfig,
     sources: BTreeMap<String, SourceEntry>,
+    /// Compiled annotation engines, one per domain, shared across
+    /// inductions and drift-repair re-inductions: the recognizer set of
+    /// a domain is fixed (per coverage setting), so the automatons are
+    /// compiled once and the text memo cache stays warm between
+    /// requests. Mutex (not RefCell) keeps `Service: Send` for the
+    /// daemon's connection handler.
+    annotators: std::sync::Mutex<BTreeMap<String, Arc<Annotator>>>,
 }
 
 fn err(msg: &str) -> Json {
@@ -163,7 +172,21 @@ impl Service {
         Service {
             config,
             sources: BTreeMap::new(),
+            annotators: std::sync::Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// The shared annotation engine for a domain (compiled on first
+    /// use, then reused by every induction of that domain).
+    fn annotator_for(&self, domain: Domain) -> Arc<Annotator> {
+        let key = domain.name().to_lowercase();
+        let mut cache = self.annotators.lock().expect("annotator cache poisoned");
+        Arc::clone(cache.entry(key).or_insert_with(|| {
+            Arc::new(Annotator::new(&recognizers_for(
+                domain,
+                self.config.coverage,
+            )))
+        }))
     }
 
     /// Handle one protocol line, producing one response line (no
@@ -214,7 +237,9 @@ impl Service {
         let recognizers = recognizers_for(domain, self.config.coverage);
         let config = self.pipeline_config();
         let clean = config.clean.clone();
-        let pipeline = Pipeline::new(sod.clone(), recognizers).with_config(config);
+        let pipeline =
+            Pipeline::with_annotator(sod.clone(), recognizers, self.annotator_for(domain))
+                .with_config(config);
         let outcome = pipeline
             .run_on_html(pages)
             .map_err(|e| format!("induction failed: {e}"))?;

@@ -1,0 +1,316 @@
+//! Differential guard for the compiled annotation engine.
+//!
+//! The `CompiledRecognizerSet` + `Annotator` fast path (Aho–Corasick
+//! dictionary automaton, Pike-VM regex sweep, per-Symbol memoization)
+//! must be **observationally identical** to the retained naive
+//! annotation path — same `AnnotationMap` for every page, same
+//! `TypeMatch` (bit-identical confidence *and* coverage) for every
+//! text, including the naive engine's tie-breaking quirks (longest
+//! phrase wins, earliest window at equal length, first pattern wins
+//! coverage ties, `coverage ≥ 0.2` dictionary floor).
+//!
+//! Three layers of evidence:
+//! 1. webgen corpus: every domain × coverage level, every page, all
+//!    three compiled entry points (per-type rounds, one-pass
+//!    multi-type, precomputed page-matches) against the naive rounds;
+//! 2. hand-picked word-boundary / overlap / phrase-cap edge cases;
+//! 3. property tests over randomized gazetteers and texts.
+
+use objectrunner::core::annotate::{
+    annotate_type_into, propagate_upwards_into, AnnotationMap, Annotator,
+};
+use objectrunner::html::{parse, Document};
+use objectrunner::knowledge::compiled::{CompiledRecognizerSet, MatchScratch};
+use objectrunner::knowledge::gazetteer::Gazetteer;
+use objectrunner::knowledge::recognizer::{Recognizer, RecognizerSet, MAX_PHRASE_WORDS};
+use objectrunner::webgen::{generate_site, knowledge, Domain, PageKind, SiteSpec};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// The reference: naive per-type annotation rounds + upward
+/// propagation, exactly as the pre-compiled pipeline ran them.
+fn naive_map(doc: &Document, set: &RecognizerSet) -> AnnotationMap {
+    let mut map = HashMap::new();
+    for type_name in set.annotation_order() {
+        annotate_type_into(doc, &mut map, set, type_name);
+    }
+    propagate_upwards_into(doc, &mut map);
+    map
+}
+
+/// Compiled path 1: memoized per-type rounds (the SOD-guided sampler's
+/// shape).
+fn compiled_rounds_map(
+    doc: &Document,
+    set: &RecognizerSet,
+    annotator: &Annotator,
+) -> AnnotationMap {
+    let mut map = HashMap::new();
+    for type_name in set.annotation_order() {
+        annotator.annotate_type_into(doc, &mut map, type_name);
+    }
+    propagate_upwards_into(doc, &mut map);
+    map
+}
+
+/// Compiled path 2: all types in one DOM traversal (the random
+/// sampler's shape).
+fn compiled_multi_map(doc: &Document, set: &RecognizerSet, annotator: &Annotator) -> AnnotationMap {
+    let types = set.annotation_order();
+    let mut map = HashMap::new();
+    annotator.annotate_types_into(doc, &mut map, &types);
+    propagate_upwards_into(doc, &mut map);
+    map
+}
+
+/// Compiled path 3: precomputed page matches projected per round (the
+/// pool-page cache's shape).
+fn compiled_cached_map(
+    doc: &Document,
+    set: &RecognizerSet,
+    annotator: &Annotator,
+) -> AnnotationMap {
+    let matches = annotator.page_matches(doc);
+    let mut map = HashMap::new();
+    for type_name in set.annotation_order() {
+        annotator.annotate_from_matches(&matches, &mut map, type_name);
+    }
+    propagate_upwards_into(doc, &mut map);
+    map
+}
+
+/// Assert all three compiled entry points reproduce the naive map on
+/// `doc`. `AnnotationMap` equality covers node set, per-node annotation
+/// *order*, type names, and bit-identical confidences.
+fn assert_page_equivalent(doc: &Document, set: &RecognizerSet, annotator: &Annotator, ctx: &str) {
+    let naive = naive_map(doc, set);
+    assert_eq!(
+        naive,
+        compiled_rounds_map(doc, set, annotator),
+        "{ctx}: per-type rounds diverged"
+    );
+    assert_eq!(
+        naive,
+        compiled_multi_map(doc, set, annotator),
+        "{ctx}: one-pass multi diverged"
+    );
+    assert_eq!(
+        naive,
+        compiled_cached_map(doc, set, annotator),
+        "{ctx}: cached projection diverged"
+    );
+}
+
+/// Per-text differential: `match_all` vs `Recognizer::recognize` for
+/// every type of `set`.
+fn assert_text_equivalent(set: &RecognizerSet, text: &str) {
+    let compiled = CompiledRecognizerSet::compile(set);
+    let mut scratch = MatchScratch::new();
+    let mut out = Vec::new();
+    compiled.match_all(text, &mut scratch, &mut out);
+    for name in set.annotation_order() {
+        let naive = set.get(name).expect("type exists").recognize(text);
+        let idx = compiled.type_index(name).expect("type compiled");
+        let got = out.iter().find(|(t, _)| *t == idx).map(|(_, m)| m);
+        match (&naive, &got) {
+            (None, None) => {}
+            (Some(n), Some(g)) => {
+                assert_eq!(n.confidence, g.confidence, "{name} confidence on {text:?}");
+                assert_eq!(n.coverage, g.coverage, "{name} coverage on {text:?}");
+            }
+            _ => panic!("{name} diverged on {text:?}: naive={naive:?} compiled={got:?}"),
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// 1. Webgen corpus: every domain, both coverage levels, every page.
+// ------------------------------------------------------------------
+
+#[test]
+fn corpus_pages_annotate_identically() {
+    for (i, domain) in Domain::ALL.into_iter().enumerate() {
+        for &coverage in &[0.2, 1.0] {
+            let spec = SiteSpec::clean(
+                &format!("annot-eq-{}", domain.name()),
+                domain,
+                PageKind::List,
+                8,
+                9_100 + i as u64,
+            );
+            let pages = generate_site(&spec).pages;
+            let set = knowledge::recognizers_for(domain, coverage);
+            // One shared annotator across all pages: the memo cache
+            // serves repeated texts, which must never change results.
+            let annotator = Annotator::new(&set);
+            for (p, html) in pages.iter().enumerate() {
+                let doc = parse(html);
+                let ctx = format!("{} cov={} page {}", domain.name(), coverage, p);
+                assert_page_equivalent(&doc, &set, &annotator, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_cache_changes_nothing() {
+    // Annotate the same page twice through one annotator — the second
+    // pass is served from the memo and must be identical.
+    let domain = Domain::Concerts;
+    let spec = SiteSpec::clean("annot-eq-warm", domain, PageKind::List, 3, 77);
+    let pages = generate_site(&spec).pages;
+    let set = knowledge::recognizers_for(domain, 0.2);
+    let annotator = Annotator::new(&set);
+    let doc = parse(&pages[0]);
+    let cold = compiled_multi_map(&doc, &set, &annotator);
+    assert!(annotator.cache_misses() > 0);
+    let hits_before = annotator.cache_hits();
+    let warm = compiled_multi_map(&doc, &set, &annotator);
+    assert_eq!(cold, warm);
+    assert!(
+        annotator.cache_hits() > hits_before,
+        "second pass must hit the memo"
+    );
+}
+
+// ------------------------------------------------------------------
+// 2. Edge cases: word boundaries, cross-type overlap, phrase caps.
+// ------------------------------------------------------------------
+
+/// Bands + venues with a shared entry, plus predefined and user-regex
+/// types — every engine active at once.
+fn edge_set() -> RecognizerSet {
+    let mut bands = Gazetteer::new();
+    for (term, tf) in [
+        ("Metallica", 5.0),
+        ("Iron Maiden", 4.0),
+        ("Judas Priest", 4.0),
+        ("The Iron Maiden Tribute Band Of London", 1.0), // 7 words > MAX_PHRASE_WORDS
+        ("One Two Three Four Five Six", 2.0),            // exactly MAX_PHRASE_WORDS
+    ] {
+        bands.insert(term, 0.9, tf);
+    }
+    let mut venues = Gazetteer::new();
+    for (term, tf) in [("Iron Maiden", 2.0), ("Madison Square Garden", 3.0)] {
+        venues.insert(term, 0.8, tf);
+    }
+    let mut set = RecognizerSet::new();
+    set.insert("band", Recognizer::dictionary(bands));
+    set.insert("venue", Recognizer::dictionary(venues));
+    set.insert("date", Recognizer::predefined_date());
+    set.insert(
+        "code",
+        Recognizer::user_regex(r"[A-Z]{2}-\d{4}", 0.7).expect("pattern compiles"),
+    );
+    set
+}
+
+#[test]
+fn punctuation_and_overlap_edge_cases() {
+    let set = edge_set();
+    assert_eq!(
+        MAX_PHRASE_WORDS, 6,
+        "edge fixtures assume the paper's phrase cap"
+    );
+    let texts = [
+        // Trailing punctuation: trimmed by the phrase rules.
+        "Metallica!",
+        "Metallica!!!",
+        "(Metallica)",
+        "see Metallica live",
+        // Same entry in two gazetteers: both types must report.
+        "Iron Maiden",
+        "Iron Maiden at Madison Square Garden",
+        "tonight: Iron Maiden !!",
+        // Phrase exactly at MAX_PHRASE_WORDS inside a longer text…
+        "One Two Three Four Five Six tonight",
+        // …and an entry *over* the cap, which can only match exactly.
+        "The Iron Maiden Tribute Band Of London",
+        "see The Iron Maiden Tribute Band Of London play",
+        // Coverage floor: a 1-word entry inside a 6-word text passes
+        // (1/6 = 0.1667 < 0.2 fails), inside a 5-word text passes.
+        "Metallica plays here tonight folks",
+        "Metallica plays here again tonight, good folks",
+        // Regex + date mixing with dictionary content.
+        "Metallica on August 8, 2010 ref AB-1234",
+        "AB-1234",
+        "ab-1234",
+        // Junk-only and empty-ish strings.
+        "",
+        "   ",
+        "!!! --- !!!",
+        "...Iron Maiden...",
+    ];
+    let annotator = Annotator::new(&set);
+    for text in texts {
+        assert_text_equivalent(&set, text);
+        let doc = parse(&format!(
+            "<body><div><p>{text}</p><p>filler</p></div></body>"
+        ));
+        assert_page_equivalent(&doc, &set, &annotator, &format!("edge text {text:?}"));
+    }
+}
+
+// ------------------------------------------------------------------
+// 3. Property tests: randomized gazetteers and texts.
+// ------------------------------------------------------------------
+
+/// A small closed vocabulary so generated entries overlap generated
+/// texts (and each other) often.
+const WORDS: &[&str] = &[
+    "iron", "maiden", "steel", "panther", "night", "train", "ticket", "hall", "city", "live",
+];
+const JUNK: &[&str] = &["!", "-", "...", "&", "12", "(x)"];
+
+fn word_seq(len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    proptest::collection::vec(proptest::sample::select(WORDS.to_vec()), len)
+        .prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random two-type gazetteers (overlapping entries included) and
+    /// random texts assembled from the same vocabulary plus junk: the
+    /// compiled engine must agree with the naive recognizers on every
+    /// text, and whole pages must annotate identically.
+    #[test]
+    fn random_gazetteers_and_texts_agree(
+        a_entries in proptest::collection::vec(word_seq(1..4), 1..6),
+        b_entries in proptest::collection::vec(word_seq(1..4), 1..6),
+        texts in proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![
+                    proptest::sample::select(WORDS.to_vec()).prop_map(str::to_owned),
+                    proptest::sample::select(JUNK.to_vec()).prop_map(str::to_owned),
+                    word_seq(1..4),
+                ],
+                0..8,
+            ).prop_map(|parts| parts.join(" ")),
+            1..10,
+        ),
+    ) {
+        let mut a = Gazetteer::new();
+        for (i, e) in a_entries.iter().enumerate() {
+            a.insert(e, 0.9, 1.0 + i as f64);
+        }
+        let mut b = Gazetteer::new();
+        for (i, e) in b_entries.iter().enumerate() {
+            b.insert(e, 0.8, 2.0 + i as f64);
+        }
+        let mut set = RecognizerSet::new();
+        set.insert("alpha", Recognizer::dictionary(a));
+        set.insert("beta", Recognizer::dictionary(b));
+        set.insert("year", Recognizer::predefined_year());
+        for text in &texts {
+            assert_text_equivalent(&set, text);
+        }
+        let body: String = texts
+            .iter()
+            .map(|t| format!("<li><span>{t}</span></li>"))
+            .collect();
+        let doc = parse(&format!("<body><ul>{body}</ul></body>"));
+        let annotator = Annotator::new(&set);
+        assert_page_equivalent(&doc, &set, &annotator, "random page");
+    }
+}

@@ -70,4 +70,23 @@ grep -q '"domain":"Cars"' "$SMOKE/bench_annotation.json"
 grep -q '"cache_hit_rate"' "$SMOKE/bench_annotation.json"
 echo "    bench smoke OK"
 
+# Observability smoke: run the golden corpus with tracing enabled,
+# schema-check the JSONL and Chrome trace_event exports with
+# `obs_check`, and diff the metrics snapshot against the committed
+# baseline (work counters exact within tolerance; timings, memo
+# hit/miss splits and thread gauges are skipped as machine-dependent).
+# Finally enforce the observability overhead budget measured by
+# bench_annotation above: enabled tracing must stay within 2%
+# (+500 us slack) of the disabled run.
+echo "==> obs smoke (exporters + baseline diff + overhead budget)"
+target/release/obs_golden --out "$SMOKE/obs" --threads 2 > "$SMOKE/obs_report.txt"
+OBS_CHECK=target/release/obs_check
+"$OBS_CHECK" jsonl "$SMOKE/obs/events.jsonl"
+"$OBS_CHECK" chrome "$SMOKE/obs/trace.json"
+"$OBS_CHECK" diff results/obs_baseline.json "$SMOKE/obs/snapshot.json" \
+  --tolerance 0.02 --skip exec.threads
+grep -q 'pipeline.induce' "$SMOKE/obs_report.txt"
+grep -q '"obs_overhead_ok": true' "$SMOKE/bench_annotation.json"
+echo "    obs smoke OK"
+
 echo "CI OK"

@@ -10,7 +10,11 @@
 //! * `compiled_warm_micros` — a second pass over the same annotator
 //!   (every text a memo hit);
 //! * the pipeline's `Annotate` stage CPU at `threads = 1` and its
-//!   cache hit rate, from `PipelineStats`.
+//!   cache hit rate, from `PipelineStats`;
+//! * the observability tax: full-pipeline wall (best of 5) with the
+//!   obs layer disabled vs enabled — `obs_overhead_ok` asserts the
+//!   enabled run stays within 2% (+500 µs timer slack) of disabled,
+//!   the budget ci.sh's `obs-smoke` stage enforces.
 //!
 //! Output is one JSON document on stdout; `ci.sh` redirects it into
 //! `BENCH_annotation.json` at the repository root.
@@ -72,6 +76,38 @@ fn micros(f: impl FnOnce()) -> u128 {
     let t = Instant::now();
     f();
     t.elapsed().as_micros()
+}
+
+/// Full-pipeline wall (threads = 1) with the given obs handle.
+fn pipeline_wall_micros(
+    domain: Domain,
+    source: &objectrunner_webgen::Source,
+    obs: &objectrunner_obs::Obs,
+) -> u128 {
+    let mut cfg = bench_config();
+    cfg.threads = Some(1);
+    cfg.obs = obs.clone();
+    micros(|| {
+        black_box(run_pipeline(domain, source, cfg));
+    })
+}
+
+/// Best-of-5 pipeline wall, obs disabled vs enabled, on the first
+/// bench domain. Min-of-N damps scheduler noise; the enabled handle is
+/// reused across repetitions like a long-lived daemon's would be.
+fn obs_overhead() -> (u128, u128) {
+    let domain = Domain::ALL[0];
+    let source = bench_source(domain, PAGES);
+    let disabled = (0..5)
+        .map(|_| pipeline_wall_micros(domain, &source, &objectrunner_obs::Obs::disabled()))
+        .min()
+        .unwrap();
+    let enabled_obs = objectrunner_obs::Obs::enabled();
+    let enabled = (0..5)
+        .map(|_| pipeline_wall_micros(domain, &source, &enabled_obs))
+        .min()
+        .unwrap();
+    (disabled, enabled)
 }
 
 fn main() {
@@ -139,6 +175,13 @@ fn main() {
         "  \"aggregate_speedup_vs_seed\": {:.2},",
         SEED_STAGE_MICROS.iter().sum::<u128>() as f64 / total_stage.max(1) as f64
     );
+    let (obs_disabled, obs_enabled) = obs_overhead();
+    let overhead_pct = (obs_enabled as f64 / obs_disabled.max(1) as f64 - 1.0) * 100.0;
+    let obs_ok = obs_enabled as f64 <= obs_disabled as f64 * 1.02 + 500.0;
+    println!("  \"obs_disabled_micros\": {obs_disabled},");
+    println!("  \"obs_enabled_micros\": {obs_enabled},");
+    println!("  \"obs_overhead_pct\": {overhead_pct:.2},");
+    println!("  \"obs_overhead_ok\": {obs_ok},");
     println!("  \"domains\": [");
     println!("{}", rows.join(",\n"));
     println!("  ]");

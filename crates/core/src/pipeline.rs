@@ -27,6 +27,7 @@ use crate::stage::{
 use crate::wrapper::{generate_wrapper, Wrapper, WrapperError};
 use objectrunner_html::{CleanOptions, Document};
 use objectrunner_knowledge::recognizer::RecognizerSet;
+use objectrunner_obs::{MetricsSnapshot, Obs, Span};
 use objectrunner_segment::{LayoutOptions, MainBlockChoice};
 use objectrunner_sod::{Instance, Sod};
 use std::sync::Arc;
@@ -55,6 +56,14 @@ pub struct PipelineConfig {
     /// available parallelism; `Some(n)` pins the count explicitly.
     /// Output is byte-identical at any setting.
     pub threads: Option<usize>,
+    /// Observability handle. The default is [`Obs::disabled`], where
+    /// every tracing/metrics call in the pipeline reduces to a single
+    /// branch; extraction results never depend on this.
+    pub obs: Obs,
+    /// `(trace, parent span)` to attach this run's spans under — how
+    /// the serving layer stitches pipeline spans into its per-request
+    /// trace. `None` starts a fresh trace per run.
+    pub trace_context: Option<(u64, u64)>,
 }
 
 impl Default for PipelineConfig {
@@ -68,6 +77,8 @@ impl Default for PipelineConfig {
             clean: CleanOptions::default(),
             annotations_guard: true,
             threads: None,
+            obs: Obs::disabled(),
+            trace_context: None,
         }
     }
 }
@@ -125,43 +136,89 @@ impl PipelineStats {
         self.stage_timings.iter().find(|t| t.stage == stage)
     }
 
+    /// Externalize this run's stats under the canonical metric names
+    /// (`objectrunner.<crate>.<stage>.<name>`). Stage timings become
+    /// `objectrunner.core.stage.<stage>.{wall,cpu}_micros` counters —
+    /// key *presence* marks a stage as having run, which is how tests
+    /// assert "the Wrap stage did not run" via snapshot diffs.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.set_counter("objectrunner.core.pipeline.pages", self.pages as u64);
+        snap.set_counter(
+            "objectrunner.core.pipeline.sample_pages",
+            self.sample_pages as u64,
+        );
+        snap.set_counter(
+            "objectrunner.core.wrap.support_used",
+            self.support_used as u64,
+        );
+        snap.set_counter(
+            "objectrunner.core.wrap.conflict_splits",
+            self.conflict_splits as u64,
+        );
+        snap.set_counter("objectrunner.core.wrap.rounds", self.rounds as u64);
+        snap.set_counter("objectrunner.core.wrap.reruns", self.reruns as u64);
+        snap.set_counter(
+            "objectrunner.core.pipeline.wrapping_micros",
+            self.wrapping_micros as u64,
+        );
+        snap.set_counter(
+            "objectrunner.core.pipeline.extraction_micros",
+            self.extraction_micros as u64,
+        );
+        snap.set_counter("objectrunner.core.exec.threads", self.threads as u64);
+        snap.set_counter(
+            "objectrunner.core.annotate.cache_hits",
+            self.annotation_cache_hits,
+        );
+        snap.set_counter(
+            "objectrunner.core.annotate.cache_misses",
+            self.annotation_cache_misses,
+        );
+        // hits + misses is scheduling-independent even though the
+        // split is not — the deterministic total baselines diff on.
+        snap.set_counter(
+            "objectrunner.core.annotate.cache_lookups",
+            self.annotation_cache_hits + self.annotation_cache_misses,
+        );
+        for t in &self.stage_timings {
+            let name = t.stage.name();
+            snap.set_counter(
+                objectrunner_obs::export::stage_wall_metric(name),
+                t.wall_micros as u64,
+            );
+            snap.set_counter(
+                objectrunner_obs::export::stage_cpu_metric(name),
+                t.cpu_micros as u64,
+            );
+        }
+        snap
+    }
+
     /// Machine-readable JSON form (one object, no trailing newline).
     /// Key order is fixed, so equal stats render byte-identically;
     /// consumed by the eval runners' `--stats-json` mode and the serve
-    /// protocol.
+    /// protocol. Rendered by the one shared legacy emitter in
+    /// `objectrunner_obs::export`, over [`PipelineStats::snapshot`].
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(256);
-        out.push_str(&format!(
-            "{{\"pages\":{},\"sample_pages\":{},\"support_used\":{},\
-             \"conflict_splits\":{},\"rounds\":{},\"reruns\":{},\
-             \"wrapping_micros\":{},\"extraction_micros\":{},\"threads\":{},\
-             \"annotation_cache_hits\":{},\"annotation_cache_misses\":{},\
-             \"stage_timings\":[",
-            self.pages,
-            self.sample_pages,
-            self.support_used,
-            self.conflict_splits,
-            self.rounds,
-            self.reruns,
-            self.wrapping_micros,
-            self.extraction_micros,
-            self.threads,
-            self.annotation_cache_hits,
-            self.annotation_cache_misses
-        ));
-        for (i, t) in self.stage_timings.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"stage\":\"{}\",\"wall_micros\":{},\"cpu_micros\":{}}}",
-                t.stage.name(),
-                t.wall_micros,
-                t.cpu_micros
-            ));
+        objectrunner_obs::export::legacy_stats_json(&self.snapshot())
+    }
+
+    /// Accumulate this run into a live registry. Timing-free callers
+    /// pass a disabled handle, which makes this free. `exec.threads`
+    /// is a gauge (last run wins) rather than a counter — summing
+    /// thread counts across runs is meaningless.
+    pub fn record_into(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
         }
-        out.push_str("]}");
-        out
+        for (name, value) in &self.snapshot().counters {
+            if name == "objectrunner.core.exec.threads" {
+                obs.gauge_set(name, *value as i64);
+            } else {
+                obs.counter_add(name, *value);
+            }
+        }
     }
 }
 
@@ -214,16 +271,52 @@ pub fn extract_only<S: AsRef<str>>(
     pages: &[S],
     threads: Option<usize>,
 ) -> ExtractOutcome {
+    extract_only_with(
+        wrapper,
+        main_block,
+        clean,
+        pages,
+        threads,
+        &Obs::disabled(),
+        None,
+    )
+}
+
+/// [`extract_only`] with tracing/metrics: emits a `pipeline.extract`
+/// span tree (attached under `trace_context` when given) and
+/// accumulates the run into `obs`'s registry.
+pub fn extract_only_with<S: AsRef<str>>(
+    wrapper: &Wrapper,
+    main_block: Option<&MainBlockChoice>,
+    clean: &CleanOptions,
+    pages: &[S],
+    threads: Option<usize>,
+    obs: &Obs,
+    trace_context: Option<(u64, u64)>,
+) -> ExtractOutcome {
     let exec = Executor::from_env(threads);
+    let mut root = match trace_context {
+        Some((trace, parent)) => obs.span_in(trace, parent, "pipeline.extract"),
+        None => obs.trace("pipeline.extract"),
+    };
+    root.attr_u64("pages", pages.len() as u64);
     let refs: Vec<&str> = pages.iter().map(AsRef::as_ref).collect();
+    let parse_span = root.child("stage.parse");
     let (mut docs, parse_timing) = parse_stage(&exec, &refs);
+    finish_stage_span(parse_span, &parse_timing);
     let mut timings = vec![parse_timing];
+    let clean_span = root.child("stage.clean");
     timings.push(clean_stage(&exec, &mut docs, clean));
+    finish_stage_span(clean_span, timings.last().expect("just pushed"));
     if let Some(choice) = main_block {
+        let segment_span = root.child("stage.segment");
         timings.push(apply_block_stage(&exec, &mut docs, choice));
+        finish_stage_span(segment_span, timings.last().expect("just pushed"));
     }
     let extract_start = Instant::now();
+    let extract_span = root.child("stage.extract");
     let (per_page, extract_timing) = extract_stage(&exec, wrapper, &docs);
+    finish_stage_span(extract_span, &extract_timing);
     timings.push(extract_timing);
     let stats = PipelineStats {
         pages: docs.len(),
@@ -235,11 +328,40 @@ pub fn extract_only<S: AsRef<str>>(
         threads: exec.threads(),
         ..PipelineStats::default()
     };
+    obs.counter_add("objectrunner.core.pipeline.extract_only_runs", 1);
+    stats.record_into(obs);
+    root.attr_u64(
+        "objects",
+        per_page.iter().map(Vec::len).sum::<usize>() as u64,
+    );
+    root.finish();
     ExtractOutcome {
         per_page,
         docs,
         stats,
     }
+}
+
+/// Close a stage span, attributing the stage's summed worker CPU.
+fn finish_stage_span(mut span: Span, timing: &StageTiming) {
+    span.add_cpu_micros(timing.cpu_micros as u64);
+    span.finish();
+}
+
+/// What the §IV self-validation loop produced: the winning wrapper
+/// plus the cost split between the winner and the speculative/losing
+/// support evaluations ("reruns").
+struct WrapOutcome {
+    wrapper: Wrapper,
+    /// Rerun count under the serial loop's accounting (stats field).
+    reruns: usize,
+    /// CPU spent generating the winning wrapper.
+    winner_busy: std::time::Duration,
+    /// CPU spent on every other support evaluation.
+    rerun_busy: std::time::Duration,
+    /// How many non-winning evaluations ran (deterministic — equals
+    /// candidate supports minus one, independent of timing).
+    rerun_evals: usize,
 }
 
 /// The ObjectRunner engine for one source.
@@ -306,15 +428,30 @@ impl Pipeline {
         pages: &[S],
     ) -> Result<PipelineOutcome, PipelineError> {
         let exec = Executor::from_env(self.config.threads);
+        let mut root = self.induce_span();
+        root.attr_u64("pages", pages.len() as u64);
         let refs: Vec<&str> = pages.iter().map(AsRef::as_ref).collect();
+        let parse_span = root.child("stage.parse");
         let (docs, parse_timing) = parse_stage(&exec, &refs);
-        self.run_staged(docs, &exec, vec![parse_timing])
+        finish_stage_span(parse_span, &parse_timing);
+        self.run_staged(docs, &exec, vec![parse_timing], root)
     }
 
     /// Run on already-parsed documents.
     pub fn run_on_documents(&self, docs: Vec<Document>) -> Result<PipelineOutcome, PipelineError> {
         let exec = Executor::from_env(self.config.threads);
-        self.run_staged(docs, &exec, Vec::new())
+        let mut root = self.induce_span();
+        root.attr_u64("pages", docs.len() as u64);
+        self.run_staged(docs, &exec, Vec::new(), root)
+    }
+
+    /// The root span of one induction run, attached under the
+    /// configured trace context when one is set.
+    fn induce_span(&self) -> Span {
+        match self.config.trace_context {
+            Some((trace, parent)) => self.config.obs.span_in(trace, parent, "pipeline.induce"),
+            None => self.config.obs.trace("pipeline.induce"),
+        }
     }
 
     /// Drive the stage graph over parsed documents.
@@ -323,23 +460,32 @@ impl Pipeline {
         mut docs: Vec<Document>,
         exec: &Executor,
         mut timings: Vec<StageTiming>,
+        mut root: Span,
     ) -> Result<PipelineOutcome, PipelineError> {
+        let obs = &self.config.obs;
         // 1. Cleaning (per page).
+        let clean_span = root.child("stage.clean");
         timings.push(clean_stage(exec, &mut docs, &self.config.clean));
+        finish_stage_span(clean_span, timings.last().expect("just pushed"));
 
         // 2. Main-block simplification (per-page scoring, whole-source
         // vote, per-page simplification).
         let mut main_block: Option<MainBlockChoice> = None;
         if self.config.use_main_block {
+            let segment_span = root.child("stage.segment");
             let (choice, timing) = segment_stage(exec, &mut docs, &LayoutOptions::default());
             main_block = choice;
             timings.push(timing);
+            finish_stage_span(segment_span, timings.last().expect("just pushed"));
         }
 
         let wrap_start = Instant::now();
         // 3. Annotation + sampling (annotation rounds fan out per page;
-        // shrinking and selection are whole-source).
+        // shrinking and selection are whole-source). On failure the
+        // open spans close on drop, so the trace still shows where the
+        // source was discarded.
         let sample_start = Instant::now();
+        let mut sample_span = root.child("stage.sample");
         let cache_hits_before = self.annotator.cache_hits();
         let cache_misses_before = self.annotator.cache_misses();
         let sample_outcome = select_sample_timed_with(
@@ -360,27 +506,59 @@ impl Pipeline {
             wall_micros: 0,
             cpu_micros: sample_outcome.annotate_busy.as_micros(),
         });
+        let mut annotate_span = sample_span.child("stage.annotate");
+        annotate_span.add_cpu_micros(sample_outcome.annotate_busy.as_micros() as u64);
+        annotate_span.finish();
+        // The Sample entry carries selection CPU only — annotation CPU
+        // already lives in the Annotate entry above, so attributing
+        // `annotate_busy` here again (as this stage once did) would
+        // double-count it and push the per-stage CPU total past the
+        // pipeline's actual work.
         timings.push(StageTiming::record(
             Stage::Sample,
             sample_start,
-            sample_outcome.annotate_busy,
+            sample_outcome.select_busy,
         ));
         let sample = sample_outcome.sample;
+        sample_span.attr_u64("sample_pages", sample.len() as u64);
+        sample_span.add_cpu_micros(sample_outcome.select_busy.as_micros() as u64);
+        sample_span.finish();
 
         // 4. Wrapper generation with the self-validation loop (support
         // values evaluated concurrently).
         let wrap_stage_start = Instant::now();
-        let (wrapper, reruns, wrap_busy) = self.best_wrapper(&sample, exec)?;
+        let mut wrap_span = root.child("stage.wrap");
+        let wrap = self.best_wrapper(&sample, exec)?;
+        // Speculative/losing support evaluations get their own entry
+        // (wall 0: they overlap the Wrap stage's clock) so aggregate
+        // per-stage CPU sums to the pipeline's real work.
+        if wrap.rerun_evals > 0 {
+            timings.push(StageTiming {
+                stage: Stage::SampleRerun,
+                wall_micros: 0,
+                cpu_micros: wrap.rerun_busy.as_micros(),
+            });
+            let mut rerun_span = wrap_span.child("sample.rerun");
+            rerun_span.attr_u64("evals", wrap.rerun_evals as u64);
+            rerun_span.add_cpu_micros(wrap.rerun_busy.as_micros() as u64);
+            rerun_span.finish();
+        }
         timings.push(StageTiming::record(
             Stage::Wrap,
             wrap_stage_start,
-            wrap_busy,
+            wrap.winner_busy,
         ));
+        wrap_span.attr_u64("support", wrap.wrapper.support as u64);
+        wrap_span.attr_f64("quality", wrap.wrapper.quality);
+        wrap_span.add_cpu_micros(wrap.winner_busy.as_micros() as u64);
+        wrap_span.finish();
         let wrapping_micros = wrap_start.elapsed().as_micros();
 
         // 5. Extraction from all pages (per page).
         let extract_start = Instant::now();
-        let (per_page, extract_timing) = extract_stage(exec, &wrapper, &docs);
+        let extract_span = root.child("stage.extract");
+        let (per_page, extract_timing) = extract_stage(exec, &wrap.wrapper, &docs);
+        finish_stage_span(extract_span, &extract_timing);
         let objects: Vec<Instance> = per_page.into_iter().flatten().collect();
         timings.push(extract_timing);
         let extraction_micros = extract_start.elapsed().as_micros();
@@ -388,10 +566,10 @@ impl Pipeline {
         let stats = PipelineStats {
             pages: docs.len(),
             sample_pages: sample.len(),
-            support_used: wrapper.support,
-            conflict_splits: wrapper.conflict_splits,
-            rounds: wrapper.rounds,
-            reruns,
+            support_used: wrap.wrapper.support,
+            conflict_splits: wrap.wrapper.conflict_splits,
+            rounds: wrap.wrapper.rounds,
+            reruns: wrap.reruns,
             wrapping_micros,
             extraction_micros,
             stage_timings: timings,
@@ -399,9 +577,13 @@ impl Pipeline {
             annotation_cache_hits: self.annotator.cache_hits() - cache_hits_before,
             annotation_cache_misses: self.annotator.cache_misses() - cache_misses_before,
         };
+        obs.counter_add("objectrunner.core.pipeline.induce_runs", 1);
+        stats.record_into(obs);
+        root.attr_u64("objects", objects.len() as u64);
+        root.finish();
         Ok(PipelineOutcome {
             objects,
-            wrapper,
+            wrapper: wrap.wrapper,
             main_block,
             stats,
         })
@@ -419,10 +601,13 @@ impl Pipeline {
         &self,
         sample: &[AnnotatedPage],
         exec: &Executor,
-    ) -> Result<(Wrapper, usize, std::time::Duration), PipelineError> {
+    ) -> Result<WrapOutcome, PipelineError> {
         let (lo, hi) = self.config.support_range;
         let supports: Vec<usize> = (lo..=hi.max(lo)).collect();
-        let (results, busy) = exec.map_timed(&supports, |_, &support| {
+        // Each evaluation times itself so the winner's cost can be
+        // split from the speculative/losing reruns afterwards.
+        let (results, _busy) = exec.map_timed(&supports, |_, &support| {
+            let eval_start = Instant::now();
             let diff_cfg = DiffConfig {
                 eq: EqConfig {
                     min_support: support,
@@ -431,29 +616,49 @@ impl Pipeline {
                 },
                 ..DiffConfig::default()
             };
-            generate_wrapper(sample, &self.sod, &diff_cfg)
+            let result = generate_wrapper(sample, &self.sod, &diff_cfg);
+            (result, eval_start.elapsed())
         });
 
-        let mut best: Option<Wrapper> = None;
+        let mut best: Option<(Wrapper, usize)> = None;
         let mut last_err: Option<WrapperError> = None;
         let mut reruns = 0usize;
-        for result in results {
+        for (i, (result, _)) in results.iter().enumerate() {
             match result {
                 Ok(w) => {
                     let good_enough = w.quality >= self.config.quality_threshold;
-                    if best.as_ref().map(|b| w.quality > b.quality).unwrap_or(true) {
-                        best = Some(w);
+                    if best
+                        .as_ref()
+                        .map(|(b, _)| w.quality > b.quality)
+                        .unwrap_or(true)
+                    {
+                        best = Some((w.clone(), i));
                     }
                     if good_enough {
                         break;
                     }
                 }
-                Err(e) => last_err = Some(e),
+                Err(e) => last_err = Some(e.clone()),
             }
             reruns += 1;
         }
         match best {
-            Some(w) => Ok((w, reruns.saturating_sub(1), busy)),
+            Some((wrapper, winner_idx)) => {
+                let winner_busy = results[winner_idx].1;
+                let rerun_busy = results
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != winner_idx)
+                    .map(|(_, (_, elapsed))| *elapsed)
+                    .sum();
+                Ok(WrapOutcome {
+                    wrapper,
+                    reruns: reruns.saturating_sub(1),
+                    winner_busy,
+                    rerun_busy,
+                    rerun_evals: results.len() - 1,
+                })
+            }
             None => Err(PipelineError::Wrapper(
                 last_err.unwrap_or(WrapperError::EmptySample),
             )),
@@ -666,6 +871,152 @@ mod tests {
         assert!(json.contains("\"wall_micros\":10"));
         // Fixed key order: equal stats render byte-identically.
         assert_eq!(json, stats.clone().to_json());
+    }
+
+    #[test]
+    fn sample_stage_cpu_is_not_double_counted() {
+        // Regression: the Sample entry used to re-attribute
+        // `annotate_busy` as its own CPU, so Annotate + Sample summed
+        // to twice the annotation work. Run single-threaded, where
+        // per-stage busy time is bounded by the stage's wall clock.
+        let pages = source_pages(12);
+        let known: Vec<String> = (0..12).map(|p| format!("Band{p}x0")).collect();
+        let refs: Vec<&str> = known.iter().map(String::as_str).collect();
+        let pipeline =
+            Pipeline::new(concert_sod(), recognizers(&refs)).with_config(PipelineConfig {
+                threads: Some(1),
+                ..PipelineConfig::default()
+            });
+        let outcome = pipeline.run_on_html(&pages).expect("runs");
+        let stats = &outcome.stats;
+        let annotate = stats.stage(Stage::Annotate).unwrap();
+        let sample = stats.stage(Stage::Sample).unwrap();
+        assert!(
+            annotate.cpu_micros + sample.cpu_micros
+                <= sample.wall_micros + sample.wall_micros / 10 + 500,
+            "annotate ({}) + sample ({}) CPU exceeds the sample wall ({}): double-counted",
+            annotate.cpu_micros,
+            sample.cpu_micros,
+            sample.wall_micros
+        );
+        // Speculative self-validation work is split out, not folded
+        // into Wrap: with the default 3..=5 support range two losing
+        // evaluations always run.
+        let rerun = stats
+            .stage(Stage::SampleRerun)
+            .expect("sample.rerun entry present for multi-support runs");
+        assert_eq!(rerun.wall_micros, 0, "rerun work overlaps the wrap clock");
+        let wrap = stats.stage(Stage::Wrap).unwrap();
+        assert!(
+            wrap.cpu_micros <= wrap.wall_micros + wrap.wall_micros / 10 + 500,
+            "wrap CPU ({}) exceeds wrap wall ({}): rerun work not split out",
+            wrap.cpu_micros,
+            wrap.wall_micros
+        );
+        // The legacy JSON renders the new entry in canonical order.
+        let json = stats.to_json();
+        let rerun_pos = json.find("\"stage\":\"sample.rerun\"").expect("rendered");
+        let wrap_pos = json.find("\"stage\":\"wrap\"").expect("rendered");
+        assert!(rerun_pos < wrap_pos);
+    }
+
+    #[test]
+    fn pipeline_emits_a_deterministic_span_tree() {
+        let pages = source_pages(12);
+        let known: Vec<String> = (0..12).map(|p| format!("Band{p}x0")).collect();
+        let refs: Vec<&str> = known.iter().map(String::as_str).collect();
+        let shape = |threads: usize| {
+            let obs = objectrunner_obs::Obs::enabled();
+            let pipeline =
+                Pipeline::new(concert_sod(), recognizers(&refs)).with_config(PipelineConfig {
+                    threads: Some(threads),
+                    obs: obs.clone(),
+                    ..PipelineConfig::default()
+                });
+            pipeline.run_on_html(&pages).expect("runs");
+            let spans = obs.drain_spans();
+            // (name, parent name) pairs in id order — ids themselves
+            // are handle-local, the tree shape must be invariant.
+            spans
+                .iter()
+                .map(|s| {
+                    let parent = spans
+                        .iter()
+                        .find(|p| p.id == s.parent)
+                        .map(|p| p.name)
+                        .unwrap_or("");
+                    (s.name, parent)
+                })
+                .collect::<Vec<_>>()
+        };
+        let tree = shape(1);
+        assert_eq!(tree, shape(8), "span tree differs across thread counts");
+        assert_eq!(
+            tree,
+            vec![
+                ("pipeline.induce", ""),
+                ("stage.parse", "pipeline.induce"),
+                ("stage.clean", "pipeline.induce"),
+                ("stage.segment", "pipeline.induce"),
+                ("stage.sample", "pipeline.induce"),
+                ("stage.annotate", "stage.sample"),
+                ("stage.wrap", "pipeline.induce"),
+                ("sample.rerun", "stage.wrap"),
+                ("stage.extract", "pipeline.induce"),
+            ]
+        );
+    }
+
+    #[test]
+    fn pipeline_records_metrics_when_enabled() {
+        let pages = source_pages(12);
+        let known: Vec<String> = (0..12).map(|p| format!("Band{p}x0")).collect();
+        let refs: Vec<&str> = known.iter().map(String::as_str).collect();
+        let obs = objectrunner_obs::Obs::enabled();
+        let before = obs.snapshot();
+        let pipeline =
+            Pipeline::new(concert_sod(), recognizers(&refs)).with_config(PipelineConfig {
+                obs: obs.clone(),
+                ..PipelineConfig::default()
+            });
+        let outcome = pipeline.run_on_html(&pages).expect("runs");
+        let diff = obs.snapshot().diff(&before);
+        assert_eq!(diff.counter("objectrunner.core.pipeline.induce_runs"), 1);
+        assert_eq!(
+            diff.counter("objectrunner.core.pipeline.pages"),
+            outcome.stats.pages as u64
+        );
+        assert_eq!(
+            diff.counter("objectrunner.core.annotate.cache_lookups"),
+            outcome.stats.annotation_cache_hits + outcome.stats.annotation_cache_misses
+        );
+        // Stage-ran keys present in the per-run snapshot.
+        let run_snap = outcome.stats.snapshot();
+        assert!(run_snap
+            .counters
+            .contains_key("objectrunner.core.stage.wrap.wall_micros"));
+
+        // The extract-only fast path records no induction stages.
+        let fast_obs = objectrunner_obs::Obs::enabled();
+        let fast = extract_only_with(
+            &outcome.wrapper,
+            outcome.main_block.as_ref(),
+            &CleanOptions::default(),
+            &pages,
+            None,
+            &fast_obs,
+            None,
+        );
+        let fast_snap = fast.stats.snapshot();
+        assert!(!fast_snap
+            .counters
+            .contains_key("objectrunner.core.stage.wrap.wall_micros"));
+        assert_eq!(
+            fast_obs
+                .snapshot()
+                .counter("objectrunner.core.pipeline.extract_only_runs"),
+            1
+        );
     }
 
     #[test]

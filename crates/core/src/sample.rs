@@ -97,6 +97,11 @@ pub struct SampleOutcome {
     pub sample: Vec<AnnotatedPage>,
     /// Summed worker busy time of the annotation rounds.
     pub annotate_busy: Duration,
+    /// Summed worker busy time of selection proper — page scoring,
+    /// shrinking, and the §III-E block-threshold check. Disjoint from
+    /// `annotate_busy`, so the pipeline can attribute annotation CPU
+    /// and selection CPU to their own stages without double-counting.
+    pub select_busy: Duration,
 }
 
 /// Select and annotate the wrapper-induction sample from a source.
@@ -207,6 +212,7 @@ fn sod_based_sample(
 ) -> Result<SampleOutcome, SampleError> {
     let types = sod_types(sod, recognizers);
     let mut annotate_busy = Duration::ZERO;
+    let mut select_busy = Duration::ZERO;
     // S := Si
     let mut pool: Vec<PoolPage> = (0..docs.len())
         .map(|index| PoolPage {
@@ -227,9 +233,10 @@ fn sod_based_sample(
             annotator.annotate_from_matches(matches, &mut page.annotations, type_name);
         });
         // Page score for this type (Eq. 3), fold into running minimum.
-        let scores = exec.map(&pool, |_, page| {
+        let (scores, score_busy) = exec.map_timed(&pool, |_, page| {
             page_type_score(&docs[page.index], &page.annotations, recognizers, type_name)
         });
+        select_busy += score_busy;
         for (s, min_score) in scores.into_iter().zip(min_scores.iter_mut()) {
             *min_score = min_score.min(s);
         }
@@ -254,7 +261,7 @@ fn sod_based_sample(
         propagate_upwards_into(&docs[page.index], &mut page.annotations);
     });
 
-    check_block_threshold(docs, &pool, config, exec)?;
+    select_busy += check_block_threshold(docs, &pool, config, exec)?;
 
     // Final sample: the k most annotated pages. Pages with no
     // annotations at all (interstitials, category browses) never
@@ -280,6 +287,7 @@ fn sod_based_sample(
     Ok(SampleOutcome {
         sample,
         annotate_busy,
+        select_busy,
     })
 }
 
@@ -312,6 +320,7 @@ fn random_sample(
     Ok(SampleOutcome {
         sample: pages,
         annotate_busy,
+        select_busy: Duration::ZERO,
     })
 }
 
@@ -386,33 +395,36 @@ fn page_type_score(
 /// Per-page layout and block counting fan out on the executor; the
 /// per-signature sums are reduced in page order (f64 addition is not
 /// associative, so the fold order is pinned for determinism).
+///
+/// Returns the summed worker busy time of the per-page counting pass.
 fn check_block_threshold(
     docs: &[Document],
     pool: &[PoolPage],
     config: &SampleConfig,
     exec: &Executor,
-) -> Result<(), SampleError> {
+) -> Result<Duration, SampleError> {
     if pool.is_empty() {
         return Err(SampleError::EmptySource);
     }
     let opts = LayoutOptions::default();
     // Per-page block annotation counts, computed concurrently.
-    let per_page: Vec<Vec<(objectrunner_html::PathId, usize)>> = exec.map(pool, |_, page| {
-        let doc = &docs[page.index];
-        let layout = layout_document(doc, &opts);
-        let tree = block_tree(doc, &layout, &opts);
-        tree.blocks
-            .iter()
-            .map(|block| {
-                let sig = objectrunner_html::node_path_id(doc, block.node);
-                let count = doc
-                    .descendants(block.node)
-                    .filter(|id| page.annotations.contains_key(id))
-                    .count();
-                (sig, count)
-            })
-            .collect()
-    });
+    let (per_page, busy): (Vec<Vec<(objectrunner_html::PathId, usize)>>, Duration) = exec
+        .map_timed(pool, |_, page| {
+            let doc = &docs[page.index];
+            let layout = layout_document(doc, &opts);
+            let tree = block_tree(doc, &layout, &opts);
+            tree.blocks
+                .iter()
+                .map(|block| {
+                    let sig = objectrunner_html::node_path_id(doc, block.node);
+                    let count = doc
+                        .descendants(block.node)
+                        .filter(|id| page.annotations.contains_key(id))
+                        .count();
+                    (sig, count)
+                })
+                .collect()
+        });
     // Average annotation count per block *signature* across pages,
     // folded in page-index order.
     let mut per_block: objectrunner_html::FxHashMap<objectrunner_html::PathId, f64> =
@@ -425,7 +437,7 @@ fn check_block_threshold(
     let k = pool.len() as f64;
     let best = per_block.values().fold(0.0f64, |m, &v| m.max(v / k));
     if best > config.alpha {
-        Ok(())
+        Ok(busy)
     } else {
         Err(SampleError::AnnotationThreshold {
             best_block_avg_milli: (best * 1000.0) as u64,

@@ -47,6 +47,11 @@ pub enum Stage {
     Annotate,
     /// Algorithm 1 sample selection (whole-source; includes Annotate).
     Sample,
+    /// Speculative §IV self-validation work that a serial run would
+    /// also have paid but whose wrappers lost (or tied) the support
+    /// vote. Kept distinct from Wrap so per-stage CPU totals sum to
+    /// pipeline wall time instead of double-counting rerun work.
+    SampleRerun,
     /// Algorithm 2 wrapper generation across candidate supports
     /// (whole-source, fanned out per support value).
     Wrap,
@@ -63,6 +68,7 @@ impl Stage {
             Stage::Segment => "segment",
             Stage::Annotate => "annotate",
             Stage::Sample => "sample",
+            Stage::SampleRerun => "sample.rerun",
             Stage::Wrap => "wrap",
             Stage::Extract => "extract",
         }
@@ -217,6 +223,7 @@ mod tests {
             Stage::Segment,
             Stage::Annotate,
             Stage::Sample,
+            Stage::SampleRerun,
             Stage::Wrap,
             Stage::Extract,
         ]
@@ -225,7 +232,16 @@ mod tests {
         .collect();
         assert_eq!(
             names,
-            vec!["parse", "clean", "segment", "annotate", "sample", "wrap", "extract"]
+            vec![
+                "parse",
+                "clean",
+                "segment",
+                "annotate",
+                "sample",
+                "sample.rerun",
+                "wrap",
+                "extract"
+            ]
         );
     }
 }

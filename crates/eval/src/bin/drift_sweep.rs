@@ -66,6 +66,16 @@ fn main() {
         let outcome = pipeline
             .run_on_html(&clean_source.pages)
             .expect("clean source must induce");
+        if objectrunner_eval::stats_json_enabled() {
+            println!(
+                "{}",
+                objectrunner_obs::export::stats_json_line(
+                    &spec.name,
+                    "OR",
+                    &outcome.stats.snapshot()
+                )
+            );
+        }
         let wrapper = outcome.wrapper;
         let main_block = outcome.main_block;
         let clean_opts = PipelineConfig::default().clean;
@@ -86,6 +96,16 @@ fn main() {
                 .sum::<f64>()
                 / cached.docs.len() as f64;
             let stale = mean_drift >= THRESHOLD;
+            if objectrunner_eval::stats_json_enabled() {
+                println!(
+                    "{}",
+                    objectrunner_obs::export::stats_json_line(
+                        &format!("{}@{strength}", spec.name),
+                        "OR",
+                        &cached.stats.snapshot()
+                    )
+                );
+            }
 
             let cached_pc =
                 classify_source(&drifted, &to_objects(&cached.per_page, domain), false).pc();

@@ -137,9 +137,12 @@ fn main() {
             println!("truth[0][0]: {:?}", source.truth[0][0].attrs);
             if objectrunner_eval::stats_json_enabled() {
                 println!(
-                    "{{\"source\":\"{}\",\"system\":\"OR\",\"stats\":{}}}",
-                    spec.name,
-                    o.stats.to_json()
+                    "{}",
+                    objectrunner_obs::export::stats_json_line(
+                        &spec.name,
+                        "OR",
+                        &o.stats.snapshot()
+                    )
                 );
             }
         }

@@ -61,10 +61,12 @@ pub fn stats_json_enabled() -> bool {
 fn emit_stats_json(source: &Source, system: SystemId, stats: &PipelineStats) {
     if stats_json_enabled() {
         println!(
-            "{{\"source\":\"{}\",\"system\":\"{}\",\"stats\":{}}}",
-            source.spec.name,
-            system.abbrev(),
-            stats.to_json()
+            "{}",
+            objectrunner_obs::export::stats_json_line(
+                &source.spec.name,
+                system.abbrev(),
+                &stats.snapshot(),
+            )
         );
     }
 }

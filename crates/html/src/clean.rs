@@ -50,6 +50,7 @@ impl Default for CleanOptions {
 
 /// Clean `doc` in place according to `opts`.
 pub fn clean_document(doc: &mut Document, opts: &CleanOptions) {
+    objectrunner_obs::global_count("objectrunner.html.clean.documents", 1);
     let victims: Vec<NodeId> = doc
         .descendants(doc.root())
         .filter(|&id| should_drop(doc, id, opts))

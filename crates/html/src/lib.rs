@@ -50,6 +50,10 @@ pub use tokenizer::{tokenize, Token};
 /// assert_eq!(text, "a b");
 /// ```
 pub fn parse(input: &str) -> Document {
+    if objectrunner_obs::global_enabled() {
+        objectrunner_obs::global_count("objectrunner.html.parse.documents", 1);
+        objectrunner_obs::global_count("objectrunner.html.parse.bytes", input.len() as u64);
+    }
     dom::build(tokenizer::tokenize(input))
 }
 

@@ -123,6 +123,7 @@ impl CompiledRecognizerSet {
     /// Compile `set`. Deterministic: dictionary entries feed the
     /// automaton in sorted key order, types in annotation order.
     pub fn compile(set: &RecognizerSet) -> CompiledRecognizerSet {
+        objectrunner_obs::global_count("objectrunner.knowledge.compile.engines", 1);
         let types: Vec<String> = set
             .annotation_order()
             .into_iter()

@@ -120,6 +120,7 @@ impl Gazetteer {
         if key.is_empty() {
             return;
         }
+        objectrunner_obs::global_count("objectrunner.knowledge.gazetteer.inserts", 1);
         let key = key.into_owned();
         let entry = GazetteerEntry {
             confidence: confidence.clamp(0.0, 1.0),

@@ -303,6 +303,7 @@ impl RecognizerSet {
 
     /// Register the recognizer for an entity type.
     pub fn insert(&mut self, type_name: &str, recognizer: Recognizer) {
+        objectrunner_obs::global_count("objectrunner.knowledge.recognizers.registered", 1);
         self.by_type.insert(type_name.to_owned(), recognizer);
     }
 

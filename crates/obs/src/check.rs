@@ -1,0 +1,625 @@
+//! Schema checking and baseline diffing for exported observability
+//! artifacts, used by the `obs_check` bin in the `ci.sh obs-smoke`
+//! stage.
+//!
+//! This crate is the dependency-free leaf of the workspace (store and
+//! core depend on it), so it carries its own minimal JSON parser
+//! rather than reaching for `store::json`.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Numbers are `f64`, which is exact for every
+/// integer the exporters emit (< 2^53).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_str(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Copy the full UTF-8 sequence.
+                let s = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = s.chars().next().ok_or("unexpected end of string")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // consume '{'
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_str(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(pairs));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Counts of each event kind found in a valid events JSONL file.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct EventsSummary {
+    pub spans: usize,
+    pub counters: usize,
+    pub gauges: usize,
+    pub histograms: usize,
+}
+
+/// Validate an events JSONL document line by line: every line must
+/// parse, carry a known `type`, and have that type's required fields
+/// with the right JSON types. Returns per-kind counts.
+pub fn validate_events_jsonl(text: &str) -> Result<EventsSummary, String> {
+    let mut summary = EventsSummary::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let ctx = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        if line.trim().is_empty() {
+            return Err(ctx("blank line"));
+        }
+        let value = parse_json(line).map_err(|e| ctx(&e))?;
+        let kind = value
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ctx("missing string field `type`"))?;
+        match kind {
+            "span" => {
+                for field in ["trace", "id", "parent", "start_us", "dur_us", "cpu_us"] {
+                    value
+                        .get(field)
+                        .and_then(JsonValue::as_num)
+                        .ok_or_else(|| ctx(&format!("span missing numeric `{field}`")))?;
+                }
+                value
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| ctx("span missing string `name`"))?;
+                value
+                    .get("attrs")
+                    .and_then(JsonValue::as_obj)
+                    .ok_or_else(|| ctx("span missing object `attrs`"))?;
+                summary.spans += 1;
+            }
+            "counter" | "gauge" => {
+                value
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| ctx("metric missing string `name`"))?;
+                value
+                    .get("value")
+                    .and_then(JsonValue::as_num)
+                    .ok_or_else(|| ctx("metric missing numeric `value`"))?;
+                if kind == "counter" {
+                    summary.counters += 1;
+                } else {
+                    summary.gauges += 1;
+                }
+            }
+            "histogram" => {
+                value
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| ctx("histogram missing string `name`"))?;
+                let bounds = value
+                    .get("bounds")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or_else(|| ctx("histogram missing array `bounds`"))?;
+                let counts = value
+                    .get("counts")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or_else(|| ctx("histogram missing array `counts`"))?;
+                if counts.len() != bounds.len() + 1 {
+                    return Err(ctx("histogram counts must be bounds + overflow slot"));
+                }
+                for field in ["sum", "count"] {
+                    value
+                        .get(field)
+                        .and_then(JsonValue::as_num)
+                        .ok_or_else(|| ctx(&format!("histogram missing numeric `{field}`")))?;
+                }
+                summary.histograms += 1;
+            }
+            other => return Err(ctx(&format!("unknown event type `{other}`"))),
+        }
+    }
+    Ok(summary)
+}
+
+/// Validate a Chrome `trace_event` JSON document: the object form with
+/// a `traceEvents` array of complete (`"ph":"X"`) events, each with
+/// the fields Perfetto requires. Returns the event count.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let value = parse_json(text)?;
+    let events = value
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing array `traceEvents`")?;
+    for (i, event) in events.iter().enumerate() {
+        let ctx = |msg: &str| format!("traceEvents[{i}]: {msg}");
+        let ph = event
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ctx("missing string `ph`"))?;
+        if ph != "X" {
+            return Err(ctx(&format!("expected complete event (ph=X), got `{ph}`")));
+        }
+        for field in ["name", "cat"] {
+            event
+                .get(field)
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| ctx(&format!("missing string `{field}`")))?;
+        }
+        for field in ["ts", "dur", "pid", "tid"] {
+            event
+                .get(field)
+                .and_then(JsonValue::as_num)
+                .ok_or_else(|| ctx(&format!("missing numeric `{field}`")))?;
+        }
+        event
+            .get("args")
+            .and_then(JsonValue::as_obj)
+            .ok_or_else(|| ctx("missing object `args`"))?;
+    }
+    Ok(events.len())
+}
+
+/// Metric-name substrings whose values are machine- or
+/// scheduling-dependent and therefore excluded from baseline diffs by
+/// default: timings, latency/drift distributions, and the annotation
+/// cache hit/miss split (the deterministic `cache_lookups` total is
+/// still compared).
+pub const DEFAULT_SKIP_SUBSTRINGS: &[&str] = &[
+    "micros",
+    "latency",
+    "drift",
+    "cache_hits",
+    "cache_misses",
+    "uptime",
+];
+
+fn skipped(name: &str, skip: &[String]) -> bool {
+    skip.iter().any(|s| name.contains(s.as_str()))
+}
+
+/// Diff two snapshot JSON documents (the [`crate::MetricsSnapshot`]
+/// `to_json` shape). Counters and gauges must match within
+/// `tolerance` (relative, e.g. `0.05` = ±5%); histogram total counts
+/// likewise. Names containing any `skip` substring are ignored, as are
+/// keys only one side has when skipped. Returns human-readable
+/// mismatch lines — empty means the snapshots agree.
+pub fn diff_snapshots(
+    baseline: &str,
+    current: &str,
+    skip: &[String],
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let base = parse_json(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = parse_json(current).map_err(|e| format!("current: {e}"))?;
+    let mut mismatches = Vec::new();
+
+    for section in ["counters", "gauges"] {
+        let base_map = base
+            .get(section)
+            .and_then(JsonValue::as_obj)
+            .ok_or_else(|| format!("baseline: missing object `{section}`"))?;
+        let cur_map = cur
+            .get(section)
+            .and_then(JsonValue::as_obj)
+            .ok_or_else(|| format!("current: missing object `{section}`"))?;
+        for (name, base_val) in base_map {
+            if skipped(name, skip) {
+                continue;
+            }
+            let base_num = base_val
+                .as_num()
+                .ok_or_else(|| format!("baseline: `{name}` is not a number"))?;
+            match cur_map.iter().find(|(k, _)| k == name) {
+                None => mismatches.push(format!("{section}: `{name}` missing from current")),
+                Some((_, v)) => {
+                    let cur_num = v
+                        .as_num()
+                        .ok_or_else(|| format!("current: `{name}` is not a number"))?;
+                    if !within(base_num, cur_num, tolerance) {
+                        let mut line = String::new();
+                        let _ = write!(
+                            line,
+                            "{section}: `{name}` baseline {base_num} vs current {cur_num}"
+                        );
+                        if tolerance > 0.0 {
+                            let _ = write!(line, " (tolerance {tolerance})");
+                        }
+                        mismatches.push(line);
+                    }
+                }
+            }
+        }
+        for (name, _) in cur_map {
+            if skipped(name, skip) {
+                continue;
+            }
+            if !base_map.iter().any(|(k, _)| k == name) {
+                mismatches.push(format!(
+                    "{section}: `{name}` not in baseline (regenerate results/obs_baseline.json)"
+                ));
+            }
+        }
+    }
+
+    let base_hists = base
+        .get("histograms")
+        .and_then(JsonValue::as_obj)
+        .ok_or("baseline: missing object `histograms`")?;
+    let cur_hists = cur
+        .get("histograms")
+        .and_then(JsonValue::as_obj)
+        .ok_or("current: missing object `histograms`")?;
+    for (name, base_h) in base_hists {
+        if skipped(name, skip) {
+            continue;
+        }
+        let base_count = base_h
+            .get("count")
+            .and_then(JsonValue::as_num)
+            .ok_or_else(|| format!("baseline: histogram `{name}` missing count"))?;
+        match cur_hists.iter().find(|(k, _)| k == name) {
+            None => mismatches.push(format!("histograms: `{name}` missing from current")),
+            Some((_, h)) => {
+                let cur_count = h
+                    .get("count")
+                    .and_then(JsonValue::as_num)
+                    .ok_or_else(|| format!("current: histogram `{name}` missing count"))?;
+                if !within(base_count, cur_count, tolerance) {
+                    mismatches.push(format!(
+                        "histograms: `{name}` count baseline {base_count} vs current {cur_count}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(mismatches)
+}
+
+fn within(base: f64, cur: f64, tolerance: f64) -> bool {
+    if tolerance <= 0.0 {
+        return base == cur;
+    }
+    (cur - base).abs() <= tolerance * base.abs().max(1.0)
+}
+
+/// Aggregate report over a parsed events JSONL file (the file-based
+/// sibling of [`crate::export::report`], for `obs_check report`).
+pub fn report_from_events(text: &str) -> Result<String, String> {
+    validate_events_jsonl(text)?;
+    let mut by_name: std::collections::BTreeMap<String, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut metric_lines = Vec::new();
+    for line in text.lines() {
+        let value = parse_json(line)?;
+        match value.get("type").and_then(JsonValue::as_str) {
+            Some("span") => {
+                let name = value.get("name").and_then(JsonValue::as_str).unwrap_or("");
+                let dur = value
+                    .get("dur_us")
+                    .and_then(JsonValue::as_num)
+                    .unwrap_or(0.0) as u64;
+                let e = by_name.entry(name.to_owned()).or_insert((0, 0, 0));
+                e.0 += 1;
+                e.1 += dur;
+                e.2 = e.2.max(dur);
+            }
+            Some("counter") | Some("gauge") => {
+                let name = value.get("name").and_then(JsonValue::as_str).unwrap_or("");
+                let v = value
+                    .get("value")
+                    .and_then(JsonValue::as_num)
+                    .unwrap_or(0.0);
+                metric_lines.push(format!("{name:<56} {v:>12}"));
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    out.push_str("== spans ==\n");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>7} {:>12} {:>10} {:>10}",
+        "name", "count", "total_ms", "mean_us", "max_us"
+    );
+    for (name, (count, total, max)) in &by_name {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>7} {:>12.3} {:>10.1} {:>10}",
+            name,
+            count,
+            *total as f64 / 1_000.0,
+            *total as f64 / *count as f64,
+            max
+        );
+    }
+    if !metric_lines.is_empty() {
+        out.push_str("\n== metrics ==\n");
+        for line in metric_lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{chrome_trace, events_jsonl};
+    use crate::Obs;
+
+    #[test]
+    fn parser_round_trips_exporter_output() {
+        let obs = Obs::enabled();
+        let mut span = obs.trace("pipeline.induce");
+        span.attr_str("domain", "golden-\"quoted\"");
+        span.attr_f64("score", 0.5);
+        span.finish();
+        obs.counter_add("objectrunner.test.c", 9);
+        let jsonl = events_jsonl(&obs.spans(), &obs.snapshot());
+        let summary = validate_events_jsonl(&jsonl).expect("valid jsonl");
+        assert_eq!(summary.spans, 1);
+        assert_eq!(summary.counters, 1);
+        let first = parse_json(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            first
+                .get("attrs")
+                .and_then(|a| a.get("domain"))
+                .and_then(JsonValue::as_str),
+            Some("golden-\"quoted\"")
+        );
+    }
+
+    #[test]
+    fn jsonl_validator_rejects_malformed_lines() {
+        assert!(validate_events_jsonl("{\"type\":\"span\"}").is_err());
+        assert!(validate_events_jsonl("not json").is_err());
+        assert!(validate_events_jsonl("{\"type\":\"mystery\",\"name\":\"x\"}").is_err());
+        let bad_hist = "{\"type\":\"histogram\",\"name\":\"h\",\"bounds\":[1],\"counts\":[1],\"sum\":0,\"count\":0}";
+        assert!(
+            validate_events_jsonl(bad_hist).is_err(),
+            "counts must include overflow"
+        );
+    }
+
+    #[test]
+    fn chrome_validator_accepts_exporter_output() {
+        let obs = Obs::enabled();
+        let root = obs.trace("pipeline.induce");
+        root.child("stage.parse").finish();
+        root.finish();
+        let json = chrome_trace(&obs.spans());
+        assert_eq!(validate_chrome_trace(&json).expect("valid"), 2);
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"B\"}]}").is_err());
+    }
+
+    #[test]
+    fn snapshot_diff_respects_skip_and_tolerance() {
+        let baseline =
+            "{\"counters\":{\"a.pages\":10,\"a.wall_micros\":500},\"gauges\":{},\"histograms\":{}}";
+        let same =
+            "{\"counters\":{\"a.pages\":10,\"a.wall_micros\":900},\"gauges\":{},\"histograms\":{}}";
+        let skip = vec!["micros".to_owned()];
+        assert!(diff_snapshots(baseline, same, &skip, 0.0)
+            .unwrap()
+            .is_empty());
+
+        let drifted =
+            "{\"counters\":{\"a.pages\":11,\"a.wall_micros\":500},\"gauges\":{},\"histograms\":{}}";
+        let strict = diff_snapshots(baseline, drifted, &skip, 0.0).unwrap();
+        assert_eq!(strict.len(), 1);
+        assert!(strict[0].contains("a.pages"));
+        assert!(diff_snapshots(baseline, drifted, &skip, 0.2)
+            .unwrap()
+            .is_empty());
+
+        let missing = "{\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+        let report = diff_snapshots(baseline, missing, &skip, 0.0).unwrap();
+        assert_eq!(report.len(), 1);
+        assert!(report[0].contains("missing from current"));
+
+        let extra = "{\"counters\":{\"a.pages\":10,\"b.new\":1},\"gauges\":{},\"histograms\":{}}";
+        let report = diff_snapshots(baseline, extra, &skip, 0.0).unwrap();
+        assert_eq!(report.len(), 1);
+        assert!(report[0].contains("not in baseline"));
+    }
+
+    #[test]
+    fn report_from_events_aggregates_spans() {
+        let obs = Obs::enabled();
+        obs.trace("pipeline.extract").finish();
+        obs.trace("pipeline.extract").finish();
+        let jsonl = events_jsonl(&obs.spans(), &obs.snapshot());
+        let report = report_from_events(&jsonl).unwrap();
+        assert!(report.contains("pipeline.extract"));
+        assert!(report.contains("== spans =="));
+    }
+}

@@ -1,0 +1,153 @@
+//! Time sources for the observability layer.
+//!
+//! Everything in `objectrunner-obs` reads time through a [`Clock`]
+//! handle instead of calling `Instant::now`/`SystemTime::now`
+//! directly, for two reasons:
+//!
+//! * **Monotonicity** — span timestamps and the serve daemon's uptime
+//!   must never go backwards, so the default source anchors one
+//!   `Instant` at construction and reports microseconds since that
+//!   anchor.
+//! * **Testability** — uptime and last-activity reporting are
+//!   impossible to assert against a real clock; tests inject a
+//!   [`FakeClock`] and advance it by hand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// A source of monotonic and wall-clock time, in microseconds.
+pub trait ClockSource: Send + Sync + std::fmt::Debug {
+    /// Microseconds on a monotonic axis (origin unspecified but fixed
+    /// for the life of the source; never decreases).
+    fn monotonic_micros(&self) -> u64;
+    /// Microseconds since the Unix epoch (may jump if the system
+    /// clock is adjusted; display only, never used for durations).
+    fn wall_unix_micros(&self) -> u64;
+}
+
+/// A cheaply clonable handle to a [`ClockSource`].
+#[derive(Clone, Debug)]
+pub struct Clock(Arc<dyn ClockSource>);
+
+impl Clock {
+    /// The real clock: monotonic micros since construction, wall time
+    /// from the system clock.
+    pub fn system() -> Clock {
+        Clock(Arc::new(SystemClock::new()))
+    }
+
+    /// A hand-advanced clock for tests. The returned handle and the
+    /// `Arc<FakeClock>` share state: advance the latter, observe
+    /// through the former.
+    pub fn fake() -> (Clock, Arc<FakeClock>) {
+        let fake = Arc::new(FakeClock::default());
+        (Clock(Arc::clone(&fake) as Arc<dyn ClockSource>), fake)
+    }
+
+    /// Wrap an arbitrary source.
+    pub fn from_source(source: Arc<dyn ClockSource>) -> Clock {
+        Clock(source)
+    }
+
+    pub fn monotonic_micros(&self) -> u64 {
+        self.0.monotonic_micros()
+    }
+
+    pub fn wall_unix_micros(&self) -> u64 {
+        self.0.wall_unix_micros()
+    }
+}
+
+/// The default source: `Instant` anchored at construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    anchor: Instant,
+}
+
+impl SystemClock {
+    pub fn new() -> SystemClock {
+        SystemClock {
+            anchor: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl ClockSource for SystemClock {
+    fn monotonic_micros(&self) -> u64 {
+        self.anchor.elapsed().as_micros() as u64
+    }
+
+    fn wall_unix_micros(&self) -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// A deterministic, hand-advanced clock for tests.
+#[derive(Debug, Default)]
+pub struct FakeClock {
+    mono: AtomicU64,
+    wall: AtomicU64,
+}
+
+impl FakeClock {
+    /// Advance both axes by `micros`.
+    pub fn advance_micros(&self, micros: u64) {
+        self.mono.fetch_add(micros, Ordering::SeqCst);
+        self.wall.fetch_add(micros, Ordering::SeqCst);
+    }
+
+    /// Pin the wall clock to an absolute Unix-micros value (the
+    /// monotonic axis is unaffected — exactly like a real NTP step).
+    pub fn set_wall_unix_micros(&self, micros: u64) {
+        self.wall.store(micros, Ordering::SeqCst);
+    }
+}
+
+impl ClockSource for FakeClock {
+    fn monotonic_micros(&self) -> u64 {
+        self.mono.load(Ordering::SeqCst)
+    }
+
+    fn wall_unix_micros(&self) -> u64 {
+        self.wall.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let clock = Clock::system();
+        let a = clock.monotonic_micros();
+        let b = clock.monotonic_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_advances_by_hand_only() {
+        let (clock, fake) = Clock::fake();
+        assert_eq!(clock.monotonic_micros(), 0);
+        fake.advance_micros(1_500);
+        assert_eq!(clock.monotonic_micros(), 1_500);
+        assert_eq!(clock.wall_unix_micros(), 1_500);
+        fake.set_wall_unix_micros(1_000_000);
+        assert_eq!(clock.wall_unix_micros(), 1_000_000);
+        assert_eq!(
+            clock.monotonic_micros(),
+            1_500,
+            "mono unaffected by wall step"
+        );
+    }
+}

@@ -1,0 +1,372 @@
+//! Exporters: JSONL structured events, Chrome `trace_event` JSON, the
+//! human `obs report` table, and the legacy `--stats-json` renderer.
+//!
+//! All output is canonical — fixed key order, sorted collections — so
+//! equal inputs render byte-identically and golden tests can compare
+//! files directly.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{AttrValue, SpanRecord};
+use std::fmt::Write as _;
+
+/// One JSONL line per span, then one per metric, in canonical order.
+///
+/// Span lines (sorted `(trace, id)` by the caller — [`crate::Obs`]
+/// export methods already do):
+/// `{"type":"span","trace":T,"id":I,"parent":P,"name":"…","start_us":S,"dur_us":D,"cpu_us":C,"attrs":{…}}`
+///
+/// Metric lines (sorted by name within each kind):
+/// `{"type":"counter","name":"…","value":N}`
+/// `{"type":"gauge","name":"…","value":N}`
+/// `{"type":"histogram","name":"…","bounds":[…],"counts":[…],"sum":S,"count":N}`
+pub fn events_jsonl(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(spans.len() * 96 + 1024);
+    for span in spans {
+        push_span_line(&mut out, span);
+    }
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            crate::metrics::escape(name),
+            value
+        );
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            crate::metrics::escape(name),
+            value
+        );
+    }
+    for (name, h) in &snapshot.histograms {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{}}}",
+            crate::metrics::escape(name),
+            join(&h.bounds),
+            join(&h.counts),
+            h.sum,
+            h.count
+        );
+    }
+    out
+}
+
+fn push_span_line(out: &mut String, span: &SpanRecord) {
+    let _ = write!(
+        out,
+        "{{\"type\":\"span\",\"trace\":{},\"id\":{},\"parent\":{},\"name\":\"{}\",\
+         \"start_us\":{},\"dur_us\":{},\"cpu_us\":{},\"attrs\":{{",
+        span.trace,
+        span.id,
+        span.parent,
+        crate::metrics::escape(span.name),
+        span.start_micros,
+        span.dur_micros,
+        span.cpu_micros,
+    );
+    // Attributes sorted by key for canonical rendering.
+    let mut attrs: Vec<&(&'static str, AttrValue)> = span.attrs.iter().collect();
+    attrs.sort_by_key(|(k, _)| *k);
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", crate::metrics::escape(k), v.render_json());
+    }
+    out.push_str("}}\n");
+}
+
+/// Chrome `trace_event` JSON (the object form with a `traceEvents`
+/// array of `"ph":"X"` complete events), loadable in `chrome://tracing`
+/// and Perfetto. One lane (`tid`) per trace, so concurrent requests /
+/// inductions render side by side; span attributes become `args`.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
+    ordered.sort_by_key(|s| (s.trace, s.start_micros, s.id));
+    let mut out = String::with_capacity(spans.len() * 128 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, span) in ordered.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"objectrunner\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{",
+            crate::metrics::escape(span.name),
+            span.start_micros,
+            span.dur_micros,
+            span.trace,
+        );
+        let mut attrs: Vec<&(&'static str, AttrValue)> = span.attrs.iter().collect();
+        attrs.sort_by_key(|(k, _)| *k);
+        let _ = write!(out, "\"span_id\":{},\"parent_id\":{}", span.id, span.parent);
+        if span.cpu_micros > 0 {
+            let _ = write!(out, ",\"cpu_us\":{}", span.cpu_micros);
+        }
+        for (k, v) in attrs {
+            let _ = write!(
+                out,
+                ",\"{}\":{}",
+                crate::metrics::escape(k),
+                v.render_json()
+            );
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// The human `obs report` summary: spans aggregated by name (count,
+/// total/mean/max wall, total CPU), then counters, gauges, and
+/// histograms.
+pub fn report(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("== spans ==\n");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>7} {:>12} {:>10} {:>10} {:>12}",
+        "name", "count", "total_ms", "mean_us", "max_us", "cpu_ms"
+    );
+    let mut by_name: std::collections::BTreeMap<&str, (u64, u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for s in spans {
+        let e = by_name.entry(s.name).or_insert((0, 0, 0, 0));
+        e.0 += 1;
+        e.1 += s.dur_micros;
+        e.2 = e.2.max(s.dur_micros);
+        e.3 += s.cpu_micros;
+    }
+    for (name, (count, total, max, cpu)) in &by_name {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>7} {:>12.3} {:>10.1} {:>10} {:>12.3}",
+            name,
+            count,
+            *total as f64 / 1_000.0,
+            *total as f64 / *count as f64,
+            max,
+            *cpu as f64 / 1_000.0
+        );
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("\n== counters ==\n");
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "{name:<56} {value:>12}");
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("\n== gauges ==\n");
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "{name:<56} {value:>12}");
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("\n== histograms ==\n");
+        for (name, h) in &snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<56} n={} mean={:.1} buckets={:?}",
+                h.count,
+                h.mean(),
+                h.counts
+            );
+        }
+    }
+    out
+}
+
+/// The canonical pipeline stage order; the legacy `stage_timings`
+/// array renders in this order, which matches execution order for
+/// every pipeline entry point (full induction and the extract-only
+/// fast path alike).
+pub const STAGE_ORDER: &[&str] = &[
+    "parse",
+    "clean",
+    "segment",
+    "annotate",
+    "sample",
+    "sample.rerun",
+    "wrap",
+    "extract",
+];
+
+/// Legacy-alias map: old `--stats-json` key → canonical metric name.
+/// The old keys stay on the wire so `results/` tooling keeps parsing;
+/// the canonical names are what the registry and baselines use.
+pub const LEGACY_ALIASES: &[(&str, &str)] = &[
+    ("pages", "objectrunner.core.pipeline.pages"),
+    ("sample_pages", "objectrunner.core.pipeline.sample_pages"),
+    ("support_used", "objectrunner.core.wrap.support_used"),
+    ("conflict_splits", "objectrunner.core.wrap.conflict_splits"),
+    ("rounds", "objectrunner.core.wrap.rounds"),
+    ("reruns", "objectrunner.core.wrap.reruns"),
+    (
+        "wrapping_micros",
+        "objectrunner.core.pipeline.wrapping_micros",
+    ),
+    (
+        "extraction_micros",
+        "objectrunner.core.pipeline.extraction_micros",
+    ),
+    ("threads", "objectrunner.core.exec.threads"),
+    (
+        "annotation_cache_hits",
+        "objectrunner.core.annotate.cache_hits",
+    ),
+    (
+        "annotation_cache_misses",
+        "objectrunner.core.annotate.cache_misses",
+    ),
+];
+
+/// Canonical metric name of one stage's wall-clock counter. A stage
+/// *ran* iff this key is present in a snapshot (value may be 0).
+pub fn stage_wall_metric(stage: &str) -> String {
+    format!("objectrunner.core.stage.{stage}.wall_micros")
+}
+
+/// Canonical metric name of one stage's CPU counter.
+pub fn stage_cpu_metric(stage: &str) -> String {
+    format!("objectrunner.core.stage.{stage}.cpu_micros")
+}
+
+/// Render a per-run metrics snapshot as the legacy `--stats-json`
+/// object — the exact byte format `PipelineStats::to_json` emitted
+/// before the registry absorbed it, so `results/` tooling and the
+/// serve protocol keep parsing unchanged. This is the one shared
+/// emitter behind every eval binary's `--stats-json` flag.
+pub fn legacy_stats_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(256);
+    out.push('{');
+    for (i, (alias, canonical)) in LEGACY_ALIASES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{alias}\":{}", snapshot.counter(canonical));
+    }
+    out.push_str(",\"stage_timings\":[");
+    let mut first = true;
+    for stage in STAGE_ORDER {
+        let wall_key = stage_wall_metric(stage);
+        // Key presence, not value, marks a stage as having run.
+        if !snapshot.counters.contains_key(&wall_key) {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"stage\":\"{stage}\",\"wall_micros\":{},\"cpu_micros\":{}}}",
+            snapshot.counter(&wall_key),
+            snapshot.counter(&stage_cpu_metric(stage))
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One per-source stats line, as printed by the eval binaries under
+/// `--stats-json`: `{"source":…,"system":…,"stats":{legacy object}}`.
+pub fn stats_json_line(source: &str, system: &str, snapshot: &MetricsSnapshot) -> String {
+    format!(
+        "{{\"source\":\"{}\",\"system\":\"{}\",\"stats\":{}}}",
+        crate::metrics::escape(source),
+        crate::metrics::escape(system),
+        legacy_stats_json(snapshot)
+    )
+}
+
+fn join(xs: &[u64]) -> String {
+    xs.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn sample_spans() -> (Vec<SpanRecord>, MetricsSnapshot) {
+        let obs = Obs::enabled();
+        let mut root = obs.trace("pipeline.induce");
+        root.attr_u64("pages", 2);
+        let mut child = root.child("stage.parse");
+        child.attr_str("mode", "batch");
+        child.finish();
+        root.finish();
+        obs.counter_add("objectrunner.test.pages", 2);
+        obs.histogram_record("objectrunner.test.lat", &[10, 100], 42);
+        (obs.drain_spans(), obs.snapshot())
+    }
+
+    #[test]
+    fn jsonl_lines_are_canonical_and_typed() {
+        let (spans, snap) = sample_spans();
+        let text = events_jsonl(&spans, &snap);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"type\":\"span\""));
+        assert!(lines[0].contains("\"name\":\"pipeline.induce\""));
+        assert!(lines[0].contains("\"attrs\":{\"pages\":2}"));
+        assert!(lines[1].contains("\"attrs\":{\"mode\":\"batch\"}"));
+        assert!(lines[2].starts_with("{\"type\":\"counter\""));
+        assert!(lines[3].starts_with("{\"type\":\"histogram\""));
+        // Byte-stable on re-render.
+        assert_eq!(text, events_jsonl(&spans, &snap));
+    }
+
+    #[test]
+    fn chrome_trace_has_complete_events() {
+        let (spans, _) = sample_spans();
+        let json = chrome_trace(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"stage.parse\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn report_renders_aggregates() {
+        let (spans, snap) = sample_spans();
+        let text = report(&spans, &snap);
+        assert!(text.contains("== spans =="));
+        assert!(text.contains("pipeline.induce"));
+        assert!(text.contains("== counters =="));
+        assert!(text.contains("objectrunner.test.pages"));
+    }
+
+    #[test]
+    fn legacy_stats_json_respects_stage_presence() {
+        let mut snap = MetricsSnapshot::default();
+        snap.set_counter("objectrunner.core.pipeline.pages", 5);
+        snap.set_counter(stage_wall_metric("parse"), 10);
+        snap.set_counter(stage_cpu_metric("parse"), 9);
+        snap.set_counter(stage_wall_metric("extract"), 0);
+        let json = legacy_stats_json(&snap);
+        assert!(json.starts_with("{\"pages\":5,"));
+        assert!(json.contains("\"stage\":\"parse\",\"wall_micros\":10,\"cpu_micros\":9"));
+        // extract ran (key present) even with 0 wall.
+        assert!(json.contains("\"stage\":\"extract\",\"wall_micros\":0"));
+        // wrap never ran: no key, no entry.
+        assert!(!json.contains("\"stage\":\"wrap\""));
+        assert!(json.contains("\"threads\":0"));
+    }
+
+    #[test]
+    fn stats_line_wraps_source_and_system() {
+        let snap = MetricsSnapshot::default();
+        let line = stats_json_line("golden-Books", "OR", &snap);
+        assert!(line.starts_with("{\"source\":\"golden-Books\",\"system\":\"OR\",\"stats\":{"));
+        assert!(line.ends_with("}}"));
+    }
+}

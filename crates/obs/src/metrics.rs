@@ -1,0 +1,403 @@
+//! The typed metrics registry: counters, gauges, and fixed-bucket
+//! histograms, plus immutable [`MetricsSnapshot`]s with a stable diff
+//! API.
+//!
+//! Naming convention (enforced socially, documented in DESIGN.md §10):
+//! `objectrunner.<crate>.<stage-or-subsystem>.<name>`, e.g.
+//! `objectrunner.core.stage.wrap.wall_micros` or
+//! `objectrunner.serve.extract.latency_micros.books`. Names ending in
+//! `_micros` (and latency/drift histograms) carry machine-dependent
+//! timing values; everything else is deterministic for a fixed corpus,
+//! which is what lets `ci.sh obs-smoke` diff a snapshot against a
+//! committed baseline.
+//!
+//! The registry is lock-light: each metric is an `Arc` of atomics, so
+//! the name→metric map is locked only on first registration (or on
+//! cold lookups); hot paths hold the `Arc` and update wait-free.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default latency buckets (microseconds): 50µs … 250ms, then +inf.
+pub const LATENCY_BUCKETS_MICROS: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+];
+
+/// Default drift-score buckets (score × 1000, i.e. per-mille): deciles.
+pub const DRIFT_BUCKETS_MILLI: [u64; 9] = [100, 200, 300, 400, 500, 600, 700, 800, 900];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram. `bounds` are inclusive upper bounds; one
+/// implicit overflow bucket catches everything above the last bound.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new(bounds: &[u64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen histogram state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds; `counts` has one extra overflow slot.
+    pub bounds: Vec<u64>,
+    pub counts: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The live registry behind an [`crate::Obs`] handle.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter registered under `name` (created on first use).
+    /// Hold the `Arc` on hot paths instead of re-resolving the name.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::default());
+                map.insert(name.to_owned(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge registry poisoned");
+        match map.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::default());
+                map.insert(name.to_owned(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// The histogram registered under `name`; `bounds` applies only on
+    /// first registration (a histogram's buckets are fixed for life).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new(bounds));
+                map.insert(name.to_owned(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Freeze every metric into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("counter registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("gauge registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("histogram registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen, ordered view of the registry. The `diff` method is the
+/// test-facing API: grab a snapshot, run the code under test, diff
+/// against a fresh snapshot, and assert on *deltas* — "the Wrap stage
+/// did not run" becomes `diff.counter("….stage.wrap.runs") == 0`
+/// instead of string-matching timing output.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram state (empty when absent).
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.histograms.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Insert/overwrite a counter (snapshot-builder use, e.g.
+    /// `PipelineStats` externalizing itself into metric names).
+    pub fn set_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.insert(name.into(), value);
+    }
+
+    /// The change from `base` to `self`: counters subtract
+    /// (saturating), gauges report the new value, histogram counts
+    /// subtract element-wise. Keys absent from `base` keep their value.
+    pub fn diff(&self, base: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v.saturating_sub(base.counter(k))))
+            .collect();
+        let gauges = self.gauges.clone();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let b = base.histogram(k);
+                let counts = h
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| c.saturating_sub(b.counts.get(i).copied().unwrap_or(0)))
+                    .collect();
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        bounds: h.bounds.clone(),
+                        counts,
+                        sum: h.sum.saturating_sub(b.sum),
+                        count: h.count.saturating_sub(b.count),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Canonical JSON rendering: fixed key order (alphabetical within
+    /// each section), integers only — byte-stable for equal snapshots.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(k), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(k), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{}}}",
+                escape(k),
+                join_u64(&h.bounds),
+                join_u64(&h.counts),
+                h.sum,
+                h.count
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn join_u64(xs: &[u64]) -> String {
+    xs.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Escape a metric name / string for embedding in JSON.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = Registry::new();
+        reg.counter("objectrunner.test.a").add(3);
+        reg.counter("objectrunner.test.a").add(4);
+        reg.gauge("objectrunner.test.g").set(-2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("objectrunner.test.a"), 7);
+        assert_eq!(snap.gauge("objectrunner.test.g"), -2);
+        assert_eq!(snap.counter("objectrunner.test.absent"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(&[10, 100]);
+        for v in [5, 10, 11, 100, 101, 5_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 2, 2]); // ≤10, ≤100, overflow
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 5 + 10 + 11 + 100 + 101 + 5_000);
+        assert!((s.mean() - (s.sum as f64 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_the_delta() {
+        let reg = Registry::new();
+        reg.counter("objectrunner.core.stage.wrap.runs").add(2);
+        reg.histogram("objectrunner.test.h", &[10]).record(3);
+        let before = reg.snapshot();
+        reg.counter("objectrunner.core.stage.extract.runs").add(1);
+        reg.histogram("objectrunner.test.h", &[10]).record(50);
+        let after = reg.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(
+            d.counter("objectrunner.core.stage.wrap.runs"),
+            0,
+            "wrap did not run"
+        );
+        assert_eq!(d.counter("objectrunner.core.stage.extract.runs"), 1);
+        assert_eq!(d.histogram("objectrunner.test.h").count, 1);
+        assert_eq!(d.histogram("objectrunner.test.h").counts, vec![0, 1]);
+    }
+
+    #[test]
+    fn snapshot_json_is_canonical() {
+        let reg = Registry::new();
+        reg.counter("b.count").add(1);
+        reg.counter("a.count").add(2);
+        reg.histogram("h", &[5]).record(7);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let expected = concat!(
+            "{\"counters\":{\"a.count\":2,\"b.count\":1},\"gauges\":{},",
+            "\"histograms\":{\"h\":{\"bounds\":[5],\"counts\":[0,1],\"sum\":7,\"count\":1}}}"
+        );
+        assert_eq!(json, expected);
+        assert_eq!(json, reg.snapshot().to_json());
+    }
+}

@@ -1,0 +1,497 @@
+//! Hierarchical spans and the [`Obs`] handle.
+//!
+//! A span is one timed region of work with a name, key/value
+//! attributes, and a parent — together they form per-request /
+//! per-induction trace trees. The design constraints come from the
+//! PR-2 executor:
+//!
+//! * **Safe under scoped threads** — finished spans land in a
+//!   lock-sharded buffer (shard = span id mod shard count), so worker
+//!   threads finishing spans concurrently contend only rarely and
+//!   never against the coordinator.
+//! * **Deterministic trees** — parenthood is explicit (`Span::child`),
+//!   never ambient thread-local state, so the *shape* of a trace is a
+//!   property of the code path, not of scheduling. Exports sort by
+//!   `(trace, id)`; ids allocated on the coordinating thread are
+//!   identical at any thread count, and ids allocated inside worker
+//!   closures are normalized away by the determinism suite.
+//! * **Zero-cost when disabled** — `Obs::disabled()` is a `const fn`
+//!   producing a handle whose every operation is a single
+//!   `Option::is_none` branch on an inlined method; no allocation, no
+//!   atomics, no clock reads. The bench-smoke CI stage holds the
+//!   enabled path to ≤2% overhead on the annotation bench.
+
+use crate::clock::Clock;
+use crate::metrics::{MetricsSnapshot, Registry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of buffer shards (power of two).
+const SHARDS: usize = 16;
+
+/// Default span-buffer capacity (per handle, across shards).
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
+/// An attribute value on a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl AttrValue {
+    /// Canonical JSON rendering (floats via shortest round-trip).
+    pub fn render_json(&self) -> String {
+        match self {
+            AttrValue::U64(v) => v.to_string(),
+            AttrValue::F64(v) => {
+                let s = format!("{v:?}");
+                // `{:?}` on f64 always includes a `.` or exponent for
+                // finite values, keeping the type stable on re-parse.
+                s
+            }
+            AttrValue::Str(s) => format!("\"{}\"", crate::metrics::escape(s)),
+        }
+    }
+}
+
+/// A finished span, as stored in the buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to (one per request / induction).
+    pub trace: u64,
+    /// Span id, unique within the handle (1-based; 0 means "no span").
+    pub id: u64,
+    /// Parent span id (0 for trace roots).
+    pub parent: u64,
+    pub name: &'static str,
+    /// Monotonic start, microseconds on the handle's clock.
+    pub start_micros: u64,
+    /// Wall duration, microseconds.
+    pub dur_micros: u64,
+    /// Summed worker CPU attributed to this span (0 when untracked).
+    pub cpu_micros: u64,
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+#[derive(Debug)]
+pub(crate) struct ObsInner {
+    clock: Clock,
+    next_trace: AtomicU64,
+    next_span: AtomicU64,
+    shards: Vec<Mutex<Vec<SpanRecord>>>,
+    capacity_per_shard: usize,
+    /// Spans discarded because a shard was full.
+    dropped: AtomicU64,
+    pub(crate) registry: Registry,
+}
+
+/// The observability handle: clonable, thread-safe, and free to pass
+/// around by value. All clones share one span buffer, one metrics
+/// registry, and one clock.
+#[derive(Clone, Debug)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// The no-op handle. `const`, allocation-free; every method on it
+    /// reduces to one branch.
+    pub const fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// An enabled handle with the default span capacity and clock.
+    pub fn enabled() -> Obs {
+        Obs::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// An enabled handle holding at most `capacity` finished spans
+    /// (oldest evicted first, per shard).
+    pub fn with_capacity(capacity: usize) -> Obs {
+        Obs::with_clock_and_capacity(Clock::system(), capacity)
+    }
+
+    /// Full control: explicit clock (tests inject a fake) + capacity.
+    pub fn with_clock_and_capacity(clock: Clock, capacity: usize) -> Obs {
+        let per_shard = (capacity / SHARDS).max(1);
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                clock,
+                next_trace: AtomicU64::new(1),
+                next_span: AtomicU64::new(1),
+                shards: (0..SHARDS)
+                    .map(|_| Mutex::new(Vec::with_capacity(per_shard.min(64))))
+                    .collect(),
+                capacity_per_shard: per_shard,
+                dropped: AtomicU64::new(0),
+                registry: Registry::new(),
+            })),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The handle's clock (None when disabled).
+    pub fn clock(&self) -> Option<&Clock> {
+        self.inner.as_ref().map(|i| &i.clock)
+    }
+
+    /// Start a new trace: allocates a trace id and returns its root
+    /// span. On a disabled handle this is free and the span inert.
+    #[inline]
+    pub fn trace(&self, name: &'static str) -> Span {
+        match &self.inner {
+            None => Span::inert(),
+            Some(inner) => {
+                let trace = inner.next_trace.fetch_add(1, Ordering::Relaxed);
+                self.start_span(trace, 0, name)
+            }
+        }
+    }
+
+    /// Start a span inside an existing trace under an explicit parent
+    /// id — the cross-layer stitch (serve request span → pipeline
+    /// spans) without threading `&Span` borrows through call stacks.
+    #[inline]
+    pub fn span_in(&self, trace: u64, parent: u64, name: &'static str) -> Span {
+        if self.inner.is_none() {
+            return Span::inert();
+        }
+        self.start_span(trace, parent, name)
+    }
+
+    fn start_span(&self, trace: u64, parent: u64, name: &'static str) -> Span {
+        let inner = self.inner.as_ref().expect("caller checked");
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        Span {
+            obs: self.clone(),
+            trace,
+            id,
+            parent,
+            name,
+            start_micros: inner.clock.monotonic_micros(),
+            cpu_micros: 0,
+            attrs: Vec::new(),
+            finished: false,
+        }
+    }
+
+    fn record(&self, record: SpanRecord) {
+        let Some(inner) = &self.inner else { return };
+        let shard = &inner.shards[(record.id as usize) & (SHARDS - 1)];
+        let mut buf = shard.lock().expect("span shard poisoned");
+        if buf.len() >= inner.capacity_per_shard {
+            buf.remove(0);
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push(record);
+    }
+
+    /// Add to a counter. Cold-path convenience — hot loops should hold
+    /// the `Arc<Counter>` from [`Obs::registry`] instead.
+    #[inline]
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.counter(name).add(n);
+        }
+    }
+
+    /// Set a gauge.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, v: i64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge(name).set(v);
+        }
+    }
+
+    /// Record into a fixed-bucket histogram (created on first use).
+    #[inline]
+    pub fn histogram_record(&self, name: &str, bounds: &[u64], value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.histogram(name, bounds).record(value);
+        }
+    }
+
+    /// The live registry (None when disabled) — for hot paths that
+    /// want to cache metric handles.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.inner.as_ref().map(|i| &i.registry)
+    }
+
+    /// Freeze the metrics into a snapshot (empty when disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            None => MetricsSnapshot::default(),
+            Some(inner) => inner.registry.snapshot(),
+        }
+    }
+
+    /// All finished spans, sorted by `(trace, id)`, buffer untouched.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for shard in &inner.shards {
+            out.extend(shard.lock().expect("span shard poisoned").iter().cloned());
+        }
+        out.sort_unstable_by_key(|s| (s.trace, s.id));
+        out
+    }
+
+    /// All finished spans, sorted by `(trace, id)`, draining the
+    /// buffer (exporters use this).
+    pub fn drain_spans(&self) -> Vec<SpanRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for shard in &inner.shards {
+            out.append(&mut shard.lock().expect("span shard poisoned"));
+        }
+        out.sort_unstable_by_key(|s| (s.trace, s.id));
+        out
+    }
+
+    /// Spans evicted due to buffer pressure since creation.
+    pub fn dropped_spans(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.dropped.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// A live span. Records itself into the buffer when finished (or
+/// dropped). Spans from a disabled handle are inert: every method is
+/// one branch.
+#[derive(Debug)]
+pub struct Span {
+    obs: Obs,
+    trace: u64,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_micros: u64,
+    cpu_micros: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+    finished: bool,
+}
+
+impl Span {
+    fn inert() -> Span {
+        Span {
+            obs: Obs::disabled(),
+            trace: 0,
+            id: 0,
+            parent: 0,
+            name: "",
+            start_micros: 0,
+            cpu_micros: 0,
+            attrs: Vec::new(),
+            finished: true,
+        }
+    }
+
+    /// Is this a recording span?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.obs.is_enabled()
+    }
+
+    /// The trace this span belongs to (0 when inert).
+    pub fn trace_id(&self) -> u64 {
+        self.trace
+    }
+
+    /// This span's id (0 when inert).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// `(trace, id)` — the context a child layer needs to attach its
+    /// own spans under this one via [`Obs::span_in`].
+    pub fn context(&self) -> (u64, u64) {
+        (self.trace, self.id)
+    }
+
+    /// Start a child span.
+    #[inline]
+    pub fn child(&self, name: &'static str) -> Span {
+        if !self.obs.is_enabled() {
+            return Span::inert();
+        }
+        self.obs.span_in(self.trace, self.id, name)
+    }
+
+    #[inline]
+    pub fn attr_u64(&mut self, key: &'static str, value: u64) {
+        if self.obs.is_enabled() {
+            self.attrs.push((key, AttrValue::U64(value)));
+        }
+    }
+
+    #[inline]
+    pub fn attr_f64(&mut self, key: &'static str, value: f64) {
+        if self.obs.is_enabled() {
+            self.attrs.push((key, AttrValue::F64(value)));
+        }
+    }
+
+    #[inline]
+    pub fn attr_str(&mut self, key: &'static str, value: &str) {
+        if self.obs.is_enabled() {
+            self.attrs.push((key, AttrValue::Str(value.to_owned())));
+        }
+    }
+
+    /// Attribute summed worker CPU time to this span.
+    #[inline]
+    pub fn add_cpu_micros(&mut self, micros: u64) {
+        self.cpu_micros += micros;
+    }
+
+    /// Finish now (otherwise Drop finishes it).
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let Some(clock) = self.obs.clock() else {
+            return;
+        };
+        let end = clock.monotonic_micros();
+        let record = SpanRecord {
+            trace: self.trace,
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start_micros: self.start_micros,
+            dur_micros: end.saturating_sub(self.start_micros),
+            cpu_micros: self.cpu_micros,
+            attrs: std::mem::take(&mut self.attrs),
+        };
+        self.obs.record(record);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_fully_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        let mut span = obs.trace("pipeline.induce");
+        assert!(!span.is_enabled());
+        span.attr_u64("pages", 7);
+        let child = span.child("stage.parse");
+        child.finish();
+        span.finish();
+        obs.counter_add("objectrunner.test.c", 5);
+        assert!(obs.spans().is_empty());
+        assert_eq!(obs.snapshot().counter("objectrunner.test.c"), 0);
+    }
+
+    #[test]
+    fn const_disabled_is_usable_in_const_context() {
+        const OBS: Obs = Obs::disabled();
+        assert!(!OBS.is_enabled());
+    }
+
+    #[test]
+    fn spans_form_a_tree_sorted_by_id() {
+        let obs = Obs::enabled();
+        let mut root = obs.trace("pipeline.induce");
+        root.attr_u64("pages", 3);
+        let a = root.child("stage.parse");
+        let a_id = a.id();
+        a.finish();
+        let b = root.child("stage.clean");
+        b.finish();
+        let root_id = root.id();
+        root.finish();
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 3);
+        // Sorted by id: root allocated first.
+        assert_eq!(spans[0].id, root_id);
+        assert_eq!(spans[0].parent, 0);
+        assert_eq!(spans[1].id, a_id);
+        assert_eq!(spans[1].parent, root_id);
+        assert_eq!(spans[2].parent, root_id);
+        assert!(spans.iter().all(|s| s.trace == spans[0].trace));
+        assert_eq!(spans[0].attrs, vec![("pages", AttrValue::U64(3))]);
+    }
+
+    #[test]
+    fn traces_get_distinct_ids() {
+        let obs = Obs::enabled();
+        let t1 = obs.trace("serve.extract");
+        let t2 = obs.trace("serve.extract");
+        assert_ne!(t1.trace_id(), t2.trace_id());
+        t1.finish();
+        t2.finish();
+        let spans = obs.drain_spans();
+        assert_eq!(spans.len(), 2);
+        assert!(obs.spans().is_empty(), "drain empties the buffer");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_counts_drops() {
+        let obs = Obs::with_capacity(16); // 1 per shard
+        for _ in 0..64 {
+            obs.trace("spin").finish();
+        }
+        assert!(obs.spans().len() <= 16);
+        assert!(obs.dropped_spans() >= 48);
+    }
+
+    #[test]
+    fn concurrent_finishes_are_safe_and_complete() {
+        let obs = Obs::enabled();
+        let root = obs.trace("parallel");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let root = &root;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        root.child("work").finish();
+                    }
+                });
+            }
+        });
+        root.finish();
+        assert_eq!(obs.spans().len(), 801);
+    }
+
+    #[test]
+    fn span_in_attaches_across_layers() {
+        let obs = Obs::enabled();
+        let req = obs.trace("serve.extract");
+        let (trace, parent) = req.context();
+        let inner = obs.span_in(trace, parent, "pipeline.extract");
+        let inner_id = inner.id();
+        inner.finish();
+        req.finish();
+        let spans = obs.spans();
+        let child = spans.iter().find(|s| s.id == inner_id).unwrap();
+        assert_eq!(child.parent, parent);
+        assert_eq!(child.trace, trace);
+    }
+}

@@ -47,6 +47,7 @@ fn block_score(rect: &Rect, viewport_width: f64, page_height: f64) -> f64 {
 /// signature and score. Pages are independent, so callers may run this
 /// concurrently; [`vote_main_block`] folds the per-page results.
 pub fn score_page(doc: &Document, opts: &LayoutOptions) -> Option<(NodeSignature, f64)> {
+    objectrunner_obs::global_count("objectrunner.segment.score.pages", 1);
     let layout = layout_document(doc, opts);
     let tree: BlockTree = block_tree(doc, &layout, opts);
     let page_height = tree.root().map(|b| b.rect.h).unwrap_or(0.0);
@@ -85,10 +86,12 @@ where
     I: IntoIterator<Item = Option<(NodeSignature, f64)>>,
 {
     let mut votes: Vec<(NodeSignature, usize, f64)> = Vec::new();
+    let mut candidate_pages = 0u64;
     for choice in choices {
         let Some((sig, score)) = choice else {
             continue;
         };
+        candidate_pages += 1;
         match votes.iter_mut().find(|(s, _, _)| *s == sig) {
             Some((_, count, best_score)) => {
                 *count += 1;
@@ -98,6 +101,12 @@ where
             }
             None => votes.push((sig, 1, score)),
         }
+    }
+    if candidate_pages > 0 {
+        objectrunner_obs::global_count(
+            "objectrunner.segment.vote.candidate_pages",
+            candidate_pages,
+        );
     }
     votes
         .into_iter()

@@ -55,7 +55,10 @@ USAGE:
 PROTOCOL (one JSON object per line on stdin; one response per line):
   {\"cmd\":\"induce\",\"source\":S,\"domain\":D,\"pages\":[..]|\"dir\":PATH}
   {\"cmd\":\"extract\",\"source\":S,\"pages\":[..]|\"dir\":PATH}
-  {\"cmd\":\"status\"}
+  {\"cmd\":\"status\"}     (uptime, per-source state + metrics section)
+  {\"cmd\":\"trace\",\"limit\":N}  (span trees of the last N requests)
+
+Every response echoes a \"trace\" id joinable against the trace command.
 ";
 
 /// Pull `--flag value` out of an argument list.

@@ -12,8 +12,17 @@
 //!   (Parse/Clean/Segment/Extract only), score template drift per
 //!   page, and — past the threshold — flag the wrapper stale and
 //!   re-induce from the buffered drifted pages;
-//! * `{"cmd":"status"}` — per-source counters, lifecycle state and
-//!   the transition log.
+//! * `{"cmd":"status"}` — daemon uptime, per-source counters,
+//!   lifecycle state, last-activity timestamps, the transition log,
+//!   and a `metrics` section (per-domain extract-latency and
+//!   drift-score histograms, revision counts, annotation-memo hit
+//!   rate);
+//! * `{"cmd":"trace","limit":N}` — the span trees of the last `N`
+//!   requests, from the observability buffer.
+//!
+//! Every response carries a `"trace"` field: the span-tree id of the
+//! request that produced it, joinable against the `trace` command and
+//! the JSONL/Chrome exporters.
 //!
 //! Page input is either inline (`"pages": [html, ..]`) or a directory
 //! of `*.html` files (`"dir": "path"`, lexicographic order).
@@ -33,8 +42,12 @@
 
 use objectrunner_core::annotate::Annotator;
 use objectrunner_core::matching::drift_score;
-use objectrunner_core::pipeline::{extract_only, Pipeline, PipelineConfig};
+use objectrunner_core::pipeline::{extract_only_with, Pipeline, PipelineConfig};
 use objectrunner_core::sample::SampleConfig;
+use objectrunner_obs::{
+    Clock, HistogramSnapshot, Obs, Span, SpanRecord, DEFAULT_SPAN_CAPACITY, DRIFT_BUCKETS_MILLI,
+    LATENCY_BUCKETS_MICROS,
+};
 use objectrunner_sod::Instance;
 use objectrunner_store::{load_file, save_file, Json, StoredWrapper};
 use objectrunner_webgen::knowledge::recognizers_for;
@@ -108,6 +121,12 @@ struct SourceEntry {
     buffer: VecDeque<(String, f64)>,
     /// Human-readable lifecycle transitions, oldest first.
     log: Vec<String>,
+    /// Wall clock (Unix micros) of the last request touching this
+    /// source; 0 until first touched.
+    last_activity_wall: u64,
+    /// Monotonic micros of the last request touching this source;
+    /// paired with "now" to report idle time without wall-clock jumps.
+    last_activity_mono: u64,
 }
 
 impl SourceEntry {
@@ -120,13 +139,30 @@ impl SourceEntry {
             drift_events: 0,
             buffer: VecDeque::new(),
             log: Vec::new(),
+            last_activity_wall: 0,
+            last_activity_mono: 0,
         }
+    }
+
+    fn touch(&mut self, clock: &Clock) {
+        self.last_activity_wall = clock.wall_unix_micros();
+        self.last_activity_mono = clock.monotonic_micros();
     }
 }
 
 /// The serving core. Owns the wrapper cache; one instance per daemon.
 pub struct Service {
     config: ServeConfig,
+    /// Request spans and the serving metrics registry. Enabled by
+    /// default in the daemon; [`Service::with_observability`] lets
+    /// tests inject a fake-clock handle or a disabled one.
+    obs: Obs,
+    /// Time source shared with `obs` — uptime, request latency and
+    /// last-activity all read through it so tests can advance time by
+    /// hand.
+    clock: Clock,
+    /// `clock.monotonic_micros()` at construction; uptime base.
+    start_mono: u64,
     sources: BTreeMap<String, SourceEntry>,
     /// Compiled annotation engines, one per domain, shared across
     /// inductions and drift-repair re-inductions: the recognizer set of
@@ -168,12 +204,31 @@ pub fn instance_json(instance: &Instance) -> Json {
 }
 
 impl Service {
+    /// A daemon-grade service: observability on, real clock.
     pub fn new(config: ServeConfig) -> Service {
+        let clock = Clock::system();
+        let obs = Obs::with_clock_and_capacity(clock.clone(), DEFAULT_SPAN_CAPACITY);
+        Service::with_observability(config, obs, clock)
+    }
+
+    /// Construct with an explicit observability handle and clock —
+    /// the test seam for fake-clock uptime/idle assertions and for
+    /// running with observability disabled.
+    pub fn with_observability(config: ServeConfig, obs: Obs, clock: Clock) -> Service {
+        let start_mono = clock.monotonic_micros();
         Service {
             config,
+            obs,
+            clock,
+            start_mono,
             sources: BTreeMap::new(),
             annotators: std::sync::Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// The service's observability handle (spans + metrics registry).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The shared annotation engine for a domain (compiled on first
@@ -200,12 +255,42 @@ impl Service {
     }
 
     fn handle(&mut self, req: &Json) -> Json {
-        match req.get("cmd").and_then(Json::as_str) {
-            Some("induce") => self.induce(req),
-            Some("extract") => self.extract(req),
+        let cmd = req.get("cmd").and_then(Json::as_str).map(str::to_owned);
+        let span_name: &'static str = match cmd.as_deref() {
+            Some("induce") => "serve.induce",
+            Some("extract") => "serve.extract",
+            Some("status") => "serve.status",
+            Some("trace") => "serve.trace",
+            _ => "serve.error",
+        };
+        let mut span = self.obs.trace(span_name);
+        let trace_id = span.trace_id();
+        self.obs.counter_add(
+            &format!(
+                "objectrunner.serve.requests.{}",
+                cmd.as_deref().unwrap_or("unknown")
+            ),
+            1,
+        );
+        let response = match cmd.as_deref() {
+            Some("induce") => self.induce(req, &span),
+            Some("extract") => self.extract(req, &span),
             Some("status") => self.status(),
+            Some("trace") => self.trace_dump(req),
             Some(other) => err(&format!("unknown cmd '{other}'")),
             None => err("missing 'cmd'"),
+        };
+        let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
+        span.attr_str("outcome", if ok { "ok" } else { "error" });
+        span.finish();
+        // Echo the request's trace id in every response, joinable
+        // against the `trace` command and the exporters.
+        match response {
+            Json::Obj(mut pairs) => {
+                pairs.push(("trace".into(), Json::int(trace_id)));
+                Json::Obj(pairs)
+            }
+            other => other,
         }
     }
 
@@ -214,13 +299,18 @@ impl Service {
         self.config.store_dir.join(format!("{source}.orw"))
     }
 
-    fn pipeline_config(&self) -> PipelineConfig {
+    /// Pipeline configuration for (re-)induction. When a request span
+    /// is supplied, the pipeline's own spans nest under it, so one
+    /// trace id covers the request end-to-end.
+    fn pipeline_config(&self, parent: Option<&Span>) -> PipelineConfig {
         PipelineConfig {
             sample: SampleConfig {
                 sample_size: self.config.sample_size,
                 ..SampleConfig::default()
             },
             threads: self.config.threads,
+            obs: self.obs.clone(),
+            trace_context: parent.filter(|s| s.is_enabled()).map(Span::context),
             ..PipelineConfig::default()
         }
     }
@@ -232,10 +322,11 @@ impl Service {
         domain: Domain,
         revision: u64,
         pages: &[String],
+        parent: &Span,
     ) -> Result<(StoredWrapper, Vec<Instance>, String), String> {
         let sod = domain.sod();
         let recognizers = recognizers_for(domain, self.config.coverage);
-        let config = self.pipeline_config();
+        let config = self.pipeline_config(Some(parent));
         let clean = config.clean.clone();
         let pipeline =
             Pipeline::with_annotator(sod.clone(), recognizers, self.annotator_for(domain))
@@ -255,7 +346,7 @@ impl Service {
         Ok((stored, outcome.objects, outcome.stats.to_json()))
     }
 
-    fn induce(&mut self, req: &Json) -> Json {
+    fn induce(&mut self, req: &Json, span: &Span) -> Json {
         let source = match req.get("source").and_then(Json::as_str) {
             Some(s) => s.to_owned(),
             None => return err("missing 'source'"),
@@ -276,15 +367,21 @@ impl Service {
             .get(&source)
             .map(|e| e.stored.revision + 1)
             .unwrap_or(1);
-        let (stored, objects, stats) = match self.induce_wrapper(&source, domain, revision, &pages)
-        {
-            Ok(r) => r,
-            Err(e) => return err(&e),
-        };
+        let (stored, objects, stats) =
+            match self.induce_wrapper(&source, domain, revision, &pages, span) {
+                Ok(r) => r,
+                Err(e) => return err(&e),
+            };
         if let Err(e) = self.persist(&stored) {
             return err(&e);
         }
+        self.obs.counter_add("objectrunner.serve.inductions", 1);
+        self.obs.gauge_set(
+            &format!("objectrunner.serve.revision.{source}"),
+            revision as i64,
+        );
         let mut entry = SourceEntry::new(stored);
+        entry.touch(&self.clock);
         entry.log.push(format!(
             "induced: revision {revision}, {} pages",
             pages.len()
@@ -332,7 +429,8 @@ impl Service {
         Ok(())
     }
 
-    fn extract(&mut self, req: &Json) -> Json {
+    fn extract(&mut self, req: &Json, span: &Span) -> Json {
+        let started = self.clock.monotonic_micros();
         let source = match req.get("source").and_then(Json::as_str) {
             Some(s) => s.to_owned(),
             None => return err("missing 'source'"),
@@ -350,17 +448,22 @@ impl Service {
 
         let threads = self.config.threads;
         let threshold = self.config.drift_threshold;
+        let trace_context = Some(span.context()).filter(|_| span.is_enabled());
         let entry = self.sources.get_mut(&source).expect("warmed");
+        let domain_name = entry.stored.domain.clone();
         entry.extracts += 1;
         entry.cache_hits += 1;
+        entry.touch(&self.clock);
 
         // Cached fast path: no induction stages run.
-        let outcome = extract_only(
+        let outcome = extract_only_with(
             &entry.stored.wrapper,
             entry.stored.main_block.as_ref(),
             &entry.stored.clean,
             &pages,
             threads,
+            &self.obs,
+            trace_context,
         );
 
         // Score template drift on the prepared documents.
@@ -378,6 +481,16 @@ impl Service {
             .collect();
         let mean_drift = scores.iter().sum::<f64>() / scores.len() as f64;
 
+        // Per-page drift distribution, in thousandths so the integer
+        // histogram resolves the 0..=1 score range.
+        for &score in &scores {
+            self.obs.histogram_record(
+                &format!("objectrunner.serve.drift.score_milli.{domain_name}"),
+                &DRIFT_BUCKETS_MILLI,
+                (score * 1000.0).round() as u64,
+            );
+        }
+
         // Buffer the drifted pages (bounded, oldest evicted).
         for (page, &score) in pages.iter().zip(scores.iter()) {
             if score >= threshold {
@@ -391,6 +504,8 @@ impl Service {
         if mean_drift >= threshold && entry.state != WrapperState::Stale {
             entry.drift_events += 1;
             entry.state = WrapperState::Stale;
+            self.obs
+                .counter_add("objectrunner.serve.drift.stale_transitions", 1);
             entry.log.push(format!(
                 "stale: mean drift {mean_drift:.2} >= {threshold:.2} on revision {}",
                 entry.stored.revision
@@ -409,11 +524,16 @@ impl Service {
                 None => return err(&format!("stored domain '{}' unknown", entry.stored.domain)),
             };
             let revision = entry.stored.revision + 1;
-            match self.induce_wrapper(&source, domain, revision, &buffered) {
+            match self.induce_wrapper(&source, domain, revision, &buffered, span) {
                 Ok((stored, _, _)) => {
                     if let Err(e) = self.persist(&stored) {
                         return err(&e);
                     }
+                    self.obs.counter_add("objectrunner.serve.reinductions", 1);
+                    self.obs.gauge_set(
+                        &format!("objectrunner.serve.revision.{source}"),
+                        revision as i64,
+                    );
                     let entry = self.sources.get_mut(&source).expect("warmed");
                     entry.stored = stored;
                     entry.state = WrapperState::Reinduced;
@@ -424,12 +544,14 @@ impl Service {
                     ));
                     reinduced = true;
                     // Replay the batch through the repaired wrapper.
-                    response_outcome = extract_only(
+                    response_outcome = extract_only_with(
                         &entry.stored.wrapper,
                         entry.stored.main_block.as_ref(),
                         &entry.stored.clean,
                         &pages,
                         threads,
+                        &self.obs,
+                        trace_context,
                     );
                     let repaired: Vec<f64> = response_outcome
                         .docs
@@ -454,6 +576,13 @@ impl Service {
             }
         }
 
+        let latency = self.clock.monotonic_micros().saturating_sub(started);
+        self.obs.histogram_record(
+            &format!("objectrunner.serve.extract.latency_micros.{domain_name}"),
+            &LATENCY_BUCKETS_MICROS,
+            latency,
+        );
+
         let entry = self.sources.get(&source).expect("warmed");
         let objects = response_outcome.objects();
         Json::Obj(vec![
@@ -475,10 +604,16 @@ impl Service {
     }
 
     fn status(&self) -> Json {
+        let now_mono = self.clock.monotonic_micros();
         let sources = self
             .sources
             .iter()
             .map(|(name, e)| {
+                let idle = if e.last_activity_mono == 0 {
+                    0
+                } else {
+                    now_mono.saturating_sub(e.last_activity_mono)
+                };
                 Json::Obj(vec![
                     ("source".into(), Json::str(name)),
                     ("domain".into(), Json::str(&e.stored.domain)),
@@ -490,6 +625,11 @@ impl Service {
                     ("drift_events".into(), Json::int(e.drift_events as i64)),
                     ("buffered".into(), Json::int(e.buffer.len())),
                     (
+                        "last_activity_unix_micros".into(),
+                        Json::int(e.last_activity_wall),
+                    ),
+                    ("idle_micros".into(), Json::int(idle)),
+                    (
                         "log".into(),
                         Json::Arr(e.log.iter().map(Json::str).collect()),
                     ),
@@ -499,9 +639,148 @@ impl Service {
         Json::Obj(vec![
             ("ok".into(), Json::Bool(true)),
             ("cmd".into(), Json::str("status")),
+            (
+                "uptime_micros".into(),
+                Json::int(now_mono.saturating_sub(self.start_mono)),
+            ),
             ("sources".into(), Json::Arr(sources)),
+            ("metrics".into(), self.metrics_section()),
         ])
     }
+
+    /// The status response's `metrics` section: per-domain extract
+    /// latency and drift-score histograms (read back out of the obs
+    /// registry), wrapper revisions, annotation-memo hit rate, and
+    /// request counters.
+    fn metrics_section(&self) -> Json {
+        let snap = self.obs.snapshot();
+        let mut latency: Vec<(String, Json)> = Vec::new();
+        let mut drift: Vec<(String, Json)> = Vec::new();
+        for (name, h) in &snap.histograms {
+            if let Some(domain) = name.strip_prefix("objectrunner.serve.extract.latency_micros.") {
+                latency.push((domain.to_owned(), histogram_json(h)));
+            } else if let Some(domain) = name.strip_prefix("objectrunner.serve.drift.score_milli.")
+            {
+                drift.push((domain.to_owned(), histogram_json(h)));
+            }
+        }
+        let revisions = self
+            .sources
+            .iter()
+            .map(|(name, e)| (name.clone(), Json::int(e.stored.revision as i64)))
+            .collect();
+        let (hits, misses) = {
+            let cache = self.annotators.lock().expect("annotator cache poisoned");
+            cache.values().fold((0u64, 0u64), |(h, m), a| {
+                (h + a.cache_hits(), m + a.cache_misses())
+            })
+        };
+        let lookups = hits + misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        };
+        let requests = ["induce", "extract", "status", "trace"]
+            .iter()
+            .map(|&c| {
+                (
+                    c.to_owned(),
+                    Json::int(snap.counter(&format!("objectrunner.serve.requests.{c}"))),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("extract_latency_micros".into(), Json::Obj(latency)),
+            ("drift_score_milli".into(), Json::Obj(drift)),
+            ("revisions".into(), Json::Obj(revisions)),
+            (
+                "annotation_memo".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::int(hits)),
+                    ("misses".into(), Json::int(misses)),
+                    ("hit_rate".into(), Json::Float(hit_rate)),
+                ]),
+            ),
+            ("requests".into(), Json::Obj(requests)),
+            (
+                "reinductions".into(),
+                Json::int(snap.counter("objectrunner.serve.reinductions")),
+            ),
+        ])
+    }
+
+    /// `{"cmd":"trace","limit":N}` — the span trees of the last `N`
+    /// requests (default 3) still in the observability buffer. Spans
+    /// are rendered in `(trace, id)` order, parents before children.
+    fn trace_dump(&self, req: &Json) -> Json {
+        let limit = req
+            .get("limit")
+            .and_then(Json::as_usize)
+            .unwrap_or(3)
+            .max(1);
+        let spans = self.obs.spans();
+        // `spans` is sorted by (trace, id) and trace ids are allocated
+        // in request order, so the last distinct ids are the most
+        // recent requests.
+        let mut traces: Vec<u64> = Vec::new();
+        for s in &spans {
+            if traces.last() != Some(&s.trace) {
+                traces.push(s.trace);
+            }
+        }
+        let keep = &traces[traces.len().saturating_sub(limit)..];
+        let rendered: Vec<Json> = spans
+            .iter()
+            .filter(|s| keep.contains(&s.trace))
+            .map(span_json)
+            .collect();
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("cmd".into(), Json::str("trace")),
+            ("enabled".into(), Json::Bool(self.obs.is_enabled())),
+            ("traces".into(), Json::int(keep.len())),
+            ("spans".into(), Json::Arr(rendered)),
+            ("dropped_spans".into(), Json::int(self.obs.dropped_spans())),
+        ])
+    }
+}
+
+/// Histogram snapshot as JSON (fixed key order).
+fn histogram_json(h: &HistogramSnapshot) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::int(h.count)),
+        ("sum".into(), Json::int(h.sum)),
+        ("mean".into(), Json::Float(h.mean())),
+        (
+            "bounds".into(),
+            Json::Arr(h.bounds.iter().map(|&b| Json::int(b)).collect()),
+        ),
+        (
+            "counts".into(),
+            Json::Arr(h.counts.iter().map(|&c| Json::int(c)).collect()),
+        ),
+    ])
+}
+
+/// One finished span as JSON, matching the JSONL exporter's field
+/// names so `trace` output joins against `obs_check` tooling.
+fn span_json(s: &SpanRecord) -> Json {
+    let attrs = s
+        .attrs
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), Json::Raw(v.render_json())))
+        .collect();
+    Json::Obj(vec![
+        ("trace".into(), Json::int(s.trace)),
+        ("id".into(), Json::int(s.id)),
+        ("parent".into(), Json::int(s.parent)),
+        ("name".into(), Json::str(s.name)),
+        ("start_us".into(), Json::int(s.start_micros)),
+        ("dur_us".into(), Json::int(s.dur_micros)),
+        ("cpu_us".into(), Json::int(s.cpu_micros)),
+        ("attrs".into(), Json::Obj(attrs)),
+    ])
 }
 
 /// Resolve a request's page input: inline `"pages"` array or a

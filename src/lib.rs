@@ -31,6 +31,9 @@
 //! * [`serve`] — the serving layer: cached (induction-free)
 //!   extraction, template-drift detection, on-demand re-induction
 //!   (the `objectrunner-serve` daemon).
+//! * [`obs`] — observability: hierarchical spans, a typed metrics
+//!   registry, and canonical exporters (events JSONL, Chrome
+//!   `trace_event`, human report).
 //!
 //! ## Quickstart
 //!
@@ -66,6 +69,7 @@ pub use objectrunner_core as core;
 pub use objectrunner_eval as eval;
 pub use objectrunner_html as html;
 pub use objectrunner_knowledge as knowledge;
+pub use objectrunner_obs as obs;
 pub use objectrunner_segment as segment;
 pub use objectrunner_serve as serve;
 pub use objectrunner_sod as sod;

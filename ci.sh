@@ -70,6 +70,32 @@ grep -q '"domain":"Cars"' "$SMOKE/bench_annotation.json"
 grep -q '"cache_hit_rate"' "$SMOKE/bench_annotation.json"
 echo "    bench smoke OK"
 
+# Streaming smoke: the crawl-scale path end to end. The corpus
+# generator CLI writes a 2k-page corpus matching the template the
+# serve smoke's re-induced wrapper was trained on (same name/seed,
+# drift 0.8 is deterministic), `extract-stream` streams it back as one
+# JSON line per page, and the streaming bench regenerates
+# BENCH_extract.json at 10k pages to check its sanity fields: peak RSS
+# flat across a 10x corpus and under a hard ceiling, and streamed
+# output equal to the materialized path. Engine-speedup timings vary
+# by machine and load, so no threshold is enforced here — the
+# committed BENCH_extract.json records the reference run.
+echo "==> stream smoke (10k-page corpus, RSS ceiling, BENCH_extract.json sanity)"
+target/release/objectrunner-webgen --domain concerts --name smoke --seed 17000 \
+    --pages 2000 --drift 0.8 --out-dir "$SMOKE/crawl" 2>/dev/null
+"$SERVE" extract-stream --wrapper "$SMOKE/wrappers/smoke.orw" \
+    --pages "$SMOKE/crawl" --threads 4 > "$SMOKE/stream.jsonl" 2>/dev/null
+test "$(wc -l < "$SMOKE/stream.jsonl")" -eq 2000
+sed -n 1p "$SMOKE/stream.jsonl" | grep -q '"page":0'
+grep -q '"objects":\[{' "$SMOKE/stream.jsonl"     # wrapper extracts, not just echoes
+target/release/bench_extract_stream --pages 10000 > "$SMOKE/bench_extract.json"
+grep -q '"bench": "extract_stream"' "$SMOKE/bench_extract.json"
+grep -q '"rss_flat_ok": true' "$SMOKE/bench_extract.json"
+grep -q '"stream_equals_batch": true' "$SMOKE/bench_extract.json"
+HWM_KB=$(grep -o '"vmhwm_after_big_kb": [0-9]*' "$SMOKE/bench_extract.json" | grep -o '[0-9]*')
+test "$HWM_KB" -lt 262144                         # 10k-page stream stays under 256 MB
+echo "    stream smoke OK"
+
 # Observability smoke: run the golden corpus with tracing enabled,
 # schema-check the JSONL and Chrome trace_event exports with
 # `obs_check`, and diff the metrics snapshot against the committed

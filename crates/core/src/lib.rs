@@ -43,6 +43,9 @@
 //!   Annotate/Sample → Wrap → Extract) with per-stage timings.
 //! * [`exec`] — the deterministic scoped-thread executor driving the
 //!   per-page and per-support fan-out.
+//! * [`stream`] — the memory-bounded streaming extraction path: apply
+//!   an induced wrapper to an iterator of pages with a bounded
+//!   reorder window, for crawls too large to materialize.
 
 pub mod annotate;
 pub mod dedup;
@@ -54,6 +57,7 @@ pub mod pipeline;
 pub mod roles;
 pub mod sample;
 pub mod stage;
+pub mod stream;
 pub mod template;
 pub mod tokens;
 pub mod wrapper;
@@ -62,4 +66,5 @@ pub use annotate::{annotate_page, AnnotatedPage, Annotation};
 pub use exec::Executor;
 pub use pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineOutcome};
 pub use stage::{Stage, StageTiming};
+pub use stream::{extract_stream, StreamConfig, StreamStats};
 pub use wrapper::{generate_wrapper, Wrapper, WrapperError};

@@ -1,0 +1,525 @@
+//! Streaming, memory-bounded extraction for million-page crawls.
+//!
+//! [`extract_stream`] is the crawl-scale sibling of
+//! [`crate::pipeline::extract_only`]: it applies an already-induced
+//! wrapper to an *iterator* of pages, delivering each page's instances
+//! to a sink callback the moment they are ready — in page order — and
+//! holding only a bounded window of pages in memory at once. Peak
+//! memory is `O(threads × window)` pages regardless of corpus size,
+//! where the batch path's is `O(corpus)`: it materializes every parsed
+//! [`Document`] before extraction begins.
+//!
+//! Per-page preparation is byte-for-byte the batch path's — the same
+//! cleaning options, the same persisted main-block replay, the same
+//! wrapper application — so the streamed output is identical to
+//! `extract_only` on the same pages (pinned by the
+//! `stream_equivalence` integration suite). Each worker owns one
+//! [`PageParser`], whose arena is reset between pages: a million-page
+//! run allocates like a one-page run.
+//!
+//! Ordering and backpressure share one mutex: workers claim page
+//! indices from the source iterator, finished pages park in a reorder
+//! buffer, and the caller's thread drains the buffer in index order,
+//! invoking the sink outside the lock. Workers stall whenever
+//! `claimed - emitted` reaches the window, so one slow page cannot let
+//! the buffer grow without bound.
+
+use crate::exec::resolve_threads;
+use crate::wrapper::Wrapper;
+use objectrunner_html::{clean_document, CleanOptions, PageParser};
+use objectrunner_obs::Obs;
+use objectrunner_segment::{simplify_to_main_block, MainBlockChoice};
+use objectrunner_sod::Instance;
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Configuration for [`extract_stream`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Worker threads; `None` resolves `OBJECTRUNNER_THREADS` then
+    /// available parallelism (same rule as the batch pipeline).
+    /// `Some(1)` runs everything inline on the caller's thread.
+    pub threads: Option<usize>,
+    /// In-flight pages allowed per worker: the reorder buffer plus
+    /// pages being processed never exceed `threads × window_per_thread`.
+    pub window_per_thread: usize,
+    /// Emit a `stream.page` span for one page in every `span_sample`
+    /// (0 disables page spans). Sampling keeps tracing overhead flat —
+    /// at the default rate it is unmeasurable next to parse cost.
+    pub span_sample: usize,
+    /// Observability handle ([`Obs::disabled`] by default).
+    pub obs: Obs,
+    /// `(trace, parent span)` to attach this run's spans under.
+    pub trace_context: Option<(u64, u64)>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            threads: None,
+            window_per_thread: 4,
+            span_sample: 1024,
+            obs: Obs::disabled(),
+            trace_context: None,
+        }
+    }
+}
+
+/// Run statistics of one [`extract_stream`] call.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    /// Pages consumed from the source iterator.
+    pub pages: usize,
+    /// Instances delivered to the sink, all pages summed.
+    pub objects: usize,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// End-to-end wall clock.
+    pub wall_micros: u128,
+    /// Summed worker busy time (≈ CPU cost of the run).
+    pub busy_micros: u128,
+    /// Largest per-page text arena across all workers — the streaming
+    /// path's memory high-water mark scales with the biggest page, not
+    /// the corpus.
+    pub arena_peak_bytes: usize,
+}
+
+impl StreamStats {
+    /// Throughput over the whole run.
+    pub fn pages_per_sec(&self) -> f64 {
+        if self.wall_micros == 0 {
+            return 0.0;
+        }
+        self.pages as f64 * 1_000_000.0 / self.wall_micros as f64
+    }
+}
+
+/// Histogram bounds for `objectrunner.core.stream.arena_peak_bytes`
+/// (1 KiB … 16 MiB in powers of four).
+const ARENA_BOUNDS: &[u64] = &[
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 24,
+];
+
+/// What one worker hands back when it exits.
+#[derive(Default)]
+struct WorkerExit {
+    busy_micros: u128,
+    arena_peak_bytes: usize,
+}
+
+/// Shared scheduler state: the source iterator, the reorder buffer,
+/// and the claim/emit cursors, all under one lock.
+struct State<I> {
+    source: I,
+    claimed: usize,
+    emitted: usize,
+    source_done: bool,
+    ready: BTreeMap<usize, Vec<Instance>>,
+}
+
+/// Apply an induced wrapper to a stream of pages, invoking
+/// `sink(page_index, instances)` for every page **in page order** on
+/// the caller's thread. See the module docs for the memory model; the
+/// output is identical to [`crate::pipeline::extract_only`] over the
+/// collected pages at any thread count.
+pub fn extract_stream<I, S, F>(
+    wrapper: &Wrapper,
+    main_block: Option<&MainBlockChoice>,
+    clean: &CleanOptions,
+    pages: I,
+    config: &StreamConfig,
+    mut sink: F,
+) -> StreamStats
+where
+    I: IntoIterator<Item = S>,
+    I::IntoIter: Send,
+    S: AsRef<str> + Send,
+    F: FnMut(usize, Vec<Instance>),
+{
+    let threads = resolve_threads(config.threads);
+    let obs = &config.obs;
+    let start = Instant::now();
+    let mut root = match config.trace_context {
+        Some((trace, parent)) => obs.span_in(trace, parent, "pipeline.extract_stream"),
+        None => obs.trace("pipeline.extract_stream"),
+    };
+    let page_span_ctx = root.context();
+
+    let mut stats = StreamStats {
+        threads,
+        ..StreamStats::default()
+    };
+
+    if threads <= 1 {
+        // Inline path: no pool, no locks, one reusable parser.
+        let busy_start = Instant::now();
+        let mut parser = PageParser::new();
+        for (i, page) in pages.into_iter().enumerate() {
+            let span = sampled_span(obs, config, page_span_ctx, i);
+            let out = process_page(page.as_ref(), &mut parser, wrapper, main_block, clean);
+            finish_page_span(span, &out);
+            stats.pages += 1;
+            stats.objects += out.len();
+            sink(i, out);
+        }
+        stats.busy_micros = busy_start.elapsed().as_micros();
+        stats.arena_peak_bytes = parser.arena_peak_bytes();
+    } else {
+        let window = threads * config.window_per_thread.max(1);
+        let state = Mutex::new(State {
+            source: pages.into_iter(),
+            claimed: 0,
+            emitted: 0,
+            source_done: false,
+            ready: BTreeMap::new(),
+        });
+        // Workers wait on `space` when the window is full; the caller's
+        // thread waits on `ready` for the next in-order page.
+        let space = Condvar::new();
+        let ready = Condvar::new();
+        let exits: Mutex<Vec<WorkerExit>> = Mutex::new(Vec::with_capacity(threads));
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let busy_start = Instant::now();
+                    let mut parser = PageParser::new();
+                    loop {
+                        let claim = {
+                            let mut st = state.lock().expect("stream worker panicked");
+                            loop {
+                                if st.source_done {
+                                    break None;
+                                }
+                                if st.claimed - st.emitted < window {
+                                    match st.source.next() {
+                                        Some(page) => {
+                                            let i = st.claimed;
+                                            st.claimed += 1;
+                                            break Some((i, page));
+                                        }
+                                        None => {
+                                            st.source_done = true;
+                                            // Unblock everyone for shutdown.
+                                            space.notify_all();
+                                            ready.notify_all();
+                                            break None;
+                                        }
+                                    }
+                                }
+                                st = space.wait(st).expect("stream worker panicked");
+                            }
+                        };
+                        let Some((i, page)) = claim else { break };
+                        let span = sampled_span(obs, config, page_span_ctx, i);
+                        let out =
+                            process_page(page.as_ref(), &mut parser, wrapper, main_block, clean);
+                        finish_page_span(span, &out);
+                        let mut st = state.lock().expect("stream worker panicked");
+                        st.ready.insert(i, out);
+                        // Only the in-order page unblocks the consumer,
+                        // but waking it on any insert keeps this simple
+                        // and the consumer re-checks under the lock.
+                        ready.notify_all();
+                    }
+                    exits
+                        .lock()
+                        .expect("stream worker panicked")
+                        .push(WorkerExit {
+                            busy_micros: busy_start.elapsed().as_micros(),
+                            arena_peak_bytes: parser.arena_peak_bytes(),
+                        });
+                });
+            }
+
+            // Consumer: drain the reorder buffer in index order on the
+            // caller's thread; the sink always runs outside the lock.
+            loop {
+                let next = {
+                    let mut st = state.lock().expect("stream worker panicked");
+                    loop {
+                        let i = st.emitted;
+                        if let Some(out) = st.ready.remove(&i) {
+                            st.emitted += 1;
+                            space.notify_all();
+                            break Some((i, out));
+                        }
+                        if st.source_done && st.emitted == st.claimed {
+                            break None;
+                        }
+                        st = ready.wait(st).expect("stream worker panicked");
+                    }
+                };
+                let Some((i, out)) = next else { break };
+                stats.pages += 1;
+                stats.objects += out.len();
+                sink(i, out);
+            }
+        });
+
+        for exit in exits.into_inner().expect("stream worker panicked") {
+            stats.busy_micros += exit.busy_micros;
+            stats.arena_peak_bytes = stats.arena_peak_bytes.max(exit.arena_peak_bytes);
+        }
+    }
+
+    stats.wall_micros = start.elapsed().as_micros();
+    if obs.is_enabled() {
+        obs.counter_add("objectrunner.core.stream.runs", 1);
+        obs.counter_add("objectrunner.core.stream.pages", stats.pages as u64);
+        obs.counter_add("objectrunner.core.stream.objects", stats.objects as u64);
+        obs.gauge_set(
+            "objectrunner.core.stream.pages_per_sec",
+            stats.pages_per_sec() as i64,
+        );
+        obs.histogram_record(
+            "objectrunner.core.stream.arena_peak_bytes",
+            ARENA_BOUNDS,
+            stats.arena_peak_bytes as u64,
+        );
+    }
+    root.attr_u64("pages", stats.pages as u64);
+    root.attr_u64("objects", stats.objects as u64);
+    root.add_cpu_micros(stats.busy_micros as u64);
+    root.finish();
+    stats
+}
+
+/// One page through the extract-only preparation chain. Mirrors the
+/// batch stages byte-for-byte: Parse → Clean → Segment replay →
+/// Extract.
+fn process_page(
+    html: &str,
+    parser: &mut PageParser,
+    wrapper: &Wrapper,
+    main_block: Option<&MainBlockChoice>,
+    clean: &CleanOptions,
+) -> Vec<Instance> {
+    let mut doc = parser.parse(html);
+    clean_document(&mut doc, clean);
+    if let Some(choice) = main_block {
+        let _ = simplify_to_main_block(&mut doc, choice);
+    }
+    wrapper.extract_document(&doc)
+}
+
+/// The 1-in-N sampled per-page span (inert when not sampled).
+fn sampled_span(
+    obs: &Obs,
+    config: &StreamConfig,
+    ctx: (u64, u64),
+    page: usize,
+) -> Option<objectrunner_obs::Span> {
+    if !obs.is_enabled() || config.span_sample == 0 || !page.is_multiple_of(config.span_sample) {
+        return None;
+    }
+    let mut span = obs.span_in(ctx.0, ctx.1, "stream.page");
+    span.attr_u64("page", page as u64);
+    Some(span)
+}
+
+fn finish_page_span(span: Option<objectrunner_obs::Span>, out: &[Instance]) {
+    if let Some(mut span) = span {
+        span.attr_u64("objects", out.len() as u64);
+        span.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{extract_only, Pipeline, PipelineConfig};
+    use crate::sample::SampleConfig;
+    use objectrunner_knowledge::gazetteer::Gazetteer;
+    use objectrunner_knowledge::recognizer::{Recognizer, RecognizerSet};
+    use objectrunner_sod::{Multiplicity, Sod, SodBuilder};
+
+    fn concert_sod() -> Sod {
+        SodBuilder::tuple("concert")
+            .entity("artist", Multiplicity::One)
+            .entity("date", Multiplicity::One)
+            .build()
+    }
+
+    fn recognizers(artists: &[&str]) -> RecognizerSet {
+        let mut g = Gazetteer::new();
+        for a in artists {
+            g.insert(a, 0.9, 5.0);
+        }
+        let mut set = RecognizerSet::new();
+        set.insert("artist", Recognizer::dictionary(g));
+        set.insert("date", Recognizer::predefined_date());
+        set
+    }
+
+    fn source_pages(n_pages: usize) -> Vec<String> {
+        (0..n_pages)
+            .map(|p| {
+                let recs: String = (0..(p % 3 + 1))
+                    .map(|i| {
+                        format!(
+                            "<li><div>Band{p}x{i}</div><div>May {}, 2010</div></li>",
+                            i + 1
+                        )
+                    })
+                    .collect();
+                format!(
+                    "<html><head><title>t</title></head><body>\
+                     <div class=\"nav\">home about contact pages</div>\
+                     <div class=\"content\"><ul>{recs}</ul></div>\
+                     <div class=\"footer\">copyright legal privacy terms</div>\
+                     </body></html>"
+                )
+            })
+            .collect()
+    }
+
+    fn induce() -> (Wrapper, Option<MainBlockChoice>, CleanOptions, Vec<String>) {
+        let pages = source_pages(24);
+        let known: Vec<String> = (0..24).step_by(3).map(|p| format!("Band{p}x0")).collect();
+        let refs: Vec<&str> = known.iter().map(String::as_str).collect();
+        let config = PipelineConfig {
+            sample: SampleConfig {
+                sample_size: 8,
+                ..SampleConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let pipeline = Pipeline::new(concert_sod(), recognizers(&refs)).with_config(config.clone());
+        let outcome = pipeline.run_on_html(&pages).expect("pipeline succeeds");
+        (outcome.wrapper, outcome.main_block, config.clean, pages)
+    }
+
+    fn streamed(
+        wrapper: &Wrapper,
+        main_block: Option<&MainBlockChoice>,
+        clean: &CleanOptions,
+        pages: &[String],
+        threads: usize,
+    ) -> (Vec<(usize, Vec<String>)>, StreamStats) {
+        let mut got = Vec::new();
+        let stats = extract_stream(
+            wrapper,
+            main_block,
+            clean,
+            pages.iter().map(String::as_str),
+            &StreamConfig {
+                threads: Some(threads),
+                window_per_thread: 2,
+                ..StreamConfig::default()
+            },
+            |i, instances| {
+                got.push((i, instances.iter().map(|o| o.to_string()).collect()));
+            },
+        );
+        (got, stats)
+    }
+
+    #[test]
+    fn stream_matches_batch_extract_only() {
+        let (wrapper, main_block, clean, pages) = induce();
+        let batch = extract_only(&wrapper, main_block.as_ref(), &clean, &pages, None);
+        let expect: Vec<(usize, Vec<String>)> = batch
+            .per_page
+            .iter()
+            .enumerate()
+            .map(|(i, page)| (i, page.iter().map(|o| o.to_string()).collect()))
+            .collect();
+        for threads in [1, 4] {
+            let (got, stats) = streamed(&wrapper, main_block.as_ref(), &clean, &pages, threads);
+            assert_eq!(got, expect, "threads={threads} diverged from batch");
+            assert_eq!(stats.pages, pages.len());
+            assert_eq!(
+                stats.objects,
+                expect.iter().map(|(_, v)| v.len()).sum::<usize>()
+            );
+            assert_eq!(stats.threads, threads);
+        }
+    }
+
+    #[test]
+    fn sink_sees_pages_in_order_at_any_thread_count() {
+        let (wrapper, main_block, clean, pages) = induce();
+        for threads in [1, 2, 8] {
+            let (got, _) = streamed(&wrapper, main_block.as_ref(), &clean, &pages, threads);
+            let order: Vec<usize> = got.iter().map(|(i, _)| *i).collect();
+            assert_eq!(order, (0..pages.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_source_is_a_clean_noop() {
+        let (wrapper, main_block, clean, _) = induce();
+        let none: Vec<String> = Vec::new();
+        let (got, stats) = streamed(&wrapper, main_block.as_ref(), &clean, &none, 4);
+        assert!(got.is_empty());
+        assert_eq!(stats.pages, 0);
+        assert_eq!(stats.objects, 0);
+    }
+
+    #[test]
+    fn stream_records_metrics_and_sampled_spans() {
+        let (wrapper, main_block, clean, pages) = induce();
+        let obs = Obs::enabled();
+        let before = obs.snapshot();
+        let mut emitted = 0usize;
+        let stats = extract_stream(
+            &wrapper,
+            main_block.as_ref(),
+            &clean,
+            pages.iter().map(String::as_str),
+            &StreamConfig {
+                threads: Some(2),
+                span_sample: 8,
+                obs: obs.clone(),
+                ..StreamConfig::default()
+            },
+            |_, _| emitted += 1,
+        );
+        assert_eq!(emitted, pages.len());
+        let diff = obs.snapshot().diff(&before);
+        assert_eq!(diff.counter("objectrunner.core.stream.runs"), 1);
+        assert_eq!(
+            diff.counter("objectrunner.core.stream.pages"),
+            pages.len() as u64
+        );
+        assert_eq!(
+            diff.counter("objectrunner.core.stream.objects"),
+            stats.objects as u64
+        );
+        assert!(
+            obs.snapshot()
+                .gauge("objectrunner.core.stream.pages_per_sec")
+                >= 0
+        );
+        let spans = obs.drain_spans();
+        let roots: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "pipeline.extract_stream")
+            .collect();
+        assert_eq!(roots.len(), 1);
+        // 24 pages at 1-in-8 sampling: pages 0, 8, 16.
+        let page_spans: Vec<_> = spans.iter().filter(|s| s.name == "stream.page").collect();
+        assert_eq!(page_spans.len(), 3);
+        for s in &page_spans {
+            assert_eq!(s.parent, roots[0].id, "page span attached to root");
+        }
+    }
+
+    #[test]
+    fn arena_peak_tracks_biggest_page_not_corpus() {
+        let (wrapper, main_block, clean, pages) = induce();
+        let (_, once) = streamed(&wrapper, main_block.as_ref(), &clean, &pages[..4], 1);
+        let (_, many) = streamed(&wrapper, main_block.as_ref(), &clean, &pages, 1);
+        // Same template ⇒ the per-page arena high-water mark does not
+        // grow with corpus size.
+        assert_eq!(once.arena_peak_bytes, many.arena_peak_bytes);
+    }
+}

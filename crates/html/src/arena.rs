@@ -1,0 +1,201 @@
+//! A hand-rolled bump arena for per-page scratch strings.
+//!
+//! The streaming parse path decodes entities into an [`Arena`] instead
+//! of allocating a fresh `String` per text node: all decoded text of a
+//! page lives in a few large chunks, handed out as `&str` slices, and
+//! the whole page's worth is released with one [`Arena::reset`] call
+//! that keeps the chunk capacity for the next page. This is what keeps
+//! peak RSS flat across a million-page crawl — per-page allocations
+//! never accumulate and never fragment the heap.
+//!
+//! ## Lifetime rules
+//!
+//! * [`Arena::alloc_str`] borrows the arena *shared* (`&self`) and
+//!   returns a slice that lives as long as that borrow. Allocating more
+//!   never invalidates earlier slices (chunks are boxed and never move,
+//!   only the bump cursor advances).
+//! * [`Arena::reset`] takes `&mut self`, so the borrow checker proves
+//!   no slice from the previous page survives into the next one.
+//! * The arena is intentionally `!Sync`: one arena per worker thread.
+
+use std::cell::UnsafeCell;
+
+/// First chunk size; chunks double up to [`MAX_CHUNK`].
+const FIRST_CHUNK: usize = 16 * 1024;
+/// Chunk growth cap — beyond this, more chunks of the same size.
+const MAX_CHUNK: usize = 1024 * 1024;
+
+struct Chunk {
+    buf: Box<[u8]>,
+    used: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    chunks: Vec<Chunk>,
+    /// Bytes handed out since the last reset.
+    allocated: usize,
+    /// High-water mark of `allocated` across the arena's lifetime.
+    peak: usize,
+}
+
+/// Bump allocator for string scratch (see module docs).
+#[derive(Default)]
+pub struct Arena {
+    inner: UnsafeCell<Inner>,
+}
+
+impl Arena {
+    /// An empty arena; the first allocation claims its first chunk.
+    pub fn new() -> Arena {
+        Arena::default()
+    }
+
+    /// Copy `s` into the arena and return the stable copy.
+    pub fn alloc_str<'a>(&'a self, s: &str) -> &'a str {
+        // SAFETY: the only other &mut access to `inner` is `reset`,
+        // which requires `&mut self` and therefore cannot overlap this
+        // shared borrow. Within this call the exclusive access is not
+        // reentrant (no callbacks). Returned slices point into boxed
+        // chunk buffers whose heap addresses never move: growing
+        // `chunks` relocates the `Chunk` headers, not the buffers, and
+        // later allocations only advance `used` past handed-out bytes.
+        let inner = unsafe { &mut *self.inner.get() };
+        let bytes = s.as_bytes();
+        inner.allocated += bytes.len();
+        inner.peak = inner.peak.max(inner.allocated);
+        let chunk = inner.chunk_with_room(bytes.len());
+        let start = chunk.used;
+        chunk.buf[start..start + bytes.len()].copy_from_slice(bytes);
+        chunk.used += bytes.len();
+        let ptr = chunk.buf[start..start + bytes.len()].as_ptr();
+        // SAFETY: just copied from a valid &str; length is exact.
+        unsafe { std::str::from_utf8_unchecked(std::slice::from_raw_parts(ptr, bytes.len())) }
+    }
+
+    /// Release everything allocated since the last reset, keeping the
+    /// largest chunk so the next page reuses its capacity. Requires
+    /// `&mut self`: no slice handed out before the reset can survive it.
+    pub fn reset(&mut self) {
+        let inner = self.inner.get_mut();
+        if inner.chunks.len() > 1 {
+            // Keep only the largest chunk (always the newest).
+            let largest = inner
+                .chunks
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| c.buf.len())
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            inner.chunks.swap(0, largest);
+            inner.chunks.truncate(1);
+        }
+        for chunk in &mut inner.chunks {
+            chunk.used = 0;
+        }
+        inner.allocated = 0;
+    }
+
+    /// Bytes handed out since the last [`Arena::reset`].
+    pub fn allocated_bytes(&self) -> usize {
+        // SAFETY: read-only peek; same non-overlap argument as alloc_str.
+        unsafe { (*self.inner.get()).allocated }
+    }
+
+    /// High-water mark of allocated bytes across the arena's lifetime
+    /// (not cleared by reset) — the number the obs histogram records.
+    pub fn peak_bytes(&self) -> usize {
+        // SAFETY: read-only peek; same non-overlap argument as alloc_str.
+        unsafe { (*self.inner.get()).peak }
+    }
+
+    /// Total chunk capacity currently held.
+    pub fn capacity(&self) -> usize {
+        // SAFETY: read-only peek; same non-overlap argument as alloc_str.
+        unsafe { (*self.inner.get()).chunks.iter().map(|c| c.buf.len()).sum() }
+    }
+}
+
+impl Inner {
+    fn chunk_with_room(&mut self, n: usize) -> &mut Chunk {
+        let fits = self
+            .chunks
+            .last()
+            .is_some_and(|c| c.used + n <= c.buf.len());
+        if !fits {
+            let cap = self
+                .chunks
+                .last()
+                .map(|c| (c.buf.len() * 2).min(MAX_CHUNK))
+                .unwrap_or(FIRST_CHUNK)
+                .max(n);
+            self.chunks.push(Chunk {
+                buf: vec![0u8; cap].into_boxed_slice(),
+                used: 0,
+            });
+        }
+        self.chunks.last_mut().expect("chunk just ensured")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_strings() {
+        let arena = Arena::new();
+        let a = arena.alloc_str("hello");
+        let b = arena.alloc_str("wörld — ✓");
+        assert_eq!(a, "hello");
+        assert_eq!(b, "wörld — ✓");
+        assert_eq!(arena.allocated_bytes(), "hello".len() + "wörld — ✓".len());
+    }
+
+    #[test]
+    fn earlier_slices_survive_growth() {
+        let arena = Arena::new();
+        let first = arena.alloc_str("stable");
+        // Force several chunk allocations.
+        let big = "x".repeat(FIRST_CHUNK);
+        for _ in 0..8 {
+            let s = arena.alloc_str(&big);
+            assert_eq!(s.len(), FIRST_CHUNK);
+        }
+        assert_eq!(first, "stable");
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_peak() {
+        let mut arena = Arena::new();
+        let big = "y".repeat(3 * FIRST_CHUNK);
+        arena.alloc_str(&big);
+        let peak = arena.peak_bytes();
+        assert_eq!(peak, big.len());
+        arena.reset();
+        assert_eq!(arena.allocated_bytes(), 0);
+        assert!(arena.capacity() >= big.len(), "largest chunk retained");
+        assert_eq!(arena.peak_bytes(), peak, "peak survives reset");
+        let again = arena.alloc_str("fresh");
+        assert_eq!(again, "fresh");
+    }
+
+    #[test]
+    fn oversized_allocations_get_their_own_chunk() {
+        let arena = Arena::new();
+        let huge = "z".repeat(2 * MAX_CHUNK);
+        let s = arena.alloc_str(&huge);
+        assert_eq!(s.len(), huge.len());
+    }
+
+    #[test]
+    fn peak_tracks_the_largest_page() {
+        let mut arena = Arena::new();
+        arena.alloc_str(&"a".repeat(100));
+        arena.reset();
+        arena.alloc_str(&"b".repeat(500));
+        arena.reset();
+        arena.alloc_str(&"c".repeat(50));
+        assert_eq!(arena.peak_bytes(), 500);
+    }
+}

@@ -10,6 +10,7 @@
 //! incrementally at insertion — reading a node's path is O(1).
 
 use crate::intern::{FxHashSet, PathId, Symbol};
+use crate::stream::Event;
 use crate::tokenizer::Token;
 use std::fmt;
 use std::sync::OnceLock;
@@ -293,42 +294,106 @@ pub fn normalize_ws(s: &str) -> String {
 
 /// Build a well-formed [`Document`] from a token stream.
 pub fn build(tokens: Vec<Token>) -> Document {
-    let mut doc = Document::new();
-    // Stack of open elements; root is always at the bottom.
-    let mut open: Vec<NodeId> = vec![doc.root()];
-
+    let mut builder = TreeBuilder::new();
     for tok in tokens {
+        builder.token(tok);
+    }
+    builder.finish()
+}
+
+/// Incremental tree builder: the recovery logic of [`build`], exposed
+/// one token (or one tokenizer [`Event`]) at a time so the streaming
+/// parse path never materializes a token vector.
+pub struct TreeBuilder {
+    doc: Document,
+    /// Stack of open elements; root is always at the bottom.
+    open: Vec<NodeId>,
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        TreeBuilder::new()
+    }
+}
+
+impl TreeBuilder {
+    /// A builder holding an empty document.
+    pub fn new() -> TreeBuilder {
+        let doc = Document::new();
+        let open = vec![doc.root()];
+        TreeBuilder { doc, open }
+    }
+
+    /// Feed one owned token.
+    pub fn token(&mut self, tok: Token) {
         match tok {
             Token::Doctype(_) => {}
-            Token::Comment(c) => {
-                let parent = *open.last().expect("root always open");
-                doc.push_node(parent, NodeKind::Comment(c));
-            }
-            Token::Text(t) => {
-                let parent = *open.last().expect("root always open");
-                doc.push_node(parent, NodeKind::Text(t));
-            }
+            Token::Comment(c) => self.comment(c),
+            Token::Text(t) => self.text(t),
             Token::StartTag {
                 name,
                 attrs,
                 self_closing,
-            } => {
-                apply_implied_end(&doc, &mut open, name);
-                let parent = *open.last().expect("root always open");
-                let id = doc.push_node(parent, NodeKind::Element { name, attrs });
-                if !is_void(name) && !self_closing {
-                    open.push(id);
-                }
-            }
-            Token::EndTag { name } => {
-                // Find the matching open element; drop the end tag if none.
-                if let Some(pos) = open.iter().rposition(|&id| doc.tag(id) == Some(name)) {
-                    open.truncate(pos);
-                }
-            }
+            } => self.open_tag(name, attrs, self_closing),
+            Token::EndTag { name } => self.close_tag(name),
         }
     }
-    doc
+
+    /// Feed one tokenizer event (borrowed text is copied here, at the
+    /// single point where the tree takes ownership).
+    pub fn event(&mut self, event: Event<'_>) {
+        match event {
+            Event::Doctype(_) => {}
+            Event::Comment(c) => self.comment(c.into_owned()),
+            Event::Text(t) => self.text(t.into_owned()),
+            Event::Open {
+                name,
+                attrs,
+                self_closing,
+            } => self.open_tag(name, attrs, self_closing),
+            Event::Close { name } => self.close_tag(name),
+        }
+    }
+
+    /// Open an element (with implied-end recovery).
+    pub fn open_tag(&mut self, name: Symbol, attrs: Vec<(Symbol, Symbol)>, self_closing: bool) {
+        apply_implied_end(&self.doc, &mut self.open, name);
+        let parent = *self.open.last().expect("root always open");
+        let id = self
+            .doc
+            .push_node(parent, NodeKind::Element { name, attrs });
+        if !is_void(name) && !self_closing {
+            self.open.push(id);
+        }
+    }
+
+    /// Close the nearest matching open element; stray closes are dropped.
+    pub fn close_tag(&mut self, name: Symbol) {
+        if let Some(pos) = self
+            .open
+            .iter()
+            .rposition(|&id| self.doc.tag(id) == Some(name))
+        {
+            self.open.truncate(pos);
+        }
+    }
+
+    /// Append a text node under the current open element.
+    pub fn text(&mut self, t: String) {
+        let parent = *self.open.last().expect("root always open");
+        self.doc.push_node(parent, NodeKind::Text(t));
+    }
+
+    /// Append a comment node under the current open element.
+    pub fn comment(&mut self, c: String) {
+        let parent = *self.open.last().expect("root always open");
+        self.doc.push_node(parent, NodeKind::Comment(c));
+    }
+
+    /// Close everything still open and hand back the document.
+    pub fn finish(self) -> Document {
+        self.doc
+    }
 }
 
 struct ImpliedEndTable {

@@ -59,47 +59,44 @@ pub fn decode(input: &str) -> String {
         return input.to_owned();
     }
     let mut out = String::with_capacity(input.len());
-    let bytes = input.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] != b'&' {
-            // Copy the full UTF-8 character.
-            let ch_len = utf8_len(bytes[i]);
-            out.push_str(&input[i..i + ch_len]);
-            i += ch_len;
-            continue;
-        }
-        // Find a terminating ';' within a reasonable window.
-        match find_semicolon(bytes, i + 1) {
-            Some(end) => {
-                let body = &input[i + 1..end];
-                match decode_one(body) {
-                    Some(decoded) => {
-                        out.push_str(&decoded);
-                        i = end + 1;
-                    }
-                    None => {
-                        out.push('&');
-                        i += 1;
-                    }
-                }
-            }
-            None => {
-                out.push('&');
-                i += 1;
-            }
-        }
-    }
+    decode_into(input, &mut out);
     out
 }
 
-fn utf8_len(first: u8) -> usize {
-    match first {
-        b if b < 0x80 => 1,
-        b if b >= 0xf0 => 4,
-        b if b >= 0xe0 => 3,
-        _ => 2,
+/// Decode HTML character references in `input`, appending the result to
+/// a caller-provided buffer. The streaming parse path reuses one buffer
+/// (or a page arena) across every text node instead of allocating a
+/// fresh `String` per node; output is byte-identical to [`decode`].
+pub fn decode_into(input: &str, out: &mut String) {
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Copy the run up to the next '&' in one append.
+        let Some(amp) = bytes[i..].iter().position(|&b| b == b'&') else {
+            out.push_str(&input[i..]);
+            return;
+        };
+        out.push_str(&input[i..i + amp]);
+        i += amp;
+        // Find a terminating ';' within a reasonable window.
+        let decoded = find_semicolon(bytes, i + 1).is_some_and(|end| {
+            if decode_one_into(&input[i + 1..end], out) {
+                i = end + 1;
+                true
+            } else {
+                false
+            }
+        });
+        if !decoded {
+            out.push('&');
+            i += 1;
+        }
     }
+}
+
+/// Would [`decode`] change `input` at all? (Cheap pre-check: any '&'.)
+pub fn may_have_entities(input: &str) -> bool {
+    input.contains('&')
 }
 
 /// Entities longer than this are treated as plain text.
@@ -110,19 +107,26 @@ fn find_semicolon(bytes: &[u8], start: usize) -> Option<usize> {
     (start..limit).find(|&j| bytes[j] == b';')
 }
 
-fn decode_one(body: &str) -> Option<String> {
+/// Decode one entity body (`amp`, `#65`, `#x42`) into `out`; returns
+/// `false` (appending nothing) when the body is not a valid entity.
+fn decode_one_into(body: &str, out: &mut String) -> bool {
     if let Some(num) = body.strip_prefix('#') {
         let cp = if let Some(hex) = num.strip_prefix(['x', 'X']) {
-            u32::from_str_radix(hex, 16).ok()?
+            u32::from_str_radix(hex, 16).ok()
         } else {
-            num.parse::<u32>().ok()?
+            num.parse::<u32>().ok()
         };
-        return char::from_u32(cp).map(|c| c.to_string());
+        if let Some(c) = cp.and_then(char::from_u32) {
+            out.push(c);
+            return true;
+        }
+        return false;
     }
-    NAMED
-        .iter()
-        .find(|(name, _)| *name == body)
-        .map(|(_, v)| (*v).to_owned())
+    if let Some((_, v)) = NAMED.iter().find(|(name, _)| *name == body) {
+        out.push_str(v);
+        return true;
+    }
+    false
 }
 
 /// Encode the minimal set of characters needed to round-trip text
@@ -192,5 +196,36 @@ mod tests {
     fn encode_round_trips() {
         let original = "a < b & c > d";
         assert_eq!(decode(&encode_text(original)), original);
+    }
+
+    #[test]
+    fn decode_into_matches_decode() {
+        let cases = [
+            "",
+            "plain text",
+            "Simon &amp; Garfunkel",
+            "&lt;b&gt;&nbsp;&bogus;",
+            "&#65;&#x42;&#X20AC;",
+            "héllo &amp; wörld — ok",
+            "AT&T & fish &",
+            "&thisistoolongforanentity;",
+            "&#1114112;&#xD800;",
+            "&amp",
+            "tail&",
+            "&;",
+        ];
+        for case in cases {
+            let mut buf = String::from("prefix·");
+            decode_into(case, &mut buf);
+            assert_eq!(buf, format!("prefix·{}", decode(case)), "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn decode_into_appends_without_clearing() {
+        let mut buf = String::new();
+        decode_into("a&amp;", &mut buf);
+        decode_into("b&lt;", &mut buf);
+        assert_eq!(buf, "a&b<");
     }
 }

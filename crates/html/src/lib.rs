@@ -24,20 +24,31 @@
 //! The DOM is deliberately simple: a `Vec`-backed arena addressed by
 //! [`dom::NodeId`]; no interior mutability, no reference counting.
 
+pub mod arena;
 pub mod clean;
 pub mod dom;
 pub mod entities;
 pub mod intern;
 pub mod path;
 pub mod serialize;
+pub mod stream;
 pub mod tokenizer;
 
+pub use arena::Arena;
 pub use clean::{clean_document, CleanOptions};
-pub use dom::{Document, Node, NodeId, NodeKind};
+pub use dom::{Document, Node, NodeId, NodeKind, TreeBuilder};
 pub use intern::{FxHashMap, FxHashSet, FxHasher, PathId, Symbol};
 pub use path::{node_path, node_path_id, NodeSignature};
 pub use serialize::{to_html, token_stream, PageToken};
+pub use stream::{Event, EventTokenizer};
 pub use tokenizer::{tokenize, Token};
+
+fn count_parse(input: &str) {
+    if objectrunner_obs::global_enabled() {
+        objectrunner_obs::global_count("objectrunner.html.parse.documents", 1);
+        objectrunner_obs::global_count("objectrunner.html.parse.bytes", input.len() as u64);
+    }
+}
 
 /// Parse an HTML string into a well-formed [`Document`].
 ///
@@ -50,11 +61,52 @@ pub use tokenizer::{tokenize, Token};
 /// assert_eq!(text, "a b");
 /// ```
 pub fn parse(input: &str) -> Document {
-    if objectrunner_obs::global_enabled() {
-        objectrunner_obs::global_count("objectrunner.html.parse.documents", 1);
-        objectrunner_obs::global_count("objectrunner.html.parse.bytes", input.len() as u64);
+    count_parse(input);
+    let mut tokenizer = EventTokenizer::new(input);
+    let mut builder = TreeBuilder::new();
+    while let Some(event) = tokenizer.next_event() {
+        builder.event(event);
     }
-    dom::build(tokenizer::tokenize(input))
+    builder.finish()
+}
+
+/// A reusable per-page parser for streaming extraction: one [`Arena`]
+/// holds each page's decoded text and is reset (keeping capacity)
+/// before the next page, so a million-page run allocates like a
+/// one-page run. One `PageParser` per worker thread.
+#[derive(Default)]
+pub struct PageParser {
+    arena: Arena,
+}
+
+impl PageParser {
+    /// A parser with an empty arena.
+    pub fn new() -> PageParser {
+        PageParser::default()
+    }
+
+    /// Parse one page, reusing the arena. Output is identical to
+    /// [`parse`] (same events, same recovery, same counters).
+    pub fn parse(&mut self, input: &str) -> Document {
+        count_parse(input);
+        self.arena.reset();
+        let mut tokenizer = EventTokenizer::with_arena(input, &self.arena);
+        let mut builder = TreeBuilder::new();
+        while let Some(event) = tokenizer.next_event() {
+            builder.event(event);
+        }
+        builder.finish()
+    }
+
+    /// Arena bytes used by the most recent page.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.allocated_bytes()
+    }
+
+    /// High-water mark of per-page arena bytes across the parser's life.
+    pub fn arena_peak_bytes(&self) -> usize {
+        self.arena.peak_bytes()
+    }
 }
 
 /// Parse and clean in one step with default [`CleanOptions`].
@@ -98,5 +150,27 @@ mod lib_tests {
             let solo = parse(page);
             assert_eq!(to_html(doc, doc.root()), to_html(&solo, solo.root()));
         }
+    }
+
+    #[test]
+    fn page_parser_matches_parse_across_pages() {
+        let pages = [
+            "<ul><li>a &amp; b<li>c</ul>",
+            "<div id=\"main\"><p>Caf&eacute;</p><script>1<2</script></div>",
+            "<table><tr><td>x<td>y</table>",
+            "bad <markup <p>ok</p>",
+        ];
+        let mut pp = PageParser::new();
+        for page in pages {
+            let streamed = pp.parse(page);
+            let baseline = parse(page);
+            assert_eq!(
+                to_html(&streamed, streamed.root()),
+                to_html(&baseline, baseline.root()),
+                "page {page:?}"
+            );
+        }
+        // Arena reflects only the latest page's decoded text.
+        assert!(pp.arena_peak_bytes() >= pp.arena_bytes());
     }
 }

@@ -7,7 +7,6 @@
 //! (`<script>`, `<style>`, `<textarea>`, `<title>`) are captured as a
 //! single text token without interpreting embedded `<`.
 
-use crate::entities;
 use crate::intern::Symbol;
 
 /// One HTML token. Tag and attribute identities are interned
@@ -66,260 +65,12 @@ pub(crate) const RAW_TEXT_ELEMENTS: &[&str] = &["script", "style", "textarea", "
 /// assert!(matches!(&toks[1], Token::Text(t) if t == "hi"));
 /// ```
 pub fn tokenize(input: &str) -> Vec<Token> {
-    Tokenizer::new(input).run()
-}
-
-struct Tokenizer<'a> {
-    input: &'a str,
-    bytes: &'a [u8],
-    pos: usize,
-    out: Vec<Token>,
-}
-
-impl<'a> Tokenizer<'a> {
-    fn new(input: &'a str) -> Self {
-        Tokenizer {
-            input,
-            bytes: input.as_bytes(),
-            pos: 0,
-            out: Vec::new(),
-        }
+    let mut tokenizer = crate::stream::EventTokenizer::new(input);
+    let mut out = Vec::new();
+    while let Some(event) = tokenizer.next_event() {
+        out.push(event.into_token());
     }
-
-    fn run(mut self) -> Vec<Token> {
-        while self.pos < self.bytes.len() {
-            if self.bytes[self.pos] == b'<' {
-                self.consume_markup();
-            } else {
-                self.consume_text();
-            }
-        }
-        self.out
-    }
-
-    fn consume_text(&mut self) {
-        let start = self.pos;
-        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
-            self.pos += 1;
-        }
-        let raw = &self.input[start..self.pos];
-        if !raw.is_empty() {
-            self.out.push(Token::Text(entities::decode(raw)));
-        }
-    }
-
-    fn consume_markup(&mut self) {
-        debug_assert_eq!(self.bytes[self.pos], b'<');
-        let rest = &self.bytes[self.pos..];
-        if rest.len() < 2 {
-            // Lone '<' at EOF: literal text.
-            self.out.push(Token::Text("<".to_owned()));
-            self.pos += 1;
-            return;
-        }
-        match rest[1] {
-            b'!' => self.consume_declaration(),
-            b'/' => self.consume_end_tag(),
-            b'?' => self.consume_processing_instruction(),
-            c if c.is_ascii_alphabetic() => self.consume_start_tag(),
-            _ => {
-                // '<' followed by junk: literal text.
-                self.out.push(Token::Text("<".to_owned()));
-                self.pos += 1;
-            }
-        }
-    }
-
-    fn consume_declaration(&mut self) {
-        if self.input[self.pos..].starts_with("<!--") {
-            let body_start = self.pos + 4;
-            match self.input[body_start..].find("-->") {
-                Some(off) => {
-                    let body = &self.input[body_start..body_start + off];
-                    self.out.push(Token::Comment(body.to_owned()));
-                    self.pos = body_start + off + 3;
-                }
-                None => {
-                    // Unterminated comment: swallow to EOF.
-                    let body = &self.input[body_start..];
-                    self.out.push(Token::Comment(body.to_owned()));
-                    self.pos = self.bytes.len();
-                }
-            }
-            return;
-        }
-        // <!DOCTYPE ...> or other declarations: up to next '>'.
-        let body_start = self.pos + 2;
-        let end = self.find_byte(body_start, b'>').unwrap_or(self.bytes.len());
-        let mut body = self.input[body_start..end].trim();
-        // Strip the leading DOCTYPE keyword, keeping only its subject.
-        if body.len() >= 7 && body[..7].eq_ignore_ascii_case("doctype") {
-            body = body[7..].trim_start();
-        }
-        self.out.push(Token::Doctype(body.to_owned()));
-        self.pos = (end + 1).min(self.bytes.len());
-    }
-
-    fn consume_processing_instruction(&mut self) {
-        // Treated as a comment-like construct; skipped by the DOM builder.
-        let end = self
-            .find_byte(self.pos + 2, b'>')
-            .unwrap_or(self.bytes.len());
-        let body = self.input[self.pos + 2..end].to_owned();
-        self.out.push(Token::Comment(body));
-        self.pos = (end + 1).min(self.bytes.len());
-    }
-
-    fn consume_end_tag(&mut self) {
-        let name_start = self.pos + 2;
-        let mut i = name_start;
-        while i < self.bytes.len() && is_name_byte(self.bytes[i]) {
-            i += 1;
-        }
-        let raw = &self.input[name_start..i];
-        let end = self.find_byte(i, b'>').unwrap_or(self.bytes.len());
-        self.pos = (end + 1).min(self.bytes.len());
-        if !raw.is_empty() {
-            self.out.push(Token::EndTag {
-                name: Symbol::intern_lower(raw),
-            });
-        }
-    }
-
-    fn consume_start_tag(&mut self) {
-        let name_start = self.pos + 1;
-        let mut i = name_start;
-        while i < self.bytes.len() && is_name_byte(self.bytes[i]) {
-            i += 1;
-        }
-        let name = Symbol::intern_lower(&self.input[name_start..i]);
-        let (attrs, self_closing, after) = self.consume_attributes(i);
-        self.pos = after;
-        let is_raw = RAW_TEXT_ELEMENTS.contains(&name.as_str());
-        self.out.push(Token::StartTag {
-            name,
-            attrs,
-            self_closing,
-        });
-        if is_raw && !self_closing {
-            self.consume_raw_text(name.as_str());
-        }
-    }
-
-    /// Parse attributes starting at byte offset `i`; returns
-    /// (attrs, self_closing, position after the closing '>').
-    fn consume_attributes(&mut self, mut i: usize) -> (Vec<(Symbol, Symbol)>, bool, usize) {
-        let mut attrs = Vec::new();
-        let mut self_closing = false;
-        loop {
-            while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
-                i += 1;
-            }
-            if i >= self.bytes.len() {
-                return (attrs, self_closing, i);
-            }
-            match self.bytes[i] {
-                b'>' => return (attrs, self_closing, i + 1),
-                b'/' => {
-                    self_closing = true;
-                    i += 1;
-                }
-                _ => {
-                    let name_start = i;
-                    while i < self.bytes.len()
-                        && !self.bytes[i].is_ascii_whitespace()
-                        && !matches!(self.bytes[i], b'=' | b'>' | b'/')
-                    {
-                        i += 1;
-                    }
-                    let name = &self.input[name_start..i];
-                    while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
-                        i += 1;
-                    }
-                    let value = if i < self.bytes.len() && self.bytes[i] == b'=' {
-                        i += 1;
-                        while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
-                            i += 1;
-                        }
-                        let (v, next) = self.consume_attr_value(i);
-                        i = next;
-                        v
-                    } else {
-                        String::new()
-                    };
-                    if !name.is_empty() {
-                        attrs.push((
-                            Symbol::intern_lower(name),
-                            Symbol::intern(&entities::decode(&value)),
-                        ));
-                    } else if i < self.bytes.len() && !matches!(self.bytes[i], b'>' | b'/') {
-                        // Junk byte that is neither name nor terminator:
-                        // skip it to guarantee progress.
-                        i += 1;
-                    }
-                }
-            }
-        }
-    }
-
-    fn consume_attr_value(&self, i: usize) -> (String, usize) {
-        if i >= self.bytes.len() {
-            return (String::new(), i);
-        }
-        match self.bytes[i] {
-            q @ (b'"' | b'\'') => {
-                let start = i + 1;
-                let end = self.find_byte(start, q).unwrap_or(self.bytes.len());
-                (
-                    self.input[start..end].to_owned(),
-                    (end + 1).min(self.bytes.len()),
-                )
-            }
-            _ => {
-                let start = i;
-                let mut j = i;
-                while j < self.bytes.len()
-                    && !self.bytes[j].is_ascii_whitespace()
-                    && self.bytes[j] != b'>'
-                {
-                    j += 1;
-                }
-                (self.input[start..j].to_owned(), j)
-            }
-        }
-    }
-
-    fn consume_raw_text(&mut self, name: &str) {
-        let close = format!("</{name}");
-        let hay = &self.input[self.pos..];
-        let lower = hay.to_ascii_lowercase();
-        match lower.find(&close) {
-            Some(off) => {
-                if off > 0 {
-                    self.out.push(Token::Text(hay[..off].to_owned()));
-                }
-                // Let consume_end_tag handle the close tag itself.
-                self.pos += off;
-            }
-            None => {
-                if !hay.is_empty() {
-                    self.out.push(Token::Text(hay.to_owned()));
-                }
-                self.pos = self.bytes.len();
-            }
-        }
-    }
-
-    fn find_byte(&self, from: usize, byte: u8) -> Option<usize> {
-        self.bytes[from.min(self.bytes.len())..]
-            .iter()
-            .position(|&b| b == byte)
-            .map(|off| from + off)
-    }
-}
-
-fn is_name_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b':'
+    out
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! From-scratch Aho–Corasick automaton over `char`s.
+//! From-scratch Aho–Corasick automaton over bytes.
 //!
 //! One automaton holds the normalized entries of *every* dictionary
 //! type, so a single left-to-right scan of a text node reports every
@@ -11,6 +11,17 @@
 //! every pattern ending at a position is reported (overlaps included).
 //! States are `u32`s; transitions are flattened into one sorted edge
 //! array per state (binary search on lookup, no per-state hashing).
+//!
+//! The automaton runs over the raw UTF-8 **bytes** of the normalized
+//! text: positions and pattern lengths are byte offsets, transitions
+//! are `u8`-keyed (a 256-entry dense root row covers every input
+//! byte), and the root state carries a memchr-style prefilter — the
+//! scan skips straight to the next byte that can start any pattern,
+//! which is a single first-byte hunt when all patterns share one
+//! starting byte. Byte offsets on UTF-8 are as unambiguous as char
+//! offsets (matches always start and end on char boundaries because
+//! the patterns are valid UTF-8), and the byte-level hot loop touches
+//! a quarter of the state of the old `char` decoder path.
 
 use std::collections::VecDeque;
 
@@ -18,11 +29,11 @@ use std::collections::VecDeque;
 /// all patterns are inserted.
 #[derive(Debug, Default)]
 pub struct AhoCorasickBuilder {
-    /// Per state: sorted `(char, target)` edges.
-    nodes: Vec<Vec<(char, u32)>>,
+    /// Per state: sorted `(byte, target)` edges.
+    nodes: Vec<Vec<(u8, u32)>>,
     /// Per state: pattern ids terminating exactly here.
     out: Vec<Vec<u32>>,
-    /// Per pattern: length in chars.
+    /// Per pattern: length in bytes.
     pat_lens: Vec<u32>,
 }
 
@@ -40,14 +51,12 @@ impl AhoCorasickBuilder {
     pub fn insert(&mut self, pattern: &str) -> u32 {
         let id = self.pat_lens.len() as u32;
         let mut state = 0u32;
-        let mut len = 0u32;
-        for c in pattern.chars() {
-            len += 1;
-            state = match self.nodes[state as usize].binary_search_by_key(&c, |e| e.0) {
+        for &b in pattern.as_bytes() {
+            state = match self.nodes[state as usize].binary_search_by_key(&b, |e| e.0) {
                 Ok(i) => self.nodes[state as usize][i].1,
                 Err(i) => {
                     let next = self.nodes.len() as u32;
-                    self.nodes[state as usize].insert(i, (c, next));
+                    self.nodes[state as usize].insert(i, (b, next));
                     self.nodes.push(Vec::new());
                     self.out.push(Vec::new());
                     next
@@ -55,7 +64,7 @@ impl AhoCorasickBuilder {
             };
         }
         self.out[state as usize].push(id);
-        self.pat_lens.push(len);
+        self.pat_lens.push(pattern.len() as u32);
         id
     }
 
@@ -75,10 +84,10 @@ impl AhoCorasickBuilder {
         // BFS: a state's failure target is strictly shallower, so its
         // merged output list is final by the time children reach it.
         while let Some(s) = queue.pop_front() {
-            for &(c, t) in &nodes[s as usize] {
+            for &(b, t) in &nodes[s as usize] {
                 let mut f = fail[s as usize];
                 fail[t as usize] = loop {
-                    if let Ok(i) = nodes[f as usize].binary_search_by_key(&c, |e| e.0) {
+                    if let Ok(i) = nodes[f as usize].binary_search_by_key(&b, |e| e.0) {
                         break nodes[f as usize][i].1;
                     }
                     if f == 0 {
@@ -104,14 +113,19 @@ impl AhoCorasickBuilder {
         }
         edge_start.push(edges.len() as u32);
         out_start.push(flat_out.len() as u32);
-        // Dense root transitions for ASCII — the state most scan steps
-        // sit in (missing chars map to 0, i.e. stay at the root).
-        let mut root_dense = vec![0u32; 128];
-        for &(c, t) in &nodes[0] {
-            if (c as u32) < 128 {
-                root_dense[c as usize] = t;
-            }
+        // Dense root transitions per byte — the state most scan steps
+        // sit in (missing bytes map to 0, i.e. stay at the root).
+        let mut root_dense = vec![0u32; 256];
+        for &(b, t) in &nodes[0] {
+            root_dense[b as usize] = t;
         }
+        // Prefilter shape: the single byte every pattern starts with,
+        // if there is exactly one (the memchr specialization).
+        let single_root_byte = match &nodes[0][..] {
+            [(b, _)] => Some(*b),
+            _ => None,
+        };
+        let root_has_out = !out[0].is_empty();
         AhoCorasick {
             edge_start,
             edges,
@@ -120,6 +134,8 @@ impl AhoCorasickBuilder {
             out: flat_out,
             pat_lens,
             root_dense,
+            single_root_byte,
+            root_has_out,
         }
     }
 }
@@ -128,13 +144,19 @@ impl AhoCorasickBuilder {
 #[derive(Debug, Clone, Default)]
 pub struct AhoCorasick {
     edge_start: Vec<u32>,
-    edges: Vec<(char, u32)>,
+    edges: Vec<(u8, u32)>,
     fail: Vec<u32>,
     out_start: Vec<u32>,
     out: Vec<u32>,
     pat_lens: Vec<u32>,
-    /// Root-state transition per ASCII char (0 = stay at root).
+    /// Root-state transition per byte (0 = stay at root).
     root_dense: Vec<u32>,
+    /// When every pattern starts with the same byte, that byte: the
+    /// root skip-loop collapses to a single-byte hunt.
+    single_root_byte: Option<u8>,
+    /// An empty pattern terminates at the root (degenerate; disables
+    /// the skip prefilter so root outputs are still reported).
+    root_has_out: bool,
 }
 
 impl AhoCorasick {
@@ -143,44 +165,64 @@ impl AhoCorasick {
         self.pat_lens.len()
     }
 
-    /// Length in chars of pattern `id`.
+    /// Length in bytes of pattern `id`.
     pub fn pattern_len(&self, id: u32) -> u32 {
         self.pat_lens[id as usize]
     }
 
     #[inline]
-    fn step(&self, mut s: u32, c: char) -> u32 {
+    fn step(&self, mut s: u32, b: u8) -> u32 {
         loop {
-            if s == 0 && (c as u32) < 128 {
+            if s == 0 {
                 // `get` keeps a `Default`-built (table-less) automaton safe.
-                return self.root_dense.get(c as usize).copied().unwrap_or(0);
+                return self.root_dense.get(b as usize).copied().unwrap_or(0);
             }
             let lo = self.edge_start[s as usize] as usize;
             let hi = self.edge_start[s as usize + 1] as usize;
-            if let Ok(i) = self.edges[lo..hi].binary_search_by_key(&c, |e| e.0) {
+            if let Ok(i) = self.edges[lo..hi].binary_search_by_key(&b, |e| e.0) {
                 return self.edges[lo + i].1;
-            }
-            if s == 0 {
-                return 0;
             }
             s = self.fail[s as usize];
         }
     }
 
-    /// Scan `chars`, invoking `on_hit(pattern_id, end_char_exclusive)`
+    /// From the root, the next position whose byte leaves the root.
+    #[inline]
+    fn next_root_entry(&self, hay: &[u8], from: usize) -> Option<usize> {
+        let tail = &hay[from..];
+        let off = match self.single_root_byte {
+            // Single-byte hunt: the autovectorizer's favourite loop.
+            Some(b0) => tail.iter().position(|&b| b == b0),
+            None => tail.iter().position(|&b| self.root_dense[b as usize] != 0),
+        }?;
+        Some(from + off)
+    }
+
+    /// Scan `hay`, invoking `on_hit(pattern_id, end_byte_exclusive)`
     /// for every occurrence of every pattern, overlaps included. The
     /// start position is `end - pattern_len(pattern_id)`.
-    pub fn scan<I>(&self, chars: I, mut on_hit: impl FnMut(u32, u32))
-    where
-        I: Iterator<Item = char>,
-    {
+    pub fn scan(&self, hay: &[u8], mut on_hit: impl FnMut(u32, u32)) {
+        if self.pat_lens.is_empty() {
+            return;
+        }
         let mut state = 0u32;
-        for (i, c) in chars.enumerate() {
-            state = self.step(state, c);
+        let mut i = 0usize;
+        while i < hay.len() {
+            if state == 0 && !self.root_has_out {
+                // Skip the run of bytes that would keep us at the root.
+                let Some(j) = self.next_root_entry(hay, i) else {
+                    return;
+                };
+                state = self.root_dense[hay[j] as usize];
+                i = j + 1;
+            } else {
+                state = self.step(state, hay[i]);
+                i += 1;
+            }
             let lo = self.out_start[state as usize] as usize;
             let hi = self.out_start[state as usize + 1] as usize;
             for &p in &self.out[lo..hi] {
-                on_hit(p, i as u32 + 1);
+                on_hit(p, i as u32);
             }
         }
     }
@@ -192,7 +234,7 @@ mod tests {
 
     fn hits(ac: &AhoCorasick, text: &str) -> Vec<(u32, u32, u32)> {
         let mut v = Vec::new();
-        ac.scan(text.chars(), |p, end| {
+        ac.scan(text.as_bytes(), |p, end| {
             v.push((p, end - ac.pattern_len(p), end));
         });
         v
@@ -233,12 +275,14 @@ mod tests {
     }
 
     #[test]
-    fn positions_are_char_based() {
+    fn positions_are_byte_based() {
         let mut b = AhoCorasickBuilder::new();
         let p = b.insert("caf\u{e9}");
         let ac = b.build();
+        // "le " is 3 bytes; "café" is 5 bytes (é is 2 bytes).
         let got = hits(&ac, "le caf\u{e9} noir");
-        assert_eq!(got, vec![(p, 3, 7)]);
+        assert_eq!(got, vec![(p, 3, 8)]);
+        assert_eq!(ac.pattern_len(p), 5);
     }
 
     #[test]
@@ -255,5 +299,41 @@ mod tests {
         let ac = b.build();
         // Overlapping occurrences all reported: ends at 2, 3, 4.
         assert_eq!(hits(&ac, "aaaa"), vec![(p, 0, 2), (p, 1, 3), (p, 2, 4)]);
+    }
+
+    #[test]
+    fn single_first_byte_prefilter_is_exact() {
+        // All patterns start with 'm' — the memchr specialization.
+        let mut b = AhoCorasickBuilder::new();
+        let metal = b.insert("metal");
+        let meta = b.insert("meta");
+        let ac = b.build();
+        let got = hits(&ac, "no metal metadata here");
+        assert!(got.contains(&(metal, 3, 8)));
+        assert!(got.contains(&(meta, 3, 7)));
+        assert!(got.contains(&(meta, 9, 13)));
+    }
+
+    #[test]
+    fn mixed_first_bytes_prefilter_is_exact() {
+        let mut b = AhoCorasickBuilder::new();
+        let aa = b.insert("ab");
+        let zz = b.insert("zy");
+        let ac = b.build();
+        let got = hits(&ac, "..ab..zy..ab");
+        assert_eq!(got, vec![(aa, 2, 4), (zz, 6, 8), (aa, 10, 12)]);
+    }
+
+    #[test]
+    fn empty_pattern_disables_prefilter_but_still_scans() {
+        let mut b = AhoCorasickBuilder::new();
+        let empty = b.insert("");
+        let ab = b.insert("ab");
+        let ac = b.build();
+        let got = hits(&ac, "xab");
+        // "ab" at 1..3; the empty pattern fires wherever the scan sits
+        // at (or falls back through) the root.
+        assert!(got.contains(&(ab, 1, 3)));
+        assert!(got.iter().filter(|(p, _, _)| *p == empty).count() >= 2);
     }
 }

@@ -60,14 +60,16 @@ struct DictPat {
     phrase_ok: bool,
 }
 
-/// A word of the normalized text (char positions).
+/// A word of the normalized text (byte positions, matching the
+/// byte-level automaton).
 #[derive(Debug, Clone, Copy)]
 struct WordInfo {
-    /// One past the word's last char (words sort by `end`, which is
+    /// One past the word's last byte (words sort by `end`, which is
     /// all the hit→window mapping needs).
     end: u32,
-    /// First and last alphanumeric char position, if any (`None` for
-    /// all-junk words, which phrase trimming can consume entirely).
+    /// Start of the first alphanumeric char and exclusive end of the
+    /// last one, if any (`None` for all-junk words, which phrase
+    /// trimming can consume entirely).
     alnum: Option<(u32, u32)>,
 }
 
@@ -92,6 +94,8 @@ pub struct MatchScratch {
     /// Normalized text (lowercased, single-space-joined words).
     norm: String,
     words: Vec<WordInfo>,
+    /// Raw automaton hits `(pattern, end_byte)` of the current text.
+    hits: Vec<(u32, u32)>,
     dict_state: Vec<DictState>,
     regex: RegexScratch,
     pat_results: Vec<Option<(usize, usize)>>,
@@ -290,40 +294,74 @@ impl CompiledRecognizerSet {
     /// best exact/embedded dictionary match per type.
     fn scan_dictionaries(&self, trimmed: &str, scratch: &mut MatchScratch) {
         normalize_into(trimmed, &mut scratch.norm);
-        // Word boundaries and their alphanumeric extents, in char
-        // positions of the normalized text (words are single-space
-        // separated by construction).
-        scratch.words.clear();
-        let mut in_word = false;
-        let mut alnum: Option<(u32, u32)> = None;
-        let mut pos = 0u32;
-        for c in scratch.norm.chars() {
-            if c == ' ' {
-                if in_word {
-                    in_word = false;
-                    scratch.words.push(WordInfo {
-                        end: pos,
-                        alnum: alnum.take(),
-                    });
-                }
-            } else {
-                in_word = true;
-                if c.is_alphanumeric() {
-                    alnum = Some((alnum.map_or(pos, |(f, _)| f), pos));
-                }
-            }
-            pos += 1;
-        }
-        if in_word {
-            scratch.words.push(WordInfo { end: pos, alnum });
-        }
-        let norm_chars = pos;
-        let w_count = scratch.words.len();
-
         scratch.dict_state.clear();
         scratch
             .dict_state
             .resize(self.kinds.len(), DictState::default());
+        // Run the automaton first, collecting raw hits: most text
+        // nodes have none, and word boundaries are only needed to
+        // interpret hits — deferring the word scan skips it entirely
+        // on the common miss path.
+        let MatchScratch { norm, hits, .. } = scratch;
+        hits.clear();
+        self.ac
+            .scan(norm.as_bytes(), |pat, end| hits.push((pat, end)));
+        if scratch.hits.is_empty() {
+            return;
+        }
+        // Word boundaries and their alphanumeric extents, in byte
+        // positions of the normalized text (words are single-space
+        // separated by construction, and the separator is one byte).
+        scratch.words.clear();
+        let mut in_word = false;
+        let mut alnum: Option<(u32, u32)> = None;
+        if scratch.norm.is_ascii() {
+            // ASCII fast path: the separator is the byte `' '` and
+            // `is_alphanumeric` degenerates to the ASCII test.
+            for (i, &b) in scratch.norm.as_bytes().iter().enumerate() {
+                if b == b' ' {
+                    if in_word {
+                        in_word = false;
+                        scratch.words.push(WordInfo {
+                            end: i as u32,
+                            alnum: alnum.take(),
+                        });
+                    }
+                } else {
+                    in_word = true;
+                    if b.is_ascii_alphanumeric() {
+                        let end = (i + 1) as u32;
+                        alnum = Some((alnum.map_or(i as u32, |(f, _)| f), end));
+                    }
+                }
+            }
+        } else {
+            for (i, c) in scratch.norm.char_indices() {
+                if c == ' ' {
+                    if in_word {
+                        in_word = false;
+                        scratch.words.push(WordInfo {
+                            end: i as u32,
+                            alnum: alnum.take(),
+                        });
+                    }
+                } else {
+                    in_word = true;
+                    if c.is_alphanumeric() {
+                        let end = (i + c.len_utf8()) as u32;
+                        alnum = Some((alnum.map_or(i as u32, |(f, _)| f), end));
+                    }
+                }
+            }
+        }
+        let norm_len = scratch.norm.len() as u32;
+        if in_word {
+            scratch.words.push(WordInfo {
+                end: norm_len,
+                alnum,
+            });
+        }
+        let w_count = scratch.words.len();
 
         // The naive scan caps phrases at min(MAX_PHRASE_WORDS, W-1)
         // words and requires at least two words in the text.
@@ -334,28 +372,31 @@ impl CompiledRecognizerSet {
         };
         let words = &scratch.words;
         let dict_state = &mut scratch.dict_state;
-        self.ac.scan(scratch.norm.chars(), |pat, end| {
+        // Replay the collected hits in scan order — identical state
+        // updates to processing them inside the scan callback.
+        for &(pat, end) in &scratch.hits {
             let p = &self.dict_pats[pat as usize];
             let hs = end - self.ac.pattern_len(pat);
             // Exact whole-text match (`g.get(trimmed)`): coverage 1.0.
-            if hs == 0 && end == norm_chars {
+            if hs == 0 && end == norm_len {
                 dict_state[p.type_idx as usize].exact = Some(p.confidence);
             }
             if n_cap == 0 || !p.phrase_ok {
-                return;
+                continue;
             }
             // Embedded phrase: the hit must be exactly the junk-trimmed
             // content of some word window. The hit start must be the
-            // first alphanumeric char of its word, the hit end the last
-            // alphanumeric char of its word; all-junk neighbor words can
-            // be absorbed by the trim, widening the window.
-            let he = end - 1; // last char of the hit
+            // start of the first alphanumeric char of its word, the hit
+            // end the end of the last alphanumeric char of its word;
+            // all-junk neighbor words can be absorbed by the trim,
+            // widening the window.
+            let he = end - 1; // a byte inside the hit's last char
             let wi = words.partition_point(|w| w.end <= hs);
             let wj = words.partition_point(|w| w.end <= he);
             if words[wi].alnum.map(|(f, _)| f) != Some(hs)
-                || words[wj].alnum.map(|(_, l)| l) != Some(he)
+                || words[wj].alnum.map(|(_, l)| l) != Some(end)
             {
-                return;
+                continue;
             }
             let mut s_min = wi;
             while s_min > 0 && words[s_min - 1].alnum.is_none() {
@@ -386,7 +427,7 @@ impl CompiledRecognizerSet {
                     }
                 }
             }
-        });
+        }
     }
 }
 

@@ -52,6 +52,11 @@ pub fn normalize(s: &str) -> Cow<'_, str> {
 pub fn normalize_into(s: &str, out: &mut String) {
     out.clear();
     if s.is_ascii() {
+        if is_normalized_ascii(s) {
+            // Already normalized: one bulk copy, no per-byte work.
+            out.push_str(s);
+            return;
+        }
         let mut pending_space = false;
         for &b in s.as_bytes() {
             if is_ascii_ws(b) {

@@ -38,8 +38,9 @@ pub enum PredefinedKind {
 #[derive(Debug, Clone)]
 pub enum Recognizer {
     /// User-defined regular expression; a string is an instance iff the
-    /// whole string matches.
-    UserRegex { regex: Regex, confidence: f64 },
+    /// whole string matches. Boxed: a compiled [`Regex`] carries its
+    /// frozen closure/spawn tables, far bigger than the other variants.
+    UserRegex { regex: Box<Regex>, confidence: f64 },
     /// System predefined recognizer.
     Predefined {
         kind: PredefinedKind,
@@ -58,7 +59,7 @@ impl Recognizer {
         confidence: f64,
     ) -> Result<Recognizer, crate::regex::RegexError> {
         Ok(Recognizer::UserRegex {
-            regex: Regex::new(pattern)?,
+            regex: Box::new(Regex::new(pattern)?),
             confidence: confidence.clamp(0.0, 1.0),
         })
     }

@@ -5,9 +5,13 @@
 //! Supported syntax: literals, `.`, character classes `[a-z0-9]` /
 //! `[^…]`, escapes `\d \w \s \D \W \S` and escaped metacharacters,
 //! repetition `* + ?` and `{n}` / `{n,}` / `{n,m}`, alternation `|`,
-//! grouping `( )`, anchors `^ $`. Matching is over `char`s, so Unicode
-//! text is safe (classes are ASCII-oriented, as the paper's predefined
-//! types need).
+//! grouping `( )`, anchors `^ $`. The sweep walks raw UTF-8 bytes:
+//! ASCII bytes (the overwhelming majority in web text) are matched
+//! against precompiled 128-bit per-instruction bitmaps without any
+//! char decode or matcher dispatch, and only non-ASCII lead bytes fall
+//! back to decoding the `char` and consulting the class — so Unicode
+//! text stays safe (classes are ASCII-oriented, as the paper's
+//! predefined types need) while the hot loop is branch-light.
 //!
 //! Unanchored scanning injects a fresh thread at every input position
 //! during **one** pass, tracking the leftmost-longest match per
@@ -32,6 +36,127 @@ pub struct Regex {
     first_non_ascii: bool,
     /// Whether the pattern can match the empty string.
     empty_ok: bool,
+    /// Per-instruction ASCII bitmap: bit `b` of `char_ascii[pc]` is set
+    /// iff `pc` is a `Char` instruction matching the ASCII char `b`.
+    char_ascii: Vec<u128>,
+    /// Per-instruction epsilon closures (kept in list form so
+    /// [`MultiRegex::push`] can remap them when folding programs).
+    closures: Vec<Closure>,
+    /// Frozen per-instruction closures, indexed by pc.
+    ctab: ClosureTable,
+    /// Frozen merged per-ASCII-byte spawn closures ([`spawn_table`]).
+    stab: ClosureTable,
+}
+
+/// The epsilon closure of one instruction, flattened at compile time:
+/// the `Char` pcs a thread entering here lands on, and the pattern ids
+/// whose `Match` it reaches without consuming input. The runtime walks
+/// these flat lists instead of recursing through `Jmp`/`Split` chains.
+#[derive(Debug, Clone, Default)]
+struct Closure {
+    chars: Vec<u32>,
+    matches: Vec<u16>,
+}
+
+/// A frozen set of closures in CSR form: one contiguous `chars` array
+/// and one contiguous `matches` array with per-entry offset rows. The
+/// hot loop indexes two flat slices instead of chasing the two heap
+/// pointers a `Vec<Closure>` would put on every entry.
+#[derive(Debug, Clone, Default)]
+struct ClosureTable {
+    char_start: Vec<u32>,
+    chars: Vec<u32>,
+    match_start: Vec<u32>,
+    matches: Vec<u16>,
+}
+
+impl ClosureTable {
+    fn freeze(closures: &[Closure]) -> ClosureTable {
+        let mut t = ClosureTable::default();
+        for cl in closures {
+            t.char_start.push(t.chars.len() as u32);
+            t.chars.extend_from_slice(&cl.chars);
+            t.match_start.push(t.matches.len() as u32);
+            t.matches.extend_from_slice(&cl.matches);
+        }
+        t.char_start.push(t.chars.len() as u32);
+        t.match_start.push(t.matches.len() as u32);
+        t
+    }
+
+    #[inline(always)]
+    fn chars_of(&self, i: usize) -> &[u32] {
+        &self.chars[self.char_start[i] as usize..self.char_start[i + 1] as usize]
+    }
+
+    #[inline(always)]
+    fn matches_of(&self, i: usize) -> &[u16] {
+        &self.matches[self.match_start[i] as usize..self.match_start[i + 1] as usize]
+    }
+}
+
+/// Merged spawn closures per ASCII byte: entry `b` concatenates, in
+/// pattern order, the start closures of every *unanchored* pattern
+/// whose match may begin with byte `b`. While no pattern has matched
+/// yet (the overwhelmingly common state), the per-position spawn loop
+/// collapses to one table lookup plus one flat closure application —
+/// per-pattern eligibility checks vanish from the hot path. Anchored
+/// patterns spawn only at position 0, which uses the general loop.
+///
+/// The entries are filtered at the *pc* level: a spawned thread
+/// consumes byte `b` in the very same iteration, so a start pc whose
+/// class can't match `b` would die before doing anything — it is
+/// simply left out (skipping its generation stamp is safe: any
+/// later same-generation add of that pc faces the same byte and dies
+/// identically).
+fn spawn_table(closures: &[Closure], char_ascii: &[u128], pats: &[PatMeta]) -> Vec<Closure> {
+    (0..128u8)
+        .map(|b| {
+            let mut merged = Closure::default();
+            for meta in pats {
+                if !meta.anchored_start && meta.may_start_with(b as char) {
+                    let cl = &closures[meta.start];
+                    merged.chars.extend(
+                        cl.chars
+                            .iter()
+                            .filter(|&&pc| char_ascii[pc as usize] >> b & 1 == 1),
+                    );
+                    merged.matches.extend_from_slice(&cl.matches);
+                }
+            }
+            merged
+        })
+        .collect()
+}
+
+/// Flatten the epsilon closure of every instruction. DFS preorder with
+/// `Split(a, b)` visiting `a` first — the same order the old recursive
+/// `add_thread` produced, so thread-list priority is unchanged.
+fn closure_table(program: &[Inst]) -> Vec<Closure> {
+    let mut out = Vec::with_capacity(program.len());
+    let mut seen = vec![u32::MAX; program.len()];
+    for start in 0..program.len() {
+        let mut cl = Closure::default();
+        let mut stack = vec![start];
+        while let Some(pc) = stack.pop() {
+            if seen[pc] == start as u32 {
+                continue;
+            }
+            seen[pc] = start as u32;
+            match &program[pc] {
+                Inst::Jmp(t) => stack.push(*t),
+                Inst::Split(a, b) => {
+                    // LIFO stack: push b first so a is visited first.
+                    stack.push(*b);
+                    stack.push(*a);
+                }
+                Inst::Char(_) => cl.chars.push(pc as u32),
+                Inst::Match(p) => cl.matches.push(*p),
+            }
+        }
+        out.push(cl);
+    }
+    out
 }
 
 /// Errors from [`Regex::new`].
@@ -110,6 +235,29 @@ impl CharClass {
     }
 }
 
+/// Bitmap of the ASCII chars a class matches — the byte-level fast
+/// path tests one bit instead of dispatching on the class shape.
+fn ascii_bitmap(cc: &CharClass) -> u128 {
+    let mut bm = 0u128;
+    for b in 0..128u32 {
+        if cc.matches(char::from_u32(b).expect("ascii")) {
+            bm |= 1 << b;
+        }
+    }
+    bm
+}
+
+/// One bitmap per instruction (zero for non-`Char` instructions).
+fn ascii_bitmaps(program: &[Inst]) -> Vec<u128> {
+    program
+        .iter()
+        .map(|inst| match inst {
+            Inst::Char(cc) => ascii_bitmap(cc),
+            _ => 0,
+        })
+        .collect()
+}
+
 /// The chars that can begin a match of the fragment starting at
 /// `start`: an ASCII bitmap, a conservative non-ASCII flag, and
 /// whether the fragment can match the empty string (in which case the
@@ -133,11 +281,7 @@ fn first_chars(program: &[Inst], start: usize) -> (u128, bool, bool) {
             }
             Inst::Match(_) => empty_ok = true,
             Inst::Char(cc) => {
-                for b in 0..128u32 {
-                    if cc.matches(char::from_u32(b).expect("ascii")) {
-                        ascii |= 1 << b;
-                    }
-                }
+                ascii |= ascii_bitmap(cc);
                 non_ascii |= cc.may_match_non_ascii();
             }
         }
@@ -463,6 +607,19 @@ impl Regex {
         compile(&ast, &mut program);
         program.push(Inst::Match(0));
         let (first_ascii, first_non_ascii, empty_ok) = first_chars(&program, 0);
+        let char_ascii = ascii_bitmaps(&program);
+        let closures = closure_table(&program);
+        let meta = PatMeta {
+            start: 0,
+            anchored_start,
+            anchored_end,
+            first_ascii,
+            first_non_ascii,
+            empty_ok,
+        };
+        let spawn = spawn_table(&closures, &char_ascii, std::slice::from_ref(&meta));
+        let ctab = ClosureTable::freeze(&closures);
+        let stab = ClosureTable::freeze(&spawn);
         Ok(Regex {
             program,
             pattern: pattern.to_owned(),
@@ -471,6 +628,10 @@ impl Regex {
             first_ascii,
             first_non_ascii,
             empty_ok,
+            char_ascii,
+            closures,
+            ctab,
+            stab,
         })
     }
 
@@ -487,7 +648,16 @@ impl Regex {
     /// [`Regex::is_full_match`] with caller-provided scratch (no
     /// thread-local lookup, zero allocations once warm).
     pub fn is_full_match_with(&self, input: &str, scratch: &mut RegexScratch) -> bool {
-        pike_run(&self.program, &[self.meta()], input, true, scratch);
+        pike_run(
+            &self.program,
+            &self.char_ascii,
+            &self.ctab,
+            &self.stab,
+            &[self.meta()],
+            input,
+            true,
+            scratch,
+        );
         scratch.best[0].is_some()
     }
 
@@ -498,7 +668,16 @@ impl Regex {
 
     /// [`Regex::find`] with caller-provided scratch.
     pub fn find_with(&self, input: &str, scratch: &mut RegexScratch) -> Option<(usize, usize)> {
-        pike_run(&self.program, &[self.meta()], input, false, scratch);
+        pike_run(
+            &self.program,
+            &self.char_ascii,
+            &self.ctab,
+            &self.stab,
+            &[self.meta()],
+            input,
+            false,
+            scratch,
+        );
         scratch.best[0].map(|(s, e)| (s as usize, e as usize))
     }
 
@@ -609,12 +788,22 @@ pub struct RegexScratch {
 /// the leftmost-longest match per pattern (`None` if it never matched).
 /// `force_full` overrides every pattern to whole-string semantics.
 ///
+/// The sweep iterates raw bytes: an ASCII byte is matched against
+/// `char_ascii[pc]` with one shift-and-mask (no decode, no dispatch on
+/// the class shape); a non-ASCII lead byte decodes its `char` once and
+/// falls back to [`CharClass::matches`]. Positions were already byte
+/// offsets, so results are bit-identical to the old char-level loop.
+///
 /// Thread-list invariant: lists stay sorted by increasing `start`
 /// (stepped threads precede freshly spawned ones), so the first thread
 /// reaching a `Match` instruction in a generation carries the smallest
 /// start — pc-level dedup can never hide a better match.
+#[allow(clippy::too_many_arguments)] // hot internal loop; a params struct would cost an indirection
 fn pike_run(
     insts: &[Inst],
+    char_ascii: &[u128],
+    closures: &ClosureTable,
+    spawn: &ClosureTable,
     pats: &[PatMeta],
     input: &str,
     force_full: bool,
@@ -645,8 +834,18 @@ fn pike_run(
         // No chars to prefilter against: spawn every pattern at 0 so
         // empty matches (anchored or not) record during the spawn.
         for meta in pats {
-            add_thread(
-                insts, pats, meta.start, 0, 0, len, force_full, clist, cseen, *cgen, best,
+            add_closure(
+                closures.chars_of(meta.start),
+                closures.matches_of(meta.start),
+                pats,
+                0,
+                0,
+                len,
+                force_full,
+                clist,
+                cseen,
+                *cgen,
+                best,
             );
         }
         return;
@@ -661,54 +860,121 @@ fn pike_run(
         union_non_ascii |= meta.first_non_ascii;
         any_empty |= meta.empty_ok;
     }
-    for (byte_i, c) in input.char_indices() {
-        let bpos = byte_i as u32;
-        let may_spawn_here = any_empty
-            || if (c as u32) < 128 {
-                union_ascii >> (c as u32) & 1 == 1
-            } else {
-                union_non_ascii
+    let bytes = input.as_bytes();
+    let mut byte_i = 0usize;
+    // Whether any pattern has recorded a match yet — the gate for the
+    // merged spawn table (which assumes every pattern is still hunting).
+    let mut matched_any = false;
+    while byte_i < bytes.len() {
+        // Fast-forward: with no live threads and no empty-matching
+        // pattern, nothing can happen until a byte that may *start*
+        // a match — hunt for it with a tight byte scan instead of
+        // paying the per-position generation bookkeeping. Skipped
+        // non-ASCII chars are skipped whole (continuation bytes only
+        // follow lead bytes the predicate already rejected), so the
+        // loop always resumes on a char boundary.
+        if clist.is_empty() && !any_empty {
+            let Some(off) = bytes[byte_i..].iter().position(|&b| {
+                if b < 0x80 {
+                    union_ascii >> b & 1 == 1
+                } else {
+                    union_non_ascii && b >= 0xC0
+                }
+            }) else {
+                break;
             };
+            byte_i += off;
+        }
+        let b = bytes[byte_i];
+        // ASCII bytes never decode; a non-ASCII lead byte decodes its
+        // char once for this position (spawn filter + class fallback).
+        let (c, width) = if b < 0x80 {
+            (b as char, 1)
+        } else {
+            let c = input[byte_i..].chars().next().expect("lead byte");
+            (c, c.len_utf8())
+        };
+        let bpos = byte_i as u32;
         // Spawn fresh threads starting at this position — after the
         // threads stepped from earlier positions, so earlier starts
-        // keep pc priority. With the char in hand, `may_start_with`
-        // skips spawns whose first step is guaranteed to fail.
-        if may_spawn_here {
-            for (pid, meta) in pats.iter().enumerate() {
-                let eligible = if byte_i == 0 {
-                    true
+        // keep pc priority. The common state (ASCII byte, past the
+        // start, nothing matched yet, scan semantics) takes the merged
+        // per-byte table: one flat closure instead of a pattern loop.
+        if byte_i != 0 && !force_full && !matched_any && b < 0x80 {
+            matched_any |= add_closure(
+                spawn.chars_of(b as usize),
+                spawn.matches_of(b as usize),
+                pats,
+                bpos,
+                bpos,
+                len,
+                force_full,
+                clist,
+                cseen,
+                *cgen,
+                best,
+            );
+        } else {
+            let may_spawn_here = any_empty
+                || if b < 0x80 {
+                    union_ascii >> b & 1 == 1
                 } else {
-                    !(meta.anchored_start || force_full) && best[pid].is_none()
+                    union_non_ascii
                 };
-                if eligible && meta.may_start_with(c) {
-                    add_thread(
-                        insts, pats, meta.start, bpos, bpos, len, force_full, clist, cseen, *cgen,
-                        best,
-                    );
+            if may_spawn_here {
+                for (pid, meta) in pats.iter().enumerate() {
+                    let eligible = if byte_i == 0 {
+                        true
+                    } else {
+                        !(meta.anchored_start || force_full) && best[pid].is_none()
+                    };
+                    if eligible && meta.may_start_with(c) {
+                        matched_any |= add_closure(
+                            closures.chars_of(meta.start),
+                            closures.matches_of(meta.start),
+                            pats,
+                            bpos,
+                            bpos,
+                            len,
+                            force_full,
+                            clist,
+                            cseen,
+                            *cgen,
+                            best,
+                        );
+                    }
                 }
             }
         }
-        let pos = bpos + c.len_utf8() as u32;
+        let pos = bpos + width as u32;
         *counter += 1;
         *ngen = *counter;
         nlist.clear();
         for &(pc, start) in clist.iter() {
-            if let Inst::Char(cc) = &insts[pc as usize] {
-                if cc.matches(c) {
-                    add_thread(
-                        insts,
-                        pats,
-                        pc as usize + 1,
-                        start,
-                        pos,
-                        len,
-                        force_full,
-                        nlist,
-                        nseen,
-                        *ngen,
-                        best,
-                    );
+            // clist holds only `Char` pcs (add_thread's invariant), so
+            // the bitmap row is authoritative for ASCII bytes.
+            let hit = if b < 0x80 {
+                char_ascii[pc as usize] >> b & 1 == 1
+            } else {
+                match &insts[pc as usize] {
+                    Inst::Char(cc) => cc.matches(c),
+                    _ => unreachable!("clist holds only Char instructions"),
                 }
+            };
+            if hit {
+                matched_any |= add_closure(
+                    closures.chars_of(pc as usize + 1),
+                    closures.matches_of(pc as usize + 1),
+                    pats,
+                    start,
+                    pos,
+                    len,
+                    force_full,
+                    nlist,
+                    nseen,
+                    *ngen,
+                    best,
+                );
             }
         }
         std::mem::swap(clist, nlist);
@@ -724,6 +990,7 @@ fn pike_run(
                 break;
             }
         }
+        byte_i += width;
     }
     // Spawn once more at end of input: consumes nothing, but lets an
     // empty-matching `$`-anchored pattern record a match at (len, len).
@@ -731,20 +998,37 @@ fn pike_run(
     // condition is exactly "no pattern is eligible to spawn".)
     for (pid, meta) in pats.iter().enumerate() {
         if !(meta.anchored_start || force_full) && best[pid].is_none() && meta.empty_ok {
-            add_thread(
-                insts, pats, meta.start, len, len, len, force_full, clist, cseen, *cgen, best,
+            add_closure(
+                closures.chars_of(meta.start),
+                closures.matches_of(meta.start),
+                pats,
+                len,
+                len,
+                len,
+                force_full,
+                clist,
+                cseen,
+                *cgen,
+                best,
             );
         }
     }
 }
 
-/// Add a thread, following epsilon transitions; `Match` instructions
-/// record into `best` under the leftmost-longest rule.
+/// Apply a precomputed epsilon closure: enqueue its `Char` pcs (pc-level
+/// dedup via generation stamps) and record its `Match`es into `best`
+/// under the leftmost-longest rule. Flat-list replacement for the
+/// classic recursive `add_thread`; match recording is comparison-based,
+/// so revisiting a `Match` pc from a later (larger-start) thread in the
+/// same generation can never displace a better result. Returns whether
+/// a previously-unmatched pattern recorded its first match (the signal
+/// that spawn eligibility changed).
 #[allow(clippy::too_many_arguments)]
-fn add_thread(
-    insts: &[Inst],
+#[inline(always)]
+fn add_closure(
+    chars: &[u32],
+    matches: &[u16],
     pats: &[PatMeta],
-    pc: usize,
     start: u32,
     pos: u32,
     len: u32,
@@ -753,41 +1037,35 @@ fn add_thread(
     seen: &mut [u64],
     gen: u64,
     best: &mut [Option<(u32, u32)>],
-) {
-    if seen[pc] == gen {
-        return;
-    }
-    seen[pc] = gen;
-    match &insts[pc] {
-        Inst::Jmp(t) => add_thread(
-            insts, pats, *t, start, pos, len, force_full, list, seen, gen, best,
-        ),
-        Inst::Split(a, b) => {
-            add_thread(
-                insts, pats, *a, start, pos, len, force_full, list, seen, gen, best,
-            );
-            add_thread(
-                insts, pats, *b, start, pos, len, force_full, list, seen, gen, best,
-            );
+) -> bool {
+    for &pc in chars {
+        let stamp = &mut seen[pc as usize];
+        if *stamp != gen {
+            *stamp = gen;
+            list.push((pc, start));
         }
-        Inst::Char(_) => list.push((pc as u32, start)),
-        Inst::Match(p) => {
-            let pid = *p as usize;
-            if !(pats[pid].anchored_end || force_full) || pos == len {
-                match &mut best[pid] {
-                    slot @ None => *slot = Some((start, pos)),
-                    Some((bs, be)) => {
-                        if start < *bs {
-                            *bs = start;
-                            *be = pos;
-                        } else if start == *bs && pos > *be {
-                            *be = pos;
-                        }
+    }
+    let mut newly_matched = false;
+    for &p in matches {
+        let pid = p as usize;
+        if !(pats[pid].anchored_end || force_full) || pos == len {
+            match &mut best[pid] {
+                slot @ None => {
+                    *slot = Some((start, pos));
+                    newly_matched = true;
+                }
+                Some((bs, be)) => {
+                    if start < *bs {
+                        *bs = start;
+                        *be = pos;
+                    } else if start == *bs && pos > *be {
+                        *be = pos;
                     }
                 }
             }
         }
     }
+    newly_matched
 }
 
 /// Several [`Regex`] programs folded into one instruction stream so a
@@ -796,6 +1074,15 @@ fn add_thread(
 #[derive(Debug, Clone, Default)]
 pub struct MultiRegex {
     insts: Vec<Inst>,
+    /// Parallel to `insts`: per-instruction ASCII bitmaps.
+    char_ascii: Vec<u128>,
+    /// Parallel to `insts`: precomputed epsilon closures (list form,
+    /// remapped on push; frozen into `ctab` after every push).
+    closures: Vec<Closure>,
+    /// Frozen per-instruction closures, indexed by pc.
+    ctab: ClosureTable,
+    /// Frozen merged per-ASCII-byte spawn closures, rebuilt per push.
+    stab: ClosureTable,
     pats: Vec<PatMeta>,
     /// Union of the patterns' spawn prefilters, for a whole-input
     /// pre-scan ([`MultiRegex::could_match_in`]).
@@ -842,6 +1129,14 @@ impl MultiRegex {
                 Inst::Match(_) => Inst::Match(pid as u16),
             });
         }
+        // The fragment's instructions mirror `re.program` one-to-one:
+        // bitmaps copy verbatim, closures shift their pc targets by
+        // `base` and renumber every `Match` to this pattern's slot.
+        self.char_ascii.extend_from_slice(&re.char_ascii);
+        self.closures.extend(re.closures.iter().map(|cl| Closure {
+            chars: cl.chars.iter().map(|&pc| pc + base as u32).collect(),
+            matches: cl.matches.iter().map(|_| pid as u16).collect(),
+        }));
         self.pats.push(PatMeta {
             start: base,
             anchored_start: re.anchored_start || full,
@@ -853,6 +1148,9 @@ impl MultiRegex {
         self.union_ascii |= re.first_ascii;
         self.union_non_ascii |= re.first_non_ascii;
         self.any_empty |= re.empty_ok;
+        self.ctab = ClosureTable::freeze(&self.closures);
+        self.stab =
+            ClosureTable::freeze(&spawn_table(&self.closures, &self.char_ascii, &self.pats));
         pid
     }
 
@@ -861,12 +1159,15 @@ impl MultiRegex {
     /// returns `false`, [`MultiRegex::run_into`] is guaranteed to
     /// produce all-`None`, so callers can skip the sweep entirely.
     pub fn could_match_in(&self, input: &str) -> bool {
+        // Byte-level: a non-ASCII char is represented by its lead byte
+        // (continuation bytes only follow a lead byte already tested),
+        // so the scan never decodes a char.
         self.any_empty
-            || input.chars().any(|c| {
-                if (c as u32) < 128 {
-                    self.union_ascii >> (c as u32) & 1 == 1
+            || input.bytes().any(|b| {
+                if b < 0x80 {
+                    self.union_ascii >> b & 1 == 1
                 } else {
-                    self.union_non_ascii
+                    self.union_non_ascii && b >= 0xC0
                 }
             })
     }
@@ -880,7 +1181,16 @@ impl MultiRegex {
         scratch: &mut RegexScratch,
         out: &mut Vec<Option<(usize, usize)>>,
     ) {
-        pike_run(&self.insts, &self.pats, input, false, scratch);
+        pike_run(
+            &self.insts,
+            &self.char_ascii,
+            &self.ctab,
+            &self.stab,
+            &self.pats,
+            input,
+            false,
+            scratch,
+        );
         out.clear();
         out.extend(
             scratch

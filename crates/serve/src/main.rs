@@ -10,7 +10,7 @@
 //!   {"cmd":"status"}
 //! ```
 //!
-//! Two auxiliary subcommands support scripting and testing:
+//! Three auxiliary subcommands support scripting and testing:
 //!
 //! * `seed-corpus` — write a synthetic source's pages to a directory
 //!   (`--drift` renders the same objects through a mutated template);
@@ -18,13 +18,19 @@
 //!   and extract a page directory, printing one canonical JSON line
 //!   per object. Exercises the store's cold-process fidelity: the
 //!   loading process has empty interner tables.
+//! * `extract-stream` — the crawl-scale sibling of `extract-file`:
+//!   pages are `mmap`ed lazily and fed through the streaming,
+//!   memory-bounded extraction path, printing one JSON line **per
+//!   page** as it completes. Peak memory is the working window, not
+//!   the corpus.
 
 use objectrunner_core::pipeline::extract_only;
+use objectrunner_core::{extract_stream, StreamConfig};
 use objectrunner_serve::service::instance_json;
 use objectrunner_serve::{ServeConfig, Service};
-use objectrunner_store::load_file;
-use objectrunner_webgen::{generate_drifted, Domain, PageKind, SiteSpec};
-use std::io::{BufRead, BufReader, Write};
+use objectrunner_store::{load_file, Json};
+use objectrunner_webgen::{generate_drifted, CorpusDir, Domain, MappedText, PageKind, SiteSpec};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -34,6 +40,7 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("seed-corpus") => seed_corpus(&args[1..]),
         Some("extract-file") => extract_file(&args[1..]),
+        Some("extract-stream") => extract_stream_cmd(&args[1..]),
         Some("--help" | "-h") => {
             print!("{HELP}");
             0
@@ -51,6 +58,7 @@ USAGE:
   objectrunner-serve seed-corpus --domain D --name NAME --out DIR \\
                      [--seed N] [--pages N] [--style K] [--drift S]
   objectrunner-serve extract-file --wrapper FILE --pages DIR
+  objectrunner-serve extract-stream --wrapper FILE --pages DIR [--threads N]
 
 PROTOCOL (one JSON object per line on stdin; one response per line):
   {\"cmd\":\"induce\",\"source\":S,\"domain\":D,\"pages\":[..]|\"dir\":PATH}
@@ -255,6 +263,116 @@ fn extract_file(args: &[String]) -> i32 {
         if writeln!(out, "{}", instance_json(object).render()).is_err() {
             return 1;
         }
+    }
+    0
+}
+
+/// `extract-stream`: apply a stored wrapper to a corpus directory via
+/// the streaming path — pages `mmap`ed lazily, a bounded window in
+/// flight, one JSON line per page in page order — then a run summary
+/// on stderr. Output objects are byte-identical to `extract-file`'s;
+/// only the line grouping differs (per page instead of per object).
+fn extract_stream_cmd(args: &[String]) -> i32 {
+    let wrapper_path = match flag(args, "--wrapper") {
+        Some(w) => PathBuf::from(w),
+        None => {
+            eprintln!("extract-stream: missing --wrapper");
+            return 2;
+        }
+    };
+    let pages_dir = match flag(args, "--pages") {
+        Some(p) => PathBuf::from(p),
+        None => {
+            eprintln!("extract-stream: missing --pages");
+            return 2;
+        }
+    };
+    let threads: Option<usize> = match flag(args, "--threads").map(|s| s.parse()) {
+        Some(Ok(n)) => Some(n),
+        Some(Err(_)) => {
+            eprintln!("extract-stream: bad --threads");
+            return 2;
+        }
+        None => None,
+    };
+    let stored = match load_file(&wrapper_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("extract-stream: {}: {e}", wrapper_path.display());
+            return 1;
+        }
+    };
+    let corpus = match CorpusDir::open(&pages_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("extract-stream: {e}");
+            return 1;
+        }
+    };
+
+    // The scheduler cannot abort mid-stream, so a page that fails to
+    // map streams as empty and the first error is reported afterwards.
+    enum Page {
+        Text(MappedText),
+        Failed,
+    }
+    impl AsRef<str> for Page {
+        fn as_ref(&self) -> &str {
+            match self {
+                Page::Text(t) => t.as_str(),
+                Page::Failed => "",
+            }
+        }
+    }
+    let failed: Mutex<Option<String>> = Mutex::new(None);
+    let pages = corpus.pages().map(|r| match r {
+        Ok(text) => Page::Text(text),
+        Err(e) => {
+            let mut first = failed.lock().expect("error slot");
+            first.get_or_insert_with(|| e.to_string());
+            Page::Failed
+        }
+    });
+
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    let mut io_err = false;
+    let stats = extract_stream(
+        &stored.wrapper,
+        stored.main_block.as_ref(),
+        &stored.clean,
+        pages,
+        &StreamConfig {
+            threads,
+            ..StreamConfig::default()
+        },
+        |page, instances| {
+            let line = Json::Obj(vec![
+                ("page".into(), Json::int(page)),
+                (
+                    "objects".into(),
+                    Json::Arr(instances.iter().map(instance_json).collect()),
+                ),
+            ]);
+            if writeln!(out, "{}", line.render()).is_err() {
+                io_err = true;
+            }
+        },
+    );
+    if out.flush().is_err() || io_err {
+        return 1;
+    }
+    eprintln!(
+        "extract-stream: {} pages, {} objects, {:.0} pages/sec, {} threads, arena peak {} bytes",
+        stats.pages,
+        stats.objects,
+        stats.pages_per_sec(),
+        stats.threads,
+        stats.arena_peak_bytes
+    );
+    if let Some(e) = failed.into_inner().expect("error slot") {
+        eprintln!("extract-stream: {e}");
+        return 1;
     }
     0
 }

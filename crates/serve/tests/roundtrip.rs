@@ -182,6 +182,64 @@ fn cold_process_extraction_is_byte_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The streaming subcommand must print exactly the `extract-file`
+/// objects, just grouped one line per page — same wrapper, same pages,
+/// both in cold processes.
+#[test]
+fn extract_stream_subcommand_matches_extract_file() {
+    let spec = &golden_specs()[1];
+    let source = generate_site(spec);
+    let stored = induce(&source);
+
+    let dir = scratch_dir("stream");
+    let wrapper_path = dir.join("wrapper.orw");
+    save_file(&wrapper_path, &stored).expect("persist wrapper");
+    let pages_dir = dir.join("pages");
+    std::fs::create_dir_all(&pages_dir).unwrap();
+    for (i, page) in source.pages.iter().enumerate() {
+        std::fs::write(pages_dir.join(format!("page-{i:03}.html")), page).unwrap();
+    }
+
+    let run = |args: &[&str]| {
+        let output = std::process::Command::new(env!("CARGO_BIN_EXE_objectrunner-serve"))
+            .args(args)
+            .arg(&wrapper_path)
+            .arg("--pages")
+            .arg(&pages_dir)
+            .output()
+            .expect("run objectrunner-serve");
+        assert!(
+            output.status.success(),
+            "{} failed: {}",
+            args[0],
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8(output.stdout).unwrap()
+    };
+
+    let per_object: Vec<String> = run(&["extract-file", "--wrapper"])
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    let streamed = run(&["extract-stream", "--threads", "4", "--wrapper"]);
+
+    // One line per page, in page order, objects flattening to the
+    // per-object output byte-for-byte.
+    let mut flattened = Vec::new();
+    for (i, line) in streamed.lines().enumerate() {
+        let parsed = objectrunner_store::Json::parse(line).expect("stream line is JSON");
+        assert_eq!(parsed.get("page").and_then(|p| p.as_usize()), Some(i));
+        let objects = match parsed.get("objects") {
+            Some(objectrunner_store::Json::Arr(objects)) => objects,
+            other => panic!("objects array missing: {other:?}"),
+        };
+        flattened.extend(objects.iter().map(|o| o.render()));
+    }
+    assert_eq!(per_object, flattened, "streamed objects diverged");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

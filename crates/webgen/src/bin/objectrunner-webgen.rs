@@ -1,0 +1,116 @@
+//! `objectrunner-webgen` — write a synthetic corpus to disk, streaming.
+//!
+//! ```text
+//! objectrunner-webgen --domain cars --name lot --out-dir corpus/ \
+//!                     --pages 1000000 [--seed N] [--style K] [--drift S] \
+//!                     [--detail] [--interstitial F]
+//! ```
+//!
+//! Pages are generated and written one at a time (`page-%06d.html`
+//! plus `manifest.json`), so corpus size is bounded by disk, not
+//! memory. The same arguments always produce byte-identical files.
+
+use objectrunner_webgen::{write_corpus, Domain, Drift, PageKind, SiteSpec};
+use std::path::PathBuf;
+
+const HELP: &str = "\
+objectrunner-webgen — deterministic streaming corpus generator
+
+USAGE:
+  objectrunner-webgen --domain D --name NAME --out-dir DIR --pages N
+                      [--seed N] [--style 0..2] [--drift 0..1]
+                      [--detail] [--interstitial F]
+
+Writes page-%06d.html files plus manifest.json, one page in memory at
+a time. Domains: concerts, albums, books, publications, cars.
+";
+
+/// Pull `--flag value` out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return;
+    }
+    std::process::exit(run(&args));
+}
+
+fn run(args: &[String]) -> i32 {
+    let domain = match flag(args, "--domain").as_deref().and_then(Domain::by_name) {
+        Some(d) => d,
+        None => {
+            eprintln!("missing or unknown --domain (see --help)");
+            return 2;
+        }
+    };
+    let name = match flag(args, "--name") {
+        Some(n) => n,
+        None => {
+            eprintln!("missing --name");
+            return 2;
+        }
+    };
+    let out_dir = match flag(args, "--out-dir") {
+        Some(o) => PathBuf::from(o),
+        None => {
+            eprintln!("missing --out-dir");
+            return 2;
+        }
+    };
+    let pages: usize = match flag(args, "--pages").map(|s| s.parse()) {
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => {
+            eprintln!("bad --pages");
+            return 2;
+        }
+        None => {
+            eprintln!("missing --pages");
+            return 2;
+        }
+    };
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17_000);
+    let drift = Drift::new(
+        flag(args, "--drift")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.0),
+    );
+    let kind = if args.iter().any(|a| a == "--detail") {
+        PageKind::Detail
+    } else {
+        PageKind::List
+    };
+
+    let mut spec = SiteSpec::clean(&name, domain, kind, pages, seed);
+    if let Some(style) = flag(args, "--style").and_then(|s| s.parse().ok()) {
+        spec.style = style;
+    }
+    if let Some(f) = flag(args, "--interstitial").and_then(|s| s.parse().ok()) {
+        spec = spec.with_interstitials(f);
+    }
+
+    match write_corpus(&spec, &drift, &out_dir) {
+        Ok(stats) => {
+            eprintln!(
+                "wrote {} pages ({} objects, {} bytes) to {}",
+                stats.pages,
+                stats.objects,
+                stats.bytes,
+                out_dir.display()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("{}: {e}", out_dir.display());
+            1
+        }
+    }
+}

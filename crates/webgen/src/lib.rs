@@ -28,10 +28,15 @@ pub mod corpus;
 pub mod data;
 pub mod domain;
 pub mod knowledge;
+pub mod mmapfile;
+pub mod outdir;
 pub mod site;
 
 pub use corpus::{paper_corpus, CorpusSpec};
 pub use domain::{Domain, GoldObject};
+pub use mmapfile::{MappedFile, MappedText};
+pub use outdir::{page_file_name, write_corpus, CorpusDir, CorpusWriteStats};
 pub use site::{
-    generate_drifted, generate_site, generate_site_with, Drift, PageKind, Quirk, SiteSpec, Source,
+    generate_drifted, generate_site, generate_site_with, site_pages, Drift, PageKind, Quirk,
+    SitePages, SiteSpec, Source,
 };

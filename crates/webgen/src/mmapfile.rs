@@ -1,0 +1,266 @@
+//! Read-only file mapping without a libc dependency.
+//!
+//! Streaming extraction reads corpus pages from disk; `mmap` lets the
+//! kernel page file contents in and out on demand, so a million-page
+//! run's resident set stays at the working window instead of the sum
+//! of everything read. The crate graph deliberately has no `libc`, so
+//! on Linux x86_64/aarch64 the two needed syscalls (`mmap`/`munmap`)
+//! are issued directly via inline assembly; everywhere else — and
+//! whenever the mapping fails (pipes, empty files, exotic
+//! filesystems) — [`MappedFile`] falls back to an ordinary buffered
+//! read, which is always correct, just not as cheap.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use std::arch::asm;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// Linux error returns are `-4095..=-1` encoded in the result.
+    fn check(ret: isize) -> Option<*const u8> {
+        if (-4095..0).contains(&ret) {
+            None
+        } else {
+            Some(ret as *const u8)
+        }
+    }
+
+    /// Map `len` bytes of `fd` read-only; `None` on any kernel error.
+    pub fn mmap_readonly(fd: i32, len: usize) -> Option<*const u8> {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") 9isize => ret, // SYS_mmap
+                in("rdi") 0usize,               // addr hint
+                in("rsi") len,
+                in("rdx") PROT_READ,
+                in("r10") MAP_PRIVATE,
+                in("r8") fd as isize,
+                in("r9") 0usize,                // offset
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        unsafe {
+            asm!(
+                "svc 0",
+                in("x8") 222usize, // SYS_mmap
+                inlateout("x0") 0usize => ret,
+                in("x1") len,
+                in("x2") PROT_READ,
+                in("x3") MAP_PRIVATE,
+                in("x4") fd as isize,
+                in("x5") 0usize,
+                options(nostack)
+            );
+        }
+        check(ret)
+    }
+
+    /// Unmap a region mapped by [`mmap_readonly`].
+    pub fn munmap(ptr: *const u8, len: usize) {
+        let _ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") 11isize => _ret, // SYS_munmap
+                in("rdi") ptr,
+                in("rsi") len,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        unsafe {
+            asm!(
+                "svc 0",
+                in("x8") 215usize, // SYS_munmap
+                inlateout("x0") ptr as usize => _ret,
+                in("x1") len,
+                options(nostack)
+            );
+        }
+    }
+}
+
+/// The bytes of one file: a private read-only mapping when the
+/// platform supports it, an in-memory copy otherwise. Dropping unmaps.
+pub struct MappedFile {
+    /// `Some((ptr, len))` when the bytes live in a kernel mapping.
+    mapping: Option<(*const u8, usize)>,
+    /// The read fallback (empty and unused while mapped).
+    buf: Vec<u8>,
+}
+
+// A private read-only mapping is immutable shared memory.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Map (or read) a whole file.
+    pub fn open(path: &Path) -> io::Result<MappedFile> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if len > 0 {
+            use std::os::fd::AsRawFd;
+            if let Some(ptr) = sys::mmap_readonly(file.as_raw_fd(), len) {
+                return Ok(MappedFile {
+                    mapping: Some((ptr, len)),
+                    buf: Vec::new(),
+                });
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(MappedFile { mapping: None, buf })
+    }
+
+    /// The file's bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self.mapping {
+            // SAFETY: the region is mapped read-only for self's
+            // lifetime and unmapped only in Drop.
+            Some((ptr, len)) => unsafe { std::slice::from_raw_parts(ptr, len) },
+            None => &self.buf,
+        }
+    }
+
+    /// Whether the bytes come from a kernel mapping (diagnostics only —
+    /// behavior is identical either way).
+    pub fn is_mapped(&self) -> bool {
+        self.mapping.is_some()
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Some((ptr, len)) = self.mapping.take() {
+            sys::munmap(ptr, len);
+        }
+    }
+}
+
+/// A mapped file validated as UTF-8 at open time, usable wherever a
+/// `&str` page is expected (the streaming extraction source).
+pub struct MappedText {
+    file: MappedFile,
+}
+
+impl MappedText {
+    /// Map a file and check it is valid UTF-8.
+    pub fn open(path: &Path) -> io::Result<MappedText> {
+        let file = MappedFile::open(path)?;
+        if std::str::from_utf8(file.as_bytes()).is_err() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: not valid UTF-8", path.display()),
+            ));
+        }
+        Ok(MappedText { file })
+    }
+
+    /// The file's text.
+    pub fn as_str(&self) -> &str {
+        // SAFETY: validated in `open`; the mapping is immutable.
+        unsafe { std::str::from_utf8_unchecked(self.file.as_bytes()) }
+    }
+}
+
+impl AsRef<str> for MappedText {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("objectrunner-mmap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let dir = tmp_dir("exact");
+        let path = dir.join("a.html");
+        let body = "<html><body>café &amp; crème</body></html>".repeat(100);
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(body.as_bytes()))
+            .expect("write");
+        let mapped = MappedFile::open(&path).expect("open");
+        assert_eq!(mapped.as_bytes(), body.as_bytes());
+        let text = MappedText::open(&path).expect("open");
+        assert_eq!(text.as_str(), body);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_file_is_fine() {
+        let dir = tmp_dir("empty");
+        let path = dir.join("empty.html");
+        std::fs::write(&path, "").expect("write");
+        let mapped = MappedFile::open(&path).expect("open");
+        assert!(mapped.as_bytes().is_empty());
+        assert!(!mapped.is_mapped(), "empty files use the read path");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected_as_text() {
+        let dir = tmp_dir("utf8");
+        let path = dir.join("bad.html");
+        std::fs::write(&path, [0xff, 0xfe, 0x41]).expect("write");
+        assert!(MappedFile::open(&path).is_ok(), "bytes always load");
+        assert!(MappedText::open(&path).is_err(), "text validates");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let dir = tmp_dir("missing");
+        assert!(MappedFile::open(&dir.join("nope.html")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn many_mappings_drop_cleanly() {
+        let dir = tmp_dir("many");
+        let path = dir.join("page.html");
+        std::fs::write(&path, "<p>x</p>".repeat(1000)).expect("write");
+        // Far more open/drop cycles than default vm.max_map_count would
+        // allow if Drop leaked mappings.
+        for _ in 0..10_000 {
+            let m = MappedFile::open(&path).expect("open");
+            assert_eq!(m.as_bytes().len(), 8 * 1000);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

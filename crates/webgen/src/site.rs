@@ -207,74 +207,118 @@ pub fn generate_drifted(spec: &SiteSpec, strength: f64) -> Source {
 
 /// Generate a source, rendering through the given template drift.
 pub fn generate_site_with(spec: &SiteSpec, drift: &Drift) -> Source {
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5151_7eb1);
     let mut pages = Vec::with_capacity(spec.pages);
     let mut truth = Vec::with_capacity(spec.pages);
-
-    // Site-level constants.
-    let decoy_city = "New York City";
-
-    for page_idx in 0..spec.pages {
-        if spec.has(Quirk::Unstructured) {
-            let mut v = ValueGen::new(&mut rng);
-            let body = format!(
-                "<p>{}</p><p>{}</p><div>{}</div>",
-                v.prose(20 + page_idx % 7),
-                v.prose(15 + page_idx % 5),
-                v.prose(10)
-            );
-            pages.push(shell(spec, drift, &body, &mut rng));
-            truth.push(Vec::new());
-            continue;
-        }
-
-        if spec.kind == PageKind::List && rng.gen_bool(spec.interstitial) {
-            // Category-browse interstitial: same shell, same list
-            // container paths, no records.
-            let n_cats = rng.gen_range(6..14);
-            let mut v = ValueGen::new(&mut rng);
-            let cats: String = (0..n_cats)
-                .map(|i| format!("<li><a>{} category {i}</a></li>", v.prose(1)))
-                .collect();
-            // The drifted container applies here too: an interstitial
-            // is the same template with no records in it.
-            let body = wrap_records(spec, drift, std::slice::from_ref(&cats));
-            pages.push(shell(spec, drift, &body, &mut rng));
-            truth.push(Vec::new());
-            continue;
-        }
-
-        let n_records = match (spec.kind, spec.fixed_count()) {
-            (PageKind::Detail, _) => 1,
-            (PageKind::List, Some(k)) => k,
-            (PageKind::List, None) => rng.gen_range(4..=12),
-        };
-
-        let mut objects = Vec::with_capacity(n_records);
-        let mut rendered = Vec::with_capacity(n_records);
-        for _ in 0..n_records {
-            let (gold, html) = render_record(spec, drift, &mut rng, decoy_city);
-            objects.push(gold);
-            rendered.push(html);
-        }
-
-        let body = if spec.has(Quirk::GroupedColumns) {
-            render_grouped(spec, drift, &objects)
-        } else {
-            match spec.kind {
-                PageKind::List => wrap_records(spec, drift, &rendered),
-                PageKind::Detail => rendered.pop().expect("one record"),
-            }
-        };
-        pages.push(shell(spec, drift, &body, &mut rng));
+    for (page, objects) in site_pages(spec, drift) {
+        pages.push(page);
         truth.push(objects);
     }
-
     Source {
         spec: spec.clone(),
         pages,
         truth,
     }
+}
+
+/// The constant city the `DecoyRepeatedValue` quirk embeds.
+const DECOY_CITY: &str = "New York City";
+
+/// Stream a site's pages one at a time: the generator behind
+/// [`generate_site_with`], exposed for disk-writing corpus generation
+/// and streaming benchmarks that must never hold a million pages in
+/// memory. One sequential RNG drives all pages, so collecting this
+/// iterator reproduces `generate_site_with` byte-for-byte.
+pub fn site_pages<'a>(spec: &'a SiteSpec, drift: &'a Drift) -> SitePages<'a> {
+    SitePages {
+        spec,
+        drift,
+        rng: StdRng::seed_from_u64(spec.seed ^ 0x5151_7eb1),
+        page_idx: 0,
+    }
+}
+
+/// Iterator over `(page_html, golden_objects)` — see [`site_pages`].
+pub struct SitePages<'a> {
+    spec: &'a SiteSpec,
+    drift: &'a Drift,
+    rng: StdRng,
+    page_idx: usize,
+}
+
+impl Iterator for SitePages<'_> {
+    type Item = (String, Vec<GoldObject>);
+
+    fn next(&mut self) -> Option<(String, Vec<GoldObject>)> {
+        if self.page_idx >= self.spec.pages {
+            return None;
+        }
+        let page_idx = self.page_idx;
+        self.page_idx += 1;
+        Some(render_page(self.spec, self.drift, &mut self.rng, page_idx))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.spec.pages - self.page_idx;
+        (left, Some(left))
+    }
+}
+
+/// Render one page (and its golden objects) off the site's sequential
+/// RNG.
+fn render_page(
+    spec: &SiteSpec,
+    drift: &Drift,
+    rng: &mut StdRng,
+    page_idx: usize,
+) -> (String, Vec<GoldObject>) {
+    if spec.has(Quirk::Unstructured) {
+        let mut v = ValueGen::new(rng);
+        let body = format!(
+            "<p>{}</p><p>{}</p><div>{}</div>",
+            v.prose(20 + page_idx % 7),
+            v.prose(15 + page_idx % 5),
+            v.prose(10)
+        );
+        return (shell(spec, drift, &body, rng), Vec::new());
+    }
+
+    if spec.kind == PageKind::List && rng.gen_bool(spec.interstitial) {
+        // Category-browse interstitial: same shell, same list
+        // container paths, no records.
+        let n_cats = rng.gen_range(6..14);
+        let mut v = ValueGen::new(rng);
+        let cats: String = (0..n_cats)
+            .map(|i| format!("<li><a>{} category {i}</a></li>", v.prose(1)))
+            .collect();
+        // The drifted container applies here too: an interstitial
+        // is the same template with no records in it.
+        let body = wrap_records(spec, drift, std::slice::from_ref(&cats));
+        return (shell(spec, drift, &body, rng), Vec::new());
+    }
+
+    let n_records = match (spec.kind, spec.fixed_count()) {
+        (PageKind::Detail, _) => 1,
+        (PageKind::List, Some(k)) => k,
+        (PageKind::List, None) => rng.gen_range(4..=12),
+    };
+
+    let mut objects = Vec::with_capacity(n_records);
+    let mut rendered = Vec::with_capacity(n_records);
+    for _ in 0..n_records {
+        let (gold, html) = render_record(spec, drift, rng, DECOY_CITY);
+        objects.push(gold);
+        rendered.push(html);
+    }
+
+    let body = if spec.has(Quirk::GroupedColumns) {
+        render_grouped(spec, drift, &objects)
+    } else {
+        match spec.kind {
+            PageKind::List => wrap_records(spec, drift, &rendered),
+            PageKind::Detail => rendered.pop().expect("one record"),
+        }
+    };
+    (shell(spec, drift, &body, rng), objects)
 }
 
 /// Generate one record's gold object and its attribute values.
@@ -656,6 +700,21 @@ mod tests {
         let b = generate_site(&s);
         assert_eq!(a.pages, b.pages);
         assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn streamed_pages_match_materialized_generation() {
+        for strength in [0.0, 0.5] {
+            let s = spec(Domain::Books, PageKind::List).with_interstitials(0.2);
+            let drift = Drift::new(strength);
+            let all = generate_site_with(&s, &drift);
+            let streamed: Vec<(String, Vec<GoldObject>)> = site_pages(&s, &drift).collect();
+            assert_eq!(streamed.len(), all.pages.len());
+            for (i, (page, truth)) in streamed.iter().enumerate() {
+                assert_eq!(page, &all.pages[i], "page {i} diverged");
+                assert_eq!(truth, &all.truth[i], "truth {i} diverged");
+            }
+        }
     }
 
     #[test]

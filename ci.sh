@@ -52,10 +52,43 @@ grep -q '"ok":true' "$SMOKE/session.jsonl"
 sed -n 1p "$SMOKE/session.jsonl" | grep -q '"stage":"wrap"'       # induce ran Wrap
 sed -n 3p "$SMOKE/session.jsonl" | grep -q '"cache":"hit"'        # cached path
 ! sed -n 3p "$SMOKE/session.jsonl" | grep -q '"stage":"wrap"'     # ... skipped Wrap
-sed -n 4p "$SMOKE/session.jsonl" | grep -q '"reinduced":true'     # drift repaired
+sed -n 4p "$SMOKE/session.jsonl" | grep -q '"reinduced":true'     # container redesign -> full re-induction
 sed -n 5p "$SMOKE/session.jsonl" | grep -q '"state":"reinduced"'  # status agrees
 sed -n 5p "$SMOKE/session.jsonl" | grep -q '"revision":2'
 echo "    serve smoke OK"
+
+# Repair smoke: the cheap recovery path. Separator-tier drift (0.25)
+# must be absorbed by tree-diff *repair* — revision bumps, provenance
+# recorded, no induction stage runs — while the container-tier drift
+# above (0.8) already proved the loud fallback to re-induction. Then
+# regenerate the drift sweep and require it to be byte-identical to
+# the committed table (every number in it is deterministic), which
+# pins the repaired-precision and trigger columns.
+echo "==> repair smoke (separator drift -> repaired + drift_sweep table)"
+"$SERVE" seed-corpus --domain concerts --name repairsmoke --seed 17100 --style 0 \
+         --pages 15 --out "$SMOKE/repair-clean" 2>/dev/null
+"$SERVE" seed-corpus --domain concerts --name repairsmoke --seed 17100 --style 0 \
+         --pages 15 --drift 0.25 --out "$SMOKE/repair-sep" 2>/dev/null
+{
+  echo "{\"cmd\":\"induce\",\"source\":\"repairsmoke\",\"domain\":\"concerts\",\"dir\":\"$SMOKE/repair-clean\"}"
+  echo "{\"cmd\":\"extract\",\"source\":\"repairsmoke\",\"dir\":\"$SMOKE/repair-sep\"}"
+  echo "{\"cmd\":\"status\"}"
+} | "$SERVE" --store "$SMOKE/repair-wrappers" > "$SMOKE/repair.jsonl"
+test "$(wc -l < "$SMOKE/repair.jsonl")" -eq 3
+! grep -q '"ok":false' "$SMOKE/repair.jsonl"
+sed -n 2p "$SMOKE/repair.jsonl" | grep -q '"repaired":true'       # patched, not re-induced
+sed -n 2p "$SMOKE/repair.jsonl" | grep -q '"reinduced":false'
+sed -n 2p "$SMOKE/repair.jsonl" | grep -q '"revision":2'
+! sed -n 2p "$SMOKE/repair.jsonl" | grep -q '"stage":"wrap"'      # no induction stage ran
+sed -n 3p "$SMOKE/repair.jsonl" | grep -q '"state":"repaired"'    # status agrees
+sed -n 3p "$SMOKE/repair.jsonl" | grep -q '"repaired_from":1'     # provenance persisted
+sed -n 3p "$SMOKE/repair.jsonl" | grep -q 'repaired: revision 2'  # transition logged
+target/release/drift_sweep > "$SMOKE/drift_sweep.txt"
+cmp results/drift_sweep.txt "$SMOKE/drift_sweep.txt"
+grep -q 'silent' "$SMOKE/drift_sweep.txt"                         # blind-spot rows now trigger
+grep -q 'declined' "$SMOKE/drift_sweep.txt"                       # container tiers fall back
+! grep -q 'BLIND' "$SMOKE/drift_sweep.txt"                        # no silent zero-precision rows
+echo "    repair smoke OK"
 
 # Bench smoke: regenerate the annotation trajectory point and sanity-
 # check its shape. The committed BENCH_annotation.json is a recorded

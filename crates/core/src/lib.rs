@@ -30,7 +30,11 @@
 //!   condition.
 //! * [`extract`] — applying the inferred template to all pages of the
 //!   source, producing [`objectrunner_sod::Instance`] objects.
-//! * [`wrapper`] — the wrapper-generation driver (Algorithm 2).
+//! * [`wrapper`] — the wrapper-generation driver (Algorithm 2), plus
+//!   tree-diff wrapper *repair* for drifted templates.
+//! * [`treediff`] — GumTree-style matching between two template trees
+//!   (top-down isomorphic subtrees, bottom-up containers by dice),
+//!   the machinery under wrapper repair.
 //! * [`pipeline`] — the end-to-end engine with the self-validation
 //!   loop that varies the support parameter (§IV "automatic variation
 //!   of parameters").
@@ -60,6 +64,7 @@ pub mod stage;
 pub mod stream;
 pub mod template;
 pub mod tokens;
+pub mod treediff;
 pub mod wrapper;
 
 pub use annotate::{annotate_page, AnnotatedPage, Annotation};
@@ -67,4 +72,8 @@ pub use exec::Executor;
 pub use pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineOutcome};
 pub use stage::{Stage, StageTiming};
 pub use stream::{extract_stream, StreamConfig, StreamStats};
-pub use wrapper::{generate_wrapper, Wrapper, WrapperError};
+pub use treediff::{MappingSummary, MatchKind, TreeDiffConfig, TreeMapping};
+pub use wrapper::{
+    generate_wrapper, repair_wrapper, RepairConfig, RepairError, RepairOutcome, RepairReport,
+    Wrapper, WrapperError,
+};

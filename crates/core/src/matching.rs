@@ -395,7 +395,7 @@ pub fn wrapper_slots(tree: &TemplateTree, mapping: &SodMapping) -> Vec<Matcher> 
     slots
 }
 
-fn collect_mapping_nodes(mapping: &TupleMapping, out: &mut Vec<usize>) {
+pub(crate) fn collect_mapping_nodes(mapping: &TupleMapping, out: &mut Vec<usize>) {
     out.push(mapping.anchor);
     for (_, gap) in &mapping.atomics {
         out.push(gap.node);

@@ -101,6 +101,13 @@ impl GapInfo {
 pub struct TemplateNode {
     /// Backing class in the analysis (`None` for the synthetic root).
     pub class: Option<usize>,
+    /// Stable identity of the node across wrapper revisions: assigned
+    /// at induction, *preserved* through tree-diff repair (a repaired
+    /// node keeps the id of the old node it was matched to, new nodes
+    /// get fresh ids). Node *indices* are positional and change on
+    /// every rebuild; stable ids are the identities repair provenance
+    /// and cross-revision diagnostics talk about.
+    pub stable_id: u64,
     /// Multiplicity relative to the parent instance.
     pub multiplicity: NodeMultiplicity,
     /// Separator matchers, in per-instance order.
@@ -157,6 +164,73 @@ impl TemplateTree {
         }
         out
     }
+
+    /// Subtree height of each node: 0 for leaves, 1 + max child height
+    /// otherwise (the tree-diff top-down pass matches tall subtrees
+    /// first).
+    pub fn heights(&self) -> Vec<usize> {
+        let mut heights = vec![0usize; self.nodes.len()];
+        // Children always have larger indices than their class parent
+        // is *not* guaranteed, so walk in reverse DFS (post) order.
+        let order = self.dfs();
+        for &n in order.iter().rev() {
+            heights[n] = self.nodes[n]
+                .children
+                .iter()
+                .map(|&c| heights[c] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        heights
+    }
+
+    /// Structural hash of the subtree rooted at `node`: the matcher
+    /// *token* sequence (kinds + tag/word strings), the node
+    /// multiplicity and the child hashes in order. Tag **paths are
+    /// deliberately excluded** — drift shifts every path below a
+    /// renamed container while the local token structure survives, and
+    /// the top-down matching pass must still recognize such subtrees
+    /// as isomorphic. Hashes are computed from interned *strings*, so
+    /// they are stable across processes and interner states.
+    pub fn structural_hash(&self, node: usize) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        let n = &self.nodes[node];
+        mix(match n.multiplicity {
+            NodeMultiplicity::One => b'1',
+            NodeMultiplicity::Optional => b'?',
+            NodeMultiplicity::Repeating => b'*',
+        });
+        for m in &n.matchers {
+            let (kind, sym) = match m.token {
+                PageToken::Open(s) => (b'o', s),
+                PageToken::Close(s) => (b'c', s),
+                PageToken::Word(s) => (b'w', s),
+            };
+            mix(kind);
+            for &b in sym.as_str().as_bytes() {
+                mix(b);
+            }
+            mix(0);
+        }
+        for &c in &n.children {
+            mix(b'(');
+            for &b in self.structural_hash(c).to_le_bytes().iter() {
+                mix(b);
+            }
+            mix(b')');
+        }
+        h
+    }
+
+    /// The largest stable id in the tree (fresh ids after a repair
+    /// start above this).
+    pub fn max_stable_id(&self) -> u64 {
+        self.nodes.iter().map(|n| n.stable_id).max().unwrap_or(0)
+    }
 }
 
 /// Cap on stored sample values per gap.
@@ -169,6 +243,7 @@ pub fn build_template(src: &SourceTokens, analysis: &EqAnalysis) -> TemplateTree
     let mut nodes: Vec<TemplateNode> = Vec::with_capacity(n_classes + 1);
     nodes.push(TemplateNode {
         class: None,
+        stable_id: 0,
         multiplicity: NodeMultiplicity::One,
         matchers: Vec::new(),
         permutation: Vec::new(),
@@ -191,6 +266,9 @@ pub fn build_template(src: &SourceTokens, analysis: &EqAnalysis) -> TemplateTree
         let gap_count = class.permutation.len().saturating_sub(1);
         nodes.push(TemplateNode {
             class: Some(class.id),
+            // Fresh induction: stable id = node index. Repair preserves
+            // these across rebuilds (see `core::treediff`).
+            stable_id: (class.id + 1) as u64,
             multiplicity: node_multiplicity(class, analysis),
             matchers,
             permutation: class.permutation.clone(),

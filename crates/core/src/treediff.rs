@@ -1,0 +1,680 @@
+//! GumTree-style matching between two annotated template trees.
+//!
+//! Wrapper repair (see [`crate::wrapper::repair_wrapper`]) needs to
+//! know which node of a *drifted* template corresponds to which node
+//! of the stored one. This module computes that correspondence the way
+//! GumTree (Falleri et al., ASE 2014) matches ASTs, adapted to
+//! template trees:
+//!
+//! 1. **Top-down pass** — nodes are visited in decreasing subtree
+//!    height; two unmatched subtrees with equal *structural hash*
+//!    (matcher token sequences + multiplicities, paths excluded — see
+//!    [`TemplateTree::structural_hash`]) are matched wholesale, every
+//!    descendant pair marked [`MatchKind::Exact`]. This is what
+//!    survives cosmetic drift: class renames shift no token, so whole
+//!    record subtrees hash identically.
+//! 2. **Bottom-up pass** — remaining unmatched nodes are matched as
+//!    *containers* by dice similarity over already-matched descendant
+//!    pairs, with a matcher-sequence alignment as the tie-break and
+//!    the leaf fallback. This is what survives separator drift: a
+//!    record whose `<div>` cells became `<p>` hashes differently, but
+//!    most of its children (or its own matcher kinds) still line up.
+//!
+//! The output is a [`TreeMapping`] plus, per matched pair, a
+//! [`NodeAlignment`] of the two matcher sequences (Needleman–Wunsch)
+//! from which the repair step re-maps paths, gaps and annotations.
+
+use crate::template::{GapKind, TemplateNode, TemplateTree};
+use objectrunner_html::PageToken;
+
+/// Tunables for the bottom-up container pass.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeDiffConfig {
+    /// Minimum dice similarity over matched descendants for a
+    /// container match.
+    pub min_dice: f64,
+    /// Minimum matcher-alignment similarity for matching two nodes
+    /// with no matched descendants (leaf fallback).
+    pub min_leaf_sim: f64,
+}
+
+impl Default for TreeDiffConfig {
+    fn default() -> TreeDiffConfig {
+        // A full same-kind tag swap with surviving data gaps scores
+        // 0.4 against the exact-match normalizer; 0.35 admits it while
+        // rejecting short accidental alignments (≈0.15).
+        TreeDiffConfig {
+            min_dice: 0.3,
+            min_leaf_sim: 0.35,
+        }
+    }
+}
+
+/// How a pair of nodes was matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKind {
+    /// Top-down: the subtrees are structurally isomorphic.
+    Exact,
+    /// Bottom-up: matched as containers by descendant dice / matcher
+    /// similarity; their matcher sequences may differ.
+    Container,
+}
+
+/// A node correspondence between an old and a new template tree.
+#[derive(Debug, Clone)]
+pub struct TreeMapping {
+    /// `old_to_new[o] = Some(n)` when old node `o` matched new node `n`.
+    pub old_to_new: Vec<Option<usize>>,
+    /// Inverse direction.
+    pub new_to_old: Vec<Option<usize>>,
+    /// Match kind per *old* node (index-aligned with `old_to_new`).
+    pub kinds: Vec<Option<MatchKind>>,
+}
+
+/// Count summary of a [`TreeMapping`] — what repair provenance records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingSummary {
+    pub matched_exact: usize,
+    pub matched_container: usize,
+    pub unmatched_old: usize,
+    pub unmatched_new: usize,
+}
+
+impl TreeMapping {
+    pub fn summary(&self) -> MappingSummary {
+        let matched_exact = self
+            .kinds
+            .iter()
+            .filter(|k| **k == Some(MatchKind::Exact))
+            .count();
+        let matched_container = self
+            .kinds
+            .iter()
+            .filter(|k| **k == Some(MatchKind::Container))
+            .count();
+        MappingSummary {
+            matched_exact,
+            matched_container,
+            unmatched_old: self.old_to_new.iter().filter(|m| m.is_none()).count(),
+            unmatched_new: self.new_to_old.iter().filter(|m| m.is_none()).count(),
+        }
+    }
+}
+
+/// Match `old` against `new`. The roots always match (both are the
+/// synthetic page root); everything else follows the two passes.
+pub fn match_trees(old: &TemplateTree, new: &TemplateTree, cfg: &TreeDiffConfig) -> TreeMapping {
+    let mut m = TreeMapping {
+        old_to_new: vec![None; old.nodes.len()],
+        new_to_old: vec![None; new.nodes.len()],
+        kinds: vec![None; old.nodes.len()],
+    };
+
+    let old_hash: Vec<u64> = (0..old.nodes.len())
+        .map(|i| old.structural_hash(i))
+        .collect();
+    let new_hash: Vec<u64> = (0..new.nodes.len())
+        .map(|i| new.structural_hash(i))
+        .collect();
+    let old_heights = old.heights();
+
+    // --- top-down: tallest unmatched old subtrees first.
+    let mut by_height: Vec<usize> = (0..old.nodes.len()).collect();
+    by_height.sort_by_key(|&i| (std::cmp::Reverse(old_heights[i]), i));
+    for o in by_height {
+        if m.old_to_new[o].is_some() {
+            continue;
+        }
+        let candidates: Vec<usize> = (0..new.nodes.len())
+            .filter(|&n| m.new_to_old[n].is_none() && new_hash[n] == old_hash[o])
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        // Ambiguity (repeated identical subtrees): prefer the candidate
+        // whose parent is already matched to this node's parent, else
+        // the first in DFS order — deterministic either way.
+        let pick = candidates
+            .iter()
+            .copied()
+            .find(|&n| parents_correspond(old, new, &m, o, n))
+            .unwrap_or(candidates[0]);
+        match_subtrees_isomorphic(old, new, &mut m, o, pick);
+    }
+
+    // --- roots always correspond.
+    if m.old_to_new[0].is_none() {
+        record_match(&mut m, 0, 0, MatchKind::Container);
+    }
+
+    // --- bottom-up: children before parents, containers by dice.
+    let post = {
+        let mut order = old.dfs();
+        order.reverse();
+        order
+    };
+    for o in post {
+        if m.old_to_new[o].is_some() {
+            continue;
+        }
+        // Rank candidates by dice, then matcher-alignment similarity,
+        // then parent correspondence, then index (determinism).
+        let mut best: Option<(usize, f64, f64, bool)> = None;
+        for n in 0..new.nodes.len() {
+            if m.new_to_old[n].is_some() {
+                continue;
+            }
+            let dice = dice_similarity(old, new, &m, o, n);
+            let align = align_matchers(&old.nodes[o], &new.nodes[n]);
+            let acceptable = dice >= cfg.min_dice
+                || (dice == 0.0
+                    && no_matched_descendants(old, &m, o)
+                    && align.similarity >= cfg.min_leaf_sim);
+            if !acceptable {
+                continue;
+            }
+            let parent_ok = parents_correspond(old, new, &m, o, n);
+            let replace = match &best {
+                None => true,
+                Some((_, bd, bs, bp)) => {
+                    dice > bd + 1e-12
+                        || ((dice - bd).abs() <= 1e-12
+                            && (align.similarity > bs + 1e-12
+                                || ((align.similarity - bs).abs() <= 1e-12 && parent_ok && !bp)))
+                }
+            };
+            if replace {
+                best = Some((n, dice, align.similarity, parent_ok));
+            }
+        }
+        if let Some((n, ..)) = best {
+            record_match(&mut m, o, n, MatchKind::Container);
+        }
+    }
+
+    m
+}
+
+fn record_match(m: &mut TreeMapping, o: usize, n: usize, kind: MatchKind) {
+    m.old_to_new[o] = Some(n);
+    m.new_to_old[n] = Some(o);
+    m.kinds[o] = Some(kind);
+}
+
+/// Are the parents of `o` and `n` already matched to each other (or
+/// both roots)?
+fn parents_correspond(
+    old: &TemplateTree,
+    new: &TemplateTree,
+    m: &TreeMapping,
+    o: usize,
+    n: usize,
+) -> bool {
+    match (old.nodes[o].parent, new.nodes[n].parent) {
+        (None, None) => true,
+        (Some(po), Some(pn)) => m.old_to_new[po] == Some(pn),
+        _ => false,
+    }
+}
+
+/// Zip two isomorphic subtrees (equal structural hash ⇒ equal matcher
+/// sequences, multiplicities and child counts) into Exact matches.
+fn match_subtrees_isomorphic(
+    old: &TemplateTree,
+    new: &TemplateTree,
+    m: &mut TreeMapping,
+    o: usize,
+    n: usize,
+) {
+    record_match(m, o, n, MatchKind::Exact);
+    for (&co, &cn) in old.nodes[o]
+        .children
+        .iter()
+        .zip(new.nodes[n].children.iter())
+    {
+        match_subtrees_isomorphic(old, new, m, co, cn);
+    }
+}
+
+fn descendants(tree: &TemplateTree, node: usize, out: &mut Vec<usize>) {
+    for &c in &tree.nodes[node].children {
+        out.push(c);
+        descendants(tree, c, out);
+    }
+}
+
+fn no_matched_descendants(old: &TemplateTree, m: &TreeMapping, o: usize) -> bool {
+    let mut descs = Vec::new();
+    descendants(old, o, &mut descs);
+    descs.iter().all(|&d| m.old_to_new[d].is_none())
+}
+
+/// Dice coefficient over matched descendant pairs:
+/// `2·|{(d_o, d_n) matched, d_o under o, d_n under n}| / (|desc o| + |desc n|)`.
+fn dice_similarity(
+    old: &TemplateTree,
+    new: &TemplateTree,
+    m: &TreeMapping,
+    o: usize,
+    n: usize,
+) -> f64 {
+    let mut old_descs = Vec::new();
+    descendants(old, o, &mut old_descs);
+    let mut new_descs = Vec::new();
+    descendants(new, n, &mut new_descs);
+    if old_descs.is_empty() && new_descs.is_empty() {
+        return 0.0;
+    }
+    let common = old_descs
+        .iter()
+        .filter(|&&d| {
+            m.old_to_new[d]
+                .map(|dn| new_descs.contains(&dn))
+                .unwrap_or(false)
+        })
+        .count();
+    2.0 * common as f64 / (old_descs.len() + new_descs.len()) as f64
+}
+
+// ------------------------------------------------- matcher alignment
+
+/// Alignment of one matched node pair's matcher sequences, with the
+/// induced gap correspondence.
+#[derive(Debug, Clone)]
+pub struct NodeAlignment {
+    /// `matcher_map[j] = Some(i)` — old matcher `j` aligned to new
+    /// matcher `i`.
+    pub matcher_map: Vec<Option<usize>>,
+    /// `gap_map[j] = Some(i)` — old gap `j` (between old matchers `j`
+    /// and `j+1`) corresponds to new gap `i`.
+    pub gap_map: Vec<Option<usize>>,
+    /// Every matcher aligned one-to-one with an identical token (the
+    /// sequences are equal up to paths).
+    pub exact: bool,
+    /// Alignment score normalized to the old sequence's self-score,
+    /// in `[0, 1]`.
+    pub similarity: f64,
+}
+
+fn token_kind(t: PageToken) -> u8 {
+    match t {
+        PageToken::Open(_) => b'o',
+        PageToken::Close(_) => b'c',
+        PageToken::Word(_) => b'w',
+    }
+}
+
+/// Pair score for Needleman–Wunsch: exact token equality is worth a
+/// lot, a same-kind tag swap (`<div>` → `<p>`, the separator-drift
+/// case) a little, a cross-kind pairing nothing at all. When the gaps
+/// *following* the two matchers agree on a substantive kind (both
+/// Data, or both Children), the pair earns a bonus — gaps are where
+/// the wrapper's data lives, so an alignment that keeps data gaps
+/// facing data gaps should win over one that merely pairs tags.
+fn pair_score(old: &TemplateNode, new: &TemplateNode, j: usize, i: usize) -> Option<f64> {
+    let (a, b) = (old.matchers[j], new.matchers[i]);
+    if token_kind(a.token) != token_kind(b.token) {
+        return None;
+    }
+    let mut score = if a.token == b.token { 4.0 } else { 1.0 };
+    let old_gap = old.gaps.get(j).map(|g| g.kind());
+    let new_gap = new.gaps.get(i).map(|g| g.kind());
+    if let (Some(og), Some(ng)) = (old_gap, new_gap) {
+        if og == ng && matches!(og, GapKind::Data | GapKind::Children) {
+            score += 2.0;
+        }
+    }
+    Some(score)
+}
+
+/// Penalty per skipped matcher on either side.
+const SKIP: f64 = -0.5;
+
+/// Needleman–Wunsch alignment of two matcher sequences.
+pub fn align_matchers(old: &TemplateNode, new: &TemplateNode) -> NodeAlignment {
+    let (k, l) = (old.matchers.len(), new.matchers.len());
+    // dp[j][i] = best score aligning old[..j] with new[..i].
+    let mut dp = vec![vec![f64::NEG_INFINITY; l + 1]; k + 1];
+    // 0 = stop, 1 = diagonal, 2 = skip old (up), 3 = skip new (left).
+    let mut back = vec![vec![0u8; l + 1]; k + 1];
+    dp[0][0] = 0.0;
+    for j in 0..=k {
+        for i in 0..=l {
+            if j > 0 && i > 0 {
+                if let Some(s) = pair_score(old, new, j - 1, i - 1) {
+                    let v = dp[j - 1][i - 1] + s;
+                    if v > dp[j][i] {
+                        dp[j][i] = v;
+                        back[j][i] = 1;
+                    }
+                }
+            }
+            if j > 0 {
+                let v = dp[j - 1][i] + SKIP;
+                if v > dp[j][i] {
+                    dp[j][i] = v;
+                    back[j][i] = 2;
+                }
+            }
+            if i > 0 {
+                let v = dp[j][i - 1] + SKIP;
+                if v > dp[j][i] {
+                    dp[j][i] = v;
+                    back[j][i] = 3;
+                }
+            }
+        }
+    }
+
+    let mut matcher_map = vec![None; k];
+    let (mut j, mut i) = (k, l);
+    while j > 0 || i > 0 {
+        match back[j][i] {
+            1 => {
+                j -= 1;
+                i -= 1;
+                matcher_map[j] = Some(i);
+            }
+            2 => j -= 1,
+            3 => i -= 1,
+            _ => break,
+        }
+    }
+
+    // Normalizer: the score of aligning `old` with itself (every pair
+    // exact, every substantive gap agreeing).
+    let mut self_score = 0.0;
+    for j in 0..k {
+        self_score += 4.0;
+        if matches!(
+            old.gaps.get(j).map(|g| g.kind()),
+            Some(GapKind::Data | GapKind::Children)
+        ) {
+            self_score += 2.0;
+        }
+    }
+    let similarity = if self_score > 0.0 {
+        (dp[k][l].max(0.0) / self_score).min(1.0)
+    } else if k == 0 && l == 0 {
+        1.0
+    } else {
+        0.0
+    };
+
+    let exact = k == l
+        && matcher_map
+            .iter()
+            .enumerate()
+            .all(|(j, m)| *m == Some(j) && old.matchers[j].token == new.matchers[j].token);
+
+    let gap_map = resolve_gaps(old, new, &matcher_map);
+
+    NodeAlignment {
+        matcher_map,
+        gap_map,
+        exact,
+        similarity,
+    }
+}
+
+/// Old gap `j` sits between old matchers `j` and `j+1`. With both
+/// endpoints aligned (to new matchers `a` and `b`), the candidate new
+/// gaps are `a..b`. A unique candidate wins outright; among several,
+/// a unique one of the *same kind* wins; otherwise the gap stays
+/// unmapped — repair treats an unmapped data gap as a lost field
+/// rather than guessing.
+fn resolve_gaps(
+    old: &TemplateNode,
+    new: &TemplateNode,
+    matcher_map: &[Option<usize>],
+) -> Vec<Option<usize>> {
+    let mut gap_map = vec![None; old.gaps.len()];
+    // The root node has one gap and no matchers; map it directly.
+    if old.matchers.is_empty() && new.matchers.is_empty() && old.gaps.len() == new.gaps.len() {
+        for (j, g) in gap_map.iter_mut().enumerate() {
+            *g = Some(j);
+        }
+        return gap_map;
+    }
+    for (j, slot) in gap_map.iter_mut().enumerate() {
+        let (Some(a), Some(b)) = (
+            matcher_map.get(j).copied().flatten(),
+            matcher_map.get(j + 1).copied().flatten(),
+        ) else {
+            continue;
+        };
+        if b <= a {
+            continue;
+        }
+        let candidates: Vec<usize> = (a..b).filter(|&i| i < new.gaps.len()).collect();
+        match candidates.len() {
+            0 => {}
+            1 => *slot = Some(candidates[0]),
+            _ => {
+                let kind = old.gaps[j].kind();
+                let same_kind: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| new.gaps[i].kind() == kind)
+                    .collect();
+                if same_kind.len() == 1 {
+                    *slot = Some(same_kind[0]);
+                }
+            }
+        }
+    }
+    gap_map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{GapInfo, Matcher, NodeMultiplicity};
+    use objectrunner_html::{PathId, Symbol};
+
+    fn tok(spec: &str) -> PageToken {
+        let (kind, body) = spec.split_once('/').unwrap();
+        let sym = Symbol::intern(body);
+        match kind {
+            "o" => PageToken::Open(sym),
+            "c" => PageToken::Close(sym),
+            _ => PageToken::Word(sym),
+        }
+    }
+
+    fn node(tokens: &[&str], path: &[&str], mult: NodeMultiplicity) -> TemplateNode {
+        let p = PathId::from_segments(path.to_vec());
+        let matchers: Vec<Matcher> = tokens
+            .iter()
+            .map(|t| Matcher {
+                token: tok(t),
+                path: p,
+            })
+            .collect();
+        let gaps = vec![GapInfo::default(); matchers.len().saturating_sub(1)];
+        TemplateNode {
+            class: None,
+            stable_id: 0,
+            multiplicity: mult,
+            matchers,
+            permutation: Vec::new(),
+            gaps,
+            children: Vec::new(),
+            parent: None,
+        }
+    }
+
+    /// root → record(*) → cell. `cell_tag` lets tests emulate
+    /// separator drift.
+    fn tree(cell_tag: &str, path_hint: &str) -> TemplateTree {
+        let mut root = node(&[], &["html", "body"], NodeMultiplicity::One);
+        root.gaps = vec![GapInfo::default()];
+        root.gaps[0].children = vec![1];
+        let mut record = node(
+            &["o/li", "c/li"],
+            &["html", "body", path_hint],
+            NodeMultiplicity::Repeating,
+        );
+        record.parent = Some(0);
+        record.children = vec![2];
+        record.gaps[0].children = vec![2];
+        let mut cell = node(
+            &[
+                &format!("o/{cell_tag}"),
+                &format!("c/{cell_tag}"),
+                &format!("o/{cell_tag}"),
+                &format!("c/{cell_tag}"),
+            ],
+            &["html", "body", path_hint, "li"],
+            NodeMultiplicity::One,
+        );
+        cell.parent = Some(1);
+        cell.gaps[0].data_instances = 3;
+        cell.gaps[0].total_instances = 3;
+        cell.gaps[2].data_instances = 3;
+        cell.gaps[2].total_instances = 3;
+        root.children = vec![1];
+        TemplateTree {
+            nodes: vec![root, record, cell],
+        }
+    }
+
+    #[test]
+    fn identical_trees_match_exactly_everywhere() {
+        let old = tree("div", "ul");
+        let new = tree("div", "ul");
+        let m = match_trees(&old, &new, &TreeDiffConfig::default());
+        for (o, mapped) in m.old_to_new.iter().enumerate() {
+            assert_eq!(*mapped, Some(o));
+        }
+        let s = m.summary();
+        assert_eq!(s.matched_exact, 3);
+        assert_eq!(s.unmatched_old, 0);
+        assert_eq!(s.unmatched_new, 0);
+    }
+
+    #[test]
+    fn path_only_drift_still_matches_exactly() {
+        // Cosmetic/container drift shifts paths but not tokens; the
+        // structural hash ignores paths, so top-down still matches.
+        let old = tree("div", "ul");
+        let new = tree("div", "ol");
+        let m = match_trees(&old, &new, &TreeDiffConfig::default());
+        assert_eq!(m.summary().matched_exact, 3);
+    }
+
+    #[test]
+    fn separator_drift_matches_containers_bottom_up() {
+        let old = tree("div", "ul");
+        let new = tree("p", "ul");
+        let m = match_trees(&old, &new, &TreeDiffConfig::default());
+        // The cell node hashes differently (div → p) but aligns by
+        // kind; the record and root follow by dice.
+        assert_eq!(m.old_to_new[2], Some(2));
+        assert_eq!(m.old_to_new[1], Some(1));
+        assert_eq!(m.old_to_new[0], Some(0));
+        let s = m.summary();
+        assert_eq!(s.matched_exact + s.matched_container, 3);
+        assert!(s.matched_container >= 1);
+    }
+
+    #[test]
+    fn unrelated_leaf_stays_unmatched() {
+        let old = tree("div", "ul");
+        let mut new = tree("div", "ul");
+        // Replace the cell with a word-matcher node: kinds disagree
+        // everywhere, so no pair score exists at all.
+        new.nodes[2] = node(
+            &["w/foo", "w/bar"],
+            &["html", "body", "ul", "li"],
+            NodeMultiplicity::One,
+        );
+        new.nodes[2].parent = Some(1);
+        let m = match_trees(&old, &new, &TreeDiffConfig::default());
+        assert_eq!(m.old_to_new[2], None);
+        assert_eq!(m.summary().unmatched_old, 1);
+        assert_eq!(m.summary().unmatched_new, 1);
+    }
+
+    #[test]
+    fn alignment_is_exact_on_equal_token_sequences() {
+        let old = tree("div", "ul");
+        let new = tree("div", "ol");
+        let a = align_matchers(&old.nodes[2], &new.nodes[2]);
+        assert!(a.exact);
+        assert!((a.similarity - 1.0).abs() < 1e-9);
+        assert_eq!(a.gap_map, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn alignment_survives_tag_swap_and_keeps_gap_map() {
+        let old = tree("div", "ul");
+        let new = tree("p", "ul");
+        let a = align_matchers(&old.nodes[2], &new.nodes[2]);
+        assert!(!a.exact);
+        assert!(a.similarity > 0.0 && a.similarity < 1.0);
+        // One-to-one alignment: gaps carry over positionally.
+        assert_eq!(a.gap_map, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn inserted_wrapper_tags_skip_but_data_gaps_survive() {
+        // New cell node gained a leading+trailing <span> wrapper pair:
+        // o/span o/div c/div o/div c/div c/span. The div pairs must
+        // still align and the data gaps must land on the right new
+        // gaps.
+        let mut wrapped = node(
+            &["o/span", "o/div", "c/div", "o/div", "c/div", "c/span"],
+            &["html", "body", "ul", "li"],
+            NodeMultiplicity::One,
+        );
+        // Data gaps now sit at new indices 1 and 3.
+        wrapped.gaps[1].data_instances = 3;
+        wrapped.gaps[1].total_instances = 3;
+        wrapped.gaps[3].data_instances = 3;
+        wrapped.gaps[3].total_instances = 3;
+        let a = align_matchers(&tree("div", "ul").nodes[2], &wrapped);
+        assert_eq!(a.matcher_map, vec![Some(1), Some(2), Some(3), Some(4)]);
+        assert_eq!(a.gap_map[0], Some(1));
+        assert_eq!(a.gap_map[2], Some(3));
+    }
+
+    #[test]
+    fn ambiguous_gap_resolves_by_kind_or_not_at_all() {
+        // Old: o/div c/div with one Data gap. New: o/div o/span c/span
+        // c/div — endpoints align 0 and 3, candidates {0, 1, 2}; only
+        // gap 1 is Data, so it wins uniquely.
+        let mut old = node(&["o/div", "c/div"], &["x"], NodeMultiplicity::One);
+        old.gaps[0].data_instances = 2;
+        old.gaps[0].total_instances = 2;
+        let mut new = node(
+            &["o/div", "o/span", "c/span", "c/div"],
+            &["x"],
+            NodeMultiplicity::One,
+        );
+        new.gaps[1].data_instances = 2;
+        new.gaps[1].total_instances = 2;
+        let a = align_matchers(&old, &new);
+        assert_eq!(a.matcher_map, vec![Some(0), Some(3)]);
+        assert_eq!(a.gap_map, vec![Some(1)]);
+
+        // With two Data candidates the gap stays unmapped.
+        let mut ambiguous = new.clone();
+        ambiguous.gaps[0].data_instances = 2;
+        ambiguous.gaps[0].total_instances = 2;
+        let a = align_matchers(&old, &ambiguous);
+        assert_eq!(a.gap_map, vec![None]);
+    }
+
+    #[test]
+    fn summary_counts_are_consistent() {
+        let old = tree("div", "ul");
+        let new = tree("p", "ol");
+        let m = match_trees(&old, &new, &TreeDiffConfig::default());
+        let s = m.summary();
+        assert_eq!(
+            s.matched_exact + s.matched_container + s.unmatched_old,
+            old.nodes.len()
+        );
+    }
+}

@@ -7,11 +7,17 @@
 
 use crate::annotate::AnnotatedPage;
 use crate::extract::extract_page;
-use crate::matching::{match_sod, partial_match_possible, MatchError, SodMapping};
+use crate::matching::{
+    collect_mapping_nodes, match_sod, partial_match_possible, GapRef, MatchError, SetMapping,
+    SodMapping, TupleMapping,
+};
 use crate::roles::{differentiate, DiffConfig};
-use crate::template::{build_template, TemplateTree};
+use crate::template::{build_template, GapKind, NodeMultiplicity, TemplateNode, TemplateTree};
 use crate::tokens::SourceTokens;
-use objectrunner_html::Document;
+use crate::treediff::{
+    align_matchers, match_trees, MappingSummary, NodeAlignment, TreeDiffConfig, TreeMapping,
+};
+use objectrunner_html::{Document, FxHashMap, PageToken};
 use objectrunner_sod::{Instance, Sod, SodNode};
 
 /// Wrapper-generation failures.
@@ -117,6 +123,462 @@ fn object_name(sod: &Sod) -> String {
         SodNode::Tuple { name, .. } => name.clone(),
         _ => "object".to_owned(),
     }
+}
+
+// ------------------------------------------------------------- repair
+
+/// Tunables for [`repair_wrapper`].
+#[derive(Debug, Clone)]
+pub struct RepairConfig {
+    /// Tree-diff matching thresholds.
+    pub diff: TreeDiffConfig,
+    /// Role differentiation used for the *structure-only* template
+    /// inference on the drifted pages (no annotations are involved —
+    /// the drifted pages arrive unannotated and stay that way).
+    pub infer: DiffConfig,
+    /// Minimum fraction of repair pages on which the patched wrapper
+    /// must extract at least one object; below it the repair is
+    /// rejected so the caller falls back to full re-induction.
+    pub coverage_floor: f64,
+}
+
+impl Default for RepairConfig {
+    fn default() -> RepairConfig {
+        RepairConfig {
+            diff: TreeDiffConfig::default(),
+            infer: DiffConfig::default(),
+            coverage_floor: 0.5,
+        }
+    }
+}
+
+/// Why a repair was declined. Every variant is a reason to fall back
+/// to full re-induction — repair never guesses.
+#[derive(Debug, Clone)]
+pub enum RepairError {
+    /// No repair pages were supplied.
+    EmptySample,
+    /// A template node the SOD mapping reads has no counterpart in
+    /// the drifted template.
+    NodeUnmatched { stable_id: u64 },
+    /// An ancestor of the record anchor no longer aligns token-exactly
+    /// — the containment structure itself changed, and patching paths
+    /// through it would be guesswork.
+    ContainerChanged,
+    /// A gap holding a mapped type could not be re-mapped.
+    GapLost { type_name: String },
+    /// The record (or a repeated set) node lost its multiplicity.
+    MultiplicityChanged,
+    /// The patched wrapper extracted on too few of the repair pages.
+    CoverageBelowFloor { coverage: f64, floor: f64 },
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::EmptySample => write!(f, "no repair pages"),
+            RepairError::NodeUnmatched { stable_id } => {
+                write!(f, "template node sid={stable_id} has no counterpart")
+            }
+            RepairError::ContainerChanged => {
+                write!(f, "container chain above the record anchor changed")
+            }
+            RepairError::GapLost { type_name } => {
+                write!(f, "gap holding type '{type_name}' was lost")
+            }
+            RepairError::MultiplicityChanged => write!(f, "record/set multiplicity changed"),
+            RepairError::CoverageBelowFloor { coverage, floor } => {
+                write!(
+                    f,
+                    "patched wrapper covers {coverage:.2} of repair pages (floor {floor:.2})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// What a successful repair did, for provenance and logs.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// Node-mapping counts between the stored and drifted templates.
+    pub summary: MappingSummary,
+    /// Fraction of repair pages the patched wrapper extracted on.
+    pub coverage: f64,
+    /// Mapped matchers whose tag path changed (the drift the patch
+    /// absorbed).
+    pub remapped_paths: usize,
+    /// Gaps whose annotation histograms were carried over.
+    pub transferred_gaps: usize,
+    /// Word matchers the structure-only inference promoted inside old
+    /// *data* gaps, demoted back to data (the original induction's
+    /// annotations guarded them; the unannotated repair pages can't).
+    pub pruned_word_matchers: usize,
+}
+
+/// A repaired wrapper plus its report.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    pub wrapper: Wrapper,
+    pub report: RepairReport,
+}
+
+/// Patch a drifted wrapper instead of re-inducing it (GumTree-style
+/// template-tree diff, see [`crate::treediff`]).
+///
+/// `docs` are the prepared (cleaned, segmented) drifted pages the
+/// caller buffered. A *structure-only* template is inferred from them
+/// — no annotation pass, no sampling, no SOD matching — and matched
+/// against the stored template. The stored wrapper's `Matcher` paths,
+/// gap roles and annotation histograms are then pushed through the
+/// node mapping onto the new template, and the stored SOD mapping is
+/// re-targeted node by node, gap by gap. Stable node ids survive:
+/// a repaired node keeps the id of the stored node it was matched to.
+///
+/// Repair is *conservative*: any node the mapping reads that failed
+/// to match, any ancestor of the record anchor whose token structure
+/// changed, any lost gap or flipped multiplicity, and any patched
+/// wrapper that extracts on less than `cfg.coverage_floor` of the
+/// repair pages all return an error so the caller can fall back to
+/// full re-induction — loudly, never silently.
+pub fn repair_wrapper(
+    old: &Wrapper,
+    sod: &Sod,
+    docs: &[Document],
+    cfg: &RepairConfig,
+) -> Result<RepairOutcome, RepairError> {
+    if docs.is_empty() {
+        return Err(RepairError::EmptySample);
+    }
+
+    // Structure-only inference: the same differentiation the full
+    // pipeline runs, minus annotations (the pages are unannotated, so
+    // annotation-driven splits and the §III-E abort simply never
+    // fire). Set types still come from the SOD, mirroring
+    // `generate_wrapper`, so the class analysis is shaped the same
+    // way a fresh induction would shape it.
+    let unannotated: Vec<AnnotatedPage> = docs
+        .iter()
+        .map(|d| AnnotatedPage {
+            doc: d.clone(),
+            annotations: Default::default(),
+        })
+        .collect();
+    let mut src = SourceTokens::from_pages(&unannotated);
+    let mut infer = cfg.infer.clone();
+    if infer.set_types.is_empty() {
+        infer.set_types = sod
+            .set_entity_types()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+    }
+    let outcome = differentiate(&mut src, &infer, |_, _| false);
+    let mut new_tree = build_template(&src, &outcome.analysis);
+
+    let mapping = match_trees(&old.template, &new_tree, &cfg.diff);
+    let summary = mapping.summary();
+
+    // Every node the SOD mapping reads must have a counterpart.
+    let mut read_nodes: Vec<usize> = Vec::new();
+    collect_mapping_nodes(&old.mapping.record, &mut read_nodes);
+    read_nodes.sort_unstable();
+    read_nodes.dedup();
+    for &o in &read_nodes {
+        if mapping.old_to_new[o].is_none() {
+            return Err(RepairError::NodeUnmatched {
+                stable_id: old.template.nodes[o].stable_id,
+            });
+        }
+    }
+
+    // Demote wrongly-promoted data words. The drifted pages arrive
+    // unannotated, so the inference can't annotation-guard repeating
+    // data words ("May", "2010", a shared label) the way the original
+    // induction did — they surface as word separators that would split
+    // the old data gaps and truncate extracted values. The old
+    // template knows better: any *word* matcher the alignment inserts
+    // strictly inside an old Data gap is demoted back into the gap.
+    let mut pruned_word_matchers = 0usize;
+    for n in 0..new_tree.nodes.len() {
+        if let Some(o) = mapping.new_to_old[n] {
+            pruned_word_matchers +=
+                prune_promoted_words(&old.template.nodes[o], &mut new_tree.nodes[n]);
+        }
+    }
+
+    // Alignment cache over matched old nodes (post-prune).
+    let mut alignments: FxHashMap<usize, NodeAlignment> = FxHashMap::default();
+    let mut align_of = |o: usize, old_tree: &TemplateTree, new_tree: &TemplateTree| {
+        let n = mapping.old_to_new[o].expect("checked matched");
+        alignments
+            .entry(o)
+            .or_insert_with(|| align_matchers(&old_tree.nodes[o], &new_tree.nodes[n]))
+            .clone()
+    };
+
+    // Container-chain eligibility: every proper ancestor of the record
+    // anchor must be matched with a token-exact matcher alignment.
+    // Paths may shift (that is what repair fixes); the token structure
+    // of the containment chain may not — `<ul>` becoming `<ol>` is a
+    // redesign, not drift this patch can absorb.
+    let anchor = old.mapping.record.anchor;
+    let mut child = anchor;
+    let mut walk = old.template.nodes[anchor].parent;
+    while let Some(a) = walk {
+        let Some(n) = mapping.old_to_new[a] else {
+            return Err(RepairError::ContainerChanged);
+        };
+        // The element *holding* the records must keep its tag: the
+        // matchers flanking the gap that hosts `child`'s subtree must
+        // align to token-equal counterparts (`<ul>` becoming `<ol>` is
+        // a redesign, not drift this patch can absorb). Anything else
+        // in the container — chrome the inference sees when the
+        // drifted pages could not be re-segmented to the stored main
+        // block, an extra wrapper element — may come and go freely:
+        // the patched template is the one inferred from the drifted
+        // pages, so extraction follows the new structure.
+        let align = align_of(a, &old.template, &new_tree);
+        let old_node = &old.template.nodes[a];
+        let new_node = &new_tree.nodes[n];
+        let hosting_gap = old_node
+            .gaps
+            .iter()
+            .position(|g| g.children.contains(&child));
+        if let Some(g) = hosting_gap {
+            let Some(g2) = align.gap_map[g] else {
+                return Err(RepairError::ContainerChanged);
+            };
+            // Gap `i` sits between matchers `i` and `i+1`; a node with
+            // no matchers (the root) hosts everything in one flankless
+            // gap, which nothing can redesign.
+            let flanks = [
+                (old_node.matchers.get(g), new_node.matchers.get(g2)),
+                (old_node.matchers.get(g + 1), new_node.matchers.get(g2 + 1)),
+            ];
+            for (old_m, new_m) in flanks {
+                let preserved = match (old_m, new_m) {
+                    (Some(o), Some(n)) => o.token == n.token,
+                    (None, None) => true,
+                    _ => false,
+                };
+                if !preserved {
+                    return Err(RepairError::ContainerChanged);
+                }
+            }
+        }
+        child = a;
+        walk = old.template.nodes[a].parent;
+    }
+
+    // The record must still repeat if it used to.
+    let new_anchor = mapping.old_to_new[anchor].expect("checked matched");
+    if old.mapping.record_repeats
+        && new_tree.nodes[new_anchor].multiplicity != NodeMultiplicity::Repeating
+    {
+        return Err(RepairError::MultiplicityChanged);
+    }
+
+    // Patch the new template: carry stable ids and gap annotation
+    // histograms over the mapping. Unmatched new nodes get fresh ids
+    // above the old tree's maximum, in index order.
+    let mut next_fresh = old.template.max_stable_id() + 1;
+    let mut transferred_gaps = 0usize;
+    let mut remapped_paths = 0usize;
+    for n in 0..new_tree.nodes.len() {
+        match mapping.new_to_old[n] {
+            Some(o) => {
+                new_tree.nodes[n].stable_id = old.template.nodes[o].stable_id;
+                let alignment = align_of(o, &old.template, &new_tree);
+                for (j, mapped) in alignment.matcher_map.iter().enumerate() {
+                    if let Some(i) = mapped {
+                        if old.template.nodes[o].matchers[j].path
+                            != new_tree.nodes[n].matchers[*i].path
+                        {
+                            remapped_paths += 1;
+                        }
+                    }
+                }
+                for (j, mapped) in alignment.gap_map.iter().enumerate() {
+                    let Some(i) = *mapped else { continue };
+                    let histogram = old.template.nodes[o].gaps[j].annotations.clone();
+                    if histogram.is_empty() {
+                        continue;
+                    }
+                    let gap = &mut new_tree.nodes[n].gaps[i];
+                    for (t, c) in histogram {
+                        *gap.annotations.entry(t).or_insert(0) += c;
+                    }
+                    transferred_gaps += 1;
+                }
+            }
+            None => {
+                new_tree.nodes[n].stable_id = next_fresh;
+                next_fresh += 1;
+            }
+        }
+    }
+
+    // Re-target the SOD mapping through the node mapping.
+    let record = remap_tuple(
+        &old.mapping.record,
+        &old.template,
+        &new_tree,
+        &mapping,
+        &mut align_of,
+    )?;
+    let patched = Wrapper {
+        template: new_tree,
+        mapping: SodMapping {
+            record,
+            record_repeats: old.mapping.record_repeats,
+        },
+        object_name: old.object_name.clone(),
+        quality: old.quality,
+        conflict_splits: old.conflict_splits,
+        rounds: old.rounds,
+        support: old.support,
+    };
+
+    // The patched wrapper must actually work on the pages that
+    // triggered the repair.
+    let covered = docs
+        .iter()
+        .filter(|d| !patched.extract_document(d).is_empty())
+        .count();
+    let coverage = covered as f64 / docs.len() as f64;
+    if coverage < cfg.coverage_floor {
+        return Err(RepairError::CoverageBelowFloor {
+            coverage,
+            floor: cfg.coverage_floor,
+        });
+    }
+
+    Ok(RepairOutcome {
+        wrapper: patched,
+        report: RepairReport {
+            summary,
+            coverage,
+            remapped_paths,
+            transferred_gaps,
+            pruned_word_matchers,
+        },
+    })
+}
+
+/// Remove word matchers of `new_node` that the alignment places
+/// strictly inside a Data gap of `old_node`, merging the gaps around
+/// each removal. Returns how many matchers were demoted.
+fn prune_promoted_words(old_node: &TemplateNode, new_node: &mut TemplateNode) -> usize {
+    let alignment = align_matchers(old_node, new_node);
+    let mut remove: Vec<usize> = Vec::new();
+    for j in 0..old_node.gaps.len() {
+        if old_node.gaps[j].kind() != GapKind::Data {
+            continue;
+        }
+        let (Some(a), Some(b)) = (
+            alignment.matcher_map.get(j).copied().flatten(),
+            alignment.matcher_map.get(j + 1).copied().flatten(),
+        ) else {
+            continue;
+        };
+        for i in a + 1..b {
+            if matches!(new_node.matchers[i].token, PageToken::Word(_)) {
+                remove.push(i);
+            }
+        }
+    }
+    remove.sort_unstable();
+    remove.dedup();
+    // Every removal index is interior (strictly between two aligned
+    // matchers), so merging `gaps[i-1]` and `gaps[i]` is always valid.
+    for &i in remove.iter().rev() {
+        new_node.matchers.remove(i);
+        if !new_node.permutation.is_empty() {
+            new_node.permutation.remove(i);
+        }
+        let right = new_node.gaps.remove(i);
+        let left = &mut new_node.gaps[i - 1];
+        left.total_instances = left.total_instances.max(right.total_instances);
+        // The demoted word itself is data in every instance now.
+        left.data_instances = left.total_instances;
+        for (t, c) in right.annotations {
+            *left.annotations.entry(t).or_insert(0) += c;
+        }
+        left.children.extend(right.children);
+        left.samples.extend(right.samples);
+        left.samples.truncate(12);
+    }
+    remove.len()
+}
+
+/// Re-target one tuple mapping (recursively through repeated sets).
+fn remap_tuple(
+    t: &TupleMapping,
+    old_tree: &TemplateTree,
+    new_tree: &TemplateTree,
+    mapping: &TreeMapping,
+    align_of: &mut impl FnMut(usize, &TemplateTree, &TemplateTree) -> NodeAlignment,
+) -> Result<TupleMapping, RepairError> {
+    let remap_gap =
+        |g: &GapRef,
+         type_name: &str,
+         align_of: &mut dyn FnMut(usize, &TemplateTree, &TemplateTree) -> NodeAlignment|
+         -> Result<GapRef, RepairError> {
+            let n = mapping.old_to_new[g.node].ok_or(RepairError::NodeUnmatched {
+                stable_id: old_tree.nodes[g.node].stable_id,
+            })?;
+            let alignment = align_of(g.node, old_tree, new_tree);
+            let gap = alignment
+                .gap_map
+                .get(g.gap)
+                .copied()
+                .flatten()
+                .ok_or_else(|| RepairError::GapLost {
+                    type_name: type_name.to_owned(),
+                })?;
+            Ok(GapRef { node: n, gap })
+        };
+
+    let anchor = mapping.old_to_new[t.anchor].ok_or(RepairError::NodeUnmatched {
+        stable_id: old_tree.nodes[t.anchor].stable_id,
+    })?;
+    let atomics = t
+        .atomics
+        .iter()
+        .map(|(name, g)| Ok((name.clone(), remap_gap(g, name, align_of)?)))
+        .collect::<Result<Vec<_>, RepairError>>()?;
+    let sets = t
+        .sets
+        .iter()
+        .map(|s| match s {
+            SetMapping::Repeated { set_node, element } => {
+                let n = mapping.old_to_new[*set_node].ok_or(RepairError::NodeUnmatched {
+                    stable_id: old_tree.nodes[*set_node].stable_id,
+                })?;
+                if old_tree.nodes[*set_node].multiplicity == NodeMultiplicity::Repeating
+                    && new_tree.nodes[n].multiplicity != NodeMultiplicity::Repeating
+                {
+                    return Err(RepairError::MultiplicityChanged);
+                }
+                Ok(SetMapping::Repeated {
+                    set_node: n,
+                    element: remap_tuple(element, old_tree, new_tree, mapping, align_of)?,
+                })
+            }
+            SetMapping::Collapsed { type_name, gap } => Ok(SetMapping::Collapsed {
+                type_name: type_name.clone(),
+                gap: remap_gap(gap, type_name, align_of)?,
+            }),
+        })
+        .collect::<Result<Vec<_>, RepairError>>()?;
+    Ok(TupleMapping {
+        anchor,
+        atomics,
+        sets,
+        missing_optional: t.missing_optional.clone(),
+    })
 }
 
 #[cfg(test)]
@@ -226,5 +688,144 @@ mod tests {
         // Clean source: no conflict splits.
         assert_eq!(wrapper.conflict_splits, 0);
         assert!((wrapper.quality - 1.0).abs() < 0.25);
+    }
+
+    // ------------------------------------------------------- repair
+
+    /// Concert-shaped pages with *page-unique* values (like real
+    /// sites: only template tokens repeat across pages), with a
+    /// configurable cell tag and list-container tag. `page_offset`
+    /// keeps a second batch's values disjoint from the first's.
+    fn varied_pages(
+        counts: &[usize],
+        cell: &str,
+        list: &str,
+        page_offset: usize,
+    ) -> Vec<AnnotatedPage> {
+        counts
+            .iter()
+            .enumerate()
+            .map(|(p, &n)| {
+                let p = p + page_offset;
+                let recs: String = (0..n)
+                    .map(|i| {
+                        format!(
+                            "<li><{cell}>Band{p}x{i}</{cell}>\
+                             <{cell}>May {}{i}, 2010</{cell}></li>",
+                            p + 1
+                        )
+                    })
+                    .collect();
+                let mut page = AnnotatedPage {
+                    doc: parse(&format!("<body><{list}>{recs}</{list}></body>")),
+                    annotations: Map::new(),
+                };
+                let texts: Vec<_> = page
+                    .doc
+                    .descendants(page.doc.root())
+                    .filter(|&id| matches!(page.doc.node(id).kind, NodeKind::Text(_)))
+                    .collect();
+                for (idx, t) in texts.iter().enumerate() {
+                    let type_name = if idx % 2 == 0 { "artist" } else { "date" };
+                    page.annotations.insert(
+                        *t,
+                        vec![Annotation {
+                            type_name: type_name.to_owned(),
+                            confidence: 0.9,
+                        }],
+                    );
+                }
+                page
+            })
+            .collect()
+    }
+
+    /// Unannotated drifted documents for repair.
+    fn drifted_docs(counts: &[usize], cell: &str, list: &str) -> Vec<Document> {
+        varied_pages(counts, cell, list, 100)
+            .into_iter()
+            .map(|p| p.doc)
+            .collect()
+    }
+
+    fn induced() -> Wrapper {
+        let sample = varied_pages(&[2, 3, 1, 2], "div", "ul", 0);
+        generate_wrapper(&sample, &concert_sod(), &DiffConfig::default()).expect("wrapper")
+    }
+
+    #[test]
+    fn repair_absorbs_separator_drift() {
+        let wrapper = induced();
+        let docs = drifted_docs(&[2, 3, 1, 2, 2, 3], "p", "ul");
+        let outcome = repair_wrapper(&wrapper, &concert_sod(), &docs, &RepairConfig::default())
+            .expect("separator drift must repair");
+        assert!(outcome.report.coverage >= 0.99);
+        assert!(outcome.report.remapped_paths > 0, "paths must have shifted");
+
+        // The patched wrapper extracts from an unseen drifted page.
+        let unseen = parse("<body><ul><li><p>Metallica</p><p>May 11, 2010</p></li></ul></body>");
+        let objects = outcome.wrapper.extract_document(&unseen);
+        assert_eq!(objects.len(), 1);
+        assert_eq!(
+            objects[0].to_string(),
+            "concert{artist=\"Metallica\", date=\"May 11, 2010\"}"
+        );
+    }
+
+    #[test]
+    fn repair_is_identity_shaped_on_undrifted_pages() {
+        let wrapper = induced();
+        let docs = drifted_docs(&[2, 3, 1, 2, 2, 3], "div", "ul");
+        let outcome = repair_wrapper(&wrapper, &concert_sod(), &docs, &RepairConfig::default())
+            .expect("clean pages must repair trivially");
+        assert_eq!(outcome.report.remapped_paths, 0);
+        // Stable ids of mapped nodes survive.
+        let s = outcome.report.summary;
+        assert_eq!(s.unmatched_old, 0);
+        let old_ids: Vec<u64> = wrapper.template.nodes.iter().map(|n| n.stable_id).collect();
+        for node in &outcome.wrapper.template.nodes {
+            assert!(
+                old_ids.contains(&node.stable_id),
+                "node gained a fresh id on an undrifted tree"
+            );
+        }
+    }
+
+    #[test]
+    fn repair_declines_container_redesign() {
+        let wrapper = induced();
+        let docs = drifted_docs(&[2, 3, 1, 2, 2, 3], "p", "ol");
+        let err = repair_wrapper(&wrapper, &concert_sod(), &docs, &RepairConfig::default())
+            .expect_err("container redesign must fall back");
+        assert!(
+            matches!(
+                err,
+                RepairError::ContainerChanged | RepairError::NodeUnmatched { .. }
+            ),
+            "unexpected repair error: {err}"
+        );
+    }
+
+    #[test]
+    fn repair_declines_empty_sample() {
+        let wrapper = induced();
+        let err = repair_wrapper(&wrapper, &concert_sod(), &[], &RepairConfig::default())
+            .expect_err("empty sample");
+        assert!(matches!(err, RepairError::EmptySample));
+    }
+
+    #[test]
+    fn repaired_stable_ids_survive_while_fresh_nodes_get_new_ones() {
+        let wrapper = induced();
+        let max_old = wrapper.template.max_stable_id();
+        let docs = drifted_docs(&[2, 3, 1, 2, 2, 3], "p", "ul");
+        let outcome =
+            repair_wrapper(&wrapper, &concert_sod(), &docs, &RepairConfig::default()).expect("ok");
+        for (n, node) in outcome.wrapper.template.nodes.iter().enumerate() {
+            if node.stable_id > max_old {
+                // Fresh node: must not be one the mapping reads.
+                assert_ne!(n, outcome.wrapper.mapping.record.anchor);
+            }
+        }
     }
 }

@@ -1,19 +1,27 @@
-//! E10 — template-drift sweep: how much redesign can a stored wrapper
-//! absorb, when does the drift detector fire, and does re-induction
-//! recover full precision?
+//! E10/E12 — template-drift sweep: how much redesign can a stored
+//! wrapper absorb, when does the serving layer notice, and how much
+//! precision do its two recovery paths — tree-diff *repair* and full
+//! re-induction — get back?
 //!
 //! For three domains, a wrapper is induced on the clean template, then
 //! the *same objects* are re-rendered through drift strengths 0–1
 //! (`webgen::generate_drifted`). At each strength we report the mean
-//! per-page drift score, whether the serving layer would flag the
-//! wrapper stale (threshold 0.5), the cached wrapper's precision on
-//! the drifted pages, and the precision after re-inducing from them.
+//! per-page drift score, which staleness trigger fires (`drift` —
+//! mean score past 0.5 — or `silent` — most pages extract zero
+//! objects while scoring clean, the detector's former blind spot),
+//! the cached wrapper's precision on the drifted pages, the precision
+//! of the tree-diff-repaired wrapper (or `declined` when the patch
+//! refuses the tier), and the precision after full re-induction.
+//! A trailing `BLIND` marker calls out any row the serving layer
+//! would still sit on silently: zero cached precision with no
+//! trigger firing.
 //!
 //! Usage: `cargo run --release -p objectrunner-eval --bin drift_sweep [--stats-json]`
 
 use objectrunner_core::matching::drift_score;
 use objectrunner_core::pipeline::{extract_only, Pipeline, PipelineConfig};
 use objectrunner_core::sample::SampleConfig;
+use objectrunner_core::wrapper::{repair_wrapper, RepairConfig};
 use objectrunner_eval::classify::{classify_source, ExtractedObject};
 use objectrunner_eval::runners::instance_to_object;
 use objectrunner_sod::Instance;
@@ -21,6 +29,9 @@ use objectrunner_webgen::{generate_drifted, generate_site, knowledge, Domain, Pa
 
 const STRENGTHS: [f64; 6] = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
 const THRESHOLD: f64 = 0.5;
+/// Mirror of `ServeConfig::empty_page_threshold`: the silent-miss
+/// trigger fires when this fraction of pages extracts nothing.
+const EMPTY_PAGE_THRESHOLD: f64 = 0.8;
 
 fn pipeline_for(domain: Domain) -> Pipeline {
     let config = PipelineConfig {
@@ -43,10 +54,13 @@ fn to_objects(per_page: &[Vec<Instance>], domain: Domain) -> Vec<Vec<ExtractedOb
 
 fn main() {
     objectrunner_eval::parse_stats_json_flag(std::env::args().skip(1).collect());
-    println!("E10 — TEMPLATE-DRIFT SWEEP (threshold {THRESHOLD})");
     println!(
-        "{:<14} {:>9} {:>7} {:>7} {:>10} {:>12}",
-        "Domain", "strength", "drift", "stale", "Pc cached", "Pc reinduced"
+        "E10/E12 — TEMPLATE-DRIFT SWEEP (drift threshold {THRESHOLD}, \
+         silent-miss threshold {EMPTY_PAGE_THRESHOLD})"
+    );
+    println!(
+        "{:<14} {:>9} {:>7} {:>8} {:>10} {:>12} {:>13}",
+        "Domain", "strength", "drift", "trigger", "Pc cached", "Pc repaired", "Pc reinduced"
     );
 
     for (i, domain) in [Domain::Concerts, Domain::Books, Domain::Cars]
@@ -95,7 +109,18 @@ fn main() {
                 .map(|d| drift_score(&wrapper.template, &wrapper.mapping, d).score())
                 .sum::<f64>()
                 / cached.docs.len() as f64;
-            let stale = mean_drift >= THRESHOLD;
+            let empty_fraction = cached.per_page.iter().filter(|p| p.is_empty()).count() as f64
+                / cached.per_page.len() as f64;
+            let drift_stale = mean_drift >= THRESHOLD;
+            let silent_stale = !drift_stale && empty_fraction >= EMPTY_PAGE_THRESHOLD;
+            let stale = drift_stale || silent_stale;
+            let trigger = if drift_stale {
+                "drift"
+            } else if silent_stale {
+                "silent"
+            } else {
+                "no"
+            };
             if objectrunner_eval::stats_json_enabled() {
                 println!(
                     "{}",
@@ -110,7 +135,37 @@ fn main() {
             let cached_pc =
                 classify_source(&drifted, &to_objects(&cached.per_page, domain), false).pc();
 
-            // The serving layer's repair: re-induce from the drifted
+            // The serving layer's cheap recovery: tree-diff repair of
+            // the stored wrapper against the drifted template.
+            let repaired_pc = if stale {
+                match repair_wrapper(
+                    &wrapper,
+                    &domain.sod(),
+                    &cached.docs,
+                    &RepairConfig::default(),
+                ) {
+                    Ok(outcome) => {
+                        let per_page = extract_only(
+                            &outcome.wrapper,
+                            main_block.as_ref(),
+                            &clean_opts,
+                            &drifted.pages,
+                            None,
+                        )
+                        .per_page;
+                        format!(
+                            "{:>12.2}",
+                            classify_source(&drifted, &to_objects(&per_page, domain), false).pc()
+                                * 100.0
+                        )
+                    }
+                    Err(_) => format!("{:>12}", "declined"),
+                }
+            } else {
+                format!("{:>12}", "—")
+            };
+
+            // The expensive fallback: re-induce from the drifted
             // pages themselves (only meaningful once flagged stale).
             let reinduced_pc = if stale {
                 let repaired = pipeline_for(domain)
@@ -132,12 +187,19 @@ fn main() {
                 format!("{:>12}", "—")
             };
 
+            // A blind-spot row: the serving layer would keep serving
+            // this wrapper (no trigger) while it extracts nothing.
+            let blind = if !stale && cached_pc == 0.0 && strength > 0.0 {
+                "  BLIND"
+            } else {
+                ""
+            };
             println!(
-                "{:<14} {:>9.2} {:>7.2} {:>7} {:>10.2} {reinduced_pc}",
+                "{:<14} {:>9.2} {:>7.2} {:>8} {:>10.2} {repaired_pc} {reinduced_pc}{blind}",
                 domain.name(),
                 strength,
                 mean_drift,
-                if stale { "yes" } else { "no" },
+                trigger,
                 cached_pc * 100.0,
             );
         }

@@ -54,7 +54,9 @@ const HELP: &str = "\
 objectrunner-serve — wrapper-serving daemon (line-delimited JSON)
 
 USAGE:
-  objectrunner-serve [--store DIR] [--threshold F] [--threads N] [--listen ADDR]
+  objectrunner-serve [--store DIR] [--threshold F] [--min-reinduce-pages N] \\
+                     [--repair-floor F] [--empty-page-threshold F] \\
+                     [--threads N] [--listen ADDR]
   objectrunner-serve seed-corpus --domain D --name NAME --out DIR \\
                      [--seed N] [--pages N] [--style K] [--drift S]
   objectrunner-serve extract-file --wrapper FILE --pages DIR
@@ -65,6 +67,14 @@ PROTOCOL (one JSON object per line on stdin; one response per line):
   {\"cmd\":\"extract\",\"source\":S,\"pages\":[..]|\"dir\":PATH}
   {\"cmd\":\"status\"}     (uptime, per-source state + metrics section)
   {\"cmd\":\"trace\",\"limit\":N}  (span trees of the last N requests)
+
+LIFECYCLE FLAGS (echoed back under status.config):
+  --threshold F             mean per-page drift at which a wrapper goes stale (0.5)
+  --min-reinduce-pages N    buffered pages required before repair/re-induction (6)
+  --repair-floor F          min fraction of buffered pages a tree-diff-repaired
+                            wrapper must extract on, else full re-induction (0.5)
+  --empty-page-threshold F  fraction of zero-extraction pages that flags a
+                            low-drift batch stale anyway (silent miss, 0.8)
 
 Every response echoes a \"trace\" id joinable against the trace command.
 ";
@@ -87,6 +97,33 @@ fn serve(args: &[String]) -> i32 {
             Ok(v) => config.drift_threshold = v,
             Err(_) => {
                 eprintln!("bad --threshold '{t}'");
+                return 2;
+            }
+        }
+    }
+    if let Some(n) = flag(args, "--min-reinduce-pages") {
+        match n.parse() {
+            Ok(v) => config.min_reinduce_pages = v,
+            Err(_) => {
+                eprintln!("bad --min-reinduce-pages '{n}'");
+                return 2;
+            }
+        }
+    }
+    if let Some(f) = flag(args, "--repair-floor") {
+        match f.parse() {
+            Ok(v) => config.repair_floor = v,
+            Err(_) => {
+                eprintln!("bad --repair-floor '{f}'");
+                return 2;
+            }
+        }
+    }
+    if let Some(f) = flag(args, "--empty-page-threshold") {
+        match f.parse() {
+            Ok(v) => config.empty_page_threshold = v,
+            Err(_) => {
+                eprintln!("bad --empty-page-threshold '{f}'");
                 return 2;
             }
         }

@@ -32,24 +32,41 @@
 //! Every cached extraction computes the fraction of wrapper slots
 //! (the separator matchers the SOD mapping reads) that fail to align
 //! on each page (`core::matching::drift_score`). Pages at or above
-//! [`ServeConfig::drift_threshold`] enter a bounded buffer. When a
-//! batch's mean drift crosses the threshold the wrapper is flagged
-//! **stale**; once the buffer holds [`ServeConfig::min_reinduce_pages`]
-//! drifted pages, the service re-induces *from those pages only* —
-//! mixing clean and drifted pages would hand the sampler two templates
-//! at once — bumps the stored revision, persists, and replays the
-//! current batch through the repaired wrapper.
+//! [`ServeConfig::drift_threshold`] enter a bounded buffer. A wrapper
+//! goes **stale** on either of two signals:
+//!
+//! * the batch's mean drift crosses the threshold, or
+//! * the *silent miss*: at least
+//!   [`ServeConfig::empty_page_threshold`] of the batch's pages
+//!   extract zero objects while drift stays low — record-level markup
+//!   changed without touching the separator slots the score watches.
+//!
+//! Once the buffer holds [`ServeConfig::min_reinduce_pages`] suspect
+//! pages, the service tries the cheap path first: **tree-diff repair**
+//! (`core::repair_wrapper`) patches the stored wrapper's matcher
+//! paths, gap roles and annotation histograms through a GumTree-style
+//! node mapping against the drifted template — no induction stages
+//! run. A successful repair bumps the revision, records its
+//! [`objectrunner_store::RepairProvenance`], persists, and flips the
+//! state to **repaired**. When the repair is declined (container
+//! redesign, lost gap, extraction coverage under
+//! [`ServeConfig::repair_floor`]) the service falls back loudly to
+//! full re-induction *from the buffered pages only* — mixing clean
+//! and drifted pages would hand the sampler two templates at once —
+//! and flips to **reinduced**. Either way the current batch is
+//! replayed through the new wrapper.
 
 use objectrunner_core::annotate::Annotator;
 use objectrunner_core::matching::drift_score;
 use objectrunner_core::pipeline::{extract_only_with, Pipeline, PipelineConfig};
 use objectrunner_core::sample::SampleConfig;
+use objectrunner_core::wrapper::{repair_wrapper, RepairConfig};
 use objectrunner_obs::{
     Clock, HistogramSnapshot, Obs, Span, SpanRecord, DEFAULT_SPAN_CAPACITY, DRIFT_BUCKETS_MILLI,
     LATENCY_BUCKETS_MICROS,
 };
 use objectrunner_sod::Instance;
-use objectrunner_store::{load_file, save_file, Json, StoredWrapper};
+use objectrunner_store::{load_file, save_file, Json, RepairProvenance, StoredWrapper};
 use objectrunner_webgen::knowledge::recognizers_for;
 use objectrunner_webgen::Domain;
 use std::collections::{BTreeMap, VecDeque};
@@ -67,6 +84,16 @@ pub struct ServeConfig {
     pub buffer_pages: usize,
     /// Drifted pages required before re-induction fires.
     pub min_reinduce_pages: usize,
+    /// Minimum fraction of the buffered pages a *repaired* wrapper
+    /// must extract on; below it the repair is rejected and the
+    /// service falls back to full re-induction.
+    pub repair_floor: f64,
+    /// Fraction of a batch's pages extracting *zero* objects at or
+    /// above which the wrapper is flagged stale even though drift
+    /// stayed under the threshold (the silent-miss trigger: record
+    /// markup can change without touching the separator slots the
+    /// drift score watches).
+    pub empty_page_threshold: f64,
     /// Recognizer coverage for (re-)induction.
     pub coverage: f64,
     /// Sample size k for (re-)induction.
@@ -82,6 +109,8 @@ impl Default for ServeConfig {
             drift_threshold: 0.5,
             buffer_pages: 32,
             min_reinduce_pages: 6,
+            repair_floor: 0.5,
+            empty_page_threshold: 0.8,
             coverage: 0.2,
             sample_size: 12,
             threads: None,
@@ -96,6 +125,9 @@ pub enum WrapperState {
     Fresh,
     /// Drift crossed the threshold; awaiting enough buffered pages.
     Stale,
+    /// Patched by tree-diff repair since it was last stale — the
+    /// cheap path: no induction stages ran.
+    Repaired,
     /// Re-induced from drifted pages since it was last stale.
     Reinduced,
 }
@@ -105,6 +137,7 @@ impl WrapperState {
         match self {
             WrapperState::Fresh => "fresh",
             WrapperState::Stale => "stale",
+            WrapperState::Repaired => "repaired",
             WrapperState::Reinduced => "reinduced",
         }
     }
@@ -342,6 +375,7 @@ impl Service {
             wrapper: outcome.wrapper,
             main_block: outcome.main_block,
             clean,
+            repair: None,
         };
         Ok((stored, outcome.objects, outcome.stats.to_json()))
     }
@@ -491,9 +525,21 @@ impl Service {
             );
         }
 
-        // Buffer the drifted pages (bounded, oldest evicted).
-        for (page, &score) in pages.iter().zip(scores.iter()) {
-            if score >= threshold {
+        // Second staleness signal: the silent miss. Record-level
+        // markup can change without touching the separator slots the
+        // drift score watches — pages then score clean but extract
+        // nothing. A batch whose empty-page fraction crosses the
+        // threshold is as stale as a drifted one.
+        let empty_pages = outcome.per_page.iter().filter(|p| p.is_empty()).count();
+        let empty_fraction = empty_pages as f64 / outcome.per_page.len() as f64;
+        let silent_miss =
+            mean_drift < threshold && empty_fraction >= self.config.empty_page_threshold;
+
+        // Buffer the suspect pages (bounded, oldest evicted): drifted
+        // pages always, and the zero-extraction pages of a silent-miss
+        // batch — those are the only evidence of the new template.
+        for (i, (page, &score)) in pages.iter().zip(scores.iter()).enumerate() {
+            if score >= threshold || (silent_miss && outcome.per_page[i].is_empty()) {
                 if entry.buffer.len() == self.config.buffer_pages {
                     entry.buffer.pop_front();
                 }
@@ -501,18 +547,32 @@ impl Service {
             }
         }
 
-        if mean_drift >= threshold && entry.state != WrapperState::Stale {
-            entry.drift_events += 1;
-            entry.state = WrapperState::Stale;
-            self.obs
-                .counter_add("objectrunner.serve.drift.stale_transitions", 1);
-            entry.log.push(format!(
-                "stale: mean drift {mean_drift:.2} >= {threshold:.2} on revision {}",
-                entry.stored.revision
-            ));
+        if entry.state != WrapperState::Stale {
+            if mean_drift >= threshold {
+                entry.drift_events += 1;
+                entry.state = WrapperState::Stale;
+                self.obs
+                    .counter_add("objectrunner.serve.drift.stale_transitions", 1);
+                entry.log.push(format!(
+                    "stale: mean drift {mean_drift:.2} >= {threshold:.2} on revision {}",
+                    entry.stored.revision
+                ));
+            } else if silent_miss {
+                entry.drift_events += 1;
+                entry.state = WrapperState::Stale;
+                self.obs
+                    .counter_add("objectrunner.serve.drift.silent_miss_transitions", 1);
+                entry.log.push(format!(
+                    "stale (silent miss): {empty_pages}/{} pages extracted nothing at \
+                     drift {mean_drift:.2} on revision {}",
+                    outcome.per_page.len(),
+                    entry.stored.revision
+                ));
+            }
         }
 
         let mut reinduced = false;
+        let mut repaired_now = false;
         let mut response_outcome = outcome;
         let mut response_drift = mean_drift;
         if entry.state == WrapperState::Stale
@@ -524,26 +584,118 @@ impl Service {
                 None => return err(&format!("stored domain '{}' unknown", entry.stored.domain)),
             };
             let revision = entry.stored.revision + 1;
-            match self.induce_wrapper(&source, domain, revision, &buffered, span) {
-                Ok((stored, _, _)) => {
+            let stored_old = entry.stored.clone();
+
+            // Repair first: patch the stored wrapper through a tree
+            // diff against the drifted template — no induction stages.
+            // Only when the patch is declined (container redesign, a
+            // lost gap, coverage under the floor) does the full
+            // re-induction pipeline run.
+            self.obs
+                .counter_add("objectrunner.serve.repair.attempts", 1);
+            let mut repair_span = match trace_context {
+                Some((t, p)) => self.obs.span_in(t, p, "serve.repair"),
+                None => self.obs.trace("serve.repair"),
+            };
+            let repair_context = Some(repair_span.context()).filter(|_| repair_span.is_enabled());
+            let prepared = extract_only_with(
+                &stored_old.wrapper,
+                stored_old.main_block.as_ref(),
+                &stored_old.clean,
+                &buffered,
+                threads,
+                &self.obs,
+                repair_context,
+            );
+            let repair_cfg = RepairConfig {
+                coverage_floor: self.config.repair_floor,
+                ..RepairConfig::default()
+            };
+            let repair = repair_wrapper(
+                &stored_old.wrapper,
+                &stored_old.sod,
+                &prepared.docs,
+                &repair_cfg,
+            );
+            match &repair {
+                Ok(r) => {
+                    repair_span.attr_str("outcome", "repaired");
+                    repair_span.attr_f64("coverage", r.report.coverage);
+                    repair_span.attr_u64("remapped_paths", r.report.remapped_paths as u64);
+                }
+                Err(e) => {
+                    repair_span.attr_str("outcome", "declined");
+                    repair_span.attr_str("reason", &e.to_string());
+                }
+            }
+            repair_span.finish();
+
+            let mut decline_note: Option<String> = None;
+            let attempt: Result<(StoredWrapper, String, WrapperState), String> = match repair {
+                Ok(r) => {
+                    self.obs
+                        .counter_add("objectrunner.serve.repair.successes", 1);
+                    let s = r.report.summary;
+                    let stored = StoredWrapper {
+                        revision,
+                        wrapper: r.wrapper,
+                        repair: Some(RepairProvenance {
+                            repaired_from: stored_old.revision,
+                            matched_exact: s.matched_exact,
+                            matched_container: s.matched_container,
+                            unmatched_old: s.unmatched_old,
+                            unmatched_new: s.unmatched_new,
+                        }),
+                        ..stored_old
+                    };
+                    let line = format!(
+                        "repaired: revision {revision} from {} buffered pages \
+                         ({} exact + {} container node matches, {} paths remapped, \
+                         coverage {:.2})",
+                        buffered.len(),
+                        s.matched_exact,
+                        s.matched_container,
+                        r.report.remapped_paths,
+                        r.report.coverage,
+                    );
+                    Ok((stored, line, WrapperState::Repaired))
+                }
+                Err(reason) => {
+                    self.obs
+                        .counter_add("objectrunner.serve.repair.fallbacks", 1);
+                    decline_note = Some(format!("repair declined ({reason}); re-inducing"));
+                    self.induce_wrapper(&source, domain, revision, &buffered, span)
+                        .map(|(stored, _, _)| {
+                            self.obs.counter_add("objectrunner.serve.reinductions", 1);
+                            let line = format!(
+                                "reinduced: revision {revision} from {} buffered pages",
+                                buffered.len()
+                            );
+                            (stored, line, WrapperState::Reinduced)
+                        })
+                }
+            };
+
+            match attempt {
+                Ok((stored, line, new_state)) => {
                     if let Err(e) = self.persist(&stored) {
                         return err(&e);
                     }
-                    self.obs.counter_add("objectrunner.serve.reinductions", 1);
                     self.obs.gauge_set(
                         &format!("objectrunner.serve.revision.{source}"),
                         revision as i64,
                     );
                     let entry = self.sources.get_mut(&source).expect("warmed");
+                    if let Some(note) = decline_note.take() {
+                        entry.log.push(note);
+                    }
                     entry.stored = stored;
-                    entry.state = WrapperState::Reinduced;
+                    entry.state = new_state;
                     entry.buffer.clear();
-                    entry.log.push(format!(
-                        "reinduced: revision {revision} from {} buffered pages",
-                        buffered.len()
-                    ));
-                    reinduced = true;
-                    // Replay the batch through the repaired wrapper.
+                    entry.log.push(line);
+                    reinduced = new_state == WrapperState::Reinduced;
+                    repaired_now = new_state == WrapperState::Repaired;
+                    // Replay the batch through the patched wrapper.
                     response_outcome = extract_only_with(
                         &entry.stored.wrapper,
                         entry.stored.main_block.as_ref(),
@@ -553,7 +705,7 @@ impl Service {
                         &self.obs,
                         trace_context,
                     );
-                    let repaired: Vec<f64> = response_outcome
+                    let replay: Vec<f64> = response_outcome
                         .docs
                         .iter()
                         .map(|doc| {
@@ -565,10 +717,13 @@ impl Service {
                             .score()
                         })
                         .collect();
-                    response_drift = repaired.iter().sum::<f64>() / repaired.len() as f64;
+                    response_drift = replay.iter().sum::<f64>() / replay.len() as f64;
                 }
                 Err(e) => {
                     let entry = self.sources.get_mut(&source).expect("warmed");
+                    if let Some(note) = decline_note.take() {
+                        entry.log.push(note);
+                    }
                     entry
                         .log
                         .push(format!("re-induction failed (still stale): {e}"));
@@ -593,6 +748,7 @@ impl Service {
             ("revision".into(), Json::int(entry.stored.revision as i64)),
             ("state".into(), Json::str(entry.state.as_str())),
             ("drift".into(), Json::Float(response_drift)),
+            ("repaired".into(), Json::Bool(repaired_now)),
             ("reinduced".into(), Json::Bool(reinduced)),
             ("count".into(), Json::int(objects.len())),
             (
@@ -625,6 +781,19 @@ impl Service {
                     ("drift_events".into(), Json::int(e.drift_events as i64)),
                     ("buffered".into(), Json::int(e.buffer.len())),
                     (
+                        "repair".into(),
+                        match &e.stored.repair {
+                            Some(p) => Json::Obj(vec![
+                                ("repaired_from".into(), Json::int(p.repaired_from as i64)),
+                                ("matched_exact".into(), Json::int(p.matched_exact)),
+                                ("matched_container".into(), Json::int(p.matched_container)),
+                                ("unmatched_old".into(), Json::int(p.unmatched_old)),
+                                ("unmatched_new".into(), Json::int(p.unmatched_new)),
+                            ]),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
                         "last_activity_unix_micros".into(),
                         Json::int(e.last_activity_wall),
                     ),
@@ -642,6 +811,28 @@ impl Service {
             (
                 "uptime_micros".into(),
                 Json::int(now_mono.saturating_sub(self.start_mono)),
+            ),
+            (
+                // Echo of the tunable lifecycle knobs (CLI flags), so
+                // an operator can read a daemon's effective thresholds
+                // off a status probe.
+                "config".into(),
+                Json::Obj(vec![
+                    (
+                        "drift_threshold".into(),
+                        Json::Float(self.config.drift_threshold),
+                    ),
+                    ("buffer_pages".into(), Json::int(self.config.buffer_pages)),
+                    (
+                        "min_reinduce_pages".into(),
+                        Json::int(self.config.min_reinduce_pages),
+                    ),
+                    ("repair_floor".into(), Json::Float(self.config.repair_floor)),
+                    (
+                        "empty_page_threshold".into(),
+                        Json::Float(self.config.empty_page_threshold),
+                    ),
+                ]),
             ),
             ("sources".into(), Json::Arr(sources)),
             ("metrics".into(), self.metrics_section()),
@@ -706,6 +897,23 @@ impl Service {
             (
                 "reinductions".into(),
                 Json::int(snap.counter("objectrunner.serve.reinductions")),
+            ),
+            (
+                "repair".into(),
+                Json::Obj(vec![
+                    (
+                        "attempts".into(),
+                        Json::int(snap.counter("objectrunner.serve.repair.attempts")),
+                    ),
+                    (
+                        "successes".into(),
+                        Json::int(snap.counter("objectrunner.serve.repair.successes")),
+                    ),
+                    (
+                        "fallbacks".into(),
+                        Json::int(snap.counter("objectrunner.serve.repair.fallbacks")),
+                    ),
+                ]),
             ),
         ])
     }

@@ -276,3 +276,174 @@ fn malformed_requests_get_error_responses() {
         assert!(json.get("error").and_then(Json::as_str).is_some());
     }
 }
+
+/// Separator-tier drift (cell tags change, the container chain holds):
+/// the stale wrapper must be *repaired* — patched through the tree
+/// diff, no induction stages — and the repaired extraction must be
+/// byte-identical to a full re-induction on the drifted pages.
+#[test]
+fn separator_drift_is_repaired_without_reinduction() {
+    let dir = scratch_dir("repair");
+    let mut service = Service::new(config(dir.clone()));
+
+    let mut spec = SiteSpec::clean("concerts-sep", Domain::Concerts, PageKind::List, 15, 17_100);
+    spec.style = 0;
+    let clean = generate_site(&spec);
+    let drifted = generate_drifted(&spec, 0.25);
+
+    respond(
+        &mut service,
+        &request("induce", "concerts-sep", Some("concerts"), &clean.pages),
+    );
+    let extract = respond(
+        &mut service,
+        &request("extract", "concerts-sep", None, &drifted.pages),
+    );
+    assert_eq!(
+        extract.get("state").and_then(Json::as_str),
+        Some("repaired")
+    );
+    assert_eq!(extract.get("repaired").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        extract.get("reinduced").and_then(Json::as_bool),
+        Some(false)
+    );
+    assert_eq!(extract.get("revision").and_then(Json::as_i64), Some(2));
+
+    // The whole request — repair included — ran no induction stage.
+    let stages = stage_names(&extract);
+    for absent in ["annotate", "sample", "wrap"] {
+        assert!(
+            !stages.contains(&absent.to_owned()),
+            "{absent} ran on the repair path"
+        );
+    }
+
+    // Byte-identical to a fresh induction on the drifted pages.
+    let pipeline_config = PipelineConfig {
+        sample: SampleConfig {
+            sample_size: 12,
+            ..SampleConfig::default()
+        },
+        threads: Some(2),
+        ..PipelineConfig::default()
+    };
+    let fresh = Pipeline::new(
+        Domain::Concerts.sod(),
+        recognizers_for(Domain::Concerts, 0.2),
+    )
+    .with_config(pipeline_config)
+    .run_on_html(&drifted.pages)
+    .expect("fresh induction on drifted pages");
+    let fresh_lines: Vec<String> = fresh
+        .objects
+        .iter()
+        .map(|o| instance_json(o).render())
+        .collect();
+    assert_eq!(object_lines(&extract), fresh_lines);
+
+    // Status carries the provenance and the transition log.
+    let status = respond(&mut service, "{\"cmd\":\"status\"}");
+    let entry = &status.get("sources").and_then(Json::as_arr).unwrap()[0];
+    assert_eq!(entry.get("state").and_then(Json::as_str), Some("repaired"));
+    let provenance = entry.get("repair").expect("repair provenance");
+    assert_eq!(
+        provenance.get("repaired_from").and_then(Json::as_i64),
+        Some(1)
+    );
+    let log_text = entry
+        .get("log")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(Json::as_str)
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        log_text.contains("repaired:"),
+        "missing repair transition: {log_text}"
+    );
+    assert!(
+        !log_text.contains("reinduced:"),
+        "re-induction ran on a repairable tier: {log_text}"
+    );
+    // The config echo names the knobs an operator can tune.
+    let cfg = status.get("config").expect("config echo");
+    assert_eq!(cfg.get("drift_threshold").and_then(Json::as_f64), Some(0.5));
+    assert_eq!(
+        cfg.get("min_reinduce_pages").and_then(Json::as_i64),
+        Some(6)
+    );
+    assert_eq!(cfg.get("repair_floor").and_then(Json::as_f64), Some(0.5));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The drift detector's blind spot (E10): at strength 0.50 the Books
+/// and Cars record markup changes *inside* the records, so the
+/// separator slots still align — drift stays under the threshold —
+/// while extraction silently returns nothing. The emptiness signal
+/// must flag the wrapper stale anyway and recover in the same request.
+#[test]
+fn silent_misses_trigger_staleness_despite_low_drift() {
+    for (domain, name, seed) in [
+        (Domain::Books, "books-blind", 17_101u64),
+        (Domain::Cars, "cars-blind", 17_102u64),
+    ] {
+        let dir = scratch_dir(name);
+        let mut service = Service::new(config(dir.clone()));
+        let mut spec = SiteSpec::clean(name, domain, PageKind::List, 15, seed);
+        spec.style = 0;
+        let clean = generate_site(&spec);
+        let drifted = generate_drifted(&spec, 0.50);
+
+        respond(
+            &mut service,
+            &request(
+                "induce",
+                name,
+                Some(&domain.name().to_lowercase()),
+                &clean.pages,
+            ),
+        );
+        let extract = respond(
+            &mut service,
+            &request("extract", name, None, &drifted.pages),
+        );
+
+        // Drift alone would not have fired (the E10 blind-spot rows).
+        assert!(
+            extract.get("drift").and_then(Json::as_f64).unwrap() < 0.5
+                || extract.get("repaired").and_then(Json::as_bool) == Some(true)
+                || extract.get("reinduced").and_then(Json::as_bool) == Some(true),
+        );
+        // Non-silent handling: the wrapper must not sit "fresh" while
+        // extracting nothing.
+        let state = extract.get("state").and_then(Json::as_str).unwrap();
+        assert!(
+            state == "repaired" || state == "reinduced",
+            "{name}: blind-spot drift left state '{state}'"
+        );
+        assert!(
+            extract.get("count").and_then(Json::as_i64).unwrap() > 0,
+            "{name}: no objects recovered from the blind-spot tier"
+        );
+
+        let status = respond(&mut service, "{\"cmd\":\"status\"}");
+        let entry = &status.get("sources").and_then(Json::as_arr).unwrap()[0];
+        let log_text = entry
+            .get("log")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            log_text.contains("stale (silent miss)"),
+            "{name}: emptiness trigger did not fire: {log_text}"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -11,8 +11,8 @@
 //! File layout:
 //!
 //! ```text
-//! ORWRAP v1 <payload-bytes> <fnv64-hex>\n      ← checksummed header
-//! {"format_version":1, ...}                    ← JSON payload
+//! ORWRAP v2 <payload-bytes> <fnv64-hex>\n      ← checksummed header
+//! {"format_version":2, ...}                    ← JSON payload
 //! ```
 //!
 //! The header carries the format version and an FNV-1a/64 checksum of
@@ -28,6 +28,11 @@
 //!   extraction, drift scoring and SOD re-validation only read the
 //!   matchers, multiplicities, gaps and mapping;
 //! * timestamps of any kind — equal wrappers must produce equal bytes.
+//!
+//! Version history: v1 had no per-node stable ids and no repair
+//! provenance. v1 files still **load** (stable ids are synthesized as
+//! the node index, provenance as `None`) but are always re-saved as
+//! v2 — `save` emits only the current version.
 
 use crate::json::Json;
 use objectrunner_core::matching::{GapRef, SetMapping, SodMapping, TupleMapping};
@@ -39,7 +44,10 @@ use objectrunner_sod::{Multiplicity, Sod, SodNode};
 use std::path::Path;
 
 /// Current format version; bumped on any incompatible payload change.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest version `load` still understands.
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
 
 /// Header magic.
 const MAGIC: &str = "ORWRAP";
@@ -63,6 +71,28 @@ pub struct StoredWrapper {
     pub main_block: Option<MainBlockChoice>,
     /// Cleaning options the wrapper's pages were prepared with.
     pub clean: CleanOptions,
+    /// How this revision was produced: `None` for fresh induction,
+    /// `Some` when it was patched out of a previous revision by
+    /// tree-diff repair.
+    pub repair: Option<RepairProvenance>,
+}
+
+/// Provenance recorded when a wrapper revision was produced by
+/// tree-diff repair (`core::wrapper::repair_wrapper`) rather than
+/// fresh induction: which revision was patched and a summary of the
+/// template-tree node mapping the patch went through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairProvenance {
+    /// Revision the patch was computed against.
+    pub repaired_from: u64,
+    /// Old-template nodes matched isomorphically (top-down pass).
+    pub matched_exact: usize,
+    /// Old-template nodes matched by dice similarity (bottom-up pass).
+    pub matched_container: usize,
+    /// Old-template nodes with no counterpart in the new template.
+    pub unmatched_old: usize,
+    /// New-template nodes with no counterpart in the old template.
+    pub unmatched_new: usize,
 }
 
 /// Load/save failures.
@@ -197,12 +227,26 @@ fn payload_json(stored: &StoredWrapper) -> Json {
         ("source".into(), Json::str(&stored.source)),
         ("domain".into(), Json::str(&stored.domain)),
         ("revision".into(), Json::int(stored.revision as i64)),
+        ("repair".into(), repair_json(&stored.repair)),
         ("sod".into(), sod_node_json(stored.sod.root())),
         ("clean".into(), clean_json(&stored.clean)),
         ("main_block".into(), main_block),
         ("paths".into(), paths.rows_json()),
         ("wrapper".into(), wrapper),
     ])
+}
+
+fn repair_json(repair: &Option<RepairProvenance>) -> Json {
+    match repair {
+        None => Json::Null,
+        Some(r) => Json::Obj(vec![
+            ("repaired_from".into(), Json::int(r.repaired_from as i64)),
+            ("matched_exact".into(), Json::int(r.matched_exact)),
+            ("matched_container".into(), Json::int(r.matched_container)),
+            ("unmatched_old".into(), Json::int(r.unmatched_old)),
+            ("unmatched_new".into(), Json::int(r.unmatched_new)),
+        ]),
+    }
 }
 
 fn token_json(token: PageToken) -> Json {
@@ -325,6 +369,7 @@ fn template_node_json(node: &TemplateNode, paths: &mut PathTable) -> Json {
             "class".into(),
             node.class.map(Json::int).unwrap_or(Json::Null),
         ),
+        ("sid".into(), Json::int(node.stable_id as i64)),
         ("mult".into(), Json::str(mult)),
         ("matchers".into(), matchers),
         ("gaps".into(), gaps),
@@ -439,7 +484,7 @@ pub fn load(data: &str) -> Result<StoredWrapper, StoreError> {
         .and_then(|v| v.strip_prefix('v'))
         .and_then(|v| v.parse().ok())
         .ok_or(StoreError::BadHeader)?;
-    if version != FORMAT_VERSION {
+    if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion(version));
     }
     let declared_len: usize = parts
@@ -506,7 +551,7 @@ fn bool_field(json: &Json, key: &str) -> Result<bool, StoreError> {
 
 fn payload_from_json(json: &Json) -> Result<StoredWrapper, StoreError> {
     let payload_version = usize_field(json, "format_version")? as u32;
-    if payload_version != FORMAT_VERSION {
+    if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&payload_version) {
         return Err(StoreError::UnsupportedVersion(payload_version));
     }
 
@@ -527,7 +572,7 @@ fn payload_from_json(json: &Json) -> Result<StoredWrapper, StoreError> {
     }
 
     let wrapper_json = field(json, "wrapper")?;
-    let template = template_from_json(field(wrapper_json, "template")?, &paths)?;
+    let template = template_from_json(field(wrapper_json, "template")?, &paths, payload_version)?;
     let mapping = sod_mapping_from_json(field(wrapper_json, "mapping")?)?;
     let wrapper = Wrapper {
         template,
@@ -546,6 +591,12 @@ fn payload_from_json(json: &Json) -> Result<StoredWrapper, StoreError> {
         mb => Some(main_block_from_json(mb, &paths)?),
     };
 
+    // `repair` was introduced in v2; absent in v1 payloads.
+    let repair = match json.get("repair") {
+        None | Some(Json::Null) => None,
+        Some(r) => Some(repair_from_json(r)?),
+    };
+
     Ok(StoredWrapper {
         source: str_field(json, "source")?,
         domain: str_field(json, "domain")?,
@@ -554,6 +605,17 @@ fn payload_from_json(json: &Json) -> Result<StoredWrapper, StoreError> {
         wrapper,
         main_block,
         clean: clean_from_json(field(json, "clean")?)?,
+        repair,
+    })
+}
+
+fn repair_from_json(json: &Json) -> Result<RepairProvenance, StoreError> {
+    Ok(RepairProvenance {
+        repaired_from: usize_field(json, "repaired_from")? as u64,
+        matched_exact: usize_field(json, "matched_exact")?,
+        matched_container: usize_field(json, "matched_container")?,
+        unmatched_old: usize_field(json, "unmatched_old")?,
+        unmatched_new: usize_field(json, "unmatched_new")?,
     })
 }
 
@@ -675,10 +737,15 @@ fn main_block_from_json(json: &Json, paths: &[PathId]) -> Result<MainBlockChoice
     })
 }
 
-fn template_from_json(json: &Json, paths: &[PathId]) -> Result<TemplateTree, StoreError> {
+fn template_from_json(
+    json: &Json,
+    paths: &[PathId],
+    version: u32,
+) -> Result<TemplateTree, StoreError> {
     let nodes = arr_field(json, "nodes")?
         .iter()
-        .map(|n| template_node_from_json(n, paths))
+        .enumerate()
+        .map(|(idx, n)| template_node_from_json(n, paths, version, idx))
         .collect::<Result<Vec<_>, _>>()?;
     Ok(TemplateTree { nodes })
 }
@@ -693,7 +760,12 @@ fn usize_list(json: &Json, key: &str) -> Result<Vec<usize>, StoreError> {
         .collect()
 }
 
-fn template_node_from_json(json: &Json, paths: &[PathId]) -> Result<TemplateNode, StoreError> {
+fn template_node_from_json(
+    json: &Json,
+    paths: &[PathId],
+    version: u32,
+    idx: usize,
+) -> Result<TemplateNode, StoreError> {
     let multiplicity = match str_field(json, "mult")?.as_str() {
         "one" => NodeMultiplicity::One,
         "opt" => NodeMultiplicity::Optional,
@@ -738,8 +810,16 @@ fn template_node_from_json(json: &Json, paths: &[PathId]) -> Result<TemplateNode
             StoreError::Malformed("parent is neither null nor an integer".into())
         })?),
     };
+    // v1 predates stable ids; fresh inductions assigned id = index, so
+    // synthesizing the index is exactly what the inducing process had.
+    let stable_id = if version >= 2 {
+        usize_field(json, "sid")? as u64
+    } else {
+        idx as u64
+    };
     Ok(TemplateNode {
         class,
+        stable_id,
         multiplicity,
         matchers,
         // Roles are process-local sample identities; extraction, drift

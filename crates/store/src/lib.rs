@@ -23,6 +23,7 @@ pub mod format;
 pub mod json;
 
 pub use format::{
-    fnv64, load, load_file, save, save_file, StoreError, StoredWrapper, FORMAT_VERSION,
+    fnv64, load, load_file, save, save_file, RepairProvenance, StoreError, StoredWrapper,
+    FORMAT_VERSION, MIN_SUPPORTED_VERSION,
 };
 pub use json::{Json, JsonError};

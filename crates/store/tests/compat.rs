@@ -1,0 +1,49 @@
+//! Backward compatibility: a wrapper persisted by the v1 format (no
+//! stable node ids, no repair provenance) must keep loading after the
+//! v2 bump, with the v1 defaults filled in, and re-saving it must
+//! emit a well-formed v2 file that is itself a save∘load fixed point.
+
+use objectrunner_store::{load, save, FORMAT_VERSION, MIN_SUPPORTED_VERSION};
+
+const V1_FIXTURE: &[u8] = include_bytes!("fixtures/v1.orw");
+
+#[test]
+fn v1_wrappers_still_load() {
+    let text = std::str::from_utf8(V1_FIXTURE).expect("fixture is UTF-8");
+    assert!(
+        text.starts_with("ORWRAP v1 "),
+        "fixture is not a v1 file: {}",
+        &text[..20.min(text.len())]
+    );
+    let stored = load(text).expect("v1 wrapper must load under v2");
+
+    // v1 carried no stable ids: the loader assigns them in index
+    // order, exactly what a v1-era induction would have produced.
+    for (i, node) in stored.wrapper.template.nodes.iter().enumerate() {
+        assert_eq!(
+            node.stable_id, i as u64,
+            "v1 node {i} did not default to its index"
+        );
+    }
+    // v1 carried no provenance.
+    assert!(stored.repair.is_none());
+}
+
+#[test]
+fn resaving_a_v1_wrapper_emits_v2_and_reaches_the_fixed_point() {
+    let text = std::str::from_utf8(V1_FIXTURE).expect("fixture is UTF-8");
+    let stored = load(text).expect("v1 wrapper must load");
+    let resaved = save(&stored);
+    assert!(
+        resaved.starts_with(&format!("ORWRAP v{FORMAT_VERSION} ")),
+        "save must emit the current version"
+    );
+    let reloaded = load(&resaved).expect("resaved wrapper must load");
+    assert_eq!(resaved, save(&reloaded), "v2 re-save is not a fixed point");
+}
+
+#[test]
+fn version_window_spans_v1_to_current() {
+    assert_eq!(MIN_SUPPORTED_VERSION, 1);
+    const { assert!(FORMAT_VERSION >= 2) };
+}

@@ -54,6 +54,7 @@ fn cached_extraction_is_byte_identical_to_the_pipeline_and_skips_induction() {
             wrapper: outcome.wrapper,
             main_block: outcome.main_block,
             clean,
+            repair: None,
         };
         let reloaded = load(&save(&stored)).expect("stored wrapper must load");
 

@@ -129,6 +129,57 @@ HWM_KB=$(grep -o '"vmhwm_after_big_kb": [0-9]*' "$SMOKE/bench_extract.json" | gr
 test "$HWM_KB" -lt 262144                         # 10k-page stream stays under 256 MB
 echo "    stream smoke OK"
 
+# Object-store smoke: the durable sink end to end. A daemon session
+# harvests a clean corpus into --object-store twice (the second
+# extract must dedup to zero new objects), then a *fresh* process
+# reopens the same directory — objects, per-attribute provenance
+# (source, page id, wrapper revision, confidence) and cursors must
+# all survive the restart, and a compaction must leave query results
+# byte-identical. The CLI path is covered too: `extract-stream` with
+# a pinned --extracted-at must produce bit-identical store dirs at 1
+# and 8 threads, and bench_objstore's sanity gates must hold.
+echo "==> objstore smoke (durable sink, restart survival, compact fixed point)"
+OBJ="$SMOKE/objects"
+{
+  echo "{\"cmd\":\"induce\",\"source\":\"objsmoke\",\"domain\":\"concerts\",\"dir\":\"$SMOKE/clean\"}"
+  echo "{\"cmd\":\"extract\",\"source\":\"objsmoke\",\"dir\":\"$SMOKE/clean\"}"
+  echo "{\"cmd\":\"extract\",\"source\":\"objsmoke\",\"dir\":\"$SMOKE/clean\"}"
+  echo "{\"cmd\":\"store-status\"}"
+} | "$SERVE" --store "$SMOKE/obj-wrappers" --object-store "$OBJ" > "$SMOKE/obj1.jsonl"
+! grep -q '"ok":false' "$SMOKE/obj1.jsonl"
+sed -n 2p "$SMOKE/obj1.jsonl" | grep -q '"store":'                # sink reported
+sed -n 2p "$SMOKE/obj1.jsonl" | grep -q '"duplicates":0'          # first pass: all new
+sed -n 3p "$SMOKE/obj1.jsonl" | grep -q '"new":0'                 # re-extract: all deduped
+sed -n 4p "$SMOKE/obj1.jsonl" | grep -qv '"live_objects":0'       # something persisted
+{
+  echo '{"cmd":"query","limit":500}'
+  echo '{"cmd":"store-status"}'
+  echo '{"cmd":"compact"}'
+  echo '{"cmd":"query","limit":500}'
+} | "$SERVE" --store "$SMOKE/obj-wrappers" --object-store "$OBJ" > "$SMOKE/obj2.jsonl"
+! grep -q '"ok":false' "$SMOKE/obj2.jsonl"
+sed -n 1p "$SMOKE/obj2.jsonl" | grep -q '"source":"objsmoke"'     # provenance survived
+sed -n 1p "$SMOKE/obj2.jsonl" | grep -q '"page":"page-'           # ... the restart, per
+sed -n 1p "$SMOKE/obj2.jsonl" | grep -q '"revision":1'            # ... attribute: page,
+sed -n 1p "$SMOKE/obj2.jsonl" | grep -q '"confidence":'           # ... revision, conf
+sed -n 3p "$SMOKE/obj2.jsonl" | grep -q '"live_records":'         # compact reported
+sed -n 1p "$SMOKE/obj2.jsonl" | sed 's/"trace":[0-9]*//' > "$SMOKE/q-before"
+sed -n 4p "$SMOKE/obj2.jsonl" | sed 's/"trace":[0-9]*//' > "$SMOKE/q-after"
+cmp "$SMOKE/q-before" "$SMOKE/q-after"                            # compact fixed point
+"$SERVE" extract-stream --wrapper "$SMOKE/obj-wrappers/objsmoke.orw" \
+    --pages "$SMOKE/clean" --threads 1 --object-store "$SMOKE/obj-t1" \
+    --extracted-at 1700000000000000 > /dev/null 2> "$SMOKE/sink-t1.log"
+"$SERVE" extract-stream --wrapper "$SMOKE/obj-wrappers/objsmoke.orw" \
+    --pages "$SMOKE/clean" --threads 8 --object-store "$SMOKE/obj-t8" \
+    --extracted-at 1700000000000000 > /dev/null 2> "$SMOKE/sink-t8.log"
+grep -q 'object store:' "$SMOKE/sink-t1.log"
+diff -r "$SMOKE/obj-t1" "$SMOKE/obj-t8"                           # bit-identical store
+target/release/bench_objstore --objects 2000 --queries 200 > "$SMOKE/bench_objstore.json"
+grep -q '"bench": "objstore"' "$SMOKE/bench_objstore.json"
+grep -q '"reopen_ok": true' "$SMOKE/bench_objstore.json"
+grep -q '"compact_preserves_reads": true' "$SMOKE/bench_objstore.json"
+echo "    objstore smoke OK"
+
 # Observability smoke: run the golden corpus with tracing enabled,
 # schema-check the JSONL and Chrome trace_event exports with
 # `obs_check`, and diff the metrics snapshot against the committed

@@ -1,0 +1,221 @@
+//! Object-store trajectory point (`BENCH_objstore.json`).
+//!
+//! Exercises the durable sink at crawl scale: N synthetic concert
+//! sightings are ingested in page-sized batches (a second pass
+//! re-offers an overlapping slice with an extra attribute, so the
+//! dedup/fusion path pays its full cost), then the store answers a
+//! query mix — point `get`s, filtered scans, cursor pagination — and
+//! compacts. The document records:
+//!
+//! * `ingest_objects_per_sec` — offered objects through `ingest`,
+//!   including identity-key construction, fusion and the per-batch
+//!   manifest commit;
+//! * `query_p50_micros` / `query_p99_micros` — quantiles of the
+//!   `objectrunner.objstore.query.latency_micros` histogram the store
+//!   itself publishes (the number the daemon's `trace` command shows);
+//! * `reopen_ok` / `compact_preserves_reads` — the durability sanity
+//!   gates: a cold reopen and a compaction must both leave every
+//!   record byte-identical.
+//!
+//! Output is one JSON document on stdout; `ci.sh` redirects it into a
+//! scratch file and checks the sanity fields, and a recorded run is
+//! committed as `BENCH_objstore.json` at the repository root.
+
+use objectrunner_objstore::{IngestContext, IngestObject, ObjectStore, Query};
+use objectrunner_obs::{Clock, Obs, DEFAULT_SPAN_CAPACITY};
+use objectrunner_sod::Instance;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Offers per ingest batch — the shape a 100-objects-per-page crawl
+/// produces, so every batch pays one manifest commit like the daemon.
+const BATCH: usize = 100;
+
+fn concert(i: usize, with_theater: bool) -> Instance {
+    // Index-derived values: deterministic, no RNG, ~unique keys.
+    let mut fields = vec![
+        Instance::atomic("artist", &format!("artist {:05}", i)),
+        Instance::atomic("date", &format!("May {}, 20{:02}", 1 + i % 28, 10 + i % 10)),
+    ];
+    if with_theater {
+        fields.push(Instance::atomic("theater", &format!("theater {}", i % 97)));
+    }
+    Instance::Tuple {
+        name: "concert".into(),
+        fields,
+    }
+}
+
+fn ingest_batches(
+    store: &mut ObjectStore,
+    source: &str,
+    range: std::ops::Range<usize>,
+    with_theater: bool,
+) -> u64 {
+    let ctx = IngestContext {
+        source,
+        domain: "Concerts",
+        wrapper_revision: 1,
+        repaired_from: None,
+        extracted_unix_micros: 1_700_000_000_000_000,
+        confidence: 0.9,
+        key_attrs: &["artist", "date"],
+    };
+    let mut offered = 0;
+    let mut at = range.start;
+    while at < range.end {
+        let hi = (at + BATCH).min(range.end);
+        let offers: Vec<IngestObject> = (at..hi)
+            .map(|i| IngestObject {
+                instance: concert(i, with_theater),
+                page_id: format!("page-{:04}", i / BATCH),
+            })
+            .collect();
+        offered += offers.len() as u64;
+        store.ingest(offers, &ctx, None).expect("bench ingest");
+        at = hi;
+    }
+    offered
+}
+
+/// Canonical rendering of every live record, one full pagination walk.
+fn contents(dir: &Path, obs: &Obs) -> Vec<String> {
+    let store = ObjectStore::open(dir, obs.clone()).expect("reopen");
+    let mut out = Vec::new();
+    let mut cursor = None;
+    loop {
+        let result = store
+            .query(
+                &Query {
+                    limit: 500,
+                    cursor: cursor.take(),
+                    ..Query::all()
+                },
+                None,
+            )
+            .expect("walk");
+        out.extend(result.hits.iter().map(|r| r.render()));
+        match result.next_cursor {
+            Some(c) => cursor = Some(c),
+            None => break,
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = |name: &str, default: usize| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let objects: usize = arg("--objects", 50_000);
+    let queries: usize = arg("--queries", 2_000);
+
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "objectrunner-bench-objstore-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let obs = Obs::with_clock_and_capacity(Clock::system(), DEFAULT_SPAN_CAPACITY);
+
+    // Ingest: a first crawl over everything, then a second source
+    // re-sighting the front half with venue data (fusion writes a new
+    // version for each) — both timed together as the sink's cost.
+    let mut store = ObjectStore::open(&dir, obs.clone()).expect("fresh store");
+    let t0 = Instant::now();
+    let mut offered = ingest_batches(&mut store, "zvents", 0..objects, false);
+    offered += ingest_batches(&mut store, "yellowpages", 0..objects / 2, true);
+    let ingest_micros = t0.elapsed().as_micros();
+    let ingest_objects_per_sec = offered as f64 / (ingest_micros as f64 / 1e6);
+    let status = store.status();
+
+    // Query mix: point gets by key, normalized filter scans, and a
+    // full pagination walk, all feeding the store's own histogram.
+    let t0 = Instant::now();
+    let mut hits = 0usize;
+    for q in 0..queries {
+        match q % 4 {
+            0 => {
+                let i = (q * 7919) % objects;
+                let key = format!(
+                    "artist=artist {:05}|date=may {} 20{:02}",
+                    i,
+                    1 + i % 28,
+                    10 + i % 10
+                );
+                hits += store.get(&key).expect("get").is_some() as usize;
+            }
+            1 => {
+                let result = store
+                    .query(
+                        &Query::from_json(
+                            &objectrunner_store::Json::parse(&format!(
+                                r#"{{"where":[{{"attr":"theater","value":"theater {}"}}],"limit":20}}"#,
+                                q % 97
+                            ))
+                            .unwrap(),
+                        )
+                        .unwrap(),
+                        None,
+                    )
+                    .expect("filter query");
+                hits += result.hits.len();
+            }
+            _ => {
+                let cursor = format!("artist=artist {:05}", (q * 31) % objects);
+                let result = store
+                    .query(
+                        &Query {
+                            limit: 50,
+                            cursor: Some(cursor),
+                            ..Query::all()
+                        },
+                        None,
+                    )
+                    .expect("page query");
+                hits += result.hits.len();
+            }
+        }
+    }
+    let query_micros = t0.elapsed().as_micros();
+    let snapshot = obs.snapshot();
+    let h = snapshot.histogram("objectrunner.objstore.query.latency_micros");
+    let (query_p50, query_p99) = (h.quantile(0.5), h.quantile(0.99));
+
+    // Durability gates: cold reopen, then compact, must not change a
+    // single record byte.
+    let before = contents(&dir, &obs);
+    let reopen_ok = before.len() == status.live_objects as usize;
+    let t0 = Instant::now();
+    let report = store.compact(1_700_000_099_000_000, None).expect("compact");
+    let compact_micros = t0.elapsed().as_micros();
+    drop(store);
+    let compact_preserves_reads = contents(&dir, &obs) == before;
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!("{{");
+    println!("  \"bench\": \"objstore\",");
+    println!("  \"objects\": {objects},");
+    println!("  \"offered\": {offered},");
+    println!("  \"live_objects\": {},", status.live_objects);
+    println!("  \"fused\": {},", status.fused);
+    println!("  \"segments\": {},", status.segments);
+    println!("  \"store_bytes\": {},", status.bytes);
+    println!("  \"ingest_micros\": {ingest_micros},");
+    println!("  \"ingest_objects_per_sec\": {ingest_objects_per_sec:.1},");
+    println!("  \"queries\": {queries},");
+    println!("  \"query_hits\": {hits},");
+    println!("  \"query_micros\": {query_micros},");
+    println!("  \"query_p50_micros\": {query_p50},");
+    println!("  \"query_p99_micros\": {query_p99},");
+    println!("  \"compact_micros\": {compact_micros},");
+    println!("  \"compact_dropped_records\": {},", report.dropped_records);
+    println!("  \"reopen_ok\": {reopen_ok},");
+    println!("  \"compact_preserves_reads\": {compact_preserves_reads}");
+    println!("}}");
+}

@@ -8,7 +8,8 @@
 //! removes duplicates and fills gaps.
 
 use objectrunner_sod::Instance;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 
 /// Normalization used to compare attribute values across sources.
 pub fn normalize_value(v: &str) -> String {
@@ -20,9 +21,62 @@ pub fn normalize_value(v: &str) -> String {
         .to_lowercase()
 }
 
+/// Why an object could not be given an identity key and was excluded
+/// from de-duplication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeySkipReason {
+    /// A named key attribute is absent from the instance: without it
+    /// the key would silently describe a *different* identity (two
+    /// concerts missing `date` are not thereby the same concert).
+    MissingKeyAttr { attr: String },
+}
+
+impl fmt::Display for KeySkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeySkipReason::MissingKeyAttr { attr } => {
+                write!(f, "missing key attribute '{attr}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KeySkipReason {}
+
 /// The identity key of an object: its normalized `(type, value)` pairs
 /// restricted to the given key attributes (or all attributes when the
 /// list is empty), order-insensitive.
+///
+/// Requires every named key attribute to be present — an instance
+/// missing one has no well-defined identity under that key and is
+/// reported as a typed [`KeySkipReason`] instead of silently folding
+/// the absence into the key string.
+pub fn object_key_checked(
+    instance: &Instance,
+    key_attrs: &[&str],
+) -> Result<String, KeySkipReason> {
+    let flat = instance.flatten();
+    for &attr in key_attrs {
+        if !flat.iter().any(|(t, _)| *t == attr) {
+            return Err(KeySkipReason::MissingKeyAttr {
+                attr: attr.to_owned(),
+            });
+        }
+    }
+    let mut pairs: Vec<String> = flat
+        .into_iter()
+        .filter(|(t, _)| key_attrs.is_empty() || key_attrs.contains(t))
+        .map(|(t, v)| format!("{t}={}", normalize_value(v)))
+        .collect();
+    pairs.sort();
+    Ok(pairs.join("|"))
+}
+
+/// The unchecked identity key: like [`object_key_checked`] but an
+/// instance missing a key attribute keys on whatever attributes it
+/// does have. Kept for callers that key on the full attribute set
+/// (`key_attrs = []`, where the two functions agree); integration
+/// paths should prefer the checked form.
 pub fn object_key(instance: &Instance, key_attrs: &[&str]) -> String {
     let mut pairs: Vec<String> = instance
         .flatten()
@@ -39,21 +93,30 @@ pub fn object_key(instance: &Instance, key_attrs: &[&str]) -> String {
 pub struct DedupReport {
     /// Objects seen across all inputs.
     pub input_objects: usize,
-    /// Distinct objects after de-duplication.
+    /// Distinct objects after de-duplication (skipped objects, which
+    /// pass through unmerged, included).
     pub distinct_objects: usize,
     /// Duplicates removed.
     pub duplicates: usize,
     /// Objects whose surviving representative gained attributes from a
     /// duplicate (gap filling).
     pub fused: usize,
+    /// Objects excluded from de-duplication because no identity key
+    /// could be formed (they pass through to the output unmerged).
+    pub skipped: usize,
+    /// Skip counts by missing key attribute name.
+    pub skipped_missing_attr: BTreeMap<String, usize>,
 }
 
 /// De-duplicate objects across sources.
 ///
-/// Objects sharing the same [`object_key`] over `key_attrs` are
-/// merged: the representative keeps the union of attribute fields
+/// Objects sharing the same [`object_key_checked`] over `key_attrs`
+/// are merged: the representative keeps the union of attribute fields
 /// (preferring the more complete instance), so a source that misses an
-/// optional attribute is completed by one that has it.
+/// optional attribute is completed by one that has it. Objects missing
+/// a key attribute have no well-defined identity: they pass through to
+/// the output unmerged and are counted under [`DedupReport::skipped`]
+/// with the missing attribute recorded.
 pub fn deduplicate(objects: Vec<Instance>, key_attrs: &[&str]) -> (Vec<Instance>, DedupReport) {
     let mut report = DedupReport {
         input_objects: objects.len(),
@@ -62,7 +125,15 @@ pub fn deduplicate(objects: Vec<Instance>, key_attrs: &[&str]) -> (Vec<Instance>
     let mut index: HashMap<String, usize> = HashMap::new();
     let mut out: Vec<Instance> = Vec::new();
     for object in objects {
-        let key = object_key(&object, key_attrs);
+        let key = match object_key_checked(&object, key_attrs) {
+            Ok(k) => k,
+            Err(KeySkipReason::MissingKeyAttr { attr }) => {
+                report.skipped += 1;
+                *report.skipped_missing_attr.entry(attr).or_insert(0) += 1;
+                out.push(object);
+                continue;
+            }
+        };
         match index.get(&key) {
             None => {
                 index.insert(key, out.len());
@@ -70,8 +141,8 @@ pub fn deduplicate(objects: Vec<Instance>, key_attrs: &[&str]) -> (Vec<Instance>
             }
             Some(&i) => {
                 report.duplicates += 1;
-                if let Some(fused) = fuse(&out[i], &object) {
-                    out[i] = fused;
+                if let Some(fusion) = fuse(&out[i], &object) {
+                    out[i] = fusion.instance;
                     report.fused += 1;
                 }
             }
@@ -81,26 +152,43 @@ pub fn deduplicate(objects: Vec<Instance>, key_attrs: &[&str]) -> (Vec<Instance>
     (out, report)
 }
 
+/// A successful fusion of two instances of the same object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fusion {
+    /// `a` extended with the attribute fields only `b` carried,
+    /// appended in `b`'s field order.
+    pub instance: Instance,
+    /// Indices into `b`'s tuple fields that were appended — callers
+    /// tracking per-attribute provenance use these to carry `b`'s
+    /// provenance over for exactly the fields that moved.
+    pub added_fields: Vec<usize>,
+}
+
 /// Merge `b` into `a` when `b` carries attribute fields `a` lacks.
-/// Returns the fused instance, or `None` when `a` already subsumes `b`.
-fn fuse(a: &Instance, b: &Instance) -> Option<Instance> {
+/// Returns the fused instance (with the indices of `b`'s contributed
+/// fields), or `None` when `a` already subsumes `b`.
+pub fn fuse(a: &Instance, b: &Instance) -> Option<Fusion> {
     let (Instance::Tuple { name, fields: fa }, Instance::Tuple { fields: fb, .. }) = (a, b) else {
         return None;
     };
     let have: Vec<&str> = fa.iter().filter_map(field_type).collect();
-    let extra: Vec<Instance> = fb
+    let added_fields: Vec<usize> = fb
         .iter()
-        .filter(|f| field_type(f).map(|t| !have.contains(&t)).unwrap_or(false))
-        .cloned()
+        .enumerate()
+        .filter(|(_, f)| field_type(f).map(|t| !have.contains(&t)).unwrap_or(false))
+        .map(|(i, _)| i)
         .collect();
-    if extra.is_empty() {
+    if added_fields.is_empty() {
         return None;
     }
     let mut fields = fa.clone();
-    fields.extend(extra);
-    Some(Instance::Tuple {
-        name: name.clone(),
-        fields,
+    fields.extend(added_fields.iter().map(|&i| fb[i].clone()));
+    Some(Fusion {
+        instance: Instance::Tuple {
+            name: name.clone(),
+            fields,
+        },
+        added_fields,
     })
 }
 
@@ -203,5 +291,65 @@ mod tests {
         let (distinct, report) = deduplicate(Vec::new(), &[]);
         assert!(distinct.is_empty());
         assert_eq!(report, DedupReport::default());
+    }
+
+    #[test]
+    fn missing_key_attribute_is_a_typed_skip() {
+        // `venue` is a key attribute but the instance has none: the
+        // checked key must refuse rather than fold the absence in.
+        let no_venue = concert("Metallica", "May 11, 2010", None);
+        assert_eq!(
+            object_key_checked(&no_venue, &["artist", "venue"]),
+            Err(KeySkipReason::MissingKeyAttr {
+                attr: "venue".to_owned()
+            })
+        );
+        // The unchecked legacy key silently drops the missing attr —
+        // the exact hazard the checked form exists to name.
+        assert_eq!(
+            object_key(&no_venue, &["artist", "venue"]),
+            "artist=metallica"
+        );
+        // With every key attribute present the two forms agree.
+        let full = concert("Metallica", "May 11, 2010", Some("MSG"));
+        assert_eq!(
+            object_key_checked(&full, &["artist", "venue"]).as_deref(),
+            Ok(object_key(&full, &["artist", "venue"]).as_str())
+        );
+    }
+
+    #[test]
+    fn skipped_objects_pass_through_and_are_counted() {
+        // Two identical venue-less concerts would have collapsed under
+        // the old silent folding; keyed on (artist, date, venue) they
+        // have no identity, so both pass through and both are counted.
+        let objects = vec![
+            concert("Metallica", "May 11, 2010", None),
+            concert("Metallica", "May 11, 2010", None),
+            concert("Metallica", "May 11, 2010", Some("MSG")),
+            concert("Metallica", "May 11, 2010", Some("MSG")),
+        ];
+        let (distinct, report) = deduplicate(objects, &["artist", "date", "venue"]);
+        assert_eq!(distinct.len(), 3, "skipped objects are not merged");
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.skipped_missing_attr.get("venue"), Some(&2));
+        assert_eq!(report.duplicates, 1, "keyed pair still collapses");
+        assert_eq!(
+            report.input_objects,
+            report.distinct_objects + report.duplicates,
+            "count invariant holds with skips (skips are distinct)"
+        );
+    }
+
+    #[test]
+    fn fuse_reports_added_field_indices() {
+        let a = concert("Metallica", "May 11, 2010", None);
+        let b = concert("Metallica", "May 11, 2010", Some("MSG"));
+        let fusion = fuse(&a, &b).expect("venue must fuse in");
+        assert_eq!(fusion.added_fields, vec![2], "venue is b's third field");
+        let mut venues = Vec::new();
+        fusion.instance.values_of_type("venue", &mut venues);
+        assert_eq!(venues, vec!["MSG"]);
+        assert!(fuse(&b, &a).is_none(), "a adds nothing to b");
     }
 }

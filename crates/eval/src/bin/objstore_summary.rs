@@ -1,0 +1,208 @@
+//! E13 — the harvested-object database over the paper corpus
+//! (`results/objstore_summary.txt`).
+//!
+//! For every domain, two synthetic sources render the *same* gold
+//! objects through different site names (the same template seed — the
+//! classic syndicated-listing situation). Both are induced and
+//! extracted with the regular pipeline, and every extraction is
+//! ingested into one shared object store. The table shows what the
+//! dedup layer did per domain: objects offered, first sightings,
+//! cross-source duplicates suppressed, and extractions skipped for
+//! missing key attributes. The footer reports store-level numbers —
+//! bytes on disk, a full-walk query check, latency quantiles from the
+//! store's own `objectrunner.objstore.*` histograms, and the
+//! compaction fixed point. The table and counters are deterministic;
+//! the latency footer is a measurement and varies run to run (like
+//! the bench bins, unlike the byte-compared table bins).
+
+use objectrunner_core::pipeline::{Pipeline, PipelineConfig};
+use objectrunner_eval::runners::{DEFAULT_COVERAGE, SAMPLE_SIZE};
+use objectrunner_html::{clean_document, parse, CleanOptions};
+use objectrunner_objstore::{IngestContext, IngestObject, ObjectStore, Query};
+use objectrunner_obs::{Clock, Obs, DEFAULT_SPAN_CAPACITY};
+use objectrunner_webgen::{generate_site, knowledge, Domain, PageKind, SiteSpec};
+use std::path::PathBuf;
+
+/// Extract a source with a freshly induced wrapper; one offer list per
+/// page, page ids matching the corpus writer's naming.
+fn harvest(domain: Domain, name: &str, seed: u64) -> Vec<Vec<IngestObject>> {
+    let spec = SiteSpec::clean(name, domain, PageKind::List, 12, seed);
+    let source = generate_site(&spec);
+    let config = PipelineConfig {
+        sample: objectrunner_core::sample::SampleConfig {
+            sample_size: SAMPLE_SIZE,
+            ..Default::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let pipeline = Pipeline::new(
+        domain.sod(),
+        knowledge::recognizers_for(domain, DEFAULT_COVERAGE),
+    )
+    .with_config(config);
+    let outcome = pipeline
+        .run_on_html(&source.pages)
+        .expect("paper-corpus source induces");
+    source
+        .pages
+        .iter()
+        .enumerate()
+        .map(|(i, html)| {
+            let mut doc = parse(html);
+            clean_document(&mut doc, &CleanOptions::default());
+            outcome
+                .wrapper
+                .extract_document(&doc)
+                .into_iter()
+                .map(|instance| IngestObject {
+                    instance,
+                    page_id: format!("page-{i:03}"),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("objectrunner-eval-objstore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let obs = Obs::with_clock_and_capacity(Clock::system(), DEFAULT_SPAN_CAPACITY);
+    let mut store = ObjectStore::open(&dir, obs.clone()).expect("fresh store");
+
+    println!("E13 — HARVESTED-OBJECT STORE OVER THE PAPER CORPUS");
+    println!("Two sources per domain render the same gold objects (shared seed);");
+    println!("the second source's harvest must dedup against the first's.");
+    println!();
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Domain", "offered", "new", "dup", "skipped", "live"
+    );
+
+    for (i, domain) in Domain::ALL.into_iter().enumerate() {
+        let seed = 17_000 + i as u64;
+        let key_attrs = domain.key_attributes();
+        let mut offered = 0u64;
+        let mut new = 0u64;
+        let mut dup = 0u64;
+        let mut skipped = 0u64;
+        for (tag, micros) in [
+            ("a", 1_700_000_000_000_000u64),
+            ("b", 1_700_000_050_000_000),
+        ] {
+            let name = format!("harvest-{}-{tag}", domain.name().to_lowercase());
+            let ctx = IngestContext {
+                source: &name,
+                domain: domain.name(),
+                wrapper_revision: 1,
+                repaired_from: None,
+                extracted_unix_micros: micros,
+                confidence: 1.0,
+                key_attrs: &key_attrs,
+            };
+            for offers in harvest(domain, &name, seed) {
+                let report = store.ingest(offers, &ctx, None).expect("ingest");
+                offered += report.ingested;
+                new += report.new_objects;
+                dup += report.duplicates;
+                skipped += report.skipped;
+            }
+        }
+        let live = store
+            .status()
+            .per_domain
+            .get(domain.name())
+            .copied()
+            .unwrap_or(0);
+        println!(
+            "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            domain.name(),
+            offered,
+            new,
+            dup,
+            skipped,
+            live
+        );
+    }
+
+    // Full pagination walk (the query path the daemon serves), then
+    // the compaction fixed point.
+    let status = store.status();
+    let mut walked = 0usize;
+    let mut cursor = None;
+    loop {
+        let page = store
+            .query(
+                &Query {
+                    limit: 100,
+                    cursor: cursor.take(),
+                    ..Query::all()
+                },
+                None,
+            )
+            .expect("walk");
+        walked += page.hits.len();
+        match page.next_cursor {
+            Some(c) => cursor = Some(c),
+            None => break,
+        }
+    }
+    let keys_before: Vec<String> = {
+        let q = store
+            .query(
+                &Query {
+                    limit: 500,
+                    ..Query::all()
+                },
+                None,
+            )
+            .expect("snapshot");
+        q.hits.iter().map(|r| r.render()).collect()
+    };
+    store.compact(1_700_000_099_000_000, None).expect("compact");
+    let keys_after: Vec<String> = {
+        let q = store
+            .query(
+                &Query {
+                    limit: 500,
+                    ..Query::all()
+                },
+                None,
+            )
+            .expect("snapshot");
+        q.hits.iter().map(|r| r.render()).collect()
+    };
+
+    let snapshot = obs.snapshot();
+    let ingest_h = snapshot.histogram("objectrunner.objstore.ingest.latency_micros");
+    let query_h = snapshot.histogram("objectrunner.objstore.query.latency_micros");
+    println!();
+    println!(
+        "store: {} bytes in {} segment(s), {} live objects",
+        status.bytes, status.segments, status.live_objects
+    );
+    println!(
+        "dedup: {:.1}% of offered objects were cross-source duplicates",
+        100.0 * status.duplicates as f64 / status.ingested.max(1) as f64
+    );
+    println!("query walk: {walked} objects via cursor pagination");
+    println!(
+        "latency (store histograms): ingest p50 {}us p99 {}us over {} batches; query p50 {}us p99 {}us over {} queries",
+        ingest_h.quantile(0.5),
+        ingest_h.quantile(0.99),
+        ingest_h.count,
+        query_h.quantile(0.5),
+        query_h.quantile(0.99),
+        query_h.count
+    );
+    println!(
+        "compact fixed point: {}",
+        if keys_before == keys_after && walked == status.live_objects as usize {
+            "reads byte-identical before/after"
+        } else {
+            "VIOLATED"
+        }
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,107 @@
+//! Durable object store for harvested extractions.
+//!
+//! The extraction pipeline turns pages into [`Instance`] trees and the
+//! serving layer streams them out — but nothing so far *keeps* them.
+//! This crate is the persistence tier downstream of de-duplication
+//! (paper Fig. 1's final stage): a directory of append-only segment
+//! files plus a checksummed manifest, holding one live version per
+//! real-world object with **per-attribute provenance** — which source
+//! page produced each attribute value, under which wrapper revision
+//! (including repair lineage), at what time and confidence.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! MANIFEST                 ORMAN frame: generation, counters, segment list
+//! seg-g00001-00000.seg     ORSEG v1 header + checksummed record frames
+//! seg-g00001-00001.seg     …
+//! ```
+//!
+//! Guarantees, mirroring the wrapper store (`crates/store`):
+//!
+//! * **crash-safe append** — records are fsynced before the manifest
+//!   commits (write `MANIFEST.tmp`, rename); a torn tail past the
+//!   committed length is truncated away on open, never half-parsed;
+//! * **fail-loud** — truncation or bit rot inside the committed prefix
+//!   is a typed [`ObjStoreError`], never a partial object;
+//! * **deterministic bytes** — ingest stages records per identity key
+//!   and appends in key order, so equal inputs produce equal segment
+//!   bytes regardless of extraction thread count;
+//! * **compaction** — [`store::ObjectStore::compact`] rewrites live
+//!   records into a fresh generation and drops superseded versions;
+//!   query results are byte-identical across a compaction.
+//!
+//! Object identity comes from `core::dedup`: ingest keys instances
+//! with [`objectrunner_core::dedup::object_key_checked`] and fuses new
+//! sightings into the stored version with
+//! [`objectrunner_core::dedup::fuse`], carrying the contributing
+//! page's provenance over for exactly the attributes it added.
+
+use objectrunner_sod::Instance;
+use std::fmt;
+
+pub mod manifest;
+pub mod query;
+pub mod record;
+pub mod segment;
+pub mod store;
+
+pub use manifest::{Manifest, SegmentMeta, MANIFEST_FILE, MANIFEST_VERSION};
+pub use query::{Filter, FilterOp, Query, QueryResult, DEFAULT_LIMIT, MAX_LIMIT};
+pub use record::{instance_from_json, instance_json, record_json, AttrProvenance, ObjectRecord};
+pub use store::{
+    CompactReport, IngestContext, IngestObject, IngestReport, ObjectStore, StoreStatus,
+};
+
+/// Failures of the object store. Everything is loud and typed; no
+/// operation ever yields a partially-decoded object.
+#[derive(Debug)]
+pub enum ObjStoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A manifest or segment file is malformed before its payload can
+    /// be trusted (bad magic/header, frame structure).
+    BadHeader { file: String, detail: String },
+    /// The format version is outside this build's supported window.
+    UnsupportedVersion(u32),
+    /// A checksum or declared length does not match the bytes on disk
+    /// (truncation inside the committed prefix, bit rot).
+    Corrupt { file: String, detail: String },
+    /// Bytes decoded fine but the payload violates the record/manifest
+    /// schema (missing field, provenance misaligned with attributes).
+    Malformed { file: String, detail: String },
+}
+
+impl fmt::Display for ObjStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjStoreError::Io(e) => write!(f, "io error: {e}"),
+            ObjStoreError::BadHeader { file, detail } => {
+                write!(f, "bad header in {file}: {detail}")
+            }
+            ObjStoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported object store format version {v}")
+            }
+            ObjStoreError::Corrupt { file, detail } => write!(f, "corrupt {file}: {detail}"),
+            ObjStoreError::Malformed { file, detail } => write!(f, "malformed {file}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjStoreError {}
+
+impl From<std::io::Error> for ObjStoreError {
+    fn from(e: std::io::Error) -> ObjStoreError {
+        ObjStoreError::Io(e)
+    }
+}
+
+/// Count the atomic values a fused tuple field contributes to
+/// [`Instance::flatten`] — the unit provenance is tracked in.
+pub(crate) fn atom_count(instance: &Instance) -> usize {
+    match instance {
+        Instance::Atomic { .. } => 1,
+        Instance::Tuple { fields, .. } => fields.iter().map(atom_count).sum(),
+        Instance::Set(items) => items.iter().map(atom_count).sum(),
+    }
+}

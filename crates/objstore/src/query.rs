@@ -1,0 +1,268 @@
+//! The query surface over the store.
+//!
+//! A query is a conjunction of attribute predicates plus optional
+//! domain restriction, projection and cursor pagination:
+//!
+//! ```json
+//! {"domain":"Concerts",
+//!  "where":[{"attr":"artist","op":"eq","value":"Metallica"},
+//!           {"attr":"theater","op":"contains","value":"garden"}],
+//!  "select":["artist","date"],
+//!  "limit":20,
+//!  "cursor":"artist=metallica|…"}
+//! ```
+//!
+//! Predicates compare under `core::dedup::normalize_value` — the same
+//! normalization that built identity keys — so `"METALLICA"` matches
+//! `"Metallica"` exactly where de-duplication would have fused them.
+//! Results come back in identity-key order; the cursor is the last
+//! returned key, and because that order is a property of the persisted
+//! keys (not of any in-memory iteration state), a cursor stays valid
+//! across daemon restarts and compactions.
+
+use crate::record::ObjectRecord;
+use objectrunner_core::dedup::normalize_value;
+use objectrunner_sod::Instance;
+use objectrunner_store::Json;
+
+/// Page size when a query names none.
+pub const DEFAULT_LIMIT: usize = 50;
+
+/// Hard page-size ceiling (a query asking for more is clamped).
+pub const MAX_LIMIT: usize = 500;
+
+/// How a predicate compares a normalized attribute value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterOp {
+    /// Normalized equality.
+    Eq,
+    /// Normalized substring.
+    Contains,
+    /// Normalized prefix.
+    Prefix,
+}
+
+impl FilterOp {
+    fn by_name(name: &str) -> Option<FilterOp> {
+        match name {
+            "eq" => Some(FilterOp::Eq),
+            "contains" => Some(FilterOp::Contains),
+            "prefix" => Some(FilterOp::Prefix),
+            _ => None,
+        }
+    }
+}
+
+/// One attribute predicate. An object matches when *any* of its values
+/// of type `attr` satisfies the comparison (exists semantics — a book
+/// with three authors matches an author filter hitting one of them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Filter {
+    pub attr: String,
+    pub op: FilterOp,
+    /// Comparison value; normalized once at parse time.
+    pub value: String,
+}
+
+impl Filter {
+    /// Does this instance satisfy the predicate?
+    pub fn matches(&self, instance: &Instance) -> bool {
+        let mut values = Vec::new();
+        instance.values_of_type(&self.attr, &mut values);
+        values.iter().any(|v| {
+            let v = normalize_value(v);
+            match self.op {
+                FilterOp::Eq => v == self.value,
+                FilterOp::Contains => v.contains(&self.value),
+                FilterOp::Prefix => v.starts_with(&self.value),
+            }
+        })
+    }
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Query {
+    /// Restrict to one domain (exact name, as stored).
+    pub domain: Option<String>,
+    /// Conjunction of predicates (all must hold).
+    pub filters: Vec<Filter>,
+    /// Attribute types to project hits down to (empty = full object).
+    pub select: Vec<String>,
+    /// Exclusive lower bound: return keys strictly after this one.
+    pub cursor: Option<String>,
+    /// Page size, clamped to `1..=MAX_LIMIT`.
+    pub limit: usize,
+}
+
+impl Query {
+    /// An unfiltered first page.
+    pub fn all() -> Query {
+        Query {
+            limit: DEFAULT_LIMIT,
+            ..Query::default()
+        }
+    }
+
+    /// Parse the protocol JSON shape (see module docs). Unknown ops,
+    /// non-string attrs and malformed clauses are errors — a filter
+    /// that silently matched nothing would read as "no such objects".
+    pub fn from_json(j: &Json) -> Result<Query, String> {
+        let mut q = Query::all();
+        if let Some(d) = j.get("domain") {
+            q.domain = Some(d.as_str().ok_or("'domain' must be a string")?.to_owned());
+        }
+        if let Some(w) = j.get("where") {
+            for clause in w.as_arr().ok_or("'where' must be an array")? {
+                let attr = clause
+                    .get("attr")
+                    .and_then(Json::as_str)
+                    .ok_or("filter clause missing string 'attr'")?;
+                let op = match clause.get("op") {
+                    None => FilterOp::Eq,
+                    Some(o) => {
+                        let name = o.as_str().ok_or("filter 'op' must be a string")?;
+                        FilterOp::by_name(name)
+                            .ok_or("filter 'op' must be one of eq|contains|prefix")?
+                    }
+                };
+                let value = clause
+                    .get("value")
+                    .and_then(Json::as_str)
+                    .ok_or("filter clause missing string 'value'")?;
+                q.filters.push(Filter {
+                    attr: attr.to_owned(),
+                    op,
+                    value: normalize_value(value),
+                });
+            }
+        }
+        if let Some(s) = j.get("select") {
+            for attr in s.as_arr().ok_or("'select' must be an array")? {
+                q.select.push(
+                    attr.as_str()
+                        .ok_or("'select' entries must be strings")?
+                        .to_owned(),
+                );
+            }
+        }
+        if let Some(c) = j.get("cursor") {
+            q.cursor = Some(c.as_str().ok_or("'cursor' must be a string")?.to_owned());
+        }
+        if let Some(l) = j.get("limit") {
+            let n = l
+                .as_usize()
+                .ok_or("'limit' must be a non-negative integer")?;
+            q.limit = n.clamp(1, MAX_LIMIT);
+        }
+        Ok(q)
+    }
+
+    /// Does an instance satisfy every predicate?
+    pub fn matches(&self, instance: &Instance) -> bool {
+        self.filters.iter().all(|f| f.matches(instance))
+    }
+}
+
+/// One page of results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Matching records, identity-key order.
+    pub hits: Vec<ObjectRecord>,
+    /// Cursor for the next page; `None` when this page was not full
+    /// (the scan reached the end of the key space).
+    pub next_cursor: Option<String>,
+    /// Records examined to produce the page (filter selectivity /
+    /// cost signal, surfaced in the `objstore.query` span).
+    pub scanned: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn concert(artist: &str, theater: &str) -> Instance {
+        Instance::Tuple {
+            name: "concert".into(),
+            fields: vec![
+                Instance::atomic("artist", artist),
+                Instance::atomic("theater", theater),
+            ],
+        }
+    }
+
+    #[test]
+    fn predicates_compare_normalized() {
+        let inst = concert("METALLICA", "Madison Square Garden");
+        let q = Query::from_json(
+            &Json::parse(
+                r#"{"where":[{"attr":"artist","value":"  metallica. "},
+                             {"attr":"theater","op":"contains","value":"Square"},
+                             {"attr":"theater","op":"prefix","value":"madison"}]}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(q.matches(&inst));
+        assert!(!q.matches(&concert("Muse", "Madison Square Garden")));
+    }
+
+    #[test]
+    fn conjunction_and_exists_semantics() {
+        let book = Instance::Tuple {
+            name: "book".into(),
+            fields: vec![
+                Instance::atomic("title", "Emma"),
+                Instance::Set(vec![
+                    Instance::atomic("author", "Jane Austen"),
+                    Instance::atomic("author", "Fiona Stafford"),
+                ]),
+            ],
+        };
+        let hit = Filter {
+            attr: "author".into(),
+            op: FilterOp::Eq,
+            value: "fiona stafford".into(),
+        };
+        assert!(hit.matches(&book), "any set member can satisfy");
+        let q = Query {
+            filters: vec![
+                hit,
+                Filter {
+                    attr: "title".into(),
+                    op: FilterOp::Eq,
+                    value: "persuasion".into(),
+                },
+            ],
+            ..Query::all()
+        };
+        assert!(!q.matches(&book), "every clause must hold");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        for bad in [
+            r#"{"where":[{"attr":"a","op":"like","value":"x"}]}"#,
+            r#"{"where":[{"value":"x"}]}"#,
+            r#"{"where":{"attr":"a"}}"#,
+            r#"{"select":[1]}"#,
+            r#"{"limit":"ten"}"#,
+            r#"{"domain":7}"#,
+        ] {
+            assert!(
+                Query::from_json(&Json::parse(bad).unwrap()).is_err(),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn limits_clamp_and_default() {
+        let q = Query::from_json(&Json::parse("{}").unwrap()).unwrap();
+        assert_eq!(q.limit, DEFAULT_LIMIT);
+        let q = Query::from_json(&Json::parse(r#"{"limit":0}"#).unwrap()).unwrap();
+        assert_eq!(q.limit, 1);
+        let q = Query::from_json(&Json::parse(r#"{"limit":100000}"#).unwrap()).unwrap();
+        assert_eq!(q.limit, MAX_LIMIT);
+    }
+}

@@ -1,0 +1,430 @@
+//! The canonical on-disk object record and its JSON codec.
+//!
+//! A record is one stored *version* of one real-world object: the
+//! instance tree, its identity key, and provenance for every atomic
+//! attribute value. Provenance is stored run-length style — `provs`
+//! holds the distinct provenance entries in first-use order and
+//! `attr_prov[i]` names the entry for the `i`-th atom of
+//! [`Instance::flatten`] — because all atoms extracted from one page
+//! share one provenance, while fusion splices in atoms from others.
+//!
+//! The codec is canonical the same way the wrapper store's is: fixed
+//! key order, insertion-ordered objects, floats in shortest round-trip
+//! form. `parse ∘ render` is the identity on rendered records, which
+//! is what makes "query results are byte-identical across compaction"
+//! checkable at the protocol level.
+
+use crate::ObjStoreError;
+use objectrunner_sod::Instance;
+use objectrunner_store::Json;
+
+/// Where one attribute value came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrProvenance {
+    /// Source (site) name the page belongs to.
+    pub source: String,
+    /// Page identifier within the source (file stem or synthetic id).
+    pub page_id: String,
+    /// Revision of the wrapper that extracted the value (bumps on
+    /// re-induction and repair; see serve's drift lifecycle).
+    pub wrapper_revision: u64,
+    /// When the extracting wrapper was itself a repair, the revision
+    /// it was repaired from (`RepairProvenance` lineage, `.orw` v2).
+    pub repaired_from: Option<u64>,
+    /// Extraction wall-clock time, microseconds since the Unix epoch.
+    pub extracted_unix_micros: u64,
+    /// Confidence in the value (the extracting wrapper's induction
+    /// quality score in `[0, 1]`).
+    pub confidence: f64,
+}
+
+impl AttrProvenance {
+    /// Canonical JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("source".into(), Json::str(&self.source)),
+            ("page".into(), Json::str(&self.page_id)),
+            ("revision".into(), Json::int(self.wrapper_revision as i64)),
+            (
+                "repaired_from".into(),
+                match self.repaired_from {
+                    Some(r) => Json::int(r as i64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "extracted_unix_micros".into(),
+                Json::int(self.extracted_unix_micros as i64),
+            ),
+            ("confidence".into(), Json::Float(self.confidence)),
+        ])
+    }
+
+    fn from_json(j: &Json, file: &str) -> Result<AttrProvenance, ObjStoreError> {
+        let field = |k: &str| {
+            j.get(k).ok_or_else(|| ObjStoreError::Malformed {
+                file: file.to_owned(),
+                detail: format!("provenance missing '{k}'"),
+            })
+        };
+        let str_field = |k: &str| {
+            field(k)?
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| ObjStoreError::Malformed {
+                    file: file.to_owned(),
+                    detail: format!("provenance '{k}' is not a string"),
+                })
+        };
+        let u64_field = |k: &str| {
+            field(k)?
+                .as_i64()
+                .and_then(|n| u64::try_from(n).ok())
+                .ok_or_else(|| ObjStoreError::Malformed {
+                    file: file.to_owned(),
+                    detail: format!("provenance '{k}' is not a non-negative integer"),
+                })
+        };
+        let repaired_from = match field("repaired_from")? {
+            Json::Null => None,
+            other => Some(
+                other
+                    .as_i64()
+                    .and_then(|n| u64::try_from(n).ok())
+                    .ok_or_else(|| ObjStoreError::Malformed {
+                        file: file.to_owned(),
+                        detail: "provenance 'repaired_from' is not null or integer".into(),
+                    })?,
+            ),
+        };
+        Ok(AttrProvenance {
+            source: str_field("source")?,
+            page_id: str_field("page")?,
+            wrapper_revision: u64_field("revision")?,
+            repaired_from,
+            extracted_unix_micros: u64_field("extracted_unix_micros")?,
+            confidence: field("confidence")?
+                .as_f64()
+                .ok_or_else(|| ObjStoreError::Malformed {
+                    file: file.to_owned(),
+                    detail: "provenance 'confidence' is not a number".into(),
+                })?,
+        })
+    }
+}
+
+/// One stored version of one object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectRecord {
+    /// Identity key from `core::dedup::object_key_checked`.
+    pub key: String,
+    /// Per-key version, 1-based; fusion writes version `n+1`.
+    pub version: u64,
+    /// Store-wide append sequence number (total order of writes).
+    pub seq: u64,
+    /// Domain name (e.g. `"Concerts"`).
+    pub domain: String,
+    /// The object itself.
+    pub instance: Instance,
+    /// Distinct provenance entries, first-use order.
+    pub provs: Vec<AttrProvenance>,
+    /// For each atom of `instance.flatten()`, an index into `provs`.
+    pub attr_prov: Vec<u32>,
+}
+
+impl ObjectRecord {
+    /// Provenance of the `i`-th flattened atom.
+    pub fn provenance_of(&self, atom: usize) -> &AttrProvenance {
+        &self.provs[self.attr_prov[atom] as usize]
+    }
+
+    /// Canonical JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("key".into(), Json::str(&self.key)),
+            ("version".into(), Json::int(self.version as i64)),
+            ("seq".into(), Json::int(self.seq as i64)),
+            ("domain".into(), Json::str(&self.domain)),
+            ("object".into(), instance_json(&self.instance)),
+            (
+                "provs".into(),
+                Json::Arr(self.provs.iter().map(AttrProvenance::to_json).collect()),
+            ),
+            (
+                "attr_prov".into(),
+                Json::Arr(
+                    self.attr_prov
+                        .iter()
+                        .map(|&i| Json::int(i as i64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Render to the canonical payload string stored in a segment.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse a segment payload back to a record, validating the
+    /// provenance ↔ attribute alignment. `file` names the source file
+    /// for error messages.
+    pub fn parse(payload: &str, file: &str) -> Result<ObjectRecord, ObjStoreError> {
+        let j = Json::parse(payload).map_err(|e| ObjStoreError::Malformed {
+            file: file.to_owned(),
+            detail: format!("record payload is not JSON: {e}"),
+        })?;
+        ObjectRecord::from_json(&j, file)
+    }
+
+    fn from_json(j: &Json, file: &str) -> Result<ObjectRecord, ObjStoreError> {
+        let malformed = |detail: String| ObjStoreError::Malformed {
+            file: file.to_owned(),
+            detail,
+        };
+        let field = |k: &str| {
+            j.get(k)
+                .ok_or_else(|| malformed(format!("record missing '{k}'")))
+        };
+        let key = field("key")?
+            .as_str()
+            .ok_or_else(|| malformed("record 'key' is not a string".into()))?
+            .to_owned();
+        let version = field("version")?
+            .as_i64()
+            .and_then(|n| u64::try_from(n).ok())
+            .ok_or_else(|| malformed("record 'version' is not a positive integer".into()))?;
+        let seq = field("seq")?
+            .as_i64()
+            .and_then(|n| u64::try_from(n).ok())
+            .ok_or_else(|| malformed("record 'seq' is not a non-negative integer".into()))?;
+        let domain = field("domain")?
+            .as_str()
+            .ok_or_else(|| malformed("record 'domain' is not a string".into()))?
+            .to_owned();
+        let instance = instance_from_json(field("object")?)
+            .map_err(|e| malformed(format!("record 'object': {e}")))?;
+        let provs = field("provs")?
+            .as_arr()
+            .ok_or_else(|| malformed("record 'provs' is not an array".into()))?
+            .iter()
+            .map(|p| AttrProvenance::from_json(p, file))
+            .collect::<Result<Vec<_>, _>>()?;
+        let attr_prov = field("attr_prov")?
+            .as_arr()
+            .ok_or_else(|| malformed("record 'attr_prov' is not an array".into()))?
+            .iter()
+            .map(|n| {
+                n.as_i64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| malformed("record 'attr_prov' entry is not an index".into()))
+            })
+            .collect::<Result<Vec<u32>, _>>()?;
+
+        let atoms = instance.flatten().len();
+        if attr_prov.len() != atoms {
+            return Err(malformed(format!(
+                "provenance misaligned: {} attr_prov entries for {atoms} attribute values",
+                attr_prov.len()
+            )));
+        }
+        if let Some(&bad) = attr_prov.iter().find(|&&i| i as usize >= provs.len()) {
+            return Err(malformed(format!(
+                "attr_prov index {bad} out of range ({} provenance entries)",
+                provs.len()
+            )));
+        }
+        if version == 0 {
+            return Err(malformed("record 'version' must be >= 1".into()));
+        }
+        Ok(ObjectRecord {
+            key,
+            version,
+            seq,
+            domain,
+            instance,
+            provs,
+            attr_prov,
+        })
+    }
+}
+
+/// Canonical JSON shape of an [`Instance`] — the same shape the serve
+/// protocol has emitted since the first extract command:
+/// `{"t","v"}` atoms, `{"tuple","fields"}` tuples, `{"set"}` sets.
+pub fn instance_json(instance: &Instance) -> Json {
+    match instance {
+        Instance::Atomic { type_name, value } => Json::Obj(vec![
+            ("t".into(), Json::str(type_name)),
+            ("v".into(), Json::str(value)),
+        ]),
+        Instance::Tuple { name, fields } => Json::Obj(vec![
+            ("tuple".into(), Json::str(name)),
+            (
+                "fields".into(),
+                Json::Arr(fields.iter().map(instance_json).collect()),
+            ),
+        ]),
+        Instance::Set(items) => Json::Obj(vec![(
+            "set".into(),
+            Json::Arr(items.iter().map(instance_json).collect()),
+        )]),
+    }
+}
+
+/// Inverse of [`instance_json`].
+pub fn instance_from_json(j: &Json) -> Result<Instance, String> {
+    if let (Some(t), Some(v)) = (j.get("t"), j.get("v")) {
+        let type_name = t.as_str().ok_or("atom 't' is not a string")?;
+        let value = v.as_str().ok_or("atom 'v' is not a string")?;
+        return Ok(Instance::atomic(type_name, value));
+    }
+    if let Some(name) = j.get("tuple") {
+        let name = name.as_str().ok_or("'tuple' is not a string")?;
+        let fields = j
+            .get("fields")
+            .and_then(Json::as_arr)
+            .ok_or("tuple missing 'fields' array")?
+            .iter()
+            .map(instance_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Instance::Tuple {
+            name: name.to_owned(),
+            fields,
+        });
+    }
+    if let Some(items) = j.get("set") {
+        let items = items
+            .as_arr()
+            .ok_or("'set' is not an array")?
+            .iter()
+            .map(instance_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Instance::Set(items));
+    }
+    Err("instance is none of atom/tuple/set".into())
+}
+
+/// Render a record as a query/get hit: key, version, domain, the
+/// object tree, and `attrs` — every atomic attribute value with its
+/// full provenance. A non-empty `select` projects `attrs` down to the
+/// named attribute types and omits the object tree.
+pub fn record_json(record: &ObjectRecord, select: &[String]) -> Json {
+    let flat = record.instance.flatten();
+    let attrs: Vec<Json> = flat
+        .iter()
+        .enumerate()
+        .filter(|(_, (t, _))| select.is_empty() || select.iter().any(|s| s == t))
+        .map(|(i, (t, v))| {
+            Json::Obj(vec![
+                ("t".into(), Json::str(*t)),
+                ("v".into(), Json::str(*v)),
+                ("prov".into(), record.provenance_of(i).to_json()),
+            ])
+        })
+        .collect();
+    let mut pairs = vec![
+        ("key".into(), Json::str(&record.key)),
+        ("version".into(), Json::int(record.version as i64)),
+        ("domain".into(), Json::str(&record.domain)),
+    ];
+    if select.is_empty() {
+        pairs.push(("object".into(), instance_json(&record.instance)));
+    }
+    pairs.push(("attrs".into(), Json::Arr(attrs)));
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prov(page: &str) -> AttrProvenance {
+        AttrProvenance {
+            source: "zvents".into(),
+            page_id: page.into(),
+            wrapper_revision: 3,
+            repaired_from: Some(2),
+            extracted_unix_micros: 1_700_000_000_000_000,
+            confidence: 0.875,
+        }
+    }
+
+    fn record() -> ObjectRecord {
+        let instance = Instance::Tuple {
+            name: "concert".into(),
+            fields: vec![
+                Instance::atomic("artist", "Metallica"),
+                Instance::atomic("date", "May 11, 2010"),
+                Instance::Set(vec![
+                    Instance::atomic("author", "A"),
+                    Instance::atomic("author", "B"),
+                ]),
+            ],
+        };
+        ObjectRecord {
+            key: "artist=metallica|date=may 11 2010".into(),
+            version: 2,
+            seq: 17,
+            domain: "Concerts".into(),
+            instance,
+            provs: vec![prov("p1"), prov("p2")],
+            attr_prov: vec![0, 0, 1, 1],
+        }
+    }
+
+    #[test]
+    fn record_codec_is_a_fixed_point() {
+        let r = record();
+        let bytes = r.render();
+        let back = ObjectRecord::parse(&bytes, "test").expect("parses");
+        assert_eq!(back, r);
+        assert_eq!(back.render(), bytes, "render ∘ parse ∘ render is stable");
+    }
+
+    #[test]
+    fn misaligned_provenance_is_rejected() {
+        let mut r = record();
+        r.attr_prov.pop();
+        let bytes = r.render();
+        assert!(matches!(
+            ObjectRecord::parse(&bytes, "test"),
+            Err(ObjStoreError::Malformed { .. })
+        ));
+        let mut r = record();
+        r.attr_prov[0] = 9;
+        assert!(matches!(
+            ObjectRecord::parse(&r.render(), "test"),
+            Err(ObjStoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn instance_codec_round_trips_all_shapes() {
+        let r = record();
+        let j = instance_json(&r.instance);
+        assert_eq!(instance_from_json(&j).expect("round trip"), r.instance);
+        assert!(instance_from_json(&Json::Obj(vec![])).is_err());
+    }
+
+    #[test]
+    fn record_json_projects_and_carries_provenance() {
+        let r = record();
+        let full = record_json(&r, &[]);
+        assert!(full.get("object").is_some());
+        assert_eq!(full.get("attrs").and_then(Json::as_arr).unwrap().len(), 4);
+
+        let projected = record_json(&r, &["author".to_owned()]);
+        assert!(projected.get("object").is_none(), "select omits the tree");
+        let attrs = projected.get("attrs").and_then(Json::as_arr).unwrap();
+        assert_eq!(attrs.len(), 2);
+        for a in attrs {
+            assert_eq!(a.get("t").and_then(Json::as_str), Some("author"));
+            let p = a.get("prov").expect("every attr carries provenance");
+            assert_eq!(p.get("source").and_then(Json::as_str), Some("zvents"));
+            assert_eq!(p.get("revision").and_then(Json::as_i64), Some(3));
+            assert_eq!(p.get("confidence").and_then(Json::as_f64), Some(0.875));
+        }
+    }
+}

@@ -1,0 +1,1215 @@
+//! The store itself: open, ingest, get, query, compact, status.
+//!
+//! In-memory state is deliberately small — a `BTreeMap` from identity
+//! key to the live record's location on disk. Records are read back on
+//! demand (get/query/fusion), so the store's memory footprint tracks
+//! object *count*, not object *bytes*, matching the streaming
+//! extraction path's memory discipline.
+//!
+//! Ingest stages a batch per identity key, fuses repeat sightings via
+//! `core::dedup::fuse`, and appends the dirty records **in key order**
+//! — so the bytes written are a function of the batch's contents, not
+//! of extraction scheduling. Appends fsync before the manifest
+//! commits; a crash in between leaves a torn tail that open truncates.
+
+use crate::manifest::{Manifest, SegmentMeta, MANIFEST_FILE};
+use crate::query::{Query, QueryResult};
+use crate::record::{AttrProvenance, ObjectRecord};
+use crate::segment::{
+    encode_frame, is_segment_file_name, segment_file_name, verify_payload, FrameLoc, SEGMENT_HEADER,
+};
+use crate::{atom_count, ObjStoreError};
+use objectrunner_core::dedup::{fuse, object_key_checked, KeySkipReason};
+use objectrunner_obs::{Obs, Span, LATENCY_BUCKETS_MICROS};
+use objectrunner_sod::Instance;
+use objectrunner_store::{fnv64, Fnv64};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+
+/// Default segment roll size. Small enough that compaction rewrites in
+/// bounded chunks, large enough that a typical crawl fits in a few
+/// files.
+pub const DEFAULT_MAX_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Where a live record lives on disk.
+#[derive(Debug, Clone)]
+struct LiveEntry {
+    /// Index into `Manifest::segments`.
+    seg: usize,
+    loc: FrameLoc,
+    version: u64,
+    /// Index into `ObjectStore::domains`.
+    domain: u32,
+}
+
+/// One extracted object offered to [`ObjectStore::ingest`].
+#[derive(Debug, Clone)]
+pub struct IngestObject {
+    pub instance: Instance,
+    /// Page the object was extracted from (provenance).
+    pub page_id: String,
+}
+
+/// Batch-level provenance shared by every object of one extraction.
+#[derive(Debug, Clone)]
+pub struct IngestContext<'a> {
+    /// Source (site) name.
+    pub source: &'a str,
+    /// Domain name the wrapper extracts.
+    pub domain: &'a str,
+    /// Extracting wrapper's revision.
+    pub wrapper_revision: u64,
+    /// Repair lineage: the revision this wrapper was repaired from.
+    pub repaired_from: Option<u64>,
+    /// Extraction wall-clock time (micros since epoch).
+    pub extracted_unix_micros: u64,
+    /// Extracting wrapper's confidence (induction quality).
+    pub confidence: f64,
+    /// Identity-key attributes (`Domain::key_attributes`).
+    pub key_attrs: &'a [&'a str],
+}
+
+/// What one ingest batch did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Objects offered.
+    pub ingested: u64,
+    /// First-sighting objects written at version 1.
+    pub new_objects: u64,
+    /// Existing objects that gained attributes (new version written).
+    pub fused: u64,
+    /// Offers that collided with an existing identity key.
+    pub duplicates: u64,
+    /// Offers with no identity key (not stored).
+    pub skipped: u64,
+    /// Skip counts by missing key attribute.
+    pub skipped_missing_attr: BTreeMap<String, u64>,
+    /// Records appended to disk.
+    pub records_written: u64,
+}
+
+/// What one compaction did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Live records carried into the new generation.
+    pub live_records: u64,
+    /// Superseded versions dropped.
+    pub dropped_records: u64,
+    pub segments_before: usize,
+    pub segments_after: usize,
+    pub bytes_before: u64,
+    pub bytes_after: u64,
+}
+
+/// A point-in-time summary for `store-status` / `status`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStatus {
+    pub generation: u64,
+    pub segments: usize,
+    pub live_objects: u64,
+    /// Superseded versions still occupying segment bytes.
+    pub dead_records: u64,
+    /// Committed segment bytes.
+    pub bytes: u64,
+    /// Live objects per domain.
+    pub per_domain: BTreeMap<String, u64>,
+    pub ingested: u64,
+    pub new_objects: u64,
+    pub fused: u64,
+    pub duplicates: u64,
+    pub skipped: u64,
+    pub compactions: u64,
+    /// Wall time of the last compaction in this process (not
+    /// persisted — manifest bytes stay a pure function of history).
+    pub last_compaction_unix_micros: Option<u64>,
+}
+
+/// The durable object store. Not internally synchronized — callers
+/// (the serve layer) hold it behind their own lock, which is also what
+/// keeps append order deterministic.
+pub struct ObjectStore {
+    dir: PathBuf,
+    max_segment_bytes: u64,
+    obs: Obs,
+    manifest: Manifest,
+    live: BTreeMap<String, LiveEntry>,
+    domains: Vec<String>,
+    domain_live: Vec<u64>,
+    dead_records: u64,
+    last_compaction_unix_micros: Option<u64>,
+}
+
+impl ObjectStore {
+    /// Open (or create) a store with default segment sizing.
+    pub fn open(dir: impl Into<PathBuf>, obs: Obs) -> Result<ObjectStore, ObjStoreError> {
+        ObjectStore::open_with(dir, DEFAULT_MAX_SEGMENT_BYTES, obs)
+    }
+
+    /// Open with an explicit segment roll size (tests use tiny ones to
+    /// exercise multi-segment stores cheaply).
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        max_segment_bytes: u64,
+        obs: Obs,
+    ) -> Result<ObjectStore, ObjStoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut span = obs.trace("objstore.open");
+        let manifest = Manifest::load(&dir)?.unwrap_or_else(Manifest::fresh);
+
+        let mut store = ObjectStore {
+            dir,
+            max_segment_bytes,
+            obs,
+            manifest,
+            live: BTreeMap::new(),
+            domains: Vec::new(),
+            domain_live: Vec::new(),
+            dead_records: 0,
+            last_compaction_unix_micros: None,
+        };
+        store.sweep_uncommitted_files()?;
+        for seg in 0..store.manifest.segments.len() {
+            store.load_segment(seg)?;
+        }
+        store.recount_domains();
+        span.attr_u64("segments", store.manifest.segments.len() as u64);
+        span.attr_u64("live_objects", store.live.len() as u64);
+        span.finish();
+        store.publish_gauges();
+        Ok(store)
+    }
+
+    /// Delete files the manifest does not own: `MANIFEST.tmp` and
+    /// segment files of other generations (a crashed compaction) or
+    /// never committed (a crashed first append).
+    fn sweep_uncommitted_files(&self) -> Result<(), ObjStoreError> {
+        let owned: Vec<&str> = self
+            .manifest
+            .segments
+            .iter()
+            .map(|s| s.file.as_str())
+            .collect();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stray = name == format!("{MANIFEST_FILE}.tmp")
+                || (is_segment_file_name(name) && !owned.contains(&name));
+            if stray {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify and index one committed segment: whole-prefix checksum
+    /// against the manifest, truncate any torn tail, then scan frames
+    /// into the live map (later versions of a key supersede earlier).
+    fn load_segment(&mut self, seg: usize) -> Result<(), ObjStoreError> {
+        let meta = self.manifest.segments[seg].clone();
+        let path = self.dir.join(&meta.file);
+        let bytes = fs::read(&path)?;
+        let committed = meta.committed_bytes as usize;
+        if bytes.len() < committed {
+            return Err(ObjStoreError::Corrupt {
+                file: meta.file.clone(),
+                detail: format!(
+                    "file is {} bytes, manifest committed {committed}",
+                    bytes.len()
+                ),
+            });
+        }
+        if bytes.len() > committed {
+            // Torn append from a crash before manifest commit.
+            let f = fs::OpenOptions::new().write(true).open(&path)?;
+            f.set_len(meta.committed_bytes)?;
+            f.sync_all()?;
+        }
+        let data =
+            std::str::from_utf8(&bytes[..committed]).map_err(|e| ObjStoreError::Corrupt {
+                file: meta.file.clone(),
+                detail: format!("committed prefix is not UTF-8: {e}"),
+            })?;
+        if fnv64(data.as_bytes()) != meta.checksum {
+            return Err(ObjStoreError::Corrupt {
+                file: meta.file.clone(),
+                detail: "committed prefix checksum mismatch".into(),
+            });
+        }
+        let mut records = 0u64;
+        let mut updates: Vec<(String, LiveEntry)> = Vec::new();
+        let domains = &mut self.domains;
+        crate::segment::scan(data, &meta.file, |loc, payload| {
+            let record = ObjectRecord::parse(payload, &meta.file)?;
+            records += 1;
+            updates.push((
+                record.key,
+                LiveEntry {
+                    seg,
+                    loc,
+                    version: record.version,
+                    domain: self_intern(domains, &record.domain),
+                },
+            ));
+            Ok(())
+        })?;
+        if records != meta.records {
+            return Err(ObjStoreError::Corrupt {
+                file: meta.file.clone(),
+                detail: format!(
+                    "{records} records on disk, manifest committed {}",
+                    meta.records
+                ),
+            });
+        }
+        for (key, entry) in updates {
+            if self.live.insert(key, entry).is_some() {
+                self.dead_records += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn intern_domain(&mut self, domain: &str) -> u32 {
+        self_intern(&mut self.domains, domain)
+    }
+
+    fn recount_domains(&mut self) {
+        self.domain_live = vec![0; self.domains.len()];
+        for entry in self.live.values() {
+            self.domain_live[entry.domain as usize] += 1;
+        }
+    }
+
+    /// Read one live record back from its segment, verifying its frame
+    /// checksum.
+    fn read_record(&self, entry: &LiveEntry) -> Result<ObjectRecord, ObjStoreError> {
+        let meta = &self.manifest.segments[entry.seg];
+        let mut f = fs::File::open(self.dir.join(&meta.file))?;
+        f.seek(SeekFrom::Start(entry.loc.payload_offset))?;
+        let mut buf = vec![0u8; entry.loc.payload_len as usize];
+        f.read_exact(&mut buf)?;
+        let payload = String::from_utf8(buf).map_err(|e| ObjStoreError::Corrupt {
+            file: meta.file.clone(),
+            detail: format!("record payload is not UTF-8: {e}"),
+        })?;
+        verify_payload(&payload, &entry.loc, &meta.file)?;
+        ObjectRecord::parse(&payload, &meta.file)
+    }
+
+    /// Fetch the live version of an object by identity key.
+    pub fn get(&self, key: &str) -> Result<Option<ObjectRecord>, ObjStoreError> {
+        match self.live.get(key) {
+            None => Ok(None),
+            Some(entry) => self.read_record(entry).map(Some),
+        }
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Ingest one extraction batch. See the module docs for the
+    /// staging/fusion/append discipline.
+    pub fn ingest(
+        &mut self,
+        objects: Vec<IngestObject>,
+        ctx: &IngestContext<'_>,
+        trace: Option<(u64, u64)>,
+    ) -> Result<IngestReport, ObjStoreError> {
+        let started = self.now_micros();
+        let mut span = self.span("objstore.ingest", trace);
+        let mut report = IngestReport {
+            ingested: objects.len() as u64,
+            ..IngestReport::default()
+        };
+
+        // Stage the batch per identity key, fusing repeat sightings.
+        struct Staged {
+            record: ObjectRecord,
+            dirty: bool,
+            existed: bool,
+        }
+        let mut staged: BTreeMap<String, Staged> = BTreeMap::new();
+        for obj in objects {
+            let key = match object_key_checked(&obj.instance, ctx.key_attrs) {
+                Ok(k) => k,
+                Err(KeySkipReason::MissingKeyAttr { attr }) => {
+                    report.skipped += 1;
+                    *report.skipped_missing_attr.entry(attr).or_insert(0) += 1;
+                    continue;
+                }
+            };
+            let prov = AttrProvenance {
+                source: ctx.source.to_owned(),
+                page_id: obj.page_id,
+                wrapper_revision: ctx.wrapper_revision,
+                repaired_from: ctx.repaired_from,
+                extracted_unix_micros: ctx.extracted_unix_micros,
+                confidence: ctx.confidence,
+            };
+            let slot = match staged.entry(key.clone()) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::btree_map::Entry::Vacant(e) => match self.live.get(&key) {
+                    Some(entry) => {
+                        let record = self.read_record(entry)?;
+                        e.insert(Staged {
+                            record,
+                            dirty: false,
+                            existed: true,
+                        })
+                    }
+                    None => {
+                        let atoms = obj.instance.flatten().len();
+                        report.new_objects += 1;
+                        e.insert(Staged {
+                            record: ObjectRecord {
+                                key,
+                                version: 1,
+                                seq: 0, // assigned at append
+                                domain: ctx.domain.to_owned(),
+                                instance: obj.instance,
+                                provs: vec![prov],
+                                attr_prov: vec![0; atoms],
+                            },
+                            dirty: true,
+                            existed: false,
+                        });
+                        continue;
+                    }
+                },
+            };
+            // The key already names a stored or staged object: fuse.
+            report.duplicates += 1;
+            if let Some(fusion) = fuse(&slot.record.instance, &obj.instance) {
+                report.fused += 1;
+                let Instance::Tuple { fields, .. } = &obj.instance else {
+                    unreachable!("fuse only succeeds on tuples");
+                };
+                let prov_ix = slot.record.provs.len() as u32;
+                slot.record.provs.push(prov);
+                for &fi in &fusion.added_fields {
+                    let atoms = atom_count(&fields[fi]);
+                    slot.record
+                        .attr_prov
+                        .extend(std::iter::repeat_n(prov_ix, atoms));
+                }
+                slot.record.instance = fusion.instance;
+                slot.dirty = true;
+            }
+        }
+
+        // Append dirty staged records in key order.
+        let dirty: Vec<ObjectRecord> = staged
+            .into_iter()
+            .filter(|(_, s)| s.dirty)
+            .map(|(_, mut s)| {
+                if s.existed {
+                    s.record.version += 1;
+                }
+                s.record.seq = self.manifest.next_seq;
+                self.manifest.next_seq += 1;
+                s.record
+            })
+            .collect();
+        report.records_written = dirty.len() as u64;
+        self.append_records(&dirty)?;
+
+        self.manifest.ingested += report.ingested;
+        self.manifest.new_objects += report.new_objects;
+        self.manifest.fused += report.fused;
+        self.manifest.duplicates += report.duplicates;
+        self.manifest.skipped += report.skipped;
+        self.manifest.commit(&self.dir)?;
+
+        span.attr_u64("objects", report.ingested);
+        span.attr_u64("new_objects", report.new_objects);
+        span.attr_u64("fused", report.fused);
+        span.attr_u64("duplicates", report.duplicates);
+        span.attr_u64("skipped", report.skipped);
+        span.finish();
+        self.obs
+            .counter_add("objectrunner.objstore.ingest.objects", report.ingested);
+        self.obs.counter_add(
+            "objectrunner.objstore.ingest.new_objects",
+            report.new_objects,
+        );
+        self.obs
+            .counter_add("objectrunner.objstore.ingest.fused", report.fused);
+        self.obs
+            .counter_add("objectrunner.objstore.ingest.duplicates", report.duplicates);
+        self.obs
+            .counter_add("objectrunner.objstore.ingest.skipped", report.skipped);
+        self.record_latency("objectrunner.objstore.ingest.latency_micros", started);
+        self.publish_gauges();
+        Ok(report)
+    }
+
+    /// Append rendered records to the active segment (rolling to a new
+    /// one at the size threshold), fsync, and update segment metadata.
+    /// The manifest is NOT committed here — callers batch that.
+    fn append_records(&mut self, records: &[ObjectRecord]) -> Result<(), ObjStoreError> {
+        for record in records {
+            let payload = record.render();
+            let frame = encode_frame(&payload);
+            let seg = self.active_segment_for(frame.len() as u64)?;
+            let meta = &self.manifest.segments[seg];
+            let path = self.dir.join(&meta.file);
+            let mut f = fs::OpenOptions::new().append(true).open(&path)?;
+            let payload_offset =
+                meta.committed_bytes + frame.find('\n').expect("frame header") as u64 + 1;
+            f.write_all(frame.as_bytes())?;
+            f.sync_all()?;
+
+            let mut sum = Fnv64::resume(meta.checksum);
+            sum.update(frame.as_bytes());
+            let domain = self.intern_domain(&record.domain);
+            let meta = &mut self.manifest.segments[seg];
+            let entry = LiveEntry {
+                seg,
+                loc: FrameLoc {
+                    payload_offset,
+                    payload_len: payload.len() as u32,
+                    checksum: fnv64(payload.as_bytes()),
+                },
+                version: record.version,
+                domain,
+            };
+            meta.committed_bytes += frame.len() as u64;
+            meta.checksum = sum.finish();
+            meta.records += 1;
+            if self.live.insert(record.key.clone(), entry).is_some() {
+                self.dead_records += 1;
+            }
+        }
+        self.recount_domains();
+        Ok(())
+    }
+
+    /// Index of the segment the next `frame_len`-byte frame should go
+    /// to, creating/rolling files as needed.
+    fn active_segment_for(&mut self, frame_len: u64) -> Result<usize, ObjStoreError> {
+        let roll = match self.manifest.segments.last() {
+            None => true,
+            Some(meta) => {
+                meta.records > 0 && meta.committed_bytes + frame_len > self.max_segment_bytes
+            }
+        };
+        if roll {
+            let index = self
+                .manifest
+                .segments
+                .iter()
+                .filter(|s| {
+                    s.file
+                        .starts_with(&format!("seg-g{:05}-", self.manifest.generation))
+                })
+                .count() as u64;
+            let file = segment_file_name(self.manifest.generation, index);
+            let path = self.dir.join(&file);
+            let mut f = fs::File::create(&path)?;
+            f.write_all(SEGMENT_HEADER.as_bytes())?;
+            f.sync_all()?;
+            self.manifest.segments.push(SegmentMeta {
+                file,
+                records: 0,
+                committed_bytes: SEGMENT_HEADER.len() as u64,
+                checksum: fnv64(SEGMENT_HEADER.as_bytes()),
+            });
+        }
+        Ok(self.manifest.segments.len() - 1)
+    }
+
+    /// Run a query. Results come back in identity-key order; see
+    /// [`Query`] for cursor semantics.
+    pub fn query(
+        &self,
+        q: &Query,
+        trace: Option<(u64, u64)>,
+    ) -> Result<QueryResult, ObjStoreError> {
+        let started = self.now_micros();
+        let mut span = self.span("objstore.query", trace);
+        let limit = q.limit.clamp(1, crate::query::MAX_LIMIT);
+        let domain_ix: Option<u32> = match &q.domain {
+            None => None,
+            Some(d) => match self.domains.iter().position(|x| x == d) {
+                Some(i) => Some(i as u32),
+                // Unknown domain: definitionally empty result.
+                None => {
+                    span.finish();
+                    return Ok(QueryResult {
+                        hits: Vec::new(),
+                        next_cursor: None,
+                        scanned: 0,
+                    });
+                }
+            },
+        };
+        let range = match &q.cursor {
+            None => self.live.range::<String, _>(..),
+            Some(c) => self
+                .live
+                .range::<String, _>((Bound::Excluded(c.clone()), Bound::Unbounded)),
+        };
+        let mut hits = Vec::new();
+        let mut scanned = 0usize;
+        let mut next_cursor = None;
+        for (key, entry) in range {
+            if let Some(d) = domain_ix {
+                if entry.domain != d {
+                    continue;
+                }
+            }
+            scanned += 1;
+            let record = self.read_record(entry)?;
+            if q.matches(&record.instance) {
+                hits.push(record);
+                if hits.len() == limit {
+                    next_cursor = Some(key.clone());
+                    break;
+                }
+            }
+        }
+        span.attr_u64("hits", hits.len() as u64);
+        span.attr_u64("scanned", scanned as u64);
+        span.finish();
+        self.obs
+            .counter_add("objectrunner.objstore.query.hits", hits.len() as u64);
+        self.record_latency("objectrunner.objstore.query.latency_micros", started);
+        Ok(QueryResult {
+            hits,
+            next_cursor,
+            scanned,
+        })
+    }
+
+    /// Rewrite live records into a fresh generation, dropping
+    /// superseded versions, then atomically switch the manifest over
+    /// and delete the old generation's files.
+    ///
+    /// Record bytes are preserved exactly (key, version, seq,
+    /// provenance — everything), so reads before and after compaction
+    /// are byte-identical; only file placement changes.
+    pub fn compact(
+        &mut self,
+        now_unix_micros: u64,
+        trace: Option<(u64, u64)>,
+    ) -> Result<CompactReport, ObjStoreError> {
+        let started = self.now_micros();
+        let mut span = self.span("objstore.compact", trace);
+        let mut report = CompactReport {
+            live_records: self.live.len() as u64,
+            dropped_records: self.dead_records,
+            segments_before: self.manifest.segments.len(),
+            bytes_before: self
+                .manifest
+                .segments
+                .iter()
+                .map(|s| s.committed_bytes)
+                .sum(),
+            ..CompactReport::default()
+        };
+
+        let generation = self.manifest.generation + 1;
+        let mut new_segments: Vec<SegmentMeta> = Vec::new();
+        let mut new_entries: Vec<(String, LiveEntry)> = Vec::new();
+        let mut current: Option<(fs::File, SegmentMeta, Fnv64)> = None;
+
+        for (key, entry) in &self.live {
+            let record = self.read_record(entry)?;
+            let payload = record.render();
+            let frame = encode_frame(&payload);
+            let roll = match &current {
+                None => true,
+                Some((_, meta, _)) => {
+                    meta.committed_bytes + frame.len() as u64 > self.max_segment_bytes
+                        && meta.records > 0
+                }
+            };
+            if roll {
+                if let Some(done) = current.take() {
+                    new_segments.push(finish_segment(done)?);
+                }
+                let file = segment_file_name(generation, new_segments.len() as u64);
+                let f = fs::File::create(self.dir.join(format!("{file}.tmp")))?;
+                let mut sum = Fnv64::new();
+                sum.update(SEGMENT_HEADER.as_bytes());
+                let mut f = f;
+                f.write_all(SEGMENT_HEADER.as_bytes())?;
+                current = Some((
+                    f,
+                    SegmentMeta {
+                        file,
+                        records: 0,
+                        committed_bytes: SEGMENT_HEADER.len() as u64,
+                        checksum: 0, // running state kept in the Fnv64
+                    },
+                    sum,
+                ));
+            }
+            let (f, meta, sum) = current.as_mut().expect("rolled above");
+            let payload_offset =
+                meta.committed_bytes + frame.find('\n').expect("frame header") as u64 + 1;
+            f.write_all(frame.as_bytes())?;
+            sum.update(frame.as_bytes());
+            new_entries.push((
+                key.clone(),
+                LiveEntry {
+                    seg: new_segments.len(),
+                    loc: FrameLoc {
+                        payload_offset,
+                        payload_len: payload.len() as u32,
+                        checksum: fnv64(payload.as_bytes()),
+                    },
+                    version: entry.version,
+                    domain: entry.domain,
+                },
+            ));
+            meta.committed_bytes += frame.len() as u64;
+            meta.records += 1;
+        }
+        if let Some(done) = current.take() {
+            new_segments.push(finish_segment(done)?);
+        }
+
+        // Rename tmp files into place, then commit the manifest: a
+        // crash before commit leaves strays that open sweeps away.
+        for meta in &new_segments {
+            fs::rename(
+                self.dir.join(format!("{}.tmp", meta.file)),
+                self.dir.join(&meta.file),
+            )?;
+        }
+        let old_files: Vec<String> = self
+            .manifest
+            .segments
+            .iter()
+            .map(|s| s.file.clone())
+            .collect();
+        self.manifest.generation = generation;
+        self.manifest.compactions += 1;
+        self.manifest.segments = new_segments;
+        self.manifest.commit(&self.dir)?;
+        for file in old_files {
+            match fs::remove_file(self.dir.join(&file)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(ObjStoreError::Io(e)),
+            }
+        }
+
+        self.live = new_entries.into_iter().collect();
+        self.dead_records = 0;
+        self.last_compaction_unix_micros = Some(now_unix_micros);
+        report.segments_after = self.manifest.segments.len();
+        report.bytes_after = self
+            .manifest
+            .segments
+            .iter()
+            .map(|s| s.committed_bytes)
+            .sum();
+
+        span.attr_u64("live_records", report.live_records);
+        span.attr_u64("dropped_records", report.dropped_records);
+        span.attr_u64("bytes_after", report.bytes_after);
+        span.finish();
+        self.obs
+            .counter_add("objectrunner.objstore.compact.runs", 1);
+        self.record_latency("objectrunner.objstore.compact.latency_micros", started);
+        self.publish_gauges();
+        Ok(report)
+    }
+
+    /// Point-in-time summary.
+    pub fn status(&self) -> StoreStatus {
+        let per_domain = self
+            .domains
+            .iter()
+            .zip(&self.domain_live)
+            .filter(|(_, &n)| n > 0)
+            .map(|(d, &n)| (d.clone(), n))
+            .collect();
+        StoreStatus {
+            generation: self.manifest.generation,
+            segments: self.manifest.segments.len(),
+            live_objects: self.live.len() as u64,
+            dead_records: self.dead_records,
+            bytes: self
+                .manifest
+                .segments
+                .iter()
+                .map(|s| s.committed_bytes)
+                .sum(),
+            per_domain,
+            ingested: self.manifest.ingested,
+            new_objects: self.manifest.new_objects,
+            fused: self.manifest.fused,
+            duplicates: self.manifest.duplicates,
+            skipped: self.manifest.skipped,
+            compactions: self.manifest.compactions,
+            last_compaction_unix_micros: self.last_compaction_unix_micros,
+        }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn span(&self, name: &'static str, trace: Option<(u64, u64)>) -> Span {
+        match trace {
+            Some((t, parent)) => self.obs.span_in(t, parent, name),
+            None => self.obs.trace(name),
+        }
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.obs.clock().map(|c| c.monotonic_micros()).unwrap_or(0)
+    }
+
+    fn record_latency(&self, name: &str, started: u64) {
+        let elapsed = self.now_micros().saturating_sub(started);
+        self.obs
+            .histogram_record(name, &LATENCY_BUCKETS_MICROS, elapsed);
+    }
+
+    fn publish_gauges(&self) {
+        self.obs
+            .gauge_set("objectrunner.objstore.live_objects", self.live.len() as i64);
+        self.obs.gauge_set(
+            "objectrunner.objstore.dead_records",
+            self.dead_records as i64,
+        );
+        self.obs.gauge_set(
+            "objectrunner.objstore.segments",
+            self.manifest.segments.len() as i64,
+        );
+        let bytes: u64 = self
+            .manifest
+            .segments
+            .iter()
+            .map(|s| s.committed_bytes)
+            .sum();
+        self.obs
+            .gauge_set("objectrunner.objstore.bytes", bytes as i64);
+    }
+}
+
+fn self_intern(domains: &mut Vec<String>, domain: &str) -> u32 {
+    match domains.iter().position(|d| d == domain) {
+        Some(i) => i as u32,
+        None => {
+            domains.push(domain.to_owned());
+            (domains.len() - 1) as u32
+        }
+    }
+}
+
+/// Flush, fsync and finalize one compaction segment: fold the running
+/// checksum into its metadata.
+fn finish_segment(
+    (f, mut meta, sum): (fs::File, SegmentMeta, Fnv64),
+) -> Result<SegmentMeta, ObjStoreError> {
+    f.sync_all()?;
+    meta.checksum = sum.finish();
+    Ok(meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Filter;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("objstore-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn concert(artist: &str, date: &str, theater: Option<&str>) -> IngestObject {
+        let mut fields = vec![
+            Instance::atomic("artist", artist),
+            Instance::atomic("date", date),
+        ];
+        if let Some(t) = theater {
+            fields.push(Instance::atomic("theater", t));
+        }
+        IngestObject {
+            instance: Instance::Tuple {
+                name: "concert".into(),
+                fields,
+            },
+            page_id: format!("page-{artist}"),
+        }
+    }
+
+    fn ctx<'a>(source: &'a str, key_attrs: &'a [&'a str]) -> IngestContext<'a> {
+        IngestContext {
+            source,
+            domain: "Concerts",
+            wrapper_revision: 1,
+            repaired_from: None,
+            extracted_unix_micros: 1_700_000_000_000_000,
+            confidence: 0.9,
+            key_attrs,
+        }
+    }
+
+    fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+        fs::read_dir(dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_get_reopen_round_trip() {
+        let dir = scratch_dir("roundtrip");
+        let key_attrs = ["artist", "date"];
+        let mut store = ObjectStore::open(&dir, Obs::disabled()).unwrap();
+        let report = store
+            .ingest(
+                vec![
+                    concert("Metallica", "May 11, 2010", Some("MSG")),
+                    concert("Muse", "May 12, 2010", None),
+                ],
+                &ctx("zvents", &key_attrs),
+                None,
+            )
+            .unwrap();
+        assert_eq!(report.new_objects, 2);
+        assert_eq!(report.records_written, 2);
+
+        let status = store.status();
+        assert_eq!(status.live_objects, 2);
+        assert_eq!(status.per_domain.get("Concerts"), Some(&2));
+
+        // Cold reopen sees the same objects and the same provenance.
+        drop(store);
+        let store = ObjectStore::open(&dir, Obs::disabled()).unwrap();
+        assert_eq!(store.len(), 2);
+        let q = store.query(&Query::all(), None).unwrap();
+        assert_eq!(q.hits.len(), 2);
+        for hit in &q.hits {
+            assert_eq!(hit.version, 1);
+            assert_eq!(hit.attr_prov.len(), hit.instance.flatten().len());
+            for i in 0..hit.attr_prov.len() {
+                let p = hit.provenance_of(i);
+                assert_eq!(p.source, "zvents");
+                assert_eq!(p.wrapper_revision, 1);
+                assert!((p.confidence - 0.9).abs() < 1e-9);
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fusion_writes_new_version_with_merged_provenance() {
+        let dir = scratch_dir("fusion");
+        let key_attrs = ["artist", "date"];
+        let mut store = ObjectStore::open(&dir, Obs::disabled()).unwrap();
+        store
+            .ingest(
+                vec![concert("Metallica", "May 11, 2010", None)],
+                &ctx("zvents", &key_attrs),
+                None,
+            )
+            .unwrap();
+        // Second source knows the theater: fuse, bump version.
+        let report = store
+            .ingest(
+                vec![concert("METALLICA", "may 11 2010", Some("MSG"))],
+                &ctx("yellowpages", &key_attrs),
+                None,
+            )
+            .unwrap();
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(report.fused, 1);
+        assert_eq!(report.new_objects, 0);
+
+        let q = store.query(&Query::all(), None).unwrap();
+        assert_eq!(q.hits.len(), 1, "one live object");
+        let hit = &q.hits[0];
+        assert_eq!(hit.version, 2);
+        let flat = hit.instance.flatten();
+        assert_eq!(flat.len(), 3, "theater fused in");
+        // artist+date provenance: first source; theater: second.
+        assert_eq!(hit.provenance_of(0).source, "zvents");
+        assert_eq!(hit.provenance_of(1).source, "zvents");
+        let theater_atom = flat.iter().position(|(t, _)| *t == "theater").unwrap();
+        assert_eq!(hit.provenance_of(theater_atom).source, "yellowpages");
+        assert_eq!(store.get(&hit.key).unwrap().as_ref(), Some(hit));
+        assert_eq!(store.get("no such key").unwrap(), None);
+
+        // A sighting that adds nothing is a pure duplicate: no write.
+        let before = store.status().bytes;
+        let report = store
+            .ingest(
+                vec![concert("Metallica", "May 11, 2010", None)],
+                &ctx("zvents", &key_attrs),
+                None,
+            )
+            .unwrap();
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(report.fused, 0);
+        assert_eq!(report.records_written, 0);
+        assert_eq!(store.status().bytes, before);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn skipped_objects_are_counted_not_stored() {
+        let dir = scratch_dir("skip");
+        let key_attrs = ["artist", "date", "theater"];
+        let mut store = ObjectStore::open(&dir, Obs::disabled()).unwrap();
+        let report = store
+            .ingest(
+                vec![
+                    concert("Metallica", "May 11, 2010", None), // no theater
+                    concert("Muse", "May 12, 2010", Some("MSG")),
+                ],
+                &ctx("zvents", &key_attrs),
+                None,
+            )
+            .unwrap();
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.skipped_missing_attr.get("theater"), Some(&1));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.status().skipped, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ingest_is_byte_deterministic_regardless_of_offer_order() {
+        // Two stores ingesting the same batch must be byte-identical;
+        // staging keys the batch, so offer order inside a batch cannot
+        // leak into the files (the thread-count determinism the serve
+        // equivalence test relies on).
+        let key_attrs = ["artist", "date"];
+        let batch = vec![
+            concert("Muse", "May 12, 2010", None),
+            concert("Metallica", "May 11, 2010", Some("MSG")),
+            concert("AC/DC", "May 13, 2010", None),
+        ];
+        let mut reversed = batch.clone();
+        reversed.reverse();
+
+        let dir_a = scratch_dir("det-a");
+        let dir_b = scratch_dir("det-b");
+        let mut a = ObjectStore::open(&dir_a, Obs::disabled()).unwrap();
+        let mut b = ObjectStore::open(&dir_b, Obs::disabled()).unwrap();
+        a.ingest(batch, &ctx("zvents", &key_attrs), None).unwrap();
+        b.ingest(reversed, &ctx("zvents", &key_attrs), None)
+            .unwrap();
+        assert_eq!(dir_bytes(&dir_a), dir_bytes(&dir_b));
+        fs::remove_dir_all(&dir_a).unwrap();
+        fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn query_filters_paginate_and_survive_reopen() {
+        let dir = scratch_dir("query");
+        let key_attrs = ["artist", "date"];
+        // Tiny segments force a multi-segment store.
+        let mut store = ObjectStore::open_with(&dir, 256, Obs::disabled()).unwrap();
+        let batch: Vec<IngestObject> = (0..10)
+            .map(|i| concert(&format!("Artist {i:02}"), "May 1, 2020", Some("MSG")))
+            .collect();
+        store
+            .ingest(batch, &ctx("zvents", &key_attrs), None)
+            .unwrap();
+        assert!(store.status().segments > 1, "tiny segments must roll");
+
+        let q = Query {
+            filters: vec![Filter {
+                attr: "theater".into(),
+                op: crate::query::FilterOp::Eq,
+                value: "msg".into(),
+            }],
+            limit: 4,
+            ..Query::all()
+        };
+        let page1 = store.query(&q, None).unwrap();
+        assert_eq!(page1.hits.len(), 4);
+        let cursor = page1.next_cursor.clone().expect("more pages");
+
+        // The cursor stays valid across a cold reopen.
+        drop(store);
+        let store = ObjectStore::open_with(&dir, 256, Obs::disabled()).unwrap();
+        let page2 = store
+            .query(
+                &Query {
+                    cursor: Some(cursor),
+                    ..q.clone()
+                },
+                None,
+            )
+            .unwrap();
+        assert_eq!(page2.hits.len(), 4);
+        assert!(page1
+            .hits
+            .iter()
+            .all(|h| page2.hits.iter().all(|g| g.key != h.key)));
+
+        // Unknown domain is an empty result, not an error.
+        let none = store
+            .query(
+                &Query {
+                    domain: Some("Cars".into()),
+                    ..Query::all()
+                },
+                None,
+            )
+            .unwrap();
+        assert!(none.hits.is_empty() && none.next_cursor.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_dead_versions_and_preserves_reads() {
+        let dir = scratch_dir("compact");
+        let key_attrs = ["artist", "date"];
+        let mut store = ObjectStore::open_with(&dir, 512, Obs::disabled()).unwrap();
+        for source in ["zvents", "yellowpages", "ticketweb"] {
+            let batch: Vec<IngestObject> = (0..6)
+                .map(|i| {
+                    concert(
+                        &format!("Artist {i}"),
+                        "May 1, 2020",
+                        // Later sources add a theater → fusion → new versions.
+                        (source != "zvents").then_some(source),
+                    )
+                })
+                .collect();
+            store.ingest(batch, &ctx(source, &key_attrs), None).unwrap();
+        }
+        let before_status = store.status();
+        assert!(before_status.dead_records > 0, "fusions left dead versions");
+        let before: Vec<String> = store
+            .query(&Query::all(), None)
+            .unwrap()
+            .hits
+            .iter()
+            .map(|h| h.to_json().render())
+            .collect();
+
+        let report = store.compact(123, None).unwrap();
+        assert_eq!(report.dropped_records, before_status.dead_records);
+        assert!(report.bytes_after < report.bytes_before);
+        assert_eq!(store.status().dead_records, 0);
+        assert_eq!(store.status().last_compaction_unix_micros, Some(123));
+
+        let after: Vec<String> = store
+            .query(&Query::all(), None)
+            .unwrap()
+            .hits
+            .iter()
+            .map(|h| h.to_json().render())
+            .collect();
+        assert_eq!(before, after, "reads are byte-identical across compaction");
+
+        // And across a reopen of the compacted store.
+        drop(store);
+        let store = ObjectStore::open_with(&dir, 512, Obs::disabled()).unwrap();
+        let reopened: Vec<String> = store
+            .query(&Query::all(), None)
+            .unwrap()
+            .hits
+            .iter()
+            .map(|h| h.to_json().render())
+            .collect();
+        assert_eq!(before, reopened);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_strays_swept() {
+        let dir = scratch_dir("torn");
+        let key_attrs = ["artist", "date"];
+        let mut store = ObjectStore::open(&dir, Obs::disabled()).unwrap();
+        store
+            .ingest(
+                vec![concert("Metallica", "May 11, 2010", None)],
+                &ctx("zvents", &key_attrs),
+                None,
+            )
+            .unwrap();
+        let seg = store.manifest.segments[0].file.clone();
+        drop(store);
+
+        // Crash simulation: half a frame appended past the committed
+        // length, plus a stale compaction temp and manifest temp.
+        let path = dir.join(&seg);
+        let committed = fs::metadata(&path).unwrap().len();
+        let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"REC 999 0123456789abcdef\n{\"key\":\"torn")
+            .unwrap();
+        drop(f);
+        fs::write(dir.join("seg-g00002-00000.seg.tmp"), b"garbage").unwrap();
+        fs::write(dir.join("seg-g00099-00000.seg"), b"garbage").unwrap();
+        fs::write(dir.join("MANIFEST.tmp"), b"garbage").unwrap();
+
+        let store = ObjectStore::open(&dir, Obs::disabled()).unwrap();
+        assert_eq!(store.len(), 1, "committed record survives");
+        assert_eq!(fs::metadata(&path).unwrap().len(), committed, "tail gone");
+        assert!(!dir.join("MANIFEST.tmp").exists());
+        assert!(!dir.join("seg-g00002-00000.seg.tmp").exists());
+        assert!(!dir.join("seg-g00099-00000.seg").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_inside_committed_prefix_fails_loud() {
+        let dir = scratch_dir("corrupt");
+        let key_attrs = ["artist", "date"];
+        let mut store = ObjectStore::open(&dir, Obs::disabled()).unwrap();
+        store
+            .ingest(
+                vec![concert("Metallica", "May 11, 2010", None)],
+                &ctx("zvents", &key_attrs),
+                None,
+            )
+            .unwrap();
+        let seg = store.manifest.segments[0].file.clone();
+        drop(store);
+
+        let path = dir.join(&seg);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ObjectStore::open(&dir, Obs::disabled()),
+            Err(ObjStoreError::Corrupt { .. })
+        ));
+
+        // Truncation inside the committed prefix is data loss, not a
+        // torn tail: also loud.
+        fs::write(&path, &bytes[..mid]).unwrap();
+        assert!(matches!(
+            ObjectStore::open(&dir, Obs::disabled()),
+            Err(ObjStoreError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

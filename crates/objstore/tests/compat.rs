@@ -1,0 +1,180 @@
+//! Format compatibility: a store directory committed by the v1 format
+//! must keep opening byte-for-byte as the code evolves, and the
+//! open∘read and open∘compact∘reopen paths must be fixed points over
+//! it. The fixture under `tests/fixtures/v1-store/` was written by the
+//! `regenerate_v1_fixture` test below (run with `--ignored` after a
+//! deliberate format change, alongside a version bump).
+
+use objectrunner_objstore::{Manifest, ObjectStore, Query, MANIFEST_FILE, MANIFEST_VERSION};
+use objectrunner_obs::Obs;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v1-store")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "objectrunner-objstore-compat-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Copy the fixture into a scratch directory (compaction rewrites
+/// files; the committed fixture must never be touched by a test run).
+fn fixture_copy(tag: &str) -> PathBuf {
+    let dir = scratch_dir(tag);
+    for entry in std::fs::read_dir(fixture_dir()).expect("fixture dir exists — regenerate it?") {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dir.join(entry.file_name())).unwrap();
+    }
+    dir
+}
+
+fn contents(dir: &Path) -> Vec<String> {
+    let store = ObjectStore::open_with(dir, 512, Obs::disabled()).expect("open");
+    let result = store
+        .query(
+            &Query {
+                limit: 500,
+                ..Query::all()
+            },
+            None,
+        )
+        .expect("query");
+    result.hits.iter().map(|r| r.render()).collect()
+}
+
+#[test]
+fn v1_store_still_opens_with_fused_history_intact() {
+    let dir = fixture_copy("open");
+    let manifest_bytes = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+    assert!(
+        manifest_bytes.starts_with("ORMAN v1 "),
+        "fixture is not a v1 manifest: {}",
+        &manifest_bytes[..20.min(manifest_bytes.len())]
+    );
+    // The manifest codec is a fixed point on the committed bytes.
+    let manifest = Manifest::parse(&manifest_bytes).expect("v1 manifest parses");
+    assert_eq!(manifest.render(), manifest_bytes);
+    assert_eq!(MANIFEST_VERSION, 1, "bump: regenerate the fixture");
+
+    let store = ObjectStore::open_with(&dir, 512, Obs::disabled()).expect("v1 store opens");
+    let status = store.status();
+    assert_eq!(status.live_objects, 4, "fixture holds four concerts");
+    assert_eq!(status.fused, 2, "two were fused from a second source");
+    assert_eq!(status.per_domain.get("Concerts"), Some(&4));
+    assert!(status.dead_records > 0, "fusion left superseded versions");
+
+    // A fused object reads back at version 2 with per-attribute
+    // provenance pointing at both contributing sources.
+    let record = store
+        .get("artist=the nationals|date=may 1 2012")
+        .expect("read")
+        .expect("fused concert is live");
+    assert_eq!(record.version, 2);
+    let sources: Vec<&str> = (0..record.attr_prov.len())
+        .map(|i| record.provenance_of(i).source.as_str())
+        .collect();
+    assert!(
+        sources.contains(&"zvents"),
+        "original attrs keep their source"
+    );
+    assert!(
+        sources.contains(&"yellowpages"),
+        "fused attr carries the fusing source"
+    );
+}
+
+#[test]
+fn open_compact_reopen_is_a_fixed_point_on_the_fixture() {
+    let dir = fixture_copy("compact");
+    let before = contents(&dir);
+    assert!(!before.is_empty());
+
+    let dropped = {
+        let mut store = ObjectStore::open_with(&dir, 512, Obs::disabled()).expect("open");
+        let report = store.compact(1_700_000_099_000_000, None).expect("compact");
+        assert_eq!(report.live_records as usize, before.len());
+        report.dropped_records
+    };
+    assert!(dropped > 0, "the fixture's dead versions get dropped");
+
+    assert_eq!(contents(&dir), before, "reads unchanged after compact");
+    assert_eq!(
+        contents(&dir),
+        before,
+        "…and after reopening the compacted store"
+    );
+    let status = ObjectStore::open_with(&dir, 512, Obs::disabled())
+        .unwrap()
+        .status();
+    assert_eq!(status.dead_records, 0);
+    assert_eq!(status.generation, 2);
+}
+
+/// Writes the fixture. Deliberately `#[ignore]`d: it only runs by hand
+/// (`cargo test -p objectrunner-objstore --test compat -- --ignored`)
+/// when the format version is bumped, and its output gets committed.
+#[test]
+#[ignore]
+fn regenerate_v1_fixture() {
+    use objectrunner_objstore::{IngestContext, IngestObject};
+    use objectrunner_sod::Instance;
+
+    let dir = fixture_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut store = ObjectStore::open_with(&dir, 512, Obs::disabled()).unwrap();
+
+    let concert = |fields: &[(&str, &str)]| Instance::Tuple {
+        name: "concert".into(),
+        fields: fields.iter().map(|(t, v)| Instance::atomic(t, v)).collect(),
+    };
+    let ctx = |source, extracted_unix_micros| IngestContext {
+        source,
+        domain: "Concerts",
+        wrapper_revision: 1,
+        repaired_from: None,
+        extracted_unix_micros,
+        confidence: 0.9,
+        key_attrs: &["artist", "date"],
+    };
+
+    // First crawl: four concerts, no venue information.
+    let offers = [
+        ("The Nationals", "May 1, 2012"),
+        ("Iron Harvest", "May 2, 2012"),
+        ("Golden Era", "May 3, 2012"),
+        ("Silver Arcade", "May 4, 2012"),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, (artist, date))| IngestObject {
+        instance: concert(&[("artist", artist), ("date", date)]),
+        page_id: format!("page-{i:02}"),
+    })
+    .collect();
+    store
+        .ingest(offers, &ctx("zvents", 1_700_000_000_000_000), None)
+        .unwrap();
+
+    // Second source fills the venue gap for two of them: fusion.
+    let offers = [
+        ("The Nationals", "May 1, 2012", "Beacon Theatre"),
+        ("Iron Harvest", "May 2, 2012", "Palace Hall"),
+    ]
+    .iter()
+    .map(|(artist, date, theater)| IngestObject {
+        instance: concert(&[("artist", artist), ("date", date), ("theater", theater)]),
+        page_id: "listing-007".to_owned(),
+    })
+    .collect();
+    let report = store
+        .ingest(offers, &ctx("yellowpages", 1_700_000_050_000_000), None)
+        .unwrap();
+    assert_eq!(report.fused, 2);
+}

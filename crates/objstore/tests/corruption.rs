@@ -1,0 +1,195 @@
+//! Randomized crash/corruption properties of the on-disk format:
+//! any truncation or bit flip inside a committed file fails open with
+//! a typed error — the store never comes up silently missing objects
+//! or holding a partial one — while bytes *past* the committed prefix
+//! (a torn append) are discarded and every committed object survives.
+
+use objectrunner_objstore::{IngestContext, IngestObject, ObjStoreError, ObjectStore, Query};
+use objectrunner_obs::Obs;
+use objectrunner_sod::Instance;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "objectrunner-objstore-corruption-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn concert(artist: &str, date: &str) -> Instance {
+    Instance::Tuple {
+        name: "concert".into(),
+        fields: vec![
+            Instance::atomic("artist", artist),
+            Instance::atomic("date", date),
+        ],
+    }
+}
+
+/// Build a small multi-segment store (tiny roll size forces several
+/// files) and return its directory.
+fn build_store_dir(tag: &str) -> PathBuf {
+    let dir = scratch_dir(tag);
+    {
+        let mut store = ObjectStore::open_with(&dir, 256, Obs::disabled()).expect("fresh store");
+        let offers = (0..10)
+            .map(|i| IngestObject {
+                instance: concert(&format!("artist-{i:02}"), "May 1, 2012"),
+                page_id: format!("page-{i:02}"),
+            })
+            .collect();
+        let ctx = IngestContext {
+            source: "zvents",
+            domain: "Concerts",
+            wrapper_revision: 1,
+            repaired_from: None,
+            extracted_unix_micros: 1_700_000_000_000_000,
+            confidence: 0.9,
+            key_attrs: &["artist", "date"],
+        };
+        store.ingest(offers, &ctx, None).expect("ingest");
+    }
+    dir
+}
+
+/// Every committed file of a store, sorted for determinism.
+fn committed_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read store dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Canonical view of a store's contents: every live record rendered.
+fn contents(dir: &Path) -> Vec<String> {
+    let store = ObjectStore::open_with(dir, 256, Obs::disabled()).expect("open");
+    let result = store
+        .query(
+            &Query {
+                limit: 500,
+                ..Query::all()
+            },
+            None,
+        )
+        .expect("query");
+    assert!(result.next_cursor.is_none(), "one page holds everything");
+    result.hits.iter().map(|r| r.render()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Truncating any committed file at any point makes open fail with
+    /// a typed error; it never yields a store with fewer objects.
+    #[test]
+    fn truncation_anywhere_fails_open_loudly(file_pick in 0usize..10_000,
+                                             cut_pick in 0usize..1_000_000) {
+        let dir = build_store_dir("truncate");
+        let files = committed_files(&dir);
+        let path = &files[file_pick % files.len()];
+        let bytes = std::fs::read(path).unwrap();
+        let cut = cut_pick % (bytes.len() - 1); // strictly shorter
+        std::fs::write(path, &bytes[..cut]).unwrap();
+
+        let err = ObjectStore::open_with(&dir, 256, Obs::disabled())
+            .err()
+            .expect("truncated store must not open");
+        prop_assert!(
+            matches!(
+                err,
+                ObjStoreError::Corrupt { .. }
+                    | ObjStoreError::BadHeader { .. }
+                    | ObjStoreError::Malformed { .. }
+                    | ObjStoreError::UnsupportedVersion(_)
+            ),
+            "untyped error for cut at {cut} of {}: {err}",
+            path.display()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Flipping any bit of any committed byte makes open fail with a
+    /// typed error (FNV-1a over a fixed-length prefix changes under
+    /// any single-byte change, so both checksum layers are airtight).
+    #[test]
+    fn bit_flips_anywhere_fail_open_loudly(file_pick in 0usize..10_000,
+                                           byte_pick in 0usize..1_000_000,
+                                           bit in 0u8..8) {
+        let dir = build_store_dir("bitflip");
+        let files = committed_files(&dir);
+        let path = &files[file_pick % files.len()];
+        let mut bytes = std::fs::read(path).unwrap();
+        let at = byte_pick % bytes.len();
+        bytes[at] ^= 1 << bit;
+        std::fs::write(path, &bytes).unwrap();
+
+        let err = ObjectStore::open_with(&dir, 256, Obs::disabled())
+            .err()
+            .expect("flipped store must not open");
+        prop_assert!(
+            matches!(
+                err,
+                ObjStoreError::Corrupt { .. }
+                    | ObjStoreError::BadHeader { .. }
+                    | ObjStoreError::Malformed { .. }
+                    | ObjStoreError::UnsupportedVersion(_)
+            ),
+            "untyped error for flip at {at} of {}: {err}",
+            path.display()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Garbage past a segment's committed length is a torn append from
+    /// a crash: open discards it and every committed object reads back
+    /// byte-identically.
+    #[test]
+    fn torn_tails_are_discarded_not_trusted(tail in prop::collection::vec(0u8..255, 1..200)) {
+        let dir = build_store_dir("torn");
+        let clean = contents(&dir);
+
+        let files = committed_files(&dir);
+        let seg = files
+            .iter()
+            .find(|p| p.file_name().unwrap().to_string_lossy().starts_with("seg-"))
+            .expect("a segment file");
+        let mut bytes = std::fs::read(seg).unwrap();
+        let committed = bytes.len();
+        bytes.extend_from_slice(&tail);
+        std::fs::write(seg, &bytes).unwrap();
+
+        prop_assert_eq!(&contents(&dir), &clean, "committed objects survive a torn tail");
+        prop_assert_eq!(
+            std::fs::read(seg).unwrap().len(),
+            committed,
+            "the torn tail is physically truncated at open"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Deleting a committed segment file outright is also loud (an `Io`
+/// error naming the missing file), never a silently smaller store.
+#[test]
+fn a_missing_segment_fails_open() {
+    let dir = build_store_dir("missing");
+    let seg = committed_files(&dir)
+        .into_iter()
+        .find(|p| p.file_name().unwrap().to_string_lossy().starts_with("seg-"))
+        .expect("a segment file");
+    std::fs::remove_file(&seg).unwrap();
+    assert!(
+        matches!(
+            ObjectStore::open_with(&dir, 256, Obs::disabled()),
+            Err(ObjStoreError::Io(_))
+        ),
+        "missing segment must surface as an I/O error"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -119,6 +119,30 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Bucket-resolution quantile estimate: the inclusive upper bound
+    /// of the bucket holding the `q`-th recorded value (`0.0..=1.0`).
+    /// Values in the overflow bucket report the last bound — a floor,
+    /// honest for "p99 ≤ bound" claims but not an interpolation. The
+    /// bench bins use this for p50/p99 latency lines.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| self.bounds.last().copied().unwrap_or(0));
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0)
+    }
 }
 
 /// The live registry behind an [`crate::Obs`] handle.
@@ -363,6 +387,23 @@ mod tests {
         assert_eq!(s.count, 6);
         assert_eq!(s.sum, 5 + 10 + 11 + 100 + 101 + 5_000);
         assert!((s.mean() - (s.sum as f64 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds() {
+        let h = Histogram::new(&[10, 100, 1_000]);
+        for v in [1, 2, 3, 50, 60, 70, 80, 90, 500, 5_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 10, "q=0 lands in the first bucket");
+        assert_eq!(s.quantile(0.3), 10); // 3 of 10 values are ≤10
+        assert_eq!(s.quantile(0.5), 100);
+        assert_eq!(s.quantile(0.8), 100);
+        assert_eq!(s.quantile(0.9), 1_000);
+        assert_eq!(s.quantile(0.99), 1_000, "overflow reports the last bound");
+        assert_eq!(s.quantile(1.0), 1_000);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
     }
 
     #[test]

@@ -26,6 +26,8 @@
 
 use objectrunner_core::pipeline::extract_only;
 use objectrunner_core::{extract_stream, StreamConfig};
+use objectrunner_objstore::{IngestContext, IngestObject, ObjectStore};
+use objectrunner_obs::Obs;
 use objectrunner_serve::service::instance_json;
 use objectrunner_serve::{ServeConfig, Service};
 use objectrunner_store::{load_file, Json};
@@ -54,19 +56,28 @@ const HELP: &str = "\
 objectrunner-serve — wrapper-serving daemon (line-delimited JSON)
 
 USAGE:
-  objectrunner-serve [--store DIR] [--threshold F] [--min-reinduce-pages N] \\
-                     [--repair-floor F] [--empty-page-threshold F] \\
-                     [--threads N] [--listen ADDR]
+  objectrunner-serve [--store DIR] [--object-store DIR] [--threshold F] \\
+                     [--min-reinduce-pages N] [--repair-floor F] \\
+                     [--empty-page-threshold F] [--threads N] [--listen ADDR]
   objectrunner-serve seed-corpus --domain D --name NAME --out DIR \\
                      [--seed N] [--pages N] [--style K] [--drift S]
   objectrunner-serve extract-file --wrapper FILE --pages DIR
-  objectrunner-serve extract-stream --wrapper FILE --pages DIR [--threads N]
+  objectrunner-serve extract-stream --wrapper FILE --pages DIR [--threads N] \\
+                     [--object-store DIR] [--extracted-at MICROS]
 
 PROTOCOL (one JSON object per line on stdin; one response per line):
   {\"cmd\":\"induce\",\"source\":S,\"domain\":D,\"pages\":[..]|\"dir\":PATH}
   {\"cmd\":\"extract\",\"source\":S,\"pages\":[..]|\"dir\":PATH}
   {\"cmd\":\"status\"}     (uptime, per-source state + metrics section)
   {\"cmd\":\"trace\",\"limit\":N}  (span trees of the last N requests)
+
+OBJECT STORE (only with --object-store; extractions are de-duplicated,
+fused across sources and persisted with per-attribute provenance):
+  {\"cmd\":\"query\",\"domain\":D,\"where\":[{\"attr\":A,\"op\":\"eq|contains|prefix\",
+   \"value\":V}],\"select\":[A,..],\"limit\":N,\"cursor\":C}
+  {\"cmd\":\"get\",\"key\":K}   (one object + full provenance)
+  {\"cmd\":\"store-status\"}   (segments, live objects, fusion rate)
+  {\"cmd\":\"compact\"}        (drop superseded versions, rewrite segments)
 
 LIFECYCLE FLAGS (echoed back under status.config):
   --threshold F             mean per-page drift at which a wrapper goes stale (0.5)
@@ -91,6 +102,9 @@ fn serve(args: &[String]) -> i32 {
     let mut config = ServeConfig::default();
     if let Some(dir) = flag(args, "--store") {
         config.store_dir = PathBuf::from(dir);
+    }
+    if let Some(dir) = flag(args, "--object-store") {
+        config.object_store = Some(PathBuf::from(dir));
     }
     if let Some(t) = flag(args, "--threshold") {
         match t.parse() {
@@ -309,6 +323,13 @@ fn extract_file(args: &[String]) -> i32 {
 /// flight, one JSON line per page in page order — then a run summary
 /// on stderr. Output objects are byte-identical to `extract-file`'s;
 /// only the line grouping differs (per page instead of per object).
+///
+/// With `--object-store DIR` each page's objects are also ingested
+/// into a durable object store as they stream past — de-duplicated,
+/// fused with whatever earlier crawls stored, and stamped with
+/// per-attribute provenance. `--extracted-at MICROS` pins the
+/// provenance timestamp (scripted runs use it for reproducible store
+/// bytes); it defaults to the current wall clock.
 fn extract_stream_cmd(args: &[String]) -> i32 {
     let wrapper_path = match flag(args, "--wrapper") {
         Some(w) => PathBuf::from(w),
@@ -346,6 +367,38 @@ fn extract_stream_cmd(args: &[String]) -> i32 {
             return 1;
         }
     };
+    let mut store = match flag(args, "--object-store") {
+        None => None,
+        Some(dir) => match ObjectStore::open(&dir, Obs::disabled()) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("extract-stream: object store '{dir}': {e}");
+                return 1;
+            }
+        },
+    };
+    let extracted_at: u64 = match flag(args, "--extracted-at").map(|s| s.parse()) {
+        Some(Ok(t)) => t,
+        Some(Err(_)) => {
+            eprintln!("extract-stream: bad --extracted-at");
+            return 2;
+        }
+        None => std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0),
+    };
+    let sink_domain = match (&store, Domain::by_name(&stored.domain)) {
+        (None, _) => None,
+        (Some(_), Some(d)) => Some(d),
+        (Some(_), None) => {
+            eprintln!(
+                "extract-stream: wrapper domain '{}' is unknown; cannot build identity keys",
+                stored.domain
+            );
+            return 1;
+        }
+    };
 
     // The scheduler cannot abort mid-stream, so a page that fails to
     // map streams as empty and the first error is reported afterwards.
@@ -374,6 +427,14 @@ fn extract_stream_cmd(args: &[String]) -> i32 {
     let stdout = std::io::stdout();
     let mut out = BufWriter::new(stdout.lock());
     let mut io_err = false;
+    let source = wrapper_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| stored.source.clone());
+    let key_attrs = sink_domain.map(|d| d.key_attributes()).unwrap_or_default();
+    let mut store_err: Option<String> = None;
+    let mut stored_objects: u64 = 0;
+    let mut fused: u64 = 0;
     let stats = extract_stream(
         &stored.wrapper,
         stored.main_block.as_ref(),
@@ -394,9 +455,50 @@ fn extract_stream_cmd(args: &[String]) -> i32 {
             if writeln!(out, "{}", line.render()).is_err() {
                 io_err = true;
             }
+            // Sink the page's objects as the stream goes by: one
+            // ingest batch (and one manifest commit) per page keeps
+            // memory bounded by the page, and a crash loses at most
+            // the in-flight page.
+            if let (Some(store), Some(domain), None) = (&mut store, sink_domain, &store_err) {
+                let page_id = corpus.file_stem(page);
+                let offers = instances
+                    .into_iter()
+                    .map(|instance| IngestObject {
+                        instance,
+                        page_id: page_id.clone(),
+                    })
+                    .collect();
+                let ctx = IngestContext {
+                    source: &source,
+                    domain: domain.name(),
+                    wrapper_revision: stored.revision,
+                    repaired_from: stored.repair.as_ref().map(|r| r.repaired_from),
+                    extracted_unix_micros: extracted_at,
+                    confidence: stored.wrapper.quality,
+                    key_attrs: &key_attrs,
+                };
+                match store.ingest(offers, &ctx, None) {
+                    Ok(report) => {
+                        stored_objects += report.new_objects;
+                        fused += report.fused;
+                    }
+                    Err(e) => store_err = Some(e.to_string()),
+                }
+            }
         },
     );
     if out.flush().is_err() || io_err {
+        return 1;
+    }
+    if let Some(store) = &store {
+        let status = store.status();
+        eprintln!(
+            "extract-stream: object store: +{stored_objects} new, {fused} fused, {} live",
+            status.live_objects
+        );
+    }
+    if let Some(e) = store_err {
+        eprintln!("extract-stream: object store ingest: {e}");
         return 1;
     }
     eprintln!(

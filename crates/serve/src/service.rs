@@ -61,6 +61,9 @@ use objectrunner_core::matching::drift_score;
 use objectrunner_core::pipeline::{extract_only_with, Pipeline, PipelineConfig};
 use objectrunner_core::sample::SampleConfig;
 use objectrunner_core::wrapper::{repair_wrapper, RepairConfig};
+use objectrunner_objstore::{
+    record_json, IngestContext, IngestObject, ObjectStore, Query, StoreStatus,
+};
 use objectrunner_obs::{
     Clock, HistogramSnapshot, Obs, Span, SpanRecord, DEFAULT_SPAN_CAPACITY, DRIFT_BUCKETS_MILLI,
     LATENCY_BUCKETS_MICROS,
@@ -100,6 +103,9 @@ pub struct ServeConfig {
     pub sample_size: usize,
     /// Worker threads (None = `OBJECTRUNNER_THREADS` / machine).
     pub threads: Option<usize>,
+    /// Directory of the durable object store (`--object-store`).
+    /// `None` disables the sink and the query commands.
+    pub object_store: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +120,7 @@ impl Default for ServeConfig {
             coverage: 0.2,
             sample_size: 12,
             threads: None,
+            object_store: None,
         }
     }
 }
@@ -204,6 +211,11 @@ pub struct Service {
     /// requests. Mutex (not RefCell) keeps `Service: Send` for the
     /// daemon's connection handler.
     annotators: std::sync::Mutex<BTreeMap<String, Arc<Annotator>>>,
+    /// The durable object sink, attached when
+    /// [`ServeConfig::object_store`] names a directory. Extractions
+    /// flow in (deduplicated, provenance-tagged); `query` / `get` /
+    /// `store-status` / `compact` read and maintain it.
+    objstore: Option<ObjectStore>,
 }
 
 fn err(msg: &str) -> Json {
@@ -215,26 +227,11 @@ fn err(msg: &str) -> Json {
 
 /// Canonical JSON form of an extracted instance; fixed key order, so
 /// equal instances render byte-identically (the round-trip tests and
-/// the `extract-file` cold-process check compare these strings).
-pub fn instance_json(instance: &Instance) -> Json {
-    match instance {
-        Instance::Atomic { type_name, value } => Json::Obj(vec![
-            ("t".into(), Json::str(type_name)),
-            ("v".into(), Json::str(value)),
-        ]),
-        Instance::Tuple { name, fields } => Json::Obj(vec![
-            ("tuple".into(), Json::str(name)),
-            (
-                "fields".into(),
-                Json::Arr(fields.iter().map(instance_json).collect()),
-            ),
-        ]),
-        Instance::Set(items) => Json::Obj(vec![(
-            "set".into(),
-            Json::Arr(items.iter().map(instance_json).collect()),
-        )]),
-    }
-}
+/// the `extract-file` cold-process check compare these strings). The
+/// codec lives in `objectrunner-objstore` now — the object store
+/// persists the very same shape — and is re-exported here for the
+/// protocol's historical import path.
+pub use objectrunner_objstore::instance_json;
 
 impl Service {
     /// A daemon-grade service: observability on, real clock.
@@ -247,8 +244,17 @@ impl Service {
     /// Construct with an explicit observability handle and clock —
     /// the test seam for fake-clock uptime/idle assertions and for
     /// running with observability disabled.
+    ///
+    /// When the config names an object-store directory that fails to
+    /// open (corrupt store), this panics — a daemon must not come up
+    /// silently dropping its sink. Callers wanting a softer failure
+    /// open the store themselves first.
     pub fn with_observability(config: ServeConfig, obs: Obs, clock: Clock) -> Service {
         let start_mono = clock.monotonic_micros();
+        let objstore = config.object_store.as_ref().map(|dir| {
+            ObjectStore::open(dir, obs.clone())
+                .unwrap_or_else(|e| panic!("object store {}: {e}", dir.display()))
+        });
         Service {
             config,
             obs,
@@ -256,7 +262,13 @@ impl Service {
             start_mono,
             sources: BTreeMap::new(),
             annotators: std::sync::Mutex::new(BTreeMap::new()),
+            objstore,
         }
+    }
+
+    /// The attached object store, if any.
+    pub fn object_store(&self) -> Option<&ObjectStore> {
+        self.objstore.as_ref()
     }
 
     /// The service's observability handle (spans + metrics registry).
@@ -294,6 +306,10 @@ impl Service {
             Some("extract") => "serve.extract",
             Some("status") => "serve.status",
             Some("trace") => "serve.trace",
+            Some("query") => "serve.query",
+            Some("get") => "serve.get",
+            Some("store-status") => "serve.store_status",
+            Some("compact") => "serve.compact",
             _ => "serve.error",
         };
         let mut span = self.obs.trace(span_name);
@@ -310,6 +326,10 @@ impl Service {
             Some("extract") => self.extract(req, &span),
             Some("status") => self.status(),
             Some("trace") => self.trace_dump(req),
+            Some("query") => self.query_cmd(req, &span),
+            Some("get") => self.get_cmd(req),
+            Some("store-status") => self.store_status_cmd(),
+            Some("compact") => self.compact_cmd(&span),
             Some(other) => err(&format!("unknown cmd '{other}'")),
             None => err("missing 'cmd'"),
         };
@@ -469,8 +489,16 @@ impl Service {
             Some(s) => s.to_owned(),
             None => return err("missing 'source'"),
         };
-        let pages = match request_pages(req) {
-            Ok(p) => p,
+        let (names, pages) = match request_named_pages(req) {
+            Ok(named) => {
+                let mut names = Vec::with_capacity(named.len());
+                let mut pages = Vec::with_capacity(named.len());
+                for (name, html) in named {
+                    names.push(name);
+                    pages.push(html);
+                }
+                (names, pages)
+            }
             Err(e) => return err(&e),
         };
         if pages.is_empty() {
@@ -738,9 +766,57 @@ impl Service {
             latency,
         );
 
+        // Durable sink: every object of the final (post-repair-replay)
+        // batch flows through dedup into the store, tagged with the
+        // page it came from and the wrapper revision that extracted it.
+        let mut store_section: Option<Json> = None;
+        if let Some(store) = self.objstore.as_mut() {
+            let entry = self.sources.get(&source).expect("warmed");
+            let domain = match Domain::by_name(&entry.stored.domain) {
+                Some(d) => d,
+                None => return err(&format!("stored domain '{}' unknown", entry.stored.domain)),
+            };
+            let revision = entry.stored.revision;
+            let repaired_from = entry.stored.repair.as_ref().map(|r| r.repaired_from);
+            let confidence = entry.stored.wrapper.quality;
+            let key_attrs = domain.key_attributes();
+            let offers: Vec<IngestObject> = response_outcome
+                .per_page
+                .iter()
+                .zip(&names)
+                .flat_map(|(objects, name)| {
+                    objects.iter().map(|o| IngestObject {
+                        instance: o.clone(),
+                        page_id: name.clone(),
+                    })
+                })
+                .collect();
+            let ctx = IngestContext {
+                source: &source,
+                domain: domain.name(),
+                wrapper_revision: revision,
+                repaired_from,
+                extracted_unix_micros: self.clock.wall_unix_micros(),
+                confidence,
+                key_attrs: &key_attrs,
+            };
+            match store.ingest(offers, &ctx, trace_context) {
+                Ok(r) => {
+                    store_section = Some(Json::Obj(vec![
+                        ("ingested".into(), Json::int(r.ingested)),
+                        ("new".into(), Json::int(r.new_objects)),
+                        ("fused".into(), Json::int(r.fused)),
+                        ("duplicates".into(), Json::int(r.duplicates)),
+                        ("skipped".into(), Json::int(r.skipped)),
+                    ]));
+                }
+                Err(e) => return err(&format!("object store ingest: {e}")),
+            }
+        }
+
         let entry = self.sources.get(&source).expect("warmed");
         let objects = response_outcome.objects();
-        Json::Obj(vec![
+        let mut response = vec![
             ("ok".into(), Json::Bool(true)),
             ("cmd".into(), Json::str("extract")),
             ("source".into(), Json::str(&source)),
@@ -756,7 +832,11 @@ impl Service {
                 Json::Arr(objects.iter().map(|i| instance_json(i)).collect()),
             ),
             ("stats".into(), Json::Raw(response_outcome.stats.to_json())),
-        ])
+        ];
+        if let Some(section) = store_section {
+            response.push(("store".into(), section));
+        }
+        Json::Obj(response)
     }
 
     fn status(&self) -> Json {
@@ -836,6 +916,16 @@ impl Service {
             ),
             ("sources".into(), Json::Arr(sources)),
             ("metrics".into(), self.metrics_section()),
+            (
+                // Durable-sink summary (per-domain live objects, dedup
+                // fusion rate, last compaction); null when the daemon
+                // runs without `--object-store`.
+                "object_store".into(),
+                match &self.objstore {
+                    Some(store) => store_status_json(&store.status()),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -952,6 +1042,112 @@ impl Service {
             ("dropped_spans".into(), Json::int(self.obs.dropped_spans())),
         ])
     }
+
+    /// `{"cmd":"query", …}` — run a [`Query`] against the object
+    /// store; see `objstore::query` for the filter grammar. Hits are
+    /// rendered with per-attribute provenance; `next_cursor` (when
+    /// present) feeds the next page's `"cursor"`.
+    fn query_cmd(&mut self, req: &Json, span: &Span) -> Json {
+        let Some(store) = &self.objstore else {
+            return err("no object store attached (start with --object-store DIR)");
+        };
+        let q = match Query::from_json(req) {
+            Ok(q) => q,
+            Err(e) => return err(&format!("bad query: {e}")),
+        };
+        let trace_context = Some(span.context()).filter(|_| span.is_enabled());
+        match store.query(&q, trace_context) {
+            Ok(result) => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("cmd".into(), Json::str("query")),
+                ("count".into(), Json::int(result.hits.len())),
+                (
+                    "hits".into(),
+                    Json::Arr(
+                        result
+                            .hits
+                            .iter()
+                            .map(|h| record_json(h, &q.select))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "next_cursor".into(),
+                    match result.next_cursor {
+                        Some(c) => Json::str(c),
+                        None => Json::Null,
+                    },
+                ),
+                ("scanned".into(), Json::int(result.scanned)),
+            ]),
+            Err(e) => err(&format!("query: {e}")),
+        }
+    }
+
+    /// `{"cmd":"get","key":K}` — fetch one object (with provenance)
+    /// by its identity key.
+    fn get_cmd(&mut self, req: &Json) -> Json {
+        let Some(store) = &self.objstore else {
+            return err("no object store attached (start with --object-store DIR)");
+        };
+        let Some(key) = req.get("key").and_then(Json::as_str) else {
+            return err("missing 'key'");
+        };
+        match store.get(key) {
+            Ok(hit) => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("cmd".into(), Json::str("get")),
+                ("found".into(), Json::Bool(hit.is_some())),
+                (
+                    "hit".into(),
+                    match &hit {
+                        Some(record) => record_json(record, &[]),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+            Err(e) => err(&format!("get: {e}")),
+        }
+    }
+
+    /// `{"cmd":"store-status"}` — segment/object/byte counts and the
+    /// cumulative dedup counters of the object store.
+    fn store_status_cmd(&mut self) -> Json {
+        let Some(store) = &self.objstore else {
+            return err("no object store attached (start with --object-store DIR)");
+        };
+        let mut pairs = vec![
+            ("ok".into(), Json::Bool(true)),
+            ("cmd".into(), Json::str("store-status")),
+        ];
+        if let Json::Obj(section) = store_status_json(&store.status()) {
+            pairs.extend(section);
+        }
+        Json::Obj(pairs)
+    }
+
+    /// `{"cmd":"compact"}` — rewrite live records into a fresh
+    /// generation and drop superseded versions.
+    fn compact_cmd(&mut self, span: &Span) -> Json {
+        let now = self.clock.wall_unix_micros();
+        let trace_context = Some(span.context()).filter(|_| span.is_enabled());
+        let Some(store) = &mut self.objstore else {
+            return err("no object store attached (start with --object-store DIR)");
+        };
+        match store.compact(now, trace_context) {
+            Ok(r) => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("cmd".into(), Json::str("compact")),
+                ("live_records".into(), Json::int(r.live_records)),
+                ("dropped_records".into(), Json::int(r.dropped_records)),
+                ("segments_before".into(), Json::int(r.segments_before)),
+                ("segments_after".into(), Json::int(r.segments_after)),
+                ("bytes_before".into(), Json::int(r.bytes_before)),
+                ("bytes_after".into(), Json::int(r.bytes_after)),
+            ]),
+            Err(e) => err(&format!("compact: {e}")),
+        }
+    }
 }
 
 /// Histogram snapshot as JSON (fixed key order).
@@ -991,15 +1187,67 @@ fn span_json(s: &SpanRecord) -> Json {
     ])
 }
 
+/// A [`StoreStatus`] as JSON (fixed key order) — shared by the
+/// `store-status` command and the `status` response's `object_store`
+/// section.
+fn store_status_json(s: &StoreStatus) -> Json {
+    let per_domain = s
+        .per_domain
+        .iter()
+        .map(|(d, &n)| (d.clone(), Json::int(n)))
+        .collect();
+    // Of the sightings that collided with a stored object, the
+    // fraction that contributed new attributes (cross-source gap
+    // filling actually paying off).
+    let fusion_rate = if s.duplicates == 0 {
+        0.0
+    } else {
+        s.fused as f64 / s.duplicates as f64
+    };
+    Json::Obj(vec![
+        ("generation".into(), Json::int(s.generation)),
+        ("segments".into(), Json::int(s.segments)),
+        ("live_objects".into(), Json::int(s.live_objects)),
+        ("dead_records".into(), Json::int(s.dead_records)),
+        ("bytes".into(), Json::int(s.bytes)),
+        ("per_domain".into(), Json::Obj(per_domain)),
+        ("ingested".into(), Json::int(s.ingested)),
+        ("new_objects".into(), Json::int(s.new_objects)),
+        ("fused".into(), Json::int(s.fused)),
+        ("duplicates".into(), Json::int(s.duplicates)),
+        ("skipped".into(), Json::int(s.skipped)),
+        ("fusion_rate".into(), Json::Float(fusion_rate)),
+        ("compactions".into(), Json::int(s.compactions)),
+        (
+            "last_compaction_unix_micros".into(),
+            match s.last_compaction_unix_micros {
+                Some(t) => Json::int(t),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
 /// Resolve a request's page input: inline `"pages"` array or a
 /// `"dir"` of `*.html` files in lexicographic order.
 fn request_pages(req: &Json) -> Result<Vec<String>, String> {
+    Ok(request_named_pages(req)?
+        .into_iter()
+        .map(|(_, html)| html)
+        .collect())
+}
+
+/// Like [`request_pages`], but each page comes with a stable id the
+/// object store uses as provenance: the file stem for `"dir"` input,
+/// `page-<index>` for inline pages.
+fn request_named_pages(req: &Json) -> Result<Vec<(String, String)>, String> {
     if let Some(arr) = req.get("pages").and_then(Json::as_arr) {
         return arr
             .iter()
-            .map(|p| {
+            .enumerate()
+            .map(|(i, p)| {
                 p.as_str()
-                    .map(str::to_owned)
+                    .map(|html| (format!("page-{i:04}"), html.to_owned()))
                     .ok_or_else(|| "'pages' holds a non-string".to_owned())
             })
             .collect();
@@ -1016,7 +1264,15 @@ fn request_pages(req: &Json) -> Result<Vec<String>, String> {
         }
         return files
             .iter()
-            .map(|p| std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display())))
+            .map(|p| {
+                let name = p
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| p.display().to_string());
+                std::fs::read_to_string(p)
+                    .map(|html| (name, html))
+                    .map_err(|e| format!("{}: {e}", p.display()))
+            })
             .collect();
     }
     Err("missing 'pages' (inline array) or 'dir' (of *.html files)".to_owned())

@@ -140,24 +140,55 @@ impl From<std::io::Error> for StoreError {
 /// FNV-1a, 64-bit. Small, dependency-free, and plenty for detecting
 /// truncation and accidental corruption (not an integrity MAC).
 pub fn fnv64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Streaming form of [`fnv64`], for checksums over data that is not
+/// in memory as one contiguous slice (the object store's manifest
+/// checksums each segment's committed prefix incrementally as records
+/// append). Feeding the same bytes in any chunking yields the same
+/// value as `fnv64` over the concatenation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
     }
-    hash
+
+    /// Resume from a previously [`finish`](Fnv64::finish)ed state.
+    pub fn resume(state: u64) -> Fnv64 {
+        Fnv64(state)
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The current hash value (the hasher may keep absorbing).
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
 }
 
 // ------------------------------------------------------------- saving
 
 /// Serialize to the on-disk format (header + payload).
 pub fn save(stored: &StoredWrapper) -> String {
-    let payload = payload_json(stored).render();
-    format!(
-        "{MAGIC} v{FORMAT_VERSION} {} {:016x}\n{payload}",
-        payload.len(),
-        fnv64(payload.as_bytes())
-    )
+    crate::frame::encode(MAGIC, FORMAT_VERSION, &payload_json(stored).render())
 }
 
 /// Serialize and write to `path`.
@@ -471,44 +502,14 @@ fn sod_mapping_json(m: &SodMapping) -> Json {
 /// Parse the on-disk format, verifying header, length and checksum,
 /// and re-interning every externalized identity.
 pub fn load(data: &str) -> Result<StoredWrapper, StoreError> {
-    let newline = data.find('\n').ok_or(StoreError::BadHeader)?;
-    let header = &data[..newline];
-    let payload = &data[newline + 1..];
-
-    let mut parts = header.split(' ');
-    if parts.next() != Some(MAGIC) {
-        return Err(StoreError::BadHeader);
-    }
-    let version: u32 = parts
-        .next()
-        .and_then(|v| v.strip_prefix('v'))
-        .and_then(|v| v.parse().ok())
-        .ok_or(StoreError::BadHeader)?;
-    if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
-        return Err(StoreError::UnsupportedVersion(version));
-    }
-    let declared_len: usize = parts
-        .next()
-        .and_then(|v| v.parse().ok())
-        .ok_or(StoreError::BadHeader)?;
-    let declared_sum = parts.next().ok_or(StoreError::BadHeader)?;
-    if parts.next().is_some() {
-        return Err(StoreError::BadHeader);
-    }
-    if payload.len() != declared_len {
-        return Err(StoreError::Corrupt {
-            expected: format!("{declared_len} payload bytes"),
-            found: format!("{}", payload.len()),
-        });
-    }
-    let actual_sum = format!("{:016x}", fnv64(payload.as_bytes()));
-    if actual_sum != declared_sum {
-        return Err(StoreError::Corrupt {
-            expected: format!("checksum {declared_sum}"),
-            found: actual_sum,
-        });
-    }
-
+    let (_, payload) = crate::frame::decode(data, MAGIC, MIN_SUPPORTED_VERSION, FORMAT_VERSION)
+        .map_err(|e| match e {
+            crate::frame::FrameError::BadHeader => StoreError::BadHeader,
+            crate::frame::FrameError::UnsupportedVersion(v) => StoreError::UnsupportedVersion(v),
+            crate::frame::FrameError::Corrupt { expected, found } => {
+                StoreError::Corrupt { expected, found }
+            }
+        })?;
     let json = Json::parse(payload).map_err(StoreError::Json)?;
     payload_from_json(&json)
 }

@@ -1,0 +1,148 @@
+//! The shared checksummed-header framing both on-disk formats use.
+//!
+//! A framed file is one header line followed by the payload bytes:
+//!
+//! ```text
+//! <MAGIC> v<version> <payload-bytes> <fnv64-hex>\n
+//! <payload>
+//! ```
+//!
+//! The header carries the format version, the payload length and an
+//! FNV-1a/64 checksum of the payload, so truncation and bit rot fail
+//! loudly before any payload byte is trusted. The wrapper store
+//! (`ORWRAP`, see [`crate::format`]) and the object store's manifest
+//! (`ORMAN`, `crates/objstore`) share this frame; their payloads
+//! differ, their failure behaviour does not.
+
+use crate::format::fnv64;
+
+/// Frame decode failures, mapped by each format into its own typed
+/// error so callers keep a single error surface per format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Wrong magic, or the header line is malformed.
+    BadHeader,
+    /// The version is outside the caller's supported window.
+    UnsupportedVersion(u32),
+    /// Payload length or checksum mismatch (truncation / corruption).
+    Corrupt { expected: String, found: String },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadHeader => write!(f, "bad frame header"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            FrameError::Corrupt { expected, found } => {
+                write!(f, "corrupt payload: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Serialize `payload` under a checksummed `magic` header.
+pub fn encode(magic: &str, version: u32, payload: &str) -> String {
+    format!(
+        "{magic} v{version} {} {:016x}\n{payload}",
+        payload.len(),
+        fnv64(payload.as_bytes())
+    )
+}
+
+/// Parse a framed file: verify magic, version window, declared length
+/// and checksum, and return `(version, payload)`. Nothing in the
+/// payload is interpreted.
+pub fn decode<'a>(
+    data: &'a str,
+    magic: &str,
+    min_version: u32,
+    max_version: u32,
+) -> Result<(u32, &'a str), FrameError> {
+    let newline = data.find('\n').ok_or(FrameError::BadHeader)?;
+    let header = &data[..newline];
+    let payload = &data[newline + 1..];
+
+    let mut parts = header.split(' ');
+    if parts.next() != Some(magic) {
+        return Err(FrameError::BadHeader);
+    }
+    let version: u32 = parts
+        .next()
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse().ok())
+        .ok_or(FrameError::BadHeader)?;
+    if !(min_version..=max_version).contains(&version) {
+        return Err(FrameError::UnsupportedVersion(version));
+    }
+    let declared_len: usize = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or(FrameError::BadHeader)?;
+    let declared_sum = parts.next().ok_or(FrameError::BadHeader)?;
+    if parts.next().is_some() {
+        return Err(FrameError::BadHeader);
+    }
+    if payload.len() != declared_len {
+        return Err(FrameError::Corrupt {
+            expected: format!("{declared_len} payload bytes"),
+            found: format!("{}", payload.len()),
+        });
+    }
+    let actual_sum = format!("{:016x}", fnv64(payload.as_bytes()));
+    if actual_sum != declared_sum {
+        return Err(FrameError::Corrupt {
+            expected: format!("checksum {declared_sum}"),
+            found: actual_sum,
+        });
+    }
+    Ok((version, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let framed = encode("ORTEST", 3, "{\"a\":1}");
+        let (version, payload) = decode(&framed, "ORTEST", 1, 3).expect("decodes");
+        assert_eq!(version, 3);
+        assert_eq!(payload, "{\"a\":1}");
+    }
+
+    #[test]
+    fn failures_are_typed() {
+        let framed = encode("ORTEST", 2, "payload");
+        assert_eq!(
+            decode(&framed, "OTHER", 1, 2),
+            Err(FrameError::BadHeader),
+            "wrong magic"
+        );
+        assert_eq!(
+            decode(&framed, "ORTEST", 3, 4),
+            Err(FrameError::UnsupportedVersion(2)),
+            "version window"
+        );
+        let truncated = &framed[..framed.len() - 2];
+        assert!(matches!(
+            decode(truncated, "ORTEST", 1, 2),
+            Err(FrameError::Corrupt { .. })
+        ));
+        let mut flipped = framed.clone().into_bytes();
+        let p = framed.find('\n').unwrap() + 2;
+        flipped[p] ^= 0x01;
+        assert!(matches!(
+            decode(&String::from_utf8(flipped).unwrap(), "ORTEST", 1, 2),
+            Err(FrameError::Corrupt { .. })
+        ));
+        assert!(decode("no newline", "ORTEST", 1, 2).is_err());
+    }
+
+    #[test]
+    fn empty_payload_frames() {
+        let framed = encode("ORTEST", 1, "");
+        assert_eq!(decode(&framed, "ORTEST", 1, 1), Ok((1, "")));
+    }
+}

@@ -20,10 +20,12 @@
 //!   the header checksum before any field is trusted.
 
 pub mod format;
+pub mod frame;
 pub mod json;
 
 pub use format::{
-    fnv64, load, load_file, save, save_file, RepairProvenance, StoreError, StoredWrapper,
+    fnv64, load, load_file, save, save_file, Fnv64, RepairProvenance, StoreError, StoredWrapper,
     FORMAT_VERSION, MIN_SUPPORTED_VERSION,
 };
+pub use frame::FrameError;
 pub use json::{Json, JsonError};

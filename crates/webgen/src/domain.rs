@@ -96,6 +96,21 @@ impl Domain {
         }
     }
 
+    /// The identity-key attributes for cross-source de-duplication:
+    /// the SOD's *required scalar* entity types. Optional attributes
+    /// (absent on some sources — fused in, not identity) and set
+    /// attributes (cardinality varies per source) are excluded, so two
+    /// sources listing the same real-world object agree on the key.
+    pub fn key_attributes(&self) -> Vec<&'static str> {
+        match self {
+            Domain::Concerts => vec!["artist", "date", "theater"],
+            Domain::Albums => vec!["title", "artist", "price"],
+            Domain::Books => vec!["title", "price"],
+            Domain::Publications => vec!["title"],
+            Domain::Cars => vec!["brand", "price"],
+        }
+    }
+
     /// Set-valued attributes.
     pub fn set_attributes(&self) -> Vec<&'static str> {
         match self {

@@ -137,6 +137,15 @@ impl CorpusDir {
         MappedText::open(&self.files[i])
     }
 
+    /// Stable page id for page `i`: the file stem (consumers record it
+    /// as extraction provenance).
+    pub fn file_stem(&self, i: usize) -> String {
+        self.files[i]
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| self.files[i].display().to_string())
+    }
+
     /// Stream all pages in order, mapping each lazily. I/O errors
     /// surface per page; at most one page is mapped per loan the
     /// caller holds, so memory stays bounded by the consumer's window.

@@ -31,6 +31,10 @@
 //! * [`serve`] — the serving layer: cached (induction-free)
 //!   extraction, template-drift detection, on-demand re-induction
 //!   (the `objectrunner-serve` daemon).
+//! * [`objstore`] — the durable object store: append-only checksummed
+//!   segments holding de-duplicated, cross-source-fused objects with
+//!   per-attribute provenance, plus the query surface the daemon
+//!   exposes over them.
 //! * [`obs`] — observability: hierarchical spans, a typed metrics
 //!   registry, and canonical exporters (events JSONL, Chrome
 //!   `trace_event`, human report).
@@ -69,6 +73,7 @@ pub use objectrunner_core as core;
 pub use objectrunner_eval as eval;
 pub use objectrunner_html as html;
 pub use objectrunner_knowledge as knowledge;
+pub use objectrunner_objstore as objstore;
 pub use objectrunner_obs as obs;
 pub use objectrunner_segment as segment;
 pub use objectrunner_serve as serve;

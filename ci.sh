@@ -180,6 +180,27 @@ grep -q '"reopen_ok": true' "$SMOKE/bench_objstore.json"
 grep -q '"compact_preserves_reads": true' "$SMOKE/bench_objstore.json"
 echo "    objstore smoke OK"
 
+# Serve-load smoke: the pooled serving core under real concurrent
+# TCP load. bench_serve runs small (8 conns × 4 pipelined requests)
+# against both the worker pool and the reconstructed global-mutex
+# baseline; the schema and the two correctness gates must hold —
+# every pooled response byte-identical (normalized) to a serial
+# handle_line reference, and zero sheds at a correctly budgeted load.
+# Timings vary by machine, so no RPS/latency thresholds here; the
+# committed BENCH_serve.json records the reference 64-conn run.
+echo "==> serve-load smoke (worker pool vs global-mutex baseline)"
+target/release/bench_serve --conns 8 --requests 4 > "$SMOKE/bench_serve.json"
+grep -q '"bench": "serve"' "$SMOKE/bench_serve.json"
+grep -q '"host_cpus": [1-9]' "$SMOKE/bench_serve.json"
+grep -q '"pooled_rps": [1-9]' "$SMOKE/bench_serve.json"
+grep -q '"baseline_rps": [1-9]' "$SMOKE/bench_serve.json"
+grep -q '"pooled_p99_micros": [0-9]' "$SMOKE/bench_serve.json"
+grep -q '"batched_requests": [1-9]' "$SMOKE/bench_serve.json"   # bursts actually batched
+grep -q '"shed_requests": 0' "$SMOKE/bench_serve.json"          # budgeted load sheds nothing
+grep -q '"shed_conns": 0' "$SMOKE/bench_serve.json"
+grep -q '"pooled_equals_serial": true' "$SMOKE/bench_serve.json" # byte-identical to serial
+echo "    serve-load smoke OK"
+
 # Observability smoke: run the golden corpus with tracing enabled,
 # schema-check the JSONL and Chrome trace_event exports with
 # `obs_check`, and diff the metrics snapshot against the committed

@@ -348,6 +348,124 @@ fn finish_stage_span(mut span: Span, timing: &StageTiming) {
     span.finish();
 }
 
+/// Batched [`extract_only`]: apply one wrapper to several independent
+/// page sets in a single staged run.
+///
+/// The serving layer's request batcher uses this to amortize the
+/// per-call pipeline setup — executor construction, the four stage
+/// invocations with their span/timing scaffolding, metrics recording —
+/// across many `extract` requests against the same cached wrapper.
+/// The page sets are concatenated, every stage runs once over the
+/// union, and the results are split back along the request boundaries.
+///
+/// Because every stage is strictly per-page, each returned
+/// [`ExtractOutcome`]'s `per_page` and `docs` are **byte-identical**
+/// to what a separate [`extract_only_with`] call on that page set
+/// would have produced; only the stage *timings* differ (they report
+/// the shared batched run, duplicated into each outcome).
+pub fn extract_only_batch<S: AsRef<str>>(
+    wrapper: &Wrapper,
+    main_block: Option<&MainBlockChoice>,
+    clean: &CleanOptions,
+    batches: &[&[S]],
+    threads: Option<usize>,
+    obs: &Obs,
+    trace_context: Option<(u64, u64)>,
+) -> Vec<ExtractOutcome> {
+    if batches.len() == 1 {
+        return vec![extract_only_with(
+            wrapper,
+            main_block,
+            clean,
+            batches[0],
+            threads,
+            obs,
+            trace_context,
+        )];
+    }
+    let exec = Executor::from_env(threads);
+    let mut root = match trace_context {
+        Some((trace, parent)) => obs.span_in(trace, parent, "pipeline.extract_batch"),
+        None => obs.trace("pipeline.extract_batch"),
+    };
+    root.attr_u64("requests", batches.len() as u64);
+    let refs: Vec<&str> = batches
+        .iter()
+        .flat_map(|pages| pages.iter().map(AsRef::as_ref))
+        .collect();
+    root.attr_u64("pages", refs.len() as u64);
+    let parse_span = root.child("stage.parse");
+    let (mut docs, parse_timing) = parse_stage(&exec, &refs);
+    finish_stage_span(parse_span, &parse_timing);
+    let mut timings = vec![parse_timing];
+    let clean_span = root.child("stage.clean");
+    timings.push(clean_stage(&exec, &mut docs, clean));
+    finish_stage_span(clean_span, timings.last().expect("just pushed"));
+    if let Some(choice) = main_block {
+        let segment_span = root.child("stage.segment");
+        timings.push(apply_block_stage(&exec, &mut docs, choice));
+        finish_stage_span(segment_span, timings.last().expect("just pushed"));
+    }
+    let extract_start = Instant::now();
+    let extract_span = root.child("stage.extract");
+    let (per_page, extract_timing) = extract_stage(&exec, wrapper, &docs);
+    finish_stage_span(extract_span, &extract_timing);
+    timings.push(extract_timing);
+    let extraction_micros = extract_start.elapsed().as_micros();
+    let threads_used = exec.threads();
+
+    // Record the shared run once — the batch is one pipeline
+    // invocation, however many requests it carried.
+    let batch_stats = PipelineStats {
+        pages: docs.len(),
+        support_used: wrapper.support,
+        conflict_splits: wrapper.conflict_splits,
+        rounds: wrapper.rounds,
+        extraction_micros,
+        stage_timings: timings.clone(),
+        threads: threads_used,
+        ..PipelineStats::default()
+    };
+    obs.counter_add("objectrunner.core.pipeline.extract_only_runs", 1);
+    obs.counter_add(
+        "objectrunner.core.pipeline.extract_batched_requests",
+        batches.len() as u64,
+    );
+    batch_stats.record_into(obs);
+    root.attr_u64(
+        "objects",
+        per_page.iter().map(Vec::len).sum::<usize>() as u64,
+    );
+    root.finish();
+
+    // Split along request boundaries; each outcome reports its own
+    // page count next to the shared stage timings.
+    let mut docs = docs.into_iter();
+    let mut per_page = per_page.into_iter();
+    batches
+        .iter()
+        .map(|pages| {
+            let n = pages.len();
+            let batch_docs: Vec<Document> = docs.by_ref().take(n).collect();
+            let batch_pages: Vec<Vec<Instance>> = per_page.by_ref().take(n).collect();
+            ExtractOutcome {
+                per_page: batch_pages,
+                docs: batch_docs,
+                stats: PipelineStats {
+                    pages: n,
+                    support_used: wrapper.support,
+                    conflict_splits: wrapper.conflict_splits,
+                    rounds: wrapper.rounds,
+                    extraction_micros,
+                    stage_timings: batch_stats.stage_timings.clone(),
+                    threads: threads_used,
+                    ..PipelineStats::default()
+                },
+            }
+        })
+        .collect()
+}
+
 /// What the §IV self-validation loop produced: the winning wrapper
 /// plus the cost split between the winner and the speculative/losing
 /// support evaluations ("reruns").

@@ -50,6 +50,13 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Shift the gauge by a signed delta — the level-tracking form
+    /// (in-flight requests, live connections, queue depth): increment
+    /// on entry, decrement on exit.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -374,6 +381,19 @@ mod tests {
         assert_eq!(snap.counter("objectrunner.test.a"), 7);
         assert_eq!(snap.gauge("objectrunner.test.g"), -2);
         assert_eq!(snap.counter("objectrunner.test.absent"), 0);
+    }
+
+    #[test]
+    fn gauge_add_tracks_levels() {
+        let reg = Registry::new();
+        let g = reg.gauge("objectrunner.test.inflight");
+        g.add(3);
+        g.add(2);
+        g.add(-4);
+        assert_eq!(g.get(), 1);
+        g.set(10);
+        g.add(-10);
+        assert_eq!(reg.snapshot().gauge("objectrunner.test.inflight"), 0);
     }
 
     #[test]

@@ -209,6 +209,16 @@ impl Obs {
         }
     }
 
+    /// Shift a gauge by a signed delta (level tracking: in-flight
+    /// requests, live connections). Cold-path convenience — hot loops
+    /// should hold the `Arc<Gauge>` from [`Obs::registry`] instead.
+    #[inline]
+    pub fn gauge_add(&self, name: &str, delta: i64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge(name).add(delta);
+        }
+    }
+
     /// Record into a fixed-bucket histogram (created on first use).
     #[inline]
     pub fn histogram_record(&self, name: &str, bounds: &[u64], value: u64) {

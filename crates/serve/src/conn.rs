@@ -1,0 +1,526 @@
+//! The daemon's connection layer: a bounded acceptor plus a fixed
+//! worker pool, replacing thread-per-connection.
+//!
+//! ```text
+//!   acceptor ──> conn queue (bounded by --max-conns) ──> N workers
+//!                                                          │
+//!                      per-worker ReaderCache ──> Service::handle_batch
+//! ```
+//!
+//! One acceptor thread blocks on `accept` and hands non-blocking
+//! connections to a shared queue; `workers` threads take *turns* over
+//! connections — drain whatever bytes are readable, peel off up to
+//! `batch_max` complete lines, run them through
+//! [`Service::handle_batch`] (which amortizes consecutive same-source
+//! extracts into one pipeline run), write the responses, and requeue
+//! the connection. A worker never parks on one idle connection, so
+//! `workers` threads serve `max_conns` connections.
+//!
+//! **Admission control** bounds the work in flight, not the bytes
+//! read: a global token budget (`inflight`) is acquired per request
+//! line at the top of a turn. Lines that get no token are not queued
+//! behind the budget — they are *shed* immediately with a typed
+//! `{"ok":false,"error":"overloaded","shed":true}` response, telling
+//! the client to back off while keeping the connection healthy.
+//! Connections past `max_conns` are shed the same way at accept time.
+//! Shedding is deliberate: an unbounded queue hides overload until
+//! memory runs out; a typed response surfaces it immediately and
+//! keeps tail latency bounded for the admitted work.
+//!
+//! Responses are written through a `BufWriter` with one explicit
+//! flush per response — a response is one `write` syscall instead of
+//! one per JSON fragment. The socket flips to blocking mode for the
+//! write burst (reads are non-blocking, writes are simple), then
+//! back.
+//!
+//! Readiness is polled round-robin with an idle backoff (a worker
+//! that keeps drawing turns with no bytes sleeps ~1ms) rather than
+//! epoll — the std library exposes no portable readiness API, and at
+//! the daemon's design point (hundreds of connections) the poll cost
+//! is noise next to extraction. Swapping the queue for an epoll loop
+//! is contained headroom: everything behind `take_lines` is
+//! readiness-agnostic.
+//!
+//! Every failure mode is counted (`objectrunner.serve.conn.*`) and
+//! logged once per error kind — a flapping client cannot flood the
+//! daemon's stderr.
+
+use crate::service::{PoolInfo, Service};
+use objectrunner_store::Json;
+use std::collections::{BTreeSet, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Connection-pool tuning; the daemon's `--workers`, `--max-conns`,
+/// `--inflight` and `--batch` flags.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads handling requests. Default: the machine's
+    /// available parallelism.
+    pub workers: usize,
+    /// Connections admitted at once; the acceptor sheds beyond it.
+    pub max_conns: usize,
+    /// Request lines in flight across the pool; lines beyond it are
+    /// shed with a typed `overloaded` response.
+    pub inflight: usize,
+    /// Most request lines one turn hands to `handle_batch` — bounds
+    /// both batching gain and per-turn latency.
+    pub batch_max: usize,
+    /// Hard cap on one request line; a longer line kills its
+    /// connection (it would otherwise buffer unboundedly).
+    pub max_line_bytes: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        PoolConfig {
+            workers,
+            max_conns: 1024,
+            inflight: workers * 32,
+            batch_max: 32,
+            max_line_bytes: 64 << 20,
+        }
+    }
+}
+
+/// One pooled connection: the non-blocking stream plus whatever bytes
+/// arrived ahead of a complete line.
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    eof: bool,
+}
+
+/// What a read pass left behind.
+enum ReadState {
+    /// More may come; keep the connection pooled.
+    Open,
+    /// Peer closed its half; serve the buffered lines, then close.
+    Eof,
+    /// Unrecoverable I/O error; drop the connection.
+    Dead,
+}
+
+struct Queue {
+    conns: Mutex<VecDeque<Conn>>,
+    ready: Condvar,
+}
+
+struct PoolShared {
+    service: Arc<Service>,
+    queue: Queue,
+    /// Request-line admission tokens left.
+    tokens: Mutex<usize>,
+    /// Open connections, counted exactly (a pooled connection spends
+    /// part of its life inside a worker turn, off the queue).
+    active: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Error kinds already logged, one line each.
+    logged: Mutex<BTreeSet<String>>,
+}
+
+impl PoolShared {
+    /// Take up to `want` admission tokens; returns how many were
+    /// granted (possibly zero — the caller sheds the rest).
+    fn admit(&self, want: usize) -> usize {
+        let mut tokens = self.tokens.lock().expect("tokens poisoned");
+        let granted = want.min(*tokens);
+        *tokens -= granted;
+        granted
+    }
+
+    fn release(&self, granted: usize) {
+        *self.tokens.lock().expect("tokens poisoned") += granted;
+    }
+
+    /// Count an I/O failure and log it once per (site, kind) — the
+    /// counters carry the rate, stderr carries one example.
+    fn conn_error(&self, site: &str, e: &std::io::Error) {
+        self.service
+            .obs()
+            .counter_add(&format!("objectrunner.serve.conn.{site}_errors"), 1);
+        let key = format!("{site}:{:?}", e.kind());
+        let mut logged = self.logged.lock().expect("log set poisoned");
+        if logged.insert(key) {
+            eprintln!(
+                "serve: {site} error ({:?}): {e} (logged once per kind)",
+                e.kind()
+            );
+        }
+    }
+
+    fn gauge_add(&self, name: &str, delta: i64) {
+        self.service
+            .obs()
+            .gauge_add(&format!("objectrunner.serve.serving.{name}"), delta);
+    }
+
+    fn counter_add(&self, name: &str, n: u64) {
+        self.service
+            .obs()
+            .counter_add(&format!("objectrunner.serve.{name}"), n);
+    }
+}
+
+/// A running pool; dropping it leaks the threads (the daemon runs
+/// forever), [`PoolHandle::shutdown`] joins them (tests, bench).
+pub struct PoolHandle {
+    shared: Arc<PoolShared>,
+    addr: std::net::SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PoolHandle {
+    /// The bound address (useful with an ephemeral `:0` listener).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the queue, join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.queue.ready.notify_all();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            self.shared.queue.ready.notify_all();
+            let _ = w.join();
+        }
+    }
+}
+
+/// The typed shed response: the daemon is up but out of budget; back
+/// off and retry.
+fn overloaded_line() -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::str("overloaded")),
+        ("shed".into(), Json::Bool(true)),
+    ])
+    .render()
+}
+
+/// Start serving `listener` through a worker pool. Returns once the
+/// acceptor and workers are spawned; the caller decides whether to
+/// block (daemon) or keep the handle (tests, bench).
+pub fn serve_tcp(listener: TcpListener, service: Arc<Service>, config: PoolConfig) -> PoolHandle {
+    let workers = config.workers.max(1);
+    let inflight = config.inflight.max(1);
+    service.set_pool_info(PoolInfo {
+        workers,
+        max_conns: config.max_conns,
+        inflight_budget: inflight,
+        batch_max: config.batch_max.max(1),
+    });
+    let addr = listener.local_addr().expect("listener has no local addr");
+    let shared = Arc::new(PoolShared {
+        service,
+        queue: Queue {
+            conns: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        },
+        tokens: Mutex::new(inflight),
+        active: AtomicUsize::new(0),
+        shutdown: AtomicBool::new(false),
+        logged: Mutex::new(BTreeSet::new()),
+    });
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let max_conns = config.max_conns.max(1);
+        std::thread::spawn(move || accept_loop(&shared, &listener, max_conns))
+    };
+    let worker_handles = (0..workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
+            std::thread::spawn(move || worker_loop(&shared, &config))
+        })
+        .collect();
+
+    PoolHandle {
+        shared,
+        addr,
+        acceptor: Some(acceptor),
+        workers: worker_handles,
+    }
+}
+
+fn accept_loop(shared: &PoolShared, listener: &TcpListener, max_conns: usize) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                shared.conn_error("accept", &e);
+                // Transient accept errors (EMFILE, ECONNABORTED) clear
+                // themselves; don't spin while they do.
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.active.load(Ordering::SeqCst) >= max_conns {
+            shared.counter_add("serving.shed_conns", 1);
+            let mut stream = stream;
+            let _ = writeln!(stream, "{}", overloaded_line());
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        if let Err(e) = stream.set_nonblocking(true) {
+            shared.conn_error("accept", &e);
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.counter_add("conn.accepted", 1);
+        shared.gauge_add("active_conns", 1);
+        {
+            let mut q = shared.queue.conns.lock().expect("queue poisoned");
+            q.push_back(Conn {
+                stream,
+                rbuf: Vec::new(),
+                eof: false,
+            });
+            shared
+                .service
+                .obs()
+                .gauge_set("objectrunner.serve.serving.queue_depth", q.len() as i64);
+        }
+        shared.queue.ready.notify_one();
+    }
+}
+
+fn worker_loop(shared: &PoolShared, config: &PoolConfig) {
+    let mut cache = shared.service.reader_cache();
+    // Consecutive turns that moved no bytes; backs off the poll loop
+    // so idle connections don't spin a worker at 100% CPU.
+    let mut idle_turns = 0u32;
+    loop {
+        let conn = {
+            let mut q = shared.queue.conns.lock().expect("queue poisoned");
+            loop {
+                if let Some(conn) = q.pop_front() {
+                    shared
+                        .service
+                        .obs()
+                        .gauge_set("objectrunner.serve.serving.queue_depth", q.len() as i64);
+                    break Some(conn);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.queue.ready.wait(q).expect("queue poisoned");
+            }
+        };
+        let Some(mut conn) = conn else { return };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Drain mode: drop the connection without serving.
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            shared.counter_add("conn.closed", 1);
+            shared.gauge_add("active_conns", -1);
+            continue;
+        }
+
+        let (state, productive) = turn(shared, &mut cache, &mut conn, config);
+        idle_turns = if productive { 0 } else { idle_turns + 1 };
+        match state {
+            ReadState::Open => {
+                {
+                    let mut q = shared.queue.conns.lock().expect("queue poisoned");
+                    q.push_back(conn);
+                    shared
+                        .service
+                        .obs()
+                        .gauge_set("objectrunner.serve.serving.queue_depth", q.len() as i64);
+                }
+                shared.queue.ready.notify_one();
+                if idle_turns >= 16 {
+                    // Every pooled connection is quiet; poll gently.
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            }
+            ReadState::Eof | ReadState::Dead => {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared.counter_add("conn.closed", 1);
+                shared.gauge_add("active_conns", -1);
+            }
+        }
+    }
+}
+
+/// One scheduling turn over one connection: drain readable bytes,
+/// serve up to `batch_max` complete lines, write the responses.
+/// Returns the connection's fate and whether the turn did any work.
+fn turn(
+    shared: &PoolShared,
+    cache: &mut crate::shard::ReaderCache,
+    conn: &mut Conn,
+    config: &PoolConfig,
+) -> (ReadState, bool) {
+    if let ReadState::Dead = read_available(shared, conn, config.max_line_bytes) {
+        return (ReadState::Dead, false);
+    }
+    let lines = take_lines(&mut conn.rbuf, config.batch_max.max(1), conn.eof);
+    if lines.is_empty() {
+        return if conn.eof {
+            (ReadState::Eof, false)
+        } else {
+            (ReadState::Open, false)
+        };
+    }
+
+    shared.counter_add("serving.requests", lines.len() as u64);
+    let admitted = shared.admit(lines.len());
+    shared.gauge_add("inflight", admitted as i64);
+    let responses = shared.service.handle_batch(&lines[..admitted], cache);
+    shared.gauge_add("inflight", -(admitted as i64));
+    shared.release(admitted);
+    let shed = lines.len() - admitted;
+    if shed > 0 {
+        shared.counter_add("serving.shed_requests", shed as u64);
+    }
+
+    // Write burst: blocking socket, buffered writer, one explicit
+    // flush per response line.
+    if conn.stream.set_nonblocking(false).is_err() {
+        return (ReadState::Dead, true);
+    }
+    {
+        let mut writer = std::io::BufWriter::new(&conn.stream);
+        let shed_line = overloaded_line();
+        for response in responses
+            .iter()
+            .map(String::as_str)
+            .chain((0..shed).map(|_| shed_line.as_str()))
+        {
+            if writeln!(writer, "{response}")
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                let e = std::io::Error::new(ErrorKind::BrokenPipe, "response write failed");
+                shared.conn_error("write", &e);
+                return (ReadState::Dead, true);
+            }
+        }
+    }
+    if conn.stream.set_nonblocking(true).is_err() {
+        return (ReadState::Dead, true);
+    }
+
+    // A half-closed peer with lines still buffered (the batch cap)
+    // stays pooled until the buffer drains; only then does the
+    // connection close.
+    if conn.eof && conn.rbuf.is_empty() {
+        (ReadState::Eof, true)
+    } else {
+        (ReadState::Open, true)
+    }
+}
+
+/// Pull whatever the socket has ready into the connection's buffer
+/// without blocking.
+fn read_available(shared: &PoolShared, conn: &mut Conn, max_line_bytes: usize) -> ReadState {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                return ReadState::Eof;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                if conn.rbuf.len() > max_line_bytes && !conn.rbuf.contains(&b'\n') {
+                    let e = std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("request line exceeds {max_line_bytes} bytes"),
+                    );
+                    shared.conn_error("read", &e);
+                    return ReadState::Dead;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return ReadState::Open,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => {
+                shared.conn_error("read", &e);
+                return ReadState::Dead;
+            }
+        }
+    }
+}
+
+/// Split up to `max` complete lines off the front of `rbuf`, skipping
+/// blank lines (the serial loop never answered them either). At EOF an
+/// unterminated trailing chunk counts as a line, matching
+/// `BufRead::lines`.
+fn take_lines(rbuf: &mut Vec<u8>, max: usize, eof: bool) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut consumed = 0;
+    while lines.len() < max {
+        let rest = &rbuf[consumed..];
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            if eof && !rest.is_empty() && lines.len() < max {
+                let line = String::from_utf8_lossy(rest).into_owned();
+                consumed = rbuf.len();
+                if !line.trim().is_empty() {
+                    lines.push(line);
+                }
+            }
+            break;
+        };
+        let mut end = nl;
+        if end > 0 && rest[end - 1] == b'\r' {
+            end -= 1;
+        }
+        let line = String::from_utf8_lossy(&rest[..end]).into_owned();
+        consumed += nl + 1;
+        if !line.trim().is_empty() {
+            lines.push(line);
+        }
+    }
+    rbuf.drain(..consumed);
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_lines_splits_and_skips_blanks() {
+        let mut buf = b"{\"a\":1}\n\n  \n{\"b\":2}\r\npartial".to_vec();
+        let lines = take_lines(&mut buf, 10, false);
+        assert_eq!(lines, vec!["{\"a\":1}".to_owned(), "{\"b\":2}".to_owned()]);
+        assert_eq!(buf, b"partial");
+        // Not at EOF: the partial line stays buffered.
+        assert!(take_lines(&mut buf, 10, false).is_empty());
+        assert_eq!(buf, b"partial");
+        // At EOF it becomes the final line (BufRead::lines semantics).
+        let lines = take_lines(&mut buf, 10, true);
+        assert_eq!(lines, vec!["partial".to_owned()]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn take_lines_respects_the_batch_cap() {
+        let mut buf = b"1\n2\n3\n4\n".to_vec();
+        let lines = take_lines(&mut buf, 2, false);
+        assert_eq!(lines, vec!["1".to_owned(), "2".to_owned()]);
+        assert_eq!(buf, b"3\n4\n");
+    }
+}

@@ -6,10 +6,23 @@
 //! each source for **template drift** — the site shipping a redesign
 //! that silently breaks the stored wrapper.
 //!
+//! The daemon is built for concurrent traffic: sources live in
+//! per-domain shards ([`shard`]) whose wrapper snapshots sit behind
+//! version-stamped lock-free slots ([`slot`]), so the cached-extract
+//! hot path takes no lock; TCP connections are served by a bounded
+//! acceptor + worker pool with request batching and typed overload
+//! shedding ([`conn`]).
+//!
 //! See [`service`] for the protocol and drift lifecycle, and
 //! `src/main.rs` for the `objectrunner-serve` binary (stdin/TCP
-//! loop, `seed-corpus`, `extract-file`).
+//! loop, `seed-corpus`, `extract-file`, `extract-stream`).
 
+pub mod conn;
 pub mod service;
+pub mod shard;
+pub mod slot;
 
-pub use service::{instance_json, ServeConfig, Service, WrapperState};
+pub use conn::{serve_tcp, PoolConfig, PoolHandle};
+pub use service::{instance_json, PoolInfo, ServeConfig, Service, WrapperState};
+pub use shard::ReaderCache;
+pub use slot::{Slot, SlotReader};

@@ -29,10 +29,10 @@ use objectrunner_core::{extract_stream, StreamConfig};
 use objectrunner_objstore::{IngestContext, IngestObject, ObjectStore};
 use objectrunner_obs::Obs;
 use objectrunner_serve::service::instance_json;
-use objectrunner_serve::{ServeConfig, Service};
+use objectrunner_serve::{serve_tcp, PoolConfig, ServeConfig, Service};
 use objectrunner_store::{load_file, Json};
 use objectrunner_webgen::{generate_drifted, CorpusDir, Domain, MappedText, PageKind, SiteSpec};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufWriter, Write};
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -151,9 +151,47 @@ fn serve(args: &[String]) -> i32 {
             }
         }
     }
-    let service = Arc::new(Mutex::new(Service::new(config)));
+    let mut pool = PoolConfig::default();
+    if let Some(n) = flag(args, "--workers") {
+        match n.parse() {
+            Ok(v) => pool.workers = v,
+            Err(_) => {
+                eprintln!("bad --workers '{n}'");
+                return 2;
+            }
+        }
+    }
+    if let Some(n) = flag(args, "--max-conns") {
+        match n.parse() {
+            Ok(v) => pool.max_conns = v,
+            Err(_) => {
+                eprintln!("bad --max-conns '{n}'");
+                return 2;
+            }
+        }
+    }
+    if let Some(n) = flag(args, "--inflight") {
+        match n.parse() {
+            Ok(v) => pool.inflight = v,
+            Err(_) => {
+                eprintln!("bad --inflight '{n}'");
+                return 2;
+            }
+        }
+    }
+    if let Some(n) = flag(args, "--batch") {
+        match n.parse() {
+            Ok(v) => pool.batch_max = v,
+            Err(_) => {
+                eprintln!("bad --batch '{n}'");
+                return 2;
+            }
+        }
+    }
+    let service = Arc::new(Service::new(config));
 
     let listening = flag(args, "--listen").is_some();
+    let mut pool_handle = None;
     if let Some(addr) = flag(args, "--listen") {
         let listener = match TcpListener::bind(&addr) {
             Ok(l) => l,
@@ -162,29 +200,16 @@ fn serve(args: &[String]) -> i32 {
                 return 2;
             }
         };
-        eprintln!("listening on {addr}");
-        let tcp_service = Arc::clone(&service);
-        std::thread::spawn(move || {
-            for stream in listener.incoming().flatten() {
-                let service = Arc::clone(&tcp_service);
-                std::thread::spawn(move || {
-                    let reader = BufReader::new(match stream.try_clone() {
-                        Ok(s) => s,
-                        Err(_) => return,
-                    });
-                    let mut writer = stream;
-                    for line in reader.lines().map_while(Result::ok) {
-                        if line.trim().is_empty() {
-                            continue;
-                        }
-                        let response = service.lock().expect("service lock").handle_line(&line);
-                        if writeln!(writer, "{response}").is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-        });
+        let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+        let handle = serve_tcp(listener, Arc::clone(&service), pool.clone());
+        eprintln!(
+            "listening on {bound} ({} workers, {} conns, {} in flight, batch {})",
+            pool.workers.max(1),
+            pool.max_conns,
+            pool.inflight.max(1),
+            pool.batch_max.max(1)
+        );
+        pool_handle = Some(handle);
     }
 
     // Stdin loop: EOF shuts the daemon down — unless a TCP listener is
@@ -197,7 +222,7 @@ fn serve(args: &[String]) -> i32 {
         if line.trim().is_empty() {
             continue;
         }
-        let response = service.lock().expect("service lock").handle_line(&line);
+        let response = service.handle_line(&line);
         let mut out = stdout.lock();
         if writeln!(out, "{response}")
             .and_then(|()| out.flush())
@@ -212,6 +237,7 @@ fn serve(args: &[String]) -> i32 {
             std::thread::park();
         }
     }
+    drop(pool_handle);
     0
 }
 

@@ -14,9 +14,10 @@
 //!   re-induce from the buffered drifted pages;
 //! * `{"cmd":"status"}` — daemon uptime, per-source counters,
 //!   lifecycle state, last-activity timestamps, the transition log,
-//!   and a `metrics` section (per-domain extract-latency and
-//!   drift-score histograms, revision counts, annotation-memo hit
-//!   rate);
+//!   a `serving` section (worker pool, in-flight requests, queue
+//!   depth, shed and connection counters), and a `metrics` section
+//!   (per-domain extract-latency and drift-score histograms, revision
+//!   counts, annotation-memo hit rate);
 //! * `{"cmd":"trace","limit":N}` — the span trees of the last `N`
 //!   requests, from the observability buffer.
 //!
@@ -26,6 +27,22 @@
 //!
 //! Page input is either inline (`"pages": [html, ..]`) or a directory
 //! of `*.html` files (`"dir": "path"`, lexicographic order).
+//!
+//! ## Concurrency shape
+//!
+//! The service is `&self` end to end and shared across the daemon's
+//! worker pool behind one `Arc`. Sources live in per-source
+//! [`SourceShard`](crate::shard::SourceShard)s reached through
+//! version-stamped [`Slot`](crate::slot::Slot)s: a cached `extract`
+//! reads the registry and its wrapper snapshot with two atomic loads
+//! (through a per-worker [`ReaderCache`]) and takes no lock until —
+//! and unless — drift bookkeeping needs the shard's mutation lane.
+//! Two sources never contend; two requests against the *same* source
+//! serialize only their bookkeeping tails. [`Service::handle_batch`]
+//! is the pooled entry point: consecutive `extract` requests against
+//! one source amortize a single staged pipeline run (see
+//! `shard::extract_batch`), while every other command handles
+//! line-at-a-time exactly as [`Service::handle_line`] does.
 //!
 //! ## The drift lifecycle
 //!
@@ -56,25 +73,22 @@
 //! and flips to **reinduced**. Either way the current batch is
 //! replayed through the new wrapper.
 
+use crate::shard::{self, ReaderCache, SourceMap};
+use crate::slot::Slot;
 use objectrunner_core::annotate::Annotator;
-use objectrunner_core::matching::drift_score;
-use objectrunner_core::pipeline::{extract_only_with, Pipeline, PipelineConfig};
+use objectrunner_core::pipeline::{Pipeline, PipelineConfig};
 use objectrunner_core::sample::SampleConfig;
-use objectrunner_core::wrapper::{repair_wrapper, RepairConfig};
-use objectrunner_objstore::{
-    record_json, IngestContext, IngestObject, ObjectStore, Query, StoreStatus,
-};
-use objectrunner_obs::{
-    Clock, HistogramSnapshot, Obs, Span, SpanRecord, DEFAULT_SPAN_CAPACITY, DRIFT_BUCKETS_MILLI,
-    LATENCY_BUCKETS_MICROS,
-};
+use objectrunner_objstore::{record_json, ObjectStore, Query, StoreStatus};
+use objectrunner_obs::{Clock, HistogramSnapshot, Obs, Span, SpanRecord, DEFAULT_SPAN_CAPACITY};
 use objectrunner_sod::Instance;
-use objectrunner_store::{load_file, save_file, Json, RepairProvenance, StoredWrapper};
+use objectrunner_store::{save_file, Json, StoredWrapper};
 use objectrunner_webgen::knowledge::recognizers_for;
 use objectrunner_webgen::Domain;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
+
+pub use crate::shard::WrapperState;
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone)]
@@ -125,100 +139,19 @@ impl Default for ServeConfig {
     }
 }
 
-/// Lifecycle state of a served wrapper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WrapperState {
-    /// Extracting within drift tolerance.
-    Fresh,
-    /// Drift crossed the threshold; awaiting enough buffered pages.
-    Stale,
-    /// Patched by tree-diff repair since it was last stale — the
-    /// cheap path: no induction stages ran.
-    Repaired,
-    /// Re-induced from drifted pages since it was last stale.
-    Reinduced,
+/// Static shape of the daemon's connection pool, published into the
+/// `status` response's `serving` section by `conn::serve_tcp`. The
+/// *live* numbers (in-flight, queue depth, sheds) come from the
+/// metrics registry.
+#[derive(Debug, Clone)]
+pub struct PoolInfo {
+    pub workers: usize,
+    pub max_conns: usize,
+    pub inflight_budget: usize,
+    pub batch_max: usize,
 }
 
-impl WrapperState {
-    pub fn as_str(self) -> &'static str {
-        match self {
-            WrapperState::Fresh => "fresh",
-            WrapperState::Stale => "stale",
-            WrapperState::Repaired => "repaired",
-            WrapperState::Reinduced => "reinduced",
-        }
-    }
-}
-
-/// Per-source serving state.
-struct SourceEntry {
-    stored: StoredWrapper,
-    state: WrapperState,
-    extracts: u64,
-    cache_hits: u64,
-    drift_events: u64,
-    /// Recent drifted pages: (html, drift score), bounded.
-    buffer: VecDeque<(String, f64)>,
-    /// Human-readable lifecycle transitions, oldest first.
-    log: Vec<String>,
-    /// Wall clock (Unix micros) of the last request touching this
-    /// source; 0 until first touched.
-    last_activity_wall: u64,
-    /// Monotonic micros of the last request touching this source;
-    /// paired with "now" to report idle time without wall-clock jumps.
-    last_activity_mono: u64,
-}
-
-impl SourceEntry {
-    fn new(stored: StoredWrapper) -> SourceEntry {
-        SourceEntry {
-            stored,
-            state: WrapperState::Fresh,
-            extracts: 0,
-            cache_hits: 0,
-            drift_events: 0,
-            buffer: VecDeque::new(),
-            log: Vec::new(),
-            last_activity_wall: 0,
-            last_activity_mono: 0,
-        }
-    }
-
-    fn touch(&mut self, clock: &Clock) {
-        self.last_activity_wall = clock.wall_unix_micros();
-        self.last_activity_mono = clock.monotonic_micros();
-    }
-}
-
-/// The serving core. Owns the wrapper cache; one instance per daemon.
-pub struct Service {
-    config: ServeConfig,
-    /// Request spans and the serving metrics registry. Enabled by
-    /// default in the daemon; [`Service::with_observability`] lets
-    /// tests inject a fake-clock handle or a disabled one.
-    obs: Obs,
-    /// Time source shared with `obs` — uptime, request latency and
-    /// last-activity all read through it so tests can advance time by
-    /// hand.
-    clock: Clock,
-    /// `clock.monotonic_micros()` at construction; uptime base.
-    start_mono: u64,
-    sources: BTreeMap<String, SourceEntry>,
-    /// Compiled annotation engines, one per domain, shared across
-    /// inductions and drift-repair re-inductions: the recognizer set of
-    /// a domain is fixed (per coverage setting), so the automatons are
-    /// compiled once and the text memo cache stays warm between
-    /// requests. Mutex (not RefCell) keeps `Service: Send` for the
-    /// daemon's connection handler.
-    annotators: std::sync::Mutex<BTreeMap<String, Arc<Annotator>>>,
-    /// The durable object sink, attached when
-    /// [`ServeConfig::object_store`] names a directory. Extractions
-    /// flow in (deduplicated, provenance-tagged); `query` / `get` /
-    /// `store-status` / `compact` read and maintain it.
-    objstore: Option<ObjectStore>,
-}
-
-fn err(msg: &str) -> Json {
+pub(crate) fn err(msg: &str) -> Json {
     Json::Obj(vec![
         ("ok".into(), Json::Bool(false)),
         ("error".into(), Json::str(msg)),
@@ -232,6 +165,56 @@ fn err(msg: &str) -> Json {
 /// persists the very same shape — and is re-exported here for the
 /// protocol's historical import path.
 pub use objectrunner_objstore::instance_json;
+
+/// Everything the serving core shares across workers: configuration,
+/// the source registry, the annotation-engine cache, the durable
+/// sink, and the observability handle. `&self` throughout — the
+/// per-source locking discipline lives in `shard.rs`.
+pub(crate) struct ServiceShared {
+    pub(crate) config: ServeConfig,
+    /// Request spans and the serving metrics registry. Enabled by
+    /// default in the daemon; [`Service::with_observability`] lets
+    /// tests inject a fake-clock handle or a disabled one.
+    pub(crate) obs: Obs,
+    /// Time source shared with `obs` — uptime, request latency and
+    /// last-activity all read through it so tests can advance time by
+    /// hand.
+    pub(crate) clock: Clock,
+    /// `clock.monotonic_micros()` at construction; uptime base.
+    pub(crate) start_mono: u64,
+    /// Source name → shard, behind a version-stamped slot: readers
+    /// snapshot the whole map lock-free; registrations publish a new
+    /// map.
+    pub(crate) registry: Slot<SourceMap>,
+    /// Serializes registry *writers* (warm-from-disk, induction) so
+    /// two racing registrations of one source insert once. Readers
+    /// never take it.
+    pub(crate) registry_write: Mutex<()>,
+    /// Compiled annotation engines, one per domain, shared across
+    /// inductions and drift-repair re-inductions: the recognizer set of
+    /// a domain is fixed (per coverage setting), so the automatons are
+    /// compiled once and the text memo cache stays warm between
+    /// requests.
+    pub(crate) annotators: Mutex<BTreeMap<String, Arc<Annotator>>>,
+    /// The durable object sink, attached when
+    /// [`ServeConfig::object_store`] names a directory. Extractions
+    /// flow in (deduplicated, provenance-tagged) under the write half;
+    /// `query` / `get` / `store-status` read concurrently.
+    pub(crate) objstore: Option<RwLock<ObjectStore>>,
+    /// Pool shape, set once by `conn::serve_tcp`; `None` for the
+    /// stdin loop and in-process tests.
+    pub(crate) pool: Mutex<Option<PoolInfo>>,
+}
+
+/// The serving core. Owns the wrapper cache; one instance per daemon,
+/// shared by reference across the connection pool.
+pub struct Service {
+    shared: Arc<ServiceShared>,
+    /// Reader cache backing the cacheless convenience entry point
+    /// [`Service::handle_line`] (stdin loop, tests). Pool workers own
+    /// their caches and go through [`Service::handle_batch`] instead.
+    fallback_cache: Mutex<ReaderCache>,
+}
 
 impl Service {
     /// A daemon-grade service: observability on, real clock.
@@ -252,28 +235,200 @@ impl Service {
     pub fn with_observability(config: ServeConfig, obs: Obs, clock: Clock) -> Service {
         let start_mono = clock.monotonic_micros();
         let objstore = config.object_store.as_ref().map(|dir| {
-            ObjectStore::open(dir, obs.clone())
-                .unwrap_or_else(|e| panic!("object store {}: {e}", dir.display()))
+            RwLock::new(
+                ObjectStore::open(dir, obs.clone())
+                    .unwrap_or_else(|e| panic!("object store {}: {e}", dir.display())),
+            )
         });
         Service {
-            config,
-            obs,
-            clock,
-            start_mono,
-            sources: BTreeMap::new(),
-            annotators: std::sync::Mutex::new(BTreeMap::new()),
-            objstore,
+            shared: Arc::new(ServiceShared {
+                config,
+                obs,
+                clock,
+                start_mono,
+                registry: Slot::new(Arc::new(SourceMap::new())),
+                registry_write: Mutex::new(()),
+                annotators: Mutex::new(BTreeMap::new()),
+                objstore,
+                pool: Mutex::new(None),
+            }),
+            fallback_cache: Mutex::new(ReaderCache::new()),
         }
-    }
-
-    /// The attached object store, if any.
-    pub fn object_store(&self) -> Option<&ObjectStore> {
-        self.objstore.as_ref()
     }
 
     /// The service's observability handle (spans + metrics registry).
     pub fn obs(&self) -> &Obs {
-        &self.obs
+        &self.shared.obs
+    }
+
+    /// A fresh per-worker reader cache. Each pool worker (and any
+    /// other long-lived caller of [`Service::handle_batch`]) should
+    /// own one so steady-state reads share no mutable state.
+    pub fn reader_cache(&self) -> ReaderCache {
+        ReaderCache::new()
+    }
+
+    /// Publish the connection pool's shape into `status` responses.
+    pub fn set_pool_info(&self, info: PoolInfo) {
+        *self.shared.pool.lock().expect("pool info poisoned") = Some(info);
+    }
+
+    /// Handle one protocol line, producing one response line (no
+    /// trailing newline). Never panics on malformed input.
+    pub fn handle_line(&self, line: &str) -> String {
+        let mut cache = self.fallback_cache.lock().expect("fallback cache poisoned");
+        self.handle_line_with(line, &mut cache)
+    }
+
+    /// [`Service::handle_line`] against a caller-owned reader cache —
+    /// the single-request path pool workers use for non-batchable
+    /// commands.
+    pub fn handle_line_with(&self, line: &str, cache: &mut ReaderCache) -> String {
+        let response = match Json::parse(line) {
+            Ok(req) => self.handle(&req, cache),
+            Err(e) => err(&format!("bad request: {e}")),
+        };
+        response.render()
+    }
+
+    /// Handle a pipelined burst of protocol lines, one response per
+    /// line in order. Consecutive `extract` requests against the same
+    /// source run as **one** staged pipeline (one parse/clean/extract
+    /// pass over the union of their pages — see `shard::extract_batch`)
+    /// with byte-identical per-request responses; every other line is
+    /// handled exactly as [`Service::handle_line`] would.
+    pub fn handle_batch<S: AsRef<str>>(&self, lines: &[S], cache: &mut ReaderCache) -> Vec<String> {
+        let parsed: Vec<Result<Json, String>> = lines
+            .iter()
+            .map(|l| Json::parse(l.as_ref()).map_err(|e| format!("bad request: {e}")))
+            .collect();
+        let mut responses: Vec<String> = Vec::with_capacity(parsed.len());
+        let mut i = 0;
+        while i < parsed.len() {
+            let req = match &parsed[i] {
+                Err(e) => {
+                    responses.push(err(e).render());
+                    i += 1;
+                    continue;
+                }
+                Ok(req) => req,
+            };
+            // Extend a batchable run: same source, all `extract`.
+            if let Some(source) = batchable_source(req) {
+                let mut j = i + 1;
+                while j < parsed.len()
+                    && parsed[j]
+                        .as_ref()
+                        .is_ok_and(|r| batchable_source(r) == Some(source))
+                {
+                    j += 1;
+                }
+                if j - i > 1 {
+                    let group: Vec<&Json> = parsed[i..j]
+                        .iter()
+                        .map(|r| r.as_ref().expect("batch run parsed"))
+                        .collect();
+                    let spans: Vec<Span> = group
+                        .iter()
+                        .map(|_| {
+                            self.shared
+                                .obs
+                                .counter_add("objectrunner.serve.requests.extract", 1);
+                            self.shared.obs.trace("serve.extract")
+                        })
+                        .collect();
+                    self.shared
+                        .obs
+                        .counter_add("objectrunner.serve.serving.batches", 1);
+                    self.shared.obs.counter_add(
+                        "objectrunner.serve.serving.batched_requests",
+                        (j - i) as u64,
+                    );
+                    let results = shard::extract_batch(&self.shared, cache, &group, &spans);
+                    for (response, span) in results.into_iter().zip(spans) {
+                        responses.push(finalize(span, response).render());
+                    }
+                    i = j;
+                    continue;
+                }
+            }
+            responses.push(self.handle(req, cache).render());
+            i += 1;
+        }
+        responses
+    }
+
+    fn handle(&self, req: &Json, cache: &mut ReaderCache) -> Json {
+        let shared = &self.shared;
+        let cmd = req.get("cmd").and_then(Json::as_str).map(str::to_owned);
+        let span_name: &'static str = match cmd.as_deref() {
+            Some("induce") => "serve.induce",
+            Some("extract") => "serve.extract",
+            Some("status") => "serve.status",
+            Some("trace") => "serve.trace",
+            Some("query") => "serve.query",
+            Some("get") => "serve.get",
+            Some("store-status") => "serve.store_status",
+            Some("compact") => "serve.compact",
+            _ => "serve.error",
+        };
+        let span = shared.obs.trace(span_name);
+        shared.obs.counter_add(
+            &format!(
+                "objectrunner.serve.requests.{}",
+                cmd.as_deref().unwrap_or("unknown")
+            ),
+            1,
+        );
+        let response = match cmd.as_deref() {
+            Some("induce") => shared.induce(req, &span),
+            Some("extract") => {
+                shard::extract_batch(shared, cache, &[req], std::slice::from_ref(&span))
+                    .pop()
+                    .expect("one response per request")
+            }
+            Some("status") => shared.status(),
+            Some("trace") => shared.trace_dump(req),
+            Some("query") => shared.query_cmd(req, &span),
+            Some("get") => shared.get_cmd(req),
+            Some("store-status") => shared.store_status_cmd(),
+            Some("compact") => shared.compact_cmd(&span),
+            Some(other) => err(&format!("unknown cmd '{other}'")),
+            None => err("missing 'cmd'"),
+        };
+        finalize(span, response)
+    }
+}
+
+/// The source of a request that can join an extract batch.
+fn batchable_source(req: &Json) -> Option<&str> {
+    match req.get("cmd").and_then(Json::as_str) {
+        Some("extract") => req.get("source").and_then(Json::as_str),
+        _ => None,
+    }
+}
+
+/// Stamp the request span's outcome, finish it, and echo its trace id
+/// in the response — joinable against the `trace` command and the
+/// exporters.
+fn finalize(mut span: Span, response: Json) -> Json {
+    let trace_id = span.trace_id();
+    let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
+    span.attr_str("outcome", if ok { "ok" } else { "error" });
+    span.finish();
+    match response {
+        Json::Obj(mut pairs) => {
+            pairs.push(("trace".into(), Json::int(trace_id)));
+            Json::Obj(pairs)
+        }
+        other => other,
+    }
+}
+
+impl ServiceShared {
+    /// The wrapper file for a source.
+    pub(crate) fn wrapper_path(&self, source: &str) -> PathBuf {
+        self.config.store_dir.join(format!("{source}.orw"))
     }
 
     /// The shared annotation engine for a domain (compiled on first
@@ -287,69 +442,6 @@ impl Service {
                 self.config.coverage,
             )))
         }))
-    }
-
-    /// Handle one protocol line, producing one response line (no
-    /// trailing newline). Never panics on malformed input.
-    pub fn handle_line(&mut self, line: &str) -> String {
-        let response = match Json::parse(line) {
-            Ok(req) => self.handle(&req),
-            Err(e) => err(&format!("bad request: {e}")),
-        };
-        response.render()
-    }
-
-    fn handle(&mut self, req: &Json) -> Json {
-        let cmd = req.get("cmd").and_then(Json::as_str).map(str::to_owned);
-        let span_name: &'static str = match cmd.as_deref() {
-            Some("induce") => "serve.induce",
-            Some("extract") => "serve.extract",
-            Some("status") => "serve.status",
-            Some("trace") => "serve.trace",
-            Some("query") => "serve.query",
-            Some("get") => "serve.get",
-            Some("store-status") => "serve.store_status",
-            Some("compact") => "serve.compact",
-            _ => "serve.error",
-        };
-        let mut span = self.obs.trace(span_name);
-        let trace_id = span.trace_id();
-        self.obs.counter_add(
-            &format!(
-                "objectrunner.serve.requests.{}",
-                cmd.as_deref().unwrap_or("unknown")
-            ),
-            1,
-        );
-        let response = match cmd.as_deref() {
-            Some("induce") => self.induce(req, &span),
-            Some("extract") => self.extract(req, &span),
-            Some("status") => self.status(),
-            Some("trace") => self.trace_dump(req),
-            Some("query") => self.query_cmd(req, &span),
-            Some("get") => self.get_cmd(req),
-            Some("store-status") => self.store_status_cmd(),
-            Some("compact") => self.compact_cmd(&span),
-            Some(other) => err(&format!("unknown cmd '{other}'")),
-            None => err("missing 'cmd'"),
-        };
-        let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
-        span.attr_str("outcome", if ok { "ok" } else { "error" });
-        span.finish();
-        // Echo the request's trace id in every response, joinable
-        // against the `trace` command and the exporters.
-        match response {
-            Json::Obj(mut pairs) => {
-                pairs.push(("trace".into(), Json::int(trace_id)));
-                Json::Obj(pairs)
-            }
-            other => other,
-        }
-    }
-
-    /// The wrapper file for a source.
-    fn wrapper_path(&self, source: &str) -> PathBuf {
-        self.config.store_dir.join(format!("{source}.orw"))
     }
 
     /// Pipeline configuration for (re-)induction. When a request span
@@ -369,7 +461,7 @@ impl Service {
     }
 
     /// Induce (or re-induce) a wrapper from scratch on the given pages.
-    fn induce_wrapper(
+    pub(crate) fn induce_wrapper(
         &self,
         source: &str,
         domain: Domain,
@@ -400,7 +492,7 @@ impl Service {
         Ok((stored, outcome.objects, outcome.stats.to_json()))
     }
 
-    fn induce(&mut self, req: &Json, span: &Span) -> Json {
+    fn induce(&self, req: &Json, span: &Span) -> Json {
         let source = match req.get("source").and_then(Json::as_str) {
             Some(s) => s.to_owned(),
             None => return err("missing 'source'"),
@@ -417,9 +509,11 @@ impl Service {
             Err(e) => return err(&e),
         };
         let revision = self
-            .sources
+            .registry
+            .load()
+            .1
             .get(&source)
-            .map(|e| e.stored.revision + 1)
+            .map(|shard| shard.snapshot().revision + 1)
             .unwrap_or(1);
         let (stored, objects, stats) =
             match self.induce_wrapper(&source, domain, revision, &pages, span) {
@@ -434,18 +528,12 @@ impl Service {
             &format!("objectrunner.serve.revision.{source}"),
             revision as i64,
         );
-        let mut entry = SourceEntry::new(stored);
-        entry.touch(&self.clock);
-        entry.log.push(format!(
-            "induced: revision {revision}, {} pages",
-            pages.len()
-        ));
         let response = Json::Obj(vec![
             ("ok".into(), Json::Bool(true)),
             ("cmd".into(), Json::str("induce")),
             ("source".into(), Json::str(&source)),
             ("revision".into(), Json::int(revision as i64)),
-            ("quality".into(), Json::Float(entry.stored.wrapper.quality)),
+            ("quality".into(), Json::Float(stored.wrapper.quality)),
             ("count".into(), Json::int(objects.len())),
             (
                 "objects".into(),
@@ -453,416 +541,46 @@ impl Service {
             ),
             ("stats".into(), Json::Raw(stats)),
         ]);
-        self.sources.insert(source, entry);
+        shard::install_induced(
+            self,
+            &source,
+            stored,
+            format!("induced: revision {revision}, {} pages", pages.len()),
+        );
         response
     }
 
-    fn persist(&self, stored: &StoredWrapper) -> Result<(), String> {
+    pub(crate) fn persist(&self, stored: &StoredWrapper) -> Result<(), String> {
         std::fs::create_dir_all(&self.config.store_dir).map_err(|e| format!("store dir: {e}"))?;
         save_file(&self.wrapper_path(&stored.source), stored).map_err(|e| format!("persist: {e}"))
     }
 
-    /// Ensure a source is in the in-memory cache, loading from the
-    /// store directory on first use (daemon restart survival).
-    fn warm(&mut self, source: &str) -> Result<(), String> {
-        if self.sources.contains_key(source) {
-            return Ok(());
-        }
-        let path = self.wrapper_path(source);
-        if !path.exists() {
-            return Err(format!("unknown source '{source}' (no wrapper stored)"));
-        }
-        let stored = load_file(&path).map_err(|e| format!("load: {e}"))?;
-        let mut entry = SourceEntry::new(stored);
-        entry.log.push(format!(
-            "loaded: revision {} from {}",
-            entry.stored.revision,
-            path.display()
-        ));
-        self.sources.insert(source.to_owned(), entry);
-        Ok(())
-    }
-
-    fn extract(&mut self, req: &Json, span: &Span) -> Json {
-        let started = self.clock.monotonic_micros();
-        let source = match req.get("source").and_then(Json::as_str) {
-            Some(s) => s.to_owned(),
-            None => return err("missing 'source'"),
-        };
-        let (names, pages) = match request_named_pages(req) {
-            Ok(named) => {
-                let mut names = Vec::with_capacity(named.len());
-                let mut pages = Vec::with_capacity(named.len());
-                for (name, html) in named {
-                    names.push(name);
-                    pages.push(html);
-                }
-                (names, pages)
-            }
-            Err(e) => return err(&e),
-        };
-        if pages.is_empty() {
-            return err("no pages");
-        }
-        if let Err(e) = self.warm(&source) {
-            return err(&e);
-        }
-
-        let threads = self.config.threads;
-        let threshold = self.config.drift_threshold;
-        let trace_context = Some(span.context()).filter(|_| span.is_enabled());
-        let entry = self.sources.get_mut(&source).expect("warmed");
-        let domain_name = entry.stored.domain.clone();
-        entry.extracts += 1;
-        entry.cache_hits += 1;
-        entry.touch(&self.clock);
-
-        // Cached fast path: no induction stages run.
-        let outcome = extract_only_with(
-            &entry.stored.wrapper,
-            entry.stored.main_block.as_ref(),
-            &entry.stored.clean,
-            &pages,
-            threads,
-            &self.obs,
-            trace_context,
-        );
-
-        // Score template drift on the prepared documents.
-        let scores: Vec<f64> = outcome
-            .docs
-            .iter()
-            .map(|doc| {
-                drift_score(
-                    &entry.stored.wrapper.template,
-                    &entry.stored.wrapper.mapping,
-                    doc,
-                )
-                .score()
-            })
-            .collect();
-        let mean_drift = scores.iter().sum::<f64>() / scores.len() as f64;
-
-        // Per-page drift distribution, in thousandths so the integer
-        // histogram resolves the 0..=1 score range.
-        for &score in &scores {
-            self.obs.histogram_record(
-                &format!("objectrunner.serve.drift.score_milli.{domain_name}"),
-                &DRIFT_BUCKETS_MILLI,
-                (score * 1000.0).round() as u64,
-            );
-        }
-
-        // Second staleness signal: the silent miss. Record-level
-        // markup can change without touching the separator slots the
-        // drift score watches — pages then score clean but extract
-        // nothing. A batch whose empty-page fraction crosses the
-        // threshold is as stale as a drifted one.
-        let empty_pages = outcome.per_page.iter().filter(|p| p.is_empty()).count();
-        let empty_fraction = empty_pages as f64 / outcome.per_page.len() as f64;
-        let silent_miss =
-            mean_drift < threshold && empty_fraction >= self.config.empty_page_threshold;
-
-        // Buffer the suspect pages (bounded, oldest evicted): drifted
-        // pages always, and the zero-extraction pages of a silent-miss
-        // batch — those are the only evidence of the new template.
-        for (i, (page, &score)) in pages.iter().zip(scores.iter()).enumerate() {
-            if score >= threshold || (silent_miss && outcome.per_page[i].is_empty()) {
-                if entry.buffer.len() == self.config.buffer_pages {
-                    entry.buffer.pop_front();
-                }
-                entry.buffer.push_back((page.clone(), score));
-            }
-        }
-
-        if entry.state != WrapperState::Stale {
-            if mean_drift >= threshold {
-                entry.drift_events += 1;
-                entry.state = WrapperState::Stale;
-                self.obs
-                    .counter_add("objectrunner.serve.drift.stale_transitions", 1);
-                entry.log.push(format!(
-                    "stale: mean drift {mean_drift:.2} >= {threshold:.2} on revision {}",
-                    entry.stored.revision
-                ));
-            } else if silent_miss {
-                entry.drift_events += 1;
-                entry.state = WrapperState::Stale;
-                self.obs
-                    .counter_add("objectrunner.serve.drift.silent_miss_transitions", 1);
-                entry.log.push(format!(
-                    "stale (silent miss): {empty_pages}/{} pages extracted nothing at \
-                     drift {mean_drift:.2} on revision {}",
-                    outcome.per_page.len(),
-                    entry.stored.revision
-                ));
-            }
-        }
-
-        let mut reinduced = false;
-        let mut repaired_now = false;
-        let mut response_outcome = outcome;
-        let mut response_drift = mean_drift;
-        if entry.state == WrapperState::Stale
-            && entry.buffer.len() >= self.config.min_reinduce_pages
-        {
-            let buffered: Vec<String> = entry.buffer.iter().map(|(p, _)| p.clone()).collect();
-            let domain = match Domain::by_name(&entry.stored.domain) {
-                Some(d) => d,
-                None => return err(&format!("stored domain '{}' unknown", entry.stored.domain)),
-            };
-            let revision = entry.stored.revision + 1;
-            let stored_old = entry.stored.clone();
-
-            // Repair first: patch the stored wrapper through a tree
-            // diff against the drifted template — no induction stages.
-            // Only when the patch is declined (container redesign, a
-            // lost gap, coverage under the floor) does the full
-            // re-induction pipeline run.
-            self.obs
-                .counter_add("objectrunner.serve.repair.attempts", 1);
-            let mut repair_span = match trace_context {
-                Some((t, p)) => self.obs.span_in(t, p, "serve.repair"),
-                None => self.obs.trace("serve.repair"),
-            };
-            let repair_context = Some(repair_span.context()).filter(|_| repair_span.is_enabled());
-            let prepared = extract_only_with(
-                &stored_old.wrapper,
-                stored_old.main_block.as_ref(),
-                &stored_old.clean,
-                &buffered,
-                threads,
-                &self.obs,
-                repair_context,
-            );
-            let repair_cfg = RepairConfig {
-                coverage_floor: self.config.repair_floor,
-                ..RepairConfig::default()
-            };
-            let repair = repair_wrapper(
-                &stored_old.wrapper,
-                &stored_old.sod,
-                &prepared.docs,
-                &repair_cfg,
-            );
-            match &repair {
-                Ok(r) => {
-                    repair_span.attr_str("outcome", "repaired");
-                    repair_span.attr_f64("coverage", r.report.coverage);
-                    repair_span.attr_u64("remapped_paths", r.report.remapped_paths as u64);
-                }
-                Err(e) => {
-                    repair_span.attr_str("outcome", "declined");
-                    repair_span.attr_str("reason", &e.to_string());
-                }
-            }
-            repair_span.finish();
-
-            let mut decline_note: Option<String> = None;
-            let attempt: Result<(StoredWrapper, String, WrapperState), String> = match repair {
-                Ok(r) => {
-                    self.obs
-                        .counter_add("objectrunner.serve.repair.successes", 1);
-                    let s = r.report.summary;
-                    let stored = StoredWrapper {
-                        revision,
-                        wrapper: r.wrapper,
-                        repair: Some(RepairProvenance {
-                            repaired_from: stored_old.revision,
-                            matched_exact: s.matched_exact,
-                            matched_container: s.matched_container,
-                            unmatched_old: s.unmatched_old,
-                            unmatched_new: s.unmatched_new,
-                        }),
-                        ..stored_old
-                    };
-                    let line = format!(
-                        "repaired: revision {revision} from {} buffered pages \
-                         ({} exact + {} container node matches, {} paths remapped, \
-                         coverage {:.2})",
-                        buffered.len(),
-                        s.matched_exact,
-                        s.matched_container,
-                        r.report.remapped_paths,
-                        r.report.coverage,
-                    );
-                    Ok((stored, line, WrapperState::Repaired))
-                }
-                Err(reason) => {
-                    self.obs
-                        .counter_add("objectrunner.serve.repair.fallbacks", 1);
-                    decline_note = Some(format!("repair declined ({reason}); re-inducing"));
-                    self.induce_wrapper(&source, domain, revision, &buffered, span)
-                        .map(|(stored, _, _)| {
-                            self.obs.counter_add("objectrunner.serve.reinductions", 1);
-                            let line = format!(
-                                "reinduced: revision {revision} from {} buffered pages",
-                                buffered.len()
-                            );
-                            (stored, line, WrapperState::Reinduced)
-                        })
-                }
-            };
-
-            match attempt {
-                Ok((stored, line, new_state)) => {
-                    if let Err(e) = self.persist(&stored) {
-                        return err(&e);
-                    }
-                    self.obs.gauge_set(
-                        &format!("objectrunner.serve.revision.{source}"),
-                        revision as i64,
-                    );
-                    let entry = self.sources.get_mut(&source).expect("warmed");
-                    if let Some(note) = decline_note.take() {
-                        entry.log.push(note);
-                    }
-                    entry.stored = stored;
-                    entry.state = new_state;
-                    entry.buffer.clear();
-                    entry.log.push(line);
-                    reinduced = new_state == WrapperState::Reinduced;
-                    repaired_now = new_state == WrapperState::Repaired;
-                    // Replay the batch through the patched wrapper.
-                    response_outcome = extract_only_with(
-                        &entry.stored.wrapper,
-                        entry.stored.main_block.as_ref(),
-                        &entry.stored.clean,
-                        &pages,
-                        threads,
-                        &self.obs,
-                        trace_context,
-                    );
-                    let replay: Vec<f64> = response_outcome
-                        .docs
-                        .iter()
-                        .map(|doc| {
-                            drift_score(
-                                &entry.stored.wrapper.template,
-                                &entry.stored.wrapper.mapping,
-                                doc,
-                            )
-                            .score()
-                        })
-                        .collect();
-                    response_drift = replay.iter().sum::<f64>() / replay.len() as f64;
-                }
-                Err(e) => {
-                    let entry = self.sources.get_mut(&source).expect("warmed");
-                    if let Some(note) = decline_note.take() {
-                        entry.log.push(note);
-                    }
-                    entry
-                        .log
-                        .push(format!("re-induction failed (still stale): {e}"));
-                }
-            }
-        }
-
-        let latency = self.clock.monotonic_micros().saturating_sub(started);
-        self.obs.histogram_record(
-            &format!("objectrunner.serve.extract.latency_micros.{domain_name}"),
-            &LATENCY_BUCKETS_MICROS,
-            latency,
-        );
-
-        // Durable sink: every object of the final (post-repair-replay)
-        // batch flows through dedup into the store, tagged with the
-        // page it came from and the wrapper revision that extracted it.
-        let mut store_section: Option<Json> = None;
-        if let Some(store) = self.objstore.as_mut() {
-            let entry = self.sources.get(&source).expect("warmed");
-            let domain = match Domain::by_name(&entry.stored.domain) {
-                Some(d) => d,
-                None => return err(&format!("stored domain '{}' unknown", entry.stored.domain)),
-            };
-            let revision = entry.stored.revision;
-            let repaired_from = entry.stored.repair.as_ref().map(|r| r.repaired_from);
-            let confidence = entry.stored.wrapper.quality;
-            let key_attrs = domain.key_attributes();
-            let offers: Vec<IngestObject> = response_outcome
-                .per_page
-                .iter()
-                .zip(&names)
-                .flat_map(|(objects, name)| {
-                    objects.iter().map(|o| IngestObject {
-                        instance: o.clone(),
-                        page_id: name.clone(),
-                    })
-                })
-                .collect();
-            let ctx = IngestContext {
-                source: &source,
-                domain: domain.name(),
-                wrapper_revision: revision,
-                repaired_from,
-                extracted_unix_micros: self.clock.wall_unix_micros(),
-                confidence,
-                key_attrs: &key_attrs,
-            };
-            match store.ingest(offers, &ctx, trace_context) {
-                Ok(r) => {
-                    store_section = Some(Json::Obj(vec![
-                        ("ingested".into(), Json::int(r.ingested)),
-                        ("new".into(), Json::int(r.new_objects)),
-                        ("fused".into(), Json::int(r.fused)),
-                        ("duplicates".into(), Json::int(r.duplicates)),
-                        ("skipped".into(), Json::int(r.skipped)),
-                    ]));
-                }
-                Err(e) => return err(&format!("object store ingest: {e}")),
-            }
-        }
-
-        let entry = self.sources.get(&source).expect("warmed");
-        let objects = response_outcome.objects();
-        let mut response = vec![
-            ("ok".into(), Json::Bool(true)),
-            ("cmd".into(), Json::str("extract")),
-            ("source".into(), Json::str(&source)),
-            ("cache".into(), Json::str("hit")),
-            ("revision".into(), Json::int(entry.stored.revision as i64)),
-            ("state".into(), Json::str(entry.state.as_str())),
-            ("drift".into(), Json::Float(response_drift)),
-            ("repaired".into(), Json::Bool(repaired_now)),
-            ("reinduced".into(), Json::Bool(reinduced)),
-            ("count".into(), Json::int(objects.len())),
-            (
-                "objects".into(),
-                Json::Arr(objects.iter().map(|i| instance_json(i)).collect()),
-            ),
-            ("stats".into(), Json::Raw(response_outcome.stats.to_json())),
-        ];
-        if let Some(section) = store_section {
-            response.push(("store".into(), section));
-        }
-        Json::Obj(response)
-    }
-
     fn status(&self) -> Json {
         let now_mono = self.clock.monotonic_micros();
-        let sources = self
-            .sources
+        let registry = self.registry.load().1;
+        let sources = registry
             .iter()
-            .map(|(name, e)| {
-                let idle = if e.last_activity_mono == 0 {
+            .map(|(name, s)| {
+                let stored = s.snapshot();
+                let lane = s.lane();
+                let idle = if lane.last_activity_mono == 0 {
                     0
                 } else {
-                    now_mono.saturating_sub(e.last_activity_mono)
+                    now_mono.saturating_sub(lane.last_activity_mono)
                 };
                 Json::Obj(vec![
                     ("source".into(), Json::str(name)),
-                    ("domain".into(), Json::str(&e.stored.domain)),
-                    ("revision".into(), Json::int(e.stored.revision as i64)),
-                    ("state".into(), Json::str(e.state.as_str())),
-                    ("quality".into(), Json::Float(e.stored.wrapper.quality)),
-                    ("extracts".into(), Json::int(e.extracts as i64)),
-                    ("cache_hits".into(), Json::int(e.cache_hits as i64)),
-                    ("drift_events".into(), Json::int(e.drift_events as i64)),
-                    ("buffered".into(), Json::int(e.buffer.len())),
+                    ("domain".into(), Json::str(&stored.domain)),
+                    ("revision".into(), Json::int(stored.revision as i64)),
+                    ("state".into(), Json::str(lane.state.as_str())),
+                    ("quality".into(), Json::Float(stored.wrapper.quality)),
+                    ("extracts".into(), Json::int(lane.extracts as i64)),
+                    ("cache_hits".into(), Json::int(lane.cache_hits as i64)),
+                    ("drift_events".into(), Json::int(lane.drift_events as i64)),
+                    ("buffered".into(), Json::int(lane.buffer.len())),
                     (
                         "repair".into(),
-                        match &e.stored.repair {
+                        match &stored.repair {
                             Some(p) => Json::Obj(vec![
                                 ("repaired_from".into(), Json::int(p.repaired_from as i64)),
                                 ("matched_exact".into(), Json::int(p.matched_exact)),
@@ -875,12 +593,12 @@ impl Service {
                     ),
                     (
                         "last_activity_unix_micros".into(),
-                        Json::int(e.last_activity_wall),
+                        Json::int(lane.last_activity_wall),
                     ),
                     ("idle_micros".into(), Json::int(idle)),
                     (
                         "log".into(),
-                        Json::Arr(e.log.iter().map(Json::str).collect()),
+                        Json::Arr(lane.log.iter().map(Json::str).collect()),
                     ),
                 ])
             })
@@ -914,6 +632,7 @@ impl Service {
                     ),
                 ]),
             ),
+            ("serving".into(), self.serving_section()),
             ("sources".into(), Json::Arr(sources)),
             ("metrics".into(), self.metrics_section()),
             (
@@ -922,9 +641,90 @@ impl Service {
                 // runs without `--object-store`.
                 "object_store".into(),
                 match &self.objstore {
-                    Some(store) => store_status_json(&store.status()),
+                    Some(store) => {
+                        store_status_json(&store.read().expect("object store poisoned").status())
+                    }
                     None => Json::Null,
                 },
+            ),
+        ])
+    }
+
+    /// The status response's `serving` section: the pool shape (null
+    /// for the stdin loop), live load gauges, batching and shedding
+    /// counters, and the per-connection I/O counters — everything an
+    /// operator needs to see back-pressure building before it sheds.
+    fn serving_section(&self) -> Json {
+        let snap = self.obs.snapshot();
+        let pool = self.pool.lock().expect("pool info poisoned").clone();
+        let serving = |name: &str| format!("objectrunner.serve.serving.{name}");
+        let conn = |name: &str| format!("objectrunner.serve.conn.{name}");
+        Json::Obj(vec![
+            (
+                "pool".into(),
+                match pool {
+                    Some(p) => Json::Obj(vec![
+                        ("workers".into(), Json::int(p.workers)),
+                        ("max_conns".into(), Json::int(p.max_conns)),
+                        ("inflight_budget".into(), Json::int(p.inflight_budget)),
+                        ("batch_max".into(), Json::int(p.batch_max)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "inflight".into(),
+                Json::int(snap.gauge(&serving("inflight"))),
+            ),
+            (
+                "queue_depth".into(),
+                Json::int(snap.gauge(&serving("queue_depth"))),
+            ),
+            (
+                "active_conns".into(),
+                Json::int(snap.gauge(&serving("active_conns"))),
+            ),
+            (
+                "requests".into(),
+                Json::int(snap.counter(&serving("requests"))),
+            ),
+            (
+                "batches".into(),
+                Json::int(snap.counter(&serving("batches"))),
+            ),
+            (
+                "batched_requests".into(),
+                Json::int(snap.counter(&serving("batched_requests"))),
+            ),
+            (
+                "shed_requests".into(),
+                Json::int(snap.counter(&serving("shed_requests"))),
+            ),
+            (
+                "shed_conns".into(),
+                Json::int(snap.counter(&serving("shed_conns"))),
+            ),
+            (
+                "conn".into(),
+                Json::Obj(vec![
+                    (
+                        "accepted".into(),
+                        Json::int(snap.counter(&conn("accepted"))),
+                    ),
+                    ("closed".into(), Json::int(snap.counter(&conn("closed")))),
+                    (
+                        "accept_errors".into(),
+                        Json::int(snap.counter(&conn("accept_errors"))),
+                    ),
+                    (
+                        "read_errors".into(),
+                        Json::int(snap.counter(&conn("read_errors"))),
+                    ),
+                    (
+                        "write_errors".into(),
+                        Json::int(snap.counter(&conn("write_errors"))),
+                    ),
+                ]),
             ),
         ])
     }
@@ -946,9 +746,11 @@ impl Service {
             }
         }
         let revisions = self
-            .sources
+            .registry
+            .load()
+            .1
             .iter()
-            .map(|(name, e)| (name.clone(), Json::int(e.stored.revision as i64)))
+            .map(|(name, s)| (name.clone(), Json::int(s.snapshot().revision as i64)))
             .collect();
         let (hits, misses) = {
             let cache = self.annotators.lock().expect("annotator cache poisoned");
@@ -1047,7 +849,7 @@ impl Service {
     /// store; see `objstore::query` for the filter grammar. Hits are
     /// rendered with per-attribute provenance; `next_cursor` (when
     /// present) feeds the next page's `"cursor"`.
-    fn query_cmd(&mut self, req: &Json, span: &Span) -> Json {
+    fn query_cmd(&self, req: &Json, span: &Span) -> Json {
         let Some(store) = &self.objstore else {
             return err("no object store attached (start with --object-store DIR)");
         };
@@ -1056,7 +858,11 @@ impl Service {
             Err(e) => return err(&format!("bad query: {e}")),
         };
         let trace_context = Some(span.context()).filter(|_| span.is_enabled());
-        match store.query(&q, trace_context) {
+        let result = store
+            .read()
+            .expect("object store poisoned")
+            .query(&q, trace_context);
+        match result {
             Ok(result) => Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
                 ("cmd".into(), Json::str("query")),
@@ -1086,14 +892,14 @@ impl Service {
 
     /// `{"cmd":"get","key":K}` — fetch one object (with provenance)
     /// by its identity key.
-    fn get_cmd(&mut self, req: &Json) -> Json {
+    fn get_cmd(&self, req: &Json) -> Json {
         let Some(store) = &self.objstore else {
             return err("no object store attached (start with --object-store DIR)");
         };
         let Some(key) = req.get("key").and_then(Json::as_str) else {
             return err("missing 'key'");
         };
-        match store.get(key) {
+        match store.read().expect("object store poisoned").get(key) {
             Ok(hit) => Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
                 ("cmd".into(), Json::str("get")),
@@ -1112,7 +918,7 @@ impl Service {
 
     /// `{"cmd":"store-status"}` — segment/object/byte counts and the
     /// cumulative dedup counters of the object store.
-    fn store_status_cmd(&mut self) -> Json {
+    fn store_status_cmd(&self) -> Json {
         let Some(store) = &self.objstore else {
             return err("no object store attached (start with --object-store DIR)");
         };
@@ -1120,7 +926,9 @@ impl Service {
             ("ok".into(), Json::Bool(true)),
             ("cmd".into(), Json::str("store-status")),
         ];
-        if let Json::Obj(section) = store_status_json(&store.status()) {
+        if let Json::Obj(section) =
+            store_status_json(&store.read().expect("object store poisoned").status())
+        {
             pairs.extend(section);
         }
         Json::Obj(pairs)
@@ -1128,13 +936,17 @@ impl Service {
 
     /// `{"cmd":"compact"}` — rewrite live records into a fresh
     /// generation and drop superseded versions.
-    fn compact_cmd(&mut self, span: &Span) -> Json {
+    fn compact_cmd(&self, span: &Span) -> Json {
         let now = self.clock.wall_unix_micros();
         let trace_context = Some(span.context()).filter(|_| span.is_enabled());
-        let Some(store) = &mut self.objstore else {
+        let Some(store) = &self.objstore else {
             return err("no object store attached (start with --object-store DIR)");
         };
-        match store.compact(now, trace_context) {
+        let result = store
+            .write()
+            .expect("object store poisoned")
+            .compact(now, trace_context);
+        match result {
             Ok(r) => Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
                 ("cmd".into(), Json::str("compact")),
@@ -1240,7 +1052,7 @@ fn request_pages(req: &Json) -> Result<Vec<String>, String> {
 /// Like [`request_pages`], but each page comes with a stable id the
 /// object store uses as provenance: the file stem for `"dir"` input,
 /// `page-<index>` for inline pages.
-fn request_named_pages(req: &Json) -> Result<Vec<(String, String)>, String> {
+pub(crate) fn request_named_pages(req: &Json) -> Result<Vec<(String, String)>, String> {
     if let Some(arr) = req.get("pages").and_then(Json::as_arr) {
         return arr
             .iter()

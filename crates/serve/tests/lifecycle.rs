@@ -262,7 +262,7 @@ fn cosmetic_drift_is_invisible_to_the_wrapper() {
 
 #[test]
 fn malformed_requests_get_error_responses() {
-    let mut service = Service::new(config(scratch_dir("errors")));
+    let service = Service::new(config(scratch_dir("errors")));
     for bad in [
         "not json at all",
         "{\"cmd\":\"frobnicate\"}",

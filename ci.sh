@@ -199,6 +199,7 @@ grep -q '"batched_requests": [1-9]' "$SMOKE/bench_serve.json"   # bursts actuall
 grep -q '"shed_requests": 0' "$SMOKE/bench_serve.json"          # budgeted load sheds nothing
 grep -q '"shed_conns": 0' "$SMOKE/bench_serve.json"
 grep -q '"pooled_equals_serial": true' "$SMOKE/bench_serve.json" # byte-identical to serial
+grep -q '"window_agrees_with_histogram": true' "$SMOKE/bench_serve.json" # windowed == cumulative
 echo "    serve-load smoke OK"
 
 # Observability smoke: run the golden corpus with tracing enabled,
@@ -217,7 +218,54 @@ OBS_CHECK=target/release/obs_check
 "$OBS_CHECK" diff results/obs_baseline.json "$SMOKE/obs/snapshot.json" \
   --tolerance 0.02 --skip exec.threads
 grep -q 'pipeline.induce' "$SMOKE/obs_report.txt"
+# bench_annotation's enabled handle runs with sliding windows, tail
+# sampling and the access log all on, so this gate covers the full
+# live-telemetry stack.
 grep -q '"obs_overhead_ok": true' "$SMOKE/bench_annotation.json"
 echo "    obs smoke OK"
+
+# Live-telemetry smoke: drive the daemon over stdin with the access
+# log capped tiny and a 50 ms slow-trace floor. The heavy request —
+# the 2000-page drifted crawl from the stream smoke, against the
+# wrapper the serve smoke re-induced on that exact template — must be
+# retained by the tail sampler and come back through `trace slow` with
+# its span tree; `watch` must stream schema-complete snapshot lines;
+# `metrics-text` must be a Prometheus-style exposition; `status.live`
+# must surface the windowed histograms and the effective threshold;
+# and the access log must rotate under its cap with one structured
+# line per request.
+echo "==> obs-live smoke (watch + trace slow + access log rotation)"
+{
+  echo "{\"cmd\":\"extract\",\"source\":\"smoke\",\"dir\":\"$SMOKE/clean\"}"
+  echo "{\"cmd\":\"extract\",\"source\":\"smoke\",\"dir\":\"$SMOKE/clean\"}"
+  echo "{\"cmd\":\"extract\",\"source\":\"smoke\",\"dir\":\"$SMOKE/crawl\"}"
+  echo '{"cmd":"watch","count":2,"interval_micros":1000}'
+  echo '{"cmd":"metrics-text"}'
+  echo '{"cmd":"trace","kind":"slow","limit":3}'
+  echo '{"cmd":"status"}'
+} | "$SERVE" --store "$SMOKE/wrappers" --access-log "$SMOKE/access.jsonl" \
+      --access-log-max-bytes 450 --slow-trace-micros 50000 > "$SMOKE/live.jsonl"
+test "$(grep -c '"type":"watch"' "$SMOKE/live.jsonl")" -eq 2
+WATCH=$(grep '"type":"watch"' "$SMOKE/live.jsonl" | head -1)
+echo "$WATCH" | grep -q '"tick":0'
+echo "$WATCH" | grep -q '"requests":'
+echo "$WATCH" | grep -q '"rps_60s":'
+echo "$WATCH" | grep -q '"p99_us":'
+echo "$WATCH" | grep -q '"dropped_spans":'
+echo "$WATCH" | grep -q '"access_log_dropped":0'
+grep -q '^# TYPE objectrunner_serve_request_latency_micros histogram' "$SMOKE/live.jsonl"
+grep -q '^# EOF' "$SMOKE/live.jsonl"
+grep '"cmd":"trace"' "$SMOKE/live.jsonl" | grep -q '"kind":"slow"'
+grep '"kind":"slow"' "$SMOKE/live.jsonl" | grep -q '"retained":[1-9]'    # 2k-page extract kept
+grep '"kind":"slow"' "$SMOKE/live.jsonl" | grep -q '"name":"serve.extract"' # ... with its spans
+grep -q '"slow_trace_threshold_micros":50000' "$SMOKE/live.jsonl"        # floor, adaptive cold
+grep -q '"objectrunner.serve.request.latency_micros":{"rate_1s"' "$SMOKE/live.jsonl"
+grep -q '"rotations":[1-9]' "$SMOKE/live.jsonl"                          # status.live.access_log
+test -f "$SMOKE/access.jsonl"
+test -f "$SMOKE/access.jsonl.1"
+head -1 "$SMOKE/access.jsonl" | grep -q '^{"ts_unix_micros":'
+grep -q '"cmd":"extract"' "$SMOKE/access.jsonl" "$SMOKE/access.jsonl.1"
+grep -q '"outcome":"ok"' "$SMOKE/access.jsonl" "$SMOKE/access.jsonl.1"
+echo "    obs-live smoke OK"
 
 echo "CI OK"

@@ -94,7 +94,12 @@ fn pipeline_wall_micros(
 
 /// Best-of-5 pipeline wall, obs disabled vs enabled, on the first
 /// bench domain. Min-of-N damps scheduler noise; the enabled handle is
-/// reused across repetitions like a long-lived daemon's would be.
+/// reused across repetitions like a long-lived daemon's would be, and
+/// carries the full live-telemetry stack the serving daemon runs with:
+/// sliding windows behind every histogram, plus — inside the timed
+/// window, once per run — the per-request serving-side work of a
+/// windowed slow-threshold probe, a tail-sampler offer, and one
+/// structured access-log line.
 fn obs_overhead() -> (u128, u128) {
     let domain = Domain::ALL[0];
     let source = bench_source(domain, PAGES);
@@ -102,11 +107,53 @@ fn obs_overhead() -> (u128, u128) {
         .map(|_| pipeline_wall_micros(domain, &source, &objectrunner_obs::Obs::disabled()))
         .min()
         .unwrap();
-    let enabled_obs = objectrunner_obs::Obs::enabled();
+    let enabled_obs = objectrunner_obs::Obs::with_windows(
+        objectrunner_obs::Clock::system(),
+        objectrunner_obs::DEFAULT_SPAN_CAPACITY,
+        objectrunner_obs::WindowConfig::default(),
+    );
+    let sampler = objectrunner_serve::TraceSampler::new(16);
+    let log_path = std::env::temp_dir().join(format!(
+        "objectrunner-bench-annotation-{}-access.jsonl",
+        std::process::id()
+    ));
+    let access = objectrunner_serve::AccessLog::open(&log_path, 1 << 20).expect("access log");
     let enabled = (0..5)
-        .map(|_| pipeline_wall_micros(domain, &source, &enabled_obs))
+        .map(|_| {
+            let mut cfg = bench_config();
+            cfg.threads = Some(1);
+            cfg.obs = enabled_obs.clone();
+            micros(|| {
+                black_box(run_pipeline(domain, &source, cfg));
+                let span = enabled_obs.trace("bench.request");
+                let trace = span.trace_id();
+                span.finish();
+                enabled_obs.histogram_record(
+                    objectrunner_serve::REQUEST_LATENCY,
+                    &objectrunner_obs::LATENCY_BUCKETS_MICROS,
+                    1_000,
+                );
+                let now = enabled_obs.clock().map_or(0, |c| c.monotonic_micros());
+                black_box(
+                    enabled_obs
+                        .windows()
+                        .and_then(|w| w.get(objectrunner_serve::REQUEST_LATENCY))
+                        .map(|w| w.snapshot(now, 60_000_000).quantile(0.99)),
+                );
+                sampler.offer(
+                    &enabled_obs,
+                    objectrunner_serve::TraceKind::Slow,
+                    trace,
+                    1_000,
+                    0,
+                );
+                access.write_line(&format!("{{\"trace\":{trace},\"outcome\":\"ok\"}}"));
+            })
+        })
         .min()
         .unwrap();
+    let _ = std::fs::remove_file(access.rotated_path());
+    let _ = std::fs::remove_file(&log_path);
     (disabled, enabled)
 }
 

@@ -26,7 +26,8 @@
 //! Output is one JSON document on stdout; a recorded run is committed
 //! as `BENCH_serve.json` at the repository root.
 
-use objectrunner_serve::{serve_tcp, PoolConfig, ServeConfig, Service};
+use objectrunner_obs::LATENCY_BUCKETS_MICROS;
+use objectrunner_serve::{serve_tcp, PoolConfig, ServeConfig, Service, REQUEST_LATENCY};
 use objectrunner_store::Json;
 use objectrunner_webgen::{generate_site, Domain, PageKind, SiteSpec};
 use std::io::{BufRead, BufReader, Write};
@@ -282,6 +283,48 @@ fn main() {
         .map(|(_, h)| h.clone())
         .unwrap_or_default();
     let (server_p50, server_p99) = (server_hist.quantile(0.5), server_hist.quantile(0.99));
+
+    // The live-telemetry view of the same traffic: the 60 s sliding
+    // window over the request-latency histogram holds every sample of
+    // a sub-minute run, so its quantiles must agree with the
+    // cumulative histogram's to within one bucket — the window is
+    // just a different read over the identical records.
+    let now = pooled_service
+        .obs()
+        .clock()
+        .map_or(0, |c| c.monotonic_micros());
+    let windowed = pooled_service
+        .obs()
+        .windows()
+        .and_then(|w| w.get(REQUEST_LATENCY))
+        .map(|w| w.snapshot(now, 60_000_000))
+        .unwrap_or_default();
+    let cumulative = snap
+        .histograms
+        .iter()
+        .find(|(k, _)| k.as_str() == REQUEST_LATENCY)
+        .map(|(_, h)| h.clone())
+        .unwrap_or_default();
+    let bucket = |v: u64| {
+        LATENCY_BUCKETS_MICROS
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(LATENCY_BUCKETS_MICROS.len())
+    };
+    let window_agrees = [0.5, 0.99, 0.999]
+        .iter()
+        .all(|&q| bucket(windowed.quantile(q)).abs_diff(bucket(cumulative.quantile(q))) <= 1);
+    assert!(
+        window_agrees,
+        "windowed quantiles diverge from cumulative histogram: \
+         window p50/p99/p999 = {}/{}/{}, histogram = {}/{}/{}",
+        windowed.quantile(0.5),
+        windowed.quantile(0.99),
+        windowed.quantile(0.999),
+        cumulative.quantile(0.5),
+        cumulative.quantile(0.99),
+        cumulative.quantile(0.999),
+    );
     handle.shutdown();
 
     let baseline_rps = rps(total, baseline.wall_micros);
@@ -329,6 +372,19 @@ fn main() {
     );
     println!("  \"pooled_server_p50_micros\": {server_p50},");
     println!("  \"pooled_server_p99_micros\": {server_p99},");
+    println!(
+        "  \"pooled_window_p50_micros\": {},",
+        windowed.quantile(0.5)
+    );
+    println!(
+        "  \"pooled_window_p99_micros\": {},",
+        windowed.quantile(0.99)
+    );
+    println!(
+        "  \"pooled_window_p999_micros\": {},",
+        windowed.quantile(0.999)
+    );
+    println!("  \"window_agrees_with_histogram\": {window_agrees},");
     println!(
         "  \"speedup_vs_baseline\": {:.2},",
         pooled_rps / baseline_rps

@@ -279,12 +279,20 @@ pub fn extract_only<S: AsRef<str>>(
         threads,
         &Obs::disabled(),
         None,
+        None,
     )
 }
 
 /// [`extract_only`] with tracing/metrics: emits a `pipeline.extract`
 /// span tree (attached under `trace_context` when given) and
 /// accumulates the run into `obs`'s registry.
+///
+/// `queue_wait_micros` is how long the caller held the request before
+/// this pipeline invocation started (the serving layer's admission /
+/// batching delay); when given it is stamped on the root span, so a
+/// trace splits end-to-end latency into queue wait vs service time
+/// (the span's own duration).
+#[allow(clippy::too_many_arguments)]
 pub fn extract_only_with<S: AsRef<str>>(
     wrapper: &Wrapper,
     main_block: Option<&MainBlockChoice>,
@@ -293,6 +301,7 @@ pub fn extract_only_with<S: AsRef<str>>(
     threads: Option<usize>,
     obs: &Obs,
     trace_context: Option<(u64, u64)>,
+    queue_wait_micros: Option<u64>,
 ) -> ExtractOutcome {
     let exec = Executor::from_env(threads);
     let mut root = match trace_context {
@@ -300,6 +309,9 @@ pub fn extract_only_with<S: AsRef<str>>(
         None => obs.trace("pipeline.extract"),
     };
     root.attr_u64("pages", pages.len() as u64);
+    if let Some(wait) = queue_wait_micros {
+        root.attr_u64("queue_wait_micros", wait);
+    }
     let refs: Vec<&str> = pages.iter().map(AsRef::as_ref).collect();
     let parse_span = root.child("stage.parse");
     let (mut docs, parse_timing) = parse_stage(&exec, &refs);
@@ -363,6 +375,7 @@ fn finish_stage_span(mut span: Span, timing: &StageTiming) {
 /// to what a separate [`extract_only_with`] call on that page set
 /// would have produced; only the stage *timings* differ (they report
 /// the shared batched run, duplicated into each outcome).
+#[allow(clippy::too_many_arguments)]
 pub fn extract_only_batch<S: AsRef<str>>(
     wrapper: &Wrapper,
     main_block: Option<&MainBlockChoice>,
@@ -371,6 +384,7 @@ pub fn extract_only_batch<S: AsRef<str>>(
     threads: Option<usize>,
     obs: &Obs,
     trace_context: Option<(u64, u64)>,
+    queue_wait_micros: Option<u64>,
 ) -> Vec<ExtractOutcome> {
     if batches.len() == 1 {
         return vec![extract_only_with(
@@ -381,6 +395,7 @@ pub fn extract_only_batch<S: AsRef<str>>(
             threads,
             obs,
             trace_context,
+            queue_wait_micros,
         )];
     }
     let exec = Executor::from_env(threads);
@@ -389,6 +404,9 @@ pub fn extract_only_batch<S: AsRef<str>>(
         None => obs.trace("pipeline.extract_batch"),
     };
     root.attr_u64("requests", batches.len() as u64);
+    if let Some(wait) = queue_wait_micros {
+        root.attr_u64("queue_wait_micros", wait);
+    }
     let refs: Vec<&str> = batches
         .iter()
         .flat_map(|pages| pages.iter().map(AsRef::as_ref))
@@ -1123,6 +1141,7 @@ mod tests {
             &pages,
             None,
             &fast_obs,
+            None,
             None,
         );
         let fast_snap = fast.stats.snapshot();

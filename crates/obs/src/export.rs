@@ -283,6 +283,56 @@ pub fn stats_json_line(source: &str, system: &str, snapshot: &MetricsSnapshot) -
     )
 }
 
+/// Prometheus-style text exposition of a full snapshot: one `# TYPE`
+/// line per metric, histograms expanded into cumulative `_bucket{le=…}`
+/// series plus `_sum`/`_count`, terminated by a `# EOF` line (so a
+/// protocol client streaming the block knows where it ends). Metric
+/// names have non-`[a-zA-Z0-9_:]` characters mapped to `_` per the
+/// exposition-format grammar; ordering is the snapshot's (sorted), so
+/// equal snapshots render byte-identically.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, value) in &snapshot.counters {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, &count) in h.counts.iter().enumerate() {
+            cumulative += count;
+            match h.bounds.get(i) {
+                Some(bound) => {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                }
+                None => {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+fn prometheus_name(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => c,
+            _ => '_',
+        })
+        .collect()
+}
+
 fn join(xs: &[u64]) -> String {
     xs.iter()
         .map(|x| x.to_string())
@@ -360,6 +410,23 @@ mod tests {
         // wrap never ran: no key, no entry.
         assert!(!json.contains("\"stage\":\"wrap\""));
         assert!(json.contains("\"threads\":0"));
+    }
+
+    #[test]
+    fn prometheus_text_expands_histograms_cumulatively() {
+        let (_, snap) = sample_spans();
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE objectrunner_test_pages counter\n"));
+        assert!(text.contains("objectrunner_test_pages 2\n"));
+        assert!(text.contains("# TYPE objectrunner_test_lat histogram\n"));
+        // 42 lands in the ≤100 bucket; cumulative counts: 0, 1, 1.
+        assert!(text.contains("objectrunner_test_lat_bucket{le=\"10\"} 0\n"));
+        assert!(text.contains("objectrunner_test_lat_bucket{le=\"100\"} 1\n"));
+        assert!(text.contains("objectrunner_test_lat_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("objectrunner_test_lat_sum 42\n"));
+        assert!(text.contains("objectrunner_test_lat_count 1\n"));
+        assert!(text.ends_with("# EOF\n"));
+        assert_eq!(text, prometheus_text(&snap), "byte-stable");
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod clock;
 pub mod export;
 pub mod metrics;
 pub mod span;
+pub mod window;
 
 pub use clock::{Clock, ClockSource, FakeClock, SystemClock};
 pub use metrics::{
@@ -32,6 +33,7 @@ pub use metrics::{
     LATENCY_BUCKETS_MICROS,
 };
 pub use span::{AttrValue, Obs, Span, SpanRecord, DEFAULT_SPAN_CAPACITY};
+pub use window::{SlidingWindow, WindowConfig, WindowRegistry};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -23,6 +23,7 @@
 
 use crate::clock::Clock;
 use crate::metrics::{MetricsSnapshot, Registry};
+use crate::window::{WindowConfig, WindowRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -85,6 +86,9 @@ pub(crate) struct ObsInner {
     /// Spans discarded because a shard was full.
     dropped: AtomicU64,
     pub(crate) registry: Registry,
+    /// Sliding-window mirror of the histogram registry (live-telemetry
+    /// handles only; `None` keeps the plain handles' costs unchanged).
+    windows: Option<WindowRegistry>,
 }
 
 /// The observability handle: clonable, thread-safe, and free to pass
@@ -115,6 +119,18 @@ impl Obs {
 
     /// Full control: explicit clock (tests inject a fake) + capacity.
     pub fn with_clock_and_capacity(clock: Clock, capacity: usize) -> Obs {
+        Obs::build(clock, capacity, None)
+    }
+
+    /// A live-telemetry handle: like [`Obs::with_clock_and_capacity`],
+    /// but every histogram record is mirrored into a sliding-window
+    /// ring (see [`crate::window`]), which is what powers windowed
+    /// rates and percentiles in the serving daemon's `status.live`.
+    pub fn with_windows(clock: Clock, capacity: usize, windows: WindowConfig) -> Obs {
+        Obs::build(clock, capacity, Some(WindowRegistry::new(windows)))
+    }
+
+    fn build(clock: Clock, capacity: usize, windows: Option<WindowRegistry>) -> Obs {
         let per_shard = (capacity / SHARDS).max(1);
         Obs {
             inner: Some(Arc::new(ObsInner {
@@ -127,6 +143,7 @@ impl Obs {
                 capacity_per_shard: per_shard,
                 dropped: AtomicU64::new(0),
                 registry: Registry::new(),
+                windows,
             })),
         }
     }
@@ -220,11 +237,22 @@ impl Obs {
     }
 
     /// Record into a fixed-bucket histogram (created on first use).
+    /// On a windows-enabled handle the value also lands in the
+    /// matching sliding-window ring, stamped with the handle's clock.
     #[inline]
     pub fn histogram_record(&self, name: &str, bounds: &[u64], value: u64) {
         if let Some(inner) = &self.inner {
             inner.registry.histogram(name, bounds).record(value);
+            if let Some(windows) = &inner.windows {
+                windows.record(name, bounds, inner.clock.monotonic_micros(), value);
+            }
         }
+    }
+
+    /// The sliding-window registry (None when disabled or when this
+    /// handle was built without windows).
+    pub fn windows(&self) -> Option<&WindowRegistry> {
+        self.inner.as_ref().and_then(|i| i.windows.as_ref())
     }
 
     /// The live registry (None when disabled) — for hot paths that
@@ -251,6 +279,30 @@ impl Obs {
             out.extend(shard.lock().expect("span shard poisoned").iter().cloned());
         }
         out.sort_unstable_by_key(|s| (s.trace, s.id));
+        out
+    }
+
+    /// The finished spans of one trace, sorted by id, buffer
+    /// untouched. Scans the buffer but clones only the matches — the
+    /// tail-sampling path retains full span trees for rare
+    /// (slow/errored/shed) requests without paying for a full
+    /// [`Obs::spans`] clone per retention.
+    pub fn spans_for_trace(&self, trace: u64) -> Vec<SpanRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for shard in &inner.shards {
+            out.extend(
+                shard
+                    .lock()
+                    .expect("span shard poisoned")
+                    .iter()
+                    .filter(|s| s.trace == trace)
+                    .cloned(),
+            );
+        }
+        out.sort_unstable_by_key(|s| s.id);
         out
     }
 

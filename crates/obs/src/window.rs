@@ -1,0 +1,353 @@
+//! Time-bucketed sliding-window aggregation over the injectable
+//! [`Clock`](crate::Clock).
+//!
+//! A [`SlidingWindow`] is a ring of fixed-width time buckets, each
+//! holding one mini-histogram (same inclusive-upper-bound layout as
+//! [`Histogram`](crate::Histogram)). Recording stamps the value into
+//! the bucket owning `now`; a bucket is lazily reset the first time a
+//! record lands in its slot under a newer epoch, so there is no
+//! background sweeper thread and an idle window costs nothing.
+//!
+//! Reads merge the buckets covering the last `window_micros` into one
+//! [`HistogramSnapshot`], which gives windowed p50/p99/p999 through
+//! the existing `quantile` machinery plus event rates via
+//! `count / window_seconds`. All arithmetic is on integer microseconds
+//! from the handle's clock: under `Clock::fake()` every windowed value
+//! is a pure function of the pinned clock and the recorded values,
+//! which is what makes `watch` output byte-comparable across thread
+//! counts.
+//!
+//! The current (partial) bucket is included in every window, so rates
+//! over short windows undercount slightly while a bucket fills; that
+//! bias is bounded by one bucket width and keeps reads O(buckets)
+//! with no interpolation state.
+
+use crate::metrics::HistogramSnapshot;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Shape of every window in a [`WindowRegistry`]: `buckets` ring slots
+/// of `bucket_micros` each. The defaults (64 × 1 s) cover the 60 s
+/// window `status.live` reports with a little slack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Width of one ring bucket, in clock microseconds.
+    pub bucket_micros: u64,
+    /// Number of ring slots; the longest observable window is
+    /// `buckets * bucket_micros`.
+    pub buckets: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> WindowConfig {
+        WindowConfig {
+            bucket_micros: 1_000_000,
+            buckets: 64,
+        }
+    }
+}
+
+/// Sentinel epoch for a slot that has never been written.
+const EMPTY: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct Slot {
+    /// Which absolute bucket (`now / bucket_micros`) this slot holds.
+    epoch: u64,
+    counts: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
+impl Slot {
+    fn reset(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.sum = 0;
+        self.count = 0;
+    }
+}
+
+/// One metric's ring of time buckets. Shared behind an `Arc` by the
+/// recording path and `status.live` readers; a single mutex guards the
+/// ring (windowed metrics are recorded at request rate, not in the
+/// pipeline's per-token hot loops).
+#[derive(Debug)]
+pub struct SlidingWindow {
+    bucket_micros: u64,
+    bounds: Vec<u64>,
+    slots: Mutex<Vec<Slot>>,
+}
+
+impl SlidingWindow {
+    pub fn new(bounds: &[u64], config: WindowConfig) -> SlidingWindow {
+        let buckets = config.buckets.max(1);
+        SlidingWindow {
+            bucket_micros: config.bucket_micros.max(1),
+            bounds: bounds.to_vec(),
+            slots: Mutex::new(
+                (0..buckets)
+                    .map(|_| Slot {
+                        epoch: EMPTY,
+                        counts: vec![0; bounds.len() + 1],
+                        sum: 0,
+                        count: 0,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Record `value` into the bucket owning `now_micros`. A record
+    /// stamped with a clock reading older than what its ring slot
+    /// already holds (a reader raced a slow writer across a full ring
+    /// revolution) is dropped rather than corrupting a newer bucket.
+    pub fn record(&self, now_micros: u64, value: u64) {
+        let epoch = now_micros / self.bucket_micros;
+        let mut slots = self.slots.lock().expect("window ring poisoned");
+        let n = slots.len();
+        let slot = &mut slots[(epoch as usize) % n];
+        if slot.epoch != epoch {
+            if slot.epoch != EMPTY && slot.epoch > epoch {
+                return;
+            }
+            slot.reset(epoch);
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        slot.counts[idx] += 1;
+        slot.sum += value;
+        slot.count += 1;
+    }
+
+    /// Merge the buckets covering the last `window_micros` (ending at
+    /// `now_micros`, current partial bucket included) into one
+    /// histogram snapshot. Windows longer than the ring are clamped to
+    /// the ring span.
+    pub fn snapshot(&self, now_micros: u64, window_micros: u64) -> HistogramSnapshot {
+        let slots = self.slots.lock().expect("window ring poisoned");
+        let span = (window_micros / self.bucket_micros)
+            .max(1)
+            .min(slots.len() as u64);
+        let now_epoch = now_micros / self.bucket_micros;
+        let from_epoch = now_epoch.saturating_sub(span - 1);
+        let mut merged = HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: vec![0; self.bounds.len() + 1],
+            sum: 0,
+            count: 0,
+        };
+        for slot in slots.iter() {
+            if slot.epoch == EMPTY || slot.epoch < from_epoch || slot.epoch > now_epoch {
+                continue;
+            }
+            for (acc, &c) in merged.counts.iter_mut().zip(slot.counts.iter()) {
+                *acc += c;
+            }
+            merged.sum += slot.sum;
+            merged.count += slot.count;
+        }
+        merged
+    }
+
+    /// Events per second over the last `window_micros` (clamped to the
+    /// ring span, like [`snapshot`](SlidingWindow::snapshot)).
+    pub fn rate(&self, now_micros: u64, window_micros: u64) -> f64 {
+        let slots_len = self.slots.lock().expect("window ring poisoned").len() as u64;
+        let span = (window_micros / self.bucket_micros).max(1).min(slots_len);
+        let effective_micros = span * self.bucket_micros;
+        let count = self.snapshot(now_micros, window_micros).count;
+        count as f64 / (effective_micros as f64 / 1_000_000.0)
+    }
+}
+
+/// Name → window map mirroring the histogram registry: every
+/// histogram recorded through a windows-enabled [`Obs`](crate::Obs)
+/// handle also lands in a window created on first use with the same
+/// bucket bounds.
+#[derive(Debug)]
+pub struct WindowRegistry {
+    config: WindowConfig,
+    windows: Mutex<BTreeMap<String, Arc<SlidingWindow>>>,
+}
+
+impl WindowRegistry {
+    pub fn new(config: WindowConfig) -> WindowRegistry {
+        WindowRegistry {
+            config,
+            windows: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// The window registered under `name` (created on first use;
+    /// `bounds` applies only then, like the histogram registry).
+    pub fn window(&self, name: &str, bounds: &[u64]) -> Arc<SlidingWindow> {
+        let mut map = self.windows.lock().expect("window registry poisoned");
+        match map.get(name) {
+            Some(w) => Arc::clone(w),
+            None => {
+                let w = Arc::new(SlidingWindow::new(bounds, self.config));
+                map.insert(name.to_owned(), Arc::clone(&w));
+                w
+            }
+        }
+    }
+
+    /// Look up an existing window without creating one.
+    pub fn get(&self, name: &str) -> Option<Arc<SlidingWindow>> {
+        self.windows
+            .lock()
+            .expect("window registry poisoned")
+            .get(name)
+            .map(Arc::clone)
+    }
+
+    /// Record into the named window (created on first use).
+    pub fn record(&self, name: &str, bounds: &[u64], now_micros: u64, value: u64) {
+        self.window(name, bounds).record(now_micros, value);
+    }
+
+    /// All registered window names, sorted (BTreeMap order) — the
+    /// deterministic iteration order `status.live` renders in.
+    pub fn names(&self) -> Vec<String> {
+        self.windows
+            .lock()
+            .expect("window registry poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(bucket_micros: u64, buckets: usize) -> SlidingWindow {
+        SlidingWindow::new(
+            &[10, 100],
+            WindowConfig {
+                bucket_micros,
+                buckets,
+            },
+        )
+    }
+
+    #[test]
+    fn records_within_one_bucket_aggregate() {
+        let w = window(1_000_000, 8);
+        w.record(0, 5);
+        w.record(999_999, 50); // same bucket: inclusive of the whole width
+        let s = w.snapshot(999_999, 1_000_000);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 55);
+        assert_eq!(s.counts, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn bucket_boundary_rolls_over() {
+        let w = window(1_000_000, 8);
+        w.record(999_999, 5);
+        w.record(1_000_000, 50); // first micro of the next bucket
+                                 // A 1s window at t=1_000_000 sees only the new bucket.
+        let s = w.snapshot(1_000_000, 1_000_000);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 50);
+        // A 2s window sees both.
+        let s2 = w.snapshot(1_000_000, 2_000_000);
+        assert_eq!(s2.count, 2);
+        assert_eq!(s2.sum, 55);
+    }
+
+    #[test]
+    fn old_buckets_age_out_of_the_window() {
+        let w = window(1_000_000, 8);
+        w.record(0, 5);
+        w.record(5_000_000, 50);
+        // 3s window ending at t=5s: covers epochs 3..=5 only.
+        let s = w.snapshot(5_000_000, 3_000_000);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 50);
+    }
+
+    #[test]
+    fn ring_wraparound_resets_stale_slots() {
+        let w = window(1_000_000, 4);
+        w.record(0, 5); // epoch 0 → slot 0
+        w.record(4_000_000, 50); // epoch 4 → slot 0 again: must reset
+        let s = w.snapshot(4_000_000, 4_000_000);
+        assert_eq!(s.count, 1, "epoch-0 data must not leak into epoch 4");
+        assert_eq!(s.sum, 50);
+    }
+
+    #[test]
+    fn window_longer_than_ring_is_clamped() {
+        let w = window(1_000_000, 4);
+        for epoch in 0..6u64 {
+            w.record(epoch * 1_000_000, 5);
+        }
+        // Asking for 60s of history from a 4-bucket ring yields the
+        // ring span (epochs 2..=5 survive; 0 and 1 were overwritten).
+        let s = w.snapshot(5_000_000, 60_000_000);
+        assert_eq!(s.count, 4);
+        // Rate divides by the effective (clamped) span, not 60s.
+        let r = w.rate(5_000_000, 60_000_000);
+        assert!((r - 1.0).abs() < 1e-9, "4 events / 4s, got {r}");
+    }
+
+    #[test]
+    fn late_records_older_than_the_slot_are_dropped() {
+        let w = window(1_000_000, 4);
+        w.record(4_000_000, 50); // epoch 4 owns slot 0
+        w.record(0, 5); // epoch 0 maps to slot 0 but is older: dropped
+        let s = w.snapshot(4_000_000, 4_000_000);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 50);
+    }
+
+    #[test]
+    fn windowed_quantiles_use_bucket_bounds() {
+        let w = window(1_000_000, 8);
+        for v in [1, 2, 3, 50, 60, 5_000] {
+            w.record(500_000, v);
+        }
+        let s = w.snapshot(500_000, 1_000_000);
+        assert_eq!(s.quantile(0.5), 10);
+        assert_eq!(s.quantile(0.99), 100, "overflow reports the last bound");
+    }
+
+    #[test]
+    fn rates_over_multiple_windows() {
+        let w = window(1_000_000, 64);
+        // 10 events in the current second, 2 in the previous.
+        for _ in 0..2 {
+            w.record(8_000_000, 7);
+        }
+        for _ in 0..10 {
+            w.record(9_000_000, 7);
+        }
+        assert!((w.rate(9_000_000, 1_000_000) - 10.0).abs() < 1e-9);
+        assert!((w.rate(9_000_000, 10_000_000) - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_creates_on_first_use_and_lists_names() {
+        let reg = WindowRegistry::new(WindowConfig::default());
+        assert!(reg.get("objectrunner.test.h").is_none());
+        reg.record("objectrunner.test.h", &[10], 0, 3);
+        reg.record("objectrunner.test.a", &[10], 0, 3);
+        assert_eq!(
+            reg.names(),
+            vec!["objectrunner.test.a", "objectrunner.test.h"]
+        );
+        let w = reg.get("objectrunner.test.h").expect("created");
+        assert_eq!(w.snapshot(0, 1_000_000).count, 1);
+    }
+}

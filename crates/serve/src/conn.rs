@@ -45,7 +45,7 @@
 //! logged once per error kind — a flapping client cannot flood the
 //! daemon's stderr.
 
-use crate::service::{PoolInfo, Service};
+use crate::service::{PoolInfo, Service, Special};
 use objectrunner_store::Json;
 use std::collections::{BTreeSet, VecDeque};
 use std::io::{ErrorKind, Read, Write};
@@ -118,6 +118,8 @@ struct PoolShared {
     queue: Queue,
     /// Request-line admission tokens left.
     tokens: Mutex<usize>,
+    /// Total admission tokens; `inflight = budget - tokens`.
+    inflight_budget: usize,
     /// Open connections, counted exactly (a pooled connection spends
     /// part of its life inside a worker turn, off the queue).
     active: AtomicUsize,
@@ -129,15 +131,24 @@ struct PoolShared {
 impl PoolShared {
     /// Take up to `want` admission tokens; returns how many were
     /// granted (possibly zero — the caller sheds the rest).
+    ///
+    /// Load gauges here and below are **set from the authoritative
+    /// value** (the token count under its lock, the post-op atomic),
+    /// never `add`-ed: paired deltas racing across workers could
+    /// otherwise drive a gauge transiently negative under shed
+    /// pressure, and a missed pair would skew it forever.
     fn admit(&self, want: usize) -> usize {
         let mut tokens = self.tokens.lock().expect("tokens poisoned");
         let granted = want.min(*tokens);
         *tokens -= granted;
+        self.gauge_set("inflight", (self.inflight_budget - *tokens) as i64);
         granted
     }
 
     fn release(&self, granted: usize) {
-        *self.tokens.lock().expect("tokens poisoned") += granted;
+        let mut tokens = self.tokens.lock().expect("tokens poisoned");
+        *tokens += granted;
+        self.gauge_set("inflight", (self.inflight_budget - *tokens) as i64);
     }
 
     /// Count an I/O failure and log it once per (site, kind) — the
@@ -156,10 +167,10 @@ impl PoolShared {
         }
     }
 
-    fn gauge_add(&self, name: &str, delta: i64) {
+    fn gauge_set(&self, name: &str, value: i64) {
         self.service
             .obs()
-            .gauge_add(&format!("objectrunner.serve.serving.{name}"), delta);
+            .gauge_set(&format!("objectrunner.serve.serving.{name}"), value);
     }
 
     fn counter_add(&self, name: &str, n: u64) {
@@ -231,6 +242,7 @@ pub fn serve_tcp(listener: TcpListener, service: Arc<Service>, config: PoolConfi
             ready: Condvar::new(),
         },
         tokens: Mutex::new(inflight),
+        inflight_budget: inflight,
         active: AtomicUsize::new(0),
         shutdown: AtomicBool::new(false),
         logged: Mutex::new(BTreeSet::new()),
@@ -286,9 +298,9 @@ fn accept_loop(shared: &PoolShared, listener: &TcpListener, max_conns: usize) {
             shared.conn_error("accept", &e);
             continue;
         }
-        shared.active.fetch_add(1, Ordering::SeqCst);
+        let active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
         shared.counter_add("conn.accepted", 1);
-        shared.gauge_add("active_conns", 1);
+        shared.gauge_set("active_conns", active as i64);
         {
             let mut q = shared.queue.conns.lock().expect("queue poisoned");
             q.push_back(Conn {
@@ -330,9 +342,9 @@ fn worker_loop(shared: &PoolShared, config: &PoolConfig) {
         let Some(mut conn) = conn else { return };
         if shared.shutdown.load(Ordering::SeqCst) {
             // Drain mode: drop the connection without serving.
-            shared.active.fetch_sub(1, Ordering::SeqCst);
+            let active = shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
             shared.counter_add("conn.closed", 1);
-            shared.gauge_add("active_conns", -1);
+            shared.gauge_set("active_conns", active as i64);
             continue;
         }
 
@@ -356,9 +368,9 @@ fn worker_loop(shared: &PoolShared, config: &PoolConfig) {
             }
             ReadState::Eof | ReadState::Dead => {
                 let _ = conn.stream.shutdown(Shutdown::Both);
-                shared.active.fetch_sub(1, Ordering::SeqCst);
+                let active = shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
                 shared.counter_add("conn.closed", 1);
-                shared.gauge_add("active_conns", -1);
+                shared.gauge_set("active_conns", active as i64);
             }
         }
     }
@@ -385,39 +397,89 @@ fn turn(
         };
     }
 
+    let arrival = shared.service.shared.clock.monotonic_micros();
     shared.counter_add("serving.requests", lines.len() as u64);
-    let admitted = shared.admit(lines.len());
-    shared.gauge_add("inflight", admitted as i64);
-    let responses = shared.service.handle_batch(&lines[..admitted], cache);
-    shared.gauge_add("inflight", -(admitted as i64));
-    shared.release(admitted);
-    let shed = lines.len() - admitted;
-    if shed > 0 {
-        shared.counter_add("serving.shed_requests", shed as u64);
+
+    // Split the burst into ordered segments at streaming-command
+    // boundaries: runs of ordinary lines go through admission control
+    // and `handle_batch_at`; a `watch` / `metrics-text` line streams
+    // its output straight to the socket as it is produced.
+    enum Segment {
+        Normal(Vec<String>),
+        Stream(Special),
+    }
+    let mut segments: Vec<Segment> = Vec::new();
+    for line in lines {
+        match shared.service.special(&line) {
+            Some(spec) => segments.push(Segment::Stream(spec)),
+            None => match segments.last_mut() {
+                Some(Segment::Normal(seg)) => seg.push(line),
+                _ => segments.push(Segment::Normal(vec![line])),
+            },
+        }
     }
 
-    // Write burst: blocking socket, buffered writer, one explicit
-    // flush per response line.
+    fn send(writer: &mut std::io::BufWriter<&TcpStream>, chunk: &str) -> bool {
+        writeln!(writer, "{chunk}")
+            .and_then(|()| writer.flush())
+            .is_ok()
+    }
+
+    // The whole serve-and-write phase runs on a blocking socket (reads
+    // are non-blocking, writes are simple), one explicit flush per
+    // response line so a response is one `write` syscall.
     if conn.stream.set_nonblocking(false).is_err() {
         return (ReadState::Dead, true);
     }
+    let mut write_failed = false;
     {
         let mut writer = std::io::BufWriter::new(&conn.stream);
         let shed_line = overloaded_line();
-        for response in responses
-            .iter()
-            .map(String::as_str)
-            .chain((0..shed).map(|_| shed_line.as_str()))
-        {
-            if writeln!(writer, "{response}")
-                .and_then(|()| writer.flush())
-                .is_err()
-            {
-                let e = std::io::Error::new(ErrorKind::BrokenPipe, "response write failed");
-                shared.conn_error("write", &e);
-                return (ReadState::Dead, true);
+        'segments: for segment in segments {
+            match segment {
+                Segment::Stream(spec) => {
+                    let mut ok = true;
+                    shared.service.run_special(&spec, &mut |chunk| {
+                        ok = send(&mut writer, chunk);
+                        ok
+                    });
+                    if !ok {
+                        write_failed = true;
+                        break 'segments;
+                    }
+                }
+                Segment::Normal(seg) => {
+                    let admitted = shared.admit(seg.len());
+                    let responses =
+                        shared
+                            .service
+                            .handle_batch_at(&seg[..admitted], cache, arrival);
+                    shared.release(admitted);
+                    let shed = seg.len() - admitted;
+                    if shed > 0 {
+                        shared.counter_add("serving.shed_requests", shed as u64);
+                        shared
+                            .service
+                            .record_shed(shed, arrival, shed_line.len() + 1);
+                    }
+                    for response in responses
+                        .iter()
+                        .map(String::as_str)
+                        .chain((0..shed).map(|_| shed_line.as_str()))
+                    {
+                        if !send(&mut writer, response) {
+                            write_failed = true;
+                            break 'segments;
+                        }
+                    }
+                }
             }
         }
+    }
+    if write_failed {
+        let e = std::io::Error::new(ErrorKind::BrokenPipe, "response write failed");
+        shared.conn_error("write", &e);
+        return (ReadState::Dead, true);
     }
     if conn.stream.set_nonblocking(true).is_err() {
         return (ReadState::Dead, true);

@@ -21,8 +21,13 @@ pub mod conn;
 pub mod service;
 pub mod shard;
 pub mod slot;
+pub mod telemetry;
 
 pub use conn::{serve_tcp, PoolConfig, PoolHandle};
-pub use service::{instance_json, PoolInfo, ServeConfig, Service, WrapperState};
+pub use service::{
+    instance_json, PoolInfo, ServeConfig, Service, Special, WrapperState, REQUEST_LATENCY,
+    REQUEST_QUEUE_WAIT,
+};
 pub use shard::ReaderCache;
 pub use slot::{Slot, SlotReader};
+pub use telemetry::{AccessLog, AccessLogStats, RetainedTrace, TraceKind, TraceSampler};

@@ -68,8 +68,13 @@ USAGE:
 PROTOCOL (one JSON object per line on stdin; one response per line):
   {\"cmd\":\"induce\",\"source\":S,\"domain\":D,\"pages\":[..]|\"dir\":PATH}
   {\"cmd\":\"extract\",\"source\":S,\"pages\":[..]|\"dir\":PATH}
-  {\"cmd\":\"status\"}     (uptime, per-source state + metrics section)
+  {\"cmd\":\"status\"}     (uptime, per-source state, metrics + live sections)
   {\"cmd\":\"trace\",\"limit\":N}  (span trees of the last N requests)
+  {\"cmd\":\"trace\",\"kind\":\"slow|errors|shed\",\"limit\":N}
+                         (tail-sampled span trees of qualifying requests)
+  {\"cmd\":\"watch\",\"interval_micros\":N,\"count\":N}
+                         (stream one metrics-snapshot line per tick)
+  {\"cmd\":\"metrics-text\"}   (Prometheus-style text exposition)
 
 OBJECT STORE (only with --object-store; extractions are de-duplicated,
 fused across sources and persisted with per-attribute provenance):
@@ -86,6 +91,13 @@ LIFECYCLE FLAGS (echoed back under status.config):
                             wrapper must extract on, else full re-induction (0.5)
   --empty-page-threshold F  fraction of zero-extraction pages that flags a
                             low-drift batch stale anyway (silent miss, 0.8)
+
+TELEMETRY FLAGS:
+  --access-log FILE           structured JSONL access log (one line/request)
+  --access-log-max-bytes N    rotate the log to FILE.1 past N bytes (64 MiB)
+  --slow-trace-micros N       floor for slow-trace retention; combined with
+                              the adaptive windowed-p99 threshold
+  --watch-interval MICROS     default tick interval for watch (1000000)
 
 Every response echoes a \"trace\" id joinable against the trace command.
 ";
@@ -147,6 +159,36 @@ fn serve(args: &[String]) -> i32 {
             Ok(v) => config.threads = Some(v),
             Err(_) => {
                 eprintln!("bad --threads '{n}'");
+                return 2;
+            }
+        }
+    }
+    if let Some(path) = flag(args, "--access-log") {
+        config.access_log = Some(PathBuf::from(path));
+    }
+    if let Some(n) = flag(args, "--access-log-max-bytes") {
+        match n.parse() {
+            Ok(v) => config.access_log_max_bytes = v,
+            Err(_) => {
+                eprintln!("bad --access-log-max-bytes '{n}'");
+                return 2;
+            }
+        }
+    }
+    if let Some(n) = flag(args, "--slow-trace-micros") {
+        match n.parse() {
+            Ok(v) => config.slow_trace_micros = Some(v),
+            Err(_) => {
+                eprintln!("bad --slow-trace-micros '{n}'");
+                return 2;
+            }
+        }
+    }
+    if let Some(n) = flag(args, "--watch-interval") {
+        match n.parse() {
+            Ok(v) => config.watch_interval_micros = v,
+            Err(_) => {
+                eprintln!("bad --watch-interval '{n}'");
                 return 2;
             }
         }
@@ -220,6 +262,20 @@ fn serve(args: &[String]) -> i32 {
     let stdout = std::io::stdout();
     for line in stdin.lock().lines().map_while(Result::ok) {
         if line.trim().is_empty() {
+            continue;
+        }
+        // Streaming commands (`watch`, `metrics-text`) write their
+        // output as it is produced instead of one response line.
+        if let Some(spec) = service.special(&line) {
+            let mut io_ok = true;
+            service.run_special(&spec, &mut |chunk| {
+                let mut out = stdout.lock();
+                io_ok = writeln!(out, "{chunk}").and_then(|()| out.flush()).is_ok();
+                io_ok
+            });
+            if !io_ok {
+                break;
+            }
             continue;
         }
         let response = service.handle_line(&line);

@@ -75,17 +75,22 @@
 
 use crate::shard::{self, ReaderCache, SourceMap};
 use crate::slot::Slot;
+use crate::telemetry::{AccessLog, TraceKind, TraceSampler, DEFAULT_RETAINED_PER_KIND};
 use objectrunner_core::annotate::Annotator;
 use objectrunner_core::pipeline::{Pipeline, PipelineConfig};
 use objectrunner_core::sample::SampleConfig;
 use objectrunner_objstore::{record_json, ObjectStore, Query, StoreStatus};
-use objectrunner_obs::{Clock, HistogramSnapshot, Obs, Span, SpanRecord, DEFAULT_SPAN_CAPACITY};
+use objectrunner_obs::{
+    export, Clock, HistogramSnapshot, Obs, Span, SpanRecord, WindowConfig, DEFAULT_SPAN_CAPACITY,
+    LATENCY_BUCKETS_MICROS,
+};
 use objectrunner_sod::Instance;
 use objectrunner_store::{save_file, Json, StoredWrapper};
 use objectrunner_webgen::knowledge::recognizers_for;
 use objectrunner_webgen::Domain;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 pub use crate::shard::WrapperState;
@@ -120,6 +125,18 @@ pub struct ServeConfig {
     /// Directory of the durable object store (`--object-store`).
     /// `None` disables the sink and the query commands.
     pub object_store: Option<PathBuf>,
+    /// Explicit floor (micros of *service* time) above which a request
+    /// is retained as a slow trace. Combined with the adaptive
+    /// windowed-p99 threshold: the effective threshold is the max of
+    /// both (see [`ServiceShared::slow_threshold`]). `None` leaves
+    /// retention purely adaptive.
+    pub slow_trace_micros: Option<u64>,
+    /// JSONL access log path (`--access-log`); `None` disables it.
+    pub access_log: Option<PathBuf>,
+    /// Size cap before the access log rotates to `<path>.1`.
+    pub access_log_max_bytes: u64,
+    /// Default tick interval for the `watch` streaming command.
+    pub watch_interval_micros: u64,
 }
 
 impl Default for ServeConfig {
@@ -135,6 +152,10 @@ impl Default for ServeConfig {
             sample_size: 12,
             threads: None,
             object_store: None,
+            slow_trace_micros: None,
+            access_log: None,
+            access_log_max_bytes: 64 << 20,
+            watch_interval_micros: 1_000_000,
         }
     }
 }
@@ -204,12 +225,21 @@ pub(crate) struct ServiceShared {
     /// Pool shape, set once by `conn::serve_tcp`; `None` for the
     /// stdin loop and in-process tests.
     pub(crate) pool: Mutex<Option<PoolInfo>>,
+    /// Tail-based trace retention: bounded rings of the span trees of
+    /// slow / errored / shed requests (`trace slow|errors|shed`).
+    pub(crate) sampler: TraceSampler,
+    /// Structured per-request JSONL log (`--access-log`); `None` when
+    /// the daemon runs without one.
+    pub(crate) access_log: Option<AccessLog>,
+    /// Whether the span-buffer-wrapped warning has been emitted (once
+    /// per daemon; the running count lives in `status.live`).
+    span_loss_logged: AtomicBool,
 }
 
 /// The serving core. Owns the wrapper cache; one instance per daemon,
 /// shared by reference across the connection pool.
 pub struct Service {
-    shared: Arc<ServiceShared>,
+    pub(crate) shared: Arc<ServiceShared>,
     /// Reader cache backing the cacheless convenience entry point
     /// [`Service::handle_line`] (stdin loop, tests). Pool workers own
     /// their caches and go through [`Service::handle_batch`] instead.
@@ -217,10 +247,16 @@ pub struct Service {
 }
 
 impl Service {
-    /// A daemon-grade service: observability on, real clock.
+    /// A daemon-grade service: observability on, real clock, sliding
+    /// windows feeding `status.live` / `watch` / the slow-trace
+    /// threshold.
     pub fn new(config: ServeConfig) -> Service {
         let clock = Clock::system();
-        let obs = Obs::with_clock_and_capacity(clock.clone(), DEFAULT_SPAN_CAPACITY);
+        let obs = Obs::with_windows(
+            clock.clone(),
+            DEFAULT_SPAN_CAPACITY,
+            WindowConfig::default(),
+        );
         Service::with_observability(config, obs, clock)
     }
 
@@ -240,6 +276,12 @@ impl Service {
                     .unwrap_or_else(|e| panic!("object store {}: {e}", dir.display())),
             )
         });
+        // Same contract as the object store: a daemon must not come up
+        // silently dropping the log it was asked for.
+        let access_log = config.access_log.as_ref().map(|path| {
+            AccessLog::open(path, config.access_log_max_bytes)
+                .unwrap_or_else(|e| panic!("access log {}: {e}", path.display()))
+        });
         Service {
             shared: Arc::new(ServiceShared {
                 config,
@@ -251,6 +293,9 @@ impl Service {
                 annotators: Mutex::new(BTreeMap::new()),
                 objstore,
                 pool: Mutex::new(None),
+                sampler: TraceSampler::new(DEFAULT_RETAINED_PER_KIND),
+                access_log,
+                span_loss_logged: AtomicBool::new(false),
             }),
             fallback_cache: Mutex::new(ReaderCache::new()),
         }
@@ -284,11 +329,11 @@ impl Service {
     /// the single-request path pool workers use for non-batchable
     /// commands.
     pub fn handle_line_with(&self, line: &str, cache: &mut ReaderCache) -> String {
-        let response = match Json::parse(line) {
-            Ok(req) => self.handle(&req, cache),
-            Err(e) => err(&format!("bad request: {e}")),
-        };
-        response.render()
+        let arrival = self.shared.clock.monotonic_micros();
+        match Json::parse(line) {
+            Ok(req) => self.handle(&req, cache, arrival),
+            Err(e) => err(&format!("bad request: {e}")).render(),
+        }
     }
 
     /// Handle a pipelined burst of protocol lines, one response per
@@ -298,6 +343,20 @@ impl Service {
     /// with byte-identical per-request responses; every other line is
     /// handled exactly as [`Service::handle_line`] would.
     pub fn handle_batch<S: AsRef<str>>(&self, lines: &[S], cache: &mut ReaderCache) -> Vec<String> {
+        let arrival = self.shared.clock.monotonic_micros();
+        self.handle_batch_at(lines, cache, arrival)
+    }
+
+    /// [`Service::handle_batch`] with an explicit arrival timestamp —
+    /// the connection layer stamps arrival when the lines come off the
+    /// socket, so the queue-wait half of the latency split covers the
+    /// time spent behind admission control and batch mates.
+    pub fn handle_batch_at<S: AsRef<str>>(
+        &self,
+        lines: &[S],
+        cache: &mut ReaderCache,
+        arrival_mono: u64,
+    ) -> Vec<String> {
         let parsed: Vec<Result<Json, String>> = lines
             .iter()
             .map(|l| Json::parse(l.as_ref()).map_err(|e| format!("bad request: {e}")))
@@ -344,22 +403,35 @@ impl Service {
                         "objectrunner.serve.serving.batched_requests",
                         (j - i) as u64,
                     );
-                    let results = shard::extract_batch(&self.shared, cache, &group, &spans);
-                    for (response, span) in results.into_iter().zip(spans) {
-                        responses.push(finalize(span, response).render());
+                    let started = self.shared.clock.monotonic_micros();
+                    let queue_wait = started.saturating_sub(arrival_mono);
+                    let results =
+                        shard::extract_batch(&self.shared, cache, &group, &spans, Some(queue_wait));
+                    let batch_size = j - i;
+                    for ((response, span), req) in results.into_iter().zip(spans).zip(&group) {
+                        let meta = RequestMeta {
+                            cmd: "extract",
+                            source: req.get("source").and_then(Json::as_str),
+                            arrival_mono,
+                            started_mono: started,
+                            batched: true,
+                            batch_size,
+                        };
+                        responses.push(self.shared.complete(span, response, &meta));
                     }
                     i = j;
                     continue;
                 }
             }
-            responses.push(self.handle(req, cache).render());
+            responses.push(self.handle(req, cache, arrival_mono));
             i += 1;
         }
         responses
     }
 
-    fn handle(&self, req: &Json, cache: &mut ReaderCache) -> Json {
+    fn handle(&self, req: &Json, cache: &mut ReaderCache, arrival_mono: u64) -> String {
         let shared = &self.shared;
+        let started = shared.clock.monotonic_micros();
         let cmd = req.get("cmd").and_then(Json::as_str).map(str::to_owned);
         let span_name: &'static str = match cmd.as_deref() {
             Some("induce") => "serve.induce",
@@ -380,13 +452,18 @@ impl Service {
             ),
             1,
         );
+        let queue_wait = started.saturating_sub(arrival_mono);
         let response = match cmd.as_deref() {
             Some("induce") => shared.induce(req, &span),
-            Some("extract") => {
-                shard::extract_batch(shared, cache, &[req], std::slice::from_ref(&span))
-                    .pop()
-                    .expect("one response per request")
-            }
+            Some("extract") => shard::extract_batch(
+                shared,
+                cache,
+                &[req],
+                std::slice::from_ref(&span),
+                Some(queue_wait),
+            )
+            .pop()
+            .expect("one response per request"),
             Some("status") => shared.status(),
             Some("trace") => shared.trace_dump(req),
             Some("query") => shared.query_cmd(req, &span),
@@ -396,8 +473,128 @@ impl Service {
             Some(other) => err(&format!("unknown cmd '{other}'")),
             None => err("missing 'cmd'"),
         };
-        finalize(span, response)
+        let meta = RequestMeta {
+            cmd: cmd.as_deref().unwrap_or("unknown"),
+            source: req.get("source").and_then(Json::as_str),
+            arrival_mono,
+            started_mono: started,
+            batched: false,
+            batch_size: 1,
+        };
+        shared.complete(span, response, &meta)
     }
+
+    /// Parse `line` as a streaming protocol command, if it is one. The
+    /// substring pre-filter keeps the connection layer from
+    /// JSON-parsing every ordinary request line twice.
+    pub fn special(&self, line: &str) -> Option<Special> {
+        if !line.contains("watch") && !line.contains("metrics-text") {
+            return None;
+        }
+        let req = Json::parse(line).ok()?;
+        match req.get("cmd").and_then(Json::as_str) {
+            Some("watch") => Some(Special::Watch {
+                interval_micros: req
+                    .get("interval_micros")
+                    .and_then(Json::as_usize)
+                    .map(|n| n as u64)
+                    .unwrap_or(self.shared.config.watch_interval_micros),
+                count: req
+                    .get("count")
+                    .and_then(Json::as_usize)
+                    .map(|n| n as u64)
+                    .unwrap_or(u64::MAX),
+            }),
+            Some("metrics-text") => Some(Special::MetricsText),
+            _ => None,
+        }
+    }
+
+    /// Run a streaming command, handing each output chunk to `emit`
+    /// (one `watch` line per call, the whole text exposition for
+    /// `metrics-text`; no trailing newline). `emit` returning `false`
+    /// stops the stream — the peer went away.
+    pub fn run_special(&self, spec: &Special, emit: &mut dyn FnMut(&str) -> bool) {
+        match spec {
+            Special::MetricsText => {
+                self.shared
+                    .obs
+                    .counter_add("objectrunner.serve.requests.metrics_text", 1);
+                emit(&self.metrics_text());
+            }
+            Special::Watch {
+                interval_micros,
+                count,
+            } => {
+                self.shared
+                    .obs
+                    .counter_add("objectrunner.serve.requests.watch", 1);
+                let mut tick: u64 = 0;
+                while tick < *count {
+                    if !emit(&self.shared.watch_line(tick)) {
+                        return;
+                    }
+                    tick += 1;
+                    if tick < *count && *interval_micros > 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(*interval_micros));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Prometheus-style text exposition of the whole metrics registry
+    /// (the `metrics-text` command).
+    pub fn metrics_text(&self) -> String {
+        export::prometheus_text(&self.shared.obs.snapshot())
+    }
+
+    /// Account request lines shed by admission control: a typed
+    /// `serve.shed` span per line, tail retention under the `shed`
+    /// kind, and an access-log line (outcome `shed`,
+    /// `response_bytes` = the typed overload response).
+    pub fn record_shed(&self, count: usize, arrival_mono: u64, response_bytes: usize) {
+        let shared = &self.shared;
+        let now = shared.clock.monotonic_micros();
+        let wall = shared.clock.wall_unix_micros();
+        let queue_wait = now.saturating_sub(arrival_mono);
+        for _ in 0..count {
+            let mut span = shared.obs.trace("serve.shed");
+            let trace_id = span.trace_id();
+            span.attr_str("outcome", "shed");
+            span.attr_u64("queue_wait_micros", queue_wait);
+            span.finish();
+            shared
+                .sampler
+                .offer(&shared.obs, TraceKind::Shed, trace_id, 0, wall);
+            shared.access_line(&AccessRecord {
+                wall_unix_micros: wall,
+                trace: trace_id,
+                cmd: "shed",
+                source: None,
+                outcome: "shed",
+                queue_wait_micros: queue_wait,
+                service_micros: 0,
+                batched: false,
+                batch_size: 1,
+                bytes: response_bytes as u64,
+                revision: None,
+            });
+        }
+    }
+}
+
+/// A protocol command whose output streams (or is not one JSON line),
+/// peeled off the normal request path by the stdin loop and the
+/// connection layer before `handle_batch` sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Special {
+    /// `{"cmd":"watch","interval_micros":N,"count":N}` — one canonical
+    /// metrics-snapshot line per tick (defaults: the daemon's
+    /// `--watch-interval`, unbounded count).
+    Watch { interval_micros: u64, count: u64 },
+    /// `{"cmd":"metrics-text"}` — Prometheus-style text exposition.
+    MetricsText,
 }
 
 /// The source of a request that can join an extract batch.
@@ -408,27 +605,226 @@ fn batchable_source(req: &Json) -> Option<&str> {
     }
 }
 
-/// Stamp the request span's outcome, finish it, and echo its trace id
-/// in the response — joinable against the `trace` command and the
-/// exporters.
-fn finalize(mut span: Span, response: Json) -> Json {
-    let trace_id = span.trace_id();
-    let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
-    span.attr_str("outcome", if ok { "ok" } else { "error" });
-    span.finish();
-    match response {
-        Json::Obj(mut pairs) => {
-            pairs.push(("trace".into(), Json::int(trace_id)));
-            Json::Obj(pairs)
-        }
-        other => other,
-    }
+/// Per-request bookkeeping carried from parse to completion: what ran,
+/// when it arrived off the socket, when the service actually started
+/// on it, and how it was batched.
+pub(crate) struct RequestMeta<'a> {
+    pub cmd: &'a str,
+    pub source: Option<&'a str>,
+    pub arrival_mono: u64,
+    pub started_mono: u64,
+    pub batched: bool,
+    pub batch_size: usize,
 }
+
+/// One access-log line's fields, in render order.
+struct AccessRecord<'a> {
+    wall_unix_micros: u64,
+    trace: u64,
+    cmd: &'a str,
+    source: Option<&'a str>,
+    outcome: &'a str,
+    queue_wait_micros: u64,
+    service_micros: u64,
+    batched: bool,
+    batch_size: usize,
+    bytes: u64,
+    revision: Option<i64>,
+}
+
+/// Histogram names of the request-level latency split; public so
+/// benches and operators can address the windowed views by name.
+pub const REQUEST_LATENCY: &str = "objectrunner.serve.request.latency_micros";
+pub const REQUEST_QUEUE_WAIT: &str = "objectrunner.serve.request.queue_wait_micros";
+
+/// Windowed samples required before the adaptive slow-trace threshold
+/// kicks in (a p99 over a handful of requests is noise).
+const SLOW_MIN_SAMPLES: u64 = 16;
 
 impl ServiceShared {
     /// The wrapper file for a source.
     pub(crate) fn wrapper_path(&self, source: &str) -> PathBuf {
         self.config.store_dir.join(format!("{source}.orw"))
+    }
+
+    /// Finish a request: stamp the span's outcome and queue wait,
+    /// record the latency split into the request histograms (and the
+    /// sliding windows behind them), echo the trace id into the
+    /// response, retain the trace when it qualifies (errors always,
+    /// slow past [`ServiceShared::slow_threshold`]), and append the
+    /// access-log line. Returns the rendered response line.
+    pub(crate) fn complete(&self, mut span: Span, response: Json, meta: &RequestMeta) -> String {
+        let trace_id = span.trace_id();
+        let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
+        let queue_wait = meta.started_mono.saturating_sub(meta.arrival_mono);
+        let service = self
+            .clock
+            .monotonic_micros()
+            .saturating_sub(meta.started_mono);
+        span.attr_str("outcome", if ok { "ok" } else { "error" });
+        span.attr_u64("queue_wait_micros", queue_wait);
+        span.finish();
+        self.obs
+            .histogram_record(REQUEST_LATENCY, &LATENCY_BUCKETS_MICROS, service);
+        self.obs
+            .histogram_record(REQUEST_QUEUE_WAIT, &LATENCY_BUCKETS_MICROS, queue_wait);
+        self.obs
+            .counter_add("objectrunner.serve.request.completed", 1);
+        let revision = response.get("revision").and_then(Json::as_i64);
+        let rendered = match response {
+            Json::Obj(mut pairs) => {
+                pairs.push(("trace".into(), Json::int(trace_id)));
+                Json::Obj(pairs).render()
+            }
+            other => other.render(),
+        };
+        let wall = self.clock.wall_unix_micros();
+        if !ok {
+            self.sampler
+                .offer(&self.obs, TraceKind::Error, trace_id, service, wall);
+        } else if self.slow_threshold().is_some_and(|t| service >= t) {
+            self.sampler
+                .offer(&self.obs, TraceKind::Slow, trace_id, service, wall);
+        }
+        self.access_line(&AccessRecord {
+            wall_unix_micros: wall,
+            trace: trace_id,
+            cmd: meta.cmd,
+            source: meta.source,
+            outcome: if ok { "ok" } else { "error" },
+            queue_wait_micros: queue_wait,
+            service_micros: service,
+            batched: meta.batched,
+            batch_size: meta.batch_size,
+            bytes: rendered.len() as u64 + 1,
+            revision,
+        });
+        self.note_span_loss();
+        rendered
+    }
+
+    /// The service-time threshold (micros) above which a completed
+    /// request's trace is retained as *slow*: the max of the explicit
+    /// `--slow-trace-micros` floor and the adaptive windowed-60s p99
+    /// of request latency (once [`SLOW_MIN_SAMPLES`] windowed samples
+    /// exist). `None` — no floor, window still cold — retains nothing.
+    pub(crate) fn slow_threshold(&self) -> Option<u64> {
+        let adaptive = self.obs.windows().and_then(|w| {
+            let win = w.get(REQUEST_LATENCY)?;
+            let snap = win.snapshot(self.clock.monotonic_micros(), 60_000_000);
+            (snap.count >= SLOW_MIN_SAMPLES).then(|| snap.quantile(0.99))
+        });
+        match (self.config.slow_trace_micros, adaptive) {
+            (Some(floor), Some(p99)) => Some(floor.max(p99)),
+            (Some(floor), None) => Some(floor),
+            (None, adaptive) => adaptive,
+        }
+    }
+
+    /// One canonical `watch` line: fixed key order, every value a pure
+    /// function of the clock and the recorded metrics — byte-stable
+    /// across thread counts under a pinned fake clock.
+    pub(crate) fn watch_line(&self, tick: u64) -> String {
+        let now = self.clock.monotonic_micros();
+        let snap = self.obs.snapshot();
+        let win = self.obs.windows().and_then(|w| w.get(REQUEST_LATENCY));
+        let (rps_1s, rps_10s, rps_60s, p50, p99, p999) = match &win {
+            Some(w) => {
+                let s = w.snapshot(now, 60_000_000);
+                (
+                    w.rate(now, 1_000_000),
+                    w.rate(now, 10_000_000),
+                    w.rate(now, 60_000_000),
+                    s.quantile(0.5),
+                    s.quantile(0.99),
+                    s.quantile(0.999),
+                )
+            }
+            None => (0.0, 0.0, 0.0, 0, 0, 0),
+        };
+        let serving = |name: &str| format!("objectrunner.serve.serving.{name}");
+        Json::Obj(vec![
+            ("type".into(), Json::str("watch")),
+            ("tick".into(), Json::int(tick)),
+            (
+                "uptime_micros".into(),
+                Json::int(now.saturating_sub(self.start_mono)),
+            ),
+            (
+                "requests".into(),
+                Json::int(snap.counter("objectrunner.serve.request.completed")),
+            ),
+            ("rps_1s".into(), Json::Float(rps_1s)),
+            ("rps_10s".into(), Json::Float(rps_10s)),
+            ("rps_60s".into(), Json::Float(rps_60s)),
+            ("p50_us".into(), Json::int(p50)),
+            ("p99_us".into(), Json::int(p99)),
+            ("p999_us".into(), Json::int(p999)),
+            (
+                "inflight".into(),
+                Json::int(snap.gauge(&serving("inflight"))),
+            ),
+            (
+                "queue_depth".into(),
+                Json::int(snap.gauge(&serving("queue_depth"))),
+            ),
+            (
+                "active_conns".into(),
+                Json::int(snap.gauge(&serving("active_conns"))),
+            ),
+            (
+                "shed_requests".into(),
+                Json::int(snap.counter(&serving("shed_requests"))),
+            ),
+            ("dropped_spans".into(), Json::int(self.obs.dropped_spans())),
+            (
+                "access_log_dropped".into(),
+                Json::int(
+                    self.access_log
+                        .as_ref()
+                        .map(|l| l.stats().dropped)
+                        .unwrap_or(0),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// Append one structured line to the access log, if one is open.
+    fn access_line(&self, r: &AccessRecord) {
+        let Some(log) = &self.access_log else { return };
+        let line = Json::Obj(vec![
+            ("ts_unix_micros".into(), Json::int(r.wall_unix_micros)),
+            ("trace".into(), Json::int(r.trace)),
+            ("cmd".into(), Json::str(r.cmd)),
+            (
+                "source".into(),
+                r.source.map(Json::str).unwrap_or(Json::Null),
+            ),
+            ("outcome".into(), Json::str(r.outcome)),
+            ("queue_wait_micros".into(), Json::int(r.queue_wait_micros)),
+            ("service_micros".into(), Json::int(r.service_micros)),
+            ("batched".into(), Json::Bool(r.batched)),
+            ("batch_size".into(), Json::int(r.batch_size)),
+            ("bytes".into(), Json::int(r.bytes)),
+            (
+                "revision".into(),
+                r.revision.map(Json::int).unwrap_or(Json::Null),
+            ),
+        ])
+        .render();
+        log.write_line(&line);
+    }
+
+    /// Warn once (per daemon) when the span ring has wrapped; the
+    /// running count stays visible in `status.live.dropped_spans`.
+    fn note_span_loss(&self) {
+        if self.obs.dropped_spans() > 0 && !self.span_loss_logged.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "objectrunner-serve: span buffer wrapped (oldest spans dropped); \
+                 see status.live.dropped_spans"
+            );
+        }
     }
 
     /// The shared annotation engine for a domain (compiled on first
@@ -633,6 +1029,7 @@ impl ServiceShared {
                 ]),
             ),
             ("serving".into(), self.serving_section()),
+            ("live".into(), self.live_section()),
             ("sources".into(), Json::Arr(sources)),
             ("metrics".into(), self.metrics_section()),
             (
@@ -729,6 +1126,83 @@ impl ServiceShared {
         ])
     }
 
+    /// The status response's `live` section: sliding-window rates and
+    /// quantiles for every windowed histogram, the effective
+    /// slow-trace threshold, tail-retention counts, span loss, and the
+    /// access log's health — the "right now" view next to the
+    /// cumulative `metrics` section.
+    fn live_section(&self) -> Json {
+        let now = self.clock.monotonic_micros();
+        let mut hists: Vec<(String, Json)> = Vec::new();
+        if let Some(windows) = self.obs.windows() {
+            for name in windows.names() {
+                let Some(w) = windows.get(&name) else {
+                    continue;
+                };
+                let s60 = w.snapshot(now, 60_000_000);
+                hists.push((
+                    name,
+                    Json::Obj(vec![
+                        ("rate_1s".into(), Json::Float(w.rate(now, 1_000_000))),
+                        ("rate_10s".into(), Json::Float(w.rate(now, 10_000_000))),
+                        ("rate_60s".into(), Json::Float(w.rate(now, 60_000_000))),
+                        ("count_60s".into(), Json::int(s60.count)),
+                        ("p50_60s".into(), Json::int(s60.quantile(0.5))),
+                        ("p99_60s".into(), Json::int(s60.quantile(0.99))),
+                        ("p999_60s".into(), Json::int(s60.quantile(0.999))),
+                    ]),
+                ));
+            }
+        }
+        let (slow, errors, shed) = self.sampler.retained_counts();
+        Json::Obj(vec![
+            (
+                "window".into(),
+                match self.obs.windows().map(|w| w.config()) {
+                    Some(c) => Json::Obj(vec![
+                        ("bucket_micros".into(), Json::int(c.bucket_micros)),
+                        ("buckets".into(), Json::int(c.buckets)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            ("histograms".into(), Json::Obj(hists)),
+            (
+                "slow_trace_threshold_micros".into(),
+                match self.slow_threshold() {
+                    Some(t) => Json::int(t),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "traces".into(),
+                Json::Obj(vec![
+                    ("slow".into(), Json::int(slow)),
+                    ("errors".into(), Json::int(errors)),
+                    ("shed".into(), Json::int(shed)),
+                    ("evicted".into(), Json::int(self.sampler.evicted())),
+                ]),
+            ),
+            ("dropped_spans".into(), Json::int(self.obs.dropped_spans())),
+            (
+                "access_log".into(),
+                match &self.access_log {
+                    Some(log) => {
+                        let s = log.stats();
+                        Json::Obj(vec![
+                            ("path".into(), Json::str(log.path().display().to_string())),
+                            ("written".into(), Json::int(s.written)),
+                            ("rotations".into(), Json::int(s.rotations)),
+                            ("dropped".into(), Json::int(s.dropped)),
+                            ("current_bytes".into(), Json::int(s.current_bytes)),
+                        ])
+                    }
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
     /// The status response's `metrics` section: per-domain extract
     /// latency and drift-score histograms (read back out of the obs
     /// registry), wrapper revisions, annotation-memo hit rate, and
@@ -811,7 +1285,10 @@ impl ServiceShared {
     }
 
     /// `{"cmd":"trace","limit":N}` — the span trees of the last `N`
-    /// requests (default 3) still in the observability buffer. Spans
+    /// requests (default 3) still in the observability buffer. With
+    /// `"kind":"slow"|"errors"|"shed"` the dump reads the tail-sampled
+    /// retention rings instead: the span trees of the last qualifying
+    /// requests, held even after the main buffer has wrapped. Spans
     /// are rendered in `(trace, id)` order, parents before children.
     fn trace_dump(&self, req: &Json) -> Json {
         let limit = req
@@ -819,6 +1296,43 @@ impl ServiceShared {
             .and_then(Json::as_usize)
             .unwrap_or(3)
             .max(1);
+        if let Some(kind) = req.get("kind").and_then(Json::as_str) {
+            let Some(kind) = TraceKind::parse(kind) else {
+                return err(&format!("unknown trace kind '{kind}' (slow|errors|shed)"));
+            };
+            let dumped = self.sampler.dump(kind, limit);
+            let (slow, errors, shed) = self.sampler.retained_counts();
+            let retained = match kind {
+                TraceKind::Slow => slow,
+                TraceKind::Error => errors,
+                TraceKind::Shed => shed,
+            };
+            let traces: Vec<Json> = dumped
+                .iter()
+                .map(|t| {
+                    Json::Obj(vec![
+                        ("trace".into(), Json::int(t.trace)),
+                        ("kind".into(), Json::str(t.kind.as_str())),
+                        ("latency_micros".into(), Json::int(t.latency_micros)),
+                        ("wall_unix_micros".into(), Json::int(t.wall_unix_micros)),
+                        ("truncated".into(), Json::Bool(t.truncated)),
+                        (
+                            "spans".into(),
+                            Json::Arr(t.spans.iter().map(span_json).collect()),
+                        ),
+                    ])
+                })
+                .collect();
+            return Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("cmd".into(), Json::str("trace")),
+                ("kind".into(), Json::str(kind.as_str())),
+                ("retained".into(), Json::int(retained)),
+                ("evicted".into(), Json::int(self.sampler.evicted())),
+                ("traces".into(), Json::Arr(traces)),
+                ("dropped_spans".into(), Json::int(self.obs.dropped_spans())),
+            ]);
+        }
         let spans = self.obs.spans();
         // `spans` is sorted by (trace, id) and trace ids are allocated
         // in request order, so the last distinct ids are the most

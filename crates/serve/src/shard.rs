@@ -262,6 +262,7 @@ pub(crate) fn extract_batch(
     cache: &mut ReaderCache,
     reqs: &[&Json],
     spans: &[Span],
+    queue_wait_micros: Option<u64>,
 ) -> Vec<Json> {
     let started = shared.clock.monotonic_micros();
     let source = match reqs[0].get("source").and_then(Json::as_str) {
@@ -321,6 +322,7 @@ pub(crate) fn extract_batch(
         shared.config.threads,
         &shared.obs,
         trace_context,
+        queue_wait_micros,
     )
     .into();
 
@@ -400,6 +402,7 @@ fn process_request(
             threads,
             &shared.obs,
             trace_context,
+            None,
         )
     };
     let domain_name = snap.domain.clone();
@@ -502,6 +505,7 @@ fn process_request(
             threads,
             &shared.obs,
             repair_context,
+            None,
         );
         let repair_cfg = RepairConfig {
             coverage_floor: shared.config.repair_floor,
@@ -605,6 +609,7 @@ fn process_request(
                     threads,
                     &shared.obs,
                     trace_context,
+                    None,
                 );
                 let replay = score_outcome(&snap, &outcome);
                 response_drift = replay.iter().sum::<f64>() / replay.len() as f64;

@@ -1,0 +1,384 @@
+//! Live-telemetry plumbing for the serving daemon: tail-based trace
+//! retention and the structured access log.
+//!
+//! **Tail sampling.** Retaining every request's span tree is pointless
+//! at scale — the buffer wraps and the interesting traces are exactly
+//! the rare ones. [`TraceSampler`] keeps three bounded rings, one per
+//! [`TraceKind`]: requests that were *slow* (service time at or above
+//! a windowed-p99-derived threshold, see
+//! `ServiceShared::slow_threshold`), requests that *errored*, and
+//! requests that were *shed* by admission control. The full span tree
+//! of a qualifying request is copied out of the observability buffer
+//! at completion time — an O(buffer) scan paid only by qualifying
+//! requests — and is retrievable later via `trace slow|errors|shed`
+//! even after the main buffer has wrapped.
+//!
+//! **Access log.** One canonical JSONL line per request (trace id,
+//! source, outcome, queue-wait vs service split, batch membership,
+//! response bytes, wrapper revision), appended to `--access-log` with
+//! size-bounded rotation: when a line would push the file past
+//! `--access-log-max-bytes`, the file is renamed to `<path>.1`
+//! (replacing the previous rotation) and a fresh file is started.
+//! Write failures never propagate into request handling — they bump a
+//! drop counter surfaced in `status.live` and warn on stderr once.
+
+use objectrunner_obs::{Obs, SpanRecord};
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Retained traces per [`TraceKind`] ring.
+pub const DEFAULT_RETAINED_PER_KIND: usize = 16;
+
+/// Span cap per retained trace (a runaway trace tree must not pin the
+/// whole buffer's worth of memory in a ring slot).
+pub const MAX_SPANS_PER_TRACE: usize = 512;
+
+/// Why a trace was retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    Slow,
+    Error,
+    Shed,
+}
+
+impl TraceKind {
+    /// Protocol spelling, as used by `{"cmd":"trace","kind":…}`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Slow => "slow",
+            TraceKind::Error => "errors",
+            TraceKind::Shed => "shed",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<TraceKind> {
+        match s {
+            "slow" => Some(TraceKind::Slow),
+            "errors" => Some(TraceKind::Error),
+            "shed" => Some(TraceKind::Shed),
+            _ => None,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            TraceKind::Slow => 0,
+            TraceKind::Error => 1,
+            TraceKind::Shed => 2,
+        }
+    }
+}
+
+/// One retained request: identity, why it qualified, and its full
+/// span tree as of completion.
+#[derive(Debug, Clone)]
+pub struct RetainedTrace {
+    pub kind: TraceKind,
+    pub trace: u64,
+    /// Service time (queue wait excluded) of the retained request.
+    pub latency_micros: u64,
+    /// Wall-clock completion time.
+    pub wall_unix_micros: u64,
+    pub spans: Vec<SpanRecord>,
+    /// Whether the span tree hit [`MAX_SPANS_PER_TRACE`].
+    pub truncated: bool,
+}
+
+/// Bounded per-kind rings of retained traces. `&self` throughout,
+/// shared across the worker pool.
+#[derive(Debug)]
+pub struct TraceSampler {
+    capacity: usize,
+    rings: [Mutex<VecDeque<RetainedTrace>>; 3],
+    retained: [AtomicU64; 3],
+    evicted: AtomicU64,
+}
+
+impl TraceSampler {
+    pub fn new(capacity: usize) -> TraceSampler {
+        TraceSampler {
+            capacity: capacity.max(1),
+            rings: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
+            retained: std::array::from_fn(|_| AtomicU64::new(0)),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Retain `trace`'s span tree under `kind`, evicting the oldest
+    /// entry of that kind when the ring is full.
+    pub fn offer(
+        &self,
+        obs: &Obs,
+        kind: TraceKind,
+        trace: u64,
+        latency_micros: u64,
+        wall_unix_micros: u64,
+    ) {
+        let mut spans = obs.spans_for_trace(trace);
+        let truncated = spans.len() > MAX_SPANS_PER_TRACE;
+        spans.truncate(MAX_SPANS_PER_TRACE);
+        let entry = RetainedTrace {
+            kind,
+            trace,
+            latency_micros,
+            wall_unix_micros,
+            spans,
+            truncated,
+        };
+        let mut ring = self.rings[kind.index()].lock().expect("sampler poisoned");
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(entry);
+        self.retained[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The newest `limit` retained traces of `kind`, oldest first.
+    pub fn dump(&self, kind: TraceKind, limit: usize) -> Vec<RetainedTrace> {
+        let ring = self.rings[kind.index()].lock().expect("sampler poisoned");
+        let skip = ring.len().saturating_sub(limit);
+        ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Cumulative retained counts: `(slow, errors, shed)`.
+    pub fn retained_counts(&self) -> (u64, u64, u64) {
+        (
+            self.retained[0].load(Ordering::Relaxed),
+            self.retained[1].load(Ordering::Relaxed),
+            self.retained[2].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Retained traces later pushed out of a full ring.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+/// Counters surfaced in `status.live.access_log`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessLogStats {
+    pub written: u64,
+    pub rotations: u64,
+    pub dropped: u64,
+    pub current_bytes: u64,
+}
+
+#[derive(Debug)]
+struct LogFile {
+    out: Option<File>,
+    bytes: u64,
+}
+
+/// The structured JSONL access log with size-bounded rotation. One
+/// mutex around the file handle — access-log writes are one
+/// `write_all` per request and never block on rotation I/O longer
+/// than a rename.
+#[derive(Debug)]
+pub struct AccessLog {
+    path: PathBuf,
+    max_bytes: u64,
+    file: Mutex<LogFile>,
+    written: AtomicU64,
+    rotations: AtomicU64,
+    dropped: AtomicU64,
+    warned: AtomicBool,
+}
+
+impl AccessLog {
+    /// Open (append) the log at `path`, rotating once any write would
+    /// push the file past `max_bytes`.
+    pub fn open(path: impl Into<PathBuf>, max_bytes: u64) -> std::io::Result<AccessLog> {
+        let path = path.into();
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let out = OpenOptions::new().create(true).append(true).open(&path)?;
+        let bytes = out.metadata()?.len();
+        Ok(AccessLog {
+            path,
+            max_bytes: max_bytes.max(1),
+            file: Mutex::new(LogFile {
+                out: Some(out),
+                bytes,
+            }),
+            written: AtomicU64::new(0),
+            rotations: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            warned: AtomicBool::new(false),
+        })
+    }
+
+    /// Where rotated history goes (one generation is kept).
+    pub fn rotated_path(&self) -> PathBuf {
+        PathBuf::from(format!("{}.1", self.path.display()))
+    }
+
+    /// Append one line (newline added here). Never fails the request:
+    /// I/O errors increment the drop counter and warn once.
+    pub fn write_line(&self, line: &str) {
+        let mut file = self.file.lock().expect("access log poisoned");
+        let len = line.len() as u64 + 1;
+        if file.bytes > 0 && file.bytes + len > self.max_bytes {
+            // Rotate: current file becomes `<path>.1` (replacing the
+            // previous rotation), then start fresh.
+            file.out = None;
+            let rotated = match std::fs::rename(&self.path, self.rotated_path()) {
+                Ok(()) => true,
+                Err(e) => {
+                    self.drop_line(&format!("rotate {}: {e}", self.path.display()));
+                    false
+                }
+            };
+            match OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)
+            {
+                Ok(out) => {
+                    file.bytes = if rotated {
+                        0
+                    } else {
+                        out.metadata().map(|m| m.len()).unwrap_or(0)
+                    };
+                    file.out = Some(out);
+                    if rotated {
+                        self.rotations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e) => {
+                    self.drop_line(&format!("reopen {}: {e}", self.path.display()));
+                }
+            }
+        }
+        let Some(out) = file.out.as_mut() else {
+            self.drop_line("no open file");
+            return;
+        };
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        match out.write_all(&buf) {
+            Ok(()) => {
+                file.bytes += len;
+                self.written.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => self.drop_line(&format!("write {}: {e}", self.path.display())),
+        }
+    }
+
+    fn drop_line(&self, why: &str) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        if !self.warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "objectrunner-serve: access log dropping lines ({why}); see status.live.access_log"
+            );
+        }
+    }
+
+    pub fn stats(&self) -> AccessLogStats {
+        AccessLogStats {
+            written: self.written.load(Ordering::Relaxed),
+            rotations: self.rotations.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            current_bytes: self.file.lock().expect("access log poisoned").bytes,
+        }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "objectrunner-telemetry-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn sampler_rings_are_bounded_and_per_kind() {
+        let obs = Obs::enabled();
+        let sampler = TraceSampler::new(2);
+        for i in 0..4u64 {
+            let span = obs.trace("serve.extract");
+            let trace = span.trace_id();
+            span.finish();
+            sampler.offer(&obs, TraceKind::Slow, trace, 1_000 + i, 0);
+        }
+        let slow = sampler.dump(TraceKind::Slow, 10);
+        assert_eq!(slow.len(), 2, "ring bounded at capacity");
+        assert_eq!(slow[0].latency_micros, 1_002, "oldest evicted first");
+        assert_eq!(slow[1].latency_micros, 1_003);
+        assert!(slow.iter().all(|t| t.spans.len() == 1));
+        assert!(sampler.dump(TraceKind::Error, 10).is_empty());
+        assert_eq!(sampler.retained_counts(), (4, 0, 0));
+        assert_eq!(sampler.evicted(), 2);
+    }
+
+    #[test]
+    fn sampler_dump_limit_keeps_the_newest() {
+        let obs = Obs::enabled();
+        let sampler = TraceSampler::new(8);
+        for i in 0..5u64 {
+            sampler.offer(&obs, TraceKind::Error, 1000 + i, i, 0);
+        }
+        let dumped = sampler.dump(TraceKind::Error, 2);
+        assert_eq!(dumped.len(), 2);
+        assert_eq!(dumped[0].trace, 1003);
+        assert_eq!(dumped[1].trace, 1004);
+    }
+
+    #[test]
+    fn access_log_rotates_under_a_tiny_cap() {
+        let dir = scratch("rotate");
+        let path = dir.join("access.jsonl");
+        let log = AccessLog::open(&path, 64).expect("open");
+        let line = r#"{"trace":1,"outcome":"ok","bytes":120}"#; // 38 bytes
+        for _ in 0..4 {
+            log.write_line(line);
+        }
+        let stats = log.stats();
+        assert_eq!(stats.written, 4);
+        assert!(stats.rotations >= 1, "tiny cap must rotate: {stats:?}");
+        assert_eq!(stats.dropped, 0);
+        let current = std::fs::read_to_string(&path).expect("current log");
+        let rotated = std::fs::read_to_string(log.rotated_path()).expect("rotated log");
+        let total = current.lines().count() + rotated.lines().count();
+        // One generation of history is kept: at least the last cap's
+        // worth of lines survive, all parseable.
+        assert!(total >= 2, "kept {total} lines");
+        for l in current.lines().chain(rotated.lines()) {
+            assert_eq!(l, line);
+        }
+    }
+
+    #[test]
+    fn access_log_append_resumes_byte_accounting() {
+        let dir = scratch("resume");
+        let path = dir.join("access.jsonl");
+        {
+            let log = AccessLog::open(&path, 1 << 20).expect("open");
+            log.write_line("{\"a\":1}");
+        }
+        let log = AccessLog::open(&path, 1 << 20).expect("reopen");
+        assert_eq!(
+            log.stats().current_bytes,
+            8,
+            "reopen picks up the existing file size"
+        );
+    }
+}

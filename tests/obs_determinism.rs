@@ -159,6 +159,7 @@ fn snapshot_diff_shows_no_induction_stages_on_the_cached_path() {
         Some(2),
         &obs,
         None,
+        None,
     );
     let diff = obs.snapshot().diff(&base);
 
